@@ -1,0 +1,124 @@
+// E4 (Section 2): cost of the Web-service patterns — get_item bare,
+// with logging (snap insert per call), with the nested-snap counter,
+// and with log rotation. Expected shape: logging adds a small constant
+// per call; rotation amortizes; none changes the asymptotics.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace {
+
+/// One engine per benchmark run; each iteration performs `kBatch`
+/// service calls in one query.
+constexpr int kBatch = 16;
+
+std::unique_ptr<xqb::Engine> MakeService() {
+  auto engine = std::make_unique<xqb::Engine>();
+  xqb::XMarkParams params;
+  params.factor = 0.5;
+  xqb::NodeId auction =
+      xqb::GenerateXMarkDocument(&engine->store(), params);
+  engine->RegisterDocument("auction", auction);
+  (void)engine->LoadDocumentFromString("log", "<log/>");
+  (void)engine->LoadDocumentFromString("archive", "<archive/>");
+  return engine;
+}
+
+std::string Batch(const std::string& prolog) {
+  return prolog +
+         " for $i in 0 to " + std::to_string(kBatch - 1) +
+         " return get_item(concat(\"item\", $i), concat(\"person\", $i))";
+}
+
+void RunService(benchmark::State& state, const std::string& query) {
+  auto engine = MakeService();
+  for (auto _ : state) {
+    auto result = engine->Execute(query);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_GetItem_NoLogging(benchmark::State& state) {
+  RunService(state, Batch(
+      "declare function get_item($itemid, $userid) { "
+      "  doc('auction')//item[@id = $itemid] }; "));
+}
+
+void BM_GetItem_WithLogging(benchmark::State& state) {
+  RunService(state, Batch(
+      "declare function get_item($itemid, $userid) { "
+      "  let $item := doc('auction')//item[@id = $itemid] "
+      "  return ( "
+      "    let $name := doc('auction')//person[@id = $userid]/name "
+      "    return snap insert { <logentry user=\"{$name}\" "
+      "                                   itemid=\"{$itemid}\"/> } "
+      "                into { doc('log')/log }, "
+      "    $item ) }; "));
+}
+
+void BM_GetItem_LoggingWithCounter(benchmark::State& state) {
+  RunService(state, Batch(
+      "declare variable $d := element counter { 0 }; "
+      "declare function nextid() { "
+      "  snap { replace { $d/text() } with { $d + 1 }, "
+      "         string($d + 1) } }; "
+      "declare function get_item($itemid, $userid) { "
+      "  let $item := doc('auction')//item[@id = $itemid] "
+      "  return ( "
+      "    snap insert { <logentry id=\"{nextid()}\" "
+      "                            itemid=\"{$itemid}\"/> } "
+      "         into { doc('log')/log }, "
+      "    $item ) }; "));
+}
+
+void BM_GetItem_LoggingWithIdIndex(benchmark::State& state) {
+  // Same logging as BM_GetItem_WithLogging, but the person/item lookups
+  // go through fn:id's version-invalidated index instead of //e[@id=..]
+  // scans. The per-call snap invalidates the log document's index only;
+  // the auction document's index survives across calls.
+  RunService(state, Batch(
+      "declare function get_item($itemid, $userid) { "
+      "  let $item := id($itemid, doc('auction')) "
+      "  return ( "
+      "    let $name := id($userid, doc('auction'))/name "
+      "    return snap insert { <logentry user=\"{$name}\" "
+      "                                   itemid=\"{$itemid}\"/> } "
+      "                into { doc('log')/log }, "
+      "    $item ) }; "));
+}
+
+void BM_GetItem_LoggingWithRotation(benchmark::State& state) {
+  RunService(state, Batch(
+      "declare variable $maxlog := 8; "
+      "declare function archivelog() { "
+      "  snap insert { <archived "
+      "entries=\"{count(doc('log')/log/logentry)}\"/> } "
+      "       into { doc('archive')/archive } }; "
+      "declare function get_item($itemid, $userid) { "
+      "  let $item := doc('auction')//item[@id = $itemid] "
+      "  return ( "
+      "    ( snap insert { <logentry itemid=\"{$itemid}\"/> } "
+      "           into { doc('log')/log }, "
+      "      if (count(doc('log')/log/logentry) >= $maxlog) "
+      "      then (archivelog(), "
+      "            snap delete { doc('log')/log/logentry }) "
+      "      else () ), "
+      "    $item ) }; "));
+}
+
+}  // namespace
+
+BENCHMARK(BM_GetItem_NoLogging)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GetItem_WithLogging)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GetItem_LoggingWithIdIndex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GetItem_LoggingWithCounter)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GetItem_LoggingWithRotation)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,107 @@
+// E8 (Sections 3.2, 4.1): cost of the three update-application
+// semantics over a Δ of N independent updates. Expected shape: all
+// three are linear in N; conflict-detection pays an extra linear
+// verification pass ("in linear time, using a pair of hash-tables over
+// node ids"); nondeterministic pays a shuffle.
+
+#include <benchmark/benchmark.h>
+
+#include "core/update.h"
+#include "xdm/store.h"
+
+namespace {
+
+using xqb::ApplyMode;
+using xqb::NodeId;
+using xqb::Store;
+using xqb::UpdateList;
+using xqb::UpdateRequest;
+
+/// Builds a store with N target elements and a conflict-free Δ touching
+/// each exactly once (insert / rename alternating).
+void BuildWorkload(int n, Store* store, UpdateList* delta) {
+  NodeId root = store->NewElement("root");
+  for (int i = 0; i < n; ++i) {
+    NodeId target = store->NewElement("t");
+    (void)store->AppendChild(root, target);
+    if (i % 2 == 0) {
+      delta->Append(UpdateRequest::InsertInto(
+          {store->NewElement("payload")}, target, /*as_first=*/false));
+    } else {
+      delta->Append(
+          UpdateRequest::Rename(target, store->names().Intern("renamed")));
+    }
+  }
+}
+
+void RunMode(benchmark::State& state, ApplyMode mode) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Store store;
+    UpdateList delta;
+    BuildWorkload(n, &store, &delta);
+    state.ResumeTiming();
+    xqb::Status st = ApplyUpdateList(&store, delta, mode, /*seed=*/7);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ApplyOrdered(benchmark::State& state) {
+  RunMode(state, ApplyMode::kOrdered);
+}
+void BM_ApplyNondeterministic(benchmark::State& state) {
+  RunMode(state, ApplyMode::kNondeterministic);
+}
+void BM_ApplyConflictDetection(benchmark::State& state) {
+  RunMode(state, ApplyMode::kConflictDetection);
+}
+
+/// Ablation: the atomic variant's rollback-log recording overhead on
+/// the success path (failures are exercised by tests, not benched).
+void BM_ApplyAtomicOrdered(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Store store;
+    UpdateList delta;
+    BuildWorkload(n, &store, &delta);
+    state.ResumeTiming();
+    xqb::Status st =
+        ApplyUpdateListAtomic(&store, delta, ApplyMode::kOrdered);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+/// Verification cost alone (the linear-time claim).
+void BM_ConflictVerificationOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Store store;
+  UpdateList delta;
+  BuildWorkload(n, &store, &delta);
+  std::vector<const UpdateRequest*> flat = delta.Flatten();
+  for (auto _ : state) {
+    xqb::Status st = VerifyConflictFree(flat);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ApplyOrdered)->Range(1 << 8, 1 << 16);
+BENCHMARK(BM_ApplyNondeterministic)->Range(1 << 8, 1 << 16);
+BENCHMARK(BM_ApplyConflictDetection)->Range(1 << 8, 1 << 16);
+BENCHMARK(BM_ApplyAtomicOrdered)->Range(1 << 8, 1 << 16);
+BENCHMARK(BM_ConflictVerificationOnly)->Range(1 << 8, 1 << 16);

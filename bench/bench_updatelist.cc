@@ -1,0 +1,108 @@
+// E9 ablation (Section 4.1): the ordered semantics "is more involved,
+// as we need to rely on a specialized tree structure to represent the
+// update list". This bench compares our O(1)-concat rope against the
+// naive flat-vector representation whose concatenation copies, on the
+// concat-heavy pattern FLWOR evaluation produces (merge many per-row
+// deltas, left-to-right).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/update.h"
+
+namespace {
+
+using xqb::NodeId;
+using xqb::UpdateList;
+using xqb::UpdateRequest;
+
+/// The naive baseline: Δ as a flat vector; concat copies the right side.
+struct VectorDelta {
+  std::vector<UpdateRequest> requests;
+  void Append(UpdateRequest r) { requests.push_back(std::move(r)); }
+  static VectorDelta Concat(VectorDelta a, const VectorDelta& b) {
+    a.requests.insert(a.requests.end(), b.requests.begin(),
+                      b.requests.end());
+    return a;
+  }
+};
+
+UpdateRequest MakeRequest(int i) {
+  return UpdateRequest::Delete(static_cast<NodeId>(i));
+}
+
+/// FLWOR-shaped accumulation: `rows` per-row deltas of `per_row`
+/// requests each, concatenated left-to-right into the scope's Δ.
+void BM_RopeAccumulation(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int per_row = 4;
+  for (auto _ : state) {
+    UpdateList scope;
+    int id = 0;
+    for (int r = 0; r < rows; ++r) {
+      UpdateList row;
+      for (int i = 0; i < per_row; ++i) row.Append(MakeRequest(id++));
+      scope = UpdateList::Concat(std::move(scope), std::move(row));
+    }
+    benchmark::DoNotOptimize(scope.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * per_row);
+}
+
+void BM_VectorAccumulation(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int per_row = 4;
+  for (auto _ : state) {
+    VectorDelta scope;
+    int id = 0;
+    for (int r = 0; r < rows; ++r) {
+      VectorDelta row;
+      for (int i = 0; i < per_row; ++i) row.Append(MakeRequest(id++));
+      scope = VectorDelta::Concat(std::move(scope), row);
+    }
+    benchmark::DoNotOptimize(scope.requests.size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * per_row);
+}
+
+/// Nested-scope concat: binary merge tree, the worst case for vectors.
+void BM_RopeBinaryMerge(benchmark::State& state) {
+  const int leaves = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<UpdateList> level;
+    level.reserve(static_cast<size_t>(leaves));
+    for (int i = 0; i < leaves; ++i) {
+      level.push_back(UpdateList::Single(MakeRequest(i)));
+    }
+    while (level.size() > 1) {
+      std::vector<UpdateList> next;
+      for (size_t i = 0; i + 1 < level.size(); i += 2) {
+        next.push_back(UpdateList::Concat(level[i], level[i + 1]));
+      }
+      if (level.size() % 2) next.push_back(level.back());
+      level = std::move(next);
+    }
+    benchmark::DoNotOptimize(level[0].size());
+  }
+  state.SetItemsProcessed(state.iterations() * leaves);
+}
+
+/// Flatten cost (paid once per snap close).
+void BM_RopeFlatten(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  UpdateList list;
+  for (int i = 0; i < n; ++i) list.Append(MakeRequest(i));
+  for (auto _ : state) {
+    auto flat = list.Flatten();
+    benchmark::DoNotOptimize(flat.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RopeAccumulation)->Range(1 << 8, 1 << 14);
+BENCHMARK(BM_VectorAccumulation)->Range(1 << 8, 1 << 14);
+BENCHMARK(BM_RopeBinaryMerge)->Range(1 << 8, 1 << 14);
+BENCHMARK(BM_RopeFlatten)->Range(1 << 8, 1 << 16);

@@ -1,0 +1,82 @@
+// E13 (substrate): XMark document generation, serialization and parsing
+// throughput — the data-path costs under every other experiment.
+
+#include <benchmark/benchmark.h>
+
+#include "xdm/store.h"
+#include "xmark/generator.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+void BM_XMarkGenerate(benchmark::State& state) {
+  xqb::XMarkParams params;
+  params.factor = static_cast<double>(state.range(0)) / 100.0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    xqb::Store store;
+    xqb::NodeId doc = xqb::GenerateXMarkDocument(&store, params);
+    benchmark::DoNotOptimize(doc);
+    nodes = store.live_node_count();
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(nodes));
+}
+
+void BM_XMarkSerialize(benchmark::State& state) {
+  xqb::XMarkParams params;
+  params.factor = static_cast<double>(state.range(0)) / 100.0;
+  xqb::Store store;
+  xqb::NodeId doc = xqb::GenerateXMarkDocument(&store, params);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string xml = xqb::SerializeNode(store, doc);
+    benchmark::DoNotOptimize(xml.data());
+    bytes = xml.size();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes));
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  xqb::XMarkParams params;
+  params.factor = static_cast<double>(state.range(0)) / 100.0;
+  std::string xml = xqb::GenerateXMarkXml(params);
+  for (auto _ : state) {
+    xqb::Store store;
+    auto doc = xqb::ParseXmlDocument(&store, xml);
+    if (!doc.ok()) {
+      state.SkipWithError(doc.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*doc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(xml.size()));
+}
+
+void BM_DeepCopyDocument(benchmark::State& state) {
+  xqb::XMarkParams params;
+  params.factor = static_cast<double>(state.range(0)) / 100.0;
+  xqb::Store store;
+  xqb::NodeId doc = xqb::GenerateXMarkDocument(&store, params);
+  for (auto _ : state) {
+    xqb::NodeId copy = store.DeepCopy(doc);
+    benchmark::DoNotOptimize(copy);
+    state.PauseTiming();
+    store.GarbageCollect({doc});  // Drop the copy to bound memory.
+    state.ResumeTiming();
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_XMarkGenerate)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XMarkSerialize)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XmlParse)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DeepCopyDocument)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);

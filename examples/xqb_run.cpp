@@ -1,0 +1,157 @@
+// Batch runner: execute an XQuery! file against XML documents.
+//
+//   xqb_run [options] query.xq
+//     --doc NAME=FILE     register FILE as doc('NAME') (repeatable)
+//     --var NAME=VALUE    bind $NAME to a string value (repeatable)
+//     --optimize          run through the algebraic optimizer
+//     --plan              print the optimized plan (implies --optimize)
+//     --mode MODE         default snap mode: ordered (default),
+//                         nondeterministic, conflict-detection
+//     --seed N            seed for the nondeterministic mode
+//     --indent            pretty-print the result
+//     --save NAME=FILE    after the query, serialize doc('NAME') to FILE
+//
+// Exit status: 0 on success, 1 on usage/load errors, 2 on query errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace {
+
+bool SplitKeyValue(const std::string& arg, std::string* key,
+                   std::string* value) {
+  size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *key = arg.substr(0, eq);
+  *value = arg.substr(eq + 1);
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xqb_run [--doc NAME=FILE]... [--var NAME=VALUE]...\n"
+      "               [--optimize] [--plan] [--mode MODE] [--seed N]\n"
+      "               [--indent] [--save NAME=FILE]... query.xq\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xqb::Engine engine;
+  xqb::ExecOptions options;
+  bool indent = false;
+  bool print_plan = false;
+  std::string query_path;
+  std::vector<std::pair<std::string, std::string>> saves;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--doc") {
+      const char* value = next_value("--doc");
+      if (!value) return Usage();
+      std::string name, path;
+      if (!SplitKeyValue(value, &name, &path)) return Usage();
+      auto doc = engine.LoadDocumentFromFile(name, path);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "loading %s: %s\n", path.c_str(),
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+    } else if (arg == "--var") {
+      const char* value = next_value("--var");
+      if (!value) return Usage();
+      std::string name, str;
+      if (!SplitKeyValue(value, &name, &str)) return Usage();
+      engine.BindVariable(name,
+                          xqb::Sequence{xqb::Item::String(str)});
+    } else if (arg == "--save") {
+      const char* value = next_value("--save");
+      if (!value) return Usage();
+      std::string name, path;
+      if (!SplitKeyValue(value, &name, &path)) return Usage();
+      saves.emplace_back(name, path);
+    } else if (arg == "--optimize") {
+      options.optimize = true;
+    } else if (arg == "--plan") {
+      options.optimize = true;
+      print_plan = true;
+    } else if (arg == "--indent") {
+      indent = true;
+    } else if (arg == "--mode") {
+      const char* value = next_value("--mode");
+      if (!value) return Usage();
+      if (std::strcmp(value, "ordered") == 0) {
+        options.default_snap_mode = xqb::ApplyMode::kOrdered;
+      } else if (std::strcmp(value, "nondeterministic") == 0) {
+        options.default_snap_mode = xqb::ApplyMode::kNondeterministic;
+      } else if (std::strcmp(value, "conflict-detection") == 0) {
+        options.default_snap_mode = xqb::ApplyMode::kConflictDetection;
+      } else {
+        std::fprintf(stderr, "unknown mode %s\n", value);
+        return Usage();
+      }
+    } else if (arg == "--seed") {
+      const char* value = next_value("--seed");
+      if (!value) return Usage();
+      options.nondet_seed = std::strtoull(value, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage();
+    } else if (query_path.empty()) {
+      query_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (query_path.empty()) return Usage();
+
+  std::ifstream in(query_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open query file %s\n",
+                 query_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto result = engine.Execute(buffer.str(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", engine.Serialize(*result, indent).c_str());
+  if (print_plan && engine.last_used_algebra()) {
+    std::fprintf(stderr, "-- plan --\n%s", engine.last_plan().c_str());
+  }
+
+  for (const auto& [name, path] : saves) {
+    auto doc = engine.Execute("doc(\"" + name + "\")");
+    if (!doc.ok()) {
+      std::fprintf(stderr, "saving %s: %s\n", name.c_str(),
+                   doc.status().ToString().c_str());
+      return 2;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << engine.Serialize(*doc, indent);
+  }
+  return 0;
+}

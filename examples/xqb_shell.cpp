@@ -1,0 +1,121 @@
+// An interactive XQuery! shell over the engine. Each line (or
+// semicolon-free multi-line block ended by an empty line) is executed
+// against a persistent store, so snap effects accumulate across inputs.
+//
+// Commands:
+//   :load NAME <xml>     register inline XML as doc('NAME')
+//   :xmark NAME FACTOR   register a generated XMark doc as doc('NAME')
+//   :plan on|off         toggle the algebraic optimizer (+ plan print)
+//   :mode ordered|nondeterministic|conflict-detection
+//   :gc                  collect unreachable store nodes
+//   :stats               store/node statistics
+//   :quit
+//
+// Build & run:  build/examples/xqb_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace {
+
+std::string FirstWord(const std::string& s, size_t* rest) {
+  size_t start = s.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    *rest = s.size();
+    return "";
+  }
+  size_t end = s.find_first_of(" \t", start);
+  if (end == std::string::npos) end = s.size();
+  *rest = s.find_first_not_of(" \t", end);
+  if (*rest == std::string::npos) *rest = s.size();
+  return s.substr(start, end - start);
+}
+
+}  // namespace
+
+int main() {
+  xqb::Engine engine;
+  xqb::ExecOptions options;
+  std::printf("XQB shell — XQuery! with side effects. :quit to exit.\n");
+
+  std::string line;
+  while (std::printf("xqb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ':') {
+      size_t rest = 0;
+      std::string cmd = FirstWord(line, &rest);
+      std::string args = line.substr(rest);
+      if (cmd == ":quit" || cmd == ":q") break;
+      if (cmd == ":load") {
+        size_t arg_rest = 0;
+        std::string name = FirstWord(args, &arg_rest);
+        std::string xml = args.substr(arg_rest);
+        auto doc = engine.LoadDocumentFromString(name, xml);
+        std::printf(doc.ok() ? "loaded doc('%s')\n" : "error: %s\n",
+                    doc.ok() ? name.c_str()
+                             : doc.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == ":xmark") {
+        size_t arg_rest = 0;
+        std::string name = FirstWord(args, &arg_rest);
+        double factor = std::strtod(args.c_str() + arg_rest, nullptr);
+        xqb::XMarkParams params;
+        params.factor = factor > 0 ? factor : 1.0;
+        xqb::NodeId doc =
+            xqb::GenerateXMarkDocument(&engine.store(), params);
+        engine.RegisterDocument(name, doc);
+        std::printf("generated doc('%s') at factor %.2f (%zu nodes)\n",
+                    name.c_str(), params.factor,
+                    engine.store().live_node_count());
+        continue;
+      }
+      if (cmd == ":plan") {
+        options.optimize = args.find("on") != std::string::npos;
+        std::printf("optimizer %s\n", options.optimize ? "on" : "off");
+        continue;
+      }
+      if (cmd == ":mode") {
+        if (args.find("nondeterministic") != std::string::npos) {
+          options.default_snap_mode = xqb::ApplyMode::kNondeterministic;
+        } else if (args.find("conflict") != std::string::npos) {
+          options.default_snap_mode = xqb::ApplyMode::kConflictDetection;
+        } else {
+          options.default_snap_mode = xqb::ApplyMode::kOrdered;
+        }
+        std::printf("default snap mode: %s\n",
+                    ApplyModeToString(options.default_snap_mode));
+        continue;
+      }
+      if (cmd == ":gc") {
+        std::printf("freed %zu nodes\n", engine.CollectGarbage());
+        continue;
+      }
+      if (cmd == ":stats") {
+        std::printf("live nodes: %zu (slots: %zu)\n",
+                    engine.store().live_node_count(),
+                    engine.store().slot_count());
+        continue;
+      }
+      std::printf("unknown command %s\n", cmd.c_str());
+      continue;
+    }
+
+    auto result = engine.Execute(line, options);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", engine.Serialize(*result, /*indent=*/true).c_str());
+    if (options.optimize && engine.last_used_algebra()) {
+      std::printf("-- plan --\n%s", engine.last_plan().c_str());
+    }
+  }
+  return 0;
+}

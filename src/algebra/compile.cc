@@ -1,0 +1,120 @@
+#include "algebra/compile.h"
+
+namespace xqb {
+
+namespace {
+
+void FreeVarsRec(const Expr& expr, std::set<std::string>* bound,
+                 std::set<std::string>* out) {
+  switch (expr.kind) {
+    case ExprKind::kVarRef:
+      if (!bound->count(expr.name)) out->insert(expr.name);
+      return;
+    case ExprKind::kFlwor: {
+      // Clauses bind variables for later clauses and the return expr.
+      std::set<std::string> local = *bound;
+      for (const FlworClause& clause : expr.clauses) {
+        if (clause.expr) FreeVarsRec(*clause.expr, &local, out);
+        for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+          FreeVarsRec(*spec.key, &local, out);
+        }
+        if (clause.kind == FlworClause::Kind::kFor ||
+            clause.kind == FlworClause::Kind::kLet) {
+          local.insert(clause.var);
+          if (!clause.pos_var.empty()) local.insert(clause.pos_var);
+        }
+      }
+      FreeVarsRec(*expr.children[0], &local, out);
+      return;
+    }
+    case ExprKind::kQuantified: {
+      std::set<std::string> local = *bound;
+      for (const QuantBinding& binding : expr.quant_bindings) {
+        FreeVarsRec(*binding.expr, &local, out);
+        local.insert(binding.var);
+      }
+      FreeVarsRec(*expr.children[0], &local, out);
+      return;
+    }
+    case ExprKind::kTypeswitch: {
+      FreeVarsRec(*expr.children[0], bound, out);
+      for (size_t i = 0; i < expr.ts_cases.size(); ++i) {
+        std::set<std::string> local = *bound;
+        if (!expr.ts_cases[i].var.empty()) {
+          local.insert(expr.ts_cases[i].var);
+        }
+        FreeVarsRec(*expr.children[i + 1], &local, out);
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  for (const ExprPtr& child : expr.children) {
+    FreeVarsRec(*child, bound, out);
+  }
+}
+
+}  // namespace
+
+std::set<std::string> FreeVariables(const Expr& expr) {
+  std::set<std::string> bound;
+  std::set<std::string> out;
+  FreeVarsRec(expr, &bound, &out);
+  return out;
+}
+
+PlanPtr CompileQueryToPlan(const Expr& body) {
+  if (body.kind != ExprKind::kFlwor) return nullptr;
+
+  PlanPtr plan = std::make_unique<Plan>(PlanKind::kSingleton);
+  for (const FlworClause& clause : body.clauses) {
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor: {
+        PlanPtr map = std::make_unique<Plan>(PlanKind::kMapConcat);
+        map->expr = clause.expr.get();
+        map->field = clause.var;
+        map->pos_field = clause.pos_var;
+        map->fields = plan->fields;
+        map->fields.push_back(clause.var);
+        if (!clause.pos_var.empty()) map->fields.push_back(clause.pos_var);
+        map->input = std::move(plan);
+        plan = std::move(map);
+        break;
+      }
+      case FlworClause::Kind::kLet: {
+        PlanPtr let = std::make_unique<Plan>(PlanKind::kLet);
+        let->expr = clause.expr.get();
+        let->field = clause.var;
+        let->fields = plan->fields;
+        let->fields.push_back(clause.var);
+        let->input = std::move(plan);
+        plan = std::move(let);
+        break;
+      }
+      case FlworClause::Kind::kWhere: {
+        PlanPtr select = std::make_unique<Plan>(PlanKind::kSelect);
+        select->expr = clause.expr.get();
+        select->fields = plan->fields;
+        select->input = std::move(plan);
+        plan = std::move(select);
+        break;
+      }
+      case FlworClause::Kind::kOrderBy: {
+        PlanPtr order = std::make_unique<Plan>(PlanKind::kOrderBy);
+        order->order_clause = &clause;
+        order->fields = plan->fields;
+        order->input = std::move(plan);
+        plan = std::move(order);
+        break;
+      }
+    }
+  }
+  PlanPtr root = std::make_unique<Plan>(PlanKind::kMapToItem);
+  root->expr = body.children[0].get();
+  root->fields = plan->fields;
+  root->input = std::move(plan);
+  return root;
+}
+
+}  // namespace xqb

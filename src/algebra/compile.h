@@ -1,0 +1,27 @@
+#ifndef XQB_ALGEBRA_COMPILE_H_
+#define XQB_ALGEBRA_COMPILE_H_
+
+#include <set>
+#include <string>
+
+#include "algebra/plan.h"
+#include "base/result.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Free variables of an expression: variables referenced but not bound
+/// by an enclosing for/let/quantifier binding inside the expression
+/// itself. Globals and externals appear free; the caller filters.
+std::set<std::string> FreeVariables(const Expr& expr);
+
+/// Compiles a query body to a canonical (unoptimized) tuple plan:
+/// FLWOR clauses become MapConcat/Let/Select/OrderBy over a Singleton,
+/// the return clause becomes the MapToItem root. Non-FLWOR bodies (or
+/// FLWOR features the algebra does not model) return nullptr, meaning
+/// "use the interpreter" — never an error.
+PlanPtr CompileQueryToPlan(const Expr& body);
+
+}  // namespace xqb
+
+#endif  // XQB_ALGEBRA_COMPILE_H_

@@ -1,0 +1,316 @@
+#include "algebra/exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "base/string_util.h"
+
+namespace xqb {
+
+namespace {
+
+/// A materialized tuple: an environment extended with this operator
+/// chain's field bindings. Environments share structure, so copying a
+/// tuple is O(1).
+struct Tuple {
+  DynEnv env;
+};
+
+using TupleVec = std::vector<Tuple>;
+
+/// Normalized hash keys for general '=' matching. An atom may produce
+/// two keys (untyped values match both their string and numeric
+/// interpretations), mirroring the coercion rules of general
+/// comparisons.
+void KeysOf(const Store& store, const Sequence& seq,
+            std::vector<std::string>* out) {
+  for (const Item& item : seq) {
+    AtomicValue a = AtomizeItem(store, item);
+    switch (a.type()) {
+      case AtomicType::kInteger:
+        out->push_back("n:" + FormatDouble(static_cast<double>(a.int_value())));
+        break;
+      case AtomicType::kDouble:
+        if (!std::isnan(a.double_value())) {
+          out->push_back("n:" + FormatDouble(a.double_value()));
+        }
+        break;
+      case AtomicType::kBoolean:
+        out->push_back(std::string("b:") + (a.bool_value() ? "1" : "0"));
+        break;
+      case AtomicType::kString:
+        out->push_back("s:" + a.str());
+        break;
+      case AtomicType::kUntyped: {
+        out->push_back("s:" + a.str());
+        Result<double> d = a.ToDouble();
+        if (d.ok() && !std::isnan(*d)) {
+          out->push_back("n:" + FormatDouble(*d));
+        }
+        break;
+      }
+    }
+  }
+}
+
+class PlanExecutor {
+ public:
+  PlanExecutor(Evaluator* evaluator, const DynEnv& base_env)
+      : evaluator_(evaluator), base_env_(base_env) {}
+
+  Result<Sequence> Run(const Plan& root) {
+    if (root.kind != PlanKind::kMapToItem) {
+      return Status::Internal("plan root must be MapToItem");
+    }
+    XQB_ASSIGN_OR_RETURN(TupleVec tuples, Exec(*root.input));
+    Sequence out;
+    for (const Tuple& tuple : tuples) {
+      XQB_ASSIGN_OR_RETURN(Sequence v,
+                           evaluator_->Eval(*root.expr, tuple.env));
+      out.insert(out.end(), v.begin(), v.end());
+    }
+    return out;
+  }
+
+ private:
+  Result<TupleVec> Exec(const Plan& plan) {
+    switch (plan.kind) {
+      case PlanKind::kSingleton:
+        return TupleVec{Tuple{base_env_}};
+      case PlanKind::kMapConcat: {
+        XQB_ASSIGN_OR_RETURN(TupleVec input, Exec(*plan.input));
+        TupleVec out;
+        for (const Tuple& tuple : input) {
+          XQB_ASSIGN_OR_RETURN(Sequence seq,
+                               evaluator_->Eval(*plan.expr, tuple.env));
+          for (size_t i = 0; i < seq.size(); ++i) {
+            DynEnv env = tuple.env.Bind(plan.field, Sequence{seq[i]});
+            if (!plan.pos_field.empty()) {
+              env = env.Bind(plan.pos_field,
+                             Sequence{Item::Integer(
+                                 static_cast<int64_t>(i) + 1)});
+            }
+            out.push_back(Tuple{std::move(env)});
+          }
+        }
+        return out;
+      }
+      case PlanKind::kLet: {
+        XQB_ASSIGN_OR_RETURN(TupleVec input, Exec(*plan.input));
+        TupleVec out;
+        out.reserve(input.size());
+        for (const Tuple& tuple : input) {
+          XQB_ASSIGN_OR_RETURN(Sequence value,
+                               evaluator_->Eval(*plan.expr, tuple.env));
+          out.push_back(Tuple{tuple.env.Bind(plan.field, std::move(value))});
+        }
+        return out;
+      }
+      case PlanKind::kSelect: {
+        XQB_ASSIGN_OR_RETURN(TupleVec input, Exec(*plan.input));
+        TupleVec out;
+        for (const Tuple& tuple : input) {
+          XQB_ASSIGN_OR_RETURN(Sequence cond,
+                               evaluator_->Eval(*plan.expr, tuple.env));
+          XQB_ASSIGN_OR_RETURN(
+              bool keep, EffectiveBooleanValue(*evaluator_->store(), cond));
+          if (keep) out.push_back(tuple);
+        }
+        return out;
+      }
+      case PlanKind::kOrderBy:
+        return ExecOrderBy(plan);
+      case PlanKind::kHashJoin:
+        return ExecHashJoin(plan, /*group=*/false);
+      case PlanKind::kHashGroupJoin:
+        return ExecHashJoin(plan, /*group=*/true);
+      case PlanKind::kMapToItem:
+        return Status::Internal("nested MapToItem");
+    }
+    return Status::Internal("unknown plan kind");
+  }
+
+  /// Sorts the tuple stream by the FLWOR order-by specs (same key
+  /// semantics as the interpreter: typed categories, empty/NaN ranked
+  /// per the empty-least/greatest flag, stable within equal keys).
+  Result<TupleVec> ExecOrderBy(const Plan& plan) {
+    XQB_ASSIGN_OR_RETURN(TupleVec input, Exec(*plan.input));
+    const auto& specs = plan.order_clause->order_specs;
+    struct SortKey {
+      enum class Cat : uint8_t { kEmpty, kNum, kStr, kBool };
+      Cat cat = Cat::kEmpty;
+      double num = 0;
+      std::string str;
+      bool b = false;
+    };
+    std::vector<std::vector<SortKey>> keys(input.size());
+    const Store& store = *evaluator_->store();
+    for (size_t i = 0; i < input.size(); ++i) {
+      for (const FlworClause::OrderSpec& spec : specs) {
+        XQB_ASSIGN_OR_RETURN(Sequence kv,
+                             evaluator_->Eval(*spec.key, input[i].env));
+        SortKey key;
+        if (kv.size() > 1) {
+          return Status::TypeError(
+              "err:XPTY0004: order-by key is a multi-item sequence");
+        }
+        if (!kv.empty()) {
+          AtomicValue a = AtomizeItem(store, kv[0]);
+          switch (a.type()) {
+            case AtomicType::kInteger:
+              key.cat = SortKey::Cat::kNum;
+              key.num = static_cast<double>(a.int_value());
+              break;
+            case AtomicType::kDouble:
+              if (!std::isnan(a.double_value())) {
+                key.cat = SortKey::Cat::kNum;
+                key.num = a.double_value();
+              }
+              break;
+            case AtomicType::kBoolean:
+              key.cat = SortKey::Cat::kBool;
+              key.b = a.bool_value();
+              break;
+            case AtomicType::kString:
+            case AtomicType::kUntyped:
+              key.cat = SortKey::Cat::kStr;
+              key.str = a.str();
+              break;
+          }
+        }
+        keys[i].push_back(std::move(key));
+      }
+    }
+    // Category consistency check (matching the interpreter's errors).
+    for (size_t s = 0; s < specs.size(); ++s) {
+      SortKey::Cat seen = SortKey::Cat::kEmpty;
+      for (const auto& row : keys) {
+        if (row[s].cat == SortKey::Cat::kEmpty) continue;
+        if (seen == SortKey::Cat::kEmpty) {
+          seen = row[s].cat;
+        } else if (seen != row[s].cat) {
+          return Status::TypeError(
+              "err:XPTY0004: order-by keys of incomparable types");
+        }
+      }
+    }
+    std::vector<size_t> order(input.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t s = 0; s < specs.size(); ++s) {
+        const SortKey& ka = keys[a][s];
+        const SortKey& kb = keys[b][s];
+        auto rank = [&](const SortKey& k) {
+          bool low = k.cat == SortKey::Cat::kEmpty;
+          return low ? (specs[s].empty_least ? 0 : 2) : 1;
+        };
+        int ra = rank(ka), rb = rank(kb);
+        int cmp = 0;
+        if (ra != rb) {
+          cmp = ra < rb ? -1 : 1;
+        } else if (ra == 1) {
+          if (ka.cat == SortKey::Cat::kNum) {
+            cmp = ka.num < kb.num ? -1 : ka.num > kb.num ? 1 : 0;
+          } else if (ka.cat == SortKey::Cat::kStr) {
+            int c = ka.str.compare(kb.str);
+            cmp = c < 0 ? -1 : c > 0 ? 1 : 0;
+          } else {
+            cmp = (ka.b == kb.b) ? 0 : (!ka.b ? -1 : 1);
+          }
+        }
+        if (cmp != 0) return specs[s].descending ? cmp > 0 : cmp < 0;
+      }
+      return false;
+    });
+    TupleVec sorted;
+    sorted.reserve(input.size());
+    for (size_t idx : order) sorted.push_back(std::move(input[idx]));
+    return sorted;
+  }
+
+  /// Merges the build side's field bindings onto a probe-side
+  /// environment (the build chain is Singleton -> MapConcat, so its
+  /// visible fields are exactly plan.right->fields).
+  static DynEnv CombineEnvs(const DynEnv& left,
+                            const DynEnv& right_env,
+                            const std::vector<std::string>& right_fields) {
+    DynEnv out = left;
+    for (const std::string& field : right_fields) {
+      if (const Sequence* value = right_env.Lookup(field)) {
+        out = out.Bind(field, *value);
+      }
+    }
+    return out;
+  }
+
+  Result<TupleVec> ExecHashJoin(const Plan& plan, bool group) {
+    const Store& store = *evaluator_->store();
+    // Build side: materialize right tuples and the key -> indices table.
+    XQB_ASSIGN_OR_RETURN(TupleVec right, Exec(*plan.right));
+    std::unordered_map<std::string, std::vector<size_t>> table;
+    for (size_t i = 0; i < right.size(); ++i) {
+      XQB_ASSIGN_OR_RETURN(Sequence key_seq,
+                           evaluator_->Eval(*plan.right_key, right[i].env));
+      std::vector<std::string> keys;
+      KeysOf(store, key_seq, &keys);
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      for (const std::string& key : keys) table[key].push_back(i);
+    }
+    // Probe side.
+    XQB_ASSIGN_OR_RETURN(TupleVec left, Exec(*plan.input));
+    TupleVec out;
+    std::vector<size_t> matches;
+    for (const Tuple& tuple : left) {
+      XQB_ASSIGN_OR_RETURN(Sequence key_seq,
+                           evaluator_->Eval(*plan.left_key, tuple.env));
+      std::vector<std::string> keys;
+      KeysOf(store, key_seq, &keys);
+      matches.clear();
+      for (const std::string& key : keys) {
+        auto it = table.find(key);
+        if (it != table.end()) {
+          matches.insert(matches.end(), it->second.begin(),
+                         it->second.end());
+        }
+      }
+      std::sort(matches.begin(), matches.end());
+      matches.erase(std::unique(matches.begin(), matches.end()),
+                    matches.end());
+      if (group) {
+        // Fused LeftOuterJoin+GroupBy: evaluate the per-match expression
+        // in build order and bind the concatenation (empty when no
+        // match: the outer join keeps the tuple).
+        Sequence grouped;
+        for (size_t idx : matches) {
+          DynEnv combined =
+              CombineEnvs(tuple.env, right[idx].env, plan.right->fields);
+          XQB_ASSIGN_OR_RETURN(
+              Sequence v, evaluator_->Eval(*plan.inner_ret, combined));
+          grouped.insert(grouped.end(), v.begin(), v.end());
+        }
+        out.push_back(Tuple{tuple.env.Bind(plan.field, std::move(grouped))});
+      } else {
+        for (size_t idx : matches) {
+          out.push_back(Tuple{
+              CombineEnvs(tuple.env, right[idx].env, plan.right->fields)});
+        }
+      }
+    }
+    return out;
+  }
+
+  Evaluator* evaluator_;
+  DynEnv base_env_;
+};
+
+}  // namespace
+
+Result<Sequence> ExecutePlan(const Plan& plan, Evaluator* evaluator,
+                             const DynEnv& base_env) {
+  PlanExecutor executor(evaluator, base_env);
+  return executor.Run(plan);
+}
+
+}  // namespace xqb

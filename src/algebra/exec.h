@@ -1,0 +1,19 @@
+#ifndef XQB_ALGEBRA_EXEC_H_
+#define XQB_ALGEBRA_EXEC_H_
+
+#include "algebra/plan.h"
+#include "base/result.h"
+#include "core/evaluator.h"
+
+namespace xqb {
+
+/// Executes a tuple plan. Embedded expressions evaluate through
+/// `evaluator` (so update requests land on its snap stack exactly as in
+/// interpreted execution) with tuple fields bound as variables on top of
+/// `base_env`. Returns the item sequence produced by the MapToItem root.
+Result<Sequence> ExecutePlan(const Plan& plan, Evaluator* evaluator,
+                             const DynEnv& base_env);
+
+}  // namespace xqb
+
+#endif  // XQB_ALGEBRA_EXEC_H_

@@ -1,0 +1,50 @@
+#include "algebra/plan.h"
+
+#include <sstream>
+
+namespace xqb {
+
+const char* PlanKindToString(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSingleton: return "Singleton";
+    case PlanKind::kMapConcat: return "MapConcat";
+    case PlanKind::kLet: return "Let";
+    case PlanKind::kSelect: return "Select";
+    case PlanKind::kOrderBy: return "OrderBy";
+    case PlanKind::kMapToItem: return "MapToItem";
+    case PlanKind::kHashJoin: return "HashJoin";
+    case PlanKind::kHashGroupJoin: return "HashGroupJoin";
+  }
+  return "Unknown";
+}
+
+std::string Plan::DebugString(int indent) const {
+  std::ostringstream out;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out << pad << PlanKindToString(kind);
+  if (!field.empty()) out << '[' << field << ']';
+  switch (kind) {
+    case PlanKind::kMapConcat:
+    case PlanKind::kLet:
+    case PlanKind::kSelect:
+    case PlanKind::kMapToItem:
+      if (expr != nullptr) out << " { " << expr->DebugString() << " }";
+      break;
+    case PlanKind::kHashJoin:
+    case PlanKind::kHashGroupJoin:
+      out << " on { " << left_key->DebugString() << " = "
+          << right_key->DebugString() << " }";
+      if (inner_ret != nullptr) {
+        out << " ret { " << inner_ret->DebugString() << " }";
+      }
+      break;
+    default:
+      break;
+  }
+  out << '\n';
+  if (input) out << input->DebugString(indent + 1);
+  if (right) out << right->DebugString(indent + 1);
+  return out.str();
+}
+
+}  // namespace xqb

@@ -1,0 +1,80 @@
+#ifndef XQB_ALGEBRA_PLAN_H_
+#define XQB_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Operators of the nested-relational tuple algebra (the Section 4
+/// substrate, a simplified version of the Galax algebra [21] whose plan
+/// syntax the paper quotes: MapFromItem, GroupBy, LeftOuterJoin, ...).
+/// Plans operate on streams of tuples (field -> XDM sequence) and bottom
+/// out in embedded XQuery! expressions evaluated by the interpreter.
+enum class PlanKind : uint8_t {
+  /// Emits exactly one empty tuple.
+  kSingleton,
+  /// For each input tuple, evaluates `expr` and emits one extended tuple
+  /// per item (field = item, pos_field = 1-based index when set). The
+  /// compiled form of a `for` clause; "MapConcat" in Galax terms.
+  kMapConcat,
+  /// Extends each input tuple with field = full value of `expr`.
+  kLet,
+  /// Keeps tuples whose predicate `expr` has a true effective boolean
+  /// value.
+  kSelect,
+  /// Sorts the tuple stream by order-by specs borrowed from a FLWOR.
+  kOrderBy,
+  /// Root operator: concatenates eval(expr) over all tuples, producing
+  /// the item sequence of the query ("MapFromItem" in the paper's plan).
+  kMapToItem,
+  /// Hash equi-join (general '=' semantics on atomized keys): emits
+  /// left-tuple ++ right-tuple for each matching pair. `expr` is unused;
+  /// `left_key`/`right_key` are the key expressions; the right side is
+  /// rescanned from `right`.
+  kHashJoin,
+  /// The fused LeftOuterJoin + GroupBy of the paper's Section 4.3 plan:
+  /// for each left tuple, finds matching right tuples by hash lookup,
+  /// evaluates `inner_ret` once per match (update requests fire exactly
+  /// as often as in the nested plan), concatenates the results and binds
+  /// them to `field`. Unmatched left tuples bind the empty sequence —
+  /// the outer-join behaviour that keeps every $p in the result.
+  kHashGroupJoin,
+};
+
+const char* PlanKindToString(PlanKind kind);
+
+/// One algebra operator. Expression pointers borrow from the compiled
+/// Program, which must outlive the plan.
+struct Plan {
+  PlanKind kind;
+  std::unique_ptr<Plan> input;   // upstream tuple source
+  std::unique_ptr<Plan> right;   // kHashJoin/kHashGroupJoin build side
+  const Expr* expr = nullptr;    // operator expression (see PlanKind)
+  std::string field;             // bound field (kMapConcat/kLet/joins)
+  std::string pos_field;         // positional field (kMapConcat)
+  const Expr* left_key = nullptr;
+  const Expr* right_key = nullptr;
+  const Expr* inner_ret = nullptr;  // kHashGroupJoin per-match expression
+  const FlworClause* order_clause = nullptr;  // kOrderBy
+
+  /// Fields visible in this operator's output (for rewrite analysis).
+  std::vector<std::string> fields;
+
+  explicit Plan(PlanKind k) : kind(k) {}
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Indented operator-tree rendering, used by plan-shape tests (E6) and
+  /// Engine::last_plan().
+  std::string DebugString(int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<Plan>;
+
+}  // namespace xqb
+
+#endif  // XQB_ALGEBRA_PLAN_H_

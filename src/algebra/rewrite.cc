@@ -1,0 +1,194 @@
+#include "algebra/rewrite.h"
+
+#include <algorithm>
+
+#include "algebra/compile.h"
+
+namespace xqb {
+
+namespace {
+
+/// True if no free variable of `expr` is among `fields`.
+bool IndependentOf(const Expr& expr,
+                   const std::vector<std::string>& fields) {
+  std::set<std::string> free = FreeVariables(expr);
+  for (const std::string& field : fields) {
+    if (free.count(field)) return false;
+  }
+  return true;
+}
+
+/// Splits an equality predicate `K1 = K2` into (outer_key, inner_key)
+/// where the inner key references `inner_var` (and no outer field) and
+/// the outer key does not reference `inner_var`. Returns false if the
+/// predicate does not have that shape.
+bool SplitEqualityPredicate(const Expr& pred, const std::string& inner_var,
+                            const std::vector<std::string>& outer_fields,
+                            const Expr** outer_key, const Expr** inner_key) {
+  if (pred.kind != ExprKind::kBinaryOp || pred.op != "=") return false;
+  const Expr* lhs = pred.children[0].get();
+  const Expr* rhs = pred.children[1].get();
+  auto uses = [](const Expr& e, const std::string& var) {
+    return FreeVariables(e).count(var) > 0;
+  };
+  for (int flip = 0; flip < 2; ++flip) {
+    const Expr* a = flip ? rhs : lhs;  // candidate inner key
+    const Expr* b = flip ? lhs : rhs;  // candidate outer key
+    if (uses(*a, inner_var) && !uses(*b, inner_var) &&
+        IndependentOf(*a, outer_fields)) {
+      *inner_key = a;
+      *outer_key = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// RW1: rewrites Let[a]{ for $t in E2 (where P)? return R } into a
+/// HashGroupJoin when the guards hold. `plan` is the Let node.
+bool TryGroupJoin(PlanPtr* plan, const PurityAnalysis& purity) {
+  Plan& let = **plan;
+  if (let.kind != PlanKind::kLet) return false;
+  const Expr& sub = *let.expr;
+  if (sub.kind != ExprKind::kFlwor) return false;
+  // Exactly: one for clause (no position var), one where clause.
+  if (sub.clauses.size() != 2) return false;
+  const FlworClause& for_clause = sub.clauses[0];
+  const FlworClause& where_clause = sub.clauses[1];
+  if (for_clause.kind != FlworClause::Kind::kFor ||
+      !for_clause.pos_var.empty() ||
+      where_clause.kind != FlworClause::Kind::kWhere) {
+    return false;
+  }
+  const std::vector<std::string>& outer_fields = let.input->fields;
+  const Expr& inner_src = *for_clause.expr;
+  // Independence guard: the build side must not depend on outer fields.
+  if (!IndependentOf(inner_src, outer_fields)) return false;
+  // Purity guards. No snap anywhere in the nested FLWOR (independence of
+  // effects); the build side and keys must also be update-free
+  // (cardinality: they run once instead of once per outer row).
+  PurityInfo whole = purity.Analyze(sub);
+  if (whole.has_snap) return false;
+  if (!purity.Analyze(inner_src).pure()) return false;
+  const Expr* outer_key = nullptr;
+  const Expr* inner_key = nullptr;
+  if (!SplitEqualityPredicate(*where_clause.expr, for_clause.var,
+                              outer_fields, &outer_key, &inner_key)) {
+    return false;
+  }
+  if (!purity.Analyze(*outer_key).pure() ||
+      !purity.Analyze(*inner_key).pure()) {
+    return false;
+  }
+
+  PlanPtr scan = std::make_unique<Plan>(PlanKind::kMapConcat);
+  scan->expr = &inner_src;
+  scan->field = for_clause.var;
+  scan->fields = {for_clause.var};
+  scan->input = std::make_unique<Plan>(PlanKind::kSingleton);
+
+  PlanPtr join = std::make_unique<Plan>(PlanKind::kHashGroupJoin);
+  join->field = let.field;
+  join->left_key = outer_key;
+  join->right_key = inner_key;
+  join->inner_ret = sub.children[0].get();
+  join->fields = let.fields;
+  join->input = std::move(let.input);
+  join->right = std::move(scan);
+  *plan = std::move(join);
+  return true;
+}
+
+/// RW2: rewrites Select{K1=K2}(MapConcat[t]{E2}(outer)) into a HashJoin
+/// when the guards hold. `plan` is the Select node.
+bool TryHashJoin(PlanPtr* plan, const PurityAnalysis& purity) {
+  Plan& select = **plan;
+  if (select.kind != PlanKind::kSelect) return false;
+  if (!select.input || select.input->kind != PlanKind::kMapConcat) {
+    return false;
+  }
+  Plan& inner_map = *select.input;
+  if (!inner_map.pos_field.empty()) return false;
+  if (!inner_map.input) return false;
+  const std::vector<std::string>& outer_fields = inner_map.input->fields;
+  if (outer_fields.empty()) return false;  // No join partner.
+  const Expr& inner_src = *inner_map.expr;
+  if (!IndependentOf(inner_src, outer_fields)) return false;
+  if (!purity.Analyze(inner_src).pure()) return false;
+  const Expr* outer_key = nullptr;
+  const Expr* inner_key = nullptr;
+  if (!SplitEqualityPredicate(*select.expr, inner_map.field, outer_fields,
+                              &outer_key, &inner_key)) {
+    return false;
+  }
+  if (!purity.Analyze(*outer_key).pure() ||
+      !purity.Analyze(*inner_key).pure()) {
+    return false;
+  }
+
+  PlanPtr scan = std::make_unique<Plan>(PlanKind::kMapConcat);
+  scan->expr = &inner_src;
+  scan->field = inner_map.field;
+  scan->fields = {inner_map.field};
+  scan->input = std::make_unique<Plan>(PlanKind::kSingleton);
+
+  PlanPtr join = std::make_unique<Plan>(PlanKind::kHashJoin);
+  join->field = inner_map.field;
+  join->left_key = outer_key;
+  join->right_key = inner_key;
+  join->fields = select.fields;
+  join->input = std::move(inner_map.input);
+  join->right = std::move(scan);
+  *plan = std::move(join);
+  return true;
+}
+
+/// RW3: sinks Select below a MapConcat whose variable the predicate
+/// does not use. `plan` is the Select node.
+bool TrySelectPushdown(PlanPtr* plan, const PurityAnalysis& purity) {
+  Plan& select = **plan;
+  if (select.kind != PlanKind::kSelect) return false;
+  if (!select.input || select.input->kind != PlanKind::kMapConcat) {
+    return false;
+  }
+  Plan& map = *select.input;
+  std::vector<std::string> bound = {map.field};
+  if (!map.pos_field.empty()) bound.push_back(map.pos_field);
+  if (!IndependentOf(*select.expr, bound)) return false;
+  if (!purity.Analyze(*select.expr).pure()) return false;
+  if (!purity.Analyze(*map.expr).pure()) return false;
+  // Rotate: Select(Map(X)) -> Map(Select(X)).
+  PlanPtr map_owned = std::move(select.input);
+  select.input = std::move(map_owned->input);
+  select.fields = select.input->fields;
+  map_owned->input = std::move(*plan);
+  *plan = std::move(map_owned);
+  return true;
+}
+
+void OptimizeRec(PlanPtr* plan, const PurityAnalysis& purity,
+                 const RewriteOptions& options, RewriteStats* stats) {
+  if (!*plan) return;
+  if (options.group_join && TryGroupJoin(plan, purity)) {
+    ++stats->group_joins;
+  }
+  if (options.hash_join && TryHashJoin(plan, purity)) {
+    ++stats->hash_joins;
+  }
+  if (options.select_pushdown) {
+    while (TrySelectPushdown(plan, purity)) ++stats->selects_pushed;
+  }
+  OptimizeRec(&(*plan)->input, purity, options, stats);
+  OptimizeRec(&(*plan)->right, purity, options, stats);
+}
+
+}  // namespace
+
+RewriteStats OptimizePlan(PlanPtr* plan, const PurityAnalysis& purity,
+                          const RewriteOptions& options) {
+  RewriteStats stats;
+  OptimizeRec(plan, purity, options, &stats);
+  return stats;
+}
+
+}  // namespace xqb

@@ -1,0 +1,66 @@
+#ifndef XQB_ALGEBRA_REWRITE_H_
+#define XQB_ALGEBRA_REWRITE_H_
+
+#include "algebra/plan.h"
+#include "core/purity.h"
+
+namespace xqb {
+
+/// Statistics about which rules fired (observability for tests/benches).
+struct RewriteStats {
+  int group_joins = 0;
+  int hash_joins = 0;
+  int selects_pushed = 0;
+};
+
+/// Per-rule enable switches (ablation studies disable rules one at a
+/// time; everything on by default).
+struct RewriteOptions {
+  bool group_join = true;
+  bool hash_join = true;
+  bool select_pushdown = true;
+};
+
+/// Rule-based logical optimization (Section 4.3). Every rule is guarded
+/// by the purity preconditions the paper spells out:
+///
+///  * cardinality guard — an expression whose evaluation count the
+///    rewrite changes (a join build side evaluated once instead of once
+///    per outer row, a predicate evaluated once per hash probe) must be
+///    update-free: "if the inner branch of the join does have update
+///    operations, they would be applied once for each element of the
+///    outer loop";
+///  * independence guard — no rewritten part may observe effects of
+///    another part, which is guaranteed when no involved expression
+///    contains a snap ("this is not necessary when the query is guarded
+///    by an innermost snap ... in this case, all the rewritings
+///    immediately apply").
+///
+/// Rules:
+///  RW1 group-join unnesting (the paper's Section 4.3 example):
+///        MapConcat[p]{E1} .. Let[a]{ for $t in E2 where K_p = K_t
+///                                    return R }
+///      => HashGroupJoin[a](outer, Scan[t]{E2}) on K_p = K_t ret R
+///      Guards: E2, K_p, K_t pure; no snap anywhere in the let
+///      expression; E2 independent of all outer fields. R may contain
+///      update operators — it still runs exactly once per join match.
+///  RW2 join detection:
+///        Select{K1 = K2}(MapConcat[t]{E2}(MapConcat[p]{E1}(X)))
+///      => HashJoin(MapConcat[p]{E1}(X), MapConcat[t]{E2}(Singleton))
+///      Guards: E2, keys pure and snap-free; E2 independent of the
+///      outer fields.
+///  RW3 selection pushdown:
+///        Select{P}(MapConcat[v]{E}(X)) => MapConcat[v]{E}(Select{P}(X))
+///      when P does not reference v. Guards: P pure (it now runs once
+///      per X-row instead of once per expansion) and E pure (it now
+///      runs for fewer rows). Applied repeatedly, predicates sink below
+///      every loop that does not bind their variables.
+///
+/// Returns how many times each rule fired; the plan is rewritten in
+/// place.
+RewriteStats OptimizePlan(PlanPtr* plan, const PurityAnalysis& purity,
+                          const RewriteOptions& options = {});
+
+}  // namespace xqb
+
+#endif  // XQB_ALGEBRA_REWRITE_H_

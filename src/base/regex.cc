@@ -1,0 +1,593 @@
+#include "base/regex.h"
+
+#include <cctype>
+
+namespace xqb {
+
+namespace regex_internal {
+
+/// Pattern AST. A backtracking interpreter walks this tree.
+struct Node {
+  enum class Kind : uint8_t {
+    kLiteral,     // one byte (case folded when icase)
+    kAnyChar,     // .
+    kClass,       // [...] — 256-bit membership set, possibly negated
+    kAnchorBegin, // ^
+    kAnchorEnd,   // $
+    kConcat,      // children in sequence
+    kAlternate,   // children as alternatives
+    kRepeat,      // children[0] repeated min..max (max<0 => unbounded)
+    kGroup,       // children[0]; capture index in `index` (-1 => (?:))
+  };
+  Kind kind;
+  char literal = 0;
+  bool class_bits[256] = {false};
+  bool negated = false;
+  int min = 0;
+  int max = -1;
+  int index = -1;
+  std::vector<std::unique_ptr<Node>> children;
+
+  explicit Node(Kind k) : kind(k) {}
+};
+
+}  // namespace regex_internal
+
+namespace {
+
+using regex_internal::Node;
+using NodePtr = std::unique_ptr<Node>;
+
+Status SyntaxError(const std::string& what) {
+  return Status::DynamicError("err:FORX0002: invalid regex: " + what);
+}
+
+/// Recursive-descent pattern parser.
+class PatternParser {
+ public:
+  PatternParser(std::string_view pattern, bool icase, bool extended)
+      : pattern_(pattern), icase_(icase), extended_(extended) {}
+
+  Result<NodePtr> Parse(int* capture_count) {
+    XQB_ASSIGN_OR_RETURN(NodePtr root, ParseAlternation());
+    if (!AtEnd()) return SyntaxError("unbalanced ')'");
+    *capture_count = next_capture_;
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+  char Take() { return pattern_[pos_++]; }
+
+  void SkipExtendedWhitespace() {
+    if (!extended_) return;
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  Result<NodePtr> ParseAlternation() {
+    NodePtr alt = std::make_unique<Node>(Node::Kind::kAlternate);
+    XQB_ASSIGN_OR_RETURN(NodePtr first, ParseConcat());
+    alt->children.push_back(std::move(first));
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      XQB_ASSIGN_OR_RETURN(NodePtr next, ParseConcat());
+      alt->children.push_back(std::move(next));
+    }
+    if (alt->children.size() == 1) return std::move(alt->children[0]);
+    return alt;
+  }
+
+  Result<NodePtr> ParseConcat() {
+    NodePtr concat = std::make_unique<Node>(Node::Kind::kConcat);
+    for (;;) {
+      SkipExtendedWhitespace();
+      if (AtEnd() || Peek() == '|' || Peek() == ')') break;
+      XQB_ASSIGN_OR_RETURN(NodePtr atom, ParseAtom());
+      XQB_ASSIGN_OR_RETURN(atom, ParseQuantifier(std::move(atom)));
+      concat->children.push_back(std::move(atom));
+    }
+    return concat;
+  }
+
+  Result<NodePtr> ParseQuantifier(NodePtr atom) {
+    if (AtEnd()) return atom;
+    char c = Peek();
+    int min = 0;
+    int max = -1;
+    if (c == '*') {
+      Take();
+    } else if (c == '+') {
+      Take();
+      min = 1;
+    } else if (c == '?') {
+      Take();
+      max = 1;
+    } else if (c == '{') {
+      size_t save = pos_;
+      Take();
+      std::string digits;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Take());
+      }
+      if (digits.empty()) {
+        pos_ = save;  // A literal '{'.
+        return atom;
+      }
+      min = std::atoi(digits.c_str());
+      max = min;
+      if (!AtEnd() && Peek() == ',') {
+        Take();
+        std::string upper;
+        while (!AtEnd() &&
+               std::isdigit(static_cast<unsigned char>(Peek()))) {
+          upper.push_back(Take());
+        }
+        max = upper.empty() ? -1 : std::atoi(upper.c_str());
+      }
+      if (AtEnd() || Take() != '}') {
+        return SyntaxError("unterminated {n,m} quantifier");
+      }
+      if (max >= 0 && max < min) {
+        return SyntaxError("{n,m} with m < n");
+      }
+    } else {
+      return atom;
+    }
+    NodePtr repeat = std::make_unique<Node>(Node::Kind::kRepeat);
+    repeat->min = min;
+    repeat->max = max;
+    repeat->children.push_back(std::move(atom));
+    return repeat;
+  }
+
+  NodePtr MakeLiteral(char c) {
+    NodePtr node = std::make_unique<Node>(Node::Kind::kLiteral);
+    node->literal = icase_
+                        ? static_cast<char>(std::tolower(
+                              static_cast<unsigned char>(c)))
+                        : c;
+    return node;
+  }
+
+  void AddClassChar(Node* node, unsigned char c) {
+    node->class_bits[c] = true;
+    if (icase_) {
+      node->class_bits[std::tolower(c)] = true;
+      node->class_bits[std::toupper(c)] = true;
+    }
+  }
+
+  void AddClassEscape(Node* node, char escape) {
+    switch (escape) {
+      case 'd':
+        for (int c = '0'; c <= '9'; ++c) node->class_bits[c] = true;
+        break;
+      case 'w':
+        for (int c = 0; c < 256; ++c) {
+          if (std::isalnum(c) || c == '_') node->class_bits[c] = true;
+        }
+        break;
+      case 's':
+        for (char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          node->class_bits[static_cast<unsigned char>(c)] = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// \d \w \s as standalone atoms (and their negations).
+  NodePtr MakeClassFromEscape(char escape) {
+    NodePtr node = std::make_unique<Node>(Node::Kind::kClass);
+    char lower = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(escape)));
+    AddClassEscape(node.get(), lower);
+    node->negated = std::isupper(static_cast<unsigned char>(escape));
+    return node;
+  }
+
+  Result<NodePtr> ParseEscape() {
+    if (AtEnd()) return SyntaxError("dangling '\\'");
+    char c = Take();
+    switch (c) {
+      case 'n': return MakeLiteral('\n');
+      case 't': return MakeLiteral('\t');
+      case 'r': return MakeLiteral('\r');
+      case 'd': case 'D': case 'w': case 'W': case 's': case 'S':
+        return MakeClassFromEscape(c);
+      default:
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+          return SyntaxError(std::string("unknown escape \\") + c);
+        }
+        return MakeLiteral(c);  // Escaped metacharacter.
+    }
+  }
+
+  Result<NodePtr> ParseClass() {
+    NodePtr node = std::make_unique<Node>(Node::Kind::kClass);
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      node->negated = true;
+    }
+    bool first = true;
+    for (;;) {
+      if (AtEnd()) return SyntaxError("unterminated character class");
+      char c = Take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (AtEnd()) return SyntaxError("dangling '\\' in class");
+        char e = Take();
+        switch (e) {
+          case 'n': AddClassChar(node.get(), '\n'); break;
+          case 't': AddClassChar(node.get(), '\t'); break;
+          case 'r': AddClassChar(node.get(), '\r'); break;
+          case 'd': case 'w': case 's':
+            AddClassEscape(node.get(), e);
+            break;
+          default:
+            AddClassChar(node.get(), static_cast<unsigned char>(e));
+        }
+        continue;
+      }
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        Take();  // '-'
+        char hi = Take();
+        if (hi == '\\') {
+          if (AtEnd()) return SyntaxError("dangling '\\' in class");
+          hi = Take();
+        }
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          return SyntaxError("inverted range in character class");
+        }
+        for (int v = static_cast<unsigned char>(c);
+             v <= static_cast<unsigned char>(hi); ++v) {
+          AddClassChar(node.get(), static_cast<unsigned char>(v));
+        }
+        continue;
+      }
+      AddClassChar(node.get(), static_cast<unsigned char>(c));
+    }
+    return node;
+  }
+
+  Result<NodePtr> ParseAtom() {
+    char c = Take();
+    switch (c) {
+      case '(': {
+        int index = -1;
+        if (!AtEnd() && Peek() == '?') {
+          Take();
+          if (AtEnd() || Take() != ':') {
+            return SyntaxError("unsupported (?...) group");
+          }
+        } else {
+          index = next_capture_++;
+        }
+        XQB_ASSIGN_OR_RETURN(NodePtr inner, ParseAlternation());
+        if (AtEnd() || Take() != ')') {
+          return SyntaxError("unbalanced '('");
+        }
+        NodePtr group = std::make_unique<Node>(Node::Kind::kGroup);
+        group->index = index;
+        group->children.push_back(std::move(inner));
+        return group;
+      }
+      case '[':
+        return ParseClass();
+      case '.':
+        return std::make_unique<Node>(Node::Kind::kAnyChar);
+      case '^':
+        return std::make_unique<Node>(Node::Kind::kAnchorBegin);
+      case '$':
+        return std::make_unique<Node>(Node::Kind::kAnchorEnd);
+      case '\\':
+        return ParseEscape();
+      case '*': case '+': case '?':
+        return SyntaxError(std::string("quantifier '") + c +
+                           "' with nothing to repeat");
+      case ')':
+        return SyntaxError("unbalanced ')'");
+      default:
+        return MakeLiteral(c);
+    }
+  }
+
+  std::string_view pattern_;
+  bool icase_;
+  bool extended_;
+  size_t pos_ = 0;
+  int next_capture_ = 0;
+};
+
+/// Backtracking matcher: Match(node-list, position, continuation).
+/// Continuations are type-erased (function_ref style) — a templated
+/// continuation parameter would make the mutually recursive helpers
+/// instantiate an unbounded chain of distinct lambda types.
+class Matcher {
+ public:
+  /// A non-owning callable view over bool(size_t).
+  class Cont {
+   public:
+    template <typename F>
+    Cont(const F& f)  // NOLINT(runtime/explicit)
+        : obj_(&f), call_([](const void* o, size_t pos) {
+            return (*static_cast<const F*>(o))(pos);
+          }) {}
+    bool operator()(size_t pos) const { return call_(obj_, pos); }
+
+   private:
+    const void* obj_;
+    bool (*call_)(const void*, size_t);
+  };
+
+  Matcher(std::string_view text, bool icase, bool dotall, bool multiline,
+          std::vector<std::pair<int, int>>* captures)
+      : text_(text), icase_(icase), dotall_(dotall),
+        multiline_(multiline), captures_(captures) {}
+
+  /// True if the step budget ran out during matching (pathological
+  /// backtracking, e.g. `(a+)+b`); the caller reports err:FORX0002-
+  /// style resource exhaustion instead of hanging.
+  bool budget_exhausted() const { return steps_ >= kStepBudget; }
+
+  /// Matches `node` starting at `pos`; calls `next(end)` for each way
+  /// it can succeed; returns true when the continuation succeeds.
+  bool Match(const Node* node, size_t pos, Cont next) {
+    if (++steps_ >= kStepBudget) return false;
+    switch (node->kind) {
+      case Node::Kind::kLiteral: {
+        if (pos >= text_.size()) return false;
+        char c = text_[pos];
+        if (icase_) {
+          c = static_cast<char>(std::tolower(
+              static_cast<unsigned char>(c)));
+        }
+        return c == node->literal && next(pos + 1);
+      }
+      case Node::Kind::kAnyChar:
+        if (pos >= text_.size()) return false;
+        if (!dotall_ && text_[pos] == '\n') return false;
+        return next(pos + 1);
+      case Node::Kind::kClass: {
+        if (pos >= text_.size()) return false;
+        bool in = node->class_bits[static_cast<unsigned char>(text_[pos])];
+        return in != node->negated && next(pos + 1);
+      }
+      case Node::Kind::kAnchorBegin:
+        if (pos == 0 || (multiline_ && text_[pos - 1] == '\n')) {
+          return next(pos);
+        }
+        return false;
+      case Node::Kind::kAnchorEnd:
+        if (pos == text_.size() || (multiline_ && text_[pos] == '\n')) {
+          return next(pos);
+        }
+        return false;
+      case Node::Kind::kConcat:
+        return MatchSeq(node->children, 0, pos, next);
+      case Node::Kind::kAlternate:
+        for (const NodePtr& child : node->children) {
+          if (Match(child.get(), pos, next)) return true;
+        }
+        return false;
+      case Node::Kind::kRepeat:
+        return MatchRepeat(node, 0, pos, next);
+      case Node::Kind::kGroup: {
+        if (node->index < 0) {
+          return Match(node->children[0].get(), pos, next);
+        }
+        auto saved = (*captures_)[static_cast<size_t>(node->index)];
+        auto record = [&](size_t end) {
+          (*captures_)[static_cast<size_t>(node->index)] = {
+              static_cast<int>(pos), static_cast<int>(end)};
+          return next(end);
+        };
+        bool ok = Match(node->children[0].get(), pos, Cont(record));
+        if (!ok) (*captures_)[static_cast<size_t>(node->index)] = saved;
+        return ok;
+      }
+    }
+    return false;
+  }
+
+ private:
+  bool MatchSeq(const std::vector<NodePtr>& nodes, size_t index, size_t pos,
+                Cont next) {
+    if (index == nodes.size()) return next(pos);
+    auto rest = [&, index](size_t end) {
+      return MatchSeq(nodes, index + 1, end, next);
+    };
+    return Match(nodes[index].get(), pos, Cont(rest));
+  }
+
+  bool MatchRepeat(const Node* node, int done, size_t pos, Cont next) {
+    const Node* body = node->children[0].get();
+    // Greedy: try one more repetition first (guarding against
+    // zero-width loops), then fall back to stopping here.
+    if (node->max < 0 || done < node->max) {
+      auto again = [&, done, pos](size_t end) {
+        if (end == pos && done >= node->min) {
+          return false;  // Zero-width iteration: stop expanding.
+        }
+        return MatchRepeat(node, done + 1, end, next);
+      };
+      if (Match(body, pos, Cont(again))) return true;
+    }
+    if (done >= node->min) return next(pos);
+    return false;
+  }
+
+  static constexpr int64_t kStepBudget = 2'000'000;
+
+  std::string_view text_;
+  bool icase_;
+  bool dotall_;
+  bool multiline_;
+  std::vector<std::pair<int, int>>* captures_;
+  int64_t steps_ = 0;
+};
+
+}  // namespace
+
+Regex::~Regex() = default;
+Regex::Regex(Regex&&) noexcept = default;
+Regex& Regex::operator=(Regex&&) noexcept = default;
+
+Result<Regex> Regex::Compile(std::string_view pattern,
+                             std::string_view flags) {
+  Regex regex;
+  bool extended = false;
+  for (char f : flags) {
+    switch (f) {
+      case 'i': regex.icase_ = true; break;
+      case 's': regex.dotall_ = true; break;
+      case 'm': regex.multiline_ = true; break;
+      case 'x': extended = true; break;
+      default:
+        return Status::DynamicError(
+            std::string("err:FORX0001: unknown regex flag '") + f + "'");
+    }
+  }
+  PatternParser parser(pattern, regex.icase_, extended);
+  XQB_ASSIGN_OR_RETURN(regex.root_, parser.Parse(&regex.capture_count_));
+  return regex;
+}
+
+bool Regex::MatchAt(std::string_view text, size_t pos, size_t* end,
+                    std::vector<std::pair<int, int>>* captures,
+                    bool* exhausted) const {
+  captures->assign(static_cast<size_t>(capture_count_), {-1, -1});
+  Matcher matcher(text, icase_, dotall_, multiline_, captures);
+  bool found = false;
+  matcher.Match(root_.get(), pos, [&](size_t e) {
+    *end = e;
+    found = true;
+    return true;
+  });
+  if (matcher.budget_exhausted()) *exhausted = true;
+  return found;
+}
+
+bool Regex::Search(std::string_view text, size_t from, size_t* start,
+                   size_t* end,
+                   std::vector<std::pair<int, int>>* captures,
+                   bool* exhausted) const {
+  for (size_t pos = from; pos <= text.size(); ++pos) {
+    if (MatchAt(text, pos, end, captures, exhausted)) {
+      *start = pos;
+      return true;
+    }
+    if (*exhausted) return false;
+  }
+  return false;
+}
+
+Result<bool> Regex::Matches(std::string_view text) const {
+  size_t start, end;
+  std::vector<std::pair<int, int>> captures;
+  bool exhausted = false;
+  bool found = Search(text, 0, &start, &end, &captures, &exhausted);
+  if (!found && exhausted) {
+    return Status::DynamicError(
+        "err:FORX0002: regex backtracking budget exhausted "
+        "(pathological pattern?)");
+  }
+  return found;
+}
+
+Result<std::string> Regex::Replace(std::string_view text,
+                                   std::string_view replacement) const {
+  // Validate the replacement string once.
+  for (size_t i = 0; i < replacement.size(); ++i) {
+    if (replacement[i] == '\\') {
+      if (i + 1 >= replacement.size() ||
+          (replacement[i + 1] != '\\' && replacement[i + 1] != '$')) {
+        return Status::DynamicError(
+            "err:FORX0004: invalid '\\' in replacement");
+      }
+      ++i;
+    } else if (replacement[i] == '$') {
+      if (i + 1 >= replacement.size() ||
+          !std::isdigit(static_cast<unsigned char>(replacement[i + 1]))) {
+        return Status::DynamicError(
+            "err:FORX0004: '$' must be followed by a digit");
+      }
+    }
+  }
+  std::string out;
+  size_t pos = 0;
+  std::vector<std::pair<int, int>> captures;
+  bool exhausted = false;
+  while (pos <= text.size()) {
+    size_t start, end;
+    if (!Search(text, pos, &start, &end, &captures, &exhausted)) {
+      if (exhausted) {
+        return Status::DynamicError(
+            "err:FORX0002: regex backtracking budget exhausted");
+      }
+      break;
+    }
+    if (end == start) {
+      return Status::DynamicError(
+          "err:FORX0003: regex matches the empty string");
+    }
+    out.append(text.substr(pos, start - pos));
+    for (size_t i = 0; i < replacement.size(); ++i) {
+      char c = replacement[i];
+      if (c == '\\') {
+        out.push_back(replacement[++i]);
+      } else if (c == '$') {
+        int group = replacement[++i] - '0';
+        if (group == 0) {
+          out.append(text.substr(start, end - start));
+        } else if (group <= capture_count_) {
+          auto [cs, ce] = captures[static_cast<size_t>(group - 1)];
+          if (cs >= 0) {
+            out.append(text.substr(static_cast<size_t>(cs),
+                                   static_cast<size_t>(ce - cs)));
+          }
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    pos = end;
+  }
+  out.append(text.substr(pos));
+  return out;
+}
+
+Result<std::vector<std::string>> Regex::Tokenize(
+    std::string_view text) const {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  std::vector<std::pair<int, int>> captures;
+  bool exhausted = false;
+  while (pos <= text.size()) {
+    size_t start, end;
+    if (!Search(text, pos, &start, &end, &captures, &exhausted)) {
+      if (exhausted) {
+        return Status::DynamicError(
+            "err:FORX0002: regex backtracking budget exhausted");
+      }
+      break;
+    }
+    if (end == start) {
+      return Status::DynamicError(
+          "err:FORX0003: regex matches the empty string");
+    }
+    tokens.emplace_back(text.substr(pos, start - pos));
+    pos = end;
+  }
+  tokens.emplace_back(text.substr(pos));
+  return tokens;
+}
+
+}  // namespace xqb

@@ -1,0 +1,92 @@
+#ifndef XQB_BASE_REGEX_H_
+#define XQB_BASE_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace xqb {
+
+namespace regex_internal {
+struct Node;
+}
+
+/// A small backtracking regular-expression engine implementing the
+/// subset of XML Schema / XPath F&O regexes the fn:matches, fn:replace
+/// and fn:tokenize builtins need:
+///
+///   literals, `.`; escapes \\ \. \n \t \r and class escapes
+///   \d \D \w \W \s \S; character classes [abc], [a-z0-9], [^...];
+///   anchors ^ $; greedy quantifiers * + ? {n} {n,} {n,m};
+///   alternation |; capturing groups ( ) and non-capturing (?:...).
+///
+/// Flags (the $flags argument of the F&O functions):
+///   i  case-insensitive (ASCII)
+///   s  dot-all: `.` also matches newline
+///   m  multiline: ^/$ match at line boundaries
+///   x  ignore unescaped whitespace in the pattern
+///
+/// Matching operates on bytes; multi-byte UTF-8 sequences match as
+/// literal byte strings (no Unicode character classes).
+class Regex {
+ public:
+  /// Compiles `pattern`; fails with kDynamicError (err:FORX0002) on
+  /// syntax errors and unknown flags (err:FORX0001).
+  static Result<Regex> Compile(std::string_view pattern,
+                               std::string_view flags = "");
+
+  // Defined out of line: they delete/move the pattern tree, which is an
+  // incomplete type here.
+  Regex(Regex&&) noexcept;
+  Regex& operator=(Regex&&) noexcept;
+  ~Regex();
+
+  /// fn:matches semantics: true if the pattern matches a substring.
+  /// Fails (err:FORX0002 resource exhaustion) when a pathological
+  /// pattern exceeds the backtracking step budget.
+  Result<bool> Matches(std::string_view text) const;
+
+  /// fn:replace semantics: every non-overlapping match replaced by
+  /// `replacement`, where $0..$9 substitute captures and \$ / \\ are
+  /// escapes. Fails (err:FORX0003) if the pattern matches the empty
+  /// string, and (err:FORX0004) on an invalid replacement string.
+  Result<std::string> Replace(std::string_view text,
+                              std::string_view replacement) const;
+
+  /// fn:tokenize semantics: splits `text` around matches; adjacent
+  /// matches produce empty tokens; a leading match produces a leading
+  /// empty token. Fails (err:FORX0003) if the pattern matches the empty
+  /// string.
+  Result<std::vector<std::string>> Tokenize(std::string_view text) const;
+
+  int capture_count() const { return capture_count_; }
+
+ private:
+  Regex() = default;
+
+  /// Attempts a match starting exactly at `pos`; on success returns the
+  /// end offset and fills `captures` ((start,end) per group, -1 if
+  /// unset). Sets `*exhausted` when the step budget ran out.
+  bool MatchAt(std::string_view text, size_t pos, size_t* end,
+               std::vector<std::pair<int, int>>* captures,
+               bool* exhausted) const;
+
+  /// Finds the leftmost match at or after `from`.
+  bool Search(std::string_view text, size_t from, size_t* start,
+              size_t* end, std::vector<std::pair<int, int>>* captures,
+              bool* exhausted) const;
+
+  std::unique_ptr<regex_internal::Node> root_;
+  int capture_count_ = 0;
+  bool icase_ = false;
+  bool dotall_ = false;
+  bool multiline_ = false;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_REGEX_H_

@@ -1,0 +1,73 @@
+#ifndef XQB_BASE_RESULT_H_
+#define XQB_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace xqb {
+
+/// A value-or-error holder in the style of arrow::Result / absl::StatusOr.
+/// Invariant: exactly one of {value, non-OK status} is present.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the common failure path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating error; otherwise binds the
+/// moved value to `lhs`.
+#define XQB_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  XQB_ASSIGN_OR_RETURN_IMPL(                                \
+      XQB_RESULT_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define XQB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define XQB_RESULT_CONCAT_INNER(a, b) a##b
+#define XQB_RESULT_CONCAT(a, b) XQB_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_RESULT_H_

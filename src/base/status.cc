@@ -1,0 +1,37 @@
+#include "base/status.h"
+
+namespace xqb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kDynamicError:
+      return "DynamicError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kUpdateError:
+      return "UpdateError";
+    case StatusCode::kConflictError:
+      return "ConflictError";
+    case StatusCode::kStaticError:
+      return "StaticError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code());
+  result += ": ";
+  result += message();
+  return result;
+}
+
+}  // namespace xqb

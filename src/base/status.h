@@ -1,0 +1,118 @@
+#ifndef XQB_BASE_STATUS_H_
+#define XQB_BASE_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xqb {
+
+/// Error categories used across the engine. Query-level (XQuery `err:`)
+/// errors carry the W3C-style code in the message; the category tells a
+/// caller how to react (retry, report, abort).
+enum class StatusCode : int8_t {
+  kOk = 0,
+  /// Lexical or syntactic error in an XQuery! program or XML document.
+  kParseError = 1,
+  /// A dynamic error raised during evaluation (XQuery err:XPDY*/err:FORG*).
+  kDynamicError = 2,
+  /// A type mismatch detected at evaluation time (err:XPTY*).
+  kTypeError = 3,
+  /// An update request whose preconditions do not hold (Section 3.2:
+  /// "when the preconditions are not met, the update application is
+  /// undefined" — we surface that as this error).
+  kUpdateError = 4,
+  /// Conflict-detection mode proved the update list is not conflict-free.
+  kConflictError = 5,
+  /// Unknown variable/function or other static reference problem.
+  kStaticError = 6,
+  /// Invalid use of the public API (programmer error on the C++ side).
+  kInvalidArgument = 7,
+  /// Internal invariant violation; indicates a bug in the engine.
+  kInternal = 8,
+};
+
+/// Returns a stable, human-readable name ("ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Cheap to pass around: the OK state
+/// is represented by a null pointer, so success costs one word.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DynamicError(std::string msg) {
+    return Status(StatusCode::kDynamicError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status UpdateError(std::string msg) {
+    return Status(StatusCode::kUpdateError, std::move(msg));
+  }
+  static Status ConflictError(std::string msg) {
+    return Status(StatusCode::kConflictError, std::move(msg));
+  }
+  static Status StaticError(std::string msg) {
+    return Status(StatusCode::kStaticError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define XQB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::xqb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_STATUS_H_

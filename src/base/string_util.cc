@@ -1,0 +1,101 @@
+#include "base/string_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xqb {
+
+namespace {
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+}  // namespace
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view piece) {
+  return s.size() >= piece.size() && s.substr(0, piece.size()) == piece;
+}
+
+bool EndsWith(std::string_view s, std::string_view piece) {
+  return s.size() >= piece.size() &&
+         s.substr(s.size() - piece.size()) == piece;
+}
+
+bool Contains(std::string_view s, std::string_view piece) {
+  return s.find(piece) != std::string_view::npos;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsXmlSpace(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsXmlSpace(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlSpace(c)) return false;
+  }
+  return true;
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  bool in_space = false;
+  for (char c : StripWhitespace(s)) {
+    if (IsXmlSpace(c)) {
+      in_space = true;
+    } else {
+      if (in_space && !out.empty()) out.push_back(' ');
+      in_space = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+  if (d == static_cast<int64_t>(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(d)));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Try shorter representations that still round-trip.
+  for (int prec = 1; prec <= 17; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+    double parsed = 0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == d) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace xqb

@@ -1,0 +1,39 @@
+#ifndef XQB_BASE_STRING_UTIL_H_
+#define XQB_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqb {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// True if `s` starts with / ends with / contains `piece`.
+bool StartsWith(std::string_view s, std::string_view piece);
+bool EndsWith(std::string_view s, std::string_view piece);
+bool Contains(std::string_view s, std::string_view piece);
+
+/// Removes leading and trailing XML whitespace (space, tab, CR, LF).
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` consists entirely of XML whitespace (or is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Collapses internal whitespace runs to single spaces and trims; the
+/// XML attribute-value normalization used by fn:normalize-space.
+std::string NormalizeSpace(std::string_view s);
+
+/// Formats a double the way XQuery serializes xs:double values: integers
+/// print without a fractional part ("3" not "3.0"), otherwise shortest
+/// round-trip form.
+std::string FormatDouble(double d);
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_STRING_UTIL_H_

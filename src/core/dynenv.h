@@ -1,0 +1,70 @@
+#ifndef XQB_CORE_DYNENV_H_
+#define XQB_CORE_DYNENV_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "xdm/item.h"
+
+namespace xqb {
+
+/// The dynamic context `dynEnv` of the semantic judgment
+/// `store0; dynEnv |- Expr => value; Δ; store1` (Section 3.4):
+/// variable bindings plus the focus (context item, position, size).
+///
+/// Bindings form an immutable shared chain, so extending an environment
+/// (dynEnv + x => value) is O(1) and environments can be captured by
+/// FLWOR row materialization without copying sequences.
+class DynEnv {
+ public:
+  DynEnv() = default;
+
+  /// Returns this environment extended with $name := value.
+  DynEnv Bind(const std::string& name, Sequence value) const {
+    DynEnv extended = *this;
+    extended.vars_ = std::make_shared<const Binding>(
+        Binding{name, std::move(value), vars_});
+    return extended;
+  }
+
+  /// Looks up $name; nullptr if unbound in the local chain.
+  const Sequence* Lookup(const std::string& name) const {
+    for (const Binding* b = vars_.get(); b != nullptr; b = b->next.get()) {
+      if (b->name == name) return &b->value;
+    }
+    return nullptr;
+  }
+
+  /// Returns this environment with a new focus.
+  DynEnv WithFocus(Item item, int64_t pos, int64_t size) const {
+    DynEnv extended = *this;
+    extended.context_item_ = std::move(item);
+    extended.has_context_ = true;
+    extended.context_pos_ = pos;
+    extended.context_size_ = size;
+    return extended;
+  }
+
+  bool has_context_item() const { return has_context_; }
+  const Item& context_item() const { return context_item_; }
+  int64_t context_pos() const { return context_pos_; }
+  int64_t context_size() const { return context_size_; }
+
+ private:
+  struct Binding {
+    std::string name;
+    Sequence value;
+    std::shared_ptr<const Binding> next;
+  };
+
+  std::shared_ptr<const Binding> vars_;
+  Item context_item_;
+  bool has_context_ = false;
+  int64_t context_pos_ = 0;
+  int64_t context_size_ = 0;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_DYNENV_H_

@@ -1,0 +1,151 @@
+#include "core/engine.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "algebra/compile.h"
+#include "algebra/exec.h"
+#include "algebra/rewrite.h"
+#include "core/normalize.h"
+#include "core/purity.h"
+#include "core/static_check.h"
+#include "frontend/parser.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+
+Engine::Engine() : store_(std::make_unique<Store>()) {}
+
+Result<NodeId> Engine::LoadDocumentFromString(const std::string& name,
+                                              std::string_view xml) {
+  XQB_ASSIGN_OR_RETURN(NodeId doc, ParseXmlDocument(store_.get(), xml));
+  documents_[name] = doc;
+  return doc;
+}
+
+Result<NodeId> Engine::LoadDocumentFromFile(const std::string& name,
+                                            const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open document file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  XQB_ASSIGN_OR_RETURN(NodeId doc,
+                       LoadDocumentFromString(name, buffer.str()));
+  documents_[path] = doc;
+  return doc;
+}
+
+void Engine::RegisterDocument(const std::string& name, NodeId node) {
+  documents_[name] = node;
+}
+
+void Engine::BindVariable(const std::string& name, Sequence value) {
+  variables_[name] = std::move(value);
+}
+
+void Engine::BindVariable(const std::string& name, NodeId node) {
+  variables_[name] = Sequence{Item::Node(node)};
+}
+
+Result<PreparedQuery> Engine::Prepare(std::string_view query) const {
+  XQB_ASSIGN_OR_RETURN(Program program, ParseProgram(query));
+  NormalizeProgram(&program);
+  // Static reference checking against prolog declarations and the
+  // engine's host bindings.
+  std::set<std::string> engine_variables;
+  for (const auto& [name, value] : variables_) {
+    (void)value;
+    engine_variables.insert(name);
+  }
+  XQB_RETURN_IF_ERROR(StaticCheckProgram(program, engine_variables));
+  PurityAnalysis purity;
+  purity.AnalyzeProgram(&program);
+  XQB_RETURN_IF_ERROR(purity.CheckUpdatingDeclarations(program));
+  PreparedQuery prepared;
+  prepared.program = std::move(program);
+  return prepared;
+}
+
+Result<Sequence> Engine::Execute(std::string_view query,
+                                 const ExecOptions& options) {
+  XQB_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
+  return Run(prepared, options);
+}
+
+Result<Sequence> Engine::Run(const PreparedQuery& prepared,
+                             const ExecOptions& options) {
+  EvaluatorOptions eval_options;
+  eval_options.default_snap_mode = options.default_snap_mode;
+  eval_options.nondet_seed = options.nondet_seed;
+  Evaluator evaluator(store_.get(), &prepared.program, eval_options);
+  for (const auto& [name, doc] : documents_) {
+    evaluator.RegisterDocument(name, doc);
+  }
+  for (const auto& [name, value] : variables_) {
+    evaluator.BindExternalVariable(name, value);
+  }
+  last_used_algebra_ = false;
+  last_plan_.clear();
+
+  Result<Sequence> result = Status::Internal("unset");
+  if (options.optimize) {
+    // Algebraic path: compile the body to a tuple plan when its shape is
+    // supported, optimize under purity guards, execute inside the same
+    // implicit top-level snap discipline as the interpreter.
+    PlanPtr plan = CompileQueryToPlan(*prepared.program.body);
+    if (plan != nullptr) {
+      PurityAnalysis purity;
+      // Program already analyzed at Prepare time; rebuild the table
+      // (cheap) so the optimizer can query function flags.
+      purity.AnalyzeProgram(const_cast<Program*>(&prepared.program));
+      OptimizePlan(&plan, purity, options.rewrites);
+      last_plan_ = "Snap {\n" + plan->DebugString(1) + "}";
+      last_used_algebra_ = true;
+      // Mirror Evaluator::Run: resolve globals, execute, apply the
+      // top-level Δ.
+      auto run_algebra = [&]() -> Result<Sequence> {
+        XQB_RETURN_IF_ERROR(evaluator.PrepareGlobals());
+        DynEnv env;
+        XQB_ASSIGN_OR_RETURN(Sequence value,
+                             ExecutePlan(*plan, &evaluator, env));
+        XQB_RETURN_IF_ERROR(evaluator.ApplyPendingTopLevel());
+        return value;
+      };
+      result = run_algebra();
+    } else {
+      result = evaluator.Run();
+    }
+  } else {
+    result = evaluator.Run();
+  }
+  last_snaps_applied_ = evaluator.snaps_applied();
+  last_updates_applied_ = evaluator.updates_applied();
+  return result;
+}
+
+std::string Engine::Serialize(const Sequence& seq, bool indent) const {
+  SerializeOptions options;
+  options.indent = indent;
+  return SerializeSequence(*store_, seq, options);
+}
+
+size_t Engine::CollectGarbage() {
+  std::vector<NodeId> roots;
+  for (const auto& [name, doc] : documents_) {
+    (void)name;
+    roots.push_back(doc);
+  }
+  for (const auto& [name, value] : variables_) {
+    (void)name;
+    for (const Item& item : value) {
+      if (item.is_node()) roots.push_back(item.node());
+    }
+  }
+  return store_->GarbageCollect(roots);
+}
+
+}  // namespace xqb

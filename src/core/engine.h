@@ -1,0 +1,115 @@
+#ifndef XQB_CORE_ENGINE_H_
+#define XQB_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/rewrite.h"
+#include "base/result.h"
+#include "core/evaluator.h"
+#include "core/update.h"
+#include "frontend/ast.h"
+#include "xdm/item.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// Execution options for Engine::Execute.
+struct ExecOptions {
+  /// Default snap application semantics (Section 3.2).
+  ApplyMode default_snap_mode = ApplyMode::kOrdered;
+  /// Seed for the nondeterministic mode.
+  uint64_t nondet_seed = 0;
+  /// Run queries through the algebraic compiler + optimizer when the
+  /// query shape supports it; falls back to the interpreter otherwise.
+  bool optimize = false;
+  /// Per-rule optimizer switches (ablation).
+  RewriteOptions rewrites;
+};
+
+/// A compiled, normalized, purity-analyzed program ready to execute.
+struct PreparedQuery {
+  Program program;
+};
+
+/// The public entry point of the XQB engine: owns the store, named
+/// documents and external variable bindings, compiles XQuery! programs
+/// and runs them.
+///
+/// Typical use:
+///
+///   xqb::Engine engine;
+///   engine.LoadDocumentFromString("auction", xmark_xml);
+///   auto result = engine.Execute(
+///       "snap insert { <hit/> } into { doc('auction')/site }");
+class Engine {
+ public:
+  Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Store& store() { return *store_; }
+  const Store& store() const { return *store_; }
+
+  /// Parses `xml` and registers the document under `name` for
+  /// fn:doc("name"). Returns the document node.
+  Result<NodeId> LoadDocumentFromString(const std::string& name,
+                                        std::string_view xml);
+
+  /// Reads `path` from disk, parses it, and registers it under `name`
+  /// (and under its path, so fn:doc("<path>") also resolves).
+  Result<NodeId> LoadDocumentFromFile(const std::string& name,
+                                      const std::string& path);
+
+  /// Registers an existing node as document `name`.
+  void RegisterDocument(const std::string& name, NodeId node);
+
+  /// Binds $name for `declare variable $name external;` declarations
+  /// (and as a fallback for otherwise-unbound variables).
+  void BindVariable(const std::string& name, Sequence value);
+  void BindVariable(const std::string& name, NodeId node);
+
+  /// Parses, normalizes and analyzes a program.
+  Result<PreparedQuery> Prepare(std::string_view query) const;
+
+  /// One-shot execute: Prepare + Run.
+  Result<Sequence> Execute(std::string_view query,
+                           const ExecOptions& options = {});
+
+  /// Runs a prepared query. Each run gets a fresh evaluator (globals are
+  /// re-evaluated), but shares the engine's store and documents.
+  Result<Sequence> Run(const PreparedQuery& prepared,
+                       const ExecOptions& options = {});
+
+  /// Serializes a result sequence (nodes as XML, atomics as strings).
+  std::string Serialize(const Sequence& seq, bool indent = false) const;
+
+  /// Reclaims store nodes unreachable from registered documents and
+  /// bound variables (Section 4.1 garbage collection). Returns the
+  /// number of freed node records.
+  size_t CollectGarbage();
+
+  /// Statistics from the most recent Run/Execute.
+  int64_t last_snaps_applied() const { return last_snaps_applied_; }
+  int64_t last_updates_applied() const { return last_updates_applied_; }
+  /// True if the last Run used the algebraic path end-to-end.
+  bool last_used_algebra() const { return last_used_algebra_; }
+  /// Plan description of the last optimized run (empty if interpreted).
+  const std::string& last_plan() const { return last_plan_; }
+
+ private:
+  std::unique_ptr<Store> store_;
+  std::unordered_map<std::string, NodeId> documents_;
+  std::unordered_map<std::string, Sequence> variables_;
+  int64_t last_snaps_applied_ = 0;
+  int64_t last_updates_applied_ = 0;
+  bool last_used_algebra_ = false;
+  std::string last_plan_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_ENGINE_H_

@@ -1,0 +1,1374 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "base/string_util.h"
+#include "core/functions.h"
+
+namespace xqb {
+
+namespace {
+
+Status ErrorAt(const Expr& expr, StatusCode code, const std::string& what) {
+  std::string msg = what;
+  if (expr.line > 0) msg += " (line " + std::to_string(expr.line) + ")";
+  return Status(code, std::move(msg));
+}
+
+bool IsReverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Evaluator::Evaluator(Store* store, const Program* program,
+                     EvaluatorOptions options)
+    : store_(store), program_(program), options_(options) {
+  for (const FunctionDecl& f : program_->functions) {
+    functions_[f.name] = &f;
+  }
+  snap_stack_.emplace_back();  // Base Δ (the implicit top-level snap's).
+}
+
+void Evaluator::RegisterDocument(const std::string& name, NodeId doc) {
+  documents_[name] = doc;
+}
+
+void Evaluator::BindExternalVariable(const std::string& name,
+                                     Sequence value) {
+  external_vars_[name] = std::move(value);
+}
+
+Result<NodeId> Evaluator::LookupDocument(const std::string& name) const {
+  auto it = documents_.find(name);
+  if (it == documents_.end()) {
+    return Status::DynamicError("fn:doc: unknown document \"" + name + "\"");
+  }
+  return it->second;
+}
+
+Status Evaluator::ResolveGlobals() {
+  if (globals_resolved_) return Status::OK();
+  globals_resolved_ = true;
+  DynEnv env;
+  for (const VarDecl& decl : program_->variables) {
+    if (decl.external) {
+      auto it = external_vars_.find(decl.name);
+      if (it == external_vars_.end()) {
+        return Status::StaticError("external variable $" + decl.name +
+                                   " was not bound");
+      }
+      globals_[decl.name] = it->second;
+      continue;
+    }
+    XQB_ASSIGN_OR_RETURN(Sequence value, Eval(*decl.init, env));
+    globals_[decl.name] = std::move(value);
+  }
+  return Status::OK();
+}
+
+Status Evaluator::ApplyPendingTopLevel() {
+  UpdateList delta = std::move(snap_stack_.back());
+  snap_stack_.back() = UpdateList();
+  updates_applied_ += static_cast<int64_t>(delta.size());
+  ++snaps_applied_;
+  return ApplyUpdateList(store_, delta, options_.default_snap_mode,
+                         options_.nondet_seed);
+}
+
+Result<Sequence> Evaluator::Run() {
+  // The implicit top-level snap (Section 2.3: "a snap is always
+  // implicitly present around the top-level query in the main module").
+  XQB_RETURN_IF_ERROR(ResolveGlobals());
+  DynEnv env;
+  XQB_ASSIGN_OR_RETURN(Sequence value, Eval(*program_->body, env));
+  if (options_.implicit_top_snap) {
+    XQB_RETURN_IF_ERROR(ApplyPendingTopLevel());
+  }
+  return value;
+}
+
+Result<Sequence> Evaluator::Eval(const Expr& expr, const DynEnv& env) {
+  switch (expr.kind) {
+    case ExprKind::kIntegerLit:
+      return Sequence{Item::Integer(expr.value_int)};
+    case ExprKind::kDecimalLit:
+      return Sequence{Item::Double(expr.value_double)};
+    case ExprKind::kStringLit:
+      return Sequence{Item::String(expr.value_str)};
+    case ExprKind::kEmptySeq:
+      return Sequence{};
+    case ExprKind::kSequence:
+      return EvalSequence(expr, env);
+    case ExprKind::kVarRef: {
+      if (const Sequence* bound = env.Lookup(expr.name)) return *bound;
+      auto git = globals_.find(expr.name);
+      if (git != globals_.end()) return git->second;
+      auto xit = external_vars_.find(expr.name);
+      if (xit != external_vars_.end()) return xit->second;
+      return ErrorAt(expr, StatusCode::kStaticError,
+                     "err:XPST0008: unbound variable $" + expr.name);
+    }
+    case ExprKind::kContextItem:
+      if (!env.has_context_item()) {
+        return ErrorAt(expr, StatusCode::kDynamicError,
+                       "err:XPDY0002: context item is undefined");
+      }
+      return Sequence{env.context_item()};
+    case ExprKind::kFlwor:
+      return EvalFlwor(expr, env);
+    case ExprKind::kQuantified:
+      return EvalQuantified(expr, env);
+    case ExprKind::kIf:
+      return EvalIf(expr, env);
+    case ExprKind::kBinaryOp:
+      return EvalBinaryOp(expr, env);
+    case ExprKind::kUnaryMinus:
+    case ExprKind::kUnaryPlus: {
+      XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*expr.children[0], env));
+      if (v.empty()) return Sequence{};
+      if (v.size() > 1) {
+        return ErrorAt(expr, StatusCode::kTypeError,
+                       "unary arithmetic on a multi-item sequence");
+      }
+      AtomicValue a = AtomizeItem(*store_, v[0]);
+      if (a.type() == AtomicType::kInteger) {
+        return Sequence{Item::Integer(expr.kind == ExprKind::kUnaryMinus
+                                          ? -a.int_value()
+                                          : a.int_value())};
+      }
+      XQB_ASSIGN_OR_RETURN(double d, a.ToDouble());
+      return Sequence{
+          Item::Double(expr.kind == ExprKind::kUnaryMinus ? -d : d)};
+    }
+    case ExprKind::kPathRoot:
+      return EvalPathRoot(expr, env);
+    case ExprKind::kStep:
+      return EvalStep(expr, env);
+    case ExprKind::kFilter:
+      return EvalFilter(expr, env);
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(expr, env);
+    case ExprKind::kElementCtor:
+      return EvalElementCtor(expr, env);
+    case ExprKind::kAttributeCtor:
+      return EvalAttributeCtor(expr, env);
+    case ExprKind::kTextCtor:
+      return EvalTextCtor(expr, env);
+    case ExprKind::kCommentCtor:
+      return EvalCommentCtor(expr, env);
+    case ExprKind::kDocumentCtor:
+      return EvalDocumentCtor(expr, env);
+    case ExprKind::kInstanceOf:
+    case ExprKind::kTreatAs:
+    case ExprKind::kCastableAs:
+    case ExprKind::kCastAs:
+      return EvalTypeExpr(expr, env);
+    case ExprKind::kTypeswitch:
+      return EvalTypeswitch(expr, env);
+    case ExprKind::kInsert:
+      return EvalInsert(expr, env);
+    case ExprKind::kDelete:
+      return EvalDelete(expr, env);
+    case ExprKind::kReplace:
+      return EvalReplace(expr, env);
+    case ExprKind::kRename:
+      return EvalRename(expr, env);
+    case ExprKind::kCopy:
+      return EvalCopy(expr, env);
+    case ExprKind::kSnap:
+      return EvalSnap(expr, env);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Sequence> Evaluator::EvalSequence(const Expr& expr,
+                                         const DynEnv& env) {
+  // The sequence rule: Expr1 fully evaluated before Expr2, values and
+  // deltas concatenated in order (Section 3.4).
+  Sequence out;
+  for (const ExprPtr& child : expr.children) {
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*child, env));
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalFlwor(const Expr& expr, const DynEnv& env) {
+  // Rows are materialized environments. for/let/where stream in strict
+  // order; `order by` buffers rows, sorts, then evaluates the return
+  // clause in sorted order.
+  std::vector<DynEnv> rows{env};
+  bool ordered = false;
+
+  struct SortKey {
+    enum class Cat : uint8_t { kEmpty, kNan, kNum, kStr, kBool };
+    Cat cat = Cat::kEmpty;
+    double num = 0;
+    std::string str;
+    bool b = false;
+  };
+  std::vector<std::vector<SortKey>> row_keys;
+  const FlworClause* order_clause = nullptr;
+
+  for (const FlworClause& clause : expr.clauses) {
+    switch (clause.kind) {
+      case FlworClause::Kind::kFor: {
+        std::vector<DynEnv> next;
+        for (const DynEnv& row : rows) {
+          XQB_ASSIGN_OR_RETURN(Sequence binding, Eval(*clause.expr, row));
+          for (size_t i = 0; i < binding.size(); ++i) {
+            DynEnv extended = row.Bind(clause.var, Sequence{binding[i]});
+            if (!clause.pos_var.empty()) {
+              extended = extended.Bind(
+                  clause.pos_var,
+                  Sequence{Item::Integer(static_cast<int64_t>(i) + 1)});
+            }
+            next.push_back(std::move(extended));
+          }
+        }
+        rows = std::move(next);
+        break;
+      }
+      case FlworClause::Kind::kLet: {
+        for (DynEnv& row : rows) {
+          XQB_ASSIGN_OR_RETURN(Sequence value, Eval(*clause.expr, row));
+          row = row.Bind(clause.var, std::move(value));
+        }
+        break;
+      }
+      case FlworClause::Kind::kWhere: {
+        std::vector<DynEnv> kept;
+        for (DynEnv& row : rows) {
+          XQB_ASSIGN_OR_RETURN(Sequence cond, Eval(*clause.expr, row));
+          XQB_ASSIGN_OR_RETURN(bool keep,
+                               EffectiveBooleanValue(*store_, cond));
+          if (keep) kept.push_back(std::move(row));
+        }
+        rows = std::move(kept);
+        break;
+      }
+      case FlworClause::Kind::kOrderBy: {
+        ordered = true;
+        order_clause = &clause;
+        row_keys.reserve(rows.size());
+        for (const DynEnv& row : rows) {
+          std::vector<SortKey> keys;
+          for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+            XQB_ASSIGN_OR_RETURN(Sequence kv, Eval(*spec.key, row));
+            SortKey key;
+            if (kv.empty()) {
+              key.cat = SortKey::Cat::kEmpty;
+            } else if (kv.size() > 1) {
+              return ErrorAt(expr, StatusCode::kTypeError,
+                             "err:XPTY0004: order-by key is a multi-item "
+                             "sequence");
+            } else {
+              AtomicValue a = AtomizeItem(*store_, kv[0]);
+              switch (a.type()) {
+                case AtomicType::kInteger:
+                  key.cat = SortKey::Cat::kNum;
+                  key.num = static_cast<double>(a.int_value());
+                  break;
+                case AtomicType::kDouble:
+                  if (std::isnan(a.double_value())) {
+                    key.cat = SortKey::Cat::kNan;
+                  } else {
+                    key.cat = SortKey::Cat::kNum;
+                    key.num = a.double_value();
+                  }
+                  break;
+                case AtomicType::kBoolean:
+                  key.cat = SortKey::Cat::kBool;
+                  key.b = a.bool_value();
+                  break;
+                case AtomicType::kString:
+                case AtomicType::kUntyped:
+                  key.cat = SortKey::Cat::kStr;
+                  key.str = a.str();
+                  break;
+              }
+            }
+            keys.push_back(std::move(key));
+          }
+          row_keys.push_back(std::move(keys));
+        }
+        break;
+      }
+    }
+  }
+
+  if (ordered) {
+    // Validate comparable categories per spec position.
+    for (size_t spec = 0; spec < order_clause->order_specs.size(); ++spec) {
+      SortKey::Cat seen = SortKey::Cat::kEmpty;
+      for (const auto& keys : row_keys) {
+        SortKey::Cat cat = keys[spec].cat;
+        if (cat == SortKey::Cat::kEmpty || cat == SortKey::Cat::kNan) {
+          continue;
+        }
+        if (seen == SortKey::Cat::kEmpty) {
+          seen = cat;
+        } else if (seen != cat) {
+          return ErrorAt(expr, StatusCode::kTypeError,
+                         "err:XPTY0004: order-by keys of incomparable "
+                         "types");
+        }
+      }
+    }
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const auto& specs = order_clause->order_specs;
+    std::stable_sort(
+        order.begin(), order.end(), [&](size_t ia, size_t ib) {
+          for (size_t s = 0; s < specs.size(); ++s) {
+            const SortKey& a = row_keys[ia][s];
+            const SortKey& b = row_keys[ib][s];
+            auto rank = [&](const SortKey& k) {
+              // Empty (and NaN) sort least or greatest per the spec flag.
+              bool low = k.cat == SortKey::Cat::kEmpty ||
+                         k.cat == SortKey::Cat::kNan;
+              return low ? (specs[s].empty_least ? 0 : 2) : 1;
+            };
+            int ra = rank(a), rb = rank(b);
+            int cmp = 0;
+            if (ra != rb) {
+              cmp = ra < rb ? -1 : 1;
+            } else if (ra == 1) {
+              if (a.cat == SortKey::Cat::kNum) {
+                cmp = a.num < b.num ? -1 : a.num > b.num ? 1 : 0;
+              } else if (a.cat == SortKey::Cat::kStr) {
+                int c = a.str.compare(b.str);
+                cmp = c < 0 ? -1 : c > 0 ? 1 : 0;
+              } else {
+                cmp = (a.b == b.b) ? 0 : (!a.b ? -1 : 1);
+              }
+            }
+            if (cmp != 0) return specs[s].descending ? cmp > 0 : cmp < 0;
+          }
+          return false;
+        });
+    std::vector<DynEnv> sorted;
+    sorted.reserve(rows.size());
+    for (size_t idx : order) sorted.push_back(std::move(rows[idx]));
+    rows = std::move(sorted);
+  }
+
+  const Expr& ret = *expr.children[0];
+  Sequence out;
+  for (const DynEnv& row : rows) {
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(ret, row));
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalQuantified(const Expr& expr,
+                                           const DynEnv& env) {
+  const bool every = expr.value_int != 0;
+  // Nested-loop expansion with short-circuit (like and/or, the
+  // satisfies clause stops at the first decisive row).
+  std::vector<DynEnv> rows{env};
+  for (const QuantBinding& binding : expr.quant_bindings) {
+    std::vector<DynEnv> next;
+    for (const DynEnv& row : rows) {
+      XQB_ASSIGN_OR_RETURN(Sequence seq, Eval(*binding.expr, row));
+      for (const Item& item : seq) {
+        next.push_back(row.Bind(binding.var, Sequence{item}));
+      }
+    }
+    rows = std::move(next);
+  }
+  for (const DynEnv& row : rows) {
+    XQB_ASSIGN_OR_RETURN(Sequence cond, Eval(*expr.children[0], row));
+    XQB_ASSIGN_OR_RETURN(bool value, EffectiveBooleanValue(*store_, cond));
+    if (every && !value) return Sequence{Item::Boolean(false)};
+    if (!every && value) return Sequence{Item::Boolean(true)};
+  }
+  return Sequence{Item::Boolean(every)};
+}
+
+Result<Sequence> Evaluator::EvalIf(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence cond, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(bool value, EffectiveBooleanValue(*store_, cond));
+  return Eval(value ? *expr.children[1] : *expr.children[2], env);
+}
+
+Result<Sequence> Evaluator::EvalBinaryOp(const Expr& expr,
+                                         const DynEnv& env) {
+  const std::string& op = expr.op;
+  if (op == "and" || op == "or") {
+    XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+    XQB_ASSIGN_OR_RETURN(bool lv, EffectiveBooleanValue(*store_, lhs));
+    // Strict left-to-right with short-circuit: in a language with side
+    // effects the right operand must not run when the result is decided.
+    if (op == "and" && !lv) return Sequence{Item::Boolean(false)};
+    if (op == "or" && lv) return Sequence{Item::Boolean(true)};
+    XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+    XQB_ASSIGN_OR_RETURN(bool rv, EffectiveBooleanValue(*store_, rhs));
+    return Sequence{Item::Boolean(rv)};
+  }
+  if (op == "=" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+      op == ">=") {
+    return EvalGeneralCompare(expr, env);
+  }
+  if (op == "eq" || op == "ne" || op == "lt" || op == "le" || op == "gt" ||
+      op == "ge") {
+    return EvalValueCompare(expr, env);
+  }
+  if (op == "is" || op == "<<" || op == ">>") {
+    return EvalNodeCompare(expr, env);
+  }
+  if (op == "+" || op == "-" || op == "*" || op == "div" || op == "idiv" ||
+      op == "mod") {
+    return EvalArithmetic(expr, env);
+  }
+  if (op == "union" || op == "intersect" || op == "except") {
+    return EvalSetOp(expr, env);
+  }
+  if (op == "to") return EvalRange(expr, env);
+  if (op == "path") return EvalPathCombine(expr, env);
+  return ErrorAt(expr, StatusCode::kInternal, "unknown operator " + op);
+}
+
+Result<Sequence> Evaluator::EvalGeneralCompare(const Expr& expr,
+                                               const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+  static const std::unordered_map<std::string, std::string> kMap = {
+      {"=", "eq"},  {"!=", "ne"}, {"<", "lt"},
+      {"<=", "le"}, {">", "gt"},  {">=", "ge"}};
+  const std::string& vop = kMap.at(expr.op);
+  std::vector<AtomicValue> la = Atomize(*store_, lhs);
+  std::vector<AtomicValue> ra = Atomize(*store_, rhs);
+  for (const AtomicValue& a : la) {
+    for (const AtomicValue& b : ra) {
+      XQB_ASSIGN_OR_RETURN(bool hit, CompareAtomic(a, b, vop));
+      if (hit) return Sequence{Item::Boolean(true)};
+    }
+  }
+  return Sequence{Item::Boolean(false)};
+}
+
+Result<Sequence> Evaluator::EvalValueCompare(const Expr& expr,
+                                             const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+  if (lhs.empty() || rhs.empty()) return Sequence{};
+  if (lhs.size() > 1 || rhs.size() > 1) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   "err:XPTY0004: value comparison on a multi-item "
+                   "sequence");
+  }
+  AtomicValue a = AtomizeItem(*store_, lhs[0]);
+  AtomicValue b = AtomizeItem(*store_, rhs[0]);
+  XQB_ASSIGN_OR_RETURN(bool value, CompareAtomic(a, b, expr.op));
+  return Sequence{Item::Boolean(value)};
+}
+
+Result<Sequence> Evaluator::EvalNodeCompare(const Expr& expr,
+                                            const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+  if (lhs.empty() || rhs.empty()) return Sequence{};
+  if (lhs.size() > 1 || rhs.size() > 1 || !lhs[0].is_node() ||
+      !rhs[0].is_node()) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   "err:XPTY0004: node comparison requires single nodes");
+  }
+  NodeId a = lhs[0].node();
+  NodeId b = rhs[0].node();
+  bool value;
+  if (expr.op == "is") {
+    value = a == b;
+  } else if (expr.op == "<<") {
+    value = store_->DocOrderCompare(a, b) < 0;
+  } else {
+    value = store_->DocOrderCompare(a, b) > 0;
+  }
+  return Sequence{Item::Boolean(value)};
+}
+
+Result<Sequence> Evaluator::EvalArithmetic(const Expr& expr,
+                                           const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+  if (lhs.empty() || rhs.empty()) return Sequence{};
+  if (lhs.size() > 1 || rhs.size() > 1) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   "err:XPTY0004: arithmetic on a multi-item sequence");
+  }
+  AtomicValue a = AtomizeItem(*store_, lhs[0]);
+  AtomicValue b = AtomizeItem(*store_, rhs[0]);
+  const std::string& op = expr.op;
+  const bool both_int = a.type() == AtomicType::kInteger &&
+                        b.type() == AtomicType::kInteger;
+  if (both_int && op != "div") {
+    int64_t x = a.int_value();
+    int64_t y = b.int_value();
+    if ((op == "idiv" || op == "mod") && y == 0) {
+      return ErrorAt(expr, StatusCode::kDynamicError,
+                     "err:FOAR0001: integer division by zero");
+    }
+    int64_t r = 0;
+    if (op == "+") r = x + y;
+    else if (op == "-") r = x - y;
+    else if (op == "*") r = x * y;
+    else if (op == "idiv") r = x / y;
+    else r = x % y;  // mod
+    return Sequence{Item::Integer(r)};
+  }
+  XQB_ASSIGN_OR_RETURN(double x, a.ToDouble());
+  XQB_ASSIGN_OR_RETURN(double y, b.ToDouble());
+  if (op == "idiv") {
+    if (y == 0) {
+      return ErrorAt(expr, StatusCode::kDynamicError,
+                     "err:FOAR0001: integer division by zero");
+    }
+    return Sequence{Item::Integer(static_cast<int64_t>(x / y))};
+  }
+  double r = 0;
+  if (op == "+") r = x + y;
+  else if (op == "-") r = x - y;
+  else if (op == "*") r = x * y;
+  else if (op == "div") r = x / y;  // IEEE semantics for xs:double.
+  else r = std::fmod(x, y);
+  return Sequence{Item::Double(r)};
+}
+
+Result<Sequence> Evaluator::EvalSetOp(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+  for (const Sequence* side : {&lhs, &rhs}) {
+    for (const Item& item : *side) {
+      if (!item.is_node()) {
+        return ErrorAt(expr, StatusCode::kTypeError,
+                       "err:XPTY0004: set operation on non-node items");
+      }
+    }
+  }
+  std::unordered_set<NodeId> right_set;
+  for (const Item& item : rhs) right_set.insert(item.node());
+  Sequence combined;
+  if (expr.op == "union") {
+    combined = std::move(lhs);
+    combined.insert(combined.end(), rhs.begin(), rhs.end());
+  } else if (expr.op == "intersect") {
+    for (const Item& item : lhs) {
+      if (right_set.count(item.node())) combined.push_back(item);
+    }
+  } else {  // except
+    for (const Item& item : lhs) {
+      if (!right_set.count(item.node())) combined.push_back(item);
+    }
+  }
+  return SortDocOrderDedup(*store_, std::move(combined));
+}
+
+Result<Sequence> Evaluator::EvalRange(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence lhs, Eval(*expr.children[0], env));
+  XQB_ASSIGN_OR_RETURN(Sequence rhs, Eval(*expr.children[1], env));
+  if (lhs.empty() || rhs.empty()) return Sequence{};
+  auto to_int = [&](const Sequence& s) -> Result<int64_t> {
+    if (s.size() > 1) {
+      return ErrorAt(expr, StatusCode::kTypeError,
+                     "err:XPTY0004: range bound is a multi-item sequence");
+    }
+    AtomicValue a = AtomizeItem(*store_, s[0]);
+    if (a.type() == AtomicType::kInteger) return a.int_value();
+    XQB_ASSIGN_OR_RETURN(double d, a.ToDouble());
+    return static_cast<int64_t>(d);
+  };
+  XQB_ASSIGN_OR_RETURN(int64_t lo, to_int(lhs));
+  XQB_ASSIGN_OR_RETURN(int64_t hi, to_int(rhs));
+  Sequence out;
+  for (int64_t i = lo; i <= hi; ++i) out.push_back(Item::Integer(i));
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalPathCombine(const Expr& expr,
+                                            const DynEnv& env) {
+  // General E1/E2: evaluate E2 once per item of E1 with that item as the
+  // focus; if every result item is a node, sort and deduplicate.
+  XQB_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], env));
+  Sequence out;
+  bool all_nodes = true;
+  for (size_t i = 0; i < input.size(); ++i) {
+    DynEnv focused = env.WithFocus(input[i], static_cast<int64_t>(i) + 1,
+                                   static_cast<int64_t>(input.size()));
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*expr.children[1], focused));
+    for (const Item& item : v) {
+      all_nodes = all_nodes && item.is_node();
+      out.push_back(item);
+    }
+  }
+  if (all_nodes) return SortDocOrderDedup(*store_, std::move(out));
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalPathRoot(const Expr& expr,
+                                         const DynEnv& env) {
+  if (!env.has_context_item() || !env.context_item().is_node()) {
+    return ErrorAt(expr, StatusCode::kDynamicError,
+                   "err:XPDY0002: '/' requires a node context item");
+  }
+  return Sequence{Item::Node(store_->RootOf(env.context_item().node()))};
+}
+
+bool Evaluator::MatchesTest(const NodeTest& test, NodeId node,
+                            Axis axis) const {
+  NodeKind kind = store_->KindOf(node);
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+    case NodeTest::Kind::kWildcard: {
+      // Principal node kind: attributes on the attribute axis, elements
+      // elsewhere.
+      NodeKind principal = axis == Axis::kAttribute ? NodeKind::kAttribute
+                                                    : NodeKind::kElement;
+      if (kind != principal) return false;
+      if (test.kind == NodeTest::Kind::kWildcard) return true;
+      return store_->NameOf(node) == test.name;
+    }
+    case NodeTest::Kind::kText:
+      return kind == NodeKind::kText;
+    case NodeTest::Kind::kAnyNode:
+      return true;
+    case NodeTest::Kind::kComment:
+      return kind == NodeKind::kComment;
+    case NodeTest::Kind::kPi:
+      return kind == NodeKind::kProcessingInstruction &&
+             (test.name.empty() || store_->NameOf(node) == test.name);
+    case NodeTest::Kind::kElement:
+      return kind == NodeKind::kElement &&
+             (test.name.empty() || store_->NameOf(node) == test.name);
+    case NodeTest::Kind::kAttribute:
+      return kind == NodeKind::kAttribute &&
+             (test.name.empty() || store_->NameOf(node) == test.name);
+    case NodeTest::Kind::kDocument:
+      return kind == NodeKind::kDocument;
+  }
+  return false;
+}
+
+Result<Sequence> Evaluator::ApplyAxis(const Expr& step,
+                                      NodeId context) const {
+  Sequence out;
+  auto emit = [&](NodeId node) {
+    if (MatchesTest(step.test, node, step.axis)) {
+      out.push_back(Item::Node(node));
+    }
+  };
+  auto emit_subtree_preorder = [&](NodeId root, auto&& self) -> void {
+    emit(root);
+    for (NodeId c : store_->ChildrenOf(root)) self(c, self);
+  };
+  switch (step.axis) {
+    case Axis::kChild:
+      for (NodeId c : store_->ChildrenOf(context)) emit(c);
+      break;
+    case Axis::kAttribute:
+      for (NodeId a : store_->AttributesOf(context)) emit(a);
+      break;
+    case Axis::kSelf:
+      emit(context);
+      break;
+    case Axis::kDescendant:
+      for (NodeId c : store_->ChildrenOf(context)) {
+        emit_subtree_preorder(c, emit_subtree_preorder);
+      }
+      break;
+    case Axis::kDescendantOrSelf:
+      emit_subtree_preorder(context, emit_subtree_preorder);
+      break;
+    case Axis::kParent:
+      if (store_->ParentOf(context) != kInvalidNode) {
+        emit(store_->ParentOf(context));
+      }
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      NodeId cur = step.axis == Axis::kAncestorOrSelf
+                       ? context
+                       : store_->ParentOf(context);
+      while (cur != kInvalidNode) {
+        emit(cur);  // Nearest first: reverse-axis order.
+        cur = store_->ParentOf(cur);
+      }
+      break;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      NodeId parent = store_->ParentOf(context);
+      if (parent == kInvalidNode ||
+          store_->KindOf(context) == NodeKind::kAttribute) {
+        break;
+      }
+      const std::vector<NodeId>& siblings = store_->ChildrenOf(parent);
+      auto it = std::find(siblings.begin(), siblings.end(), context);
+      if (it == siblings.end()) break;
+      if (step.axis == Axis::kFollowingSibling) {
+        for (auto s = it + 1; s != siblings.end(); ++s) emit(*s);
+      } else {
+        // Reverse order: nearest preceding sibling first.
+        for (auto s = it; s != siblings.begin();) {
+          --s;
+          emit(*s);
+        }
+      }
+      break;
+    }
+    case Axis::kFollowing: {
+      // All nodes after `context` in document order, excluding its
+      // descendants: following siblings' subtrees at every ancestor
+      // level, bottom-up.
+      NodeId cur = context;
+      while (cur != kInvalidNode) {
+        NodeId parent = store_->ParentOf(cur);
+        if (parent == kInvalidNode) break;
+        const std::vector<NodeId>& siblings = store_->ChildrenOf(parent);
+        auto it = std::find(siblings.begin(), siblings.end(), cur);
+        if (it != siblings.end()) {
+          for (auto s = it + 1; s != siblings.end(); ++s) {
+            emit_subtree_preorder(*s, emit_subtree_preorder);
+          }
+        }
+        cur = parent;
+      }
+      break;
+    }
+    case Axis::kPreceding: {
+      // Symmetric to following; generated in reverse document order.
+      Sequence forward;
+      auto emit_to = [&](NodeId node) {
+        if (MatchesTest(step.test, node, step.axis)) {
+          forward.push_back(Item::Node(node));
+        }
+      };
+      auto subtree = [&](NodeId root, auto&& self) -> void {
+        emit_to(root);
+        for (NodeId c : store_->ChildrenOf(root)) self(c, self);
+      };
+      std::vector<NodeId> ancestors;
+      for (NodeId cur = context; cur != kInvalidNode;
+           cur = store_->ParentOf(cur)) {
+        ancestors.push_back(cur);
+      }
+      // Walk from the root down: for each ancestor, the subtrees of the
+      // siblings before the path.
+      for (size_t i = ancestors.size(); i-- > 1;) {
+        NodeId parent = ancestors[i];
+        NodeId on_path = ancestors[i - 1];
+        for (NodeId c : store_->ChildrenOf(parent)) {
+          if (c == on_path) break;
+          subtree(c, subtree);
+        }
+      }
+      out.assign(forward.rbegin(), forward.rend());
+      break;
+    }
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::ApplyPredicate(const Expr& pred, Sequence input,
+                                           const DynEnv& env) {
+  // Constant positional predicate: direct index.
+  if (pred.kind == ExprKind::kIntegerLit) {
+    int64_t pos = pred.value_int;
+    Sequence out;
+    if (pos >= 1 && pos <= static_cast<int64_t>(input.size())) {
+      out.push_back(input[pos - 1]);
+    }
+    return out;
+  }
+  Sequence out;
+  const int64_t size = static_cast<int64_t>(input.size());
+  for (int64_t i = 0; i < size; ++i) {
+    DynEnv focused = env.WithFocus(input[i], i + 1, size);
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(pred, focused));
+    bool keep;
+    if (v.size() == 1 && v[0].is_atomic() && v[0].atom().is_numeric()) {
+      XQB_ASSIGN_OR_RETURN(double num, v[0].atom().ToDouble());
+      keep = num == static_cast<double>(i + 1);
+    } else {
+      XQB_ASSIGN_OR_RETURN(keep, EffectiveBooleanValue(*store_, v));
+    }
+    if (keep) out.push_back(input[i]);
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalStep(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], env));
+  Sequence combined;
+  bool multiple_inputs = input.size() > 1;
+  for (const Item& item : input) {
+    if (!item.is_node()) {
+      return ErrorAt(expr, StatusCode::kTypeError,
+                     "err:XPTY0019: path step applied to a non-node");
+    }
+    XQB_ASSIGN_OR_RETURN(Sequence candidates, ApplyAxis(expr, item.node()));
+    for (size_t p = 1; p < expr.children.size(); ++p) {
+      XQB_ASSIGN_OR_RETURN(
+          candidates,
+          ApplyPredicate(*expr.children[p], std::move(candidates), env));
+    }
+    combined.insert(combined.end(), candidates.begin(), candidates.end());
+  }
+  if (multiple_inputs || IsReverseAxis(expr.axis)) {
+    return SortDocOrderDedup(*store_, std::move(combined));
+  }
+  return combined;
+}
+
+Result<Sequence> Evaluator::EvalFilter(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], env));
+  for (size_t p = 1; p < expr.children.size(); ++p) {
+    XQB_ASSIGN_OR_RETURN(
+        input, ApplyPredicate(*expr.children[p], std::move(input), env));
+  }
+  return input;
+}
+
+Result<Sequence> Evaluator::EvalFunctionCall(const Expr& expr,
+                                             const DynEnv& env) {
+  // Argument evaluation is strict left-to-right (the function-call rule
+  // in Appendix B threads the store through the arguments in order).
+  std::vector<Sequence> args;
+  args.reserve(expr.children.size());
+  for (const ExprPtr& arg : expr.children) {
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*arg, env));
+    args.push_back(std::move(v));
+  }
+  // User functions shadow builtins; accept both "f" and "local:f".
+  auto it = functions_.find(expr.name);
+  if (it == functions_.end()) it = functions_.find("local:" + expr.name);
+  if (it == functions_.end() && StartsWith(expr.name, "local:")) {
+    it = functions_.find(expr.name.substr(6));
+  }
+  if (it != functions_.end()) {
+    const FunctionDecl& decl = *it->second;
+    if (decl.params.size() != args.size()) {
+      return ErrorAt(expr, StatusCode::kStaticError,
+                     "function " + expr.name + " expects " +
+                         std::to_string(decl.params.size()) +
+                         " arguments, got " + std::to_string(args.size()));
+    }
+    return CallUserFunction(decl, std::move(args));
+  }
+  std::string builtin = expr.name;
+  if (StartsWith(builtin, "fn:")) builtin = builtin.substr(3);
+  if (IsBuiltinFunction(builtin)) {
+    return CallBuiltinFunction(this, builtin, args, env, expr.line);
+  }
+  return ErrorAt(expr, StatusCode::kStaticError,
+                 "err:XPST0017: unknown function " + expr.name + "/" +
+                     std::to_string(args.size()));
+}
+
+Result<Sequence> Evaluator::CallUserFunction(const FunctionDecl& decl,
+                                             std::vector<Sequence> args) {
+  if (++call_depth_ > options_.max_call_depth) {
+    --call_depth_;
+    return Status::DynamicError("maximum function call depth exceeded in " +
+                                decl.name);
+  }
+  DynEnv env;  // Function bodies see only parameters and globals.
+  for (size_t i = 0; i < decl.params.size(); ++i) {
+    env = env.Bind(decl.params[i], std::move(args[i]));
+  }
+  Result<Sequence> result = Eval(*decl.body, env);
+  --call_depth_;
+  return result;
+}
+
+Result<std::vector<NodeId>> Evaluator::BuildContent(const Sequence& content,
+                                                    bool allow_attributes) {
+  std::vector<NodeId> out;
+  std::string atomic_run;
+  bool has_atomic_run = false;
+  bool seen_non_attribute = false;
+  auto flush = [&]() {
+    if (!has_atomic_run) return;
+    out.push_back(store_->NewText(atomic_run));
+    atomic_run.clear();
+    has_atomic_run = false;
+  };
+  for (const Item& item : content) {
+    if (item.is_atomic()) {
+      if (has_atomic_run) atomic_run.push_back(' ');
+      atomic_run.append(item.atom().ToString());
+      has_atomic_run = true;
+      seen_non_attribute = true;
+      continue;
+    }
+    flush();
+    NodeId node = item.node();
+    if (store_->KindOf(node) == NodeKind::kAttribute) {
+      if (!allow_attributes) {
+        return Status::TypeError(
+            "err:XPTY0004: attribute node in document content");
+      }
+      if (seen_non_attribute) {
+        return Status::TypeError(
+            "err:XQTY0024: attribute node follows non-attribute content");
+      }
+      out.push_back(node);
+      continue;
+    }
+    seen_non_attribute = true;
+    if (store_->KindOf(node) == NodeKind::kDocument) {
+      // Document nodes contribute their children.
+      for (NodeId c : store_->ChildrenOf(node)) out.push_back(c);
+      continue;
+    }
+    out.push_back(node);
+  }
+  flush();
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalElementCtor(const Expr& expr,
+                                            const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*expr.children[0], env));
+  if (name_seq.size() != 1) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   "element constructor name must be a single item");
+  }
+  std::string name = ItemToString(*store_, name_seq[0]);
+  if (name.empty()) {
+    return ErrorAt(expr, StatusCode::kDynamicError,
+                   "err:XQDY0074: empty element name");
+  }
+  Sequence content;
+  for (size_t i = 1; i < expr.children.size(); ++i) {
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*expr.children[i], env));
+    content.insert(content.end(), v.begin(), v.end());
+  }
+  // Element construction copies its content (XQuery 1.0 semantics; the
+  // same mechanism normalization reuses for insert, Section 3.3).
+  Sequence copied;
+  copied.reserve(content.size());
+  for (const Item& item : content) {
+    if (item.is_node()) {
+      copied.push_back(Item::Node(store_->DeepCopy(item.node())));
+    } else {
+      copied.push_back(item);
+    }
+  }
+  XQB_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                       BuildContent(copied, /*allow_attributes=*/true));
+  NodeId element = store_->NewElement(name);
+  for (NodeId node : nodes) {
+    if (store_->KindOf(node) == NodeKind::kAttribute) {
+      XQB_RETURN_IF_ERROR(store_->AppendAttribute(element, node));
+    } else {
+      XQB_RETURN_IF_ERROR(store_->AppendChild(element, node));
+    }
+  }
+  return Sequence{Item::Node(element)};
+}
+
+Result<Sequence> Evaluator::EvalAttributeCtor(const Expr& expr,
+                                              const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*expr.children[0], env));
+  if (name_seq.size() != 1) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   "attribute constructor name must be a single item");
+  }
+  std::string name = ItemToString(*store_, name_seq[0]);
+  // Attribute value template: literal parts verbatim, expression parts
+  // space-join their atomized items.
+  std::string value;
+  for (size_t i = 1; i < expr.children.size(); ++i) {
+    const Expr& part = *expr.children[i];
+    if (part.kind == ExprKind::kStringLit) {
+      value.append(part.value_str);
+      continue;
+    }
+    XQB_ASSIGN_OR_RETURN(Sequence v, Eval(part, env));
+    value.append(SequenceToString(*store_, v));
+  }
+  return Sequence{Item::Node(store_->NewAttribute(name, value))};
+}
+
+Result<Sequence> Evaluator::EvalTextCtor(const Expr& expr,
+                                         const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*expr.children[0], env));
+  if (v.empty() && expr.children[0]->kind != ExprKind::kStringLit) {
+    return Sequence{};  // text {()} constructs no node.
+  }
+  return Sequence{Item::Node(store_->NewText(SequenceToString(*store_, v)))};
+}
+
+Result<Sequence> Evaluator::EvalCommentCtor(const Expr& expr,
+                                            const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence v, Eval(*expr.children[0], env));
+  return Sequence{
+      Item::Node(store_->NewComment(SequenceToString(*store_, v)))};
+}
+
+Result<Sequence> Evaluator::EvalDocumentCtor(const Expr& expr,
+                                             const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence content, Eval(*expr.children[0], env));
+  Sequence copied;
+  for (const Item& item : content) {
+    if (item.is_node()) {
+      copied.push_back(Item::Node(store_->DeepCopy(item.node())));
+    } else {
+      copied.push_back(item);
+    }
+  }
+  XQB_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                       BuildContent(copied, /*allow_attributes=*/false));
+  NodeId doc = store_->NewDocument();
+  for (NodeId node : nodes) {
+    XQB_RETURN_IF_ERROR(store_->AppendChild(doc, node));
+  }
+  return Sequence{Item::Node(doc)};
+}
+
+bool Evaluator::MatchesSequenceType(const Sequence& seq,
+                                    const SequenceTypeSpec& spec) const {
+  using ItemKind = SequenceTypeSpec::ItemKind;
+  using Occurrence = SequenceTypeSpec::Occurrence;
+  if (spec.item_kind == ItemKind::kEmptySequence) return seq.empty();
+  switch (spec.occurrence) {
+    case Occurrence::kOne:
+      if (seq.size() != 1) return false;
+      break;
+    case Occurrence::kOptional:
+      if (seq.size() > 1) return false;
+      break;
+    case Occurrence::kPlus:
+      if (seq.empty()) return false;
+      break;
+    case Occurrence::kStar:
+      break;
+  }
+  auto matches_item = [&](const Item& item) {
+    switch (spec.item_kind) {
+      case ItemKind::kEmptySequence:
+        return false;  // Handled above.
+      case ItemKind::kAnyItem:
+        return true;
+      case ItemKind::kNodeTest: {
+        if (!item.is_node()) return false;
+        // Sequence types use kind tests only; the principal-node-kind
+        // subtlety of axes does not arise (pass a neutral axis).
+        return MatchesTest(spec.node_test, item.node(), Axis::kChild);
+      }
+      case ItemKind::kAtomic: {
+        if (!item.is_atomic()) return false;
+        const std::string& name = spec.atomic_name;
+        if (name == "xs:anyAtomicType" || name == "xdt:anyAtomicType") {
+          return true;
+        }
+        switch (item.atom().type()) {
+          case AtomicType::kInteger:
+            return name == "xs:integer" || name == "xs:decimal";
+          case AtomicType::kDouble:
+            return name == "xs:double";
+          case AtomicType::kBoolean:
+            return name == "xs:boolean";
+          case AtomicType::kString:
+            return name == "xs:string";
+          case AtomicType::kUntyped:
+            return name == "xs:untypedAtomic" ||
+                   name == "xdt:untypedAtomic";
+        }
+        return false;
+      }
+    }
+    return false;
+  };
+  for (const Item& item : seq) {
+    if (!matches_item(item)) return false;
+  }
+  return true;
+}
+
+Result<AtomicValue> Evaluator::CastAtomic(
+    const AtomicValue& value, const std::string& type_name) const {
+  if (type_name == "xs:string") {
+    return AtomicValue::String(value.ToString());
+  }
+  if (type_name == "xs:untypedAtomic" || type_name == "xdt:untypedAtomic") {
+    return AtomicValue::Untyped(value.ToString());
+  }
+  if (type_name == "xs:integer" || type_name == "xs:decimal") {
+    if (value.type() == AtomicType::kInteger) return value;
+    if (value.type() == AtomicType::kBoolean) {
+      return AtomicValue::Integer(value.bool_value() ? 1 : 0);
+    }
+    XQB_ASSIGN_OR_RETURN(double d, value.ToDouble());
+    if (std::isnan(d) || std::isinf(d)) {
+      return Status::DynamicError(
+          "err:FOCA0002: cannot cast NaN/INF to xs:integer");
+    }
+    return AtomicValue::Integer(static_cast<int64_t>(d));  // Truncates.
+  }
+  if (type_name == "xs:double") {
+    if (value.type() == AtomicType::kBoolean) {
+      return AtomicValue::Double(value.bool_value() ? 1 : 0);
+    }
+    XQB_ASSIGN_OR_RETURN(double d, value.ToDouble());
+    return AtomicValue::Double(d);
+  }
+  if (type_name == "xs:boolean") {
+    switch (value.type()) {
+      case AtomicType::kBoolean:
+        return value;
+      case AtomicType::kInteger:
+        return AtomicValue::Boolean(value.int_value() != 0);
+      case AtomicType::kDouble:
+        return AtomicValue::Boolean(value.double_value() != 0 &&
+                                    !std::isnan(value.double_value()));
+      case AtomicType::kString:
+      case AtomicType::kUntyped: {
+        std::string s(StripWhitespace(value.str()));
+        if (s == "true" || s == "1") return AtomicValue::Boolean(true);
+        if (s == "false" || s == "0") return AtomicValue::Boolean(false);
+        return Status::DynamicError("err:FORG0001: cannot cast \"" +
+                                    value.str() + "\" to xs:boolean");
+      }
+    }
+  }
+  return Status::StaticError("err:XPST0051: unknown atomic type " +
+                             type_name);
+}
+
+Result<Sequence> Evaluator::EvalTypeExpr(const Expr& expr,
+                                         const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence value, Eval(*expr.children[0], env));
+  switch (expr.kind) {
+    case ExprKind::kInstanceOf:
+      return Sequence{
+          Item::Boolean(MatchesSequenceType(value, expr.seq_type))};
+    case ExprKind::kTreatAs:
+      if (!MatchesSequenceType(value, expr.seq_type)) {
+        return ErrorAt(expr, StatusCode::kTypeError,
+                       "err:XPDY0050: treat as " +
+                           expr.seq_type.ToString() + " failed");
+      }
+      return value;
+    case ExprKind::kCastableAs:
+    case ExprKind::kCastAs: {
+      const bool castable = expr.kind == ExprKind::kCastableAs;
+      if (value.empty()) {
+        if (expr.seq_type.occurrence ==
+            SequenceTypeSpec::Occurrence::kOptional) {
+          return castable ? Sequence{Item::Boolean(true)} : Sequence{};
+        }
+        if (castable) return Sequence{Item::Boolean(false)};
+        return ErrorAt(expr, StatusCode::kTypeError,
+                       "err:XPTY0004: cast of an empty sequence");
+      }
+      if (value.size() > 1) {
+        if (castable) return Sequence{Item::Boolean(false)};
+        return ErrorAt(expr, StatusCode::kTypeError,
+                       "err:XPTY0004: cast of a multi-item sequence");
+      }
+      AtomicValue atom = AtomizeItem(*store_, value[0]);
+      Result<AtomicValue> cast = CastAtomic(atom, expr.seq_type.atomic_name);
+      if (castable) {
+        // Unknown target types are still static errors.
+        if (!cast.ok() && cast.status().code() == StatusCode::kStaticError) {
+          return cast.status();
+        }
+        return Sequence{Item::Boolean(cast.ok())};
+      }
+      if (!cast.ok()) return cast.status();
+      return Sequence{Item::Atomic(*cast)};
+    }
+    default:
+      return Status::Internal("not a type expression");
+  }
+}
+
+Result<Sequence> Evaluator::EvalTypeswitch(const Expr& expr,
+                                           const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], env));
+  for (size_t i = 0; i < expr.ts_cases.size(); ++i) {
+    const TypeswitchCase& ts_case = expr.ts_cases[i];
+    if (!ts_case.is_default &&
+        !MatchesSequenceType(input, ts_case.type)) {
+      continue;
+    }
+    DynEnv branch_env = env;
+    if (!ts_case.var.empty()) {
+      branch_env = env.Bind(ts_case.var, input);
+    }
+    return Eval(*expr.children[i + 1], branch_env);
+  }
+  return Status::Internal("typeswitch without a default clause");
+}
+
+Result<NodeId> Evaluator::EvalToSingleNode(const Expr& expr,
+                                           const DynEnv& env,
+                                           const char* what) {
+  XQB_ASSIGN_OR_RETURN(Sequence v, Eval(expr, env));
+  if (v.size() != 1 || !v[0].is_node()) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   std::string("err:XUTY0008: ") + what +
+                       " must evaluate to exactly one node (got " +
+                       std::to_string(v.size()) + " items)");
+  }
+  return v[0].node();
+}
+
+void Evaluator::EmitUpdate(UpdateRequest request) {
+  snap_stack_.back().Append(std::move(request));
+}
+
+Result<Sequence> Evaluator::EvalInsert(const Expr& expr, const DynEnv& env) {
+  // Appendix B insert rule: source first, then target, then the
+  // InsertLocation judgment resolves (nodepar, nodepos).
+  XQB_ASSIGN_OR_RETURN(Sequence source, Eval(*expr.children[0], env));
+  // Normalization wrapped the source in copy{}, so node items are fresh
+  // parentless copies. Atomic items become text nodes here (XQuery
+  // Update-style convenience).
+  XQB_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                       BuildContent(source, /*allow_attributes=*/true));
+  XQB_ASSIGN_OR_RETURN(NodeId target,
+                       EvalToSingleNode(*expr.children[1], env,
+                                        "insert target"));
+  switch (expr.insert_pos) {
+    case InsertPos::kInto:
+    case InsertPos::kAsLastInto:
+      EmitUpdate(UpdateRequest::InsertInto(std::move(nodes), target,
+                                           /*as_first=*/false));
+      break;
+    case InsertPos::kAsFirstInto:
+      EmitUpdate(UpdateRequest::InsertInto(std::move(nodes), target,
+                                           /*as_first=*/true));
+      break;
+    case InsertPos::kBefore:
+    case InsertPos::kAfter: {
+      // The rule's premise parent(node) => nodepar requires a parent at
+      // evaluation time (the anchor itself stays symbolic until apply).
+      if (store_->ParentOf(target) == kInvalidNode) {
+        return ErrorAt(expr, StatusCode::kUpdateError,
+                       "err:XUDY0029: insert before/after a parentless "
+                       "node");
+      }
+      EmitUpdate(UpdateRequest::InsertAdjacent(
+          std::move(nodes), target,
+          /*before=*/expr.insert_pos == InsertPos::kBefore));
+      break;
+    }
+  }
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalDelete(const Expr& expr, const DynEnv& env) {
+  // delete accepts a whole node sequence (each node gets a request).
+  XQB_ASSIGN_OR_RETURN(Sequence targets, Eval(*expr.children[0], env));
+  for (const Item& item : targets) {
+    if (!item.is_node()) {
+      return ErrorAt(expr, StatusCode::kTypeError,
+                     "err:XUTY0007: delete target is not a node");
+    }
+    EmitUpdate(UpdateRequest::Delete(item.node()));
+  }
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalReplace(const Expr& expr,
+                                        const DynEnv& env) {
+  // Appendix B replace rule:
+  //   Δ3 = (Δ1, Δ2, insert(nodeseq, nodepar, node), delete(node))
+  XQB_ASSIGN_OR_RETURN(NodeId target,
+                       EvalToSingleNode(*expr.children[0], env,
+                                        "replace target"));
+  XQB_ASSIGN_OR_RETURN(Sequence source, Eval(*expr.children[1], env));
+  XQB_ASSIGN_OR_RETURN(std::vector<NodeId> nodes,
+                       BuildContent(source, /*allow_attributes=*/true));
+  if (store_->ParentOf(target) == kInvalidNode) {
+    return ErrorAt(expr, StatusCode::kUpdateError,
+                   "err:XUDY0009: replace target has no parent");
+  }
+  EmitUpdate(UpdateRequest::InsertAdjacent(std::move(nodes), target,
+                                           /*before=*/false));
+  EmitUpdate(UpdateRequest::Delete(target));
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalRename(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(NodeId target,
+                       EvalToSingleNode(*expr.children[0], env,
+                                        "rename target"));
+  XQB_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*expr.children[1], env));
+  if (name_seq.size() != 1) {
+    return ErrorAt(expr, StatusCode::kTypeError,
+                   "rename name must be a single item");
+  }
+  std::string name = ItemToString(*store_, name_seq[0]);
+  if (name.empty()) {
+    return ErrorAt(expr, StatusCode::kDynamicError,
+                   "err:XQDY0074: empty rename target name");
+  }
+  EmitUpdate(UpdateRequest::Rename(target, store_->names().Intern(name)));
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalCopy(const Expr& expr, const DynEnv& env) {
+  XQB_ASSIGN_OR_RETURN(Sequence input, Eval(*expr.children[0], env));
+  Sequence out;
+  out.reserve(input.size());
+  for (const Item& item : input) {
+    if (item.is_node()) {
+      out.push_back(Item::Node(store_->DeepCopy(item.node())));
+    } else {
+      out.push_back(item);  // Atomic values are immutable.
+    }
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalSnap(const Expr& expr, const DynEnv& env) {
+  // Section 4.1: push a fresh Δ, evaluate the scope, pop and apply.
+  snap_stack_.emplace_back();
+  Result<Sequence> value = Eval(*expr.children[0], env);
+  UpdateList delta = std::move(snap_stack_.back());
+  snap_stack_.pop_back();
+  if (!value.ok()) return value.status();
+  ApplyMode mode = options_.default_snap_mode;
+  switch (expr.snap_mode) {
+    case SnapMode::kDefault:
+      mode = options_.default_snap_mode;
+      break;
+    case SnapMode::kOrdered:
+      mode = ApplyMode::kOrdered;
+      break;
+    case SnapMode::kNondeterministic:
+      mode = ApplyMode::kNondeterministic;
+      break;
+    case SnapMode::kConflictDetection:
+      mode = ApplyMode::kConflictDetection;
+      break;
+  }
+  updates_applied_ += static_cast<int64_t>(delta.size());
+  uint64_t seed = options_.nondet_seed +
+                  static_cast<uint64_t>(snaps_applied_);
+  ++snaps_applied_;
+  if (expr.snap_atomic) {
+    XQB_RETURN_IF_ERROR(ApplyUpdateListAtomic(store_, delta, mode, seed));
+  } else {
+    XQB_RETURN_IF_ERROR(ApplyUpdateList(store_, delta, mode, seed));
+  }
+  return value;
+}
+
+}  // namespace xqb

@@ -1,0 +1,180 @@
+#ifndef XQB_CORE_EVALUATOR_H_
+#define XQB_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "core/dynenv.h"
+#include "core/id_index.h"
+#include "core/update.h"
+#include "frontend/ast.h"
+#include "xdm/item.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// Evaluator configuration.
+struct EvaluatorOptions {
+  /// Mode used by snaps whose surface form gave no mode keyword, and by
+  /// the implicit top-level snap.
+  ApplyMode default_snap_mode = ApplyMode::kOrdered;
+  /// Seed for the nondeterministic mode's permutation.
+  uint64_t nondet_seed = 0;
+  /// Recursion guard for user functions.
+  int max_call_depth = 2000;
+  /// When false, the implicit top-level snap is omitted and pending
+  /// updates at the end of the query are discarded into `pending_delta`
+  /// (used by tests that inspect Δ).
+  bool implicit_top_snap = true;
+};
+
+/// The dynamic-semantics interpreter for XQuery! core (Section 3.4 and
+/// Appendix B). Implements the judgment
+///
+///   store0; dynEnv |- Expr => value; Δ; store1
+///
+/// with the stack-based representation of pending update lists described
+/// in Section 4.1: update operators append to the top of a stack of Δ;
+/// `snap` pushes a fresh Δ, evaluates its scope, pops, and applies with
+/// the selected semantics. Evaluation order is strict left-to-right, as
+/// the formal rules require.
+class Evaluator {
+ public:
+  /// `store` and `program` must outlive the evaluator. The program must
+  /// already be normalized (NormalizeProgram).
+  Evaluator(Store* store, const Program* program,
+            EvaluatorOptions options = {});
+
+  /// Registers a document for fn:doc("name").
+  void RegisterDocument(const std::string& name, NodeId doc);
+
+  /// Binds an external prolog variable.
+  void BindExternalVariable(const std::string& name, Sequence value);
+
+  /// Evaluates the whole program: global variables in declaration order,
+  /// then the body, all inside the implicit top-level snap.
+  Result<Sequence> Run();
+
+  /// Evaluates one expression under `env` (tests and the algebra
+  /// executor use this; the snap stack must already have a top Δ).
+  Result<Sequence> Eval(const Expr& expr, const DynEnv& env);
+
+  /// Pending updates collected on the top of the snap stack (for tests
+  /// with implicit_top_snap = false).
+  const UpdateList& pending_delta() const { return snap_stack_.back(); }
+
+  /// Resolves prolog globals (idempotent). Callers that bypass Run()
+  /// (e.g. the algebra executor) invoke this before Eval.
+  Status PrepareGlobals() { return ResolveGlobals(); }
+
+  /// Applies the top-level pending Δ with the default mode — the closing
+  /// of the implicit top-level snap for callers that bypass Run().
+  Status ApplyPendingTopLevel();
+
+  Store* store() { return store_; }
+  const Program* program() const { return program_; }
+  const EvaluatorOptions& options() const { return options_; }
+
+  /// fn:doc lookup.
+  Result<NodeId> LookupDocument(const std::string& name) const;
+
+  /// The @id index behind fn:id (lazily built, version-invalidated).
+  IdIndex& id_index() { return id_index_; }
+
+  /// SequenceType matching (instance of / treat as / typeswitch).
+  bool MatchesSequenceType(const Sequence& seq,
+                           const SequenceTypeSpec& spec) const;
+
+  /// Casts one atomic value to the named atomic type (cast as).
+  Result<AtomicValue> CastAtomic(const AtomicValue& value,
+                                 const std::string& type_name) const;
+
+  /// Number of snaps applied so far (observability for tests/benches).
+  int64_t snaps_applied() const { return snaps_applied_; }
+  /// Total update requests applied to the store so far.
+  int64_t updates_applied() const { return updates_applied_; }
+
+ private:
+  Result<Sequence> EvalSequence(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalFlwor(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalQuantified(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalIf(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalBinaryOp(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalGeneralCompare(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalValueCompare(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalNodeCompare(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalArithmetic(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalSetOp(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalRange(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalPathCombine(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalStep(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalFilter(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalPathRoot(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalFunctionCall(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalElementCtor(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalAttributeCtor(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalTextCtor(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalCommentCtor(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalDocumentCtor(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalTypeExpr(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalTypeswitch(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalInsert(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalDelete(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalReplace(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalRename(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalCopy(const Expr& expr, const DynEnv& env);
+  Result<Sequence> EvalSnap(const Expr& expr, const DynEnv& env);
+
+  /// Applies the axis/test of `step` to one context node, in axis order.
+  Result<Sequence> ApplyAxis(const Expr& step, NodeId context) const;
+  bool MatchesTest(const NodeTest& test, NodeId node, Axis axis) const;
+
+  /// Applies one predicate over `input` (positions already assigned in
+  /// the given order); numeric predicates select by position.
+  Result<Sequence> ApplyPredicate(const Expr& pred, Sequence input,
+                                  const DynEnv& env);
+
+  /// Converts a constructor content sequence into parentless nodes:
+  /// adjacent atomics join with spaces into text nodes; existing nodes
+  /// are deep-copied. Attribute nodes must precede other content.
+  Result<std::vector<NodeId>> BuildContent(const Sequence& content,
+                                           bool allow_attributes);
+
+  /// Evaluates a single-node operand of an update primitive.
+  Result<NodeId> EvalToSingleNode(const Expr& expr, const DynEnv& env,
+                                  const char* what);
+
+  /// Pushes `request` onto the top pending-update list.
+  void EmitUpdate(UpdateRequest request);
+
+  Result<Sequence> CallUserFunction(const FunctionDecl& decl,
+                                    std::vector<Sequence> args);
+
+  Status ResolveGlobals();
+
+  Store* store_;
+  const Program* program_;
+  EvaluatorOptions options_;
+
+  std::unordered_map<std::string, const FunctionDecl*> functions_;
+  std::unordered_map<std::string, Sequence> globals_;
+  std::unordered_map<std::string, Sequence> external_vars_;
+  std::unordered_map<std::string, NodeId> documents_;
+
+  /// Section 4.1: "a stack of update lists, where each update list on
+  /// the stack corresponds to a given snap scope".
+  std::vector<UpdateList> snap_stack_;
+
+  IdIndex id_index_;
+  int call_depth_ = 0;
+  bool globals_resolved_ = false;
+  int64_t snaps_applied_ = 0;
+  int64_t updates_applied_ = 0;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_EVALUATOR_H_

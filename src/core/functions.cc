@@ -1,0 +1,725 @@
+#include "core/functions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "base/regex.h"
+#include "base/string_util.h"
+#include "core/evaluator.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+namespace {
+
+Status ArityError(const std::string& name, size_t got, int line) {
+  return Status::StaticError("err:XPST0017: wrong number of arguments to " +
+                             name + " (got " + std::to_string(got) +
+                             ") at line " + std::to_string(line));
+}
+
+/// Atomizes a singleton argument; empty stays empty; >1 errors.
+Result<std::optional<AtomicValue>> SingletonAtom(const Store& store,
+                                                 const Sequence& seq,
+                                                 const std::string& fn) {
+  if (seq.empty()) return std::optional<AtomicValue>();
+  if (seq.size() > 1) {
+    return Status::TypeError("err:XPTY0004: " + fn +
+                             " expects at most one item");
+  }
+  return std::optional<AtomicValue>(AtomizeItem(store, seq[0]));
+}
+
+Result<Item> ContextItemOf(const DynEnv& env, const std::string& fn) {
+  if (!env.has_context_item()) {
+    return Status::DynamicError("err:XPDY0002: " + fn +
+                                " requires a context item");
+  }
+  return env.context_item();
+}
+
+Result<NodeId> SingleNode(const Sequence& seq, const std::string& fn) {
+  if (seq.size() != 1 || !seq[0].is_node()) {
+    return Status::TypeError("err:XPTY0004: " + fn +
+                             " expects exactly one node");
+  }
+  return seq[0].node();
+}
+
+/// Numeric aggregate support: atomizes all items to doubles, tracking
+/// whether every input was an integer.
+struct NumericArgs {
+  std::vector<double> values;
+  bool all_integers = true;
+};
+
+Result<NumericArgs> ToNumbers(const Store& store, const Sequence& seq,
+                              const std::string& fn) {
+  NumericArgs out;
+  out.values.reserve(seq.size());
+  for (const Item& item : seq) {
+    AtomicValue a = AtomizeItem(store, item);
+    if (a.type() == AtomicType::kBoolean) {
+      return Status::TypeError("err:FORG0006: " + fn +
+                               " on a boolean value");
+    }
+    if (a.type() != AtomicType::kInteger) out.all_integers = false;
+    XQB_ASSIGN_OR_RETURN(double d, a.ToDouble());
+    out.values.push_back(d);
+  }
+  return out;
+}
+
+bool DeepEqualNodes(const Store& store, NodeId a, NodeId b) {
+  if (store.KindOf(a) != store.KindOf(b)) return false;
+  switch (store.KindOf(a)) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+      return store.ContentOf(a) == store.ContentOf(b);
+    case NodeKind::kAttribute:
+    case NodeKind::kProcessingInstruction:
+      return store.NameOf(a) == store.NameOf(b) &&
+             store.ContentOf(a) == store.ContentOf(b);
+    case NodeKind::kDocument:
+    case NodeKind::kElement: {
+      if (store.KindOf(a) == NodeKind::kElement) {
+        if (store.NameOf(a) != store.NameOf(b)) return false;
+        const auto& attrs_a = store.AttributesOf(a);
+        const auto& attrs_b = store.AttributesOf(b);
+        if (attrs_a.size() != attrs_b.size()) return false;
+        // Attribute order is not significant.
+        for (NodeId attr : attrs_a) {
+          NodeId other = store.AttributeNamed(b, store.NameOf(attr));
+          if (other == kInvalidNode ||
+              store.ContentOf(other) != store.ContentOf(attr)) {
+            return false;
+          }
+        }
+      }
+      const auto& ca = store.ChildrenOf(a);
+      const auto& cb = store.ChildrenOf(b);
+      // Comments/PIs are ignored by fn:deep-equal on element content.
+      auto significant = [&store](const std::vector<NodeId>& v) {
+        std::vector<NodeId> out;
+        for (NodeId n : v) {
+          NodeKind k = store.KindOf(n);
+          if (k != NodeKind::kComment &&
+              k != NodeKind::kProcessingInstruction) {
+            out.push_back(n);
+          }
+        }
+        return out;
+      };
+      std::vector<NodeId> sa = significant(ca);
+      std::vector<NodeId> sb = significant(cb);
+      if (sa.size() != sb.size()) return false;
+      for (size_t i = 0; i < sa.size(); ++i) {
+        if (!DeepEqualNodes(store, sa[i], sb[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsBuiltinFunction(const std::string& raw) {
+  std::string name = raw;
+  if (StartsWith(name, "fn:")) name = name.substr(3);
+  static const std::unordered_set<std::string> kBuiltins = {
+      "count", "empty", "exists", "not", "boolean", "true", "false",
+      "position", "last", "string", "data", "number", "string-length",
+      "normalize-space", "upper-case", "lower-case", "concat", "substring",
+      "contains", "starts-with", "ends-with", "string-join",
+      "substring-before", "substring-after", "translate", "sum", "avg",
+      "min", "max", "abs", "floor", "ceiling", "round", "distinct-values",
+      "reverse", "subsequence", "index-of", "insert-before", "remove",
+      "zero-or-one", "exactly-one", "one-or-more", "name", "local-name",
+      "root", "deep-equal", "doc", "error", "string-to-codepoints",
+      "codepoints-to-string", "node-kind", "matches", "replace",
+      "tokenize", "id", "trace",
+  };
+  return kBuiltins.count(name) > 0;
+}
+
+Result<Sequence> CallBuiltinFunction(Evaluator* evaluator,
+                                     const std::string& name,
+                                     const std::vector<Sequence>& args,
+                                     const DynEnv& env, int line) {
+  Store& store = *evaluator->store();
+  const size_t n = args.size();
+
+  // ---- boolean / cardinality ----
+  if (name == "count") {
+    if (n != 1) return ArityError(name, n, line);
+    return Sequence{Item::Integer(static_cast<int64_t>(args[0].size()))};
+  }
+  if (name == "empty") {
+    if (n != 1) return ArityError(name, n, line);
+    return Sequence{Item::Boolean(args[0].empty())};
+  }
+  if (name == "exists") {
+    if (n != 1) return ArityError(name, n, line);
+    return Sequence{Item::Boolean(!args[0].empty())};
+  }
+  if (name == "not") {
+    if (n != 1) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(bool v, EffectiveBooleanValue(store, args[0]));
+    return Sequence{Item::Boolean(!v)};
+  }
+  if (name == "boolean") {
+    if (n != 1) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(bool v, EffectiveBooleanValue(store, args[0]));
+    return Sequence{Item::Boolean(v)};
+  }
+  if (name == "true") {
+    if (n != 0) return ArityError(name, n, line);
+    return Sequence{Item::Boolean(true)};
+  }
+  if (name == "false") {
+    if (n != 0) return ArityError(name, n, line);
+    return Sequence{Item::Boolean(false)};
+  }
+
+  // ---- focus ----
+  if (name == "position") {
+    if (n != 0) return ArityError(name, n, line);
+    if (!env.has_context_item()) {
+      return Status::DynamicError("err:XPDY0002: position() without focus");
+    }
+    return Sequence{Item::Integer(env.context_pos())};
+  }
+  if (name == "last") {
+    if (n != 0) return ArityError(name, n, line);
+    if (!env.has_context_item()) {
+      return Status::DynamicError("err:XPDY0002: last() without focus");
+    }
+    return Sequence{Item::Integer(env.context_size())};
+  }
+
+  // ---- strings ----
+  if (name == "string") {
+    if (n > 1) return ArityError(name, n, line);
+    if (n == 0) {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      return Sequence{Item::String(ItemToString(store, item))};
+    }
+    if (args[0].empty()) return Sequence{Item::String("")};
+    if (args[0].size() > 1) {
+      return Status::TypeError("err:XPTY0004: string() on a sequence");
+    }
+    return Sequence{Item::String(ItemToString(store, args[0][0]))};
+  }
+  if (name == "data") {
+    if (n != 1) return ArityError(name, n, line);
+    Sequence out;
+    for (const AtomicValue& a : Atomize(store, args[0])) {
+      out.push_back(Item::Atomic(a));
+    }
+    return out;
+  }
+  if (name == "number") {
+    if (n > 1) return ArityError(name, n, line);
+    Sequence input;
+    if (n == 1) {
+      input = args[0];
+    } else {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      input = Sequence{item};
+    }
+    if (input.size() != 1) return Sequence{Item::Double(std::nan(""))};
+    Result<double> d = AtomizeItem(store, input[0]).ToDouble();
+    return Sequence{Item::Double(d.ok() ? *d : std::nan(""))};
+  }
+  if (name == "string-length") {
+    if (n > 1) return ArityError(name, n, line);
+    std::string s;
+    if (n == 1) {
+      XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+      if (a) s = a->ToString();
+    } else {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      s = ItemToString(store, item);
+    }
+    return Sequence{Item::Integer(static_cast<int64_t>(s.size()))};
+  }
+  if (name == "normalize-space") {
+    if (n > 1) return ArityError(name, n, line);
+    std::string s;
+    if (n == 1) {
+      XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+      if (a) s = a->ToString();
+    } else {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      s = ItemToString(store, item);
+    }
+    return Sequence{Item::String(NormalizeSpace(s))};
+  }
+  if (name == "upper-case" || name == "lower-case") {
+    if (n != 1) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    std::string s = a ? a->ToString() : "";
+    for (char& c : s) {
+      c = name == "upper-case"
+              ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+              : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return Sequence{Item::String(std::move(s))};
+  }
+  if (name == "concat") {
+    if (n < 2) return ArityError(name, n, line);
+    std::string out;
+    for (const Sequence& arg : args) {
+      XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, arg, name));
+      if (a) out.append(a->ToString());
+    }
+    return Sequence{Item::String(std::move(out))};
+  }
+  if (name == "substring") {
+    if (n != 2 && n != 3) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto sa, SingletonAtom(store, args[0], name));
+    std::string s = sa ? sa->ToString() : "";
+    XQB_ASSIGN_OR_RETURN(auto start_a, SingletonAtom(store, args[1], name));
+    if (!start_a) return Sequence{Item::String("")};
+    XQB_ASSIGN_OR_RETURN(double start_d, start_a->ToDouble());
+    double len_d = std::numeric_limits<double>::infinity();
+    if (n == 3) {
+      XQB_ASSIGN_OR_RETURN(auto len_a, SingletonAtom(store, args[2], name));
+      if (!len_a) return Sequence{Item::String("")};
+      XQB_ASSIGN_OR_RETURN(len_d, len_a->ToDouble());
+    }
+    // 1-based; rounds per F&O.
+    double from = std::round(start_d);
+    double to = n == 3 ? from + std::round(len_d)
+                       : std::numeric_limits<double>::infinity();
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      double pos = static_cast<double>(i) + 1;
+      if (pos >= from && pos < to) out.push_back(s[i]);
+    }
+    return Sequence{Item::String(std::move(out))};
+  }
+  if (name == "contains" || name == "starts-with" || name == "ends-with") {
+    if (n != 2) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    XQB_ASSIGN_OR_RETURN(auto b, SingletonAtom(store, args[1], name));
+    std::string sa = a ? a->ToString() : "";
+    std::string sb = b ? b->ToString() : "";
+    bool v = name == "contains"      ? Contains(sa, sb)
+             : name == "starts-with" ? StartsWith(sa, sb)
+                                     : EndsWith(sa, sb);
+    return Sequence{Item::Boolean(v)};
+  }
+  if (name == "string-join") {
+    if (n != 1 && n != 2) return ArityError(name, n, line);
+    std::string sep;
+    if (n == 2) {
+      XQB_ASSIGN_OR_RETURN(auto s, SingletonAtom(store, args[1], name));
+      if (s) sep = s->ToString();
+    }
+    std::string out;
+    for (size_t i = 0; i < args[0].size(); ++i) {
+      if (i > 0) out.append(sep);
+      out.append(ItemToString(store, args[0][i]));
+    }
+    return Sequence{Item::String(std::move(out))};
+  }
+  if (name == "substring-before" || name == "substring-after") {
+    if (n != 2) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    XQB_ASSIGN_OR_RETURN(auto b, SingletonAtom(store, args[1], name));
+    std::string sa = a ? a->ToString() : "";
+    std::string sb = b ? b->ToString() : "";
+    size_t at = sa.find(sb);
+    if (at == std::string::npos || sb.empty()) {
+      return Sequence{Item::String("")};
+    }
+    return Sequence{Item::String(name == "substring-before"
+                                     ? sa.substr(0, at)
+                                     : sa.substr(at + sb.size()))};
+  }
+  if (name == "translate") {
+    if (n != 3) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    XQB_ASSIGN_OR_RETURN(auto from_a, SingletonAtom(store, args[1], name));
+    XQB_ASSIGN_OR_RETURN(auto to_a, SingletonAtom(store, args[2], name));
+    std::string s = a ? a->ToString() : "";
+    std::string from = from_a ? from_a->ToString() : "";
+    std::string to = to_a ? to_a->ToString() : "";
+    std::string out;
+    for (char c : s) {
+      size_t at = from.find(c);
+      if (at == std::string::npos) {
+        out.push_back(c);
+      } else if (at < to.size()) {
+        out.push_back(to[at]);
+      }  // else: dropped.
+    }
+    return Sequence{Item::String(std::move(out))};
+  }
+  if (name == "matches" || name == "replace" || name == "tokenize") {
+    const size_t base_arity = name == "replace" ? 3 : 2;
+    if (n != base_arity && n != base_arity + 1) {
+      return ArityError(name, n, line);
+    }
+    XQB_ASSIGN_OR_RETURN(auto input_a, SingletonAtom(store, args[0], name));
+    std::string input = input_a ? input_a->ToString() : "";
+    XQB_ASSIGN_OR_RETURN(auto pattern_a,
+                         SingletonAtom(store, args[1], name));
+    if (!pattern_a) {
+      return Status::TypeError("err:XPTY0004: " + name +
+                               " requires a pattern");
+    }
+    std::string flags;
+    if (n == base_arity + 1) {
+      XQB_ASSIGN_OR_RETURN(auto flags_a,
+                           SingletonAtom(store, args[n - 1], name));
+      if (flags_a) flags = flags_a->ToString();
+    }
+    XQB_ASSIGN_OR_RETURN(Regex regex,
+                         Regex::Compile(pattern_a->ToString(), flags));
+    if (name == "matches") {
+      XQB_ASSIGN_OR_RETURN(bool matched, regex.Matches(input));
+      return Sequence{Item::Boolean(matched)};
+    }
+    if (name == "replace") {
+      XQB_ASSIGN_OR_RETURN(auto repl_a, SingletonAtom(store, args[2], name));
+      std::string repl = repl_a ? repl_a->ToString() : "";
+      XQB_ASSIGN_OR_RETURN(std::string out, regex.Replace(input, repl));
+      return Sequence{Item::String(std::move(out))};
+    }
+    XQB_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                         regex.Tokenize(input));
+    Sequence out;
+    for (std::string& token : tokens) {
+      out.push_back(Item::String(std::move(token)));
+    }
+    return out;
+  }
+  if (name == "string-to-codepoints") {
+    if (n != 1) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    Sequence out;
+    if (a) {
+      for (unsigned char c : a->ToString()) {
+        out.push_back(Item::Integer(c));
+      }
+    }
+    return out;
+  }
+  if (name == "codepoints-to-string") {
+    if (n != 1) return ArityError(name, n, line);
+    std::string out;
+    for (const Item& item : args[0]) {
+      AtomicValue a = AtomizeItem(store, item);
+      XQB_ASSIGN_OR_RETURN(double d, a.ToDouble());
+      out.push_back(static_cast<char>(static_cast<int>(d)));
+    }
+    return Sequence{Item::String(std::move(out))};
+  }
+
+  // ---- numerics / aggregates ----
+  if (name == "sum" || name == "avg" || name == "min" || name == "max") {
+    if (name == "sum" ? (n != 1 && n != 2) : n != 1) {
+      return ArityError(name, n, line);
+    }
+    if (args[0].empty()) {
+      if (name == "sum") {
+        if (n == 2) return args[1];
+        return Sequence{Item::Integer(0)};
+      }
+      return Sequence{};
+    }
+    // String min/max compare as strings.
+    std::vector<AtomicValue> atoms = Atomize(store, args[0]);
+    bool all_strings = true;
+    for (const AtomicValue& a : atoms) {
+      if (a.type() != AtomicType::kString) all_strings = false;
+    }
+    if ((name == "min" || name == "max") && all_strings) {
+      std::string best = atoms[0].str();
+      for (const AtomicValue& a : atoms) {
+        if (name == "min" ? a.str() < best : a.str() > best) best = a.str();
+      }
+      return Sequence{Item::String(best)};
+    }
+    XQB_ASSIGN_OR_RETURN(NumericArgs nums, ToNumbers(store, args[0], name));
+    if (name == "sum" || name == "avg") {
+      double total = 0;
+      for (double v : nums.values) total += v;
+      if (name == "avg") {
+        return Sequence{
+            Item::Double(total / static_cast<double>(nums.values.size()))};
+      }
+      if (nums.all_integers) {
+        return Sequence{Item::Integer(static_cast<int64_t>(total))};
+      }
+      return Sequence{Item::Double(total)};
+    }
+    double best = nums.values[0];
+    for (double v : nums.values) {
+      if (name == "min" ? v < best : v > best) best = v;
+    }
+    if (nums.all_integers) {
+      return Sequence{Item::Integer(static_cast<int64_t>(best))};
+    }
+    return Sequence{Item::Double(best)};
+  }
+  if (name == "abs" || name == "floor" || name == "ceiling" ||
+      name == "round") {
+    if (n != 1) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    if (!a) return Sequence{};
+    if (a->type() == AtomicType::kInteger) {
+      int64_t v = a->int_value();
+      if (name == "abs") v = v < 0 ? -v : v;
+      return Sequence{Item::Integer(v)};
+    }
+    XQB_ASSIGN_OR_RETURN(double d, a->ToDouble());
+    double r = name == "abs"       ? std::fabs(d)
+               : name == "floor"   ? std::floor(d)
+               : name == "ceiling" ? std::ceil(d)
+                                   : std::floor(d + 0.5);  // round half up
+    return Sequence{Item::Double(r)};
+  }
+
+  // ---- sequences ----
+  if (name == "distinct-values") {
+    if (n != 1) return ArityError(name, n, line);
+    Sequence out;
+    std::unordered_set<std::string> seen;
+    for (const AtomicValue& a : Atomize(store, args[0])) {
+      // Key on type category + lexical form (numbers by value).
+      std::string key;
+      if (a.is_numeric()) {
+        XQB_ASSIGN_OR_RETURN(double d, a.ToDouble());
+        key = "n:" + FormatDouble(d);
+      } else if (a.type() == AtomicType::kBoolean) {
+        key = std::string("b:") + (a.bool_value() ? "1" : "0");
+      } else {
+        key = "s:" + a.str();
+      }
+      if (seen.insert(key).second) out.push_back(Item::Atomic(a));
+    }
+    return out;
+  }
+  if (name == "reverse") {
+    if (n != 1) return ArityError(name, n, line);
+    Sequence out(args[0].rbegin(), args[0].rend());
+    return out;
+  }
+  if (name == "subsequence") {
+    if (n != 2 && n != 3) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto start_a, SingletonAtom(store, args[1], name));
+    if (!start_a) return Sequence{};
+    XQB_ASSIGN_OR_RETURN(double from_d, start_a->ToDouble());
+    double from = std::round(from_d);
+    double to = std::numeric_limits<double>::infinity();
+    if (n == 3) {
+      XQB_ASSIGN_OR_RETURN(auto len_a, SingletonAtom(store, args[2], name));
+      if (!len_a) return Sequence{};
+      XQB_ASSIGN_OR_RETURN(double len_d, len_a->ToDouble());
+      to = from + std::round(len_d);
+    }
+    Sequence out;
+    for (size_t i = 0; i < args[0].size(); ++i) {
+      double pos = static_cast<double>(i) + 1;
+      if (pos >= from && pos < to) out.push_back(args[0][i]);
+    }
+    return out;
+  }
+  if (name == "index-of") {
+    if (n != 2) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto target, SingletonAtom(store, args[1], name));
+    if (!target) {
+      return Status::TypeError("err:XPTY0004: index-of needs a search key");
+    }
+    Sequence out;
+    std::vector<AtomicValue> atoms = Atomize(store, args[0]);
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      Result<bool> eq = CompareAtomic(atoms[i], *target, "eq");
+      if (eq.ok() && *eq) {
+        out.push_back(Item::Integer(static_cast<int64_t>(i) + 1));
+      }
+    }
+    return out;
+  }
+  if (name == "insert-before") {
+    if (n != 3) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto pos_a, SingletonAtom(store, args[1], name));
+    if (!pos_a) {
+      return Status::TypeError("err:XPTY0004: insert-before position");
+    }
+    XQB_ASSIGN_OR_RETURN(double pos_d, pos_a->ToDouble());
+    int64_t pos = std::max<int64_t>(1, static_cast<int64_t>(pos_d));
+    Sequence out;
+    for (size_t i = 0; i < args[0].size(); ++i) {
+      if (static_cast<int64_t>(i) + 1 == pos) {
+        out.insert(out.end(), args[2].begin(), args[2].end());
+      }
+      out.push_back(args[0][i]);
+    }
+    if (pos > static_cast<int64_t>(args[0].size())) {
+      out.insert(out.end(), args[2].begin(), args[2].end());
+    }
+    return out;
+  }
+  if (name == "remove") {
+    if (n != 2) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto pos_a, SingletonAtom(store, args[1], name));
+    if (!pos_a) return Status::TypeError("err:XPTY0004: remove position");
+    XQB_ASSIGN_OR_RETURN(double pos_d, pos_a->ToDouble());
+    int64_t pos = static_cast<int64_t>(pos_d);
+    Sequence out;
+    for (size_t i = 0; i < args[0].size(); ++i) {
+      if (static_cast<int64_t>(i) + 1 != pos) out.push_back(args[0][i]);
+    }
+    return out;
+  }
+  if (name == "zero-or-one") {
+    if (n != 1) return ArityError(name, n, line);
+    if (args[0].size() > 1) {
+      return Status::DynamicError("err:FORG0003: zero-or-one on " +
+                                  std::to_string(args[0].size()) + " items");
+    }
+    return args[0];
+  }
+  if (name == "exactly-one") {
+    if (n != 1) return ArityError(name, n, line);
+    if (args[0].size() != 1) {
+      return Status::DynamicError("err:FORG0005: exactly-one on " +
+                                  std::to_string(args[0].size()) + " items");
+    }
+    return args[0];
+  }
+  if (name == "one-or-more") {
+    if (n != 1) return ArityError(name, n, line);
+    if (args[0].empty()) {
+      return Status::DynamicError("err:FORG0004: one-or-more on empty");
+    }
+    return args[0];
+  }
+
+  // ---- nodes ----
+  if (name == "name" || name == "local-name") {
+    if (n > 1) return ArityError(name, n, line);
+    NodeId node;
+    if (n == 1) {
+      if (args[0].empty()) return Sequence{Item::String("")};
+      XQB_ASSIGN_OR_RETURN(node, SingleNode(args[0], name));
+    } else {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      if (!item.is_node()) {
+        return Status::TypeError("err:XPTY0004: " + name + " on non-node");
+      }
+      node = item.node();
+    }
+    std::string full(store.NameOf(node));
+    if (name == "local-name") {
+      size_t colon = full.find(':');
+      if (colon != std::string::npos) full = full.substr(colon + 1);
+    }
+    return Sequence{Item::String(std::move(full))};
+  }
+  if (name == "root") {
+    if (n > 1) return ArityError(name, n, line);
+    NodeId node;
+    if (n == 1) {
+      if (args[0].empty()) return Sequence{};
+      XQB_ASSIGN_OR_RETURN(node, SingleNode(args[0], name));
+    } else {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      if (!item.is_node()) {
+        return Status::TypeError("err:XPTY0004: root() on non-node");
+      }
+      node = item.node();
+    }
+    return Sequence{Item::Node(store.RootOf(node))};
+  }
+  if (name == "node-kind") {
+    if (n != 1) return ArityError(name, n, line);
+    if (args[0].empty()) return Sequence{Item::String("")};
+    XQB_ASSIGN_OR_RETURN(NodeId node, SingleNode(args[0], name));
+    return Sequence{Item::String(NodeKindToString(store.KindOf(node)))};
+  }
+  if (name == "deep-equal") {
+    if (n != 2) return ArityError(name, n, line);
+    if (args[0].size() != args[1].size()) {
+      return Sequence{Item::Boolean(false)};
+    }
+    for (size_t i = 0; i < args[0].size(); ++i) {
+      const Item& a = args[0][i];
+      const Item& b = args[1][i];
+      if (a.is_node() != b.is_node()) {
+        return Sequence{Item::Boolean(false)};
+      }
+      if (a.is_node()) {
+        if (!DeepEqualNodes(store, a.node(), b.node())) {
+          return Sequence{Item::Boolean(false)};
+        }
+      } else {
+        Result<bool> eq = CompareAtomic(a.atom(), b.atom(), "eq");
+        if (!eq.ok() || !*eq) return Sequence{Item::Boolean(false)};
+      }
+    }
+    return Sequence{Item::Boolean(true)};
+  }
+  if (name == "id") {
+    // fn:id($ids as xs:string*, $node as node()?) — elements whose @id
+    // attribute equals one of $ids, in document order, served from the
+    // engine's version-invalidated index.
+    if (n != 1 && n != 2) return ArityError(name, n, line);
+    NodeId context;
+    if (n == 2) {
+      XQB_ASSIGN_OR_RETURN(context, SingleNode(args[1], name));
+    } else {
+      XQB_ASSIGN_OR_RETURN(Item item, ContextItemOf(env, name));
+      if (!item.is_node()) {
+        return Status::TypeError("err:XPTY0004: id() on non-node focus");
+      }
+      context = item.node();
+    }
+    Sequence out;
+    for (const AtomicValue& a : Atomize(store, args[0])) {
+      for (NodeId hit :
+           evaluator->id_index().Lookup(store, context, a.ToString())) {
+        out.push_back(Item::Node(hit));
+      }
+    }
+    return SortDocOrderDedup(store, std::move(out));
+  }
+  if (name == "doc") {
+    if (n != 1) return ArityError(name, n, line);
+    XQB_ASSIGN_OR_RETURN(auto a, SingletonAtom(store, args[0], name));
+    if (!a) return Sequence{};
+    XQB_ASSIGN_OR_RETURN(NodeId doc, evaluator->LookupDocument(a->ToString()));
+    return Sequence{Item::Node(doc)};
+  }
+  if (name == "trace") {
+    // fn:trace($value, $label): logs to stderr, returns $value.
+    if (n != 2) return ArityError(name, n, line);
+    std::string label;
+    if (!args[1].empty()) label = ItemToString(store, args[1][0]);
+    std::fprintf(stderr, "trace[%s]: %s\n", label.c_str(),
+                 SequenceToString(store, args[0]).c_str());
+    return args[0];
+  }
+  if (name == "error") {
+    std::string msg = "err:FOER0000";
+    if (n >= 1 && !args[0].empty()) {
+      msg = ItemToString(store, args[0][0]);
+    }
+    if (n >= 2 && !args[1].empty()) {
+      msg += ": " + ItemToString(store, args[1][0]);
+    }
+    return Status::DynamicError(msg);
+  }
+
+  return Status::StaticError("err:XPST0017: unknown builtin " + name +
+                             " at line " + std::to_string(line));
+}
+
+}  // namespace xqb

@@ -1,0 +1,29 @@
+#ifndef XQB_CORE_FUNCTIONS_H_
+#define XQB_CORE_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "core/dynenv.h"
+#include "xdm/item.h"
+
+namespace xqb {
+
+class Evaluator;
+
+/// True if `name` (with or without an "fn:" prefix) names a builtin.
+bool IsBuiltinFunction(const std::string& name);
+
+/// Invokes the builtin `name` with pre-evaluated arguments. `env`
+/// supplies the focus for the context-dependent zero-argument forms
+/// (position(), last(), string(), name(), ...). Arity errors and dynamic
+/// errors follow the W3C F&O error codes in spirit.
+Result<Sequence> CallBuiltinFunction(Evaluator* evaluator,
+                                     const std::string& name,
+                                     const std::vector<Sequence>& args,
+                                     const DynEnv& env, int line);
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_FUNCTIONS_H_

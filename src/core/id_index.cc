@@ -1,0 +1,33 @@
+#include "core/id_index.h"
+
+namespace xqb {
+
+void IdIndex::Build(const Store& store, NodeId node, TreeIndex* index) {
+  if (store.KindOf(node) == NodeKind::kElement) {
+    NodeId attr = store.AttributeNamed(node, "id");
+    if (attr != kInvalidNode) {
+      index->by_id[store.ContentOf(attr)].push_back(node);
+    }
+  }
+  for (NodeId child : store.ChildrenOf(node)) {
+    Build(store, child, index);
+  }
+}
+
+const std::vector<NodeId>& IdIndex::Lookup(const Store& store, NodeId root,
+                                           const std::string& id) {
+  NodeId tree_root = store.RootOf(root);
+  TreeIndex& index = trees_[tree_root];
+  if (index.version != store.version() || index.by_id.empty()) {
+    // Rebuild lazily: document order falls out of the DFS.
+    index.by_id.clear();
+    Build(store, tree_root, &index);
+    index.version = store.version();
+    ++rebuilds_;
+  }
+  auto it = index.by_id.find(id);
+  if (it == index.by_id.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace xqb

@@ -1,0 +1,48 @@
+#ifndef XQB_CORE_ID_INDEX_H_
+#define XQB_CORE_ID_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// A lazily-built per-tree index from @id attribute values to their
+/// owning elements, backing the fn:id builtin. Invalidation rides the
+/// store's version counter: because XQuery! snaps can mutate the store
+/// mid-session, any structural change rebuilds the affected tree's
+/// index on next use. (The paper's Galax port left indexing aside; this
+/// is the obvious engine-level aid for the @id-keyed lookups its Web
+/// service example performs on every call.)
+class IdIndex {
+ public:
+  IdIndex() = default;
+  IdIndex(const IdIndex&) = delete;
+  IdIndex& operator=(const IdIndex&) = delete;
+
+  /// Elements under `root`'s tree whose @id equals `id`, in document
+  /// order. `root` may be any node of the tree.
+  const std::vector<NodeId>& Lookup(const Store& store, NodeId root,
+                                    const std::string& id);
+
+  /// Observability for tests/benches.
+  int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  struct TreeIndex {
+    uint64_t version = 0;
+    std::unordered_map<std::string, std::vector<NodeId>> by_id;
+  };
+
+  void Build(const Store& store, NodeId node, TreeIndex* index);
+
+  std::unordered_map<NodeId, TreeIndex> trees_;  // keyed by tree root
+  int64_t rebuilds_ = 0;
+  const std::vector<NodeId> empty_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_ID_INDEX_H_

@@ -1,0 +1,89 @@
+#include "core/normalize.h"
+
+#include <utility>
+
+namespace xqb {
+
+namespace {
+
+/// Wraps `expr` in copy{...} unless it is already a copy expression.
+ExprPtr WrapInCopy(ExprPtr expr) {
+  if (expr->kind == ExprKind::kCopy) return expr;
+  ExprPtr copy = MakeExpr(ExprKind::kCopy);
+  copy->line = expr->line;
+  copy->children.push_back(std::move(expr));
+  return copy;
+}
+
+/// Wraps `expr` in snap{...} with the default mode (the snap-sugar
+/// desugaring of Figure 1's "snap insert{}into{}" forms).
+ExprPtr WrapInSnap(ExprPtr expr) {
+  ExprPtr snap = MakeExpr(ExprKind::kSnap);
+  snap->line = expr->line;
+  snap->snap_mode = SnapMode::kDefault;
+  snap->children.push_back(std::move(expr));
+  return snap;
+}
+
+void NormalizeRec(ExprPtr* slot) {
+  Expr* e = slot->get();
+  // Normalize children (and clause/binding expressions) first.
+  for (ExprPtr& child : e->children) NormalizeRec(&child);
+  for (FlworClause& clause : e->clauses) {
+    if (clause.expr) NormalizeRec(&clause.expr);
+    for (FlworClause::OrderSpec& spec : clause.order_specs) {
+      NormalizeRec(&spec.key);
+    }
+  }
+  for (QuantBinding& binding : e->quant_bindings) {
+    NormalizeRec(&binding.expr);
+  }
+
+  switch (e->kind) {
+    case ExprKind::kInsert: {
+      e->children[0] = WrapInCopy(std::move(e->children[0]));
+      if (e->insert_pos == InsertPos::kInto) {
+        e->insert_pos = InsertPos::kAsLastInto;
+      }
+      break;
+    }
+    case ExprKind::kReplace: {
+      e->children[1] = WrapInCopy(std::move(e->children[1]));
+      break;
+    }
+    default:
+      break;
+  }
+
+  // Snap sugar: the update expression's value_int flag records that the
+  // surface form had a `snap` prefix.
+  switch (e->kind) {
+    case ExprKind::kInsert:
+    case ExprKind::kDelete:
+    case ExprKind::kReplace:
+    case ExprKind::kRename:
+      if (e->value_int != 0) {
+        e->value_int = 0;
+        *slot = WrapInSnap(std::move(*slot));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void NormalizeExpr(ExprPtr* expr) { NormalizeRec(expr); }
+
+void NormalizeProgram(Program* program) {
+  for (VarDecl& v : program->variables) {
+    if (v.init) NormalizeExpr(&v.init);
+  }
+  for (FunctionDecl& f : program->functions) {
+    NormalizeExpr(&f.body);
+  }
+  if (program->body) NormalizeExpr(&program->body);
+}
+
+}  // namespace xqb

@@ -1,0 +1,35 @@
+#ifndef XQB_CORE_NORMALIZE_H_
+#define XQB_CORE_NORMALIZE_H_
+
+#include "base/status.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Normalizes a surface expression to XQuery! core (Section 3.3):
+///
+///  - `insert {E1} into {E2}` becomes
+///    `insert {copy{E1}} as last into {E2}` — a deep copy is inserted
+///    around insert's first argument ("this copy prevents the inserted
+///    tree from having two parents"), and bare `into` becomes
+///    `as last into`;
+///  - `replace {E1} with {E2}` gets the same copy around its second
+///    argument;
+///  - the `snap insert/delete/replace/rename` sugar becomes an explicit
+///    enclosing `snap { ... }` (default mode);
+///  - normalization recurses through every subexpression, including
+///    prolog function bodies and variable initializers.
+///
+/// Direct XML constructors were already desugared to computed
+/// constructors by the parser; computed constructors copy their content
+/// at construction time (like XQuery 1.0 element construction), so they
+/// need no extra copy here.
+void NormalizeExpr(ExprPtr* expr);
+
+/// Normalizes every expression in the program (variable initializers,
+/// function bodies, and the query body).
+void NormalizeProgram(Program* program);
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_NORMALIZE_H_

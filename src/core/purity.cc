@@ -1,0 +1,102 @@
+#include "core/purity.h"
+
+#include "base/status.h"
+
+namespace xqb {
+
+PurityInfo PurityAnalysis::FunctionInfo(const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) return PurityInfo{};
+  return it->second;
+}
+
+PurityInfo PurityAnalysis::Analyze(const Expr& expr) const {
+  PurityInfo info;
+  switch (expr.kind) {
+    case ExprKind::kInsert:
+    case ExprKind::kDelete:
+    case ExprKind::kReplace:
+    case ExprKind::kRename:
+      info.has_update = true;
+      break;
+    case ExprKind::kSnap:
+      info.has_snap = true;
+      break;
+    case ExprKind::kFunctionCall:
+      info |= FunctionInfo(expr.name);
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& child : expr.children) info |= Analyze(*child);
+  for (const FlworClause& clause : expr.clauses) {
+    if (clause.expr) info |= Analyze(*clause.expr);
+    for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+      info |= Analyze(*spec.key);
+    }
+  }
+  for (const QuantBinding& binding : expr.quant_bindings) {
+    info |= Analyze(*binding.expr);
+  }
+  // A snap absorbs the pending updates of its scope: the snap expression
+  // itself emits no Δ, it applies one. It still "has_snap".
+  if (expr.kind == ExprKind::kSnap) {
+    info.has_update = false;
+    info.has_snap = true;
+  }
+  return info;
+}
+
+void PurityAnalysis::AnalyzeProgram(Program* program) {
+  functions_.clear();
+  for (const FunctionDecl& f : program->functions) {
+    functions_[f.name] = PurityInfo{};
+  }
+  // Fixpoint: re-analyze bodies until no flag changes. The lattice has
+  // height 2 per function, so this terminates quickly.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionDecl& f : program->functions) {
+      PurityInfo info = Analyze(*f.body);
+      PurityInfo& cur = functions_[f.name];
+      if (info.has_update != cur.has_update ||
+          info.has_snap != cur.has_snap) {
+        cur = info;
+        changed = true;
+      }
+    }
+  }
+  for (FunctionDecl& f : program->functions) {
+    const PurityInfo& info = functions_[f.name];
+    f.may_update = info.has_update;
+    f.may_snap = info.has_snap;
+  }
+}
+
+Status PurityAnalysis::CheckUpdatingDeclarations(
+    const Program& program) const {
+  bool opted_in = false;
+  for (const FunctionDecl& f : program.functions) {
+    opted_in = opted_in || f.declared_updating;
+  }
+  if (!opted_in) return Status::OK();
+  for (const FunctionDecl& f : program.functions) {
+    const bool effectful = f.may_update || f.may_snap;
+    if (effectful && !f.declared_updating) {
+      return Status::StaticError(
+          "function " + f.name +
+          " has side effects but is not declared updating (declare "
+          "updating function " +
+          f.name + ")");
+    }
+    if (!effectful && f.declared_updating) {
+      return Status::StaticError("function " + f.name +
+                                 " is declared updating but its body has "
+                                 "no side effects");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xqb

@@ -1,0 +1,73 @@
+#ifndef XQB_CORE_PURITY_H_
+#define XQB_CORE_PURITY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "base/status.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Side-effect summary of an expression (the "judgment which detects
+/// whether side effects occur in a given subexpression" of Section 4.2,
+/// plus the pending-update distinction of Section 5: the paper notes the
+/// semantics "requires to go beyond the pure-inpure distinction, notably
+/// requiring to distinguish the case where the query has some pending
+/// update but no effect").
+struct PurityInfo {
+  /// The expression may emit update requests (a non-empty Δ). A
+  /// has_update-but-not-has_snap expression is still side-effect free in
+  /// the paper's sense — "an expression which just produces update
+  /// requests, without applying them, is actually side-effects free" —
+  /// but duplicating or dropping its evaluations changes how many
+  /// requests the enclosing snap applies, so cardinality-changing
+  /// rewrites must be guarded on it.
+  bool has_update = false;
+  /// The expression may evaluate a snap (directly or through a function
+  /// call) and therefore may modify the store mid-evaluation. Reordering
+  /// rewrites must be guarded on this.
+  bool has_snap = false;
+
+  bool pure() const { return !has_update && !has_snap; }
+
+  PurityInfo& operator|=(const PurityInfo& other) {
+    has_update = has_update || other.has_update;
+    has_snap = has_snap || other.has_snap;
+    return *this;
+  }
+};
+
+/// Per-function side-effect flags, computed to a fixpoint over the call
+/// graph (the "updating flag" on function signatures that Section 5
+/// advocates, with "the monadic rule that a function that calls an
+/// updating function is updating as well").
+class PurityAnalysis {
+ public:
+  /// Analyzes `program`, filling FunctionDecl::may_update/may_snap and
+  /// recording the table for later queries. Unknown function names are
+  /// assumed pure builtins.
+  void AnalyzeProgram(Program* program);
+
+  /// Summary of an expression under the analyzed function table.
+  PurityInfo Analyze(const Expr& expr) const;
+
+  /// Lookup of a declared function's flags; defaults to pure.
+  PurityInfo FunctionInfo(const std::string& name) const;
+
+  /// Enforces the Section 5 signature discipline. Active only when the
+  /// program opts in by declaring at least one `updating function`: then
+  /// every function whose body may update or snap must carry the
+  /// `updating` marker ("a function that calls an updating function is
+  /// updating as well"), and a declared-updating function with a pure
+  /// body is flagged too (a stale signature). Must run after
+  /// AnalyzeProgram.
+  Status CheckUpdatingDeclarations(const Program& program) const;
+
+ private:
+  std::unordered_map<std::string, PurityInfo> functions_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_PURITY_H_

@@ -1,0 +1,141 @@
+#include "core/static_check.h"
+
+#include <unordered_map>
+
+#include "base/string_util.h"
+#include "core/functions.h"
+
+namespace xqb {
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const Program& program,
+          const std::set<std::string>& engine_variables)
+      : engine_variables_(engine_variables) {
+    for (const FunctionDecl& f : program.functions) {
+      arities_[f.name] = f.params.size();
+    }
+  }
+
+  Status CheckProgram(const Program& program) {
+    // Globals come into scope in declaration order for later
+    // initializers; function bodies see every global.
+    std::set<std::string> globals;
+    for (const VarDecl& v : program.variables) {
+      if (v.init) {
+        XQB_RETURN_IF_ERROR(CheckExpr(*v.init, globals));
+      }
+      globals.insert(v.name);
+    }
+    for (const FunctionDecl& f : program.functions) {
+      std::set<std::string> scope = globals;
+      for (const std::string& param : f.params) scope.insert(param);
+      XQB_RETURN_IF_ERROR(CheckExpr(*f.body, scope));
+    }
+    return CheckExpr(*program.body, globals);
+  }
+
+ private:
+  bool IsBound(const std::string& name,
+               const std::set<std::string>& scope) const {
+    return scope.count(name) > 0 || engine_variables_.count(name) > 0;
+  }
+
+  Status CheckCall(const Expr& e) const {
+    auto it = arities_.find(e.name);
+    if (it == arities_.end()) it = arities_.find("local:" + e.name);
+    if (it == arities_.end() && StartsWith(e.name, "local:")) {
+      it = arities_.find(e.name.substr(6));
+    }
+    if (it != arities_.end()) {
+      if (it->second != e.children.size()) {
+        return Status::StaticError(
+            "err:XPST0017: function " + e.name + " expects " +
+            std::to_string(it->second) + " argument(s), called with " +
+            std::to_string(e.children.size()) + " (line " +
+            std::to_string(e.line) + ")");
+      }
+      return Status::OK();
+    }
+    std::string builtin = e.name;
+    if (StartsWith(builtin, "fn:")) builtin = builtin.substr(3);
+    if (IsBuiltinFunction(builtin)) return Status::OK();
+    return Status::StaticError("err:XPST0017: unknown function " + e.name +
+                               " (line " + std::to_string(e.line) + ")");
+  }
+
+  Status CheckExpr(const Expr& e, const std::set<std::string>& scope) {
+    switch (e.kind) {
+      case ExprKind::kVarRef:
+        if (!IsBound(e.name, scope)) {
+          return Status::StaticError("err:XPST0008: unbound variable $" +
+                                     e.name + " (line " +
+                                     std::to_string(e.line) + ")");
+        }
+        return Status::OK();
+      case ExprKind::kFunctionCall: {
+        XQB_RETURN_IF_ERROR(CheckCall(e));
+        for (const ExprPtr& arg : e.children) {
+          XQB_RETURN_IF_ERROR(CheckExpr(*arg, scope));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kFlwor: {
+        std::set<std::string> local = scope;
+        for (const FlworClause& clause : e.clauses) {
+          if (clause.expr) {
+            XQB_RETURN_IF_ERROR(CheckExpr(*clause.expr, local));
+          }
+          for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+            XQB_RETURN_IF_ERROR(CheckExpr(*spec.key, local));
+          }
+          if (clause.kind == FlworClause::Kind::kFor ||
+              clause.kind == FlworClause::Kind::kLet) {
+            local.insert(clause.var);
+            if (!clause.pos_var.empty()) local.insert(clause.pos_var);
+          }
+        }
+        return CheckExpr(*e.children[0], local);
+      }
+      case ExprKind::kQuantified: {
+        std::set<std::string> local = scope;
+        for (const QuantBinding& binding : e.quant_bindings) {
+          XQB_RETURN_IF_ERROR(CheckExpr(*binding.expr, local));
+          local.insert(binding.var);
+        }
+        return CheckExpr(*e.children[0], local);
+      }
+      case ExprKind::kTypeswitch: {
+        XQB_RETURN_IF_ERROR(CheckExpr(*e.children[0], scope));
+        for (size_t i = 0; i < e.ts_cases.size(); ++i) {
+          std::set<std::string> local = scope;
+          if (!e.ts_cases[i].var.empty()) {
+            local.insert(e.ts_cases[i].var);
+          }
+          XQB_RETURN_IF_ERROR(CheckExpr(*e.children[i + 1], local));
+        }
+        return Status::OK();
+      }
+      default:
+        for (const ExprPtr& child : e.children) {
+          XQB_RETURN_IF_ERROR(CheckExpr(*child, scope));
+        }
+        return Status::OK();
+    }
+  }
+
+  const std::set<std::string>& engine_variables_;
+  std::unordered_map<std::string, size_t> arities_;
+};
+
+}  // namespace
+
+Status StaticCheckProgram(const Program& program,
+                          const std::set<std::string>& engine_variables) {
+  Checker checker(program, engine_variables);
+  return checker.CheckProgram(program);
+}
+
+}  // namespace xqb

@@ -1,0 +1,23 @@
+#ifndef XQB_CORE_STATIC_CHECK_H_
+#define XQB_CORE_STATIC_CHECK_H_
+
+#include <set>
+#include <string>
+
+#include "base/status.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Static reference checking at prepare time (err:XPST0008 /
+/// err:XPST0017 before any evaluation): every variable reference must
+/// be bound by an enclosing clause, a function parameter, a prolog
+/// declaration, or a host binding listed in `engine_variables`; every
+/// function call must name a declared function (with matching arity) or
+/// a builtin. Runs on the normalized program.
+Status StaticCheckProgram(const Program& program,
+                          const std::set<std::string>& engine_variables);
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_STATIC_CHECK_H_

@@ -1,0 +1,332 @@
+#include "core/update.h"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xqb {
+
+const char* InsertAnchorToString(InsertAnchor anchor) {
+  switch (anchor) {
+    case InsertAnchor::kFirst: return "first";
+    case InsertAnchor::kLast: return "last";
+    case InsertAnchor::kBefore: return "before";
+    case InsertAnchor::kAfter: return "after";
+  }
+  return "unknown";
+}
+
+std::string UpdateRequest::DebugString() const {
+  switch (op) {
+    case Op::kInsert: {
+      std::string out = "insert([";
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(nodes[i]);
+      }
+      out += "],";
+      out += InsertAnchorToString(anchor);
+      out += ':';
+      out += std::to_string(anchor == InsertAnchor::kBefore ||
+                                    anchor == InsertAnchor::kAfter
+                                ? anchor_node
+                                : parent);
+      out += ')';
+      return out;
+    }
+    case Op::kDelete:
+      return "delete(" + std::to_string(target) + ")";
+    case Op::kRename:
+      return "rename(" + std::to_string(target) + "," +
+             std::to_string(name) + ")";
+  }
+  return "unknown";
+}
+
+Status ApplyUpdateRequest(Store* store, const UpdateRequest& request) {
+  switch (request.op) {
+    case UpdateRequest::Op::kInsert:
+      switch (request.anchor) {
+        case InsertAnchor::kFirst:
+          return store->InsertChildrenFirst(request.nodes, request.parent);
+        case InsertAnchor::kLast:
+          return store->InsertChildrenLast(request.nodes, request.parent);
+        case InsertAnchor::kBefore:
+          return store->InsertChildrenBefore(request.nodes,
+                                             request.anchor_node);
+        case InsertAnchor::kAfter:
+          return store->InsertChildrenAfter(request.nodes,
+                                            request.anchor_node);
+      }
+      return Status::Internal("unknown insert anchor");
+    case UpdateRequest::Op::kDelete:
+      return store->Detach(request.target);
+    case UpdateRequest::Op::kRename:
+      return store->Rename(request.target, request.name);
+  }
+  return Status::Internal("unknown update op");
+}
+
+std::vector<const UpdateRequest*> UpdateList::Flatten() const {
+  std::vector<const UpdateRequest*> out;
+  out.reserve(size());
+  if (!root_) return out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->left) {
+      out.push_back(&node->request);
+      continue;
+    }
+    // Right first so left pops (and thus emits) first.
+    stack.push_back(node->right.get());
+    stack.push_back(node->left.get());
+  }
+  return out;
+}
+
+const char* ApplyModeToString(ApplyMode mode) {
+  switch (mode) {
+    case ApplyMode::kOrdered:
+      return "ordered";
+    case ApplyMode::kNondeterministic:
+      return "nondeterministic";
+    case ApplyMode::kConflictDetection:
+      return "conflict-detection";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status OrderRequests(ApplyMode mode, uint64_t seed, const Store* store,
+                     std::vector<const UpdateRequest*>* requests) {
+  switch (mode) {
+    case ApplyMode::kOrdered:
+      return Status::OK();
+    case ApplyMode::kNondeterministic: {
+      std::mt19937_64 rng(seed);
+      std::shuffle(requests->begin(), requests->end(), rng);
+      return Status::OK();
+    }
+    case ApplyMode::kConflictDetection:
+      return VerifyConflictFree(*requests, store);
+  }
+  return Status::Internal("unknown apply mode");
+}
+
+/// One entry of the rollback log: how to undo one applied request.
+struct UndoEntry {
+  enum class Kind : uint8_t {
+    kDetachPayload,   // detach `node` (undoes an insert placement)
+    kReattachChild,   // re-insert `node` under `parent` after `sibling`
+                      // (sibling == kInvalidNode => as first)
+    kReattachAttr,    // re-append attribute `node` to `parent`
+    kRenameBack,      // rename `node` back to `name`
+  };
+  Kind kind;
+  NodeId node = kInvalidNode;
+  NodeId parent = kInvalidNode;
+  NodeId sibling = kInvalidNode;
+  QNameId name = kInvalidQName;
+};
+
+/// Records, before `request` is applied, the log entries that undo it.
+void RecordUndo(const Store& store, const UpdateRequest& request,
+                std::vector<UndoEntry>* log) {
+  switch (request.op) {
+    case UpdateRequest::Op::kInsert:
+      // A placement's payload nodes are parentless going in; rollback
+      // detaches whichever of them acquired a parent (this also cleans
+      // up a partially-applied failing insert). Nodes that already had
+      // a parent (the request will fail on them) must NOT be detached.
+      for (NodeId n : request.nodes) {
+        if (store.ParentOf(n) != kInvalidNode) continue;
+        log->push_back(UndoEntry{UndoEntry::Kind::kDetachPayload, n,
+                                 kInvalidNode, kInvalidNode,
+                                 kInvalidQName});
+      }
+      break;
+    case UpdateRequest::Op::kDelete: {
+      NodeId parent = store.ParentOf(request.target);
+      if (parent == kInvalidNode) break;  // Detach was a no-op.
+      if (store.KindOf(request.target) == NodeKind::kAttribute) {
+        log->push_back(UndoEntry{UndoEntry::Kind::kReattachAttr,
+                                 request.target, parent, kInvalidNode,
+                                 kInvalidQName});
+        break;
+      }
+      const std::vector<NodeId>& siblings = store.ChildrenOf(parent);
+      NodeId prev = kInvalidNode;
+      for (NodeId s : siblings) {
+        if (s == request.target) break;
+        prev = s;
+      }
+      log->push_back(UndoEntry{UndoEntry::Kind::kReattachChild,
+                               request.target, parent, prev,
+                               kInvalidQName});
+      break;
+    }
+    case UpdateRequest::Op::kRename:
+      log->push_back(UndoEntry{UndoEntry::Kind::kRenameBack,
+                               request.target, kInvalidNode, kInvalidNode,
+                               store.NameIdOf(request.target)});
+      break;
+  }
+}
+
+/// Plays the undo log backwards. Undo operations cannot fail when
+/// replayed in reverse order onto the states they were recorded from.
+void Rollback(Store* store, const std::vector<UndoEntry>& log) {
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    switch (it->kind) {
+      case UndoEntry::Kind::kDetachPayload:
+        if (store->ParentOf(it->node) != kInvalidNode) {
+          (void)store->Detach(it->node);
+        }
+        break;
+      case UndoEntry::Kind::kReattachChild:
+        if (it->sibling == kInvalidNode) {
+          (void)store->InsertChildrenFirst({it->node}, it->parent);
+        } else {
+          (void)store->InsertChildrenAfter({it->node}, it->sibling);
+        }
+        break;
+      case UndoEntry::Kind::kReattachAttr:
+        (void)store->AppendAttribute(it->parent, it->node);
+        break;
+      case UndoEntry::Kind::kRenameBack:
+        (void)store->Rename(it->node, it->name);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Status ApplyUpdateList(Store* store, const UpdateList& delta, ApplyMode mode,
+                       uint64_t seed) {
+  std::vector<const UpdateRequest*> requests = delta.Flatten();
+  XQB_RETURN_IF_ERROR(OrderRequests(mode, seed, store, &requests));
+  for (const UpdateRequest* request : requests) {
+    XQB_RETURN_IF_ERROR(ApplyUpdateRequest(store, *request));
+  }
+  return Status::OK();
+}
+
+Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
+                             ApplyMode mode, uint64_t seed) {
+  std::vector<const UpdateRequest*> requests = delta.Flatten();
+  XQB_RETURN_IF_ERROR(OrderRequests(mode, seed, store, &requests));
+  std::vector<UndoEntry> log;
+  for (const UpdateRequest* request : requests) {
+    RecordUndo(*store, *request, &log);
+    Status st = ApplyUpdateRequest(store, *request);
+    if (!st.ok()) {
+      Rollback(store, log);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyConflictFree(
+    const std::vector<const UpdateRequest*>& requests,
+    const Store* store) {
+  // Hash table 1, keyed by node id: rename targets and parent-link
+  // writes (deleted / inserted-somewhere). Hash table 2, keyed by the
+  // sibling slot (parent, anchor) an insert writes.
+  struct NodeWrites {
+    bool deleted = false;
+    int inserted = 0;               // times this node appears as payload
+    QNameId renamed = kInvalidQName;
+    bool rename_seen = false;
+  };
+  std::unordered_map<NodeId, NodeWrites> node_writes;
+  // Slot table value: true if any insert into the slot carried a
+  // non-attribute payload (attribute-only inserts commute, since the
+  // attribute list is unordered).
+  std::unordered_map<uint64_t, bool> slot_writes;
+  std::vector<std::pair<NodeId, NodeId>> anchors;  // (anchor, parent)
+
+  auto attribute_only = [&](const UpdateRequest& request) {
+    if (store == nullptr) return false;  // Conservative without a store.
+    for (NodeId n : request.nodes) {
+      if (store->KindOf(n) != NodeKind::kAttribute) return false;
+    }
+    return !request.nodes.empty();
+  };
+
+  for (const UpdateRequest* request : requests) {
+    switch (request->op) {
+      case UpdateRequest::Op::kRename: {
+        NodeWrites& w = node_writes[request->target];
+        if (w.rename_seen && w.renamed != request->name) {
+          return Status::ConflictError(
+              "node " + std::to_string(request->target) +
+              " renamed twice to different names (rule R1)");
+        }
+        w.rename_seen = true;
+        w.renamed = request->name;
+        break;
+      }
+      case UpdateRequest::Op::kDelete: {
+        NodeWrites& w = node_writes[request->target];
+        if (w.inserted > 0) {
+          return Status::ConflictError(
+              "node " + std::to_string(request->target) +
+              " both inserted and deleted (rule R2)");
+        }
+        w.deleted = true;  // delete+delete commutes.
+        break;
+      }
+      case UpdateRequest::Op::kInsert: {
+        for (NodeId n : request->nodes) {
+          NodeWrites& w = node_writes[n];
+          ++w.inserted;
+          if (w.inserted > 1) {
+            return Status::ConflictError("node " + std::to_string(n) +
+                                         " inserted twice (rule R2)");
+          }
+          if (w.deleted) {
+            return Status::ConflictError(
+                "node " + std::to_string(n) +
+                " both inserted and deleted (rule R2)");
+          }
+        }
+        const bool adjacent = request->anchor == InsertAnchor::kBefore ||
+                              request->anchor == InsertAnchor::kAfter;
+        NodeId slot_node = adjacent ? request->anchor_node : request->parent;
+        uint64_t slot = (static_cast<uint64_t>(slot_node) << 8) |
+                        static_cast<uint64_t>(request->anchor);
+        const bool ordered_payload = !attribute_only(*request);
+        auto [it, inserted] = slot_writes.emplace(slot, ordered_payload);
+        if (!inserted && (ordered_payload || it->second)) {
+          return Status::ConflictError(
+              "two inserts write the same sibling slot (" +
+              std::string(InsertAnchorToString(request->anchor)) + " of " +
+              std::to_string(slot_node) + ") (rule R3)");
+        }
+        it->second = it->second || ordered_payload;
+        if (adjacent) {
+          anchors.emplace_back(request->anchor_node, request->parent);
+        }
+        break;
+      }
+    }
+  }
+  for (const auto& [anchor, parent] : anchors) {
+    auto it = node_writes.find(anchor);
+    if (it != node_writes.end() && it->second.deleted) {
+      return Status::ConflictError(
+          "insert anchored after node " + std::to_string(anchor) +
+          " which another request deletes (rule R4)");
+    }
+    (void)parent;
+  }
+  return Status::OK();
+}
+
+}  // namespace xqb

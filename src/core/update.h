@@ -1,0 +1,204 @@
+#ifndef XQB_CORE_UPDATE_H_
+#define XQB_CORE_UPDATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// Where an insert request lands, resolved when the request is APPLIED
+/// (not when it is created). This is what makes the paper's Section 3.4
+/// example produce <b/><a/><c/>: the outer snap's `insert {<a/>} into
+/// {$x}` must append after the <b/> that the nested snap applied in the
+/// meantime, so "as last" has to stay symbolic until application.
+enum class InsertAnchor : uint8_t {
+  kFirst,   // as first into `parent`
+  kLast,    // (as last) into `parent`
+  kBefore,  // directly before sibling `anchor`
+  kAfter,   // directly after sibling `anchor`
+};
+
+const char* InsertAnchorToString(InsertAnchor anchor);
+
+/// One pending update request (Section 3.2): "a tuple that contains the
+/// operation name and its parameters, written opname(par1,...,parn)".
+/// `replace` never appears here: normalization of its semantics rule
+/// emits an insert followed by a delete.
+struct UpdateRequest {
+  enum class Op : uint8_t {
+    kInsert,  // insert(nodes, parent/anchor): see InsertAnchor.
+    kDelete,  // delete(target): detach target from its parent.
+    kRename,  // rename(target, name).
+  };
+
+  Op op;
+  std::vector<NodeId> nodes;  // kInsert payload
+  NodeId parent = kInvalidNode;  // kFirst/kLast target parent
+  InsertAnchor anchor = InsertAnchor::kLast;
+  NodeId anchor_node = kInvalidNode;  // kBefore/kAfter sibling
+  NodeId target = kInvalidNode;
+  QNameId name = kInvalidQName;
+
+  static UpdateRequest InsertInto(std::vector<NodeId> nodes, NodeId parent,
+                                  bool as_first) {
+    UpdateRequest u;
+    u.op = Op::kInsert;
+    u.nodes = std::move(nodes);
+    u.parent = parent;
+    u.anchor = as_first ? InsertAnchor::kFirst : InsertAnchor::kLast;
+    return u;
+  }
+  static UpdateRequest InsertAdjacent(std::vector<NodeId> nodes,
+                                      NodeId sibling, bool before) {
+    UpdateRequest u;
+    u.op = Op::kInsert;
+    u.nodes = std::move(nodes);
+    u.anchor = before ? InsertAnchor::kBefore : InsertAnchor::kAfter;
+    u.anchor_node = sibling;
+    return u;
+  }
+  static UpdateRequest Delete(NodeId target) {
+    UpdateRequest u;
+    u.op = Op::kDelete;
+    u.target = target;
+    return u;
+  }
+  static UpdateRequest Rename(NodeId target, QNameId name) {
+    UpdateRequest u;
+    u.op = Op::kRename;
+    u.target = target;
+    u.name = name;
+    return u;
+  }
+
+  /// "insert([n3,n4],n1,n2)" rendering for tests and debugging.
+  std::string DebugString() const;
+};
+
+/// Applies a single update request to the store, checking the request's
+/// preconditions (Section 3.2: "when the preconditions are not met, the
+/// update application is undefined" — surfaced as kUpdateError).
+Status ApplyUpdateRequest(Store* store, const UpdateRequest& request);
+
+/// An update list Δ (Section 3.2): "an ordered list, whose order is
+/// fully specified by the language semantics".
+///
+/// Represented as an immutable concat tree (rope) so that the list
+/// concatenations performed by every sequence/FLWOR/function-call rule
+/// are O(1) — this is the "specialized tree structure to represent the
+/// update list" that Section 4.1 says the ordered semantics needs, as
+/// opposed to the plain bag the other two modes can use. Flattening to
+/// application order is linear.
+class UpdateList {
+ public:
+  /// The empty list.
+  UpdateList() = default;
+
+  static UpdateList Single(UpdateRequest request) {
+    UpdateList list;
+    list.root_ = std::make_shared<Node>(std::move(request));
+    return list;
+  }
+
+  /// O(1) concatenation preserving order: all of `a` before all of `b`.
+  static UpdateList Concat(UpdateList a, UpdateList b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    UpdateList list;
+    list.root_ = std::make_shared<Node>(std::move(a.root_),
+                                        std::move(b.root_));
+    return list;
+  }
+
+  /// Appends one request (O(1)).
+  void Append(UpdateRequest request) {
+    *this = Concat(std::move(*this), Single(std::move(request)));
+  }
+
+  bool empty() const { return root_ == nullptr; }
+  size_t size() const { return root_ ? root_->count : 0; }
+
+  /// Flattens into application order. Iterative to support deep lists.
+  std::vector<const UpdateRequest*> Flatten() const;
+
+ private:
+  struct Node {
+    explicit Node(UpdateRequest r)
+        : request(std::move(r)), count(1) {}
+    Node(std::shared_ptr<const Node> l, std::shared_ptr<const Node> r)
+        : left(std::move(l)), right(std::move(r)),
+          count(left->count + right->count) {}
+    UpdateRequest request;            // leaf payload (when left == null)
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;
+    size_t count;
+  };
+
+  std::shared_ptr<const Node> root_;
+};
+
+/// How a snap applies its collected Δ (Section 3.2).
+enum class ApplyMode : uint8_t {
+  /// Apply in exactly the Δ order.
+  kOrdered,
+  /// Apply in an arbitrary order — here a deterministic pseudo-random
+  /// permutation of Δ derived from `seed`, so tests can sweep orders.
+  kNondeterministic,
+  /// First verify Δ is conflict-free (every permutation commutes), then
+  /// apply; verification failure fails the snap (kConflictError).
+  kConflictDetection,
+};
+
+const char* ApplyModeToString(ApplyMode mode);
+
+/// Applies a whole update list with the given semantics. On the first
+/// failing request the store is left with all prior requests applied
+/// (the paper does not require atomicity of update application).
+Status ApplyUpdateList(Store* store, const UpdateList& delta, ApplyMode mode,
+                       uint64_t seed = 0);
+
+/// Atomic variant (the failure-containment use of snap the paper's
+/// Section 5 attributes to the full paper): if any request fails, every
+/// already-applied request of this Δ is rolled back — deletes are
+/// re-attached at their original sibling positions, inserted payloads
+/// are detached, renames reverted — and the error is returned with the
+/// store exactly as before the application started. Atomicity covers
+/// this Δ's application only; snaps nested *inside* the scope applied
+/// when their own scopes closed and are not undone.
+Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
+                             ApplyMode mode, uint64_t seed = 0);
+
+/// Conflict verification (Section 3.2 / 4.1): proves "by some simple
+/// rules" that applying every permutation of Δ yields the same store,
+/// "in linear time, using a pair of hash-tables over node ids".
+///
+/// The rules (a request set passes iff none fires):
+///  R1 two renames of the same node to different names;
+///  R2 a node inserted by two different insert requests, or both
+///     inserted and deleted (its parent link is written twice);
+///  R3 two inserts targeting the same slot — the same (parent, first),
+///     (parent, last), (before, sibling) or (after, sibling) — their
+///     relative order would determine sibling order. Exception (needs
+///     `store`): when both payloads consist solely of attribute nodes,
+///     placement order is immaterial (attributes are unordered), so the
+///     pair commutes;
+///  R4 an insert anchored before/after a node that another request
+///     deletes — applying the delete first invalidates the anchor. Note
+///     this flags every `replace` (which expands to exactly such an
+///     insert+delete pair), one of the "reasonable pieces of code" the
+///     paper admits conflict detection rules out.
+/// Two deletes of the same node commute (both detach) and are allowed.
+/// `store` is optional; when provided it enables the attribute-only
+/// refinement of rule R3.
+Status VerifyConflictFree(const std::vector<const UpdateRequest*>& requests,
+                          const Store* store = nullptr);
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_UPDATE_H_

@@ -1,0 +1,297 @@
+#include "frontend/ast.h"
+
+#include <sstream>
+
+namespace xqb {
+
+const char* AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kSelf: return "self";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+    case Axis::kFollowing: return "following";
+    case Axis::kPreceding: return "preceding";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "ancestor-or-self";
+  }
+  return "unknown";
+}
+
+std::string NodeTest::ToString() const {
+  switch (kind) {
+    case Kind::kName: return name;
+    case Kind::kWildcard: return "*";
+    case Kind::kText: return "text()";
+    case Kind::kAnyNode: return "node()";
+    case Kind::kComment: return "comment()";
+    case Kind::kPi:
+      return name.empty() ? "processing-instruction()"
+                          : "processing-instruction(" + name + ")";
+    case Kind::kElement:
+      return name.empty() ? "element()" : "element(" + name + ")";
+    case Kind::kAttribute:
+      return name.empty() ? "attribute()" : "attribute(" + name + ")";
+    case Kind::kDocument: return "document-node()";
+  }
+  return "unknown";
+}
+
+std::string SequenceTypeSpec::ToString() const {
+  std::string out;
+  switch (item_kind) {
+    case ItemKind::kEmptySequence:
+      return "empty-sequence()";
+    case ItemKind::kAnyItem:
+      out = "item()";
+      break;
+    case ItemKind::kNodeTest:
+      out = node_test.ToString();
+      break;
+    case ItemKind::kAtomic:
+      out = atomic_name;
+      break;
+  }
+  switch (occurrence) {
+    case Occurrence::kOne: break;
+    case Occurrence::kOptional: out += '?'; break;
+    case Occurrence::kStar: out += '*'; break;
+    case Occurrence::kPlus: out += '+'; break;
+  }
+  return out;
+}
+
+const char* InsertPosToString(InsertPos pos) {
+  switch (pos) {
+    case InsertPos::kInto: return "into";
+    case InsertPos::kAsFirstInto: return "as-first-into";
+    case InsertPos::kAsLastInto: return "as-last-into";
+    case InsertPos::kBefore: return "before";
+    case InsertPos::kAfter: return "after";
+  }
+  return "unknown";
+}
+
+const char* SnapModeToString(SnapMode mode) {
+  switch (mode) {
+    case SnapMode::kDefault: return "default";
+    case SnapMode::kOrdered: return "ordered";
+    case SnapMode::kNondeterministic: return "nondeterministic";
+    case SnapMode::kConflictDetection: return "conflict-detection";
+  }
+  return "unknown";
+}
+
+const char* ExprKindToString(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kIntegerLit: return "int";
+    case ExprKind::kDecimalLit: return "decimal";
+    case ExprKind::kStringLit: return "string";
+    case ExprKind::kEmptySeq: return "empty";
+    case ExprKind::kSequence: return "seq";
+    case ExprKind::kVarRef: return "var";
+    case ExprKind::kContextItem: return "context-item";
+    case ExprKind::kFlwor: return "flwor";
+    case ExprKind::kQuantified: return "quantified";
+    case ExprKind::kIf: return "if";
+    case ExprKind::kBinaryOp: return "binop";
+    case ExprKind::kUnaryMinus: return "neg";
+    case ExprKind::kUnaryPlus: return "pos";
+    case ExprKind::kPathRoot: return "root";
+    case ExprKind::kStep: return "step";
+    case ExprKind::kFilter: return "filter";
+    case ExprKind::kFunctionCall: return "call";
+    case ExprKind::kElementCtor: return "element";
+    case ExprKind::kAttributeCtor: return "attribute";
+    case ExprKind::kTextCtor: return "text";
+    case ExprKind::kCommentCtor: return "comment";
+    case ExprKind::kDocumentCtor: return "document";
+    case ExprKind::kInstanceOf: return "instance-of";
+    case ExprKind::kTreatAs: return "treat-as";
+    case ExprKind::kCastableAs: return "castable-as";
+    case ExprKind::kCastAs: return "cast-as";
+    case ExprKind::kTypeswitch: return "typeswitch";
+    case ExprKind::kInsert: return "insert";
+    case ExprKind::kDelete: return "delete";
+    case ExprKind::kReplace: return "replace";
+    case ExprKind::kRename: return "rename";
+    case ExprKind::kCopy: return "copy";
+    case ExprKind::kSnap: return "snap";
+  }
+  return "unknown";
+}
+
+ExprPtr Expr::Clone() const {
+  ExprPtr copy = MakeExpr(kind);
+  copy->line = line;
+  copy->value_int = value_int;
+  copy->value_double = value_double;
+  copy->value_str = value_str;
+  copy->name = name;
+  copy->op = op;
+  copy->axis = axis;
+  copy->test = test;
+  copy->insert_pos = insert_pos;
+  copy->snap_mode = snap_mode;
+  copy->snap_atomic = snap_atomic;
+  copy->seq_type = seq_type;
+  copy->ts_cases = ts_cases;
+  copy->children.reserve(children.size());
+  for (const ExprPtr& child : children) copy->children.push_back(child->Clone());
+  for (const FlworClause& clause : clauses) {
+    FlworClause c;
+    c.kind = clause.kind;
+    c.var = clause.var;
+    c.pos_var = clause.pos_var;
+    if (clause.expr) c.expr = clause.expr->Clone();
+    for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+      FlworClause::OrderSpec s;
+      s.key = spec.key->Clone();
+      s.descending = spec.descending;
+      s.empty_least = spec.empty_least;
+      c.order_specs.push_back(std::move(s));
+    }
+    copy->clauses.push_back(std::move(c));
+  }
+  for (const QuantBinding& b : quant_bindings) {
+    QuantBinding nb;
+    nb.var = b.var;
+    nb.expr = b.expr->Clone();
+    copy->quant_bindings.push_back(std::move(nb));
+  }
+  return copy;
+}
+
+namespace {
+
+void DebugRec(const Expr& e, std::ostringstream* out) {
+  *out << '(' << ExprKindToString(e.kind);
+  switch (e.kind) {
+    case ExprKind::kIntegerLit:
+      *out << ' ' << e.value_int;
+      break;
+    case ExprKind::kDecimalLit:
+      *out << ' ' << e.value_double;
+      break;
+    case ExprKind::kStringLit:
+      *out << " \"" << e.value_str << '"';
+      break;
+    case ExprKind::kVarRef:
+      *out << ' ' << e.name;
+      break;
+    case ExprKind::kFunctionCall:
+      *out << ' ' << e.name;
+      break;
+    case ExprKind::kBinaryOp:
+      *out << " \"" << e.op << '"';
+      break;
+    case ExprKind::kStep:
+      *out << ' ' << AxisToString(e.axis) << "::" << e.test.ToString();
+      break;
+    case ExprKind::kInsert:
+      *out << ' ' << InsertPosToString(e.insert_pos);
+      if (e.value_int) *out << " snap";
+      break;
+    case ExprKind::kDelete:
+    case ExprKind::kReplace:
+    case ExprKind::kRename:
+      if (e.value_int) *out << " snap";
+      break;
+    case ExprKind::kSnap:
+      if (e.snap_atomic) *out << " atomic";
+      *out << ' ' << SnapModeToString(e.snap_mode);
+      break;
+    case ExprKind::kQuantified:
+      *out << (e.value_int ? " every" : " some");
+      break;
+    case ExprKind::kInstanceOf:
+    case ExprKind::kTreatAs:
+    case ExprKind::kCastableAs:
+    case ExprKind::kCastAs:
+      *out << ' ' << e.seq_type.ToString();
+      break;
+    case ExprKind::kTypeswitch:
+      for (const TypeswitchCase& c : e.ts_cases) {
+        *out << (c.is_default ? " (default" : " (case");
+        if (!c.var.empty()) *out << ' ' << c.var;
+        if (!c.is_default) *out << ' ' << c.type.ToString();
+        *out << ')';
+      }
+      break;
+    default:
+      break;
+  }
+  for (const FlworClause& c : e.clauses) {
+    switch (c.kind) {
+      case FlworClause::Kind::kFor:
+        *out << " (for " << c.var;
+        if (!c.pos_var.empty()) *out << " at " << c.pos_var;
+        *out << ' ';
+        DebugRec(*c.expr, out);
+        *out << ')';
+        break;
+      case FlworClause::Kind::kLet:
+        *out << " (let " << c.var << ' ';
+        DebugRec(*c.expr, out);
+        *out << ')';
+        break;
+      case FlworClause::Kind::kWhere:
+        *out << " (where ";
+        DebugRec(*c.expr, out);
+        *out << ')';
+        break;
+      case FlworClause::Kind::kOrderBy:
+        *out << " (order-by";
+        for (const FlworClause::OrderSpec& s : c.order_specs) {
+          *out << ' ';
+          DebugRec(*s.key, out);
+          if (s.descending) *out << " desc";
+        }
+        *out << ')';
+        break;
+    }
+  }
+  for (const QuantBinding& b : e.quant_bindings) {
+    *out << " (in " << b.var << ' ';
+    DebugRec(*b.expr, out);
+    *out << ')';
+  }
+  for (const ExprPtr& child : e.children) {
+    *out << ' ';
+    DebugRec(*child, out);
+  }
+  *out << ')';
+}
+
+}  // namespace
+
+std::string Expr::DebugString() const {
+  std::ostringstream out;
+  DebugRec(*this, &out);
+  return out.str();
+}
+
+std::string Program::DebugString() const {
+  std::ostringstream out;
+  for (const VarDecl& v : variables) {
+    out << "(declare-variable " << v.name << ' ';
+    if (v.init) out << v.init->DebugString();
+    out << ")\n";
+  }
+  for (const FunctionDecl& f : functions) {
+    out << "(declare-function " << f.name << " (";
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      if (i) out << ' ';
+      out << f.params[i];
+    }
+    out << ") " << f.body->DebugString() << ")\n";
+  }
+  if (body) out << body->DebugString();
+  return out.str();
+}
+
+}  // namespace xqb

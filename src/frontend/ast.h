@@ -1,0 +1,257 @@
+#ifndef XQB_FRONTEND_AST_H_
+#define XQB_FRONTEND_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xqb {
+
+/// XPath axes supported by this engine.
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kAttribute,
+  kSelf,
+  kDescendantOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+};
+
+const char* AxisToString(Axis axis);
+
+/// A node test within a path step.
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kName,      // foo  (requires principal node kind of the axis)
+    kWildcard,  // *
+    kText,      // text()
+    kAnyNode,   // node()
+    kComment,   // comment()
+    kPi,        // processing-instruction() / processing-instruction(name)
+    kElement,   // element() / element(name)
+    kAttribute, // attribute() / attribute(name)
+    kDocument,  // document-node()
+  };
+  Kind kind = Kind::kName;
+  std::string name;  // for kName, and the optional name of kPi/kElement/kAttribute
+
+  std::string ToString() const;
+};
+
+/// Position selector of the insert expression (Figure 1 InsertLocation).
+enum class InsertPos : uint8_t {
+  kInto,         // normalized to kAsLastInto (Section 3.3)
+  kAsFirstInto,
+  kAsLastInto,
+  kBefore,
+  kAfter,
+};
+
+const char* InsertPosToString(InsertPos pos);
+
+/// The update-application semantics selected on a snap (Section 3.2).
+/// kDefault defers to the engine-wide configuration.
+enum class SnapMode : uint8_t {
+  kDefault,
+  kOrdered,
+  kNondeterministic,
+  kConflictDetection,
+};
+
+const char* SnapModeToString(SnapMode mode);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// FLWOR clause (for/let/where/order by). `order by` holds its sort
+/// specs in `order_specs`.
+struct FlworClause {
+  enum class Kind : uint8_t { kFor, kLet, kWhere, kOrderBy };
+  struct OrderSpec {
+    ExprPtr key;
+    bool descending = false;
+    bool empty_least = true;
+  };
+  Kind kind;
+  std::string var;      // for/let variable name (without '$')
+  std::string pos_var;  // optional "at $i" positional variable (kFor)
+  ExprPtr expr;         // binding expr (kFor/kLet) or condition (kWhere)
+  std::vector<OrderSpec> order_specs;  // kOrderBy
+};
+
+/// Quantified-expression binding (`some $x in e` / `every $x in e`).
+struct QuantBinding {
+  std::string var;
+  ExprPtr expr;
+};
+
+/// A SequenceType as used by instance of / treat as / typeswitch, and
+/// (restricted to an atomic type) by cast / castable.
+struct SequenceTypeSpec {
+  enum class ItemKind : uint8_t {
+    kEmptySequence,  // empty-sequence()
+    kAnyItem,        // item()
+    kNodeTest,       // element(n)?, attribute(n)?, text(), node(), ...
+    kAtomic,         // xs:integer, xs:string, xs:boolean, xs:double,
+                     // xs:untypedAtomic, xs:anyAtomicType
+  };
+  enum class Occurrence : uint8_t { kOne, kOptional, kStar, kPlus };
+
+  ItemKind item_kind = ItemKind::kAnyItem;
+  NodeTest node_test;
+  std::string atomic_name;
+  Occurrence occurrence = Occurrence::kOne;
+
+  std::string ToString() const;
+};
+
+/// One typeswitch branch's metadata; the branch body lives in the
+/// typeswitch Expr's children (children[1 + case index]).
+struct TypeswitchCase {
+  std::string var;  // optional "case $v as T" binding
+  SequenceTypeSpec type;
+  bool is_default = false;  // default clause (type ignored)
+};
+
+/// Expression node kinds. The same AST type serves surface and core
+/// forms; normalization (Section 3.3) rewrites in place and only uses
+/// kinds marked [core] below.
+enum class ExprKind : uint8_t {
+  kIntegerLit,    // value_int
+  kDecimalLit,    // value_double
+  kStringLit,     // value_str
+  kEmptySeq,      // ()
+  kSequence,      // children: e1, e2, ... (comma operator)
+  kVarRef,        // name
+  kContextItem,   // .
+  kFlwor,         // clauses + children[0] = return expr
+  kQuantified,    // quant_bindings + children[0] = satisfies; value_int!=0 => every
+  kIf,            // children: cond, then, else
+  kBinaryOp,      // op; children: lhs, rhs
+  kUnaryMinus,    // children[0]
+  kUnaryPlus,     // children[0]
+  kPathRoot,      // leading "/": root of the context node's tree
+  kStep,          // children[0]=input; axis, test; predicates in children[1..]
+  kFilter,        // children[0]=input; predicates in children[1..]
+  kFunctionCall,  // name; children = arguments
+  kElementCtor,   // children[0]=name expr; children[1..] = content exprs
+  kAttributeCtor, // children[0]=name expr; children[1..] = value parts
+  kTextCtor,      // children[0] = value expr
+  kCommentCtor,   // children[0] = value expr
+  kDocumentCtor,  // children[0] = content expr
+  kInstanceOf,    // children[0] instance of seq_type
+  kTreatAs,       // children[0] treat as seq_type (runtime assertion)
+  kCastableAs,    // children[0] castable as seq_type (atomic)
+  kCastAs,        // children[0] cast as seq_type (atomic)
+  kTypeswitch,    // children[0]=input; children[1..]=case/default bodies
+                  // (metadata in ts_cases, aligned with children[1+i])
+  // ---- XQuery! extensions (Figure 1) ----
+  kInsert,        // children[0]=source, children[1]=target; insert_pos;
+                  // value_int!=0 => "snap" sugar prefix was present
+  kDelete,        // children[0]=target; value_int => snap sugar
+  kReplace,       // children[0]=target, children[1]=source; value_int => snap sugar
+  kRename,        // children[0]=target, children[1]=name expr; value_int => snap sugar
+  kCopy,          // children[0]
+  kSnap,          // children[0]; snap_mode
+};
+
+const char* ExprKindToString(ExprKind kind);
+
+/// One AST node. Field usage depends on `kind`; see ExprKind comments.
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  std::vector<ExprPtr> children;
+
+  // Literals.
+  int64_t value_int = 0;
+  double value_double = 0;
+  std::string value_str;
+
+  // Names: variable, function, operator spelling ("and", "=", "eq", "+",
+  // "union", "is", "<<", "to", ...).
+  std::string name;
+  std::string op;
+
+  // Path steps.
+  Axis axis = Axis::kChild;
+  NodeTest test;
+
+  // FLWOR / quantified.
+  std::vector<FlworClause> clauses;
+  std::vector<QuantBinding> quant_bindings;
+
+  // Type expressions (kInstanceOf/kTreatAs/kCastableAs/kCastAs).
+  SequenceTypeSpec seq_type;
+  // Typeswitch branches (kTypeswitch).
+  std::vector<TypeswitchCase> ts_cases;
+
+  // Updates.
+  InsertPos insert_pos = InsertPos::kInto;
+  SnapMode snap_mode = SnapMode::kDefault;
+  /// `snap atomic { ... }`: roll back this snap's own Δ if its
+  /// application fails partway (an extension implementing the failure-
+  /// containment role Section 5 sketches for snap).
+  bool snap_atomic = false;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Deep structural copy.
+  ExprPtr Clone() const;
+
+  /// S-expression rendering for tests and debugging, e.g.
+  /// (insert as-last-into (copy (var x)) (var log)).
+  std::string DebugString() const;
+};
+
+/// Creates a node of the given kind (convenience).
+inline ExprPtr MakeExpr(ExprKind kind) { return std::make_unique<Expr>(kind); }
+
+/// A function declared in the prolog.
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+  /// Surface `declare updating function` marker (the signature-level
+  /// "updating flag" Section 5 advocates for cross-module checking).
+  /// When any function in a program is declared updating, the purity
+  /// analysis enforces the monadic rule: a function whose body may emit
+  /// updates or snap must carry the flag.
+  bool declared_updating = false;
+  /// Set by static analysis: the function may evaluate a snap (and thus
+  /// mutate the store) — the "updating flag" of Section 5.
+  bool may_snap = false;
+  /// The function may emit update requests.
+  bool may_update = false;
+};
+
+/// A global variable declared in the prolog.
+struct VarDecl {
+  std::string name;
+  ExprPtr init;
+  /// External variables are bound by the host via Engine::BindVariable.
+  bool external = false;
+};
+
+/// A parsed XQuery! main module: prolog declarations plus the body.
+struct Program {
+  std::vector<VarDecl> variables;
+  std::vector<FunctionDecl> functions;
+  ExprPtr body;
+
+  std::string DebugString() const;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_FRONTEND_AST_H_

@@ -1,0 +1,290 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+namespace xqb {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kName: return "name";
+    case TokenKind::kVar: return "variable";
+    case TokenKind::kInteger: return "integer literal";
+    case TokenKind::kDecimal: return "decimal literal";
+    case TokenKind::kString: return "string literal";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLtLt: return "'<<'";
+    case TokenKind::kGtGt: return "'>>'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kSlashSlash: return "'//'";
+    case TokenKind::kBar: return "'|'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kColonColon: return "'::'";
+    case TokenKind::kQuestion: return "'?'";
+  }
+  return "unknown token";
+}
+
+Status Lexer::MakeError(const std::string& what) const {
+  return Status::ParseError("line " + std::to_string(line_) + ": " + what);
+}
+
+void Lexer::ResetTo(size_t offset) {
+  // Recompute the line number only when moving backwards; forward moves
+  // are handled incrementally by RawAdvance. Rewinds are rare (once per
+  // direct constructor), so a rescan is fine.
+  if (offset < pos_) {
+    line_ = 1;
+    for (size_t i = 0; i < offset; ++i) {
+      if (input_[i] == '\n') ++line_;
+    }
+  } else {
+    for (size_t i = pos_; i < offset && i < input_.size(); ++i) {
+      if (input_[i] == '\n') ++line_;
+    }
+  }
+  pos_ = offset;
+}
+
+bool Lexer::IsNameStart(char c) const {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool Lexer::IsNameChar(char c) const {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+void Lexer::RawSkipWhitespace() {
+  while (!RawAtEnd() &&
+         std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+    RawAdvance();
+  }
+}
+
+Result<std::string> Lexer::RawScanXmlName() {
+  if (RawAtEnd() || !IsNameStart(RawPeek())) {
+    return MakeError("expected an XML name");
+  }
+  size_t start = pos_;
+  while (!RawAtEnd() && (IsNameChar(RawPeek()) || RawPeek() == ':')) {
+    RawAdvance();
+  }
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+void Lexer::SkipWhitespaceAndComments(Status* error) {
+  for (;;) {
+    while (!RawAtEnd() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      RawAdvance();
+    }
+    if (RawLookahead("(:")) {
+      int depth = 0;
+      while (!RawAtEnd()) {
+        if (RawLookahead("(:")) {
+          ++depth;
+          RawAdvance(2);
+        } else if (RawLookahead(":)")) {
+          --depth;
+          RawAdvance(2);
+          if (depth == 0) break;
+        } else {
+          RawAdvance();
+        }
+      }
+      if (depth != 0) {
+        *error = MakeError("unterminated comment (: ... :)");
+        return;
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+Result<Token> Lexer::Next() {
+  Status comment_error;
+  SkipWhitespaceAndComments(&comment_error);
+  if (!comment_error.ok()) return comment_error;
+
+  Token tok;
+  tok.begin = pos_;
+  tok.line = line_;
+  if (RawAtEnd()) {
+    tok.kind = TokenKind::kEof;
+    tok.end = pos_;
+    return tok;
+  }
+
+  char c = RawPeek();
+
+  // Names / keywords.
+  if (IsNameStart(c)) {
+    size_t start = pos_;
+    while (!RawAtEnd() && IsNameChar(RawPeek())) RawAdvance();
+    // Optional single ':' for a prefixed QName (but not '::').
+    if (!RawAtEnd() && RawPeek() == ':' && pos_ + 1 < input_.size() &&
+        IsNameStart(input_[pos_ + 1])) {
+      RawAdvance();
+      while (!RawAtEnd() && IsNameChar(RawPeek())) RawAdvance();
+    }
+    tok.kind = TokenKind::kName;
+    tok.text = std::string(input_.substr(start, pos_ - start));
+    tok.end = pos_;
+    return tok;
+  }
+
+  // Variables.
+  if (c == '$') {
+    RawAdvance();
+    if (RawAtEnd() || !IsNameStart(RawPeek())) {
+      return MakeError("expected a variable name after '$'");
+    }
+    size_t start = pos_;
+    while (!RawAtEnd() && IsNameChar(RawPeek())) RawAdvance();
+    if (!RawAtEnd() && RawPeek() == ':' && pos_ + 1 < input_.size() &&
+        IsNameStart(input_[pos_ + 1])) {
+      RawAdvance();
+      while (!RawAtEnd() && IsNameChar(RawPeek())) RawAdvance();
+    }
+    tok.kind = TokenKind::kVar;
+    tok.text = std::string(input_.substr(start, pos_ - start));
+    tok.end = pos_;
+    return tok;
+  }
+
+  // Numbers.
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && pos_ + 1 < input_.size() &&
+       std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+    size_t start = pos_;
+    bool is_decimal = false;
+    while (!RawAtEnd() &&
+           std::isdigit(static_cast<unsigned char>(RawPeek()))) {
+      RawAdvance();
+    }
+    if (!RawAtEnd() && RawPeek() == '.' &&
+        !(pos_ + 1 < input_.size() && input_[pos_ + 1] == '.')) {
+      is_decimal = true;
+      RawAdvance();
+      while (!RawAtEnd() &&
+             std::isdigit(static_cast<unsigned char>(RawPeek()))) {
+        RawAdvance();
+      }
+    }
+    if (!RawAtEnd() && (RawPeek() == 'e' || RawPeek() == 'E')) {
+      size_t save = pos_;
+      RawAdvance();
+      if (!RawAtEnd() && (RawPeek() == '+' || RawPeek() == '-')) RawAdvance();
+      if (!RawAtEnd() && std::isdigit(static_cast<unsigned char>(RawPeek()))) {
+        is_decimal = true;
+        while (!RawAtEnd() &&
+               std::isdigit(static_cast<unsigned char>(RawPeek()))) {
+          RawAdvance();
+        }
+      } else {
+        ResetTo(save);
+      }
+    }
+    tok.kind = is_decimal ? TokenKind::kDecimal : TokenKind::kInteger;
+    tok.text = std::string(input_.substr(start, pos_ - start));
+    tok.end = pos_;
+    return tok;
+  }
+
+  // Strings with XQuery quote doubling.
+  if (c == '"' || c == '\'') {
+    char quote = c;
+    RawAdvance();
+    std::string value;
+    for (;;) {
+      if (RawAtEnd()) return MakeError("unterminated string literal");
+      char ch = RawPeek();
+      if (ch == quote) {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == quote) {
+          value.push_back(quote);
+          RawAdvance(2);
+          continue;
+        }
+        RawAdvance();
+        break;
+      }
+      value.push_back(ch);
+      RawAdvance();
+    }
+    tok.kind = TokenKind::kString;
+    tok.text = std::move(value);
+    tok.end = pos_;
+    return tok;
+  }
+
+  auto simple = [&](TokenKind kind, size_t len) -> Result<Token> {
+    RawAdvance(len);
+    tok.kind = kind;
+    tok.end = pos_;
+    return tok;
+  };
+
+  switch (c) {
+    case '(': return simple(TokenKind::kLParen, 1);
+    case ')': return simple(TokenKind::kRParen, 1);
+    case '{': return simple(TokenKind::kLBrace, 1);
+    case '}': return simple(TokenKind::kRBrace, 1);
+    case '[': return simple(TokenKind::kLBracket, 1);
+    case ']': return simple(TokenKind::kRBracket, 1);
+    case ',': return simple(TokenKind::kComma, 1);
+    case ';': return simple(TokenKind::kSemicolon, 1);
+    case '?': return simple(TokenKind::kQuestion, 1);
+    case '@': return simple(TokenKind::kAt, 1);
+    case '+': return simple(TokenKind::kPlus, 1);
+    case '-': return simple(TokenKind::kMinus, 1);
+    case '*': return simple(TokenKind::kStar, 1);
+    case '|': return simple(TokenKind::kBar, 1);
+    case '=': return simple(TokenKind::kEq, 1);
+    case '!':
+      if (RawLookahead("!=")) return simple(TokenKind::kNe, 2);
+      return MakeError("unexpected '!'");
+    case '<':
+      if (RawLookahead("<<")) return simple(TokenKind::kLtLt, 2);
+      if (RawLookahead("<=")) return simple(TokenKind::kLe, 2);
+      return simple(TokenKind::kLt, 1);
+    case '>':
+      if (RawLookahead(">>")) return simple(TokenKind::kGtGt, 2);
+      if (RawLookahead(">=")) return simple(TokenKind::kGe, 2);
+      return simple(TokenKind::kGt, 1);
+    case '/':
+      if (RawLookahead("//")) return simple(TokenKind::kSlashSlash, 2);
+      return simple(TokenKind::kSlash, 1);
+    case ':':
+      if (RawLookahead("::")) return simple(TokenKind::kColonColon, 2);
+      if (RawLookahead(":=")) return simple(TokenKind::kAssign, 2);
+      return MakeError("unexpected ':'");
+    case '.':
+      if (RawLookahead("..")) return simple(TokenKind::kDotDot, 2);
+      return simple(TokenKind::kDot, 1);
+    default:
+      return MakeError(std::string("unexpected character '") + c + "'");
+  }
+}
+
+}  // namespace xqb

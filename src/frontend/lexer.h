@@ -1,0 +1,64 @@
+#ifndef XQB_FRONTEND_LEXER_H_
+#define XQB_FRONTEND_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "frontend/token.h"
+
+namespace xqb {
+
+/// The XQuery! tokenizer. Because XQuery's grammar is context-sensitive
+/// around direct XML constructors, the lexer also exposes a raw
+/// character-level cursor that the parser drives while inside a
+/// constructor (`ResetTo`, `RawPeek`, `RawAdvance`, ...), then resumes
+/// ordinary tokenization.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Scans the next token. Skips whitespace and (nested) `(: ... :)`
+  /// comments.
+  Result<Token> Next();
+
+  /// Rewinds the scanner to byte offset `offset` (used to re-lex after
+  /// the parser raw-scans a direct constructor, and for backtracking).
+  void ResetTo(size_t offset);
+
+  /// Current raw byte offset.
+  size_t offset() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view input() const { return input_; }
+
+  // ---- Raw cursor API for direct-constructor scanning ----
+  bool RawAtEnd() const { return pos_ >= input_.size(); }
+  char RawPeek() const { return input_[pos_]; }
+  bool RawLookahead(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void RawAdvance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  void RawSkipWhitespace();
+  /// Scans an XML name at the cursor; fails if none present.
+  Result<std::string> RawScanXmlName();
+
+  Status MakeError(const std::string& what) const;
+
+ private:
+  void SkipWhitespaceAndComments(Status* error);
+  bool IsNameStart(char c) const;
+  bool IsNameChar(char c) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_FRONTEND_LEXER_H_

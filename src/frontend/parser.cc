@@ -1,0 +1,1571 @@
+#include "frontend/parser.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "base/string_util.h"
+#include "frontend/lexer.h"
+
+namespace xqb {
+
+namespace {
+
+/// Recursive-descent parser with one-token lookahead. Direct XML
+/// constructors are scanned at the character level through the lexer's
+/// raw cursor; enclosed expressions re-enter the token grammar.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  Result<Program> ParseProgram() {
+    XQB_RETURN_IF_ERROR(Advance());
+    Program program;
+    XQB_RETURN_IF_ERROR(ParseProlog(&program));
+    XQB_ASSIGN_OR_RETURN(program.body, ParseExpr());
+    if (cur_.kind != TokenKind::kEof) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return program;
+  }
+
+  Result<ExprPtr> ParseSingleExpression() {
+    XQB_RETURN_IF_ERROR(Advance());
+    XQB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (cur_.kind != TokenKind::kEof) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return e;
+  }
+
+ private:
+  // ---- token plumbing ----
+
+  Status Advance() {
+    XQB_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  bool At(TokenKind kind) const { return cur_.kind == kind; }
+  bool AtName(std::string_view kw) const {
+    return cur_.kind == TokenKind::kName && cur_.text == kw;
+  }
+
+  /// Consumes the current token if it is the keyword `kw`.
+  Result<bool> EatName(std::string_view kw) {
+    if (!AtName(kw)) return false;
+    XQB_RETURN_IF_ERROR(Advance());
+    return true;
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (cur_.kind != kind) {
+      return ErrorHere("expected " + std::string(what) + ", found " +
+                       DescribeCurrent());
+    }
+    return Advance();
+  }
+
+  Status ExpectName(std::string_view kw) {
+    if (!AtName(kw)) {
+      return ErrorHere("expected '" + std::string(kw) + "', found " +
+                       DescribeCurrent());
+    }
+    return Advance();
+  }
+
+  std::string DescribeCurrent() const {
+    if (cur_.kind == TokenKind::kName) return "'" + cur_.text + "'";
+    return TokenKindToString(cur_.kind);
+  }
+
+  Status ErrorHere(const std::string& what) const {
+    return Status::ParseError("line " + std::to_string(cur_.line) + ": " +
+                              what);
+  }
+
+  /// Peeks at the token after the current one without consuming input.
+  Result<Token> Peek2() {
+    size_t save = lexer_.offset();
+    XQB_ASSIGN_OR_RETURN(Token t, lexer_.Next());
+    lexer_.ResetTo(save);
+    return t;
+  }
+
+  /// Peeks at the token following `after` without consuming input.
+  Result<Token> PeekAfter(const Token& after) {
+    size_t save = lexer_.offset();
+    lexer_.ResetTo(after.end);
+    Result<Token> t = lexer_.Next();
+    lexer_.ResetTo(save);
+    return t;
+  }
+
+  ExprPtr Make(ExprKind kind) {
+    ExprPtr e = MakeExpr(kind);
+    e->line = cur_.line;
+    return e;
+  }
+
+  // ---- prolog ----
+
+  Status ParseProlog(Program* program) {
+    for (;;) {
+      if (!AtName("declare")) return Status::OK();
+      XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+      if (next.kind != TokenKind::kName) return Status::OK();
+      // Setters this engine has no use for parse and are discarded
+      // (boundary-space and ordering behaviours are fixed by the
+      // side-effect semantics; options/base-uri are inert).
+      if (next.text == "option" || next.text == "boundary-space" ||
+          next.text == "ordering" || next.text == "base-uri" ||
+          next.text == "construction" || next.text == "copy-namespaces" ||
+          next.text == "default") {
+        XQB_RETURN_IF_ERROR(Advance());  // declare
+        while (!At(TokenKind::kSemicolon) && !At(TokenKind::kEof)) {
+          XQB_RETURN_IF_ERROR(Advance());
+        }
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        continue;
+      }
+      if (next.text != "variable" && next.text != "function" &&
+          next.text != "updating") {
+        return Status::OK();
+      }
+      XQB_RETURN_IF_ERROR(Advance());  // declare
+      if (AtName("variable")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        if (!At(TokenKind::kVar)) {
+          return ErrorHere("expected a variable name in declare variable");
+        }
+        VarDecl decl;
+        decl.name = cur_.text;
+        XQB_RETURN_IF_ERROR(Advance());
+        XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
+        if (AtName("external")) {
+          XQB_RETURN_IF_ERROR(Advance());
+          decl.external = true;
+        } else {
+          XQB_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "':='"));
+          XQB_ASSIGN_OR_RETURN(decl.init, ParseExprSingle());
+        }
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        program->variables.push_back(std::move(decl));
+      } else {
+        FunctionDecl decl;
+        if (AtName("updating")) {
+          decl.declared_updating = true;
+          XQB_RETURN_IF_ERROR(Advance());
+        }
+        XQB_RETURN_IF_ERROR(ExpectName("function"));
+        if (!At(TokenKind::kName)) {
+          return ErrorHere("expected a function name");
+        }
+        decl.name = cur_.text;
+        XQB_RETURN_IF_ERROR(Advance());
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        if (!At(TokenKind::kRParen)) {
+          for (;;) {
+            if (!At(TokenKind::kVar)) {
+              return ErrorHere("expected a parameter name");
+            }
+            decl.params.push_back(cur_.text);
+            XQB_RETURN_IF_ERROR(Advance());
+            XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
+            if (At(TokenKind::kComma)) {
+              XQB_RETURN_IF_ERROR(Advance());
+              continue;
+            }
+            break;
+          }
+        }
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+        XQB_ASSIGN_OR_RETURN(decl.body, ParseExpr());
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        program->functions.push_back(std::move(decl));
+      }
+    }
+  }
+
+  /// Parses and discards `as SequenceType` (types are out of scope for
+  /// this engine, matching the paper's untyped presentation).
+  Status SkipOptionalTypeAnnotation() {
+    if (!AtName("as")) return Status::OK();
+    XQB_RETURN_IF_ERROR(Advance());
+    if (!At(TokenKind::kName)) {
+      return ErrorHere("expected a type name after 'as'");
+    }
+    XQB_RETURN_IF_ERROR(Advance());
+    if (At(TokenKind::kLParen)) {  // item() / element(foo) / ...
+      int depth = 0;
+      do {
+        if (At(TokenKind::kLParen)) ++depth;
+        if (At(TokenKind::kRParen)) --depth;
+        XQB_RETURN_IF_ERROR(Advance());
+      } while (depth > 0 && !At(TokenKind::kEof));
+    }
+    if (At(TokenKind::kStar) || At(TokenKind::kPlus) ||
+        At(TokenKind::kQuestion)) {
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    return Status::OK();
+  }
+
+  // ---- expression ladder ----
+
+  Result<ExprPtr> ParseExpr() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr first, ParseExprSingle());
+    if (!At(TokenKind::kComma)) return first;
+    ExprPtr seq = Make(ExprKind::kSequence);
+    seq->children.push_back(std::move(first));
+    while (At(TokenKind::kComma)) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr next, ParseExprSingle());
+      seq->children.push_back(std::move(next));
+    }
+    return seq;
+  }
+
+  Result<ExprPtr> ParseExprSingle() {
+    // Recursion guard: the recursive-descent parser's stack usage is
+    // proportional to expression nesting; cap it well before the real
+    // stack runs out.
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return ErrorHere("expression nesting exceeds " +
+                       std::to_string(kMaxNestingDepth) + " levels");
+    }
+    Result<ExprPtr> result = ParseExprSingleImpl();
+    --depth_;
+    return result;
+  }
+
+  Result<ExprPtr> ParseExprSingleImpl() {
+    if (At(TokenKind::kName)) {
+      const std::string& kw = cur_.text;
+      if (kw == "for" || kw == "let") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kVar) return ParseFlwor();
+      } else if (kw == "some" || kw == "every") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kVar) return ParseQuantified();
+      } else if (kw == "if") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kLParen) return ParseIf();
+      } else if (kw == "typeswitch") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kLParen) return ParseTypeswitch();
+      } else if (kw == "ordered" || kw == "unordered") {
+        // XQuery 1.0 ordered/unordered expressions. This engine always
+        // evaluates in order (side effects demand it), so both are
+        // transparent wrappers.
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kLBrace) {
+          XQB_RETURN_IF_ERROR(Advance());
+          return ParseBraced();
+        }
+      } else if (kw == "snap") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kLBrace ||
+            (next.kind == TokenKind::kName &&
+             (next.text == "atomic" || next.text == "ordered" ||
+              next.text == "nondeterministic" ||
+              next.text == "conflict-detection" || next.text == "insert" ||
+              next.text == "delete" || next.text == "replace" ||
+              next.text == "rename"))) {
+          return ParseSnap();
+        }
+      } else if (kw == "insert" || kw == "replace" || kw == "rename" ||
+                 kw == "copy") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kLBrace) {
+          return ParseUpdateExpr(/*snap_sugar=*/false);
+        }
+      } else if (kw == "delete") {
+        XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+        if (next.kind == TokenKind::kLBrace || next.kind == TokenKind::kVar) {
+          return ParseUpdateExpr(/*snap_sugar=*/false);
+        }
+      }
+    }
+    return ParseOr();
+  }
+
+  Result<ExprPtr> ParseFlwor() {
+    ExprPtr flwor = Make(ExprKind::kFlwor);
+    // One or more for/let clause groups.
+    for (;;) {
+      if (AtName("for")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        for (;;) {
+          if (!At(TokenKind::kVar)) {
+            return ErrorHere("expected a variable after 'for'");
+          }
+          FlworClause clause;
+          clause.kind = FlworClause::Kind::kFor;
+          clause.var = cur_.text;
+          XQB_RETURN_IF_ERROR(Advance());
+          XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
+          if (AtName("at")) {
+            XQB_RETURN_IF_ERROR(Advance());
+            if (!At(TokenKind::kVar)) {
+              return ErrorHere("expected a variable after 'at'");
+            }
+            clause.pos_var = cur_.text;
+            XQB_RETURN_IF_ERROR(Advance());
+          }
+          XQB_RETURN_IF_ERROR(ExpectName("in"));
+          XQB_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
+          flwor->clauses.push_back(std::move(clause));
+          if (At(TokenKind::kComma)) {
+            XQB_RETURN_IF_ERROR(Advance());
+            continue;
+          }
+          break;
+        }
+      } else if (AtName("let")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        for (;;) {
+          if (!At(TokenKind::kVar)) {
+            return ErrorHere("expected a variable after 'let'");
+          }
+          FlworClause clause;
+          clause.kind = FlworClause::Kind::kLet;
+          clause.var = cur_.text;
+          XQB_RETURN_IF_ERROR(Advance());
+          XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
+          XQB_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "':='"));
+          XQB_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
+          flwor->clauses.push_back(std::move(clause));
+          if (At(TokenKind::kComma)) {
+            XQB_RETURN_IF_ERROR(Advance());
+            continue;
+          }
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    if (AtName("where")) {
+      FlworClause clause;
+      clause.kind = FlworClause::Kind::kWhere;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
+      flwor->clauses.push_back(std::move(clause));
+    }
+    if (AtName("order")) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(ExpectName("by"));
+      FlworClause clause;
+      clause.kind = FlworClause::Kind::kOrderBy;
+      for (;;) {
+        FlworClause::OrderSpec spec;
+        XQB_ASSIGN_OR_RETURN(spec.key, ParseExprSingle());
+        if (AtName("ascending")) {
+          XQB_RETURN_IF_ERROR(Advance());
+        } else if (AtName("descending")) {
+          XQB_RETURN_IF_ERROR(Advance());
+          spec.descending = true;
+        }
+        if (AtName("empty")) {
+          XQB_RETURN_IF_ERROR(Advance());
+          if (AtName("greatest")) {
+            XQB_RETURN_IF_ERROR(Advance());
+            spec.empty_least = false;
+          } else {
+            XQB_RETURN_IF_ERROR(ExpectName("least"));
+          }
+        }
+        clause.order_specs.push_back(std::move(spec));
+        if (At(TokenKind::kComma)) {
+          XQB_RETURN_IF_ERROR(Advance());
+          continue;
+        }
+        break;
+      }
+      flwor->clauses.push_back(std::move(clause));
+    }
+    XQB_RETURN_IF_ERROR(ExpectName("return"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr ret, ParseExprSingle());
+    flwor->children.push_back(std::move(ret));
+    return flwor;
+  }
+
+  Result<ExprPtr> ParseQuantified() {
+    ExprPtr quant = Make(ExprKind::kQuantified);
+    quant->value_int = AtName("every") ? 1 : 0;
+    XQB_RETURN_IF_ERROR(Advance());
+    for (;;) {
+      if (!At(TokenKind::kVar)) {
+        return ErrorHere("expected a variable in quantified expression");
+      }
+      QuantBinding binding;
+      binding.var = cur_.text;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
+      XQB_RETURN_IF_ERROR(ExpectName("in"));
+      XQB_ASSIGN_OR_RETURN(binding.expr, ParseExprSingle());
+      quant->quant_bindings.push_back(std::move(binding));
+      if (At(TokenKind::kComma)) {
+        XQB_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      break;
+    }
+    XQB_RETURN_IF_ERROR(ExpectName("satisfies"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr satisfies, ParseExprSingle());
+    quant->children.push_back(std::move(satisfies));
+    return quant;
+  }
+
+  Result<ExprPtr> ParseIf() {
+    ExprPtr e = Make(ExprKind::kIf);
+    XQB_RETURN_IF_ERROR(Advance());  // if
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    XQB_RETURN_IF_ERROR(ExpectName("then"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExprSingle());
+    XQB_RETURN_IF_ERROR(ExpectName("else"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExprSingle());
+    e->children.push_back(std::move(cond));
+    e->children.push_back(std::move(then_e));
+    e->children.push_back(std::move(else_e));
+    return e;
+  }
+
+  Result<ExprPtr> ParseSnap() {
+    ExprPtr snap = Make(ExprKind::kSnap);
+    XQB_RETURN_IF_ERROR(Advance());  // snap
+    if (AtName("atomic")) {
+      snap->snap_atomic = true;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    if (AtName("ordered")) {
+      snap->snap_mode = SnapMode::kOrdered;
+      XQB_RETURN_IF_ERROR(Advance());
+    } else if (AtName("nondeterministic")) {
+      snap->snap_mode = SnapMode::kNondeterministic;
+      XQB_RETURN_IF_ERROR(Advance());
+    } else if (AtName("conflict-detection")) {
+      snap->snap_mode = SnapMode::kConflictDetection;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    if (At(TokenKind::kName) &&
+        (cur_.text == "insert" || cur_.text == "delete" ||
+         cur_.text == "replace" || cur_.text == "rename")) {
+      if (snap->snap_mode != SnapMode::kDefault) {
+        return ErrorHere(
+            "the snap-update sugar takes no mode keyword (Figure 1); "
+            "write snap " +
+            std::string(SnapModeToString(snap->snap_mode)) + " { " +
+            cur_.text + " ... } instead");
+      }
+      // "snap insert {...} ..." sugar (Figure 1). The update node keeps
+      // a marker flag; normalization wraps it in an explicit snap.
+      return ParseUpdateExpr(/*snap_sugar=*/true);
+    }
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr body, ParseExpr());
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+    snap->children.push_back(std::move(body));
+    return snap;
+  }
+
+  Result<ExprPtr> ParseBraced() {
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseUpdateExpr(bool snap_sugar) {
+    std::string kw = cur_.text;
+    if (kw == "insert") {
+      ExprPtr e = Make(ExprKind::kInsert);
+      e->value_int = snap_sugar ? 1 : 0;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr source, ParseBraced());
+      // InsertLocation.
+      if (AtName("as")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        if (AtName("first")) {
+          XQB_RETURN_IF_ERROR(Advance());
+          e->insert_pos = InsertPos::kAsFirstInto;
+        } else if (AtName("last")) {
+          XQB_RETURN_IF_ERROR(Advance());
+          e->insert_pos = InsertPos::kAsLastInto;
+        } else {
+          return ErrorHere("expected 'first' or 'last' after 'as'");
+        }
+        XQB_RETURN_IF_ERROR(ExpectName("into"));
+      } else if (AtName("into")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        e->insert_pos = InsertPos::kInto;
+      } else if (AtName("before")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        e->insert_pos = InsertPos::kBefore;
+      } else if (AtName("after")) {
+        XQB_RETURN_IF_ERROR(Advance());
+        e->insert_pos = InsertPos::kAfter;
+      } else {
+        return ErrorHere("expected an insert location (into/before/after)");
+      }
+      XQB_ASSIGN_OR_RETURN(ExprPtr target, ParseBraced());
+      e->children.push_back(std::move(source));
+      e->children.push_back(std::move(target));
+      return e;
+    }
+    if (kw == "delete") {
+      ExprPtr e = Make(ExprKind::kDelete);
+      e->value_int = snap_sugar ? 1 : 0;
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr target;
+      if (At(TokenKind::kLBrace)) {
+        XQB_ASSIGN_OR_RETURN(target, ParseBraced());
+      } else {
+        // Paper Section 2.3 uses the brace-less form `delete $log/...`.
+        XQB_ASSIGN_OR_RETURN(target, ParseOr());
+      }
+      e->children.push_back(std::move(target));
+      return e;
+    }
+    if (kw == "replace") {
+      ExprPtr e = Make(ExprKind::kReplace);
+      e->value_int = snap_sugar ? 1 : 0;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr target, ParseBraced());
+      XQB_RETURN_IF_ERROR(ExpectName("with"));
+      XQB_ASSIGN_OR_RETURN(ExprPtr source, ParseBraced());
+      e->children.push_back(std::move(target));
+      e->children.push_back(std::move(source));
+      return e;
+    }
+    if (kw == "rename") {
+      ExprPtr e = Make(ExprKind::kRename);
+      e->value_int = snap_sugar ? 1 : 0;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr target, ParseBraced());
+      XQB_RETURN_IF_ERROR(ExpectName("to"));
+      XQB_ASSIGN_OR_RETURN(ExprPtr name, ParseBraced());
+      e->children.push_back(std::move(target));
+      e->children.push_back(std::move(name));
+      return e;
+    }
+    if (kw == "copy") {
+      ExprPtr e = Make(ExprKind::kCopy);
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr body, ParseBraced());
+      e->children.push_back(std::move(body));
+      return e;
+    }
+    return ErrorHere("unknown update expression '" + kw + "'");
+  }
+
+  // Binary operators, loosest to tightest.
+
+  Result<ExprPtr> ParseOr() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AtName("or")) {
+      ExprPtr e = Make(ExprKind::kBinaryOp);
+      e->op = "or";
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (AtName("and")) {
+      ExprPtr e = Make(ExprKind::kBinaryOp);
+      e->op = "and";
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRange());
+    std::string op;
+    switch (cur_.kind) {
+      case TokenKind::kEq: op = "="; break;
+      case TokenKind::kNe: op = "!="; break;
+      case TokenKind::kLt: op = "<"; break;
+      case TokenKind::kLe: op = "<="; break;
+      case TokenKind::kGt: op = ">"; break;
+      case TokenKind::kGe: op = ">="; break;
+      case TokenKind::kLtLt: op = "<<"; break;
+      case TokenKind::kGtGt: op = ">>"; break;
+      case TokenKind::kName:
+        if (cur_.text == "eq" || cur_.text == "ne" || cur_.text == "lt" ||
+            cur_.text == "le" || cur_.text == "gt" || cur_.text == "ge" ||
+            cur_.text == "is") {
+          op = cur_.text;
+        }
+        break;
+      default:
+        break;
+    }
+    if (op.empty()) return lhs;
+    ExprPtr e = Make(ExprKind::kBinaryOp);
+    e->op = op;
+    XQB_RETURN_IF_ERROR(Advance());
+    XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRange());
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  Result<ExprPtr> ParseRange() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (!AtName("to")) return lhs;
+    ExprPtr e = Make(ExprKind::kBinaryOp);
+    e->op = "to";
+    XQB_RETURN_IF_ERROR(Advance());
+    XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(std::move(rhs));
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      ExprPtr e = Make(ExprKind::kBinaryOp);
+      e->op = At(TokenKind::kPlus) ? "+" : "-";
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnion());
+    for (;;) {
+      std::string op;
+      if (At(TokenKind::kStar)) {
+        op = "*";
+      } else if (AtName("div")) {
+        op = "div";
+      } else if (AtName("idiv")) {
+        op = "idiv";
+      } else if (AtName("mod")) {
+        op = "mod";
+      } else {
+        return lhs;
+      }
+      ExprPtr e = Make(ExprKind::kBinaryOp);
+      e->op = op;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnion());
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  Result<ExprPtr> ParseUnion() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseIntersectExcept());
+    while (At(TokenKind::kBar) || AtName("union")) {
+      ExprPtr e = Make(ExprKind::kBinaryOp);
+      e->op = "union";
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseIntersectExcept());
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseIntersectExcept() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTypeOps());
+    while (AtName("intersect") || AtName("except")) {
+      ExprPtr e = Make(ExprKind::kBinaryOp);
+      e->op = cur_.text;
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTypeOps());
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  /// The InstanceofExpr/TreatExpr/CastableExpr/CastExpr ladder (each
+  /// optional and non-associative, per the XQuery 1.0 grammar).
+  Result<ExprPtr> ParseTypeOps() {
+    XQB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    // Innermost first: cast, castable, treat, instance of.
+    auto at_keyword_pair = [&](const char* kw1,
+                               const char* kw2) -> Result<bool> {
+      if (!AtName(kw1)) return false;
+      XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+      return next.kind == TokenKind::kName && next.text == kw2;
+    };
+    XQB_ASSIGN_OR_RETURN(bool is_cast, at_keyword_pair("cast", "as"));
+    if (is_cast) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr e = Make(ExprKind::kCastAs);
+      XQB_ASSIGN_OR_RETURN(e->seq_type, ParseSingleType());
+      e->children.push_back(std::move(operand));
+      operand = std::move(e);
+    }
+    XQB_ASSIGN_OR_RETURN(bool is_castable,
+                         at_keyword_pair("castable", "as"));
+    if (is_castable) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr e = Make(ExprKind::kCastableAs);
+      XQB_ASSIGN_OR_RETURN(e->seq_type, ParseSingleType());
+      e->children.push_back(std::move(operand));
+      operand = std::move(e);
+    }
+    XQB_ASSIGN_OR_RETURN(bool is_treat, at_keyword_pair("treat", "as"));
+    if (is_treat) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr e = Make(ExprKind::kTreatAs);
+      XQB_ASSIGN_OR_RETURN(e->seq_type, ParseSequenceType());
+      e->children.push_back(std::move(operand));
+      operand = std::move(e);
+    }
+    XQB_ASSIGN_OR_RETURN(bool is_instance,
+                         at_keyword_pair("instance", "of"));
+    if (is_instance) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr e = Make(ExprKind::kInstanceOf);
+      XQB_ASSIGN_OR_RETURN(e->seq_type, ParseSequenceType());
+      e->children.push_back(std::move(operand));
+      operand = std::move(e);
+    }
+    return operand;
+  }
+
+  /// SingleType ::= AtomicType "?"? (for cast/castable).
+  Result<SequenceTypeSpec> ParseSingleType() {
+    if (!At(TokenKind::kName)) {
+      return ErrorHere("expected an atomic type name");
+    }
+    SequenceTypeSpec spec;
+    spec.item_kind = SequenceTypeSpec::ItemKind::kAtomic;
+    spec.atomic_name = cur_.text;
+    XQB_RETURN_IF_ERROR(Advance());
+    if (At(TokenKind::kQuestion)) {
+      spec.occurrence = SequenceTypeSpec::Occurrence::kOptional;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    return spec;
+  }
+
+  Result<SequenceTypeSpec> ParseSequenceType() {
+    SequenceTypeSpec spec;
+    if (!At(TokenKind::kName)) {
+      return ErrorHere("expected a sequence type");
+    }
+    std::string name = cur_.text;
+    XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+    if (name == "empty-sequence" && next.kind == TokenKind::kLParen) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      spec.item_kind = SequenceTypeSpec::ItemKind::kEmptySequence;
+      return spec;  // No occurrence indicator.
+    }
+    if (name == "item" && next.kind == TokenKind::kLParen) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      spec.item_kind = SequenceTypeSpec::ItemKind::kAnyItem;
+    } else if (next.kind == TokenKind::kLParen && IsKindTestName(name)) {
+      XQB_RETURN_IF_ERROR(Advance());  // test name
+      XQB_RETURN_IF_ERROR(Advance());  // (
+      std::string arg;
+      if (At(TokenKind::kName) || At(TokenKind::kString)) {
+        arg = cur_.text;
+        XQB_RETURN_IF_ERROR(Advance());
+      } else if (At(TokenKind::kStar)) {
+        XQB_RETURN_IF_ERROR(Advance());
+      }
+      XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      spec.item_kind = SequenceTypeSpec::ItemKind::kNodeTest;
+      if (name == "text") {
+        spec.node_test.kind = NodeTest::Kind::kText;
+      } else if (name == "node") {
+        spec.node_test.kind = NodeTest::Kind::kAnyNode;
+      } else if (name == "comment") {
+        spec.node_test.kind = NodeTest::Kind::kComment;
+      } else if (name == "processing-instruction") {
+        spec.node_test.kind = NodeTest::Kind::kPi;
+        spec.node_test.name = arg;
+      } else if (name == "element") {
+        spec.node_test.kind = NodeTest::Kind::kElement;
+        spec.node_test.name = arg;
+      } else if (name == "attribute") {
+        spec.node_test.kind = NodeTest::Kind::kAttribute;
+        spec.node_test.name = arg;
+      } else {
+        spec.node_test.kind = NodeTest::Kind::kDocument;
+      }
+    } else {
+      spec.item_kind = SequenceTypeSpec::ItemKind::kAtomic;
+      spec.atomic_name = name;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    if (At(TokenKind::kStar)) {
+      spec.occurrence = SequenceTypeSpec::Occurrence::kStar;
+      XQB_RETURN_IF_ERROR(Advance());
+    } else if (At(TokenKind::kPlus)) {
+      spec.occurrence = SequenceTypeSpec::Occurrence::kPlus;
+      XQB_RETURN_IF_ERROR(Advance());
+    } else if (At(TokenKind::kQuestion)) {
+      spec.occurrence = SequenceTypeSpec::Occurrence::kOptional;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    return spec;
+  }
+
+  Result<ExprPtr> ParseTypeswitch() {
+    ExprPtr ts = Make(ExprKind::kTypeswitch);
+    XQB_RETURN_IF_ERROR(Advance());  // typeswitch
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr input, ParseExpr());
+    XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    ts->children.push_back(std::move(input));
+    bool saw_case = false;
+    while (AtName("case")) {
+      saw_case = true;
+      XQB_RETURN_IF_ERROR(Advance());
+      TypeswitchCase ts_case;
+      if (At(TokenKind::kVar)) {
+        ts_case.var = cur_.text;
+        XQB_RETURN_IF_ERROR(Advance());
+        XQB_RETURN_IF_ERROR(ExpectName("as"));
+      }
+      XQB_ASSIGN_OR_RETURN(ts_case.type, ParseSequenceType());
+      XQB_RETURN_IF_ERROR(ExpectName("return"));
+      XQB_ASSIGN_OR_RETURN(ExprPtr body, ParseExprSingle());
+      ts->ts_cases.push_back(std::move(ts_case));
+      ts->children.push_back(std::move(body));
+    }
+    if (!saw_case) {
+      return ErrorHere("typeswitch requires at least one case clause");
+    }
+    XQB_RETURN_IF_ERROR(ExpectName("default"));
+    TypeswitchCase default_case;
+    default_case.is_default = true;
+    if (At(TokenKind::kVar)) {
+      default_case.var = cur_.text;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    XQB_RETURN_IF_ERROR(ExpectName("return"));
+    XQB_ASSIGN_OR_RETURN(ExprPtr body, ParseExprSingle());
+    ts->ts_cases.push_back(std::move(default_case));
+    ts->children.push_back(std::move(body));
+    return ts;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    // Fold the sign prefix: a run of unary +/- is equivalent to one
+    // sign (minus iff the minus count is odd), so `----x` neither
+    // recurses here nor produces a deep AST.
+    bool any_sign = false;
+    bool negative = false;
+    while (At(TokenKind::kMinus) || At(TokenKind::kPlus)) {
+      any_sign = true;
+      if (At(TokenKind::kMinus)) negative = !negative;
+      XQB_RETURN_IF_ERROR(Advance());
+    }
+    XQB_ASSIGN_OR_RETURN(ExprPtr operand, ParsePath());
+    if (any_sign) {
+      ExprPtr e = Make(negative ? ExprKind::kUnaryMinus
+                                : ExprKind::kUnaryPlus);
+      e->children.push_back(std::move(operand));
+      operand = std::move(e);
+    }
+    return operand;
+  }
+
+  // ---- paths ----
+
+  Result<ExprPtr> ParsePath() {
+    if (At(TokenKind::kSlash)) {
+      ExprPtr root = Make(ExprKind::kPathRoot);
+      XQB_RETURN_IF_ERROR(Advance());
+      if (!StartsStep()) return root;  // Bare "/".
+      XQB_ASSIGN_OR_RETURN(ExprPtr first,
+                           ParseStepAndAttach(std::move(root)));
+      return ParseRelativePath(std::move(first));
+    }
+    if (At(TokenKind::kSlashSlash)) {
+      ExprPtr root = Make(ExprKind::kPathRoot);
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr dos = Make(ExprKind::kStep);
+      dos->axis = Axis::kDescendantOrSelf;
+      dos->test.kind = NodeTest::Kind::kAnyNode;
+      dos->children.push_back(std::move(root));
+      XQB_ASSIGN_OR_RETURN(ExprPtr first,
+                           ParseStepAndAttach(std::move(dos)));
+      return ParseRelativePath(std::move(first));
+    }
+    XQB_ASSIGN_OR_RETURN(ExprPtr first, ParseStepExpr());
+    if (At(TokenKind::kSlash) || At(TokenKind::kSlashSlash)) {
+      return ParseRelativePath(std::move(first));
+    }
+    return first;
+  }
+
+  /// Parses one step and splices `input` as its context source. When
+  /// the step is not an axis-step chain (e.g. `.` or `(b|c)`), falls
+  /// back to the general path-combination operator.
+  Result<ExprPtr> ParseStepAndAttach(ExprPtr input) {
+    XQB_ASSIGN_OR_RETURN(ExprPtr step, ParseStepExpr());
+    if (AttachInput(step.get(), &input)) return step;
+    ExprPtr combine = Make(ExprKind::kBinaryOp);
+    combine->op = "path";
+    combine->children.push_back(std::move(input));
+    combine->children.push_back(std::move(step));
+    return combine;
+  }
+
+  Result<ExprPtr> ParseRelativePath(ExprPtr input) {
+    while (At(TokenKind::kSlash) || At(TokenKind::kSlashSlash)) {
+      bool double_slash = At(TokenKind::kSlashSlash);
+      XQB_RETURN_IF_ERROR(Advance());
+      if (double_slash) {
+        ExprPtr dos = Make(ExprKind::kStep);
+        dos->axis = Axis::kDescendantOrSelf;
+        dos->test.kind = NodeTest::Kind::kAnyNode;
+        dos->children.push_back(std::move(input));
+        input = std::move(dos);
+      }
+      XQB_ASSIGN_OR_RETURN(input, ParseStepAndAttach(std::move(input)));
+    }
+    return input;
+  }
+
+  /// Replaces the implicit context-item input at the left end of a step
+  /// chain with `*input`; returns false (leaving `*input` intact) when
+  /// there is no such slot.
+  bool AttachInput(Expr* step, ExprPtr* input) {
+    Expr* cur = step;
+    while ((cur->kind == ExprKind::kStep || cur->kind == ExprKind::kFilter) &&
+           cur->children[0]->kind != ExprKind::kContextItem) {
+      cur = cur->children[0].get();
+    }
+    if (cur->kind == ExprKind::kStep || cur->kind == ExprKind::kFilter) {
+      cur->children[0] = std::move(*input);
+      return true;
+    }
+    return false;
+  }
+
+  bool StartsStep() const {
+    switch (cur_.kind) {
+      case TokenKind::kName:
+      case TokenKind::kStar:
+      case TokenKind::kAt:
+      case TokenKind::kDotDot:
+      case TokenKind::kDot:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// True if the current kName begins an axis step (axis::, kind test, or
+  /// plain name test) rather than a function call or keyword expression.
+  Result<ExprPtr> ParseStepExpr() {
+    // Axis step forms.
+    if (At(TokenKind::kAt)) {
+      XQB_RETURN_IF_ERROR(Advance());
+      return ParseAxisStepTail(Axis::kAttribute);
+    }
+    if (At(TokenKind::kDotDot)) {
+      ExprPtr step = Make(ExprKind::kStep);
+      step->axis = Axis::kParent;
+      step->test.kind = NodeTest::Kind::kAnyNode;
+      step->children.push_back(Make(ExprKind::kContextItem));
+      XQB_RETURN_IF_ERROR(Advance());
+      return ParsePredicates(std::move(step), /*as_step_predicates=*/true);
+    }
+    if (At(TokenKind::kStar)) {
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr step = Make(ExprKind::kStep);
+      step->axis = Axis::kChild;
+      step->test.kind = NodeTest::Kind::kWildcard;
+      step->children.push_back(Make(ExprKind::kContextItem));
+      return ParsePredicates(std::move(step), /*as_step_predicates=*/true);
+    }
+    if (At(TokenKind::kName)) {
+      XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+      if (next.kind == TokenKind::kColonColon) {
+        XQB_ASSIGN_OR_RETURN(Axis axis, ParseAxisName(cur_.text));
+        XQB_RETURN_IF_ERROR(Advance());  // axis name
+        XQB_RETURN_IF_ERROR(Advance());  // ::
+        return ParseAxisStepTail(axis);
+      }
+      if (next.kind == TokenKind::kLParen && IsKindTestName(cur_.text)) {
+        return ParseAxisStepTail(Axis::kChild);
+      }
+      // Computed constructors win over name tests: `element {..}`,
+      // `element name {..}`, `text {..}`, ... (XQuery's reserved
+      // function-name lookahead rule).
+      bool is_ctor = false;
+      if (IsCtorKeyword(cur_.text)) {
+        if (next.kind == TokenKind::kLBrace) {
+          is_ctor = true;
+        } else if ((cur_.text == "element" || cur_.text == "attribute") &&
+                   next.kind == TokenKind::kName) {
+          XQB_ASSIGN_OR_RETURN(Token third, PeekAfter(next));
+          is_ctor = third.kind == TokenKind::kLBrace;
+        }
+      }
+      if (!is_ctor && next.kind != TokenKind::kLParen) {
+        // Plain name test on the child axis.
+        return ParseAxisStepTail(Axis::kChild);
+      }
+    }
+    // Otherwise a filter expression over a primary.
+    XQB_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimary());
+    return ParsePredicates(std::move(primary));
+  }
+
+  static bool IsCtorKeyword(const std::string& name) {
+    return name == "element" || name == "attribute" || name == "text" ||
+           name == "comment" || name == "document";
+  }
+
+  static bool IsKindTestName(const std::string& name) {
+    return name == "text" || name == "node" || name == "comment" ||
+           name == "processing-instruction" || name == "element" ||
+           name == "attribute" || name == "document-node";
+  }
+
+  Result<Axis> ParseAxisName(const std::string& name) {
+    if (name == "child") return Axis::kChild;
+    if (name == "descendant") return Axis::kDescendant;
+    if (name == "attribute") return Axis::kAttribute;
+    if (name == "self") return Axis::kSelf;
+    if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+    if (name == "following-sibling") return Axis::kFollowingSibling;
+    if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+    if (name == "following") return Axis::kFollowing;
+    if (name == "preceding") return Axis::kPreceding;
+    if (name == "parent") return Axis::kParent;
+    if (name == "ancestor") return Axis::kAncestor;
+    if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+    return ErrorHere("unknown axis '" + name + "'");
+  }
+
+  Result<ExprPtr> ParseAxisStepTail(Axis axis) {
+    ExprPtr step = Make(ExprKind::kStep);
+    step->axis = axis;
+    step->children.push_back(Make(ExprKind::kContextItem));
+    if (At(TokenKind::kStar)) {
+      step->test.kind = NodeTest::Kind::kWildcard;
+      XQB_RETURN_IF_ERROR(Advance());
+    } else if (At(TokenKind::kName)) {
+      std::string name = cur_.text;
+      XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+      if (next.kind == TokenKind::kLParen && IsKindTestName(name)) {
+        XQB_RETURN_IF_ERROR(Advance());  // test name
+        XQB_RETURN_IF_ERROR(Advance());  // (
+        std::string arg;
+        if (At(TokenKind::kName) || At(TokenKind::kString)) {
+          arg = cur_.text;
+          XQB_RETURN_IF_ERROR(Advance());
+        } else if (At(TokenKind::kStar)) {
+          XQB_RETURN_IF_ERROR(Advance());
+        }
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        if (name == "text") {
+          step->test.kind = NodeTest::Kind::kText;
+        } else if (name == "node") {
+          step->test.kind = NodeTest::Kind::kAnyNode;
+        } else if (name == "comment") {
+          step->test.kind = NodeTest::Kind::kComment;
+        } else if (name == "processing-instruction") {
+          step->test.kind = NodeTest::Kind::kPi;
+          step->test.name = arg;
+        } else if (name == "element") {
+          step->test.kind = NodeTest::Kind::kElement;
+          step->test.name = arg;
+        } else if (name == "attribute") {
+          step->test.kind = NodeTest::Kind::kAttribute;
+          step->test.name = arg;
+        } else {
+          step->test.kind = NodeTest::Kind::kDocument;
+        }
+      } else {
+        step->test.kind = NodeTest::Kind::kName;
+        step->test.name = name;
+        XQB_RETURN_IF_ERROR(Advance());
+      }
+    } else {
+      return ErrorHere("expected a node test");
+    }
+    return ParsePredicates(std::move(step), /*as_step_predicates=*/true);
+  }
+
+  /// `as_step_predicates` distinguishes an axis step's own predicate
+  /// list (per-context-node positions) from a sequence filter on an
+  /// arbitrary primary — `(//name)[1]` filters the whole sequence while
+  /// `//name[1]` selects the first name of each parent.
+  Result<ExprPtr> ParsePredicates(ExprPtr input,
+                                  bool as_step_predicates = false) {
+    if (!At(TokenKind::kLBracket)) return input;
+    ExprPtr holder;
+    if (as_step_predicates && input->kind == ExprKind::kStep) {
+      holder = std::move(input);
+    } else {
+      holder = Make(ExprKind::kFilter);
+      holder->children.push_back(std::move(input));
+    }
+    while (At(TokenKind::kLBracket)) {
+      XQB_RETURN_IF_ERROR(Advance());
+      XQB_ASSIGN_OR_RETURN(ExprPtr pred, ParseExpr());
+      XQB_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+      holder->children.push_back(std::move(pred));
+    }
+    return holder;
+  }
+
+  // ---- primaries ----
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (cur_.kind) {
+      case TokenKind::kInteger: {
+        ExprPtr e = Make(ExprKind::kIntegerLit);
+        e->value_int = std::strtoll(cur_.text.c_str(), nullptr, 10);
+        XQB_RETURN_IF_ERROR(Advance());
+        return e;
+      }
+      case TokenKind::kDecimal: {
+        ExprPtr e = Make(ExprKind::kDecimalLit);
+        e->value_double = std::strtod(cur_.text.c_str(), nullptr);
+        XQB_RETURN_IF_ERROR(Advance());
+        return e;
+      }
+      case TokenKind::kString: {
+        ExprPtr e = Make(ExprKind::kStringLit);
+        e->value_str = cur_.text;
+        XQB_RETURN_IF_ERROR(Advance());
+        return e;
+      }
+      case TokenKind::kVar: {
+        ExprPtr e = Make(ExprKind::kVarRef);
+        e->name = cur_.text;
+        XQB_RETURN_IF_ERROR(Advance());
+        return e;
+      }
+      case TokenKind::kDot: {
+        ExprPtr e = Make(ExprKind::kContextItem);
+        XQB_RETURN_IF_ERROR(Advance());
+        return e;
+      }
+      case TokenKind::kLParen: {
+        XQB_RETURN_IF_ERROR(Advance());
+        if (At(TokenKind::kRParen)) {
+          ExprPtr e = Make(ExprKind::kEmptySeq);
+          XQB_RETURN_IF_ERROR(Advance());
+          return e;
+        }
+        XQB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kLt:
+        return ParseDirectConstructor();
+      case TokenKind::kName:
+        return ParseNamedPrimary();
+      default:
+        return ErrorHere("unexpected " + DescribeCurrent() +
+                         " at start of expression");
+    }
+  }
+
+  Result<ExprPtr> ParseNamedPrimary() {
+    std::string name = cur_.text;
+    XQB_ASSIGN_OR_RETURN(Token next, Peek2());
+    // Computed constructors.
+    if (name == "element" || name == "attribute") {
+      if (next.kind == TokenKind::kLBrace) {
+        XQB_RETURN_IF_ERROR(Advance());
+        ExprPtr e = Make(name == "element" ? ExprKind::kElementCtor
+                                           : ExprKind::kAttributeCtor);
+        XQB_ASSIGN_OR_RETURN(ExprPtr name_expr, ParseBraced());
+        e->children.push_back(std::move(name_expr));
+        XQB_ASSIGN_OR_RETURN(ExprPtr content, ParseBraced());
+        e->children.push_back(std::move(content));
+        return e;
+      }
+      if (next.kind == TokenKind::kName) {
+        // element foo { ... }
+        size_t save = lexer_.offset();
+        Token save_tok = cur_;
+        XQB_RETURN_IF_ERROR(Advance());
+        std::string ctor_name = cur_.text;
+        XQB_ASSIGN_OR_RETURN(Token after, Peek2());
+        if (after.kind == TokenKind::kLBrace) {
+          XQB_RETURN_IF_ERROR(Advance());
+          ExprPtr e = Make(name == "element" ? ExprKind::kElementCtor
+                                             : ExprKind::kAttributeCtor);
+          ExprPtr name_lit = Make(ExprKind::kStringLit);
+          name_lit->value_str = ctor_name;
+          e->children.push_back(std::move(name_lit));
+          XQB_ASSIGN_OR_RETURN(ExprPtr content, ParseBraced());
+          e->children.push_back(std::move(content));
+          return e;
+        }
+        // Not a constructor after all: rewind.
+        lexer_.ResetTo(save);
+        cur_ = save_tok;
+      }
+    }
+    if ((name == "text" || name == "comment" || name == "document") &&
+        next.kind == TokenKind::kLBrace) {
+      XQB_RETURN_IF_ERROR(Advance());
+      ExprPtr e = Make(name == "text"      ? ExprKind::kTextCtor
+                       : name == "comment" ? ExprKind::kCommentCtor
+                                           : ExprKind::kDocumentCtor);
+      XQB_ASSIGN_OR_RETURN(ExprPtr content, ParseBraced());
+      e->children.push_back(std::move(content));
+      return e;
+    }
+    // Function call.
+    if (next.kind == TokenKind::kLParen) {
+      XQB_RETURN_IF_ERROR(Advance());  // name
+      XQB_RETURN_IF_ERROR(Advance());  // (
+      ExprPtr call = Make(ExprKind::kFunctionCall);
+      call->name = name;
+      if (!At(TokenKind::kRParen)) {
+        for (;;) {
+          XQB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExprSingle());
+          call->children.push_back(std::move(arg));
+          if (At(TokenKind::kComma)) {
+            XQB_RETURN_IF_ERROR(Advance());
+            continue;
+          }
+          break;
+        }
+      }
+      XQB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return call;
+    }
+    return ErrorHere("unexpected name '" + name + "' in expression");
+  }
+
+  // ---- direct XML constructors (character-level scanning) ----
+
+  Result<ExprPtr> ParseDirectConstructor() {
+    // The '<' token is current; rescan from its start at raw level.
+    lexer_.ResetTo(cur_.begin);
+    XQB_ASSIGN_OR_RETURN(ExprPtr e, ScanDirectElement());
+    // Resume token scanning after the constructor.
+    XQB_RETURN_IF_ERROR(Advance());
+    return e;
+  }
+
+  /// Scans `<name attr="..." ...>content</name>` at the raw cursor,
+  /// producing a kElementCtor with a literal name, kAttributeCtor
+  /// children for attributes, then content parts.
+  Result<ExprPtr> ScanDirectElement() {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return lexer_.MakeError("element nesting exceeds " +
+                              std::to_string(kMaxNestingDepth) +
+                              " levels");
+    }
+    Result<ExprPtr> result = ScanDirectElementImpl();
+    --depth_;
+    return result;
+  }
+
+  Result<ExprPtr> ScanDirectElementImpl() {
+    if (!lexer_.RawLookahead("<")) {
+      return lexer_.MakeError("expected '<'");
+    }
+    lexer_.RawAdvance();
+    XQB_ASSIGN_OR_RETURN(std::string name, lexer_.RawScanXmlName());
+    ExprPtr e = Make(ExprKind::kElementCtor);
+    ExprPtr name_lit = Make(ExprKind::kStringLit);
+    name_lit->value_str = name;
+    e->children.push_back(std::move(name_lit));
+
+    // Attributes.
+    for (;;) {
+      lexer_.RawSkipWhitespace();
+      if (lexer_.RawAtEnd()) {
+        return lexer_.MakeError("unterminated start tag <" + name);
+      }
+      if (lexer_.RawLookahead("/>")) {
+        lexer_.RawAdvance(2);
+        return e;
+      }
+      if (lexer_.RawPeek() == '>') {
+        lexer_.RawAdvance();
+        break;
+      }
+      XQB_ASSIGN_OR_RETURN(std::string attr_name, lexer_.RawScanXmlName());
+      lexer_.RawSkipWhitespace();
+      if (lexer_.RawAtEnd() || lexer_.RawPeek() != '=') {
+        return lexer_.MakeError("expected '=' in attribute");
+      }
+      lexer_.RawAdvance();
+      lexer_.RawSkipWhitespace();
+      XQB_ASSIGN_OR_RETURN(ExprPtr attr, ScanAttributeValue(attr_name));
+      e->children.push_back(std::move(attr));
+    }
+
+    // Content.
+    std::string text_run;
+    auto flush_text = [&]() {
+      if (text_run.empty()) return;
+      ExprPtr t = Make(ExprKind::kTextCtor);
+      ExprPtr lit = Make(ExprKind::kStringLit);
+      lit->value_str = text_run;
+      t->children.push_back(std::move(lit));
+      e->children.push_back(std::move(t));
+      text_run.clear();
+    };
+    for (;;) {
+      if (lexer_.RawAtEnd()) {
+        return lexer_.MakeError("unterminated element <" + name + ">");
+      }
+      if (lexer_.RawLookahead("</")) {
+        flush_text();
+        lexer_.RawAdvance(2);
+        XQB_ASSIGN_OR_RETURN(std::string close, lexer_.RawScanXmlName());
+        if (close != name) {
+          return lexer_.MakeError("mismatched end tag </" + close +
+                                  "> for <" + name + ">");
+        }
+        lexer_.RawSkipWhitespace();
+        if (lexer_.RawAtEnd() || lexer_.RawPeek() != '>') {
+          return lexer_.MakeError("expected '>' in end tag");
+        }
+        lexer_.RawAdvance();
+        return e;
+      }
+      if (lexer_.RawLookahead("<!--")) {
+        flush_text();
+        lexer_.RawAdvance(4);
+        std::string body;
+        while (!lexer_.RawAtEnd() && !lexer_.RawLookahead("-->")) {
+          body.push_back(lexer_.RawPeek());
+          lexer_.RawAdvance();
+        }
+        if (lexer_.RawAtEnd()) {
+          return lexer_.MakeError("unterminated comment in constructor");
+        }
+        lexer_.RawAdvance(3);
+        ExprPtr c = Make(ExprKind::kCommentCtor);
+        ExprPtr lit = Make(ExprKind::kStringLit);
+        lit->value_str = body;
+        c->children.push_back(std::move(lit));
+        e->children.push_back(std::move(c));
+        continue;
+      }
+      if (lexer_.RawLookahead("<![CDATA[")) {
+        lexer_.RawAdvance(9);
+        while (!lexer_.RawAtEnd() && !lexer_.RawLookahead("]]>")) {
+          text_run.push_back(lexer_.RawPeek());
+          lexer_.RawAdvance();
+        }
+        if (lexer_.RawAtEnd()) {
+          return lexer_.MakeError("unterminated CDATA in constructor");
+        }
+        lexer_.RawAdvance(3);
+        continue;
+      }
+      if (lexer_.RawPeek() == '<') {
+        flush_text();
+        XQB_ASSIGN_OR_RETURN(ExprPtr child, ScanDirectElement());
+        e->children.push_back(std::move(child));
+        continue;
+      }
+      if (lexer_.RawLookahead("{{")) {
+        text_run.push_back('{');
+        lexer_.RawAdvance(2);
+        continue;
+      }
+      if (lexer_.RawLookahead("}}")) {
+        text_run.push_back('}');
+        lexer_.RawAdvance(2);
+        continue;
+      }
+      if (lexer_.RawPeek() == '{') {
+        flush_text();
+        XQB_ASSIGN_OR_RETURN(ExprPtr enclosed, ScanEnclosedExpr());
+        e->children.push_back(std::move(enclosed));
+        continue;
+      }
+      if (lexer_.RawPeek() == '&') {
+        XQB_ASSIGN_OR_RETURN(std::string decoded, ScanEntity());
+        text_run.append(decoded);
+        continue;
+      }
+      text_run.push_back(lexer_.RawPeek());
+      lexer_.RawAdvance();
+    }
+  }
+
+  /// Scans a quoted attribute value with embedded {expr} templates,
+  /// returning a kAttributeCtor whose children[0] is the literal name and
+  /// children[1..] the value parts.
+  Result<ExprPtr> ScanAttributeValue(const std::string& attr_name) {
+    if (lexer_.RawAtEnd() ||
+        (lexer_.RawPeek() != '"' && lexer_.RawPeek() != '\'')) {
+      return lexer_.MakeError("expected a quoted attribute value");
+    }
+    char quote = lexer_.RawPeek();
+    lexer_.RawAdvance();
+    ExprPtr attr = Make(ExprKind::kAttributeCtor);
+    ExprPtr name_lit = Make(ExprKind::kStringLit);
+    name_lit->value_str = attr_name;
+    attr->children.push_back(std::move(name_lit));
+    std::string text_run;
+    auto flush_text = [&]() {
+      if (text_run.empty()) return;
+      ExprPtr lit = Make(ExprKind::kStringLit);
+      lit->value_str = text_run;
+      attr->children.push_back(std::move(lit));
+      text_run.clear();
+    };
+    for (;;) {
+      if (lexer_.RawAtEnd()) {
+        return lexer_.MakeError("unterminated attribute value");
+      }
+      char c = lexer_.RawPeek();
+      if (c == quote) {
+        // Doubled quote escapes itself.
+        lexer_.RawAdvance();
+        if (!lexer_.RawAtEnd() && lexer_.RawPeek() == quote) {
+          text_run.push_back(quote);
+          lexer_.RawAdvance();
+          continue;
+        }
+        flush_text();
+        return attr;
+      }
+      if (lexer_.RawLookahead("{{")) {
+        text_run.push_back('{');
+        lexer_.RawAdvance(2);
+        continue;
+      }
+      if (lexer_.RawLookahead("}}")) {
+        text_run.push_back('}');
+        lexer_.RawAdvance(2);
+        continue;
+      }
+      if (c == '{') {
+        flush_text();
+        XQB_ASSIGN_OR_RETURN(ExprPtr enclosed, ScanEnclosedExpr());
+        attr->children.push_back(std::move(enclosed));
+        continue;
+      }
+      if (c == '&') {
+        XQB_ASSIGN_OR_RETURN(std::string decoded, ScanEntity());
+        text_run.append(decoded);
+        continue;
+      }
+      text_run.push_back(c);
+      lexer_.RawAdvance();
+    }
+  }
+
+  /// Scans `{ Expr }` at the raw cursor by re-entering token scanning,
+  /// then repositions the raw cursor after the closing brace.
+  Result<ExprPtr> ScanEnclosedExpr() {
+    lexer_.RawAdvance();  // '{'
+    XQB_RETURN_IF_ERROR(Advance());
+    XQB_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!At(TokenKind::kRBrace)) {
+      return ErrorHere("expected '}' to close an enclosed expression");
+    }
+    lexer_.ResetTo(cur_.end);
+    return e;
+  }
+
+  Result<std::string> ScanEntity() {
+    lexer_.RawAdvance();  // '&'
+    std::string ent;
+    while (!lexer_.RawAtEnd() && lexer_.RawPeek() != ';') {
+      ent.push_back(lexer_.RawPeek());
+      lexer_.RawAdvance();
+    }
+    if (lexer_.RawAtEnd()) {
+      return lexer_.MakeError("unterminated entity reference");
+    }
+    lexer_.RawAdvance();  // ';'
+    if (ent == "lt") return std::string("<");
+    if (ent == "gt") return std::string(">");
+    if (ent == "amp") return std::string("&");
+    if (ent == "apos") return std::string("'");
+    if (ent == "quot") return std::string("\"");
+    if (!ent.empty() && ent[0] == '#') {
+      int base = 10;
+      std::string digits = ent.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      char* end = nullptr;
+      long code = std::strtol(digits.c_str(), &end, base);
+      if (end != digits.c_str() + digits.size() || code <= 0) {
+        return lexer_.MakeError("bad character reference &" + ent + ";");
+      }
+      std::string out;
+      uint32_t cp = static_cast<uint32_t>(code);
+      if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+      return out;
+    }
+    return lexer_.MakeError("unknown entity &" + ent + ";");
+  }
+
+  static constexpr int kMaxNestingDepth = 400;
+
+  Lexer lexer_;
+  Token cur_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseProgram();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseSingleExpression();
+}
+
+}  // namespace xqb

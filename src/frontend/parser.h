@@ -1,0 +1,37 @@
+#ifndef XQB_FRONTEND_PARSER_H_
+#define XQB_FRONTEND_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Parses a complete XQuery! main module (prolog + query body).
+///
+/// The grammar is XQuery 1.0 (FLWOR with `at`/`order by`, quantifiers,
+/// conditionals, full operator ladder, 12 axes, direct and computed
+/// constructors, prolog variable/function declarations) extended with the
+/// Figure 1 productions of the paper:
+///
+///   DeleteExpr   ::= snap? delete {Expr}          (also: delete Expr)
+///   InsertExpr   ::= snap? insert {Expr} InsertLocation
+///   InsertLocation ::= (as first | as last)? into {Expr}
+///                    | before {Expr} | after {Expr}
+///   ReplaceExpr  ::= snap? replace {Expr} with {Expr}
+///   RenameExpr   ::= snap? rename {Expr} to {Expr}
+///   CopyExpr     ::= copy {Expr}
+///   SnapExpr     ::= snap (nondeterministic | ordered |
+///                          conflict-detection)? {Expr}
+///
+/// `snap delete {e}` is sugar for `snap { delete {e} }`, and likewise for
+/// the other update primitives.
+Result<Program> ParseProgram(std::string_view input);
+
+/// Parses a single expression (no prolog). Convenience for tests.
+Result<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace xqb
+
+#endif  // XQB_FRONTEND_PARSER_H_

@@ -1,0 +1,62 @@
+#ifndef XQB_FRONTEND_TOKEN_H_
+#define XQB_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace xqb {
+
+/// Lexical token kinds for XQuery!. XQuery has no reserved words, so all
+/// keywords arrive as kName and the parser matches them contextually.
+enum class TokenKind : uint8_t {
+  kEof,
+  kName,        // NCName or prefixed QName (foo, local:f)
+  kVar,         // $name
+  kInteger,     // 42
+  kDecimal,     // 3.14 or 1e9 (both map to xs:double in this engine)
+  kString,      // "..." or '...' with XQuery doubling escapes
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kEq,          // =
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kLtLt,        // <<
+  kGtGt,        // >>
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kSlashSlash,
+  kBar,         // |
+  kAssign,      // :=
+  kDot,
+  kDotDot,
+  kAt,
+  kColonColon,  // ::
+  kQuestion,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// One token with its source span. `text` holds the decoded payload for
+/// names/variables/strings and the lexeme for numbers.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  size_t begin = 0;  // byte offset of the first character
+  size_t end = 0;    // byte offset one past the last character
+  int line = 1;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_FRONTEND_TOKEN_H_

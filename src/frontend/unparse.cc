@@ -1,0 +1,447 @@
+#include "frontend/unparse.h"
+
+#include <sstream>
+
+#include "base/string_util.h"
+
+namespace xqb {
+
+namespace {
+
+class Unparser {
+ public:
+  std::string Render(const Expr& expr) {
+    std::ostringstream out;
+    Emit(expr, &out);
+    return out.str();
+  }
+
+ private:
+  static std::string QuoteString(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += "\"";
+    return out;
+  }
+
+  /// Emits `e` wrapped in parentheses (safe in any operand position).
+  void Paren(const Expr& e, std::ostringstream* out) {
+    *out << '(';
+    Emit(e, out);
+    *out << ')';
+  }
+
+  void Braced(const Expr& e, std::ostringstream* out) {
+    *out << "{ ";
+    Emit(e, out);
+    *out << " }";
+  }
+
+  /// XML-escapes literal text inside a direct constructor.
+  static std::string EscapeCtorText(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '&': out += "&amp;"; break;
+        case '{': out += "{{"; break;
+        case '}': out += "}}"; break;
+        default: out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  static std::string EscapeAttrText(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      switch (c) {
+        case '<': out += "&lt;"; break;
+        case '&': out += "&amp;"; break;
+        case '"': out += "&quot;"; break;
+        case '{': out += "{{"; break;
+        case '}': out += "}}"; break;
+        default: out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  void EmitFlworClauses(const Expr& e, std::ostringstream* out) {
+    for (const FlworClause& clause : e.clauses) {
+      switch (clause.kind) {
+        case FlworClause::Kind::kFor:
+          *out << "for $" << clause.var;
+          if (!clause.pos_var.empty()) *out << " at $" << clause.pos_var;
+          *out << " in ";
+          Paren(*clause.expr, out);
+          *out << ' ';
+          break;
+        case FlworClause::Kind::kLet:
+          *out << "let $" << clause.var << " := ";
+          Paren(*clause.expr, out);
+          *out << ' ';
+          break;
+        case FlworClause::Kind::kWhere:
+          *out << "where ";
+          Paren(*clause.expr, out);
+          *out << ' ';
+          break;
+        case FlworClause::Kind::kOrderBy: {
+          *out << "order by ";
+          for (size_t i = 0; i < clause.order_specs.size(); ++i) {
+            const FlworClause::OrderSpec& spec = clause.order_specs[i];
+            if (i) *out << ", ";
+            Paren(*spec.key, out);
+            if (spec.descending) *out << " descending";
+            if (!spec.empty_least) *out << " empty greatest";
+          }
+          *out << ' ';
+          break;
+        }
+      }
+    }
+  }
+
+  /// Direct-constructor rendering for element constructors whose name
+  /// is a string literal (reconstructs attribute value templates and
+  /// mixed content exactly).
+  void EmitDirectElement(const Expr& e, std::ostringstream* out) {
+    const std::string& name = e.children[0]->value_str;
+    *out << '<' << name;
+    size_t i = 1;
+    // Leading attribute constructors with literal names render inline.
+    for (; i < e.children.size(); ++i) {
+      const Expr& child = *e.children[i];
+      if (child.kind != ExprKind::kAttributeCtor ||
+          child.children[0]->kind != ExprKind::kStringLit) {
+        break;
+      }
+      *out << ' ' << child.children[0]->value_str << "=\"";
+      for (size_t p = 1; p < child.children.size(); ++p) {
+        const Expr& part = *child.children[p];
+        if (part.kind == ExprKind::kStringLit) {
+          *out << EscapeAttrText(part.value_str);
+        } else {
+          *out << '{';
+          Emit(part, out);
+          *out << '}';
+        }
+      }
+      *out << '"';
+    }
+    if (i == e.children.size()) {
+      *out << "/>";
+      return;
+    }
+    *out << '>';
+    for (; i < e.children.size(); ++i) {
+      const Expr& child = *e.children[i];
+      if (child.kind == ExprKind::kTextCtor &&
+          child.children[0]->kind == ExprKind::kStringLit) {
+        *out << EscapeCtorText(child.children[0]->value_str);
+      } else if (child.kind == ExprKind::kElementCtor &&
+                 child.children[0]->kind == ExprKind::kStringLit) {
+        EmitDirectElement(child, out);
+      } else if (child.kind == ExprKind::kCommentCtor &&
+                 child.children[0]->kind == ExprKind::kStringLit) {
+        *out << "<!--" << child.children[0]->value_str << "-->";
+      } else {
+        *out << '{';
+        Emit(child, out);
+        *out << '}';
+      }
+    }
+    *out << "</" << name << '>';
+  }
+
+  void Emit(const Expr& e, std::ostringstream* out) {
+    switch (e.kind) {
+      case ExprKind::kIntegerLit:
+        *out << e.value_int;
+        return;
+      case ExprKind::kDecimalLit: {
+        std::string rendered = FormatDouble(e.value_double);
+        // Keep the literal lexically a decimal so it re-parses as one.
+        if (rendered.find('.') == std::string::npos &&
+            rendered.find('e') == std::string::npos &&
+            rendered.find('E') == std::string::npos &&
+            rendered.find("INF") == std::string::npos &&
+            rendered != "NaN") {
+          rendered += ".0";
+        }
+        *out << rendered;
+        return;
+      }
+      case ExprKind::kStringLit:
+        *out << QuoteString(e.value_str);
+        return;
+      case ExprKind::kEmptySeq:
+        *out << "()";
+        return;
+      case ExprKind::kSequence: {
+        *out << '(';
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i) *out << ", ";
+          Emit(*e.children[i], out);
+        }
+        *out << ')';
+        return;
+      }
+      case ExprKind::kVarRef:
+        *out << '$' << e.name;
+        return;
+      case ExprKind::kContextItem:
+        *out << '.';
+        return;
+      case ExprKind::kFlwor:
+        *out << '(';
+        EmitFlworClauses(e, out);
+        *out << "return ";
+        Paren(*e.children[0], out);
+        *out << ')';
+        return;
+      case ExprKind::kQuantified: {
+        *out << '(' << (e.value_int ? "every" : "some") << ' ';
+        for (size_t i = 0; i < e.quant_bindings.size(); ++i) {
+          if (i) *out << ", ";
+          *out << '$' << e.quant_bindings[i].var << " in ";
+          Paren(*e.quant_bindings[i].expr, out);
+        }
+        *out << " satisfies ";
+        Paren(*e.children[0], out);
+        *out << ')';
+        return;
+      }
+      case ExprKind::kIf:
+        *out << "(if (";
+        Emit(*e.children[0], out);
+        *out << ") then ";
+        Paren(*e.children[1], out);
+        *out << " else ";
+        Paren(*e.children[2], out);
+        *out << ')';
+        return;
+      case ExprKind::kBinaryOp: {
+        if (e.op == "path") {
+          Paren(*e.children[0], out);
+          *out << '/';
+          Paren(*e.children[1], out);
+          return;
+        }
+        Paren(*e.children[0], out);
+        *out << ' ' << e.op << ' ';
+        Paren(*e.children[1], out);
+        return;
+      }
+      case ExprKind::kUnaryMinus:
+      case ExprKind::kUnaryPlus:
+        *out << (e.kind == ExprKind::kUnaryMinus ? '-' : '+');
+        Paren(*e.children[0], out);
+        return;
+      case ExprKind::kPathRoot:
+        *out << "(/)";
+        return;
+      case ExprKind::kStep: {
+        if (e.children[0]->kind == ExprKind::kContextItem) {
+          *out << '.';
+        } else {
+          Paren(*e.children[0], out);
+        }
+        *out << '/' << AxisToString(e.axis) << "::" << e.test.ToString();
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          *out << '[';
+          Emit(*e.children[i], out);
+          *out << ']';
+        }
+        return;
+      }
+      case ExprKind::kFilter: {
+        Paren(*e.children[0], out);
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          *out << '[';
+          Emit(*e.children[i], out);
+          *out << ']';
+        }
+        return;
+      }
+      case ExprKind::kFunctionCall: {
+        *out << e.name << '(';
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          if (i) *out << ", ";
+          Emit(*e.children[i], out);
+        }
+        *out << ')';
+        return;
+      }
+      case ExprKind::kElementCtor:
+        if (e.children[0]->kind == ExprKind::kStringLit) {
+          EmitDirectElement(e, out);
+          return;
+        }
+        *out << "element ";
+        Braced(*e.children[0], out);
+        *out << ' ';
+        if (e.children.size() == 2) {
+          Braced(*e.children[1], out);
+        } else {
+          // Multiple content parts only arise with literal names, but
+          // be safe: join as a sequence.
+          *out << "{ ";
+          for (size_t i = 1; i < e.children.size(); ++i) {
+            if (i > 1) *out << ", ";
+            Emit(*e.children[i], out);
+          }
+          *out << " }";
+        }
+        return;
+      case ExprKind::kAttributeCtor:
+        *out << "attribute ";
+        Braced(*e.children[0], out);
+        *out << ' ';
+        *out << "{ ";
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          if (i > 1) *out << ", ";
+          Emit(*e.children[i], out);
+        }
+        *out << " }";
+        return;
+      case ExprKind::kTextCtor:
+        *out << "text ";
+        Braced(*e.children[0], out);
+        return;
+      case ExprKind::kCommentCtor:
+        *out << "comment ";
+        Braced(*e.children[0], out);
+        return;
+      case ExprKind::kDocumentCtor:
+        *out << "document ";
+        Braced(*e.children[0], out);
+        return;
+      case ExprKind::kInstanceOf:
+        Paren(*e.children[0], out);
+        *out << " instance of " << e.seq_type.ToString();
+        return;
+      case ExprKind::kTreatAs:
+        Paren(*e.children[0], out);
+        *out << " treat as " << e.seq_type.ToString();
+        return;
+      case ExprKind::kCastableAs:
+        Paren(*e.children[0], out);
+        *out << " castable as " << e.seq_type.ToString();
+        return;
+      case ExprKind::kCastAs:
+        Paren(*e.children[0], out);
+        *out << " cast as " << e.seq_type.ToString();
+        return;
+      case ExprKind::kTypeswitch: {
+        *out << "(typeswitch (";
+        Emit(*e.children[0], out);
+        *out << ')';
+        for (size_t i = 0; i < e.ts_cases.size(); ++i) {
+          const TypeswitchCase& c = e.ts_cases[i];
+          if (c.is_default) {
+            *out << " default";
+            if (!c.var.empty()) *out << " $" << c.var;
+          } else {
+            *out << " case ";
+            if (!c.var.empty()) *out << '$' << c.var << " as ";
+            *out << c.type.ToString();
+          }
+          *out << " return ";
+          Paren(*e.children[i + 1], out);
+        }
+        *out << ')';
+        return;
+      }
+      case ExprKind::kInsert:
+        if (e.value_int) *out << "snap ";
+        *out << "insert ";
+        Braced(*e.children[0], out);
+        switch (e.insert_pos) {
+          case InsertPos::kInto: *out << " into "; break;
+          case InsertPos::kAsFirstInto: *out << " as first into "; break;
+          case InsertPos::kAsLastInto: *out << " as last into "; break;
+          case InsertPos::kBefore: *out << " before "; break;
+          case InsertPos::kAfter: *out << " after "; break;
+        }
+        Braced(*e.children[1], out);
+        return;
+      case ExprKind::kDelete:
+        if (e.value_int) *out << "snap ";
+        *out << "delete ";
+        Braced(*e.children[0], out);
+        return;
+      case ExprKind::kReplace:
+        if (e.value_int) *out << "snap ";
+        *out << "replace ";
+        Braced(*e.children[0], out);
+        *out << " with ";
+        Braced(*e.children[1], out);
+        return;
+      case ExprKind::kRename:
+        if (e.value_int) *out << "snap ";
+        *out << "rename ";
+        Braced(*e.children[0], out);
+        *out << " to ";
+        Braced(*e.children[1], out);
+        return;
+      case ExprKind::kCopy:
+        *out << "copy ";
+        Braced(*e.children[0], out);
+        return;
+      case ExprKind::kSnap:
+        *out << "snap ";
+        if (e.snap_atomic) *out << "atomic ";
+        switch (e.snap_mode) {
+          case SnapMode::kDefault: break;
+          case SnapMode::kOrdered: *out << "ordered "; break;
+          case SnapMode::kNondeterministic:
+            *out << "nondeterministic ";
+            break;
+          case SnapMode::kConflictDetection:
+            *out << "conflict-detection ";
+            break;
+        }
+        Braced(*e.children[0], out);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+std::string UnparseExpr(const Expr& expr) {
+  Unparser unparser;
+  return unparser.Render(expr);
+}
+
+std::string UnparseProgram(const Program& program) {
+  std::string out;
+  for (const VarDecl& v : program.variables) {
+    out += "declare variable $" + v.name;
+    if (v.external) {
+      out += " external; ";
+    } else {
+      out += " := " + UnparseExpr(*v.init) + "; ";
+    }
+  }
+  for (const FunctionDecl& f : program.functions) {
+    out += "declare ";
+    if (f.declared_updating) out += "updating ";
+    out += "function " + f.name + "(";
+    for (size_t i = 0; i < f.params.size(); ++i) {
+      if (i) out += ", ";
+      out += "$" + f.params[i];
+    }
+    out += ") { " + UnparseExpr(*f.body) + " }; ";
+  }
+  if (program.body) out += UnparseExpr(*program.body);
+  return out;
+}
+
+}  // namespace xqb

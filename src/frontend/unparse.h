@@ -1,0 +1,22 @@
+#ifndef XQB_FRONTEND_UNPARSE_H_
+#define XQB_FRONTEND_UNPARSE_H_
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Renders an AST back to XQuery! source text. The output re-parses to
+/// a structurally identical AST (same Expr::DebugString), which the
+/// round-trip property suite checks over the grammar corpus. The
+/// printer parenthesizes liberally rather than tracking precedence;
+/// parentheses are semantically transparent in this grammar.
+std::string UnparseExpr(const Expr& expr);
+
+/// Renders a whole program (prolog declarations + body).
+std::string UnparseProgram(const Program& program);
+
+}  // namespace xqb
+
+#endif  // XQB_FRONTEND_UNPARSE_H_

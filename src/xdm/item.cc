@@ -1,0 +1,233 @@
+#include "xdm/item.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "base/string_util.h"
+
+namespace xqb {
+
+const char* AtomicTypeToString(AtomicType type) {
+  switch (type) {
+    case AtomicType::kInteger:
+      return "xs:integer";
+    case AtomicType::kDouble:
+      return "xs:double";
+    case AtomicType::kBoolean:
+      return "xs:boolean";
+    case AtomicType::kString:
+      return "xs:string";
+    case AtomicType::kUntyped:
+      return "xs:untypedAtomic";
+  }
+  return "unknown";
+}
+
+std::string AtomicValue::ToString() const {
+  switch (type_) {
+    case AtomicType::kInteger:
+      return std::to_string(int_);
+    case AtomicType::kDouble:
+      return FormatDouble(double_);
+    case AtomicType::kBoolean:
+      return bool_ ? "true" : "false";
+    case AtomicType::kString:
+    case AtomicType::kUntyped:
+      return string_;
+  }
+  return {};
+}
+
+Result<double> AtomicValue::ToDouble() const {
+  switch (type_) {
+    case AtomicType::kInteger:
+      return static_cast<double>(int_);
+    case AtomicType::kDouble:
+      return double_;
+    case AtomicType::kBoolean:
+      return Status::TypeError("cannot use xs:boolean as a number");
+    case AtomicType::kString:
+    case AtomicType::kUntyped: {
+      std::string trimmed(StripWhitespace(string_));
+      if (trimmed.empty()) {
+        return Status::DynamicError("err:FORG0001: cannot cast \"" + string_ +
+                                    "\" to xs:double");
+      }
+      if (trimmed == "NaN") return std::nan("");
+      if (trimmed == "INF") return std::numeric_limits<double>::infinity();
+      if (trimmed == "-INF") return -std::numeric_limits<double>::infinity();
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(trimmed.c_str(), &end);
+      if (end != trimmed.c_str() + trimmed.size() || errno == ERANGE) {
+        return Status::DynamicError("err:FORG0001: cannot cast \"" + string_ +
+                                    "\" to xs:double");
+      }
+      return v;
+    }
+  }
+  return Status::Internal("unreachable atomic type");
+}
+
+AtomicValue AtomizeItem(const Store& store, const Item& item) {
+  if (item.is_node()) {
+    return AtomicValue::Untyped(store.StringValue(item.node()));
+  }
+  return item.atom();
+}
+
+std::vector<AtomicValue> Atomize(const Store& store, const Sequence& seq) {
+  std::vector<AtomicValue> out;
+  out.reserve(seq.size());
+  for (const Item& item : seq) out.push_back(AtomizeItem(store, item));
+  return out;
+}
+
+Result<bool> EffectiveBooleanValue(const Store& store, const Sequence& seq) {
+  (void)store;
+  if (seq.empty()) return false;
+  if (seq[0].is_node()) return true;  // Any sequence starting with a node.
+  if (seq.size() > 1) {
+    return Status::DynamicError(
+        "err:FORG0006: effective boolean value of a multi-item atomic "
+        "sequence");
+  }
+  const AtomicValue& a = seq[0].atom();
+  switch (a.type()) {
+    case AtomicType::kBoolean:
+      return a.bool_value();
+    case AtomicType::kInteger:
+      return a.int_value() != 0;
+    case AtomicType::kDouble:
+      return a.double_value() != 0 && !std::isnan(a.double_value());
+    case AtomicType::kString:
+    case AtomicType::kUntyped:
+      return !a.str().empty();
+  }
+  return Status::Internal("unreachable atomic type");
+}
+
+std::string ItemToString(const Store& store, const Item& item) {
+  if (item.is_node()) return store.StringValue(item.node());
+  return item.atom().ToString();
+}
+
+std::string SequenceToString(const Store& store, const Sequence& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(ItemToString(store, seq[i]));
+  }
+  return out;
+}
+
+namespace {
+
+/// Three-way compare of two atomics with XQuery coercion rules.
+/// Returns kLess/kEqual/kGreater/kUnordered (NaN).
+enum class Cmp { kLess, kEqual, kGreater, kUnordered, kError };
+
+Cmp ThreeWay(const AtomicValue& a, const AtomicValue& b, Status* error) {
+  auto string_cmp = [](const std::string& x, const std::string& y) {
+    int c = x.compare(y);
+    return c < 0 ? Cmp::kLess : c > 0 ? Cmp::kGreater : Cmp::kEqual;
+  };
+  auto double_cmp = [](double x, double y) {
+    if (std::isnan(x) || std::isnan(y)) return Cmp::kUnordered;
+    return x < y ? Cmp::kLess : x > y ? Cmp::kGreater : Cmp::kEqual;
+  };
+  const bool a_str_like =
+      a.type() == AtomicType::kString || a.type() == AtomicType::kUntyped;
+  const bool b_str_like =
+      b.type() == AtomicType::kString || b.type() == AtomicType::kUntyped;
+
+  if (a.type() == AtomicType::kBoolean || b.type() == AtomicType::kBoolean) {
+    bool av, bv;
+    if (a.type() == AtomicType::kBoolean) {
+      av = a.bool_value();
+    } else if (a.type() == AtomicType::kUntyped) {
+      av = a.str() == "true" || a.str() == "1";
+    } else {
+      *error = Status::TypeError("cannot compare " +
+                                 std::string(AtomicTypeToString(a.type())) +
+                                 " to xs:boolean");
+      return Cmp::kError;
+    }
+    if (b.type() == AtomicType::kBoolean) {
+      bv = b.bool_value();
+    } else if (b.type() == AtomicType::kUntyped) {
+      bv = b.str() == "true" || b.str() == "1";
+    } else {
+      *error = Status::TypeError("cannot compare xs:boolean to " +
+                                 std::string(AtomicTypeToString(b.type())));
+      return Cmp::kError;
+    }
+    return av == bv ? Cmp::kEqual : (!av ? Cmp::kLess : Cmp::kGreater);
+  }
+
+  if (a.is_numeric() || b.is_numeric()) {
+    // Numeric comparison; untyped coerces to double, but a typed
+    // xs:string against a number is a type error (err:XPTY0004).
+    if (a.type() == AtomicType::kString || b.type() == AtomicType::kString) {
+      *error = Status::TypeError("cannot compare xs:string to a number");
+      return Cmp::kError;
+    }
+    Result<double> ra = a.ToDouble();
+    if (!ra.ok()) {
+      *error = ra.status();
+      return Cmp::kError;
+    }
+    Result<double> rb = b.ToDouble();
+    if (!rb.ok()) {
+      *error = rb.status();
+      return Cmp::kError;
+    }
+    return double_cmp(*ra, *rb);
+  }
+  if (a_str_like && b_str_like) return string_cmp(a.str(), b.str());
+  *error = Status::TypeError(
+      "incomparable types: " + std::string(AtomicTypeToString(a.type())) +
+      " vs " + std::string(AtomicTypeToString(b.type())));
+  return Cmp::kError;
+}
+
+}  // namespace
+
+Result<bool> CompareAtomic(const AtomicValue& a, const AtomicValue& b,
+                           const std::string& op) {
+  Status error;
+  Cmp c = ThreeWay(a, b, &error);
+  if (c == Cmp::kError) return error;
+  if (c == Cmp::kUnordered) return op == "ne";  // NaN: only ne is true.
+  if (op == "eq") return c == Cmp::kEqual;
+  if (op == "ne") return c != Cmp::kEqual;
+  if (op == "lt") return c == Cmp::kLess;
+  if (op == "le") return c != Cmp::kGreater;
+  if (op == "gt") return c == Cmp::kGreater;
+  if (op == "ge") return c != Cmp::kLess;
+  return Status::InvalidArgument("unknown comparison operator: " + op);
+}
+
+Result<Sequence> SortDocOrderDedup(const Store& store, Sequence seq) {
+  for (const Item& item : seq) {
+    if (!item.is_node()) {
+      return Status::TypeError(
+          "err:XPTY0019: path step result contains a non-node item");
+    }
+  }
+  std::stable_sort(seq.begin(), seq.end(),
+                   [&store](const Item& a, const Item& b) {
+                     return store.DocOrderCompare(a.node(), b.node()) < 0;
+                   });
+  seq.erase(std::unique(seq.begin(), seq.end(),
+                        [](const Item& a, const Item& b) {
+                          return a.node() == b.node();
+                        }),
+            seq.end());
+  return seq;
+}
+
+}  // namespace xqb

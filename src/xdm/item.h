@@ -1,0 +1,162 @@
+#ifndef XQB_XDM_ITEM_H_
+#define XQB_XDM_ITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// The atomic types this engine carries at run time. The paper ignores
+/// static typing (Section 3.2), so the untyped/dynamic subset of the XDM
+/// atomic hierarchy suffices: integers, doubles, booleans, strings and
+/// untypedAtomic (string-valued, numeric-coercing in comparisons).
+enum class AtomicType : uint8_t {
+  kInteger,
+  kDouble,
+  kBoolean,
+  kString,
+  kUntyped,
+};
+
+const char* AtomicTypeToString(AtomicType type);
+
+/// A single atomic value (tagged union).
+class AtomicValue {
+ public:
+  AtomicValue() : type_(AtomicType::kInteger), int_(0) {}
+
+  static AtomicValue Integer(int64_t v) {
+    AtomicValue a;
+    a.type_ = AtomicType::kInteger;
+    a.int_ = v;
+    return a;
+  }
+  static AtomicValue Double(double v) {
+    AtomicValue a;
+    a.type_ = AtomicType::kDouble;
+    a.double_ = v;
+    return a;
+  }
+  static AtomicValue Boolean(bool v) {
+    AtomicValue a;
+    a.type_ = AtomicType::kBoolean;
+    a.bool_ = v;
+    return a;
+  }
+  static AtomicValue String(std::string v) {
+    AtomicValue a;
+    a.type_ = AtomicType::kString;
+    a.string_ = std::move(v);
+    return a;
+  }
+  static AtomicValue Untyped(std::string v) {
+    AtomicValue a;
+    a.type_ = AtomicType::kUntyped;
+    a.string_ = std::move(v);
+    return a;
+  }
+
+  AtomicType type() const { return type_; }
+  bool is_numeric() const {
+    return type_ == AtomicType::kInteger || type_ == AtomicType::kDouble;
+  }
+
+  /// Precondition: matching type() (kUntyped and kString share str()).
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  bool bool_value() const { return bool_; }
+  const std::string& str() const { return string_; }
+
+  /// The XQuery string serialization of this value (fn:string).
+  std::string ToString() const;
+
+  /// Numeric view: integer widens to double; untyped/string parse as
+  /// xs:double or fail (err:FORG0001).
+  Result<double> ToDouble() const;
+
+ private:
+  AtomicType type_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  bool bool_ = false;
+  std::string string_;
+};
+
+/// One XDM item: a node reference or an atomic value.
+class Item {
+ public:
+  Item() : is_node_(false) {}
+  static Item Node(NodeId node) {
+    Item i;
+    i.is_node_ = true;
+    i.node_ = node;
+    return i;
+  }
+  static Item Atomic(AtomicValue value) {
+    Item i;
+    i.is_node_ = false;
+    i.atom_ = std::move(value);
+    return i;
+  }
+  static Item Integer(int64_t v) { return Atomic(AtomicValue::Integer(v)); }
+  static Item Double(double v) { return Atomic(AtomicValue::Double(v)); }
+  static Item Boolean(bool v) { return Atomic(AtomicValue::Boolean(v)); }
+  static Item String(std::string v) {
+    return Atomic(AtomicValue::String(std::move(v)));
+  }
+  static Item Untyped(std::string v) {
+    return Atomic(AtomicValue::Untyped(std::move(v)));
+  }
+
+  bool is_node() const { return is_node_; }
+  bool is_atomic() const { return !is_node_; }
+  NodeId node() const { return node_; }
+  const AtomicValue& atom() const { return atom_; }
+
+ private:
+  bool is_node_;
+  NodeId node_ = kInvalidNode;
+  AtomicValue atom_;
+};
+
+/// An XDM sequence. Sequences never nest, so a flat vector is exact.
+using Sequence = std::vector<Item>;
+
+// ---- Value operations shared by the evaluator and the algebra ----
+
+/// fn:data on one item: nodes atomize to untypedAtomic(string-value),
+/// atomic items pass through.
+AtomicValue AtomizeItem(const Store& store, const Item& item);
+
+/// fn:data on a sequence.
+std::vector<AtomicValue> Atomize(const Store& store, const Sequence& seq);
+
+/// The effective boolean value (fn:boolean). Errors on multi-item
+/// sequences that do not start with a node (err:FORG0006).
+Result<bool> EffectiveBooleanValue(const Store& store, const Sequence& seq);
+
+/// fn:string of one item.
+std::string ItemToString(const Store& store, const Item& item);
+
+/// Space-separated string value of a sequence (attribute-content rule).
+std::string SequenceToString(const Store& store, const Sequence& seq);
+
+/// XQuery value comparison on two atomic values (operators eq/ne/lt/...).
+/// `op` is one of "eq","ne","lt","le","gt","ge". Untyped operands are
+/// compared as strings against strings and as doubles against numbers.
+Result<bool> CompareAtomic(const AtomicValue& a, const AtomicValue& b,
+                           const std::string& op);
+
+/// Document-order sort + duplicate elimination over a node sequence
+/// (the result normalization of path expressions). Errors if the
+/// sequence contains a non-node item.
+Result<Sequence> SortDocOrderDedup(const Store& store, Sequence seq);
+
+}  // namespace xqb
+
+#endif  // XQB_XDM_ITEM_H_

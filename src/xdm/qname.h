@@ -1,0 +1,55 @@
+#ifndef XQB_XDM_QNAME_H_
+#define XQB_XDM_QNAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xqb {
+
+/// Interned identifier for a qualified name. Comparing two QNameIds is
+/// equivalent to comparing the names they intern.
+using QNameId = uint32_t;
+
+inline constexpr QNameId kInvalidQName = 0xFFFFFFFFu;
+
+/// An interning pool mapping names (lexical QNames; this engine treats
+/// prefixes as part of the name, per the paper's "well-formed documents
+/// only" scope, Section 3.2) to dense ids.
+class QNamePool {
+ public:
+  QNamePool() = default;
+  QNamePool(const QNamePool&) = delete;
+  QNamePool& operator=(const QNamePool&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  QNameId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    QNameId id = static_cast<QNameId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name` if already interned, else kInvalidQName.
+  QNameId Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidQName : it->second;
+  }
+
+  /// Precondition: `id` was returned by Intern.
+  const std::string& NameOf(QNameId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, QNameId> ids_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_XDM_QNAME_H_

@@ -1,0 +1,470 @@
+#include "xdm/store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xqb {
+
+const char* NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument:
+      return "document";
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kComment:
+      return "comment";
+    case NodeKind::kProcessingInstruction:
+      return "processing-instruction";
+  }
+  return "unknown";
+}
+
+NodeId Store::Allocate(NodeKind kind) {
+  NodeId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = NodeRecord{};
+  } else {
+    id = static_cast<NodeId>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[id].kind = kind;
+  nodes_[id].alive = true;
+  ++live_count_;
+  return id;
+}
+
+NodeId Store::NewDocument() { return Allocate(NodeKind::kDocument); }
+
+NodeId Store::NewElement(std::string_view name) {
+  return NewElement(names_.Intern(name));
+}
+
+NodeId Store::NewElement(QNameId name) {
+  NodeId id = Allocate(NodeKind::kElement);
+  nodes_[id].name = name;
+  return id;
+}
+
+NodeId Store::NewAttribute(std::string_view name, std::string_view value) {
+  return NewAttribute(names_.Intern(name), value);
+}
+
+// NOTE: the content constructors copy their string_view argument into a
+// local before Allocate: callers may pass views into this store's own
+// node records (e.g. DeepCopy), which Allocate invalidates when the
+// record vector grows.
+
+NodeId Store::NewAttribute(QNameId name, std::string_view value) {
+  std::string copy(value);
+  NodeId id = Allocate(NodeKind::kAttribute);
+  nodes_[id].name = name;
+  nodes_[id].content = std::move(copy);
+  return id;
+}
+
+NodeId Store::NewText(std::string_view value) {
+  std::string copy(value);
+  NodeId id = Allocate(NodeKind::kText);
+  nodes_[id].content = std::move(copy);
+  return id;
+}
+
+NodeId Store::NewComment(std::string_view value) {
+  std::string copy(value);
+  NodeId id = Allocate(NodeKind::kComment);
+  nodes_[id].content = std::move(copy);
+  return id;
+}
+
+NodeId Store::NewProcessingInstruction(std::string_view target,
+                                       std::string_view value) {
+  QNameId name = names_.Intern(target);
+  std::string copy(value);
+  NodeId id = Allocate(NodeKind::kProcessingInstruction);
+  nodes_[id].name = name;
+  nodes_[id].content = std::move(copy);
+  return id;
+}
+
+std::string_view Store::NameOf(NodeId node) const {
+  QNameId name = nodes_[node].name;
+  if (name == kInvalidQName) return {};
+  return names_.NameOf(name);
+}
+
+void Store::AppendStringValue(NodeId node, std::string* out) const {
+  const NodeRecord& rec = nodes_[node];
+  switch (rec.kind) {
+    case NodeKind::kDocument:
+    case NodeKind::kElement:
+      for (NodeId child : rec.children) AppendStringValue(child, out);
+      break;
+    case NodeKind::kText:
+      out->append(rec.content);
+      break;
+    case NodeKind::kAttribute:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+      out->append(rec.content);
+      break;
+  }
+}
+
+std::string Store::StringValue(NodeId node) const {
+  std::string out;
+  AppendStringValue(node, &out);
+  return out;
+}
+
+NodeId Store::RootOf(NodeId node) const {
+  NodeId cur = node;
+  while (nodes_[cur].parent != kInvalidNode) cur = nodes_[cur].parent;
+  return cur;
+}
+
+bool Store::IsAncestor(NodeId ancestor, NodeId node) const {
+  NodeId cur = nodes_[node].parent;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+NodeId Store::AttributeNamed(NodeId element, std::string_view name) const {
+  QNameId id = names_.Lookup(name);
+  if (id == kInvalidQName) return kInvalidNode;
+  for (NodeId attr : nodes_[element].attributes) {
+    if (nodes_[attr].name == id) return attr;
+  }
+  return kInvalidNode;
+}
+
+int Store::DocOrderCompare(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  // Build root-to-node ancestor paths.
+  auto path_of = [this](NodeId n) {
+    std::vector<NodeId> path{n};
+    while (nodes_[path.back()].parent != kInvalidNode) {
+      path.push_back(nodes_[path.back()].parent);
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+  std::vector<NodeId> pa = path_of(a);
+  std::vector<NodeId> pb = path_of(b);
+  if (pa[0] != pb[0]) {
+    // Different trees: stable order by root id.
+    return pa[0] < pb[0] ? -1 : 1;
+  }
+  size_t i = 1;
+  while (i < pa.size() && i < pb.size() && pa[i] == pb[i]) ++i;
+  if (i == pa.size()) return -1;  // a is an ancestor of b.
+  if (i == pb.size()) return 1;   // b is an ancestor of a.
+  // pa[i] and pb[i] are distinct children (or attributes) of pa[i-1].
+  NodeId parent = pa[i - 1];
+  const NodeRecord& prec = nodes_[parent];
+  // Attributes precede children; order among attributes is list order.
+  auto index_of = [](const std::vector<NodeId>& v, NodeId n) {
+    auto it = std::find(v.begin(), v.end(), n);
+    return it == v.end() ? -1
+                         : static_cast<int>(std::distance(v.begin(), it));
+  };
+  int ia_attr = index_of(prec.attributes, pa[i]);
+  int ib_attr = index_of(prec.attributes, pb[i]);
+  if (ia_attr >= 0 && ib_attr >= 0) return ia_attr < ib_attr ? -1 : 1;
+  if (ia_attr >= 0) return -1;
+  if (ib_attr >= 0) return 1;
+  int ia = index_of(prec.children, pa[i]);
+  int ib = index_of(prec.children, pb[i]);
+  return ia < ib ? -1 : 1;
+}
+
+Status Store::AppendChild(NodeId parent, NodeId child) {
+  NodeRecord& prec = nodes_[parent];
+  if (prec.kind != NodeKind::kElement && prec.kind != NodeKind::kDocument) {
+    return Status::UpdateError("cannot append a child to a " +
+                               std::string(NodeKindToString(prec.kind)) +
+                               " node");
+  }
+  NodeRecord& crec = nodes_[child];
+  if (crec.kind == NodeKind::kAttribute) {
+    return Status::UpdateError("attribute node appended as a child");
+  }
+  if (crec.parent != kInvalidNode) {
+    return Status::UpdateError("appended child already has a parent");
+  }
+  // XDM: adjacent text nodes merge.
+  if (crec.kind == NodeKind::kText && !prec.children.empty()) {
+    NodeRecord& last = nodes_[prec.children.back()];
+    if (last.kind == NodeKind::kText) {
+      last.content.append(crec.content);
+      // The merged-away node stays alive but unused; callers constructing
+      // content always go through fresh nodes, so drop it.
+      crec.alive = false;
+      --live_count_;
+      free_list_.push_back(child);
+      return Status::OK();
+    }
+  }
+  crec.parent = parent;
+  prec.children.push_back(child);
+  ++version_;
+  return Status::OK();
+}
+
+Status Store::AppendAttribute(NodeId element, NodeId attr) {
+  NodeRecord& erec = nodes_[element];
+  if (erec.kind != NodeKind::kElement) {
+    return Status::UpdateError("attributes may only be attached to elements");
+  }
+  NodeRecord& arec = nodes_[attr];
+  if (arec.kind != NodeKind::kAttribute) {
+    return Status::UpdateError("AppendAttribute on a non-attribute node");
+  }
+  if (arec.parent != kInvalidNode) {
+    return Status::UpdateError("attribute already has a parent");
+  }
+  for (NodeId existing : erec.attributes) {
+    if (nodes_[existing].name == arec.name) {
+      return Status::UpdateError("duplicate attribute name: " +
+                                 std::string(NameOf(attr)));
+    }
+  }
+  arec.parent = element;
+  erec.attributes.push_back(attr);
+  ++version_;
+  return Status::OK();
+}
+
+Status Store::InsertChildrenFirst(const std::vector<NodeId>& nodes,
+                                  NodeId parent) {
+  return InsertChildrenAt(nodes, parent, 0);
+}
+
+Status Store::InsertChildrenLast(const std::vector<NodeId>& nodes,
+                                 NodeId parent) {
+  return InsertChildrenAt(nodes, parent, nodes_[parent].children.size());
+}
+
+Status Store::InsertChildrenBefore(const std::vector<NodeId>& nodes,
+                                   NodeId sibling) {
+  NodeId parent = nodes_[sibling].parent;
+  if (parent == kInvalidNode) {
+    return Status::UpdateError(
+        "insert before/after a node that has no parent");
+  }
+  const std::vector<NodeId>& children = nodes_[parent].children;
+  auto it = std::find(children.begin(), children.end(), sibling);
+  if (it == children.end()) {
+    return Status::UpdateError("insert anchor is not among its parent's "
+                               "children");
+  }
+  return InsertChildrenAt(
+      nodes, parent, static_cast<size_t>(std::distance(children.begin(), it)));
+}
+
+Status Store::InsertChildrenAfter(const std::vector<NodeId>& nodes,
+                                  NodeId sibling) {
+  NodeId parent = nodes_[sibling].parent;
+  if (parent == kInvalidNode) {
+    return Status::UpdateError(
+        "insert before/after a node that has no parent");
+  }
+  const std::vector<NodeId>& children = nodes_[parent].children;
+  auto it = std::find(children.begin(), children.end(), sibling);
+  if (it == children.end()) {
+    return Status::UpdateError("insert anchor is not among its parent's "
+                               "children");
+  }
+  return InsertChildrenAt(
+      nodes, parent,
+      static_cast<size_t>(std::distance(children.begin(), it)) + 1);
+}
+
+Status Store::InsertChildrenAt(const std::vector<NodeId>& nodes,
+                               NodeId parent, size_t index) {
+  NodeRecord& prec = nodes_[parent];
+  if (prec.kind != NodeKind::kElement && prec.kind != NodeKind::kDocument) {
+    return Status::UpdateError(
+        "insert target must be an element or document node, got " +
+        std::string(NodeKindToString(prec.kind)));
+  }
+  size_t insert_at = index;
+  // Precondition: inserted nodes are parentless, and inserting none of
+  // them may create a cycle.
+  for (NodeId n : nodes) {
+    const NodeRecord& rec = nodes_[n];
+    if (rec.parent != kInvalidNode) {
+      return Status::UpdateError(
+          "inserted node already has a parent (missing copy?)");
+    }
+    if (n == parent || IsAncestor(n, parent)) {
+      return Status::UpdateError("insert would create a cycle");
+    }
+    if (rec.kind == NodeKind::kDocument) {
+      return Status::UpdateError("cannot insert a document node");
+    }
+  }
+  // Attributes go to the attribute list; others into the child list.
+  std::vector<NodeId> element_children;
+  element_children.reserve(nodes.size());
+  for (NodeId n : nodes) {
+    if (nodes_[n].kind == NodeKind::kAttribute) {
+      XQB_RETURN_IF_ERROR(AppendAttribute(parent, n));
+    } else {
+      element_children.push_back(n);
+    }
+  }
+  prec.children.insert(prec.children.begin() + insert_at,
+                       element_children.begin(), element_children.end());
+  for (NodeId n : element_children) nodes_[n].parent = parent;
+  ++version_;
+  return Status::OK();
+}
+
+Status Store::Detach(NodeId node) {
+  NodeRecord& rec = nodes_[node];
+  if (rec.parent == kInvalidNode) return Status::OK();
+  NodeRecord& prec = nodes_[rec.parent];
+  auto& list = rec.kind == NodeKind::kAttribute ? prec.attributes
+                                                : prec.children;
+  auto it = std::find(list.begin(), list.end(), node);
+  if (it != list.end()) list.erase(it);
+  rec.parent = kInvalidNode;
+  ++version_;
+  return Status::OK();
+}
+
+Status Store::Rename(NodeId node, QNameId name) {
+  NodeRecord& rec = nodes_[node];
+  switch (rec.kind) {
+    case NodeKind::kElement:
+    case NodeKind::kProcessingInstruction:
+      rec.name = name;
+      ++version_;
+      return Status::OK();
+    case NodeKind::kAttribute: {
+      // Renaming must not create a duplicate attribute on the parent.
+      if (rec.parent != kInvalidNode) {
+        for (NodeId sibling : nodes_[rec.parent].attributes) {
+          if (sibling != node && nodes_[sibling].name == name) {
+            return Status::UpdateError(
+                "rename would create a duplicate attribute: " +
+                names_.NameOf(name));
+          }
+        }
+      }
+      rec.name = name;
+      ++version_;
+      return Status::OK();
+    }
+    default:
+      return Status::UpdateError("cannot rename a " +
+                                 std::string(NodeKindToString(rec.kind)) +
+                                 " node");
+  }
+}
+
+Status Store::Rename(NodeId node, std::string_view name) {
+  return Rename(node, names_.Intern(name));
+}
+
+Status Store::SetContent(NodeId node, std::string_view value) {
+  NodeRecord& rec = nodes_[node];
+  switch (rec.kind) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+    case NodeKind::kAttribute:
+      rec.content.assign(value);
+      ++version_;
+      return Status::OK();
+    default:
+      return Status::UpdateError("cannot set content of a " +
+                                 std::string(NodeKindToString(rec.kind)) +
+                                 " node");
+  }
+}
+
+NodeId Store::DeepCopy(NodeId node) {
+  // Copy scalar fields out first: Allocate (inside the constructors) may
+  // grow nodes_ and invalidate references into it.
+  const NodeKind kind = nodes_[node].kind;
+  const QNameId name = nodes_[node].name;
+  NodeId copy = kInvalidNode;
+  switch (kind) {
+    case NodeKind::kDocument:
+      copy = NewDocument();
+      break;
+    case NodeKind::kElement:
+      copy = NewElement(name);
+      break;
+    case NodeKind::kAttribute: {
+      std::string content = nodes_[node].content;
+      return NewAttribute(name, content);
+    }
+    case NodeKind::kText: {
+      std::string content = nodes_[node].content;
+      return NewText(content);
+    }
+    case NodeKind::kComment: {
+      std::string content = nodes_[node].content;
+      return NewComment(content);
+    }
+    case NodeKind::kProcessingInstruction: {
+      std::string content = nodes_[node].content;
+      copy = Allocate(NodeKind::kProcessingInstruction);
+      nodes_[copy].name = name;
+      nodes_[copy].content = std::move(content);
+      return copy;
+    }
+  }
+  for (size_t i = 0; i < nodes_[node].attributes.size(); ++i) {
+    NodeId attr_copy = DeepCopy(nodes_[node].attributes[i]);
+    nodes_[attr_copy].parent = copy;
+    nodes_[copy].attributes.push_back(attr_copy);
+  }
+  for (size_t i = 0; i < nodes_[node].children.size(); ++i) {
+    NodeId child_copy = DeepCopy(nodes_[node].children[i]);
+    nodes_[child_copy].parent = copy;
+    nodes_[copy].children.push_back(child_copy);
+  }
+  return copy;
+}
+
+size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    if (r == kInvalidNode || !IsValid(r)) continue;
+    stack.push_back(RootOf(r));
+  }
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (reachable[n]) continue;
+    reachable[n] = true;
+    for (NodeId c : nodes_[n].children) stack.push_back(c);
+    for (NodeId a : nodes_[n].attributes) stack.push_back(a);
+  }
+  size_t freed = 0;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive && !reachable[i]) {
+      nodes_[i] = NodeRecord{};
+      free_list_.push_back(i);
+      --live_count_;
+      ++freed;
+    }
+  }
+  if (freed > 0) ++version_;
+  return freed;
+}
+
+}  // namespace xqb

@@ -1,0 +1,205 @@
+#ifndef XQB_XDM_STORE_H_
+#define XQB_XDM_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "xdm/qname.h"
+
+namespace xqb {
+
+/// Index of a node record in a Store. NodeIds are stable across updates:
+/// a node keeps its id when detached, renamed or moved; ids are only
+/// recycled by Store::GarbageCollect.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// The seven XDM node kinds, minus namespace nodes (out of scope: the
+/// paper restricts itself to well-formed documents, Section 3.2).
+enum class NodeKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+const char* NodeKindToString(NodeKind kind);
+
+/// The XDM store of Section 3.2: "for each node id, its kind, parent,
+/// name, and content", plus the accessors and constructors of the data
+/// model and the mutation primitives that update application needs.
+///
+/// Mutations follow the paper's semantics:
+///  - Detach (the `delete` primitive) removes the parent link but keeps
+///    the node alive and fully queryable (Section 3.1 "detach semantics").
+///  - InsertChildren implements insert(nodeseq, nodepar, nodepos) with the
+///    appendix convention that nodepos == nodepar means "as first".
+///  - GarbageCollect reclaims persistent-but-unreachable nodes (the
+///    problem Section 4.1 attributes to the detach semantics).
+class Store {
+ public:
+  Store() = default;
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // ---- Constructors (XDM constructor functions) ----
+
+  /// Creates a document node (a tree root).
+  NodeId NewDocument();
+  /// Creates a parentless element named `name`.
+  NodeId NewElement(std::string_view name);
+  NodeId NewElement(QNameId name);
+  /// Creates a parentless attribute `name="value"`.
+  NodeId NewAttribute(std::string_view name, std::string_view value);
+  NodeId NewAttribute(QNameId name, std::string_view value);
+  /// Creates a parentless text node.
+  NodeId NewText(std::string_view value);
+  NodeId NewComment(std::string_view value);
+  NodeId NewProcessingInstruction(std::string_view target,
+                                  std::string_view value);
+
+  // ---- Accessors ----
+
+  bool IsValid(NodeId node) const {
+    return node < nodes_.size() && nodes_[node].alive;
+  }
+  NodeKind KindOf(NodeId node) const { return nodes_[node].kind; }
+  /// Name id; kInvalidQName for document/text/comment nodes.
+  QNameId NameIdOf(NodeId node) const { return nodes_[node].name; }
+  /// Lexical name; empty for unnamed kinds.
+  std::string_view NameOf(NodeId node) const;
+  /// Parent node, or kInvalidNode if the node is a root or detached.
+  NodeId ParentOf(NodeId node) const { return nodes_[node].parent; }
+  /// Child list (document/element nodes; empty otherwise). Attributes are
+  /// not children.
+  const std::vector<NodeId>& ChildrenOf(NodeId node) const {
+    return nodes_[node].children;
+  }
+  /// Attribute list (element nodes; empty otherwise).
+  const std::vector<NodeId>& AttributesOf(NodeId node) const {
+    return nodes_[node].attributes;
+  }
+  /// Raw content: text/comment/PI content or attribute value; empty for
+  /// document/element nodes.
+  const std::string& ContentOf(NodeId node) const {
+    return nodes_[node].content;
+  }
+
+  /// The XDM string value: for document/element nodes the concatenation
+  /// of all descendant text; for others the content.
+  std::string StringValue(NodeId node) const;
+
+  /// Root of the tree containing `node` (the node itself if detached-root).
+  NodeId RootOf(NodeId node) const;
+
+  /// True if `ancestor` is a proper ancestor of `node`.
+  bool IsAncestor(NodeId ancestor, NodeId node) const;
+
+  /// Finds the attribute of `element` named `name`; kInvalidNode if absent.
+  NodeId AttributeNamed(NodeId element, std::string_view name) const;
+
+  /// Total order over nodes: document order within a tree; across trees,
+  /// ordered by root id (stable, implementation-defined as XDM allows).
+  /// Returns <0, 0, >0.
+  int DocOrderCompare(NodeId a, NodeId b) const;
+
+  // ---- Tree construction (used by parsers and element constructors) ----
+
+  /// Appends `child` (which must be parentless and not an attribute) to
+  /// `parent`'s children. Adjacent text nodes are merged per XDM rules.
+  Status AppendChild(NodeId parent, NodeId child);
+
+  /// Appends `attr` (parentless attribute) to `element`'s attributes.
+  /// Fails if `element` already has an attribute with the same name.
+  Status AppendAttribute(NodeId element, NodeId attr);
+
+  // ---- Mutation primitives (update application, Section 3.2) ----
+
+  /// The four insert placements of the update semantics. Preconditions
+  /// (checked): every inserted node is parentless and not a document
+  /// node; the parent is an element or document node; no inserted node
+  /// is an ancestor of the parent (no cycles); Before/After require the
+  /// sibling to have a parent. Attribute nodes among `nodes` are added
+  /// to the parent's attribute list instead (placement-insensitive),
+  /// failing on duplicate names.
+  Status InsertChildrenFirst(const std::vector<NodeId>& nodes,
+                             NodeId parent);
+  Status InsertChildrenLast(const std::vector<NodeId>& nodes, NodeId parent);
+  Status InsertChildrenBefore(const std::vector<NodeId>& nodes,
+                              NodeId sibling);
+  Status InsertChildrenAfter(const std::vector<NodeId>& nodes,
+                             NodeId sibling);
+
+  /// delete(node): detaches `node` from its parent. The node remains
+  /// alive and queryable (paper Section 3.1). Detaching an already
+  /// detached node is a no-op.
+  Status Detach(NodeId node);
+
+  /// rename(node, name): renames an element, attribute or PI node.
+  Status Rename(NodeId node, QNameId name);
+  Status Rename(NodeId node, std::string_view name);
+
+  /// Sets the content of a text/comment/PI/attribute node.
+  Status SetContent(NodeId node, std::string_view value);
+
+  // ---- Deep copy (the `copy { }` operator, Section 3.1) ----
+
+  /// Copies the subtree rooted at `node`; the copy is parentless. New
+  /// node ids are allocated for every copied node.
+  NodeId DeepCopy(NodeId node);
+
+  // ---- Garbage collection (Section 4.1) ----
+
+  /// Frees every node not reachable from `roots` (reachability follows
+  /// child/attribute edges from the root of each tree containing a root
+  /// entry — i.e. a whole tree stays alive if any of its nodes is
+  /// rooted). Returns the number of freed node records. Freed ids go to
+  /// a free list and may be recycled by later constructors.
+  size_t GarbageCollect(const std::vector<NodeId>& roots);
+
+  /// Number of live node records.
+  size_t live_node_count() const { return live_count_; }
+  /// Total records ever allocated minus recycled (capacity proxy).
+  size_t slot_count() const { return nodes_.size(); }
+
+  /// Monotone counter bumped by every structural mutation (attach,
+  /// detach, rename, content change, GC). Derived structures such as
+  /// the id index use it for cheap invalidation.
+  uint64_t version() const { return version_; }
+
+  QNamePool& names() { return names_; }
+  const QNamePool& names() const { return names_; }
+
+ private:
+  struct NodeRecord {
+    NodeKind kind = NodeKind::kText;
+    bool alive = false;
+    QNameId name = kInvalidQName;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+    std::vector<NodeId> attributes;
+    std::string content;
+  };
+
+  NodeId Allocate(NodeKind kind);
+  void AppendStringValue(NodeId node, std::string* out) const;
+  Status InsertChildrenAt(const std::vector<NodeId>& nodes, NodeId parent,
+                          size_t index);
+
+  std::vector<NodeRecord> nodes_;
+  std::vector<NodeId> free_list_;
+  size_t live_count_ = 0;
+  uint64_t version_ = 0;
+  QNamePool names_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_XDM_STORE_H_

@@ -1,0 +1,231 @@
+#include "xmark/generator.h"
+
+#include <array>
+#include <random>
+
+#include "xml/serializer.h"
+
+namespace xqb {
+
+namespace {
+
+constexpr std::array<const char*, 6> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+constexpr std::array<const char*, 20> kFirstNames = {
+    "Jaak",  "Moshe",  "Ewa",    "Benny", "Farrukh", "Yolanda", "Takeshi",
+    "Mehmet","Ivana",  "Carlo",  "Sanjay","Helga",   "Pierre",  "Aino",
+    "Tariq", "Bogdan", "Lucia",  "Wei",   "Nkechi",  "Sven"};
+
+constexpr std::array<const char*, 20> kLastNames = {
+    "Tempesti", "Braganholo", "Molnar",  "Ube",     "Ioannidis",
+    "Dittrich", "Kleisli",    "Sarkar",  "Novak",   "Duarte",
+    "Okafor",   "Lindqvist",  "Moreau",  "Tanaka",  "Petrov",
+    "Costa",    "Haddad",     "Virtanen","Zhang",   "Keller"};
+
+constexpr std::array<const char*, 16> kWords = {
+    "gold",   "vintage", "rare",    "antique", "signed",  "mint",
+    "boxed",  "limited", "classic", "royal",   "silver",  "painted",
+    "carved", "woven",   "printed", "restored"};
+
+constexpr std::array<const char*, 12> kObjects = {
+    "clock",  "violin", "stamp",  "painting", "vase",   "camera",
+    "atlas",  "chess",  "lamp",   "medal",    "carpet", "telescope"};
+
+class Builder {
+ public:
+  Builder(Store* store, const XMarkParams& params)
+      : store_(store), params_(params), rng_(params.seed) {}
+
+  NodeId Build() {
+    NodeId doc = store_->NewDocument();
+    NodeId site = Elem("site");
+    Append(doc, site);
+    BuildRegions(site);
+    BuildPeople(site);
+    BuildOpenAuctions(site);
+    BuildClosedAuctions(site);
+    return doc;
+  }
+
+ private:
+  NodeId Elem(const std::string& name) { return store_->NewElement(name); }
+  void Append(NodeId parent, NodeId child) {
+    // Generator invariants make these appends infallible.
+    Status st = store_->AppendChild(parent, child);
+    (void)st;
+  }
+  void Attr(NodeId element, const std::string& name,
+            const std::string& value) {
+    Status st = store_->AppendAttribute(element,
+                                        store_->NewAttribute(name, value));
+    (void)st;
+  }
+  void TextChild(NodeId parent, const std::string& name,
+                 const std::string& value) {
+    NodeId e = Elem(name);
+    Append(e, store_->NewText(value));
+    Append(parent, e);
+  }
+
+  int Uniform(int n) {
+    return static_cast<int>(rng_() % static_cast<uint64_t>(n));
+  }
+  std::string Pick(const char* const* table, size_t n) {
+    return table[Uniform(static_cast<int>(n))];
+  }
+  std::string ItemDescription() {
+    return Pick(kWords.data(), kWords.size()) + " " +
+           Pick(kWords.data(), kWords.size()) + " " +
+           Pick(kObjects.data(), kObjects.size());
+  }
+  std::string Price() {
+    int whole = 1 + Uniform(500);
+    int cents = Uniform(100);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d.%02d", whole, cents);
+    return buf;
+  }
+  std::string Date() {
+    int month = 1 + Uniform(12);
+    int day = 1 + Uniform(28);
+    int year = 1998 + Uniform(4);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02d/%02d/%d", month, day, year);
+    return buf;
+  }
+
+  void BuildRegions(NodeId site) {
+    NodeId regions = Elem("regions");
+    Append(site, regions);
+    std::vector<NodeId> region_nodes;
+    for (const char* name : kRegions) {
+      NodeId region = Elem(name);
+      Append(regions, region);
+      region_nodes.push_back(region);
+    }
+    const int items = params_.items();
+    for (int i = 0; i < items; ++i) {
+      NodeId item = Elem("item");
+      Attr(item, "id", "item" + std::to_string(i));
+      TextChild(item, "name", ItemDescription());
+      TextChild(item, "location", "United States");
+      TextChild(item, "quantity", std::to_string(1 + Uniform(5)));
+      NodeId payment = Elem("payment");
+      Append(payment, store_->NewText("Creditcard"));
+      Append(item, payment);
+      NodeId description = Elem("description");
+      NodeId text = Elem("text");
+      Append(text, store_->NewText(ItemDescription() + " in fine state"));
+      Append(description, text);
+      Append(item, description);
+      Append(region_nodes[static_cast<size_t>(
+                 Uniform(static_cast<int>(region_nodes.size())))],
+             item);
+    }
+  }
+
+  void BuildPeople(NodeId site) {
+    NodeId people = Elem("people");
+    Append(site, people);
+    const int persons = params_.persons();
+    for (int i = 0; i < persons; ++i) {
+      NodeId person = Elem("person");
+      Attr(person, "id", "person" + std::to_string(i));
+      std::string name = Pick(kFirstNames.data(), kFirstNames.size()) + " " +
+                         Pick(kLastNames.data(), kLastNames.size());
+      TextChild(person, "name", name);
+      TextChild(person, "emailaddress",
+                "mailto:user" + std::to_string(i) + "@example.org");
+      if (Uniform(2) == 0) {
+        TextChild(person, "phone", "+1 (" + std::to_string(100 + Uniform(900)) +
+                                       ") " + std::to_string(1000000 +
+                                                             Uniform(9000000)));
+      }
+      if (Uniform(3) == 0) {
+        NodeId profile = Elem("profile");
+        Attr(profile, "income", Price());
+        TextChild(profile, "interest", ItemDescription());
+        Append(person, profile);
+      }
+      Append(people, person);
+    }
+  }
+
+  void BuildOpenAuctions(NodeId site) {
+    NodeId auctions = Elem("open_auctions");
+    Append(site, auctions);
+    const int count = params_.open_auctions();
+    const int persons = params_.persons();
+    const int items = params_.items();
+    for (int i = 0; i < count; ++i) {
+      NodeId auction = Elem("open_auction");
+      Attr(auction, "id", "open_auction" + std::to_string(i));
+      TextChild(auction, "initial", Price());
+      const int bids = 1 + Uniform(4);
+      for (int b = 0; b < bids; ++b) {
+        NodeId bid = Elem("bidder");
+        TextChild(bid, "date", Date());
+        NodeId ref = Elem("personref");
+        Attr(ref, "person", "person" + std::to_string(Uniform(persons)));
+        Append(bid, ref);
+        TextChild(bid, "increase", Price());
+        Append(auction, bid);
+      }
+      NodeId itemref = Elem("itemref");
+      Attr(itemref, "item", "item" + std::to_string(Uniform(items)));
+      Append(auction, itemref);
+      NodeId seller = Elem("seller");
+      Attr(seller, "person", "person" + std::to_string(Uniform(persons)));
+      Append(auction, seller);
+      TextChild(auction, "current", Price());
+      Append(auctions, auction);
+    }
+  }
+
+  void BuildClosedAuctions(NodeId site) {
+    NodeId auctions = Elem("closed_auctions");
+    Append(site, auctions);
+    const int count = params_.closed_auctions();
+    const int persons = params_.persons();
+    const int items = params_.items();
+    for (int i = 0; i < count; ++i) {
+      NodeId auction = Elem("closed_auction");
+      NodeId seller = Elem("seller");
+      Attr(seller, "person", "person" + std::to_string(Uniform(persons)));
+      Append(auction, seller);
+      NodeId buyer = Elem("buyer");
+      Attr(buyer, "person", "person" + std::to_string(Uniform(persons)));
+      Append(auction, buyer);
+      NodeId itemref = Elem("itemref");
+      Attr(itemref, "item", "item" + std::to_string(Uniform(items)));
+      Append(auction, itemref);
+      TextChild(auction, "price", Price());
+      TextChild(auction, "date", Date());
+      TextChild(auction, "quantity", "1");
+      NodeId type = Elem("type");
+      Append(type, store_->NewText("Regular"));
+      Append(auction, type);
+      Append(auctions, auction);
+    }
+  }
+
+  Store* store_;
+  XMarkParams params_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace
+
+NodeId GenerateXMarkDocument(Store* store, const XMarkParams& params) {
+  Builder builder(store, params);
+  return builder.Build();
+}
+
+std::string GenerateXMarkXml(const XMarkParams& params) {
+  Store store;
+  NodeId doc = GenerateXMarkDocument(&store, params);
+  return SerializeNode(store, doc);
+}
+
+}  // namespace xqb

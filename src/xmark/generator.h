@@ -1,0 +1,63 @@
+#ifndef XQB_XMARK_GENERATOR_H_
+#define XQB_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// Parameters of the synthetic XMark-like auction document. The real
+/// XMark xmlgen tool [23] is not available offline, so this generator
+/// reproduces the entity and reference structure the paper's examples
+/// depend on: persons with @id, items with @id, open auctions, and
+/// closed auctions carrying buyer/@person and itemref/@item foreign
+/// keys into the person and item populations.
+struct XMarkParams {
+  /// Scale factor: entity counts grow linearly with it. factor = 1.0
+  /// produces roughly the proportions of XMark's f=0.01 document.
+  double factor = 1.0;
+  /// Entity counts at factor 1.0.
+  int persons_base = 255;
+  int items_base = 217;
+  int open_auctions_base = 120;
+  int closed_auctions_base = 97;
+  /// RNG seed; equal seeds and factors give byte-identical documents.
+  uint64_t seed = 42;
+
+  int persons() const { return Scale(persons_base); }
+  int items() const { return Scale(items_base); }
+  int open_auctions() const { return Scale(open_auctions_base); }
+  int closed_auctions() const { return Scale(closed_auctions_base); }
+
+ private:
+  int Scale(int base) const {
+    int v = static_cast<int>(base * factor);
+    return v < 1 ? 1 : v;
+  }
+};
+
+/// Builds the auction document directly in `store` and returns its
+/// document node. Layout:
+///
+///   <site>
+///     <regions><africa>item*</africa>...(6 regions)...</regions>
+///     <people><person id="person0">name,emailaddress,...</person>*</people>
+///     <open_auctions><open_auction id="open_auction0">...</open_auction>*
+///     <closed_auctions>
+///       <closed_auction>
+///         <seller person="..."/><buyer person="..."/>
+///         <itemref item="..."/><price>...</price><date>...</date>
+///       </closed_auction>*
+///     </closed_auctions>
+///   </site>
+NodeId GenerateXMarkDocument(Store* store, const XMarkParams& params = {});
+
+/// Serializes a generated document to XML text (convenience for tests
+/// that exercise the parser on XMark input).
+std::string GenerateXMarkXml(const XMarkParams& params = {});
+
+}  // namespace xqb
+
+#endif  // XQB_XMARK_GENERATOR_H_

@@ -1,0 +1,156 @@
+#include "xml/serializer.h"
+
+#include <string>
+
+namespace xqb {
+
+std::string EscapeXmlText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeXmlAttribute(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasElementOnlyContent(const Store& store, NodeId node) {
+  const auto& children = store.ChildrenOf(node);
+  if (children.empty()) return false;
+  for (NodeId c : children) {
+    NodeKind k = store.KindOf(c);
+    if (k == NodeKind::kText) return false;
+  }
+  return true;
+}
+
+void SerializeRec(const Store& store, NodeId node,
+                  const SerializeOptions& options, int depth,
+                  std::string* out) {
+  auto indent = [&](int d) {
+    if (options.indent) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  switch (store.KindOf(node)) {
+    case NodeKind::kDocument:
+      for (NodeId c : store.ChildrenOf(node)) {
+        SerializeRec(store, c, options, depth, out);
+      }
+      break;
+    case NodeKind::kElement: {
+      out->push_back('<');
+      out->append(store.NameOf(node));
+      for (NodeId attr : store.AttributesOf(node)) {
+        out->push_back(' ');
+        out->append(store.NameOf(attr));
+        out->append("=\"");
+        out->append(EscapeXmlAttribute(store.ContentOf(attr)));
+        out->push_back('"');
+      }
+      const auto& children = store.ChildrenOf(node);
+      if (children.empty()) {
+        out->append("/>");
+        break;
+      }
+      out->push_back('>');
+      bool indent_children = options.indent &&
+                             HasElementOnlyContent(store, node);
+      for (NodeId c : children) {
+        if (indent_children) indent(depth + 1);
+        SerializeRec(store, c, options, depth + 1, out);
+      }
+      if (indent_children) indent(depth);
+      out->append("</");
+      out->append(store.NameOf(node));
+      out->push_back('>');
+      break;
+    }
+    case NodeKind::kAttribute:
+      out->append(store.NameOf(node));
+      out->append("=\"");
+      out->append(EscapeXmlAttribute(store.ContentOf(node)));
+      out->push_back('"');
+      break;
+    case NodeKind::kText:
+      out->append(EscapeXmlText(store.ContentOf(node)));
+      break;
+    case NodeKind::kComment:
+      out->append("<!--");
+      out->append(store.ContentOf(node));
+      out->append("-->");
+      break;
+    case NodeKind::kProcessingInstruction:
+      out->append("<?");
+      out->append(store.NameOf(node));
+      if (!store.ContentOf(node).empty()) {
+        out->push_back(' ');
+        out->append(store.ContentOf(node));
+      }
+      out->append("?>");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string SerializeNode(const Store& store, NodeId node,
+                          const SerializeOptions& options) {
+  std::string out;
+  SerializeRec(store, node, options, 0, &out);
+  return out;
+}
+
+std::string SerializeSequence(const Store& store, const Sequence& seq,
+                              const SerializeOptions& options) {
+  std::string out;
+  bool prev_atomic = false;
+  for (const Item& item : seq) {
+    if (item.is_node()) {
+      out.append(SerializeNode(store, item.node(), options));
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) out.push_back(' ');
+      out.append(item.atom().ToString());
+      prev_atomic = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace xqb

@@ -1,0 +1,33 @@
+#ifndef XQB_XML_SERIALIZER_H_
+#define XQB_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xdm/item.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// Options controlling XML serialization.
+struct SerializeOptions {
+  /// Pretty-print with 2-space indentation (element-only content).
+  bool indent = false;
+};
+
+/// Serializes the subtree rooted at `node` to XML text. Attribute nodes
+/// serialize as name="value"; document nodes serialize their children.
+std::string SerializeNode(const Store& store, NodeId node,
+                          const SerializeOptions& options = {});
+
+/// Serializes a whole sequence the way a top-level query result prints:
+/// nodes as XML, atomics via fn:string, space-separated atomics.
+std::string SerializeSequence(const Store& store, const Sequence& seq,
+                              const SerializeOptions& options = {});
+
+/// Escapes &<> (and " in attribute context) for XML output.
+std::string EscapeXmlText(const std::string& text);
+std::string EscapeXmlAttribute(const std::string& text);
+
+}  // namespace xqb
+
+#endif  // XQB_XML_SERIALIZER_H_

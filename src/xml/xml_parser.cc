@@ -1,0 +1,328 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace xqb {
+
+namespace {
+
+/// Recursive-descent scanner over the raw document text.
+class XmlScanner {
+ public:
+  XmlScanner(Store* store, std::string_view input,
+             const XmlParseOptions& options)
+      : store_(store), input_(input), options_(options) {}
+
+  Result<NodeId> ParseDocument() {
+    NodeId doc = store_->NewDocument();
+    SkipProlog();
+    bool seen_root = false;
+    while (!AtEnd()) {
+      SkipWhitespaceOutsideRoot();
+      if (AtEnd()) break;
+      if (Lookahead("<!--")) {
+        XQB_RETURN_IF_ERROR(ParseCommentInto(doc));
+      } else if (Lookahead("<?")) {
+        XQB_RETURN_IF_ERROR(ParsePiInto(doc));
+      } else if (Lookahead("<")) {
+        if (seen_root) {
+          return Error("multiple root elements");
+        }
+        XQB_ASSIGN_OR_RETURN(NodeId root, ParseElement());
+        XQB_RETURN_IF_ERROR(store_->AppendChild(doc, root));
+        seen_root = true;
+      } else {
+        return Error("text content outside the root element");
+      }
+    }
+    if (!seen_root) return Error("document has no root element");
+    return doc;
+  }
+
+  Result<NodeId> ParseFragment() {
+    SkipWs();
+    if (!Lookahead("<")) return Error("fragment must start with an element");
+    XQB_ASSIGN_OR_RETURN(NodeId root, ParseElement());
+    SkipWs();
+    if (!AtEnd()) return Error("trailing content after fragment element");
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Lookahead(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  void SkipWhitespaceOutsideRoot() { SkipWs(); }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("XML line " + std::to_string(line_) + ": " +
+                              what);
+  }
+
+  void SkipProlog() {
+    SkipWs();
+    if (Lookahead("<?xml")) {
+      size_t end = input_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+    }
+    SkipWs();
+    if (Lookahead("<!DOCTYPE")) {
+      // Skip to the matching '>' (internal subsets use brackets).
+      int depth = 0;
+      while (!AtEnd()) {
+        char c = Peek();
+        Advance();
+        if (c == '[') ++depth;
+        if (c == ']') --depth;
+        if (c == '>' && depth <= 0) break;
+      }
+    }
+  }
+
+  bool IsNameStart(char c) const {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  bool IsNameChar(char c) const {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Decodes entity and character references in `raw`.
+  Result<std::string> DecodeText(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (!ent.empty() && ent[0] == '#') {
+        int base = 10;
+        std::string_view digits = ent.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        char* end = nullptr;
+        std::string dstr(digits);
+        long code = std::strtol(dstr.c_str(), &end, base);
+        if (end != dstr.c_str() + dstr.size() || code <= 0 || code > 0x10FFFF) {
+          return Error("bad character reference &" + std::string(ent) + ";");
+        }
+        // UTF-8 encode.
+        uint32_t cp = static_cast<uint32_t>(code);
+        if (cp < 0x80) {
+          out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Status ParseCommentInto(NodeId parent) {
+    Advance(4);  // "<!--"
+    size_t end = input_.find("-->", pos_);
+    if (end == std::string_view::npos) return Error("unterminated comment");
+    std::string_view body = input_.substr(pos_, end - pos_);
+    pos_ = end + 3;
+    if (options_.keep_comments) {
+      NodeId comment = store_->NewComment(body);
+      XQB_RETURN_IF_ERROR(store_->AppendChild(parent, comment));
+    }
+    return Status::OK();
+  }
+
+  Status ParsePiInto(NodeId parent) {
+    Advance(2);  // "<?"
+    XQB_ASSIGN_OR_RETURN(std::string target, ParseName());
+    SkipWs();
+    size_t end = input_.find("?>", pos_);
+    if (end == std::string_view::npos) return Error("unterminated PI");
+    std::string_view body = input_.substr(pos_, end - pos_);
+    pos_ = end + 2;
+    if (options_.keep_comments) {
+      NodeId pi = store_->NewProcessingInstruction(target, body);
+      XQB_RETURN_IF_ERROR(store_->AppendChild(parent, pi));
+    }
+    return Status::OK();
+  }
+
+  Result<NodeId> ParseElement() {
+    // Recursion guard against adversarially deep documents.
+    if (++depth_ > kMaxDepth) {
+      --depth_;
+      return Error("element nesting exceeds " + std::to_string(kMaxDepth) +
+                   " levels");
+    }
+    Result<NodeId> result = ParseElementImpl();
+    --depth_;
+    return result;
+  }
+
+  Result<NodeId> ParseElementImpl() {
+    Advance();  // '<'
+    XQB_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodeId element = store_->NewElement(name);
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (AtEnd()) return Error("unterminated start tag <" + name);
+      if (Lookahead("/>")) {
+        Advance(2);
+        return element;
+      }
+      if (Peek() == '>') {
+        Advance();
+        break;
+      }
+      XQB_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWs();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      Advance();
+      SkipWs();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected a quoted attribute value");
+      }
+      char quote = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) Advance();
+      if (AtEnd()) return Error("unterminated attribute value");
+      XQB_ASSIGN_OR_RETURN(std::string value,
+                           DecodeText(input_.substr(start, pos_ - start)));
+      Advance();  // closing quote
+      NodeId attr = store_->NewAttribute(attr_name, value);
+      if (Status st = store_->AppendAttribute(element, attr); !st.ok()) {
+        return Error(st.message());  // e.g. duplicate attribute name
+      }
+    }
+    // Content.
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + name + ">");
+      if (Lookahead("</")) {
+        Advance(2);
+        XQB_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+        if (close_name != name) {
+          return Error("mismatched end tag </" + close_name +
+                       "> for <" + name + ">");
+        }
+        SkipWs();
+        if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+        Advance();
+        return element;
+      }
+      if (Lookahead("<!--")) {
+        XQB_RETURN_IF_ERROR(ParseCommentInto(element));
+        continue;
+      }
+      if (Lookahead("<![CDATA[")) {
+        Advance(9);
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        NodeId text = store_->NewText(input_.substr(pos_, end - pos_));
+        XQB_RETURN_IF_ERROR(store_->AppendChild(element, text));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Lookahead("<?")) {
+        XQB_RETURN_IF_ERROR(ParsePiInto(element));
+        continue;
+      }
+      if (Peek() == '<') {
+        XQB_ASSIGN_OR_RETURN(NodeId child, ParseElement());
+        XQB_RETURN_IF_ERROR(store_->AppendChild(element, child));
+        continue;
+      }
+      // Character data run.
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') Advance();
+      std::string_view raw = input_.substr(start, pos_ - start);
+      if (options_.strip_boundary_whitespace && IsAllWhitespace(raw)) {
+        continue;
+      }
+      XQB_ASSIGN_OR_RETURN(std::string text, DecodeText(raw));
+      NodeId text_node = store_->NewText(text);
+      XQB_RETURN_IF_ERROR(store_->AppendChild(element, text_node));
+    }
+  }
+
+  static constexpr int kMaxDepth = 2000;
+
+  Store* store_;
+  std::string_view input_;
+  XmlParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<NodeId> ParseXmlDocument(Store* store, std::string_view input,
+                                const XmlParseOptions& options) {
+  XmlScanner scanner(store, input, options);
+  return scanner.ParseDocument();
+}
+
+Result<NodeId> ParseXmlFragment(Store* store, std::string_view input,
+                                const XmlParseOptions& options) {
+  XmlScanner scanner(store, input, options);
+  return scanner.ParseFragment();
+}
+
+}  // namespace xqb

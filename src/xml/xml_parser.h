@@ -1,0 +1,36 @@
+#ifndef XQB_XML_XML_PARSER_H_
+#define XQB_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// Options controlling XML parsing.
+struct XmlParseOptions {
+  /// Drop text nodes that contain only whitespace and sit between element
+  /// tags (typical for data-oriented documents such as XMark).
+  bool strip_boundary_whitespace = true;
+  /// Keep comments and processing instructions as nodes.
+  bool keep_comments = true;
+};
+
+/// Parses a well-formed XML document into `store`, returning the new
+/// document node. Supports elements, attributes, character data, CDATA
+/// sections, comments, processing instructions, an optional XML
+/// declaration / doctype (skipped), and the five predefined entities plus
+/// decimal/hex character references. Namespaces are treated lexically
+/// (prefix is part of the name), matching the engine's well-formed-only
+/// scope.
+Result<NodeId> ParseXmlDocument(Store* store, std::string_view input,
+                                const XmlParseOptions& options = {});
+
+/// Parses a single element (fragment form, no prolog).
+Result<NodeId> ParseXmlFragment(Store* store, std::string_view input,
+                                const XmlParseOptions& options = {});
+
+}  // namespace xqb
+
+#endif  // XQB_XML_XML_PARSER_H_

@@ -1,0 +1,125 @@
+// Unit tests for the algebra compiler: free-variable analysis and the
+// canonical FLWOR -> tuple-plan translation.
+
+#include <gtest/gtest.h>
+
+#include "algebra/compile.h"
+#include "base/string_util.h"
+#include "frontend/parser.h"
+
+namespace xqb {
+namespace {
+
+std::set<std::string> FreeOf(const char* query) {
+  auto expr = ParseExpression(query);
+  EXPECT_TRUE(expr.ok()) << expr.status();
+  return FreeVariables(**expr);
+}
+
+TEST(FreeVariables, SimpleReferences) {
+  EXPECT_EQ(FreeOf("$a + $b"), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(FreeOf("1 + 2"), (std::set<std::string>{}));
+}
+
+TEST(FreeVariables, FlworBindingsAreNotFree) {
+  EXPECT_EQ(FreeOf("for $x in $s return $x + $y"),
+            (std::set<std::string>{"s", "y"}));
+  EXPECT_EQ(FreeOf("let $x := $x0 return $x"),
+            (std::set<std::string>{"x0"}));
+  EXPECT_EQ(FreeOf("for $x at $i in $s return $i"),
+            (std::set<std::string>{"s"}));
+}
+
+TEST(FreeVariables, BindingScopeIsLeftToRight) {
+  // The first clause's expression cannot see later bindings.
+  EXPECT_EQ(FreeOf("for $x in $y, $y in $x return 0"),
+            (std::set<std::string>{"y"}));
+}
+
+TEST(FreeVariables, ShadowingDoesNotLeak) {
+  EXPECT_EQ(FreeOf("(for $x in $s return $x), $x"),
+            (std::set<std::string>{"s", "x"}));
+}
+
+TEST(FreeVariables, QuantifiersBind) {
+  EXPECT_EQ(FreeOf("some $x in $s satisfies $x = $k"),
+            (std::set<std::string>{"s", "k"}));
+}
+
+TEST(FreeVariables, UpdateOperandsCount) {
+  EXPECT_EQ(FreeOf("insert { $n } into { $t }"),
+            (std::set<std::string>{"n", "t"}));
+  EXPECT_EQ(FreeOf("snap { delete { $x } }"),
+            (std::set<std::string>{"x"}));
+}
+
+TEST(FreeVariables, OrderByKeysCount) {
+  EXPECT_EQ(FreeOf("for $x in $s order by $x/$k return $x"),
+            (std::set<std::string>{"s", "k"}));
+}
+
+class CompileTest : public ::testing::Test {
+ protected:
+  /// Parses and compiles; the Program must stay alive while the plan is
+  /// inspected, so keep it as a member.
+  PlanPtr Compile(const char* query) {
+    auto program = ParseProgram(query);
+    EXPECT_TRUE(program.ok()) << program.status();
+    program_ = std::move(*program);
+    return CompileQueryToPlan(*program_.body);
+  }
+
+  Program program_;
+};
+
+TEST_F(CompileTest, NonFlworIsUnsupported) {
+  EXPECT_EQ(Compile("1 + 1"), nullptr);
+  EXPECT_EQ(Compile("<a/>"), nullptr);
+}
+
+TEST_F(CompileTest, SimpleForBecomesMapConcat) {
+  PlanPtr plan = Compile("for $x in $s return $x");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, PlanKind::kMapToItem);
+  ASSERT_NE(plan->input, nullptr);
+  EXPECT_EQ(plan->input->kind, PlanKind::kMapConcat);
+  EXPECT_EQ(plan->input->field, "x");
+  EXPECT_EQ(plan->input->input->kind, PlanKind::kSingleton);
+  EXPECT_EQ(plan->fields, (std::vector<std::string>{"x"}));
+}
+
+TEST_F(CompileTest, AllClauseKindsTranslate) {
+  PlanPtr plan = Compile(
+      "for $x at $i in $s let $y := $x where $y > 1 "
+      "order by $y return $y");
+  ASSERT_NE(plan, nullptr);
+  // MapToItem <- OrderBy <- Select <- Let <- MapConcat <- Singleton.
+  const Plan* p = plan.get();
+  EXPECT_EQ(p->kind, PlanKind::kMapToItem);
+  p = p->input.get();
+  EXPECT_EQ(p->kind, PlanKind::kOrderBy);
+  p = p->input.get();
+  EXPECT_EQ(p->kind, PlanKind::kSelect);
+  p = p->input.get();
+  EXPECT_EQ(p->kind, PlanKind::kLet);
+  EXPECT_EQ(p->field, "y");
+  p = p->input.get();
+  EXPECT_EQ(p->kind, PlanKind::kMapConcat);
+  EXPECT_EQ(p->field, "x");
+  EXPECT_EQ(p->pos_field, "i");
+  EXPECT_EQ(p->input->kind, PlanKind::kSingleton);
+  EXPECT_EQ(plan->fields, (std::vector<std::string>{"x", "i", "y"}));
+}
+
+TEST_F(CompileTest, PlanDebugStringShowsShape) {
+  PlanPtr plan = Compile("for $x in $s where $x return $x");
+  ASSERT_NE(plan, nullptr);
+  std::string rendered = plan->DebugString();
+  EXPECT_TRUE(Contains(rendered, "MapToItem"));
+  EXPECT_TRUE(Contains(rendered, "Select"));
+  EXPECT_TRUE(Contains(rendered, "MapConcat[x]"));
+  EXPECT_TRUE(Contains(rendered, "Singleton"));
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,199 @@
+// Unit tests for the regex engine behind fn:matches / fn:replace /
+// fn:tokenize.
+
+#include <gtest/gtest.h>
+
+#include "base/regex.h"
+
+namespace xqb {
+namespace {
+
+bool Matches(const char* pattern, const char* text,
+             const char* flags = "") {
+  auto regex = Regex::Compile(pattern, flags);
+  EXPECT_TRUE(regex.ok()) << pattern << ": " << regex.status();
+  auto matched = regex->Matches(text);
+  EXPECT_TRUE(matched.ok()) << pattern << ": " << matched.status();
+  return matched.ok() && *matched;
+}
+
+TEST(Regex, Literals) {
+  EXPECT_TRUE(Matches("abc", "xxabcxx"));
+  EXPECT_FALSE(Matches("abc", "ab"));
+  EXPECT_TRUE(Matches("", "anything"));  // Empty pattern matches.
+}
+
+TEST(Regex, Dot) {
+  EXPECT_TRUE(Matches("a.c", "abc"));
+  EXPECT_TRUE(Matches("a.c", "a c"));
+  EXPECT_FALSE(Matches("a.c", "ac"));
+  EXPECT_FALSE(Matches("a.c", "a\nc"));
+  EXPECT_TRUE(Matches("a.c", "a\nc", "s"));  // Dot-all flag.
+}
+
+TEST(Regex, Escapes) {
+  EXPECT_TRUE(Matches("a\\.c", "a.c"));
+  EXPECT_FALSE(Matches("a\\.c", "abc"));
+  EXPECT_TRUE(Matches("\\d+", "x42y"));
+  EXPECT_FALSE(Matches("\\d", "abc"));
+  EXPECT_TRUE(Matches("\\w+", "under_score"));
+  EXPECT_TRUE(Matches("\\s", "a b"));
+  EXPECT_TRUE(Matches("\\D", "a"));
+  EXPECT_FALSE(Matches("\\D", "5"));
+  EXPECT_TRUE(Matches("\\S", " x "));
+  EXPECT_TRUE(Matches("a\\tb", "a\tb"));
+  EXPECT_TRUE(Matches("\\$\\*", "$*"));
+}
+
+TEST(Regex, CharacterClasses) {
+  EXPECT_TRUE(Matches("[abc]", "b"));
+  EXPECT_FALSE(Matches("[abc]", "d"));
+  EXPECT_TRUE(Matches("[a-z]+", "hello"));
+  EXPECT_TRUE(Matches("[a-z0-9]+", "a1b2"));
+  EXPECT_TRUE(Matches("[^abc]", "x"));
+  EXPECT_FALSE(Matches("[^abc]", "a"));
+  EXPECT_TRUE(Matches("[\\d]", "7"));
+  EXPECT_TRUE(Matches("[a\\-z]", "-"));  // Escaped dash is a literal.
+  EXPECT_TRUE(Matches("[]x]", "]"));     // Leading ']' is a literal.
+}
+
+TEST(Regex, Anchors) {
+  EXPECT_TRUE(Matches("^abc", "abcdef"));
+  EXPECT_FALSE(Matches("^abc", "xabc"));
+  EXPECT_TRUE(Matches("def$", "abcdef"));
+  EXPECT_FALSE(Matches("def$", "defx"));
+  EXPECT_TRUE(Matches("^abc$", "abc"));
+  EXPECT_TRUE(Matches("^b$", "a\nb\nc", "m"));   // Multiline flag.
+  EXPECT_FALSE(Matches("^b$", "a\nb\nc"));
+}
+
+TEST(Regex, Quantifiers) {
+  EXPECT_TRUE(Matches("ab*c", "ac"));
+  EXPECT_TRUE(Matches("ab*c", "abbbc"));
+  EXPECT_TRUE(Matches("ab+c", "abc"));
+  EXPECT_FALSE(Matches("ab+c", "ac"));
+  EXPECT_TRUE(Matches("ab?c", "ac"));
+  EXPECT_TRUE(Matches("ab?c", "abc"));
+  EXPECT_FALSE(Matches("^ab?c$", "abbc"));
+  EXPECT_TRUE(Matches("^a{3}$", "aaa"));
+  EXPECT_FALSE(Matches("^a{3}$", "aa"));
+  EXPECT_TRUE(Matches("^a{2,}$", "aaaa"));
+  EXPECT_FALSE(Matches("^a{2,}$", "a"));
+  EXPECT_TRUE(Matches("^a{1,3}$", "aa"));
+  EXPECT_FALSE(Matches("^a{1,3}$", "aaaa"));
+}
+
+TEST(Regex, AlternationAndGroups) {
+  EXPECT_TRUE(Matches("^(cat|dog)$", "dog"));
+  EXPECT_FALSE(Matches("^(cat|dog)$", "cow"));
+  EXPECT_TRUE(Matches("^(ab)+$", "ababab"));
+  EXPECT_TRUE(Matches("^(?:ab)+$", "abab"));
+  EXPECT_TRUE(Matches("^a(b|c)d$", "acd"));
+}
+
+TEST(Regex, Backtracking) {
+  EXPECT_TRUE(Matches("^a.*b$", "axxbxxb"));
+  EXPECT_TRUE(Matches("^(a+)a$", "aaaa"));  // Quantifier gives back.
+  EXPECT_TRUE(Matches("^(a|ab)c$", "abc"));
+}
+
+TEST(Regex, CaseInsensitiveFlag) {
+  EXPECT_TRUE(Matches("abc", "ABC", "i"));
+  EXPECT_TRUE(Matches("[a-z]+", "HELLO", "i"));
+  EXPECT_FALSE(Matches("abc", "ABC"));
+}
+
+TEST(Regex, ExtendedFlagIgnoresWhitespace) {
+  EXPECT_TRUE(Matches("a b c", "abc", "x"));
+  EXPECT_FALSE(Matches("a b c", "abc"));
+}
+
+TEST(Regex, CompileErrors) {
+  EXPECT_FALSE(Regex::Compile("a(b", "").ok());
+  EXPECT_FALSE(Regex::Compile("a)b", "").ok());
+  EXPECT_FALSE(Regex::Compile("[abc", "").ok());
+  EXPECT_FALSE(Regex::Compile("*a", "").ok());
+  EXPECT_FALSE(Regex::Compile("a{3,1}", "").ok());
+  EXPECT_FALSE(Regex::Compile("a\\", "").ok());
+  EXPECT_FALSE(Regex::Compile("\\q", "").ok());
+  EXPECT_FALSE(Regex::Compile("[z-a]", "").ok());
+  EXPECT_FALSE(Regex::Compile("a", "z").ok());  // Unknown flag.
+}
+
+TEST(Regex, Replace) {
+  auto re = Regex::Compile("o", "");
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re->Replace("foo bot", "0"), "f00 b0t");
+}
+
+TEST(Regex, ReplaceWithCaptures) {
+  auto re = Regex::Compile("(\\w+)@(\\w+)", "");
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re->Replace("ann@host x bob@other", "$2:$1"),
+            "host:ann x other:bob");
+  EXPECT_EQ(*re->Replace("ann@host", "[$0]"), "[ann@host]");
+}
+
+TEST(Regex, ReplaceEscapesInReplacement) {
+  auto re = Regex::Compile("a", "");
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*re->Replace("a", "\\$5"), "$5");
+  EXPECT_EQ(*re->Replace("a", "x\\\\y"), "x\\y");
+  EXPECT_FALSE(re->Replace("a", "$x").ok());   // err:FORX0004.
+  EXPECT_FALSE(re->Replace("a", "bad\\n").ok());
+}
+
+TEST(Regex, ReplaceEmptyMatchErrors) {
+  auto re = Regex::Compile("a*", "");
+  ASSERT_TRUE(re.ok());
+  EXPECT_FALSE(re->Replace("bbb", "x").ok());  // err:FORX0003.
+}
+
+TEST(Regex, Tokenize) {
+  auto re = Regex::Compile(",", "");
+  ASSERT_TRUE(re.ok());
+  auto tokens = re->Tokenize("a,b,,c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"a", "b", "", "c"}));
+}
+
+TEST(Regex, TokenizeWhitespaceRuns) {
+  auto re = Regex::Compile("\\s+", "");
+  ASSERT_TRUE(re.ok());
+  auto tokens = re->Tokenize("The   quick brown");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(*tokens,
+            (std::vector<std::string>{"The", "quick", "brown"}));
+}
+
+TEST(Regex, TokenizeLeadingAndTrailingMatches) {
+  auto re = Regex::Compile(",", "");
+  ASSERT_TRUE(re.ok());
+  auto tokens = re->Tokenize(",a,");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(Regex, PathologicalBacktrackingIsBudgeted) {
+  // (a+)+b on a long run of 'a' is exponential for a naive backtracker;
+  // the step budget converts it into a prompt resource error.
+  auto re = Regex::Compile("(a+)+b", "");
+  ASSERT_TRUE(re.ok());
+  auto matched = re->Matches(std::string(64, 'a'));
+  ASSERT_FALSE(matched.ok());
+  EXPECT_TRUE(matched.status().message().find("budget") !=
+              std::string::npos)
+      << matched.status();
+  // A matching input short-circuits long before the budget.
+  auto hit = re->Matches(std::string(64, 'a') + "b");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+}
+
+TEST(Regex, LiteralBraceWithoutDigitsIsLiteral) {
+  EXPECT_TRUE(Matches("^a\\{x$", "a{x"));
+  EXPECT_TRUE(Matches("^a{x$", "a{x"));  // '{' not a quantifier here.
+}
+
+}  // namespace
+}  // namespace xqb

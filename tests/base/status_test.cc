@@ -1,0 +1,160 @@
+// Unit tests for the Status/Result error model and string utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace xqb {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::DynamicError("x").code(), StatusCode::kDynamicError);
+  EXPECT_EQ(Status::TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::UpdateError("x").code(), StatusCode::kUpdateError);
+  EXPECT_EQ(Status::ConflictError("x").code(), StatusCode::kConflictError);
+  EXPECT_EQ(Status::StaticError("x").code(), StatusCode::kStaticError);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ParseError("bad token").message(), "bad token");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::ConflictError("boom").ToString(),
+            "ConflictError: boom");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::ParseError("a"), Status::ParseError("a"));
+  EXPECT_FALSE(Status::ParseError("a") == Status::ParseError("b"));
+  EXPECT_FALSE(Status::ParseError("a") == Status::TypeError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(Status, CopyIsCheapAndShares) {
+  Status a = Status::Internal("shared");
+  Status b = a;
+  EXPECT_EQ(b.message(), "shared");
+  EXPECT_EQ(a, b);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = Half(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Chain(int v) {
+  XQB_ASSIGN_OR_RETURN(int half, Half(v));
+  XQB_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  ASSERT_TRUE(Chain(20).ok());
+  EXPECT_EQ(*Chain(20), 5);
+  EXPECT_FALSE(Chain(10).ok());  // Second step fails: 5 is odd.
+  EXPECT_FALSE(Chain(3).ok());   // First step fails.
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StringUtil, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"a"}, ","), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtil, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(StrSplit("a,,c", ',')[1], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+  EXPECT_EQ(StrSplit("abc", ',')[0], "abc");
+}
+
+TEST(StringUtil, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(Contains("foobar", "oba"));
+  EXPECT_FALSE(Contains("foobar", "baz"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtil, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace("\r\n\t "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StringUtil, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(StringUtil, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  a   b\t c  "), "a b c");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace("   "), "");
+}
+
+TEST(StringUtil, FormatDoubleIntegers) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-42.0), "-42");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(StringUtil, FormatDoubleFractions) {
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(0.1), "0.1");
+}
+
+TEST(StringUtil, FormatDoubleSpecials) {
+  EXPECT_EQ(FormatDouble(std::nan("")), "NaN");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "INF");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-INF");
+}
+
+TEST(StringUtil, FormatDoubleRoundTrips) {
+  for (double v : {1.0 / 3.0, 1e-9, 123456.789, -2.718281828459045}) {
+    double parsed = std::strtod(FormatDouble(v).c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << FormatDouble(v);
+  }
+}
+
+}  // namespace
+}  // namespace xqb

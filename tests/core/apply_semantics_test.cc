@@ -1,0 +1,300 @@
+// E8: the three update-application semantics of Section 3.2 — ordered,
+// nondeterministic and conflict-detection — including the conflict
+// rules R1–R4 and a seed-sweep property: on a conflict-free Δ, every
+// permutation produces the same store.
+
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+namespace {
+
+class ApplySemanticsTest : public ::testing::Test {
+ protected:
+  /// Builds <root><a/><b/><c/></root> and remembers the node ids.
+  void SetUp() override {
+    auto doc = ParseXmlDocument(&store_, "<root><a/><b/><c/></root>");
+    ASSERT_TRUE(doc.ok());
+    root_ = store_.ChildrenOf(*doc)[0];
+    a_ = store_.ChildrenOf(root_)[0];
+    b_ = store_.ChildrenOf(root_)[1];
+    c_ = store_.ChildrenOf(root_)[2];
+  }
+
+  std::string Serialized() { return SerializeNode(store_, root_); }
+
+  Store store_;
+  NodeId root_ = kInvalidNode;
+  NodeId a_ = kInvalidNode;
+  NodeId b_ = kInvalidNode;
+  NodeId c_ = kInvalidNode;
+};
+
+TEST_F(ApplySemanticsTest, OrderedAppliesInDeltaOrder) {
+  UpdateList delta;
+  delta.Append(UpdateRequest::InsertInto({store_.NewElement("x")}, root_,
+                                         /*as_first=*/false));
+  delta.Append(UpdateRequest::InsertInto({store_.NewElement("y")}, root_,
+                                         /*as_first=*/false));
+  ASSERT_TRUE(ApplyUpdateList(&store_, delta, ApplyMode::kOrdered).ok());
+  EXPECT_EQ(Serialized(), "<root><a/><b/><c/><x/><y/></root>");
+}
+
+TEST_F(ApplySemanticsTest, OrderedStopsAtFirstFailure) {
+  NodeId x = store_.NewElement("x");
+  UpdateList delta;
+  delta.Append(UpdateRequest::InsertInto({x}, root_, false));
+  // Second insert of the same payload fails: it now has a parent.
+  delta.Append(UpdateRequest::InsertInto({x}, root_, false));
+  Status st = ApplyUpdateList(&store_, delta, ApplyMode::kOrdered);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUpdateError);
+  // The first request did apply (no atomicity requirement).
+  EXPECT_EQ(store_.ChildrenOf(root_).size(), 4u);
+}
+
+TEST_F(ApplySemanticsTest, NondeterministicOrderDependsOnSeed) {
+  // Two as-last inserts: the seed decides which lands first. Across a
+  // seed sweep both orders must occur.
+  bool saw_xy = false;
+  bool saw_yx = false;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Store store;
+    auto doc = ParseXmlDocument(&store, "<root/>");
+    ASSERT_TRUE(doc.ok());
+    NodeId root = store.ChildrenOf(*doc)[0];
+    UpdateList delta;
+    delta.Append(
+        UpdateRequest::InsertInto({store.NewElement("x")}, root, false));
+    delta.Append(
+        UpdateRequest::InsertInto({store.NewElement("y")}, root, false));
+    ASSERT_TRUE(
+        ApplyUpdateList(&store, delta, ApplyMode::kNondeterministic, seed)
+            .ok());
+    std::string out = SerializeNode(store, root);
+    if (out == "<root><x/><y/></root>") saw_xy = true;
+    if (out == "<root><y/><x/></root>") saw_yx = true;
+  }
+  EXPECT_TRUE(saw_xy);
+  EXPECT_TRUE(saw_yx);
+}
+
+TEST_F(ApplySemanticsTest, NondeterministicIsDeterministicPerSeed) {
+  auto run = [&](uint64_t seed) {
+    Store store;
+    auto doc = ParseXmlDocument(&store, "<root/>");
+    NodeId root = store.ChildrenOf(*doc)[0];
+    UpdateList delta;
+    for (int i = 0; i < 5; ++i) {
+      delta.Append(UpdateRequest::InsertInto(
+          {store.NewElement("e" + std::to_string(i))}, root, false));
+    }
+    EXPECT_TRUE(
+        ApplyUpdateList(&store, delta, ApplyMode::kNondeterministic, seed)
+            .ok());
+    return SerializeNode(store, root);
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST_F(ApplySemanticsTest, ConflictDetectionAcceptsDisjointUpdates) {
+  UpdateList delta;
+  delta.Append(UpdateRequest::Rename(a_, store_.names().Intern("a2")));
+  delta.Append(UpdateRequest::Delete(b_));
+  delta.Append(UpdateRequest::InsertInto({store_.NewElement("x")}, c_,
+                                         /*as_first=*/true));
+  ASSERT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+  EXPECT_EQ(Serialized(), "<root><a2/><c><x/></c></root>");
+}
+
+TEST_F(ApplySemanticsTest, R1TwoRenamesSameNodeDifferentNames) {
+  UpdateList delta;
+  delta.Append(UpdateRequest::Rename(a_, store_.names().Intern("x")));
+  delta.Append(UpdateRequest::Rename(a_, store_.names().Intern("y")));
+  Status st = ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection);
+  EXPECT_EQ(st.code(), StatusCode::kConflictError);
+}
+
+TEST_F(ApplySemanticsTest, R1SameRenameTwiceCommutes) {
+  QNameId name = store_.names().Intern("same");
+  UpdateList delta;
+  delta.Append(UpdateRequest::Rename(a_, name));
+  delta.Append(UpdateRequest::Rename(a_, name));
+  EXPECT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+}
+
+TEST_F(ApplySemanticsTest, R2NodeInsertedTwice) {
+  NodeId x = store_.NewElement("x");
+  UpdateList delta;
+  delta.Append(UpdateRequest::InsertInto({x}, a_, false));
+  delta.Append(UpdateRequest::InsertInto({x}, b_, false));
+  EXPECT_EQ(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).code(),
+      StatusCode::kConflictError);
+}
+
+TEST_F(ApplySemanticsTest, R2InsertAndDeleteSameNode) {
+  NodeId x = store_.NewElement("x");
+  for (bool delete_first : {false, true}) {
+    UpdateList delta;
+    if (delete_first) delta.Append(UpdateRequest::Delete(x));
+    delta.Append(UpdateRequest::InsertInto({x}, a_, false));
+    if (!delete_first) delta.Append(UpdateRequest::Delete(x));
+    EXPECT_EQ(ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection)
+                  .code(),
+              StatusCode::kConflictError)
+        << "delete_first=" << delete_first;
+  }
+}
+
+TEST_F(ApplySemanticsTest, TwoDeletesCommute) {
+  UpdateList delta;
+  delta.Append(UpdateRequest::Delete(a_));
+  delta.Append(UpdateRequest::Delete(a_));
+  EXPECT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+  EXPECT_EQ(Serialized(), "<root><b/><c/></root>");
+}
+
+TEST_F(ApplySemanticsTest, R3TwoInsertsSameSlot) {
+  UpdateList delta;
+  delta.Append(
+      UpdateRequest::InsertInto({store_.NewElement("x")}, root_, false));
+  delta.Append(
+      UpdateRequest::InsertInto({store_.NewElement("y")}, root_, false));
+  EXPECT_EQ(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).code(),
+      StatusCode::kConflictError);
+}
+
+TEST_F(ApplySemanticsTest, R3DifferentSlotsOfSameParentCommute) {
+  // as-first and as-last of the same parent are distinct slots.
+  UpdateList delta;
+  delta.Append(
+      UpdateRequest::InsertInto({store_.NewElement("x")}, root_, true));
+  delta.Append(
+      UpdateRequest::InsertInto({store_.NewElement("y")}, root_, false));
+  ASSERT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+  EXPECT_EQ(Serialized(), "<root><x/><a/><b/><c/><y/></root>");
+}
+
+TEST_F(ApplySemanticsTest, R3BeforeAndAfterSameSiblingCommute) {
+  UpdateList delta;
+  delta.Append(
+      UpdateRequest::InsertAdjacent({store_.NewElement("x")}, b_, true));
+  delta.Append(
+      UpdateRequest::InsertAdjacent({store_.NewElement("y")}, b_, false));
+  ASSERT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+  EXPECT_EQ(Serialized(), "<root><a/><x/><b/><y/><c/></root>");
+}
+
+TEST_F(ApplySemanticsTest, R3AttributeOnlyInsertsCommute) {
+  // Attribute lists are unordered: with store-aware verification, two
+  // attribute-only inserts into the same element pass (refined R3).
+  UpdateList delta;
+  delta.Append(UpdateRequest::InsertInto({store_.NewAttribute("x", "1")},
+                                         a_, /*as_first=*/false));
+  delta.Append(UpdateRequest::InsertInto({store_.NewAttribute("y", "2")},
+                                         a_, /*as_first=*/false));
+  EXPECT_TRUE(VerifyConflictFree(delta.Flatten(), &store_).ok());
+  // Without a store the rule stays conservative.
+  EXPECT_EQ(VerifyConflictFree(delta.Flatten()).code(),
+            StatusCode::kConflictError);
+  ASSERT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+  EXPECT_EQ(Serialized(), "<root><a x=\"1\" y=\"2\"/><b/><c/></root>");
+}
+
+TEST_F(ApplySemanticsTest, R3MixedPayloadStillConflicts) {
+  UpdateList delta;
+  delta.Append(UpdateRequest::InsertInto({store_.NewAttribute("x", "1")},
+                                         a_, false));
+  delta.Append(UpdateRequest::InsertInto(
+      {store_.NewAttribute("y", "2"), store_.NewElement("child")}, a_,
+      false));
+  EXPECT_EQ(VerifyConflictFree(delta.Flatten(), &store_).code(),
+            StatusCode::kConflictError);
+}
+
+TEST_F(ApplySemanticsTest, R4InsertAnchoredAtDeletedNode) {
+  UpdateList delta;
+  delta.Append(
+      UpdateRequest::InsertAdjacent({store_.NewElement("x")}, b_, false));
+  delta.Append(UpdateRequest::Delete(b_));
+  EXPECT_EQ(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).code(),
+      StatusCode::kConflictError);
+}
+
+TEST_F(ApplySemanticsTest, InsertIntoDeletedParentCommutes) {
+  // Detaching the parent does not invalidate an insert into it: the
+  // children list exists either way.
+  UpdateList delta;
+  delta.Append(
+      UpdateRequest::InsertInto({store_.NewElement("x")}, b_, false));
+  delta.Append(UpdateRequest::Delete(b_));
+  EXPECT_TRUE(
+      ApplyUpdateList(&store_, delta, ApplyMode::kConflictDetection).ok());
+  EXPECT_EQ(Serialized(), "<root><a/><c/></root>");
+  EXPECT_EQ(SerializeNode(store_, b_), "<b><x/></b>");
+}
+
+// ---- Permutation-invariance property ----
+
+class PermutationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PermutationPropertyTest, ConflictFreeDeltaIsOrderInsensitive) {
+  // Build a conflict-free Δ (distinct targets/slots), apply it ordered
+  // and nondeterministically under the sweep seed: stores must agree.
+  auto build = [](Store* store, UpdateList* delta) {
+    auto doc = ParseXmlDocument(
+        store, "<root><a><k/></a><b/><c/><d/><e/></root>");
+    ASSERT_TRUE(doc.ok());
+    NodeId root = store->ChildrenOf(*doc)[0];
+    const auto& kids = store->ChildrenOf(root);
+    NodeId a = kids[0], b = kids[1], c = kids[2], d = kids[3], e = kids[4];
+    delta->Append(UpdateRequest::Rename(a, store->names().Intern("a2")));
+    delta->Append(UpdateRequest::Delete(b));
+    delta->Append(
+        UpdateRequest::InsertInto({store->NewElement("in_c")}, c, false));
+    delta->Append(
+        UpdateRequest::InsertInto({store->NewElement("in_d")}, d, true));
+    delta->Append(
+        UpdateRequest::InsertAdjacent({store->NewElement("before_e")}, e,
+                                      true));
+    delta->Append(UpdateRequest::Rename(store->ChildrenOf(a)[0],
+                                        store->names().Intern("k2")));
+  };
+  Store ordered_store;
+  UpdateList ordered_delta;
+  build(&ordered_store, &ordered_delta);
+  ASSERT_TRUE(VerifyConflictFree(ordered_delta.Flatten()).ok());
+  ASSERT_TRUE(
+      ApplyUpdateList(&ordered_store, ordered_delta, ApplyMode::kOrdered)
+          .ok());
+
+  Store shuffled_store;
+  UpdateList shuffled_delta;
+  build(&shuffled_store, &shuffled_delta);
+  ASSERT_TRUE(ApplyUpdateList(&shuffled_store, shuffled_delta,
+                              ApplyMode::kNondeterministic, GetParam())
+                  .ok());
+
+  NodeId r1 = ordered_store.RootOf(1);
+  NodeId r2 = shuffled_store.RootOf(1);
+  EXPECT_EQ(SerializeNode(ordered_store, r1),
+            SerializeNode(shuffled_store, r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PermutationPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,206 @@
+// Unit tests for the builtin function library, one block per F&O group.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = engine_.LoadDocumentFromString(
+        "d", "<r><a>1</a><b x=\"7\">two</b><a>3</a></r>");
+    ASSERT_TRUE(doc.ok());
+  }
+
+  std::string Eval(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Status EvalStatus(const std::string& query) {
+    auto result = engine_.Execute(query);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(BuiltinsTest, CountEmptyExists) {
+  EXPECT_EQ(Eval("count(())"), "0");
+  EXPECT_EQ(Eval("count((1,2,3))"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//a)"), "2");
+  EXPECT_EQ(Eval("empty(())"), "true");
+  EXPECT_EQ(Eval("empty((1))"), "false");
+  EXPECT_EQ(Eval("exists(())"), "false");
+  EXPECT_EQ(Eval("exists(doc('d')//b)"), "true");
+}
+
+TEST_F(BuiltinsTest, BooleanFamily) {
+  EXPECT_EQ(Eval("true()"), "true");
+  EXPECT_EQ(Eval("false()"), "false");
+  EXPECT_EQ(Eval("not(true())"), "false");
+  EXPECT_EQ(Eval("not(())"), "true");
+  EXPECT_EQ(Eval("boolean(\"x\")"), "true");
+  EXPECT_EQ(Eval("boolean(0)"), "false");
+}
+
+TEST_F(BuiltinsTest, StringBasics) {
+  EXPECT_EQ(Eval("string(42)"), "42");
+  EXPECT_EQ(Eval("string(doc('d')//b)"), "two");
+  EXPECT_EQ(Eval("string(())"), "");
+  EXPECT_EQ(Eval("string-length(\"hello\")"), "5");
+  EXPECT_EQ(Eval("string-length(())"), "0");
+  EXPECT_EQ(Eval("normalize-space(\"  a   b \")"), "a b");
+  EXPECT_EQ(Eval("upper-case(\"MiXeD\")"), "MIXED");
+  EXPECT_EQ(Eval("lower-case(\"MiXeD\")"), "mixed");
+}
+
+TEST_F(BuiltinsTest, StringContext) {
+  EXPECT_EQ(Eval("doc('d')//a[string(.) = \"3\"]/text()"), "3");
+  EXPECT_EQ(Eval("(\"x\",\"yy\")[string-length() = 2]"), "yy");
+}
+
+TEST_F(BuiltinsTest, ConcatAndJoin) {
+  EXPECT_EQ(Eval("concat(\"a\", \"b\", \"c\")"), "abc");
+  EXPECT_EQ(Eval("concat(\"n=\", 4)"), "n=4");
+  EXPECT_EQ(Eval("concat(\"x\", ())"), "x");
+  EXPECT_EQ(EvalStatus("concat(\"one\")").code(), StatusCode::kStaticError);
+  EXPECT_EQ(Eval("string-join((\"a\",\"b\",\"c\"), \"-\")"), "a-b-c");
+  EXPECT_EQ(Eval("string-join((), \"-\")"), "");
+  EXPECT_EQ(Eval("string-join((\"a\",\"b\"))"), "ab");
+}
+
+TEST_F(BuiltinsTest, SubstringFamily) {
+  EXPECT_EQ(Eval("substring(\"hello\", 2)"), "ello");
+  EXPECT_EQ(Eval("substring(\"hello\", 2, 3)"), "ell");
+  EXPECT_EQ(Eval("substring(\"hello\", 0)"), "hello");
+  EXPECT_EQ(Eval("substring(\"hello\", 1.5, 2.6)"), "ell");
+  EXPECT_EQ(Eval("substring-before(\"a=b\", \"=\")"), "a");
+  EXPECT_EQ(Eval("substring-after(\"a=b\", \"=\")"), "b");
+  EXPECT_EQ(Eval("substring-before(\"ab\", \"x\")"), "");
+  EXPECT_EQ(Eval("contains(\"abc\", \"b\")"), "true");
+  EXPECT_EQ(Eval("starts-with(\"abc\", \"ab\")"), "true");
+  EXPECT_EQ(Eval("ends-with(\"abc\", \"bc\")"), "true");
+  EXPECT_EQ(Eval("contains(\"abc\", \"\")"), "true");
+}
+
+TEST_F(BuiltinsTest, Translate) {
+  EXPECT_EQ(Eval("translate(\"bar\", \"abc\", \"ABC\")"), "BAr");
+  EXPECT_EQ(Eval("translate(\"--aaa--\", \"a-\", \"A\")"), "AAA");
+}
+
+TEST_F(BuiltinsTest, Codepoints) {
+  EXPECT_EQ(Eval("string-to-codepoints(\"AB\")"), "65 66");
+  EXPECT_EQ(Eval("codepoints-to-string((72, 105))"), "Hi");
+}
+
+TEST_F(BuiltinsTest, NumberAndData) {
+  EXPECT_EQ(Eval("number(\"3.5\")"), "3.5");
+  EXPECT_EQ(Eval("number(\"nope\")"), "NaN");
+  EXPECT_EQ(Eval("number(())"), "NaN");
+  EXPECT_EQ(Eval("data(doc('d')//a)"), "1 3");
+  EXPECT_EQ(Eval("count(data((1, \"a\")))"), "2");
+}
+
+TEST_F(BuiltinsTest, Aggregates) {
+  EXPECT_EQ(Eval("sum((1, 2, 3))"), "6");
+  EXPECT_EQ(Eval("sum(())"), "0");
+  EXPECT_EQ(Eval("sum((), 99)"), "99");
+  EXPECT_EQ(Eval("sum((1.5, 2.5))"), "4");
+  EXPECT_EQ(Eval("avg((2, 4))"), "3");
+  EXPECT_EQ(Eval("avg(())"), "");
+  EXPECT_EQ(Eval("min((3, 1, 2))"), "1");
+  EXPECT_EQ(Eval("max((3, 1, 2))"), "3");
+  EXPECT_EQ(Eval("min((\"b\", \"a\"))"), "a");
+  EXPECT_EQ(Eval("max(doc('d')//b/@x)"), "7");
+}
+
+TEST_F(BuiltinsTest, NumericRounding) {
+  EXPECT_EQ(Eval("abs(-5)"), "5");
+  EXPECT_EQ(Eval("abs(-2.5)"), "2.5");
+  EXPECT_EQ(Eval("floor(2.7)"), "2");
+  EXPECT_EQ(Eval("ceiling(2.2)"), "3");
+  EXPECT_EQ(Eval("round(2.5)"), "3");
+  EXPECT_EQ(Eval("round(-2.5)"), "-2");  // Round half up.
+  EXPECT_EQ(Eval("floor(())"), "");
+}
+
+TEST_F(BuiltinsTest, SequenceFunctions) {
+  EXPECT_EQ(Eval("distinct-values((1, 2, 1, \"a\", \"a\", 2.0))"),
+            "1 2 a");
+  EXPECT_EQ(Eval("reverse((1, 2, 3))"), "3 2 1");
+  EXPECT_EQ(Eval("reverse(())"), "");
+  EXPECT_EQ(Eval("subsequence((1,2,3,4), 2)"), "2 3 4");
+  EXPECT_EQ(Eval("subsequence((1,2,3,4), 2, 2)"), "2 3");
+  EXPECT_EQ(Eval("index-of((10, 20, 10), 10)"), "1 3");
+  EXPECT_EQ(Eval("index-of((1,2), 9)"), "");
+  EXPECT_EQ(Eval("insert-before((1,3), 2, 2)"), "1 2 3");
+  EXPECT_EQ(Eval("insert-before((1,2), 9, 3)"), "1 2 3");
+  EXPECT_EQ(Eval("remove((1,2,3), 2)"), "1 3");
+  EXPECT_EQ(Eval("remove((1,2,3), 9)"), "1 2 3");
+}
+
+TEST_F(BuiltinsTest, CardinalityAssertions) {
+  EXPECT_EQ(Eval("zero-or-one(())"), "");
+  EXPECT_EQ(Eval("zero-or-one((1))"), "1");
+  EXPECT_EQ(EvalStatus("zero-or-one((1,2))").code(),
+            StatusCode::kDynamicError);
+  EXPECT_EQ(Eval("exactly-one((5))"), "5");
+  EXPECT_EQ(EvalStatus("exactly-one(())").code(),
+            StatusCode::kDynamicError);
+  EXPECT_EQ(Eval("one-or-more((1,2))"), "1 2");
+  EXPECT_EQ(EvalStatus("one-or-more(())").code(),
+            StatusCode::kDynamicError);
+}
+
+TEST_F(BuiltinsTest, NodeFunctions) {
+  EXPECT_EQ(Eval("name(doc('d')//b)"), "b");
+  EXPECT_EQ(Eval("name(())"), "");
+  EXPECT_EQ(Eval("local-name(doc('d')//b)"), "b");
+  EXPECT_EQ(Eval("doc('d')//b/name()"), "b");
+  EXPECT_EQ(Eval("name(root(doc('d')//b)/r)"), "r");
+  EXPECT_EQ(Eval("node-kind(doc('d')//b/@x)"), "attribute");
+  EXPECT_EQ(Eval("node-kind(doc('d'))"), "document");
+}
+
+TEST_F(BuiltinsTest, DeepEqual) {
+  EXPECT_EQ(Eval("deep-equal(<a x=\"1\"><b/></a>, <a x=\"1\"><b/></a>)"),
+            "true");
+  EXPECT_EQ(Eval("deep-equal(<a x=\"1\"/>, <a x=\"2\"/>)"), "false");
+  EXPECT_EQ(Eval("deep-equal(<a><b/></a>, <a><c/></a>)"), "false");
+  EXPECT_EQ(Eval("deep-equal((1, 2), (1, 2))"), "true");
+  EXPECT_EQ(Eval("deep-equal((1, 2), (1))"), "false");
+  EXPECT_EQ(Eval("deep-equal(1, 1.0)"), "true");
+  // Attribute order is insignificant.
+  EXPECT_EQ(Eval("deep-equal(<a x=\"1\" y=\"2\"/>, <a y=\"2\" x=\"1\"/>)"),
+            "true");
+}
+
+TEST_F(BuiltinsTest, DocAndError) {
+  EXPECT_EQ(Eval("count(doc('d'))"), "1");
+  EXPECT_EQ(EvalStatus("doc('missing')").code(),
+            StatusCode::kDynamicError);
+  EXPECT_EQ(EvalStatus("error()").code(), StatusCode::kDynamicError);
+  Status st = EvalStatus("error(\"my-code\", \"my description\")");
+  EXPECT_EQ(st.code(), StatusCode::kDynamicError);
+  EXPECT_TRUE(st.message().find("my-code") != std::string::npos);
+  EXPECT_TRUE(st.message().find("my description") != std::string::npos);
+}
+
+TEST_F(BuiltinsTest, FnPrefixAccepted) {
+  EXPECT_EQ(Eval("fn:count((1,2))"), "2");
+  EXPECT_EQ(Eval("fn:string-join((\"a\",\"b\"), \",\")"), "a,b");
+}
+
+TEST_F(BuiltinsTest, PositionLastRequireFocus) {
+  EXPECT_EQ(EvalStatus("position()").code(), StatusCode::kDynamicError);
+  EXPECT_EQ(EvalStatus("last()").code(), StatusCode::kDynamicError);
+  EXPECT_EQ(Eval("(7, 8, 9)[position() = last() - 1]"), "8");
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,161 @@
+// Tests for the public Engine facade: prepared-query reuse, document
+// and variable registration, serialization options, plan observability,
+// statistics and garbage collection.
+
+#include <gtest/gtest.h>
+
+#include "base/string_util.h"
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+TEST(EngineTest, ExecuteIsPrepareThenRun) {
+  Engine engine;
+  auto prepared = engine.Prepare("1 + 1");
+  ASSERT_TRUE(prepared.ok());
+  auto r1 = engine.Run(*prepared);
+  auto r2 = engine.Execute("1 + 1");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(engine.Serialize(*r1), engine.Serialize(*r2));
+}
+
+TEST(EngineTest, PreparedQueryReusesAcrossStoreChanges) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r/>").ok());
+  auto grow = engine.Prepare("snap insert { <e/> } into { doc('d')/r }");
+  ASSERT_TRUE(grow.ok());
+  auto count = engine.Prepare("count(doc('d')/r/e)");
+  ASSERT_TRUE(count.ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(engine.Run(*grow).ok());
+    auto n = engine.Run(*count);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(engine.Serialize(*n), std::to_string(i));
+  }
+}
+
+TEST(EngineTest, DocumentReRegistrationReplaces) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<one/>").ok());
+  auto r = engine.Execute("name(doc('d')/*)");
+  EXPECT_EQ(engine.Serialize(*r), "one");
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<two/>").ok());
+  r = engine.Execute("name(doc('d')/*)");
+  EXPECT_EQ(engine.Serialize(*r), "two");
+}
+
+TEST(EngineTest, BindVariableSequenceAndNode) {
+  Engine engine;
+  engine.BindVariable("nums", Sequence{Item::Integer(1), Item::Integer(2)});
+  auto r = engine.Execute("sum($nums)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.Serialize(*r), "3");
+  NodeId node = engine.store().NewElement("bound");
+  engine.BindVariable("n", node);
+  r = engine.Execute("name($n)");
+  EXPECT_EQ(engine.Serialize(*r), "bound");
+}
+
+TEST(EngineTest, SerializeIndentOption) {
+  Engine engine;
+  auto r = engine.Execute("<a><b/><c/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.Serialize(*r), "<a><b/><c/></a>");
+  EXPECT_EQ(engine.Serialize(*r, /*indent=*/true),
+            "<a>\n  <b/>\n  <c/>\n</a>");
+}
+
+TEST(EngineTest, LastPlanExposedOnlyForAlgebraRuns) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r><a/></r>").ok());
+  ExecOptions interpreted;
+  ASSERT_TRUE(engine.Execute("for $x in doc('d')//a return $x",
+                             interpreted)
+                  .ok());
+  EXPECT_FALSE(engine.last_used_algebra());
+  EXPECT_TRUE(engine.last_plan().empty());
+  ExecOptions optimized;
+  optimized.optimize = true;
+  ASSERT_TRUE(
+      engine.Execute("for $x in doc('d')//a return $x", optimized).ok());
+  EXPECT_TRUE(engine.last_used_algebra());
+  EXPECT_TRUE(Contains(engine.last_plan(), "MapToItem"));
+  EXPECT_TRUE(Contains(engine.last_plan(), "Snap {"));
+}
+
+TEST(EngineTest, NonFlworFallsBackUnderOptimize) {
+  Engine engine;
+  ExecOptions optimized;
+  optimized.optimize = true;
+  auto r = engine.Execute("1 + 1", optimized);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(engine.last_used_algebra());
+  EXPECT_EQ(engine.Serialize(*r), "2");
+}
+
+TEST(EngineTest, StatisticsTrackSnapsAndUpdates) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r/>").ok());
+  ASSERT_TRUE(engine
+                  .Execute("snap { insert {<a/>} into {doc('d')/r}, "
+                           "snap insert {<b/>} into {doc('d')/r} }")
+                  .ok());
+  // Inner snap + outer snap + implicit top-level = 3; 2 update requests.
+  EXPECT_EQ(engine.last_snaps_applied(), 3);
+  EXPECT_EQ(engine.last_updates_applied(), 2);
+}
+
+TEST(EngineTest, DefaultSnapModeOption) {
+  // A conflicting Δ under the engine-wide conflict-detection default.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r/>").ok());
+  ExecOptions options;
+  options.default_snap_mode = ApplyMode::kConflictDetection;
+  auto r = engine.Execute(
+      "let $x := doc('d')/r return "
+      "(insert {<a/>} into {$x}, insert {<b/>} into {$x})",
+      options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConflictError);
+}
+
+TEST(EngineTest, GarbageCollectionKeepsDocumentsAndBindings) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r><a/></r>").ok());
+  NodeId pinned = engine.store().NewElement("pinned");
+  engine.BindVariable("p", pinned);
+  ASSERT_TRUE(engine.Execute("for $i in 1 to 100 return <junk/>").ok());
+  size_t freed = engine.CollectGarbage();
+  EXPECT_GE(freed, 100u);
+  EXPECT_TRUE(engine.store().IsValid(pinned));
+  auto r = engine.Execute("count(doc('d')/r/a), name($p)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.Serialize(*r), "1 pinned");
+}
+
+TEST(EngineTest, EnginesAreIndependent) {
+  Engine a;
+  Engine b;
+  ASSERT_TRUE(a.LoadDocumentFromString("d", "<in-a/>").ok());
+  ASSERT_TRUE(b.LoadDocumentFromString("d", "<in-b/>").ok());
+  ASSERT_TRUE(a.Execute("snap rename { doc('d')/* } to { \"x\" }").ok());
+  auto rb = b.Execute("name(doc('d')/*)");
+  EXPECT_EQ(b.Serialize(*rb), "in-b");
+}
+
+TEST(EngineTest, ErrorsCarryCategoriesThroughTheFacade) {
+  Engine engine;
+  EXPECT_EQ(engine.Execute("1 +").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(engine.Execute("$x").status().code(),
+            StatusCode::kStaticError);
+  EXPECT_EQ(engine.Execute("1 idiv 0").status().code(),
+            StatusCode::kDynamicError);
+  EXPECT_EQ(engine.Execute("(1,2) eq 1").status().code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace xqb

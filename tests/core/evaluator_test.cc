@@ -1,0 +1,442 @@
+// Unit tests for the dynamic-semantics evaluator: one or more tests per
+// core expression form (Appendix B), driven through the public Engine.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+/// Evaluates `query` against an engine preloaded with a small document
+/// registered as doc('d'), returning the serialized result.
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = engine_.LoadDocumentFromString("d", R"(
+      <site>
+        <people>
+          <person id="p1"><name>Ann</name><age>34</age></person>
+          <person id="p2"><name>Bob</name><age>27</age></person>
+          <person id="p3"><name>Cid</name><age>41</age></person>
+        </people>
+        <items>
+          <item id="i1" price="10"/>
+          <item id="i2" price="25"/>
+        </items>
+      </site>)");
+    ASSERT_TRUE(doc.ok()) << doc.status();
+  }
+
+  std::string Eval(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Status EvalStatus(const std::string& query) {
+    auto result = engine_.Execute(query);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Engine engine_;
+};
+
+// ---- literals, sequences, variables ----
+
+TEST_F(EvaluatorTest, Literals) {
+  EXPECT_EQ(Eval("42"), "42");
+  EXPECT_EQ(Eval("-3"), "-3");
+  EXPECT_EQ(Eval("2.5"), "2.5");
+  EXPECT_EQ(Eval("\"s'tr\""), "s'tr");
+  EXPECT_EQ(Eval("()"), "");
+}
+
+TEST_F(EvaluatorTest, SequenceConcatenationAndFlattening) {
+  EXPECT_EQ(Eval("1, 2, 3"), "1 2 3");
+  EXPECT_EQ(Eval("(1, (2, 3)), ()"), "1 2 3");
+}
+
+TEST_F(EvaluatorTest, LetBindingAndShadowing) {
+  EXPECT_EQ(Eval("let $x := 1 return let $x := $x + 1 return $x"), "2");
+}
+
+TEST_F(EvaluatorTest, UnboundVariableErrors) {
+  Status st = EvalStatus("$nope");
+  EXPECT_EQ(st.code(), StatusCode::kStaticError);
+}
+
+TEST_F(EvaluatorTest, ExternalVariableBinding) {
+  engine_.BindVariable("ext", Sequence{Item::Integer(9)});
+  EXPECT_EQ(Eval("declare variable $ext external; $ext + 1"), "10");
+  // Also usable without a declaration (engine-level convenience).
+  EXPECT_EQ(Eval("$ext * 2"), "18");
+}
+
+TEST_F(EvaluatorTest, GlobalVariablesEvaluateInOrder) {
+  EXPECT_EQ(Eval("declare variable $a := 2; "
+                 "declare variable $b := $a * 3; "
+                 "$b"),
+            "6");
+}
+
+// ---- arithmetic ----
+
+TEST_F(EvaluatorTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval("2 + 3 * 4"), "14");
+  EXPECT_EQ(Eval("10 - 2 - 3"), "5");
+  EXPECT_EQ(Eval("7 idiv 2"), "3");
+  EXPECT_EQ(Eval("7 mod 2"), "1");
+  EXPECT_EQ(Eval("-7 idiv 2"), "-3");
+}
+
+TEST_F(EvaluatorTest, DivisionProducesDouble) {
+  EXPECT_EQ(Eval("7 div 2"), "3.5");
+  EXPECT_EQ(Eval("6 div 2"), "3");
+}
+
+TEST_F(EvaluatorTest, DoubleArithmetic) {
+  EXPECT_EQ(Eval("0.5 + 0.25"), "0.75");
+  EXPECT_EQ(Eval("1.0 div 0.0"), "INF");
+  EXPECT_EQ(Eval("-1.0 div 0.0"), "-INF");
+}
+
+TEST_F(EvaluatorTest, IntegerDivisionByZeroErrors) {
+  EXPECT_EQ(EvalStatus("1 idiv 0").code(), StatusCode::kDynamicError);
+  EXPECT_EQ(EvalStatus("1 mod 0").code(), StatusCode::kDynamicError);
+}
+
+TEST_F(EvaluatorTest, ArithmeticWithEmptyIsEmpty) {
+  EXPECT_EQ(Eval("() + 1"), "");
+  EXPECT_EQ(Eval("1 * ()"), "");
+  EXPECT_EQ(Eval("-()"), "");
+}
+
+TEST_F(EvaluatorTest, UntypedContentCoercesToNumber) {
+  EXPECT_EQ(Eval("doc('d')//person[@id='p1']/age + 1"), "35");
+}
+
+TEST_F(EvaluatorTest, ArithmeticOnSequenceErrors) {
+  EXPECT_EQ(EvalStatus("(1,2) + 1").code(), StatusCode::kTypeError);
+}
+
+// ---- comparisons and logic ----
+
+TEST_F(EvaluatorTest, ValueComparisons) {
+  EXPECT_EQ(Eval("1 eq 1"), "true");
+  EXPECT_EQ(Eval("1 lt 2"), "true");
+  EXPECT_EQ(Eval("\"a\" lt \"b\""), "true");
+  EXPECT_EQ(Eval("() eq 1"), "");
+  EXPECT_EQ(EvalStatus("(1,2) eq 1").code(), StatusCode::kTypeError);
+}
+
+TEST_F(EvaluatorTest, GeneralComparisonsAreExistential) {
+  EXPECT_EQ(Eval("(1, 2, 3) = 2"), "true");
+  EXPECT_EQ(Eval("(1, 2) = (3, 4)"), "false");
+  EXPECT_EQ(Eval("(1, 2) != 1"), "true");  // 2 != 1.
+  EXPECT_EQ(Eval("() = 1"), "false");
+  EXPECT_EQ(Eval("(1, 5) < (0, 2)"), "true");
+}
+
+TEST_F(EvaluatorTest, GeneralComparisonOverNodes) {
+  EXPECT_EQ(Eval("doc('d')//person/@id = 'p2'"), "true");
+  EXPECT_EQ(Eval("doc('d')//person/@id = 'p9'"), "false");
+}
+
+TEST_F(EvaluatorTest, NodeComparisons) {
+  EXPECT_EQ(Eval("let $p := doc('d')//person[1] return $p is $p"), "true");
+  EXPECT_EQ(
+      Eval("doc('d')//person[1] is doc('d')//person[2]"), "false");
+  EXPECT_EQ(Eval("doc('d')//person[1] << doc('d')//person[2]"), "true");
+  EXPECT_EQ(Eval("doc('d')//person[2] >> doc('d')//person[1]"), "true");
+  EXPECT_EQ(Eval("() is doc('d')"), "");
+}
+
+TEST_F(EvaluatorTest, AndOrShortCircuit) {
+  EXPECT_EQ(Eval("true() and false()"), "false");
+  EXPECT_EQ(Eval("false() or true()"), "true");
+  // The right side must not run when the left decides: an error-raising
+  // right operand is skipped.
+  EXPECT_EQ(Eval("false() and error(\"boom\")"), "false");
+  EXPECT_EQ(Eval("true() or error(\"boom\")"), "true");
+  EXPECT_EQ(EvalStatus("true() and error(\"boom\")").code(),
+            StatusCode::kDynamicError);
+}
+
+TEST_F(EvaluatorTest, RangeExpression) {
+  EXPECT_EQ(Eval("1 to 4"), "1 2 3 4");
+  EXPECT_EQ(Eval("3 to 2"), "");
+  EXPECT_EQ(Eval("2 to 2"), "2");
+  EXPECT_EQ(Eval("() to 3"), "");
+  EXPECT_EQ(Eval("count(1 to 100)"), "100");
+}
+
+// ---- paths ----
+
+TEST_F(EvaluatorTest, ChildAndDescendantAxes) {
+  EXPECT_EQ(Eval("count(doc('d')/site/people/person)"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//person)"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//*)"), "14");
+}
+
+TEST_F(EvaluatorTest, AttributeAxis) {
+  EXPECT_EQ(Eval("string(doc('d')//item[1]/@price)"), "10");
+  EXPECT_EQ(Eval("count(doc('d')//item/@*)"), "4");
+}
+
+TEST_F(EvaluatorTest, ParentAndAncestorAxes) {
+  // Note //name[1] selects the first name of EVERY person (the
+  // predicate applies per context node); parenthesize for a global
+  // first.
+  EXPECT_EQ(Eval("name((doc('d')//name)[1]/..)"), "person");
+  EXPECT_EQ(Eval("count((doc('d')//name)[1]/ancestor::*)"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//name[1]/ancestor::*)"), "5");
+  EXPECT_EQ(Eval("name((doc('d')//name)[1]/ancestor::*[1])"), "person");
+  EXPECT_EQ(Eval("count((doc('d')//name)[1]/ancestor-or-self::*)"), "4");
+}
+
+TEST_F(EvaluatorTest, SiblingAxes) {
+  EXPECT_EQ(Eval("name(doc('d')//person[2]/following-sibling::*)"),
+            "person");
+  EXPECT_EQ(Eval("name(doc('d')//person[2]/preceding-sibling::*[1])"),
+            "person");
+  EXPECT_EQ(Eval("string(doc('d')//person[2]"
+                 "/preceding-sibling::*[1]/@id)"),
+            "p1");
+  EXPECT_EQ(Eval("count(doc('d')//person[1]/preceding-sibling::*)"), "0");
+}
+
+TEST_F(EvaluatorTest, FollowingAndPrecedingAxes) {
+  EXPECT_EQ(Eval("count(doc('d')//people/following::item)"), "2");
+  EXPECT_EQ(Eval("count(doc('d')//item[1]/preceding::person)"), "3");
+  // preceding excludes ancestors.
+  EXPECT_EQ(Eval("count(doc('d')//name[1]/preceding::people)"), "0");
+  // Nearest-first for the reverse axis.
+  EXPECT_EQ(Eval("name(doc('d')//item[1]/preceding::*[1])"), "age");
+}
+
+TEST_F(EvaluatorTest, SelfAxisAndKindTests) {
+  EXPECT_EQ(Eval("count(doc('d')//person/self::person)"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//person/self::item)"), "0");
+  EXPECT_EQ(Eval("(doc('d')//name)[1]/text()"), "Ann");
+  EXPECT_EQ(Eval("count(doc('d')//node())"), "20");
+  EXPECT_EQ(Eval("count(doc('d')//element(person))"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//item/attribute::attribute(price))"),
+            "2");
+}
+
+TEST_F(EvaluatorTest, PathRootExpression) {
+  // "/" requires a node context item; there is none at the top level.
+  EXPECT_EQ(EvalStatus("/site").code(), StatusCode::kDynamicError);
+  // Through a predicate, "." provides the focus for a rooted path.
+  EXPECT_EQ(Eval("count(doc('d')//name[/site])"), "3");
+  EXPECT_EQ(Eval("let $n := doc('d')//name[1] return name($n/../../..)"),
+            "site");
+}
+
+TEST_F(EvaluatorTest, PositionalPredicates) {
+  EXPECT_EQ(Eval("string(doc('d')//person[2]/@id)"), "p2");
+  EXPECT_EQ(Eval("string(doc('d')//person[last()]/@id)"), "p3");
+  EXPECT_EQ(Eval("count(doc('d')//person[position() >= 2])"), "2");
+  EXPECT_EQ(Eval("doc('d')//person[9]"), "");
+}
+
+TEST_F(EvaluatorTest, BooleanPredicatesAndChaining) {
+  EXPECT_EQ(Eval("string(doc('d')//person[age > 30][2]/@id)"), "p3");
+  EXPECT_EQ(Eval("count(doc('d')//person[@id = 'p1' or @id = 'p3'])"),
+            "2");
+  EXPECT_EQ(Eval("count(doc('d')//item[@price > 15])"), "1");
+}
+
+TEST_F(EvaluatorTest, PredicateOnFilterExpr) {
+  EXPECT_EQ(Eval("(10, 20, 30)[2]"), "20");
+  EXPECT_EQ(Eval("(10, 20, 30)[. > 15]"), "20 30");
+  EXPECT_EQ(Eval("(1 to 10)[. mod 2 = 0][last()]"), "10");
+}
+
+TEST_F(EvaluatorTest, PathResultsAreDocOrderedAndDeduplicated) {
+  EXPECT_EQ(Eval("count((doc('d')//person/.., doc('d')//person)/..)"),
+            "2");  // people+site parents, deduplicated
+  // A parenthesized sequence keeps its order (no doc-order sort);
+  // only path steps and set operations normalize.
+  EXPECT_EQ(Eval("name((doc('d')//item, doc('d')//person)[1])"), "item");
+  EXPECT_EQ(Eval("name((doc('d')//item | doc('d')//person)[1])"),
+            "person");  // union sorts into document order
+}
+
+TEST_F(EvaluatorTest, StepOnAtomicErrors) {
+  EXPECT_EQ(EvalStatus("(1)/a").code(), StatusCode::kTypeError);
+}
+
+TEST_F(EvaluatorTest, UnionIntersectExcept) {
+  EXPECT_EQ(Eval("count(doc('d')//person | doc('d')//item)"), "5");
+  EXPECT_EQ(Eval("count(doc('d')//person | doc('d')//person)"), "3");
+  EXPECT_EQ(
+      Eval("count(doc('d')//* intersect doc('d')//person)"), "3");
+  EXPECT_EQ(Eval("count(doc('d')//person except doc('d')//person[2])"),
+            "2");
+  EXPECT_EQ(EvalStatus("1 union 2").code(), StatusCode::kTypeError);
+}
+
+// ---- FLWOR ----
+
+TEST_F(EvaluatorTest, ForIteratesInOrder) {
+  EXPECT_EQ(Eval("for $x in (1, 2, 3) return $x * 10"), "10 20 30");
+  EXPECT_EQ(Eval("for $x in () return $x"), "");
+}
+
+TEST_F(EvaluatorTest, ForWithPositionVariable) {
+  EXPECT_EQ(Eval("for $x at $i in (\"a\",\"b\") return ($i, $x)"),
+            "1 a 2 b");
+}
+
+TEST_F(EvaluatorTest, NestedForClauses) {
+  EXPECT_EQ(Eval("for $x in (1,2), $y in (10,20) return $x + $y"),
+            "11 21 12 22");
+}
+
+TEST_F(EvaluatorTest, WhereFilters) {
+  EXPECT_EQ(Eval("for $x in 1 to 6 where $x mod 2 = 0 return $x"),
+            "2 4 6");
+}
+
+TEST_F(EvaluatorTest, OrderByAscendingDescending) {
+  EXPECT_EQ(Eval("for $x in (3,1,2) order by $x return $x"), "1 2 3");
+  EXPECT_EQ(Eval("for $x in (3,1,2) order by $x descending return $x"),
+            "3 2 1");
+  EXPECT_EQ(Eval("for $p in doc('d')//person order by $p/age return "
+                 "string($p/@id)"),
+            "p2 p1 p3");
+}
+
+TEST_F(EvaluatorTest, OrderByMultipleKeysAndStability) {
+  EXPECT_EQ(Eval("for $x in ((\"b\",2),(\"a\",1)) return $x"), "b 2 a 1");
+  EXPECT_EQ(
+      Eval("for $p in ((<e k=\"1\" v=\"x\"/>, <e k=\"1\" v=\"y\"/>, "
+           "<e k=\"0\" v=\"z\"/>)) "
+           "order by $p/@k return string($p/@v)"),
+      "z x y");  // Stable within equal keys.
+}
+
+TEST_F(EvaluatorTest, OrderByEmptyLeastGreatest) {
+  EXPECT_EQ(Eval("for $x in (<a/>, <a k=\"1\"/>) "
+                 "order by $x/@k return count($x/@k)"),
+            "0 1");
+  EXPECT_EQ(Eval("for $x in (<a/>, <a k=\"1\"/>) "
+                 "order by $x/@k empty greatest return count($x/@k)"),
+            "1 0");
+}
+
+TEST_F(EvaluatorTest, OrderByIncomparableKeysError) {
+  EXPECT_EQ(EvalStatus("for $x in (1, \"a\") order by $x return $x").code(),
+            StatusCode::kTypeError);
+}
+
+// ---- quantifiers and conditionals ----
+
+TEST_F(EvaluatorTest, SomeEvery) {
+  EXPECT_EQ(Eval("some $x in (1,2,3) satisfies $x > 2"), "true");
+  EXPECT_EQ(Eval("some $x in () satisfies $x"), "false");
+  EXPECT_EQ(Eval("every $x in (1,2,3) satisfies $x > 0"), "true");
+  EXPECT_EQ(Eval("every $x in (1,2,3) satisfies $x > 1"), "false");
+  EXPECT_EQ(Eval("every $x in () satisfies $x"), "true");
+  EXPECT_EQ(Eval("some $x in (1,2), $y in (1,2) satisfies $x + $y = 4"),
+            "true");
+}
+
+TEST_F(EvaluatorTest, IfThenElse) {
+  EXPECT_EQ(Eval("if (1 < 2) then \"y\" else \"n\""), "y");
+  EXPECT_EQ(Eval("if (()) then \"y\" else \"n\""), "n");
+  EXPECT_EQ(Eval("if (doc('d')//person) then \"has\" else \"none\""),
+            "has");
+  // Only the chosen branch runs.
+  EXPECT_EQ(Eval("if (true()) then 1 else error(\"no\")"), "1");
+}
+
+// ---- constructors ----
+
+TEST_F(EvaluatorTest, DirectElementConstruction) {
+  EXPECT_EQ(Eval("<a/>"), "<a/>");
+  EXPECT_EQ(Eval("<a b=\"1\">x</a>"), "<a b=\"1\">x</a>");
+  EXPECT_EQ(Eval("<a>{1 + 1}</a>"), "<a>2</a>");
+  EXPECT_EQ(Eval("<a>x{1,2}y</a>"), "<a>x1 2y</a>");
+  EXPECT_EQ(Eval("<a><b/><c/></a>"), "<a><b/><c/></a>");
+}
+
+TEST_F(EvaluatorTest, AttributeValueTemplates) {
+  EXPECT_EQ(Eval("let $v := 5 return <a b=\"v{$v}w\"/>"),
+            "<a b=\"v5w\"/>");
+  EXPECT_EQ(Eval("<a b=\"{1,2,3}\"/>"), "<a b=\"1 2 3\"/>");
+  EXPECT_EQ(Eval("<a b=\"{(doc('d')//name)[1]}\"/>"), "<a b=\"Ann\"/>");
+}
+
+TEST_F(EvaluatorTest, ConstructorsCopyContent) {
+  // Content nodes are deep-copied: mutating the new tree leaves the
+  // source untouched (checked via the source still serializing).
+  EXPECT_EQ(Eval("let $src := <s><k/></s> "
+                 "let $wrapped := <w>{$src/k}</w> "
+                 "return (count($src/k), count($wrapped/k))"),
+            "1 1");
+}
+
+TEST_F(EvaluatorTest, ComputedConstructors) {
+  EXPECT_EQ(Eval("element {concat(\"a\",\"b\")} {1+1}"), "<ab>2</ab>");
+  EXPECT_EQ(Eval("element foo {attribute bar {\"v\"}, \"text\"}"),
+            "<foo bar=\"v\">text</foo>");
+  EXPECT_EQ(Eval("text {\"hi\"}"), "hi");
+  EXPECT_EQ(Eval("text {()}"), "");
+  EXPECT_EQ(Eval("comment {\"note\"}"), "<!--note-->");
+  EXPECT_EQ(Eval("count(document {<a/>}/a)"), "1");
+}
+
+TEST_F(EvaluatorTest, AttributeAfterContentErrors) {
+  EXPECT_EQ(
+      EvalStatus("element a {\"txt\", attribute b {\"v\"}}").code(),
+      StatusCode::kTypeError);
+}
+
+TEST_F(EvaluatorTest, SequenceContentSpacing) {
+  EXPECT_EQ(Eval("<a>{(1,2)}{(3,4)}</a>"), "<a>1 2 3 4</a>");
+  EXPECT_EQ(Eval("element x {(1, 2, \"c\")}"), "<x>1 2 c</x>");
+}
+
+// ---- functions ----
+
+TEST_F(EvaluatorTest, UserFunctions) {
+  EXPECT_EQ(Eval("declare function double($x) { $x * 2 }; double(21)"),
+            "42");
+  EXPECT_EQ(Eval("declare function fact($n) { if ($n <= 1) then 1 else "
+                 "$n * fact($n - 1) }; fact(6)"),
+            "720");
+  EXPECT_EQ(Eval("declare function local:f($x) { $x }; local:f(7)"), "7");
+  EXPECT_EQ(Eval("declare function g() { 1 }; local:g()"), "1");
+}
+
+TEST_F(EvaluatorTest, FunctionArityMismatch) {
+  EXPECT_EQ(EvalStatus("declare function f($a) { $a }; f(1, 2)").code(),
+            StatusCode::kStaticError);
+}
+
+TEST_F(EvaluatorTest, UnknownFunction) {
+  EXPECT_EQ(EvalStatus("no-such-fn(1)").code(), StatusCode::kStaticError);
+}
+
+TEST_F(EvaluatorTest, InfiniteRecursionIsBounded) {
+  EXPECT_EQ(EvalStatus("declare function loop() { loop() }; loop()").code(),
+            StatusCode::kDynamicError);
+}
+
+TEST_F(EvaluatorTest, FunctionsSeeGlobalsNotCallerLocals) {
+  EXPECT_EQ(Eval("declare variable $g := 5; "
+                 "declare function f() { $g }; "
+                 "let $g2 := 9 return f()"),
+            "5");
+  EXPECT_EQ(
+      EvalStatus("declare function f() { $local }; "
+                 "let $local := 1 return f()")
+          .code(),
+      StatusCode::kStaticError);
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,221 @@
+// Tests for the engine's extensions beyond the paper's core proposal:
+//  - `snap atomic` (the full paper's failure-containment use of snap),
+//  - `declare updating function` signature checking (Section 5),
+//  - the regex builtins fn:matches / fn:replace / fn:tokenize.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/update.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.LoadDocumentFromString("d", "<r><a/><b/><c/></r>").ok());
+  }
+
+  std::string Run(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Status RunStatus(const std::string& query) {
+    auto result = engine_.Execute(query);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Engine engine_;
+};
+
+// ---- snap atomic ----
+
+TEST_F(ExtensionsTest, AtomicSnapParses) {
+  auto result = engine_.Prepare("snap atomic ordered { 1 }");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->program.body->DebugString(),
+            "(snap atomic ordered (int 1))");
+}
+
+TEST_F(ExtensionsTest, AtomicSnapAppliesNormally) {
+  EXPECT_EQ(Run("snap atomic { insert { <x/> } into { doc('d')/r } }"),
+            "");
+  EXPECT_EQ(Run("doc('d')"), "<r><a/><b/><c/><x/></r>");
+}
+
+TEST_F(ExtensionsTest, AtomicSnapRollsBackOnFailure) {
+  // Second request fails (inserting an already-parented node); the
+  // first insert and the delete must be rolled back.
+  EXPECT_EQ(RunStatus("let $r := doc('d')/r return snap atomic { "
+                      "  insert { <x/> } into { $r }, "
+                      "  rename { $r/a } to { \"a2\" }, "
+                      "  delete { $r/b }, "
+                      "  insert { <y/> } into { $r/zzz } }")
+                .code(),
+            StatusCode::kTypeError);  // Empty target detected at eval.
+  EXPECT_EQ(Run("doc('d')"), "<r><a/><b/><c/></r>");
+
+  // Now force an APPLICATION-time failure: two inserts race to create
+  // the same attribute name, which only fails when the second placement
+  // runs (normalization's copy cannot prevent it).
+  Status st = RunStatus(
+      "let $r := doc('d')/r return snap atomic ordered { "
+      "  rename { $r/a } to { \"a2\" }, "
+      "  delete { $r/b }, "
+      "  insert { attribute k {\"1\"} } into { $r }, "
+      "  insert { attribute k {\"2\"} } into { $r } }");
+  EXPECT_EQ(st.code(), StatusCode::kUpdateError);
+  // Everything rolled back: rename undone, <b/> re-attached in place,
+  // the first attribute removed again.
+  EXPECT_EQ(Run("doc('d')"), "<r><a/><b/><c/></r>");
+}
+
+TEST_F(ExtensionsTest, NonAtomicSnapKeepsPartialEffects) {
+  Status st = RunStatus(
+      "let $r := doc('d')/r return snap ordered { "
+      "  rename { $r/a } to { \"a2\" }, "
+      "  insert { attribute k {\"1\"} } into { $r }, "
+      "  insert { attribute k {\"2\"} } into { $r } }");
+  EXPECT_EQ(st.code(), StatusCode::kUpdateError);
+  // The rename and first attribute applied before the failure and stay.
+  EXPECT_EQ(Run("doc('d')"), "<r k=\"1\"><a2/><b/><c/></r>");
+}
+
+TEST_F(ExtensionsTest, AtomicRollbackRestoresSiblingPositions) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<r><a/><b/><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId r = store.ChildrenOf(*doc)[0];
+  NodeId b = store.ChildrenOf(r)[1];
+  UpdateList delta;
+  delta.Append(UpdateRequest::Delete(b));  // Applies.
+  NodeId stray = store.NewElement("x");
+  (void)store.AppendChild(r, stray);       // Parent it so insert fails.
+  delta.Append(UpdateRequest::InsertInto({stray}, r, false));
+  Status st = ApplyUpdateListAtomic(&store, delta, ApplyMode::kOrdered);
+  EXPECT_FALSE(st.ok());
+  // <b/> is back between <a/> and <c/>.
+  EXPECT_EQ(SerializeNode(store, r), "<r><a/><b/><c/><x/></r>");
+}
+
+TEST_F(ExtensionsTest, AtomicRollbackRestoresFirstChild) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<r><a/><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId r = store.ChildrenOf(*doc)[0];
+  NodeId a = store.ChildrenOf(r)[0];
+  NodeId stray = store.NewElement("x");
+  (void)store.AppendChild(r, stray);
+  UpdateList delta;
+  delta.Append(UpdateRequest::Delete(a));
+  delta.Append(UpdateRequest::InsertInto({stray}, r, false));  // Fails.
+  ASSERT_FALSE(
+      ApplyUpdateListAtomic(&store, delta, ApplyMode::kOrdered).ok());
+  EXPECT_EQ(SerializeNode(store, r), "<r><a/><b/><x/></r>");
+}
+
+TEST_F(ExtensionsTest, AtomicRollbackRestoresAttributes) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<r k=\"v\"><a/></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId r = store.ChildrenOf(*doc)[0];
+  NodeId attr = store.AttributesOf(r)[0];
+  NodeId stray = store.NewElement("x");
+  (void)store.AppendChild(r, stray);
+  UpdateList delta;
+  delta.Append(UpdateRequest::Delete(attr));
+  delta.Append(UpdateRequest::Rename(r, store.names().Intern("r2")));
+  delta.Append(UpdateRequest::InsertInto({stray}, r, false));  // Fails.
+  ASSERT_FALSE(
+      ApplyUpdateListAtomic(&store, delta, ApplyMode::kOrdered).ok());
+  EXPECT_EQ(SerializeNode(store, r), "<r k=\"v\"><a/><x/></r>");
+}
+
+// ---- declare updating function ----
+
+TEST_F(ExtensionsTest, UpdatingDeclarationAccepted) {
+  EXPECT_EQ(Run("declare updating function mark() { "
+                "  insert { <m/> } into { doc('d')/r } }; "
+                "(mark(), 1)"),
+            "1");
+}
+
+TEST_F(ExtensionsTest, MissingUpdatingFlagRejected) {
+  // Opt-in: once one function is declared updating, all effectful
+  // functions must be.
+  Status st = RunStatus(
+      "declare updating function a() { insert { <m/> } into "
+      "{ doc('d')/r } }; "
+      "declare function b() { delete { doc('d')/r/a } }; "
+      "(a(), b())");
+  EXPECT_EQ(st.code(), StatusCode::kStaticError);
+  EXPECT_TRUE(st.message().find("b") != std::string::npos);
+}
+
+TEST_F(ExtensionsTest, StaleUpdatingFlagRejected) {
+  Status st = RunStatus(
+      "declare updating function pure() { 1 + 1 }; pure()");
+  EXPECT_EQ(st.code(), StatusCode::kStaticError);
+}
+
+TEST_F(ExtensionsTest, MonadicRuleRequiresFlagOnCallers) {
+  Status st = RunStatus(
+      "declare updating function leaf() { snap { delete { doc('d')/r/a } "
+      "} }; "
+      "declare function caller() { leaf() }; "
+      "caller()");
+  EXPECT_EQ(st.code(), StatusCode::kStaticError);
+}
+
+TEST_F(ExtensionsTest, NoOptInNoEnforcement) {
+  // Programs that never use the marker keep the paper's lenient rules.
+  EXPECT_EQ(Run("declare function mark() { "
+                "  insert { <m/> } into { doc('d')/r } }; "
+                "(mark(), \"ok\")"),
+            "ok");
+}
+
+// ---- regex builtins ----
+
+TEST_F(ExtensionsTest, FnMatches) {
+  EXPECT_EQ(Run("matches(\"abracadabra\", \"bra\")"), "true");
+  EXPECT_EQ(Run("matches(\"abracadabra\", \"^a.*a$\")"), "true");
+  EXPECT_EQ(Run("matches(\"abracadabra\", \"^bra\")"), "false");
+  EXPECT_EQ(Run("matches(\"HELLO\", \"hello\", \"i\")"), "true");
+  EXPECT_EQ(RunStatus("matches(\"x\", \"(\")").code(),
+            StatusCode::kDynamicError);
+}
+
+TEST_F(ExtensionsTest, FnReplace) {
+  EXPECT_EQ(Run("replace(\"abracadabra\", \"bra\", \"*\")"),
+            "a*cada*");
+  EXPECT_EQ(Run("replace(\"abracadabra\", \"a(.)\", \"a$1$1\")"),
+            "abbraccaddabbra");
+  EXPECT_EQ(Run("replace(\"darted\", \"^(.*?)d(.*)$\", \"$1\")"),
+            "ERROR: DynamicError: err:FORX0002: invalid regex: "
+            "quantifier '?' with nothing to repeat");
+  EXPECT_EQ(Run("replace(\"AAA\", \"a\", \"b\", \"i\")"), "bbb");
+}
+
+TEST_F(ExtensionsTest, FnTokenize) {
+  EXPECT_EQ(Run("tokenize(\"a,b,,c\", \",\")"), "a b  c");
+  EXPECT_EQ(Run("count(tokenize(\"a,b,,c\", \",\"))"), "4");
+  EXPECT_EQ(Run("tokenize(\"The  quick brown\", \"\\s+\")"),
+            "The quick brown");
+  EXPECT_EQ(RunStatus("tokenize(\"abc\", \"x?\")").code(),
+            StatusCode::kDynamicError);  // Zero-length match.
+}
+
+TEST_F(ExtensionsTest, RegexOverNodeContent) {
+  EXPECT_EQ(Run("count(doc('d')/r/*[matches(name(.), \"^[ab]$\")])"),
+            "2");
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,83 @@
+// Tests for the fn:id builtin and its version-invalidated index.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+class IdIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .LoadDocumentFromString(
+                        "d",
+                        "<r><p id=\"a\"><sub id=\"x\"/></p>"
+                        "<p id=\"b\"/><q id=\"a\"/></r>")
+                    .ok());
+  }
+
+  std::string Run(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Engine engine_;
+};
+
+TEST_F(IdIndexTest, LookupByIdValue) {
+  EXPECT_EQ(Run("count(id(\"a\", doc('d')))"), "2");
+  EXPECT_EQ(Run("name(id(\"b\", doc('d')))"), "p");
+  EXPECT_EQ(Run("name(id(\"x\", doc('d')))"), "sub");
+  EXPECT_EQ(Run("count(id(\"missing\", doc('d')))"), "0");
+}
+
+TEST_F(IdIndexTest, MultipleIdsAndDocOrder) {
+  EXPECT_EQ(Run("for $e in id((\"b\", \"a\"), doc('d')) "
+                "return string($e/@id)"),
+            "a b a");  // Document order, not argument order.
+}
+
+TEST_F(IdIndexTest, ContextItemForm) {
+  EXPECT_EQ(Run("count(doc('d')/r[count(id(\"a\")) = 2])"), "1");
+}
+
+TEST_F(IdIndexTest, AnyTreeNodeWorksAsContext) {
+  // The index keys on the tree root; any node of the tree will do.
+  EXPECT_EQ(Run("name(id(\"b\", (doc('d')//sub)[1]))"), "p");
+}
+
+TEST_F(IdIndexTest, InvalidatedByUpdates) {
+  EXPECT_EQ(Run("count(id(\"new\", doc('d')))"), "0");
+  EXPECT_EQ(Run("snap insert { <n id=\"new\"/> } into { doc('d')/r }"),
+            "");
+  EXPECT_EQ(Run("name(id(\"new\", doc('d')))"), "n");
+  EXPECT_EQ(Run("snap delete { id(\"new\", doc('d')) }"), "");
+  EXPECT_EQ(Run("count(id(\"new\", doc('d')))"), "0");
+}
+
+TEST_F(IdIndexTest, InvalidatedByAttributeRename) {
+  EXPECT_EQ(Run("count(id(\"a\", doc('d')))"), "2");
+  // Renaming the @id attribute away removes the element from the index.
+  EXPECT_EQ(Run("snap rename { (doc('d')//q)[1]/@id } to { \"key\" }"),
+            "");
+  EXPECT_EQ(Run("count(id(\"a\", doc('d')))"), "1");
+}
+
+TEST_F(IdIndexTest, UsableInsideUpdatePrograms) {
+  EXPECT_EQ(Run("snap insert { <hit/> } into { id(\"b\", doc('d')) }"),
+            "");
+  EXPECT_EQ(Run("count(id(\"b\", doc('d'))/hit)"), "1");
+}
+
+TEST_F(IdIndexTest, SeparateTreesSeparateIndexes) {
+  ASSERT_TRUE(
+      engine_.LoadDocumentFromString("e", "<r><z id=\"a\"/></r>").ok());
+  EXPECT_EQ(Run("count(id(\"a\", doc('d')))"), "2");
+  EXPECT_EQ(Run("name(id(\"a\", doc('e')))"), "z");
+}
+
+}  // namespace
+}  // namespace xqb

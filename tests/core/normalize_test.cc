@@ -1,0 +1,101 @@
+// E10: normalization to core (Section 3.3) — implicit deep copy around
+// insert/replace sources, `into` -> `as last into`, snap sugar
+// desugaring, and recursion into prolog declarations.
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "frontend/parser.h"
+
+namespace xqb {
+namespace {
+
+std::string Normalized(const char* query) {
+  auto expr = ParseExpression(query);
+  EXPECT_TRUE(expr.ok()) << expr.status();
+  ExprPtr e = std::move(*expr);
+  NormalizeExpr(&e);
+  return e->DebugString();
+}
+
+TEST(Normalize, InsertGetsCopyAndAsLast) {
+  // The paper's rule: [insert {E1} into {E2}] =
+  //   insert {copy{[E1]}} as last into {[E2]}.
+  EXPECT_EQ(Normalized("insert { $n } into { $t }"),
+            "(insert as-last-into (copy (var n)) (var t))");
+}
+
+TEST(Normalize, InsertBeforeAfterKeepPosition) {
+  EXPECT_EQ(Normalized("insert { $n } before { $t }"),
+            "(insert before (copy (var n)) (var t))");
+  EXPECT_EQ(Normalized("insert { $n } after { $t }"),
+            "(insert after (copy (var n)) (var t))");
+  EXPECT_EQ(Normalized("insert { $n } as first into { $t }"),
+            "(insert as-first-into (copy (var n)) (var t))");
+}
+
+TEST(Normalize, ReplaceCopiesSecondArgument) {
+  EXPECT_EQ(Normalized("replace { $t } with { $n }"),
+            "(replace (var t) (copy (var n)))");
+}
+
+TEST(Normalize, ExistingCopyIsNotDoubled) {
+  EXPECT_EQ(Normalized("insert { copy { $n } } into { $t }"),
+            "(insert as-last-into (copy (var n)) (var t))");
+}
+
+TEST(Normalize, DeleteAndRenameUnchanged) {
+  EXPECT_EQ(Normalized("delete { $t }"), "(delete (var t))");
+  EXPECT_EQ(Normalized("rename { $t } to { \"n\" }"),
+            "(rename (var t) (string \"n\"))");
+}
+
+TEST(Normalize, SnapSugarBecomesExplicitSnap) {
+  EXPECT_EQ(Normalized("snap delete { $t }"),
+            "(snap default (delete (var t)))");
+  // The sugar wraps the *normalized* update.
+  EXPECT_EQ(Normalized("snap insert { $n } into { $t }"),
+            "(snap default (insert as-last-into (copy (var n)) (var t)))");
+}
+
+TEST(Normalize, RecursesIntoSubexpressions) {
+  EXPECT_EQ(
+      Normalized("if ($c) then insert { $n } into { $t } else ()"),
+      "(if (var c) (insert as-last-into (copy (var n)) (var t)) (empty))");
+  EXPECT_EQ(Normalized("for $x in $s return insert { $x } into { $t }"),
+            "(flwor (for x (var s)) (insert as-last-into (copy (var x)) "
+            "(var t)))");
+}
+
+TEST(Normalize, RecursesIntoFlworClauses) {
+  EXPECT_EQ(
+      Normalized("let $y := insert { $n } into { $t } return $y"),
+      "(flwor (let y (insert as-last-into (copy (var n)) (var t))) "
+      "(var y))");
+}
+
+TEST(Normalize, ProgramNormalizesDeclarations) {
+  auto program = ParseProgram(
+      "declare variable $v := insert { $a } into { $b }; "
+      "declare function f() { insert { $c } into { $d } }; "
+      "1");
+  ASSERT_TRUE(program.ok());
+  NormalizeProgram(&*program);
+  EXPECT_EQ(program->variables[0].init->DebugString(),
+            "(insert as-last-into (copy (var a)) (var b))");
+  EXPECT_EQ(program->functions[0].body->DebugString(),
+            "(insert as-last-into (copy (var c)) (var d))");
+}
+
+TEST(Normalize, IsIdempotent) {
+  auto expr = ParseExpression("snap insert { $n } into { $t }");
+  ASSERT_TRUE(expr.ok());
+  ExprPtr e = std::move(*expr);
+  NormalizeExpr(&e);
+  std::string once = e->DebugString();
+  NormalizeExpr(&e);
+  EXPECT_EQ(e->DebugString(), once);
+}
+
+}  // namespace
+}  // namespace xqb

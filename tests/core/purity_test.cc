@@ -1,0 +1,118 @@
+// Unit tests for the side-effect judgment (Section 4.2) and the
+// updating-function fixpoint (Section 5).
+
+#include <gtest/gtest.h>
+
+#include "core/normalize.h"
+#include "core/purity.h"
+#include "frontend/parser.h"
+
+namespace xqb {
+namespace {
+
+PurityInfo Analyze(const char* query) {
+  auto program = ParseProgram(query);
+  EXPECT_TRUE(program.ok()) << program.status();
+  NormalizeProgram(&*program);
+  PurityAnalysis analysis;
+  analysis.AnalyzeProgram(&*program);
+  return analysis.Analyze(*program->body);
+}
+
+TEST(Purity, PureExpressions) {
+  PurityInfo info = Analyze("for $x in 1 to 10 return $x * 2");
+  EXPECT_TRUE(info.pure());
+  EXPECT_FALSE(info.has_update);
+  EXPECT_FALSE(info.has_snap);
+}
+
+TEST(Purity, ConstructorsAndCopyArePure) {
+  // "If they only perform allocations or copies, their evaluation can
+  // still be commuted or interleaved" (Section 3.4).
+  EXPECT_TRUE(Analyze("<a>{1+1}</a>").pure());
+  EXPECT_TRUE(Analyze("copy { $x }").pure());
+  EXPECT_TRUE(Analyze("element foo { text { \"x\" } }").pure());
+}
+
+TEST(Purity, UpdatePrimitivesHaveUpdate) {
+  for (const char* q :
+       {"insert { $n } into { $t }", "delete { $t }",
+        "replace { $t } with { $n }", "rename { $t } to { \"n\" }"}) {
+    PurityInfo info = Analyze(q);
+    EXPECT_TRUE(info.has_update) << q;
+    EXPECT_FALSE(info.has_snap) << q;
+  }
+}
+
+TEST(Purity, UpdateInsideFlworPropagates) {
+  PurityInfo info =
+      Analyze("for $x in $s return insert { $x } into { $t }");
+  EXPECT_TRUE(info.has_update);
+  EXPECT_FALSE(info.has_snap);
+}
+
+TEST(Purity, SnapHasSnapButAbsorbsUpdates) {
+  // A snap applies its own scope's updates: the expression as a whole
+  // emits no pending Δ, but it does mutate the store.
+  PurityInfo info = Analyze("snap { insert { $n } into { $t } }");
+  EXPECT_TRUE(info.has_snap);
+  EXPECT_FALSE(info.has_update);
+}
+
+TEST(Purity, UpdateBesideSnapKeepsBothFlags) {
+  PurityInfo info =
+      Analyze("(snap { delete { $a } }, insert { $n } into { $t })");
+  EXPECT_TRUE(info.has_snap);
+  EXPECT_TRUE(info.has_update);
+}
+
+TEST(Purity, FunctionFlagsPropagateToCallSites) {
+  PurityInfo info = Analyze(
+      "declare function upd() { insert { $n } into { $t } }; "
+      "upd()");
+  EXPECT_TRUE(info.has_update);
+  EXPECT_FALSE(info.has_snap);
+}
+
+TEST(Purity, MonadicRuleThroughCallChain) {
+  // "a function that calls an updating function is updating as well."
+  PurityInfo info = Analyze(
+      "declare function inner() { snap { delete { $x } } }; "
+      "declare function middle() { inner() }; "
+      "declare function outer() { middle() }; "
+      "outer()");
+  EXPECT_TRUE(info.has_snap);
+}
+
+TEST(Purity, RecursiveFunctionsReachFixpoint) {
+  PurityInfo info = Analyze(
+      "declare function even($n) { if ($n = 0) then snap { delete { $d } } "
+      "else odd($n - 1) }; "
+      "declare function odd($n) { if ($n = 1) then () else even($n - 1) }; "
+      "odd(7)");
+  EXPECT_TRUE(info.has_snap);
+}
+
+TEST(Purity, PureFunctionStaysPure) {
+  PurityInfo info = Analyze(
+      "declare function fib($n) { if ($n <= 1) then $n "
+      "else fib($n - 1) + fib($n - 2) }; "
+      "fib(10)");
+  EXPECT_TRUE(info.pure());
+}
+
+TEST(Purity, UnknownFunctionsAssumedPure) {
+  EXPECT_TRUE(Analyze("count((1,2,3)) + string-length(\"x\")").pure());
+}
+
+TEST(Purity, ClauseExpressionsAreAnalyzed) {
+  PurityInfo info = Analyze(
+      "for $x in (snap { delete { $d } }, 1) return $x");
+  EXPECT_TRUE(info.has_snap);
+  PurityInfo info2 =
+      Analyze("for $x in 1 to 3 order by (delete { $d }, $x) return $x");
+  EXPECT_TRUE(info2.has_update);
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,262 @@
+// E2 (Figures 2 and 3): the formal semantics judgments — strict
+// left-to-right evaluation order, store threading, Δ collection order,
+// and the per-rule behaviour of every update operation.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/evaluator.h"
+#include "core/normalize.h"
+#include "frontend/parser.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+namespace {
+
+class SemanticsRulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc =
+        engine_.LoadDocumentFromString("d", "<r><a/><b/><c>old</c></r>");
+    ASSERT_TRUE(doc.ok());
+  }
+
+  std::string Run(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  std::string Doc() { return Run("doc('d')"); }
+
+  Engine engine_;
+};
+
+// The sequence rule: Expr1 fully evaluated before Expr2, and Δ1 before
+// Δ2 in the collected list.
+TEST_F(SemanticsRulesTest, SequenceRuleEvaluationAndDeltaOrder) {
+  // Effects through nested snaps expose evaluation order: each step
+  // appends a marker element whose content is the current count.
+  EXPECT_EQ(
+      Run("let $r := doc('d')/r return ("
+          "  snap insert { <m n=\"{count($r/*)}\"/> } into { $r }, "
+          "  snap insert { <m n=\"{count($r/*)}\"/> } into { $r } )"),
+      "");
+  EXPECT_EQ(Doc(),
+            "<r><a/><b/><c>old</c><m n=\"3\"/><m n=\"4\"/></r>");
+}
+
+TEST_F(SemanticsRulesTest, DeltaOrderFollowsProgramOrder) {
+  // Both inserts collect in one snap; ordered application runs them in
+  // Δ order, so the "as first" markers stack in reverse program order.
+  EXPECT_EQ(Run("let $r := doc('d')/r return snap ordered { "
+                "insert { <x/> } as first into { $r }, "
+                "insert { <y/> } as first into { $r } }"),
+            "");
+  EXPECT_EQ(Doc(), "<r><y/><x/><a/><b/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, FlworGeneratesDeltaInIterationOrder) {
+  EXPECT_EQ(Run("let $r := doc('d')/r return snap ordered { "
+                "for $i in 1 to 3 return "
+                "insert { element m { $i } } into { $r } }"),
+            "");
+  EXPECT_EQ(Doc(),
+            "<r><a/><b/><c>old</c><m>1</m><m>2</m><m>3</m></r>");
+}
+
+// Update operators return the empty sequence (Figure 2 conclusions).
+TEST_F(SemanticsRulesTest, UpdateOperatorsReturnEmpty) {
+  EXPECT_EQ(Run("let $r := doc('d')/r return "
+                "count((insert { <x/> } into { $r }, "
+                "       delete { $r/a }, "
+                "       rename { $r/b } to { \"bb\" }, "
+                "       replace { $r/c } with { <c2/> }))"),
+            "0");
+}
+
+// Figure 2, insert rule: source evaluated before target.
+TEST_F(SemanticsRulesTest, InsertEvaluatesSourceBeforeTarget) {
+  // The source expression contains a snap whose effect the target
+  // expression can observe: the target path only finds <t/> because the
+  // source ran first. The pending insert applies when the query's
+  // top-level snap closes, so a second query checks the result.
+  EXPECT_EQ(Run("let $r := doc('d')/r return "
+                "insert { (snap insert { <t/> } into { $r }, <n/>) } "
+                "  into { $r/t }"),
+            "");
+  EXPECT_EQ(Run("count(doc('d')/r/t/n)"), "1");
+}
+
+// Figure 2, replace rule: Δ = (Δ1, Δ2, insert(...), delete(node)).
+TEST_F(SemanticsRulesTest, ReplaceExpandsToInsertPlusDelete) {
+  auto program = ParseProgram(
+      "replace { $t } with { $n }");
+  ASSERT_TRUE(program.ok());
+  NormalizeProgram(&*program);
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<r><old/></r>");
+  ASSERT_TRUE(doc.ok());
+  NodeId r = store.ChildrenOf(*doc)[0];
+  NodeId old = store.ChildrenOf(r)[0];
+  EvaluatorOptions options;
+  options.implicit_top_snap = false;
+  Evaluator evaluator(&store, &*program, options);
+  evaluator.BindExternalVariable("t", Sequence{Item::Node(old)});
+  evaluator.BindExternalVariable(
+      "n", Sequence{Item::Node(store.NewElement("new"))});
+  auto result = evaluator.Run();
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::vector<const UpdateRequest*> delta =
+      evaluator.pending_delta().Flatten();
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0]->op, UpdateRequest::Op::kInsert);
+  EXPECT_EQ(delta[0]->anchor, InsertAnchor::kAfter);
+  EXPECT_EQ(delta[0]->anchor_node, old);
+  EXPECT_EQ(delta[1]->op, UpdateRequest::Op::kDelete);
+  EXPECT_EQ(delta[1]->target, old);
+}
+
+TEST_F(SemanticsRulesTest, ReplaceKeepsSiblingPosition) {
+  EXPECT_EQ(Run("replace { doc('d')/r/b } with { <b2/> }"), "");
+  EXPECT_EQ(Doc(), "<r><a/><b2/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, ReplaceWithSequence) {
+  EXPECT_EQ(Run("replace { doc('d')/r/b } with { (<x/>, <y/>) }"), "");
+  EXPECT_EQ(Doc(), "<r><a/><x/><y/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, ReplaceParentlessErrors) {
+  EXPECT_EQ(Run("replace { doc('d') } with { <x/> }"),
+            "ERROR: UpdateError: err:XUDY0009: replace target has no "
+            "parent (line 1)");
+}
+
+TEST_F(SemanticsRulesTest, RenameRule) {
+  EXPECT_EQ(Run("rename { doc('d')/r/a } to { concat(\"a\", \"2\") }"),
+            "");
+  EXPECT_EQ(Doc(), "<r><a2/><b/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, RenameAttribute) {
+  ASSERT_TRUE(engine_.LoadDocumentFromString("e", "<x id=\"1\"/>").ok());
+  EXPECT_EQ(Run("rename { doc('e')/x/@id } to { \"key\" }"), "");
+  EXPECT_EQ(Run("doc('e')"), "<x key=\"1\"/>");
+}
+
+TEST_F(SemanticsRulesTest, DeleteDetachesButValueSurvives) {
+  // Section 3.1: the detached node remains usable through a variable.
+  EXPECT_EQ(Run("let $c := doc('d')/r/c return "
+                "( snap delete { $c }, string($c) )"),
+            "old");
+  EXPECT_EQ(Doc(), "<r><a/><b/></r>");
+}
+
+TEST_F(SemanticsRulesTest, DetachedNodeCanBeReinserted) {
+  EXPECT_EQ(Run("let $c := doc('d')/r/c return "
+                "( snap delete { $c }, "
+                "  snap insert { $c } as first into { doc('d')/r } )"),
+            "");
+  EXPECT_EQ(Doc(), "<r><c>old</c><a/><b/></r>");
+}
+
+TEST_F(SemanticsRulesTest, CopyRuleCreatesFreshTree) {
+  EXPECT_EQ(Run("let $orig := doc('d')/r/c "
+                "let $copy := copy { $orig } return "
+                "( snap rename { $copy } to { \"c2\" }, "
+                "  name($orig), name($copy) )"),
+            "c c2");
+  EXPECT_EQ(Doc(), "<r><a/><b/><c>old</c></r>");  // Original untouched.
+}
+
+TEST_F(SemanticsRulesTest, CopyPassesAtomicsThrough) {
+  EXPECT_EQ(Run("copy { (1, \"a\") }"), "1 a");
+}
+
+// The normalization copy: inserting the same variable twice yields two
+// independent copies, and the source keeps zero parents changed (E10).
+TEST_F(SemanticsRulesTest, InsertCopiesPreventDoubleParents) {
+  EXPECT_EQ(Run("let $n := <n/> return ("
+                "snap insert { $n } into { doc('d')/r/a }, "
+                "snap insert { $n } into { doc('d')/r/b }, "
+                "count(doc('d')//n) )"),
+            "2");
+  EXPECT_EQ(Doc(), "<r><a><n/></a><b><n/></b><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, InsertAtomicBecomesText) {
+  EXPECT_EQ(Run("insert { \"txt\" } into { doc('d')/r/a }"), "");
+  EXPECT_EQ(Doc(), "<r><a>txt</a><b/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, InsertAttributeNode) {
+  EXPECT_EQ(Run("insert { attribute k {\"v\"} } into { doc('d')/r/a }"),
+            "");
+  EXPECT_EQ(Doc(), "<r><a k=\"v\"/><b/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, InsertTargetMustBeSingleNode) {
+  EXPECT_EQ(Run("insert { <x/> } into { doc('d')/r/* }"),
+            "ERROR: TypeError: err:XUTY0008: insert target must evaluate "
+            "to exactly one node (got 3 items) (line 1)");
+}
+
+TEST_F(SemanticsRulesTest, InsertBeforeAfter) {
+  EXPECT_EQ(Run("insert { <x/> } before { doc('d')/r/b }"), "");
+  EXPECT_EQ(Run("insert { <y/> } after { doc('d')/r/b }"), "");
+  EXPECT_EQ(Doc(), "<r><a/><x/><b/><y/><c>old</c></r>");
+}
+
+TEST_F(SemanticsRulesTest, InsertBeforeParentlessErrors) {
+  EXPECT_EQ(Run("insert { <x/> } before { doc('d') }"),
+            "ERROR: UpdateError: err:XUDY0029: insert before/after a "
+            "parentless node (line 1)");
+}
+
+// The function-call rule threads the store through arguments first,
+// then the body.
+TEST_F(SemanticsRulesTest, FunctionCallRuleOrder) {
+  EXPECT_EQ(Run("declare function f($x) { count(doc('d')/r/*) }; "
+                "f(snap insert { <new/> } into { doc('d')/r })"),
+            "4");  // The argument's snap applied before the body ran.
+}
+
+// The if rule evaluates only the selected branch's Δ.
+TEST_F(SemanticsRulesTest, ConditionalCollectsOnlyTakenBranch) {
+  EXPECT_EQ(Run("if (true()) then insert { <t/> } into { doc('d')/r } "
+                "else insert { <e/> } into { doc('d')/r }"),
+            "");
+  EXPECT_EQ(Doc(), "<r><a/><b/><c>old</c><t/></r>");
+}
+
+// Where-clause effects happen per row even for rejected rows.
+TEST_F(SemanticsRulesTest, WhereClauseEffectsAlwaysCollected) {
+  EXPECT_EQ(Run("for $i in 1 to 3 "
+                "where (insert { element w { $i } } into { doc('d')/r }, "
+                "       $i mod 2 = 1) "
+                "return $i"),
+            "1 3");
+  EXPECT_EQ(Doc(),
+            "<r><a/><b/><c>old</c><w>1</w><w>2</w><w>3</w></r>");
+}
+
+TEST_F(SemanticsRulesTest, ErrorInsideSnapDiscardsItsDelta) {
+  EXPECT_EQ(Run("let $r := doc('d')/r return "
+                "( snap { insert { <x/> } into { $r }, error(\"stop\") } )"),
+            "ERROR: DynamicError: stop");
+  EXPECT_EQ(Doc(), "<r><a/><b/><c>old</c></r>");  // Nothing applied.
+}
+
+TEST_F(SemanticsRulesTest, PendingUpdatesInvisibleWithinScope) {
+  // Inside the innermost snap nothing changes mid-scope: both counts
+  // see the pre-update store (Section 3.4's key property).
+  EXPECT_EQ(Run("let $r := doc('d')/r return "
+                "( count($r/*), insert { <x/> } into { $r }, count($r/*) )"),
+            "3 3");
+  EXPECT_EQ(Run("count(doc('d')/r/*)"), "4");  // Applied at query end.
+}
+
+}  // namespace
+}  // namespace xqb

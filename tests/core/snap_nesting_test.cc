@@ -1,0 +1,144 @@
+// E3 + E5: nested snap semantics (Sections 2.3–2.5, 3.4) — the
+// stack-like scoping of pending updates, the paper's ordering example,
+// the nextid() counter, and snap modes interacting with nesting.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+class SnapNestingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_.LoadDocumentFromString("d", "<x/>").ok());
+  }
+
+  std::string Run(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Engine engine_;
+};
+
+TEST_F(SnapNestingTest, PaperSection34Example) {
+  // "the following piece of code inserts <b/><a/><c/> into $x, in this
+  // order, since the internal snap is closed first, and it only applies
+  // the updates in its own scope."
+  EXPECT_EQ(Run("let $x := doc('d')/x return "
+                "snap ordered { insert {<a/>} into {$x}, "
+                "               snap { insert {<b/>} into {$x} }, "
+                "               insert {<c/>} into {$x} }"),
+            "");
+  EXPECT_EQ(Run("doc('d')"), "<x><b/><a/><c/></x>");
+}
+
+TEST_F(SnapNestingTest, InnerSnapDoesNotFreezeOuterState) {
+  // "the snap operator must not freeze the state when its scope is
+  // opened, but just delay the updates that are in its immediate scope."
+  EXPECT_EQ(Run("let $x := doc('d')/x return snap { "
+                "  snap insert { <seen/> } into { $x }, "
+                "  insert { element n { count($x/*) } } into { $x } }"),
+            "");
+  // The inner snap's effect was visible when the outer insert's content
+  // expression ran.
+  EXPECT_EQ(Run("doc('d')"), "<x><seen/><n>1</n></x>");
+}
+
+TEST_F(SnapNestingTest, ThreeLevelsOfNesting) {
+  EXPECT_EQ(Run("let $x := doc('d')/x return "
+                "snap { insert {<l1/>} into {$x}, "
+                "  snap { insert {<l2/>} into {$x}, "
+                "    snap { insert {<l3/>} into {$x} } } }"),
+            "");
+  // Innermost applies first.
+  EXPECT_EQ(Run("doc('d')"), "<x><l3/><l2/><l1/></x>");
+}
+
+TEST_F(SnapNestingTest, NextIdCounterFromSection25) {
+  EXPECT_EQ(Run("declare variable $d := element counter { 0 }; "
+                "declare function nextid() { "
+                "  snap { replace { $d/text() } with { $d + 1 }, "
+                "         string($d + 1) } }; "
+                "for $i in 1 to 5 return nextid()"),
+            "1 2 3 4 5");
+}
+
+TEST_F(SnapNestingTest, NextIdInsideOuterSnapStillCounts) {
+  // "the nextid() function may be used in the scope of another snap" —
+  // each inner snap applies its own replace immediately.
+  EXPECT_EQ(Run("declare variable $d := element counter { 0 }; "
+                "declare function nextid() { "
+                "  snap { replace { $d/text() } with { $d + 1 }, "
+                "         string($d + 1) } }; "
+                "snap { for $i in 1 to 3 return "
+                "  insert { <id v=\"{nextid()}\"/> } into { doc('d')/x } }"),
+            "");
+  EXPECT_EQ(Run("doc('d')"),
+            "<x><id v=\"1\"/><id v=\"2\"/><id v=\"3\"/></x>");
+}
+
+TEST_F(SnapNestingTest, SnapReturnsItsValue) {
+  EXPECT_EQ(Run("snap { 1 + 1 }"), "2");
+  EXPECT_EQ(Run("snap { insert { <y/> } into { doc('d')/x }, \"done\" }"),
+            "done");
+}
+
+TEST_F(SnapNestingTest, SnapMakesEffectsVisibleToSequel) {
+  // Section 2.3's pattern: the sequence operator guarantees the snap
+  // finished before the count runs.
+  EXPECT_EQ(Run("let $x := doc('d')/x return "
+                "( snap insert { <e/> } into { $x }, count($x/e) )"),
+            "1");
+}
+
+TEST_F(SnapNestingTest, WithoutSnapEffectsInvisible) {
+  EXPECT_EQ(Run("let $x := doc('d')/x return "
+                "( insert { <e/> } into { $x }, count($x/e) )"),
+            "0");
+}
+
+TEST_F(SnapNestingTest, ModesApplyPerSnap) {
+  // An inner conflict-detection snap fails on a genuine conflict even
+  // under an outer ordered snap; the error propagates.
+  EXPECT_EQ(Run("let $x := doc('d')/x return snap ordered { "
+                "  snap conflict-detection { "
+                "    insert {<a/>} into {$x}, insert {<b/>} into {$x} } }"),
+            "ERROR: ConflictError: two inserts write the same sibling "
+            "slot (last of 1) (rule R3)");
+  EXPECT_EQ(Run("doc('d')"), "<x/>");
+}
+
+TEST_F(SnapNestingTest, SnapsCountObservably) {
+  ExecOptions options;
+  auto r = engine_.Execute(
+      "snap { snap { 1 }, snap { 2 } }", options);
+  ASSERT_TRUE(r.ok());
+  // Two explicit inner, one explicit outer, one implicit top-level.
+  EXPECT_EQ(engine_.last_snaps_applied(), 4);
+  EXPECT_EQ(engine_.last_updates_applied(), 0);
+}
+
+TEST_F(SnapNestingTest, UpdateCountsObservably) {
+  auto r = engine_.Execute(
+      "let $x := doc('d')/x return snap { "
+      "insert {<a/>} into {$x}, insert {<b/>} into {$x} }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine_.last_updates_applied(), 2);
+}
+
+TEST_F(SnapNestingTest, FunctionCallDeltaEscapesToCallersSnap) {
+  // An update inside a function without its own snap lands in the
+  // caller's enclosing snap scope.
+  EXPECT_EQ(Run("declare function mark() { "
+                "  insert { <m/> } into { doc('d')/x } }; "
+                "( mark(), count(doc('d')/x/m) )"),
+            "0");  // Not yet applied inside the top-level snap.
+  EXPECT_EQ(Run("count(doc('d')/x/m)"), "1");  // Applied at query end.
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,125 @@
+// Tests for prepare-time static reference checking: unbound variables,
+// unknown functions, and arity mismatches are reported before any
+// evaluation (and thus before any side effect could fire).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+class StaticCheckTest : public ::testing::Test {
+ protected:
+  Status PrepareStatus(const std::string& query) {
+    auto result = engine_.Prepare(query);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(StaticCheckTest, UnboundVariableRejected) {
+  Status st = PrepareStatus("$nope + 1");
+  EXPECT_EQ(st.code(), StatusCode::kStaticError);
+  EXPECT_TRUE(st.message().find("nope") != std::string::npos);
+}
+
+TEST_F(StaticCheckTest, EngineBindingsCount) {
+  engine_.BindVariable("host", Sequence{Item::Integer(1)});
+  EXPECT_TRUE(PrepareStatus("$host + 1").ok());
+}
+
+TEST_F(StaticCheckTest, ClauseBindingsScopeCorrectly) {
+  EXPECT_TRUE(PrepareStatus("for $x in (1,2) return $x").ok());
+  EXPECT_TRUE(PrepareStatus("for $x at $i in (1,2) return $i").ok());
+  EXPECT_TRUE(PrepareStatus("let $y := 1 return $y").ok());
+  EXPECT_TRUE(
+      PrepareStatus("some $q in (1,2) satisfies $q > 1").ok());
+  // A binding is not visible in its own initializer...
+  EXPECT_EQ(PrepareStatus("let $y := $y return 1").code(),
+            StatusCode::kStaticError);
+  // ...nor outside the FLWOR.
+  EXPECT_EQ(PrepareStatus("(for $x in (1) return $x), $x").code(),
+            StatusCode::kStaticError);
+}
+
+TEST_F(StaticCheckTest, TypeswitchCaseVariableScopes) {
+  EXPECT_TRUE(PrepareStatus("typeswitch (1) case $v as xs:integer "
+                            "return $v default return 0")
+                  .ok());
+  EXPECT_EQ(PrepareStatus("typeswitch (1) case xs:integer return $v "
+                          "default return 0")
+                .code(),
+            StatusCode::kStaticError);
+}
+
+TEST_F(StaticCheckTest, GlobalsVisibleInOrder) {
+  EXPECT_TRUE(PrepareStatus("declare variable $a := 1; "
+                            "declare variable $b := $a + 1; $b")
+                  .ok());
+  EXPECT_EQ(PrepareStatus("declare variable $b := $a + 1; "
+                          "declare variable $a := 1; $b")
+                .code(),
+            StatusCode::kStaticError);
+}
+
+TEST_F(StaticCheckTest, FunctionsSeeParamsAndGlobals) {
+  EXPECT_TRUE(PrepareStatus("declare variable $g := 1; "
+                            "declare function f($p) { $p + $g }; f(1)")
+                  .ok());
+  EXPECT_EQ(
+      PrepareStatus("declare function f() { $local }; "
+                    "let $local := 1 return f()")
+          .code(),
+      StatusCode::kStaticError);
+}
+
+TEST_F(StaticCheckTest, UnknownFunctionRejectedBeforeEvaluation) {
+  Status st = PrepareStatus("nope(1, 2)");
+  EXPECT_EQ(st.code(), StatusCode::kStaticError);
+  EXPECT_TRUE(st.message().find("nope") != std::string::npos);
+}
+
+TEST_F(StaticCheckTest, ArityMismatchRejected) {
+  EXPECT_EQ(PrepareStatus("declare function f($a) { $a }; f(1, 2)").code(),
+            StatusCode::kStaticError);
+  EXPECT_EQ(PrepareStatus("declare function f($a, $b) { $a }; f(1)").code(),
+            StatusCode::kStaticError);
+  EXPECT_TRUE(
+      PrepareStatus("declare function f($a, $b) { $a }; f(1, 2)").ok());
+}
+
+TEST_F(StaticCheckTest, LocalPrefixEquivalence) {
+  EXPECT_TRUE(
+      PrepareStatus("declare function local:f($a) { $a }; f(1)").ok());
+  EXPECT_TRUE(PrepareStatus("declare function g() { 1 }; local:g()").ok());
+}
+
+TEST_F(StaticCheckTest, BuiltinsAccepted) {
+  EXPECT_TRUE(PrepareStatus("count((1,2)) + fn:string-length(\"x\")").ok());
+}
+
+TEST_F(StaticCheckTest, NoSideEffectBeforeStaticError) {
+  // The error surfaces at prepare time: the store must be untouched
+  // even though the query's first step is an update inside a snap.
+  ASSERT_TRUE(engine_.LoadDocumentFromString("d", "<r/>").ok());
+  auto result = engine_.Execute(
+      "(snap insert { <x/> } into { doc('d')/r }, $undefined)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kStaticError);
+  auto doc = engine_.Execute("doc('d')");
+  EXPECT_EQ(engine_.Serialize(*doc), "<r/>");
+}
+
+TEST_F(StaticCheckTest, ChecksInsideConstructorsAndUpdates) {
+  EXPECT_EQ(PrepareStatus("<a b=\"{$missing}\"/>").code(),
+            StatusCode::kStaticError);
+  EXPECT_EQ(PrepareStatus("insert { <a/> } into { $missing }").code(),
+            StatusCode::kStaticError);
+  EXPECT_EQ(PrepareStatus("snap { delete { $missing } }").code(),
+            StatusCode::kStaticError);
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,187 @@
+// Tests for the XQuery 1.0 type-expression family: instance of,
+// treat as, castable as, cast as, and typeswitch.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+class TypesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.LoadDocumentFromString("d", "<r a=\"1\"><e>txt</e></r>")
+            .ok());
+  }
+
+  std::string Eval(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Status EvalStatus(const std::string& query) {
+    auto result = engine_.Execute(query);
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  Engine engine_;
+};
+
+TEST_F(TypesTest, InstanceOfAtomicTypes) {
+  EXPECT_EQ(Eval("1 instance of xs:integer"), "true");
+  EXPECT_EQ(Eval("1 instance of xs:double"), "false");
+  EXPECT_EQ(Eval("1.5 instance of xs:double"), "true");
+  EXPECT_EQ(Eval("\"x\" instance of xs:string"), "true");
+  EXPECT_EQ(Eval("true() instance of xs:boolean"), "true");
+  EXPECT_EQ(Eval("1 instance of xs:anyAtomicType"), "true");
+  EXPECT_EQ(Eval("data(doc('d')/r/@a) instance of xs:untypedAtomic"),
+            "true");
+}
+
+TEST_F(TypesTest, InstanceOfOccurrence) {
+  EXPECT_EQ(Eval("(1, 2) instance of xs:integer"), "false");
+  EXPECT_EQ(Eval("(1, 2) instance of xs:integer*"), "true");
+  EXPECT_EQ(Eval("(1, 2) instance of xs:integer+"), "true");
+  EXPECT_EQ(Eval("() instance of xs:integer?"), "true");
+  EXPECT_EQ(Eval("() instance of xs:integer+"), "false");
+  EXPECT_EQ(Eval("() instance of empty-sequence()"), "true");
+  EXPECT_EQ(Eval("1 instance of empty-sequence()"), "false");
+  EXPECT_EQ(Eval("(1, \"a\") instance of xs:integer*"), "false");
+}
+
+TEST_F(TypesTest, InstanceOfNodeKinds) {
+  EXPECT_EQ(Eval("doc('d')/r instance of element()"), "true");
+  EXPECT_EQ(Eval("doc('d')/r instance of element(r)"), "true");
+  EXPECT_EQ(Eval("doc('d')/r instance of element(other)"), "false");
+  EXPECT_EQ(Eval("doc('d')/r/@a instance of attribute()"), "true");
+  EXPECT_EQ(Eval("doc('d')/r/e/text() instance of text()"), "true");
+  EXPECT_EQ(Eval("doc('d') instance of document-node()"), "true");
+  EXPECT_EQ(Eval("doc('d')//node() instance of node()+"), "true");
+  EXPECT_EQ(Eval("1 instance of node()"), "false");
+  EXPECT_EQ(Eval("doc('d')/r instance of item()"), "true");
+  EXPECT_EQ(Eval("(1, doc('d')/r) instance of item()*"), "true");
+}
+
+TEST_F(TypesTest, TreatAs) {
+  EXPECT_EQ(Eval("(1 treat as xs:integer) + 1"), "2");
+  EXPECT_EQ(EvalStatus("(\"x\" treat as xs:integer)").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Eval("count(doc('d')/r treat as element())"), "1");
+  EXPECT_EQ(EvalStatus("((1,2) treat as xs:integer)").code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(TypesTest, CastAs) {
+  EXPECT_EQ(Eval("\"42\" cast as xs:integer"), "42");
+  EXPECT_EQ(Eval("(\"42\" cast as xs:integer) + 1"), "43");
+  EXPECT_EQ(Eval("3.9 cast as xs:integer"), "3");
+  EXPECT_EQ(Eval("-3.9 cast as xs:integer"), "-3");
+  EXPECT_EQ(Eval("17 cast as xs:string"), "17");
+  EXPECT_EQ(Eval("\"2.5\" cast as xs:double"), "2.5");
+  EXPECT_EQ(Eval("\"true\" cast as xs:boolean"), "true");
+  EXPECT_EQ(Eval("\" 0 \" cast as xs:boolean"), "false");
+  EXPECT_EQ(Eval("true() cast as xs:integer"), "1");
+  EXPECT_EQ(Eval("1 cast as xs:boolean"), "true");
+  EXPECT_EQ(Eval("doc('d')/r/@a cast as xs:integer"), "1");
+}
+
+TEST_F(TypesTest, CastErrors) {
+  EXPECT_EQ(EvalStatus("\"abc\" cast as xs:integer").code(),
+            StatusCode::kDynamicError);
+  EXPECT_EQ(EvalStatus("\"yes\" cast as xs:boolean").code(),
+            StatusCode::kDynamicError);
+  EXPECT_EQ(EvalStatus("() cast as xs:integer").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Eval("() cast as xs:integer?"), "");
+  EXPECT_EQ(EvalStatus("1 cast as xs:nosuch").code(),
+            StatusCode::kStaticError);
+}
+
+TEST_F(TypesTest, CastableAs) {
+  EXPECT_EQ(Eval("\"42\" castable as xs:integer"), "true");
+  EXPECT_EQ(Eval("\"abc\" castable as xs:integer"), "false");
+  EXPECT_EQ(Eval("\"true\" castable as xs:boolean"), "true");
+  EXPECT_EQ(Eval("() castable as xs:integer"), "false");
+  EXPECT_EQ(Eval("() castable as xs:integer?"), "true");
+  EXPECT_EQ(Eval("(1,2) castable as xs:integer"), "false");
+  EXPECT_EQ(Eval("if (\"7\" castable as xs:integer) "
+                 "then \"7\" cast as xs:integer else 0"),
+            "7");
+}
+
+TEST_F(TypesTest, TypeswitchSelectsFirstMatchingCase) {
+  const char* query =
+      "declare function describe($v) { "
+      "  typeswitch ($v) "
+      "    case xs:integer return \"int\" "
+      "    case xs:string return \"string\" "
+      "    case element() return \"element\" "
+      "    case node()+ return \"nodes\" "
+      "    default return \"other\" }; ";
+  EXPECT_EQ(Eval(std::string(query) + "describe(1)"), "int");
+  EXPECT_EQ(Eval(std::string(query) + "describe(\"x\")"), "string");
+  EXPECT_EQ(Eval(std::string(query) + "describe(doc('d')/r)"), "element");
+  EXPECT_EQ(Eval(std::string(query) + "describe(doc('d')//node())"),
+            "nodes");
+  EXPECT_EQ(Eval(std::string(query) + "describe(2.5)"), "other");
+  EXPECT_EQ(Eval(std::string(query) + "describe(())"), "other");
+}
+
+TEST_F(TypesTest, TypeswitchCaseVariableBinds) {
+  EXPECT_EQ(Eval("typeswitch ((1, 2, 3)) "
+                 "  case $n as xs:integer+ return sum($n) "
+                 "  default $d return count($d)"),
+            "6");
+  EXPECT_EQ(Eval("typeswitch ((\"a\", 1)) "
+                 "  case $n as xs:integer+ return sum($n) "
+                 "  default $d return count($d)"),
+            "2");
+}
+
+TEST_F(TypesTest, TypeswitchOnlyTakenBranchRuns) {
+  EXPECT_EQ(Eval("typeswitch (1) "
+                 "  case xs:integer return \"ok\" "
+                 "  default return error(\"must not run\")"),
+            "ok");
+}
+
+TEST_F(TypesTest, TypeswitchWithUpdates) {
+  // The taken branch's updates land in the enclosing snap scope.
+  EXPECT_EQ(Eval("typeswitch (doc('d')/r) "
+                 "  case element(r) return "
+                 "    (snap insert { <tagged/> } into { doc('d')/r }, "
+                 "     \"tagged\") "
+                 "  default return \"no\""),
+            "tagged");
+  EXPECT_EQ(Eval("count(doc('d')/r/tagged)"), "1");
+}
+
+TEST_F(TypesTest, ParserShapes) {
+  engine_.BindVariable("x", Sequence{});
+  auto prepared = engine_.Prepare("$x instance of element(p)*");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_EQ(prepared->program.body->DebugString(),
+            "(instance-of element(p)* (var x))");
+  prepared = engine_.Prepare(
+      "typeswitch (1) case $v as xs:integer return $v default return 0");
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_EQ(prepared->program.body->DebugString(),
+            "(typeswitch (case v xs:integer) (default) (int 1) (var v) "
+            "(int 0))");
+}
+
+TEST_F(TypesTest, KeywordsStillUsableAsPathNames) {
+  // "instance", "cast", "treat" parse as name tests when not followed
+  // by their partner keyword.
+  ASSERT_TRUE(
+      engine_.LoadDocumentFromString("k", "<r><instance/><cast/></r>")
+          .ok());
+  EXPECT_EQ(Eval("count(doc('k')/r/instance)"), "1");
+  EXPECT_EQ(Eval("count(doc('k')/r/cast)"), "1");
+}
+
+}  // namespace
+}  // namespace xqb

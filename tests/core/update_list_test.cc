@@ -1,0 +1,107 @@
+// E9: the update-list rope (Section 4.1's "specialized tree structure")
+// — O(1) concat, order-preserving flatten, and the update request
+// representation.
+
+#include <gtest/gtest.h>
+
+#include "core/update.h"
+
+namespace xqb {
+namespace {
+
+UpdateRequest Del(NodeId n) { return UpdateRequest::Delete(n); }
+
+std::vector<NodeId> TargetsOf(const UpdateList& list) {
+  std::vector<NodeId> out;
+  for (const UpdateRequest* r : list.Flatten()) out.push_back(r->target);
+  return out;
+}
+
+TEST(UpdateList, EmptyByDefault) {
+  UpdateList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.Flatten().empty());
+}
+
+TEST(UpdateList, SingleAndAppend) {
+  UpdateList list = UpdateList::Single(Del(1));
+  EXPECT_EQ(list.size(), 1u);
+  list.Append(Del(2));
+  list.Append(Del(3));
+  EXPECT_EQ(TargetsOf(list), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(UpdateList, ConcatPreservesOrder) {
+  UpdateList a;
+  a.Append(Del(1));
+  a.Append(Del(2));
+  UpdateList b;
+  b.Append(Del(3));
+  b.Append(Del(4));
+  UpdateList joined = UpdateList::Concat(a, b);
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_EQ(TargetsOf(joined), (std::vector<NodeId>{1, 2, 3, 4}));
+}
+
+TEST(UpdateList, ConcatWithEmptySides) {
+  UpdateList a;
+  a.Append(Del(1));
+  EXPECT_EQ(TargetsOf(UpdateList::Concat(a, UpdateList())),
+            (std::vector<NodeId>{1}));
+  EXPECT_EQ(TargetsOf(UpdateList::Concat(UpdateList(), a)),
+            (std::vector<NodeId>{1}));
+  EXPECT_TRUE(UpdateList::Concat(UpdateList(), UpdateList()).empty());
+}
+
+TEST(UpdateList, SharingIsSafe) {
+  // The rope is immutable: appending to a copy must not disturb the
+  // original (snap scopes share prefixes).
+  UpdateList a;
+  a.Append(Del(1));
+  UpdateList b = a;
+  b.Append(Del(2));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(UpdateList, DeepLeftChainFlattenIsIterative) {
+  // 100k appends produce a deep left-leaning tree; Flatten must not
+  // recurse (stack safety).
+  UpdateList list;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    list.Append(Del(static_cast<NodeId>(i)));
+  }
+  std::vector<const UpdateRequest*> flat = list.Flatten();
+  ASSERT_EQ(flat.size(), static_cast<size_t>(kN));
+  EXPECT_EQ(flat.front()->target, 0u);
+  EXPECT_EQ(flat.back()->target, static_cast<NodeId>(kN - 1));
+}
+
+TEST(UpdateList, TreeShapedConcatOrder) {
+  // ((1,2),(3,(4,5))) flattens left-to-right regardless of shape.
+  UpdateList l12 = UpdateList::Concat(UpdateList::Single(Del(1)),
+                                      UpdateList::Single(Del(2)));
+  UpdateList l45 = UpdateList::Concat(UpdateList::Single(Del(4)),
+                                      UpdateList::Single(Del(5)));
+  UpdateList l345 = UpdateList::Concat(UpdateList::Single(Del(3)), l45);
+  UpdateList all = UpdateList::Concat(l12, l345);
+  EXPECT_EQ(TargetsOf(all), (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(UpdateRequest, DebugStrings) {
+  EXPECT_EQ(Del(7).DebugString(), "delete(7)");
+  EXPECT_EQ(UpdateRequest::Rename(3, 9).DebugString(), "rename(3,9)");
+  EXPECT_EQ(UpdateRequest::InsertInto({1, 2}, 5, false).DebugString(),
+            "insert([1,2],last:5)");
+  EXPECT_EQ(UpdateRequest::InsertInto({1}, 5, true).DebugString(),
+            "insert([1],first:5)");
+  EXPECT_EQ(UpdateRequest::InsertAdjacent({1}, 6, true).DebugString(),
+            "insert([1],before:6)");
+  EXPECT_EQ(UpdateRequest::InsertAdjacent({1}, 6, false).DebugString(),
+            "insert([1],after:6)");
+}
+
+}  // namespace
+}  // namespace xqb

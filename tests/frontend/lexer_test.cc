@@ -1,0 +1,164 @@
+// Unit tests for the XQuery! tokenizer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "frontend/lexer.h"
+
+namespace xqb {
+namespace {
+
+std::vector<Token> LexAll(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Token> out;
+  for (;;) {
+    auto tok = lexer.Next();
+    EXPECT_TRUE(tok.ok()) << tok.status();
+    if (!tok.ok() || tok->kind == TokenKind::kEof) break;
+    out.push_back(*tok);
+  }
+  return out;
+}
+
+std::vector<TokenKind> KindsOf(std::string_view input) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : LexAll(input)) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(Lexer, NamesAndKeywordsAreNames) {
+  auto toks = LexAll("for let snap insert xs:integer local:f a-b a.b");
+  ASSERT_EQ(toks.size(), 8u);
+  for (const Token& t : toks) EXPECT_EQ(t.kind, TokenKind::kName);
+  EXPECT_EQ(toks[4].text, "xs:integer");
+  EXPECT_EQ(toks[5].text, "local:f");
+  EXPECT_EQ(toks[6].text, "a-b");
+  EXPECT_EQ(toks[7].text, "a.b");
+}
+
+TEST(Lexer, Variables) {
+  auto toks = LexAll("$x $long-name $ns:v");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kVar);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "long-name");
+  EXPECT_EQ(toks[2].text, "ns:v");
+}
+
+TEST(Lexer, VariableRequiresName) {
+  Lexer lexer("$ 1");
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(Lexer, IntegerAndDecimalLiterals) {
+  auto toks = LexAll("42 3.14 .5 1e3 2E-2 7.");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[1].kind, TokenKind::kDecimal);
+  EXPECT_EQ(toks[2].kind, TokenKind::kDecimal);
+  EXPECT_EQ(toks[2].text, ".5");
+  EXPECT_EQ(toks[3].kind, TokenKind::kDecimal);
+  EXPECT_EQ(toks[4].kind, TokenKind::kDecimal);
+  EXPECT_EQ(toks[5].kind, TokenKind::kDecimal);
+}
+
+TEST(Lexer, RangeDotsDoNotEatIntegers) {
+  // "1 to 2" spelled densely: `(1,2)` and `a..b` style pitfalls.
+  auto kinds = KindsOf("1..2");
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], TokenKind::kInteger);
+  EXPECT_EQ(kinds[1], TokenKind::kDotDot);
+  EXPECT_EQ(kinds[2], TokenKind::kInteger);
+}
+
+TEST(Lexer, StringsWithDoubledQuotes) {
+  auto toks = LexAll(R"("he said ""hi""" 'it''s')");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "he said \"hi\"");
+  EXPECT_EQ(toks[1].text, "it's");
+}
+
+TEST(Lexer, UnterminatedString) {
+  Lexer lexer("\"abc");
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto kinds = KindsOf("( ) { } [ ] , ; ? @ + - * | = != < <= > >= << >> "
+                       "/ // := :: . ..");
+  std::vector<TokenKind> expected = {
+      TokenKind::kLParen,     TokenKind::kRParen,   TokenKind::kLBrace,
+      TokenKind::kRBrace,     TokenKind::kLBracket, TokenKind::kRBracket,
+      TokenKind::kComma,      TokenKind::kSemicolon, TokenKind::kQuestion,
+      TokenKind::kAt,         TokenKind::kPlus,     TokenKind::kMinus,
+      TokenKind::kStar,       TokenKind::kBar,      TokenKind::kEq,
+      TokenKind::kNe,         TokenKind::kLt,       TokenKind::kLe,
+      TokenKind::kGt,         TokenKind::kGe,       TokenKind::kLtLt,
+      TokenKind::kGtGt,       TokenKind::kSlash,    TokenKind::kSlashSlash,
+      TokenKind::kAssign,     TokenKind::kColonColon, TokenKind::kDot,
+      TokenKind::kDotDot};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, AxisDoubleColonVsQNameColon) {
+  auto toks = LexAll("child::a ns:b");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "child");
+  EXPECT_EQ(toks[1].kind, TokenKind::kColonColon);
+  EXPECT_EQ(toks[2].text, "a");
+  EXPECT_EQ(toks[3].text, "ns:b");
+}
+
+TEST(Lexer, NestedComments) {
+  auto toks = LexAll("a (: outer (: inner :) still out :) b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedComment) {
+  Lexer lexer("a (: never closed");
+  ASSERT_TRUE(lexer.Next().ok());  // 'a'
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(Lexer, LineTracking) {
+  auto toks = LexAll("a\nb\n\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, ResetToReplaysTokens) {
+  Lexer lexer("alpha beta");
+  auto first = lexer.Next();
+  ASSERT_TRUE(first.ok());
+  size_t offset = first->end;
+  auto second = lexer.Next();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->text, "beta");
+  lexer.ResetTo(offset);
+  auto replay = lexer.Next();
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->text, "beta");
+}
+
+TEST(Lexer, SpansCoverLexemes) {
+  Lexer lexer("  foo  ");
+  auto tok = lexer.Next();
+  ASSERT_TRUE(tok.ok());
+  EXPECT_EQ(tok->begin, 2u);
+  EXPECT_EQ(tok->end, 5u);
+}
+
+TEST(Lexer, UnexpectedCharacter) {
+  Lexer lexer("#");
+  EXPECT_FALSE(lexer.Next().ok());
+  Lexer lexer2("!x");
+  EXPECT_FALSE(lexer2.Next().ok());
+}
+
+}  // namespace
+}  // namespace xqb

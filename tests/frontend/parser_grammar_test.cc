@@ -1,0 +1,309 @@
+// E1 (Figure 1): table-driven coverage of the XQuery! grammar. Each case
+// parses a program and checks the AST's s-expression rendering, so every
+// production of the paper's grammar appendix — and the XQuery 1.0 host
+// grammar — is exercised.
+
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+
+namespace xqb {
+namespace {
+
+struct GrammarCase {
+  const char* name;
+  const char* query;
+  const char* expected;  // Expr::DebugString of the parsed body.
+};
+
+class GrammarTest : public ::testing::TestWithParam<GrammarCase> {};
+
+TEST_P(GrammarTest, ParsesToExpectedShape) {
+  auto expr = ParseExpression(GetParam().query);
+  ASSERT_TRUE(expr.ok()) << GetParam().query << "\n" << expr.status();
+  EXPECT_EQ((*expr)->DebugString(), GetParam().expected)
+      << "query: " << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Literals, GrammarTest,
+    ::testing::Values(
+        GrammarCase{"integer", "42", "(int 42)"},
+        GrammarCase{"decimal", "2.5", "(decimal 2.5)"},
+        GrammarCase{"string_dq", "\"hi\"", "(string \"hi\")"},
+        GrammarCase{"string_sq", "'hi'", "(string \"hi\")"},
+        GrammarCase{"empty_seq", "()", "(empty)"},
+        GrammarCase{"paren_passthrough", "(1)", "(int 1)"},
+        GrammarCase{"sequence", "1, 2, 3",
+                    "(seq (int 1) (int 2) (int 3))"},
+        GrammarCase{"var", "$x", "(var x)"},
+        GrammarCase{"context_item", ".", "(context-item)"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, GrammarTest,
+    ::testing::Values(
+        GrammarCase{"precedence_mul_add", "1 + 2 * 3",
+                    "(binop \"+\" (int 1) (binop \"*\" (int 2) (int 3)))"},
+        GrammarCase{"left_assoc_minus", "5 - 2 - 1",
+                    "(binop \"-\" (binop \"-\" (int 5) (int 2)) (int 1))"},
+        GrammarCase{"div_idiv_mod", "7 div 2 idiv 3 mod 4",
+                    "(binop \"mod\" (binop \"idiv\" (binop \"div\" (int 7) "
+                    "(int 2)) (int 3)) (int 4))"},
+        GrammarCase{"unary_minus", "-$x", "(neg (var x))"},
+        GrammarCase{"double_negation", "--1", "(pos (int 1))"},
+        GrammarCase{"triple_negation", "---1", "(neg (int 1))"},
+        GrammarCase{"and_or_precedence", "1 or 2 and 3",
+                    "(binop \"or\" (int 1) (binop \"and\" (int 2) (int 3)))"},
+        GrammarCase{"general_eq", "$a = $b",
+                    "(binop \"=\" (var a) (var b))"},
+        GrammarCase{"general_le", "$a <= $b",
+                    "(binop \"<=\" (var a) (var b))"},
+        GrammarCase{"value_compare", "$a eq $b",
+                    "(binop \"eq\" (var a) (var b))"},
+        GrammarCase{"node_is", "$a is $b", "(binop \"is\" (var a) (var b))"},
+        GrammarCase{"node_before", "$a << $b",
+                    "(binop \"<<\" (var a) (var b))"},
+        GrammarCase{"range", "1 to 5", "(binop \"to\" (int 1) (int 5))"},
+        GrammarCase{"union_bar", "$a | $b",
+                    "(binop \"union\" (var a) (var b))"},
+        GrammarCase{"union_kw", "$a union $b",
+                    "(binop \"union\" (var a) (var b))"},
+        GrammarCase{"intersect", "$a intersect $b",
+                    "(binop \"intersect\" (var a) (var b))"},
+        GrammarCase{"except", "$a except $b",
+                    "(binop \"except\" (var a) (var b))"},
+        GrammarCase{"comparison_binds_loosest", "1 + 1 = 2",
+                    "(binop \"=\" (binop \"+\" (int 1) (int 1)) (int 2))"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, GrammarTest,
+    ::testing::Values(
+        GrammarCase{"child_name", "$d/foo",
+                    "(step child::foo (var d))"},
+        GrammarCase{"chained", "$d/a/b",
+                    "(step child::b (step child::a (var d)))"},
+        GrammarCase{"descendant_abbrev", "$d//a",
+                    "(step child::a (step descendant-or-self::node() "
+                    "(var d)))"},
+        GrammarCase{"attribute_abbrev", "$d/@id",
+                    "(step attribute::id (var d))"},
+        GrammarCase{"attribute_axis", "$d/attribute::id",
+                    "(step attribute::id (var d))"},
+        GrammarCase{"parent_abbrev", "$d/..",
+                    "(step parent::node() (var d))"},
+        GrammarCase{"self_axis", "$d/self::a",
+                    "(step self::a (var d))"},
+        GrammarCase{"ancestor_axis", "$d/ancestor-or-self::*",
+                    "(step ancestor-or-self::* (var d))"},
+        GrammarCase{"wildcard", "$d/*", "(step child::* (var d))"},
+        GrammarCase{"text_test", "$d/text()",
+                    "(step child::text() (var d))"},
+        GrammarCase{"node_test", "$d/node()",
+                    "(step child::node() (var d))"},
+        GrammarCase{"element_test", "$d/element(person)",
+                    "(step child::element(person) (var d))"},
+        GrammarCase{"predicate", "$d/a[1]",
+                    "(step child::a (var d) (int 1))"},
+        GrammarCase{"two_predicates", "$d/a[@x][2]",
+                    "(step child::a (var d) (step attribute::x "
+                    "(context-item)) (int 2))"},
+        GrammarCase{"filter_on_primary", "$x[3]",
+                    "(filter (var x) (int 3))"},
+        GrammarCase{"root_path", "/", "(root)"},
+        GrammarCase{"root_then_step", "/site",
+                    "(step child::site (root))"},
+        GrammarCase{"general_rhs", "$d/a/.",
+                    "(binop \"path\" (step child::a (var d)) "
+                    "(context-item))"},
+        GrammarCase{"leading_slashslash", "//person",
+                    "(step child::person (step descendant-or-self::node() "
+                    "(root)))"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Flwor, GrammarTest,
+    ::testing::Values(
+        GrammarCase{"for_return", "for $x in $s return $x",
+                    "(flwor (for x (var s)) (var x))"},
+        GrammarCase{"for_at", "for $x at $i in $s return $i",
+                    "(flwor (for x at i (var s)) (var i))"},
+        GrammarCase{"for_multiple", "for $x in $a, $y in $b return $x",
+                    "(flwor (for x (var a)) (for y (var b)) (var x))"},
+        GrammarCase{"let_return", "let $x := 1 return $x",
+                    "(flwor (let x (int 1)) (var x))"},
+        GrammarCase{"for_let_where",
+                    "for $x in $s let $y := $x where $y return $y",
+                    "(flwor (for x (var s)) (let y (var x)) "
+                    "(where (var y)) (var y))"},
+        GrammarCase{"order_by",
+                    "for $x in $s order by $x descending return $x",
+                    "(flwor (for x (var s)) (order-by (var x) desc) "
+                    "(var x))"},
+        GrammarCase{"some", "some $x in $s satisfies $x",
+                    "(quantified some (in x (var s)) (var x))"},
+        GrammarCase{"every", "every $x in $s satisfies $x",
+                    "(quantified every (in x (var s)) (var x))"},
+        GrammarCase{"if_then_else", "if ($c) then 1 else 2",
+                    "(if (var c) (int 1) (int 2))"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// Figure 1: the XQuery! update grammar.
+INSTANTIATE_TEST_SUITE_P(
+    Figure1Updates, GrammarTest,
+    ::testing::Values(
+        GrammarCase{"delete_braced", "delete { $x }",
+                    "(delete (var x))"},
+        GrammarCase{"delete_braceless", "delete $log/logentry",
+                    "(delete (step child::logentry (var log)))"},
+        GrammarCase{"insert_into", "insert { $n } into { $t }",
+                    "(insert into (var n) (var t))"},
+        GrammarCase{"insert_as_first",
+                    "insert { $n } as first into { $t }",
+                    "(insert as-first-into (var n) (var t))"},
+        GrammarCase{"insert_as_last",
+                    "insert { $n } as last into { $t }",
+                    "(insert as-last-into (var n) (var t))"},
+        GrammarCase{"insert_before", "insert { $n } before { $t }",
+                    "(insert before (var n) (var t))"},
+        GrammarCase{"insert_after", "insert { $n } after { $t }",
+                    "(insert after (var n) (var t))"},
+        GrammarCase{"replace", "replace { $t } with { $n }",
+                    "(replace (var t) (var n))"},
+        GrammarCase{"rename", "rename { $t } to { \"n\" }",
+                    "(rename (var t) (string \"n\"))"},
+        GrammarCase{"copy", "copy { $x }", "(copy (var x))"},
+        GrammarCase{"snap_plain", "snap { $x }",
+                    "(snap default (var x))"},
+        GrammarCase{"snap_ordered", "snap ordered { $x }",
+                    "(snap ordered (var x))"},
+        GrammarCase{"snap_nondeterministic",
+                    "snap nondeterministic { $x }",
+                    "(snap nondeterministic (var x))"},
+        GrammarCase{"snap_conflict", "snap conflict-detection { $x }",
+                    "(snap conflict-detection (var x))"},
+        GrammarCase{"snap_insert_sugar",
+                    "snap insert { $n } into { $t }",
+                    "(insert into snap (var n) (var t))"},
+        GrammarCase{"snap_delete_sugar", "snap delete { $x }",
+                    "(delete snap (var x))"},
+        GrammarCase{"snap_replace_sugar",
+                    "snap replace { $t } with { $n }",
+                    "(replace snap (var t) (var n))"},
+        GrammarCase{"snap_rename_sugar",
+                    "snap rename { $t } to { \"n\" }",
+                    "(rename snap (var t) (string \"n\"))"},
+        GrammarCase{"update_composes_in_sequence",
+                    "(insert { $n } into { $t }, $v)",
+                    "(seq (insert into (var n) (var t)) (var v))"},
+        GrammarCase{"update_in_function_arg",
+                    "count(snap { insert { $n } into { $t } })",
+                    "(call count (snap default (insert into (var n) "
+                    "(var t))))"},
+        GrammarCase{"nested_snap",
+                    "snap { snap { $x } }",
+                    "(snap default (snap default (var x)))"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+INSTANTIATE_TEST_SUITE_P(
+    Constructors, GrammarTest,
+    ::testing::Values(
+        GrammarCase{"direct_empty", "<a/>",
+                    "(element (string \"a\"))"},
+        GrammarCase{"direct_text", "<a>txt</a>",
+                    "(element (string \"a\") (text (string \"txt\")))"},
+        GrammarCase{"direct_attr", "<a b=\"v\"/>",
+                    "(element (string \"a\") (attribute (string \"b\") "
+                    "(string \"v\")))"},
+        GrammarCase{"direct_attr_template", "<a b=\"{$x}\"/>",
+                    "(element (string \"a\") (attribute (string \"b\") "
+                    "(var x)))"},
+        GrammarCase{"direct_attr_mixed_template", "<a b=\"v{$x}w\"/>",
+                    "(element (string \"a\") (attribute (string \"b\") "
+                    "(string \"v\") (var x) (string \"w\")))"},
+        GrammarCase{"direct_nested", "<a><b/></a>",
+                    "(element (string \"a\") (element (string \"b\")))"},
+        GrammarCase{"direct_enclosed", "<a>{$x}</a>",
+                    "(element (string \"a\") (var x))"},
+        GrammarCase{"direct_mixed", "<a>x{$y}z</a>",
+                    "(element (string \"a\") (text (string \"x\")) (var y) "
+                    "(text (string \"z\")))"},
+        GrammarCase{"direct_brace_escape", "<a>{{literal}}</a>",
+                    "(element (string \"a\") (text (string "
+                    "\"{literal}\")))"},
+        GrammarCase{"computed_element", "element {$n} {$c}",
+                    "(element (var n) (var c))"},
+        GrammarCase{"computed_element_name", "element foo {$c}",
+                    "(element (string \"foo\") (var c))"},
+        GrammarCase{"computed_attribute", "attribute {$n} {$v}",
+                    "(attribute (var n) (var v))"},
+        GrammarCase{"computed_text", "text {$v}", "(text (var v))"},
+        GrammarCase{"computed_comment", "comment {$v}",
+                    "(comment (var v))"},
+        GrammarCase{"computed_document", "document {$v}",
+                    "(document (var v))"},
+        GrammarCase{"element_named_element_in_path", "$d/element",
+                    "(step child::element (var d))"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ParserProgram, PrologVariableAndFunction) {
+  auto program = ParseProgram(
+      "declare variable $limit := 10; "
+      "declare variable $ext external; "
+      "declare function add($a, $b) { $a + $b }; "
+      "add($limit, $ext)");
+  ASSERT_TRUE(program.ok()) << program.status();
+  ASSERT_EQ(program->variables.size(), 2u);
+  EXPECT_EQ(program->variables[0].name, "limit");
+  EXPECT_FALSE(program->variables[0].external);
+  EXPECT_TRUE(program->variables[1].external);
+  ASSERT_EQ(program->functions.size(), 1u);
+  EXPECT_EQ(program->functions[0].name, "add");
+  EXPECT_EQ(program->functions[0].params.size(), 2u);
+  EXPECT_EQ(program->body->DebugString(),
+            "(call add (var limit) (var ext))");
+}
+
+TEST(ParserProgram, TypeAnnotationsAreAccepted) {
+  auto program = ParseProgram(
+      "declare variable $x as xs:integer := 1; "
+      "declare function f($a as item()*, $b as element(foo)?) "
+      "  as xs:string { \"ok\" }; "
+      "f($x, ())");
+  ASSERT_TRUE(program.ok()) << program.status();
+}
+
+struct BadQueryCase {
+  const char* name;
+  const char* query;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadQueryCase> {};
+
+TEST_P(ParserErrorTest, Rejects) {
+  auto r = ParseExpression(GetParam().query);
+  EXPECT_FALSE(r.ok()) << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        BadQueryCase{"unclosed_paren", "(1, 2"},
+        BadQueryCase{"trailing_tokens", "1 2"},
+        BadQueryCase{"for_without_in", "for $x return 1"},
+        BadQueryCase{"for_without_var", "for x in $s return 1"},
+        BadQueryCase{"if_without_else", "if ($c) then 1"},
+        BadQueryCase{"insert_missing_location", "insert { $n } { $t }"},
+        BadQueryCase{"replace_missing_with", "replace { $t } { $n }"},
+        BadQueryCase{"rename_missing_to", "rename { $t } { $n }"},
+        BadQueryCase{"snap_bad_mode_brace", "snap sideways { $x }"},
+        BadQueryCase{"mismatched_ctor_tags", "<a></b>"},
+        BadQueryCase{"unterminated_ctor", "<a>"},
+        BadQueryCase{"unterminated_enclosed", "<a>{1</a>"},
+        BadQueryCase{"predicate_unclosed", "$x[1"},
+        BadQueryCase{"empty_input", ""}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,138 @@
+// Round-trip property: unparse(parse(q)) re-parses to a structurally
+// identical AST (same DebugString), over a corpus covering the whole
+// grammar, plus behavioural round-trips through the engine.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "frontend/parser.h"
+#include "frontend/unparse.h"
+
+namespace xqb {
+namespace {
+
+class UnparseRoundTripTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(UnparseRoundTripTest, ReparsesToSameShape) {
+  auto original = ParseExpression(GetParam());
+  ASSERT_TRUE(original.ok()) << GetParam() << "\n" << original.status();
+  std::string printed = UnparseExpr(**original);
+  auto reparsed = ParseExpression(printed);
+  ASSERT_TRUE(reparsed.ok())
+      << "unparsed form failed to parse:\n" << printed << "\n"
+      << reparsed.status();
+  EXPECT_EQ((*reparsed)->DebugString(), (*original)->DebugString())
+      << "query: " << GetParam() << "\nprinted: " << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, UnparseRoundTripTest,
+    ::testing::Values(
+        // Literals & operators.
+        "42", "-7", "2.5", "1e3", "\"it''s\"", "()", "(1, 2, 3)",
+        "1 + 2 * 3", "5 - 2 - 1", "7 div 2 idiv 3 mod 4",
+        "1 to 10", "$a | $b", "$a intersect $b except $c",
+        "$a = $b", "$a eq $b", "$a is $b", "$a << $b",
+        "1 or 2 and 3", "-$x",
+        // Paths.
+        "$d/foo/bar", "$d//a[@x][2]", "$d/@id", "$d/..",
+        "$d/ancestor-or-self::*", "/site/people",
+        "//person[name]", "(//name)[1]", "$d/a/.",
+        "$x[3]", "(1, 2, 3)[. > 1]",
+        // FLWOR & friends.
+        "for $x at $i in (1, 2) where $x return ($i, $x)",
+        "for $x in $s order by $x descending, $x/@k empty greatest "
+        "return $x",
+        "let $y := 5 return $y * $y",
+        "some $x in $s satisfies $x > 2",
+        "every $x in $s, $y in $t satisfies $x = $y",
+        "if ($c) then 1 else 2",
+        // Constructors.
+        "<a/>", "<a b=\"1\" c=\"{$v}x\"/>",
+        "<a>text {$x} more<b>inner</b></a>",
+        "<a>{{literal braces}}</a>",
+        "element {$n} {$c}", "attribute {$n} {$v}",
+        "text {\"t\"}", "comment {\"c\"}", "document {<a/>}",
+        // Types.
+        "$x instance of element(p)+",
+        "$x instance of xs:integer?",
+        "$x treat as node()*",
+        "$x castable as xs:double",
+        "\"5\" cast as xs:integer",
+        "typeswitch ($v) case $n as xs:integer return $n "
+        "case element() return 0 default $d return count($d)",
+        // Updates (surface and normalized forms).
+        "insert { <a/> } into { $t }",
+        "insert { $n } as first into { $t }",
+        "insert { $n } before { $t }",
+        "snap insert { $n } after { $t }",
+        "delete { $x }", "snap delete { $x }",
+        "replace { $t } with { $n }",
+        "rename { $t } to { \"n\" }",
+        "copy { $x }",
+        "snap { 1 }", "snap ordered { $x }",
+        "snap nondeterministic { $x }",
+        "snap conflict-detection { $x }",
+        "snap atomic ordered { delete { $x } }",
+        "snap ordered { insert {<a/>} into {$x}, "
+        "snap { insert {<b/>} into {$x} }, insert {<c/>} into {$x} }",
+        // Function calls.
+        "count(doc(\"d\")//a)", "concat(\"a\", $b, 3)",
+        "string-join((\"a\", \"b\"), \",\")"));
+
+TEST(UnparseProgramTest, PrologRoundTrips) {
+  const char* source =
+      "declare variable $limit := 10; "
+      "declare variable $ext external; "
+      "declare updating function mark($t) { insert { <m/> } into { $t } }; "
+      "declare function add($a, $b) { $a + $b }; "
+      "add($limit, $ext)";
+  auto original = ParseProgram(source);
+  ASSERT_TRUE(original.ok());
+  std::string printed = UnparseProgram(*original);
+  auto reparsed = ParseProgram(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << "\n" << reparsed.status();
+  EXPECT_EQ(original->DebugString(), reparsed->DebugString());
+}
+
+TEST(UnparseBehaviourTest, PrintedQueriesEvaluateIdentically) {
+  // Behavioural check: run original and printed forms on fresh engines
+  // and compare results and final documents.
+  const char* queries[] = {
+      "for $p in doc('d')//p order by $p/@id descending "
+      "return <o v=\"{$p/@id}\"/>",
+      "let $x := doc('d')/r return snap ordered { "
+      "insert {<a/>} into {$x}, snap { insert {<b/>} into {$x} }, "
+      "insert {<c/>} into {$x} }",
+      "typeswitch (doc('d')/r) case element(r) return \"r\" "
+      "default return \"no\"",
+  };
+  for (const char* query : queries) {
+    auto parsed = ParseProgram(query);
+    ASSERT_TRUE(parsed.ok());
+    std::string printed = UnparseProgram(*parsed);
+
+    std::string results[2];
+    std::string docs[2];
+    int slot = 0;
+    for (const std::string& q : {std::string(query), printed}) {
+      Engine engine;
+      ASSERT_TRUE(engine
+                      .LoadDocumentFromString(
+                          "d", "<r><p id=\"2\"/><p id=\"1\"/></r>")
+                      .ok());
+      auto result = engine.Execute(q);
+      ASSERT_TRUE(result.ok()) << q << "\n" << result.status();
+      results[slot] = engine.Serialize(*result);
+      auto doc = engine.Execute("doc('d')");
+      docs[slot] = engine.Serialize(*doc);
+      ++slot;
+    }
+    EXPECT_EQ(results[0], results[1]) << query;
+    EXPECT_EQ(docs[0], docs[1]) << query;
+  }
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,201 @@
+// Robustness suites: adversarial inputs must produce error statuses,
+// never crashes — deep nesting, truncated programs, random mutations of
+// valid queries — plus a seed-swept random-FLWOR equivalence property
+// between the interpreter and the algebra.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "core/engine.h"
+#include "frontend/parser.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+namespace {
+
+TEST(Robustness, DeeplyNestedParensAreRejectedNotCrashed) {
+  std::string query(2000, '(');
+  query += "1";
+  query += std::string(2000, ')');
+  auto result = ParseExpression(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(Robustness, ModeratelyNestedParensStillParse) {
+  std::string query(100, '(');
+  query += "1";
+  query += std::string(100, ')');
+  EXPECT_TRUE(ParseExpression(query).ok());
+}
+
+TEST(Robustness, DeeplyNestedConstructorsAreRejected) {
+  std::string open, close;
+  for (int i = 0; i < 1000; ++i) {
+    open += "<a>";
+    close = "</a>" + close;
+  }
+  auto result = ParseExpression(open + close);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(Robustness, DeepUnaryChainsParseIteratively) {
+  std::string query(50000, '-');
+  query += "1";
+  auto result = ParseExpression(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  Engine engine;
+  auto value = engine.Execute(query);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(engine.Serialize(*value), "1");
+}
+
+TEST(Robustness, DeepXmlDocumentsAreRejectedNotCrashed) {
+  std::string open, close;
+  for (int i = 0; i < 5000; ++i) {
+    open += "<e>";
+    close = "</e>" + close;
+  }
+  Store store;
+  auto result = ParseXmlDocument(&store, open + close);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(Robustness, ModeratelyDeepXmlParses) {
+  std::string open, close;
+  for (int i = 0; i < 1000; ++i) {
+    open += "<e>";
+    close = "</e>" + close;
+  }
+  Store store;
+  EXPECT_TRUE(ParseXmlDocument(&store, open + close).ok());
+}
+
+TEST(Robustness, TruncatedQueriesErrorCleanly) {
+  const char* prefixes[] = {
+      "for $x in",
+      "let $y :=",
+      "if (1)",
+      "if (1) then 2 else",
+      "insert { <a/> }",
+      "snap {",
+      "<a b=\"",
+      "<a>{",
+      "typeswitch (1) case",
+      "1 +",
+      "$x[",
+      "declare function f(",
+  };
+  for (const char* prefix : prefixes) {
+    auto result = ParseProgram(prefix);
+    EXPECT_FALSE(result.ok()) << prefix;
+  }
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzzTest, MutatedQueriesNeverCrash) {
+  // Take valid queries, randomly delete/duplicate/replace characters,
+  // and feed the result to the full pipeline. Any Status is fine; the
+  // property is the absence of crashes/UB.
+  const std::string corpus[] = {
+      "for $x in doc('d')//a where $x/@k = 3 order by $x return <r>{$x}</r>",
+      "snap ordered { insert {<a/>} into {doc('d')/r}, "
+      "snap { delete {doc('d')/r/a} } }",
+      "declare function f($n) { if ($n <= 0) then 0 else f($n - 1) }; f(3)",
+      "typeswitch (doc('d')/r) case $e as element() return name($e) "
+      "default return \"x\"",
+      "replace { doc('d')/r/a } with { <b c=\"{1 + 2}\">t</b> }",
+      "every $p in doc('d')//a satisfies $p/@k castable as xs:integer",
+  };
+  std::mt19937_64 rng(GetParam());
+  for (const std::string& base : corpus) {
+    for (int round = 0; round < 25; ++round) {
+      std::string mutated = base;
+      int edits = 1 + static_cast<int>(rng() % 4);
+      for (int e = 0; e < edits && !mutated.empty(); ++e) {
+        size_t pos = rng() % mutated.size();
+        switch (rng() % 3) {
+          case 0:
+            mutated.erase(pos, 1);
+            break;
+          case 1:
+            mutated.insert(pos, 1, mutated[rng() % mutated.size()]);
+            break;
+          default:
+            mutated[pos] = static_cast<char>("{}()<>/@$=\"' abc1"[rng() % 17]);
+        }
+      }
+      Engine engine;
+      (void)engine.LoadDocumentFromString(
+          "d", "<r><a k=\"3\">x</a><a k=\"4\">y</a></r>");
+      auto result = engine.Execute(mutated);
+      (void)result;  // Error statuses are expected and fine.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+class RandomFlworEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomFlworEquivalenceTest, InterpreterMatchesAlgebra) {
+  // Generate random (pure) FLWOR queries over a fixed document and
+  // check interpreter == algebra on the serialized result.
+  std::mt19937_64 rng(GetParam());
+  auto pick = [&](std::initializer_list<const char*> options) {
+    return *(options.begin() +
+             static_cast<long>(rng() % options.size()));
+  };
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .LoadDocumentFromString(
+                      "d",
+                      "<r><p id=\"1\" k=\"x\"/><p id=\"2\" k=\"y\"/>"
+                      "<p id=\"3\" k=\"x\"/>"
+                      "<t ref=\"1\"/><t ref=\"3\"/><t ref=\"3\"/></r>")
+                  .ok());
+  for (int round = 0; round < 20; ++round) {
+    std::string query = "for $p in doc('d')//p ";
+    if (rng() % 2) {
+      query += std::string("let $a := for $t in doc('d')//t where ") +
+               pick({"$t/@ref = $p/@id", "$p/@id = $t/@ref"}) +
+               " return $t ";
+    } else {
+      query += "let $a := $p/@k ";
+    }
+    if (rng() % 2) {
+      query += std::string("where ") +
+               pick({"$p/@k = 'x'", "count($a) > 0", "$p/@id != '2'"}) +
+               " ";
+    }
+    if (rng() % 2) {
+      query += std::string("order by ") +
+               pick({"$p/@id descending", "$p/@k, $p/@id", "count($a)"}) +
+               " ";
+    }
+    query += std::string("return ") +
+             pick({"count($a)", "<o id=\"{$p/@id}\" n=\"{count($a)}\"/>",
+                   "string($p/@k)"});
+    ExecOptions interpreted;
+    auto r1 = engine.Execute(query, interpreted);
+    ASSERT_TRUE(r1.ok()) << query << "\n" << r1.status();
+    ExecOptions optimized;
+    optimized.optimize = true;
+    auto r2 = engine.Execute(query, optimized);
+    ASSERT_TRUE(r2.ok()) << query << "\n" << r2.status();
+    EXPECT_EQ(engine.Serialize(*r1), engine.Serialize(*r2)) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlworEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,127 @@
+// E4: the Section 2 Web-service use case end-to-end — get_item with
+// logging inside a function, log rotation through explicit snaps, and
+// the nested-snap counter stamping entry ids.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace xqb {
+namespace {
+
+class WebServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    params.factor = 0.1;
+    NodeId auction = GenerateXMarkDocument(&engine_.store(), params);
+    engine_.RegisterDocument("auction", auction);
+    ASSERT_TRUE(engine_.LoadDocumentFromString("log", "<log/>").ok());
+    ASSERT_TRUE(
+        engine_.LoadDocumentFromString("archive", "<archive/>").ok());
+  }
+
+  /// The service module with `calls` invocations of get_item.
+  std::string ServiceModule(int calls, int maxlog) {
+    return "declare variable $maxlog := " + std::to_string(maxlog) +
+           "; "
+           "declare variable $d := element counter { 0 }; "
+           "declare function nextid() { "
+           "  snap { replace { $d/text() } with { $d + 1 }, "
+           "         string($d + 1) } }; "
+           "declare function archivelog() { "
+           "  snap insert { <archived "
+           "entries=\"{count(doc('log')/log/logentry)}\"/> } "
+           "       into { doc('archive')/archive } }; "
+           "declare function get_item($itemid, $userid) { "
+           "  let $item := doc('auction')//item[@id = $itemid] "
+           "  return ( "
+           "    let $name := doc('auction')//person[@id = $userid]/name "
+           "    return ( "
+           "      snap insert { <logentry id=\"{nextid()}\" "
+           "                              user=\"{$name}\" "
+           "                              itemid=\"{$itemid}\"/> } "
+           "           into { doc('log')/log }, "
+           "      if (count(doc('log')/log/logentry) >= $maxlog) "
+           "      then (archivelog(), "
+           "            snap delete { doc('log')/log/logentry }) "
+           "      else () ), "
+           "    $item ) }; "
+           "for $i in 0 to " +
+           std::to_string(calls - 1) +
+           " return get_item(concat(\"item\", $i), "
+           "                 concat(\"person\", $i))";
+  }
+
+  std::string Run(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  Engine engine_;
+};
+
+TEST_F(WebServiceTest, GetItemReturnsValueAndLogs) {
+  // "expressions that have a side-effect (the log entry insertion) and
+  // also return a value (the item itself)".
+  auto result = engine_.Execute(ServiceModule(1, 100));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);  // The item element came back.
+  EXPECT_EQ(Run("count(doc('log')/log/logentry)"), "1");
+  EXPECT_EQ(Run("string(doc('log')/log/logentry/@itemid)"), "item0");
+  // The user attribute resolved the person's name.
+  EXPECT_NE(Run("string(doc('log')/log/logentry/@user)"), "");
+}
+
+TEST_F(WebServiceTest, LogEntriesCarryMonotoneIds) {
+  ASSERT_TRUE(engine_.Execute(ServiceModule(4, 100)).ok());
+  EXPECT_EQ(Run("for $e in doc('log')/log/logentry return string($e/@id)"),
+            "1 2 3 4");
+}
+
+TEST_F(WebServiceTest, RotationArchivesEveryMaxlogEntries) {
+  ASSERT_TRUE(engine_.Execute(ServiceModule(10, 4)).ok());
+  // 10 calls with maxlog 4: rotations after entries 4 and 8, leaving 2.
+  EXPECT_EQ(Run("count(doc('archive')/archive/archived)"), "2");
+  EXPECT_EQ(Run("doc('archive')/archive/archived/string(@entries)"),
+            "4 4");
+  EXPECT_EQ(Run("count(doc('log')/log/logentry)"), "2");
+  // Ids keep counting across rotations.
+  EXPECT_EQ(Run("for $e in doc('log')/log/logentry return string($e/@id)"),
+            "9 10");
+}
+
+TEST_F(WebServiceTest, ItemsAreStillReturnedWithLoggingOn) {
+  auto result = engine_.Execute(ServiceModule(5, 2));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+  for (const Item& item : *result) {
+    ASSERT_TRUE(item.is_node());
+    EXPECT_EQ(engine_.store().NameOf(item.node()), "item");
+  }
+}
+
+TEST_F(WebServiceTest, StateAccumulatesAcrossQueries) {
+  // Sessions: each Execute is one service batch; the log persists.
+  ASSERT_TRUE(engine_.Execute(ServiceModule(2, 100)).ok());
+  EXPECT_EQ(Run("count(doc('log')/log/logentry)"), "2");
+  ASSERT_TRUE(engine_.Execute(ServiceModule(3, 100)).ok());
+  EXPECT_EQ(Run("count(doc('log')/log/logentry)"), "5");
+}
+
+TEST_F(WebServiceTest, UnknownUserLogsEmptyName) {
+  ASSERT_TRUE(engine_
+                  .Execute(
+                      "declare function get($u) { "
+                      "snap insert { <logentry "
+                      "user=\"{doc('auction')//person[@id=$u]/name}\"/> } "
+                      "into { doc('log')/log } }; "
+                      "get(\"person999999\")")
+                  .ok());
+  EXPECT_EQ(Run("string(doc('log')/log/logentry/@user)"), "");
+}
+
+}  // namespace
+}  // namespace xqb

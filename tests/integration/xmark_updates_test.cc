@@ -1,0 +1,135 @@
+// An XMark update workload in XQuery!: the standard update-benchmark
+// operations (insert bid, close auction, delete history, rename,
+// bulk-load) expressed with snap, run against the generated document
+// and verified by counting invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace xqb {
+namespace {
+
+class XMarkUpdatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    XMarkParams params;
+    params.factor = 0.2;
+    params.seed = 7;
+    NodeId doc = GenerateXMarkDocument(&engine_.store(), params);
+    engine_.RegisterDocument("auction", doc);
+  }
+
+  std::string Run(const std::string& query) {
+    auto result = engine_.Execute(query);
+    if (!result.ok()) return "ERROR: " + result.status().ToString();
+    return engine_.Serialize(*result);
+  }
+
+  int Count(const std::string& path) {
+    return std::stoi(Run("count(" + path + ")"));
+  }
+
+  Engine engine_;
+};
+
+TEST_F(XMarkUpdatesTest, U1InsertBidOnEveryOpenAuction) {
+  int auctions = Count("doc('auction')//open_auction");
+  int bidders = Count("doc('auction')//bidder");
+  EXPECT_EQ(Run("for $a in doc('auction')//open_auction return "
+                "insert { <bidder><date>01/01/2001</date>"
+                "<personref person=\"person0\"/>"
+                "<increase>13.37</increase></bidder> } into { $a }"),
+            "");
+  EXPECT_EQ(Count("doc('auction')//bidder"), bidders + auctions);
+  // Every auction gained exactly one (the new one is last).
+  EXPECT_EQ(Count("doc('auction')//open_auction"
+                  "[bidder[last()]/increase = '13.37']"),
+            auctions);
+}
+
+TEST_F(XMarkUpdatesTest, U2CloseAuctions) {
+  // Move every open auction with 3+ bids into closed_auctions,
+  // re-shaped, and delete the originals — all in one snapshot.
+  int closed_before = Count("doc('auction')//closed_auction");
+  int to_close = Count("doc('auction')//open_auction[count(bidder) >= 3]");
+  ASSERT_GT(to_close, 0);
+  EXPECT_EQ(
+      Run("let $site := doc('auction')/site return "
+          "for $a in $site/open_auctions/open_auction"
+          "[count(bidder) >= 3] return ("
+          "  insert { <closed_auction>"
+          "    <seller person=\"{$a/seller/@person}\"/>"
+          "    <buyer person=\"{$a/bidder[last()]/personref/@person}\"/>"
+          "    <itemref item=\"{$a/itemref/@item}\"/>"
+          "    <price>{string($a/current)}</price>"
+          "  </closed_auction> } into { $site/closed_auctions }, "
+          "  delete { $a } )"),
+      "");
+  EXPECT_EQ(Count("doc('auction')//closed_auction"),
+            closed_before + to_close);
+  EXPECT_EQ(Count("doc('auction')//open_auction[count(bidder) >= 3]"), 0);
+}
+
+TEST_F(XMarkUpdatesTest, U3RenameCategoryTags) {
+  int items = Count("doc('auction')//item");
+  EXPECT_EQ(Run("for $i in doc('auction')//item return "
+                "rename { $i } to { \"product\" }"),
+            "");
+  EXPECT_EQ(Count("doc('auction')//item"), 0);
+  EXPECT_EQ(Count("doc('auction')//product"), items);
+}
+
+TEST_F(XMarkUpdatesTest, U4DeleteClosedAuctionHistory) {
+  ASSERT_GT(Count("doc('auction')//closed_auction"), 0);
+  EXPECT_EQ(Run("snap delete { doc('auction')//closed_auction }"), "");
+  EXPECT_EQ(Count("doc('auction')//closed_auction"), 0);
+  // The container stays.
+  EXPECT_EQ(Count("doc('auction')/site/closed_auctions"), 1);
+  size_t freed = engine_.CollectGarbage();
+  EXPECT_GT(freed, 0u);
+}
+
+TEST_F(XMarkUpdatesTest, U5ReplacePrices) {
+  // Apply a 10% increase to every closed price via replace.
+  double before = std::stod(
+      Run("sum(doc('auction')//closed_auction/price)"));
+  EXPECT_EQ(Run("for $p in doc('auction')//closed_auction/price return "
+                "replace { $p/text() } with { number($p) * 1.1 }"),
+            "");
+  double after = std::stod(
+      Run("sum(doc('auction')//closed_auction/price)"));
+  EXPECT_NEAR(after, before * 1.1, before * 0.001);
+}
+
+TEST_F(XMarkUpdatesTest, U6BulkAppendPersons) {
+  int persons = Count("doc('auction')//person");
+  EXPECT_EQ(Run("let $people := doc('auction')/site/people return "
+                "for $i in 1 to 25 return "
+                "insert { <person id=\"new{$i}\">"
+                "<name>Bulk Loaded</name></person> } into { $people }"),
+            "");
+  EXPECT_EQ(Count("doc('auction')//person"), persons + 25);
+  EXPECT_EQ(Run("string(id('new7', doc('auction'))/name)"),
+            "Bulk Loaded");
+}
+
+TEST_F(XMarkUpdatesTest, MixedWorkloadKeepsInvariants) {
+  // Interleave inserts, deletes and renames across several snapshots,
+  // then check referential integrity of what remains.
+  EXPECT_EQ(Run("snap { for $a in doc('auction')//open_auction"
+                "[position() <= 5] return delete { $a } }"),
+            "");
+  EXPECT_EQ(Run("for $p in doc('auction')//person[position() <= 10] "
+                "return insert { <verified/> } into { $p }"),
+            "");
+  EXPECT_EQ(Count("doc('auction')//person/verified"), 10);
+  // Remaining bidders still reference existing persons.
+  EXPECT_EQ(Count("doc('auction')//open_auction/bidder/personref"
+                  "[not(@person = doc('auction')//person/@id)]"),
+            0);
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,46 @@
+// End-to-end smoke checks: the full pipeline (parse -> normalize ->
+// evaluate -> serialize) on small programs, including the paper's
+// Section 3.4 snap-nesting example.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+TEST(Smoke, ArithmeticQuery) {
+  Engine engine;
+  auto result = engine.Execute("1 + 2 * 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(engine.Serialize(*result), "7");
+}
+
+TEST(Smoke, FlworOverConstructedElement) {
+  Engine engine;
+  auto result = engine.Execute(
+      "let $doc := <root><a>1</a><a>2</a><b>3</b></root> "
+      "return for $x in $doc/a return <hit>{ $x/text() }</hit>");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(engine.Serialize(*result), "<hit>1</hit><hit>2</hit>");
+}
+
+TEST(Smoke, SnapNestingExampleFromSection34) {
+  // snap ordered { insert <a/> into $x, snap { insert <b/> into $x },
+  //                insert <c/> into $x }  =>  children b, a, c.
+  Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", "<x/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  auto result = engine.Execute(
+      "let $x := doc('d')/x return "
+      "snap ordered { insert {<a/>} into {$x}, "
+      "               snap { insert {<b/>} into {$x} }, "
+      "               insert {<c/>} into {$x} }");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto after = engine.Execute("doc('d')");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(engine.Serialize(*after), "<x><b/><a/><c/></x>");
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,213 @@
+// Unit tests for items, atomic values, atomization, effective boolean
+// value, and the comparison kernel shared by the evaluator and algebra.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xdm/item.h"
+#include "xdm/store.h"
+
+namespace xqb {
+namespace {
+
+TEST(AtomicValue, ConstructorsAndToString) {
+  EXPECT_EQ(AtomicValue::Integer(42).ToString(), "42");
+  EXPECT_EQ(AtomicValue::Integer(-7).ToString(), "-7");
+  EXPECT_EQ(AtomicValue::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(AtomicValue::Double(3.0).ToString(), "3");
+  EXPECT_EQ(AtomicValue::Boolean(true).ToString(), "true");
+  EXPECT_EQ(AtomicValue::Boolean(false).ToString(), "false");
+  EXPECT_EQ(AtomicValue::String("hi").ToString(), "hi");
+  EXPECT_EQ(AtomicValue::Untyped("u").ToString(), "u");
+}
+
+TEST(AtomicValue, TypePredicates) {
+  EXPECT_TRUE(AtomicValue::Integer(1).is_numeric());
+  EXPECT_TRUE(AtomicValue::Double(1).is_numeric());
+  EXPECT_FALSE(AtomicValue::String("1").is_numeric());
+  EXPECT_FALSE(AtomicValue::Boolean(true).is_numeric());
+}
+
+TEST(AtomicValue, ToDoubleNumeric) {
+  EXPECT_EQ(*AtomicValue::Integer(5).ToDouble(), 5.0);
+  EXPECT_EQ(*AtomicValue::Double(2.5).ToDouble(), 2.5);
+}
+
+TEST(AtomicValue, ToDoubleParsesStrings) {
+  EXPECT_EQ(*AtomicValue::Untyped(" 42 ").ToDouble(), 42.0);
+  EXPECT_EQ(*AtomicValue::String("-1.5e2").ToDouble(), -150.0);
+  EXPECT_TRUE(std::isnan(*AtomicValue::Untyped("NaN").ToDouble()));
+  EXPECT_TRUE(std::isinf(*AtomicValue::Untyped("INF").ToDouble()));
+  EXPECT_FALSE(AtomicValue::Untyped("abc").ToDouble().ok());
+  EXPECT_FALSE(AtomicValue::Untyped("").ToDouble().ok());
+  EXPECT_FALSE(AtomicValue::Untyped("12x").ToDouble().ok());
+  EXPECT_FALSE(AtomicValue::Boolean(true).ToDouble().ok());
+}
+
+TEST(Item, NodeAndAtomicAccessors) {
+  Item node = Item::Node(7);
+  EXPECT_TRUE(node.is_node());
+  EXPECT_FALSE(node.is_atomic());
+  EXPECT_EQ(node.node(), 7u);
+  Item atom = Item::Integer(3);
+  EXPECT_TRUE(atom.is_atomic());
+  EXPECT_EQ(atom.atom().int_value(), 3);
+}
+
+TEST(Atomize, NodesBecomeUntypedStringValues) {
+  Store store;
+  NodeId elem = store.NewElement("e");
+  ASSERT_TRUE(store.AppendChild(elem, store.NewText("42")).ok());
+  AtomicValue a = AtomizeItem(store, Item::Node(elem));
+  EXPECT_EQ(a.type(), AtomicType::kUntyped);
+  EXPECT_EQ(a.str(), "42");
+  std::vector<AtomicValue> seq =
+      Atomize(store, {Item::Node(elem), Item::Integer(1)});
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[1].type(), AtomicType::kInteger);
+}
+
+TEST(EffectiveBooleanValue, EmptyAndNodes) {
+  Store store;
+  EXPECT_FALSE(*EffectiveBooleanValue(store, {}));
+  NodeId n = store.NewElement("e");
+  EXPECT_TRUE(*EffectiveBooleanValue(store, {Item::Node(n)}));
+  // Multi-item starting with a node is true regardless of the rest.
+  EXPECT_TRUE(
+      *EffectiveBooleanValue(store, {Item::Node(n), Item::Boolean(false)}));
+}
+
+TEST(EffectiveBooleanValue, SingleAtomics) {
+  Store store;
+  EXPECT_TRUE(*EffectiveBooleanValue(store, {Item::Boolean(true)}));
+  EXPECT_FALSE(*EffectiveBooleanValue(store, {Item::Boolean(false)}));
+  EXPECT_TRUE(*EffectiveBooleanValue(store, {Item::Integer(1)}));
+  EXPECT_FALSE(*EffectiveBooleanValue(store, {Item::Integer(0)}));
+  EXPECT_FALSE(*EffectiveBooleanValue(store, {Item::Double(0.0)}));
+  EXPECT_FALSE(
+      *EffectiveBooleanValue(store, {Item::Double(std::nan(""))}));
+  EXPECT_TRUE(*EffectiveBooleanValue(store, {Item::String("x")}));
+  EXPECT_FALSE(*EffectiveBooleanValue(store, {Item::String("")}));
+}
+
+TEST(EffectiveBooleanValue, MultiAtomicErrors) {
+  Store store;
+  Result<bool> r =
+      EffectiveBooleanValue(store, {Item::Integer(1), Item::Integer(2)});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDynamicError);
+}
+
+TEST(ItemToString, NodeUsesStringValue) {
+  Store store;
+  NodeId e = store.NewElement("e");
+  ASSERT_TRUE(store.AppendChild(e, store.NewText("v")).ok());
+  EXPECT_EQ(ItemToString(store, Item::Node(e)), "v");
+  EXPECT_EQ(ItemToString(store, Item::Double(1.5)), "1.5");
+}
+
+TEST(SequenceToString, SpaceSeparated) {
+  Store store;
+  EXPECT_EQ(SequenceToString(store, {}), "");
+  EXPECT_EQ(SequenceToString(
+                store, {Item::Integer(1), Item::String("a"), Item::Integer(2)}),
+            "1 a 2");
+}
+
+// ---- CompareAtomic matrix ----
+
+struct CompareCase {
+  const char* name;
+  AtomicValue lhs;
+  AtomicValue rhs;
+  const char* op;
+  bool expected;
+};
+
+class CompareAtomicTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(CompareAtomicTest, Compare) {
+  const CompareCase& c = GetParam();
+  Result<bool> r = CompareAtomic(c.lhs, c.rhs, c.op);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CompareAtomicTest,
+    ::testing::Values(
+        CompareCase{"int_eq", AtomicValue::Integer(3),
+                    AtomicValue::Integer(3), "eq", true},
+        CompareCase{"int_ne", AtomicValue::Integer(3),
+                    AtomicValue::Integer(4), "ne", true},
+        CompareCase{"int_lt", AtomicValue::Integer(3),
+                    AtomicValue::Integer(4), "lt", true},
+        CompareCase{"int_le_eq", AtomicValue::Integer(3),
+                    AtomicValue::Integer(3), "le", true},
+        CompareCase{"int_gt_false", AtomicValue::Integer(3),
+                    AtomicValue::Integer(4), "gt", false},
+        CompareCase{"int_ge", AtomicValue::Integer(4),
+                    AtomicValue::Integer(4), "ge", true},
+        CompareCase{"int_double_mix", AtomicValue::Integer(1),
+                    AtomicValue::Double(1.0), "eq", true},
+        CompareCase{"untyped_coerces_to_number",
+                    AtomicValue::Untyped("10"), AtomicValue::Integer(9),
+                    "gt", true},
+        CompareCase{"untyped_untyped_string_order",
+                    AtomicValue::Untyped("10"), AtomicValue::Untyped("9"),
+                    "lt", true},  // "10" < "9" as strings
+        CompareCase{"string_string", AtomicValue::String("abc"),
+                    AtomicValue::String("abd"), "lt", true},
+        CompareCase{"string_untyped", AtomicValue::String("a"),
+                    AtomicValue::Untyped("a"), "eq", true},
+        CompareCase{"bool_eq", AtomicValue::Boolean(true),
+                    AtomicValue::Boolean(true), "eq", true},
+        CompareCase{"bool_lt", AtomicValue::Boolean(false),
+                    AtomicValue::Boolean(true), "lt", true},
+        CompareCase{"bool_untyped", AtomicValue::Boolean(true),
+                    AtomicValue::Untyped("true"), "eq", true},
+        CompareCase{"nan_ne_itself", AtomicValue::Double(std::nan("")),
+                    AtomicValue::Double(std::nan("")), "ne", true},
+        CompareCase{"nan_not_eq", AtomicValue::Double(std::nan("")),
+                    AtomicValue::Double(1), "eq", false}),
+    [](const ::testing::TestParamInfo<CompareCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CompareAtomic, IncomparableTypesError) {
+  EXPECT_FALSE(
+      CompareAtomic(AtomicValue::String("1"), AtomicValue::Integer(1), "eq")
+          .ok());
+  EXPECT_FALSE(CompareAtomic(AtomicValue::Boolean(true),
+                             AtomicValue::String("true"), "eq")
+                   .ok());
+  EXPECT_FALSE(
+      CompareAtomic(AtomicValue::Untyped("abc"), AtomicValue::Integer(1),
+                    "eq")
+          .ok());
+}
+
+TEST(SortDocOrderDedup, SortsAndDeduplicates) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId a = store.NewElement("a");
+  NodeId b = store.NewElement("b");
+  ASSERT_TRUE(store.AppendChild(root, a).ok());
+  ASSERT_TRUE(store.AppendChild(root, b).ok());
+  Result<Sequence> sorted = SortDocOrderDedup(
+      store, {Item::Node(b), Item::Node(a), Item::Node(b), Item::Node(root)});
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->size(), 3u);
+  EXPECT_EQ((*sorted)[0].node(), root);
+  EXPECT_EQ((*sorted)[1].node(), a);
+  EXPECT_EQ((*sorted)[2].node(), b);
+}
+
+TEST(SortDocOrderDedup, RejectsAtomics) {
+  Store store;
+  EXPECT_FALSE(SortDocOrderDedup(store, {Item::Integer(1)}).ok());
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,400 @@
+// Unit tests for the XDM store: node construction, accessors, tree
+// mutation primitives (the Section 3.2 update operations), document
+// order, deep copy, and the detach semantics of Section 3.1.
+
+#include <gtest/gtest.h>
+
+#include "xdm/store.h"
+
+namespace xqb {
+namespace {
+
+TEST(QNamePool, InternIsIdempotent) {
+  QNamePool pool;
+  QNameId a = pool.Intern("foo");
+  QNameId b = pool.Intern("foo");
+  QNameId c = pool.Intern("bar");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.NameOf(a), "foo");
+  EXPECT_EQ(pool.NameOf(c), "bar");
+  EXPECT_EQ(pool.Lookup("foo"), a);
+  EXPECT_EQ(pool.Lookup("absent"), kInvalidQName);
+}
+
+TEST(Store, ConstructorsSetKindNameContent) {
+  Store store;
+  NodeId doc = store.NewDocument();
+  NodeId elem = store.NewElement("item");
+  NodeId attr = store.NewAttribute("id", "i1");
+  NodeId text = store.NewText("hello");
+  NodeId comment = store.NewComment("note");
+  NodeId pi = store.NewProcessingInstruction("target", "data");
+
+  EXPECT_EQ(store.KindOf(doc), NodeKind::kDocument);
+  EXPECT_EQ(store.KindOf(elem), NodeKind::kElement);
+  EXPECT_EQ(store.KindOf(attr), NodeKind::kAttribute);
+  EXPECT_EQ(store.KindOf(text), NodeKind::kText);
+  EXPECT_EQ(store.KindOf(comment), NodeKind::kComment);
+  EXPECT_EQ(store.KindOf(pi), NodeKind::kProcessingInstruction);
+
+  EXPECT_EQ(store.NameOf(elem), "item");
+  EXPECT_EQ(store.NameOf(attr), "id");
+  EXPECT_EQ(store.NameOf(pi), "target");
+  EXPECT_EQ(store.ContentOf(attr), "i1");
+  EXPECT_EQ(store.ContentOf(text), "hello");
+  EXPECT_EQ(store.live_node_count(), 6u);
+  for (NodeId n : {doc, elem, attr, text, comment, pi}) {
+    EXPECT_EQ(store.ParentOf(n), kInvalidNode);
+    EXPECT_TRUE(store.IsValid(n));
+  }
+}
+
+TEST(Store, AppendChildSetsParentAndOrder) {
+  Store store;
+  NodeId root = store.NewElement("root");
+  NodeId a = store.NewElement("a");
+  NodeId b = store.NewElement("b");
+  ASSERT_TRUE(store.AppendChild(root, a).ok());
+  ASSERT_TRUE(store.AppendChild(root, b).ok());
+  ASSERT_EQ(store.ChildrenOf(root).size(), 2u);
+  EXPECT_EQ(store.ChildrenOf(root)[0], a);
+  EXPECT_EQ(store.ChildrenOf(root)[1], b);
+  EXPECT_EQ(store.ParentOf(a), root);
+}
+
+TEST(Store, AppendChildMergesAdjacentText) {
+  Store store;
+  NodeId root = store.NewElement("root");
+  ASSERT_TRUE(store.AppendChild(root, store.NewText("foo")).ok());
+  ASSERT_TRUE(store.AppendChild(root, store.NewText("bar")).ok());
+  ASSERT_EQ(store.ChildrenOf(root).size(), 1u);
+  EXPECT_EQ(store.ContentOf(store.ChildrenOf(root)[0]), "foobar");
+}
+
+TEST(Store, AppendChildRejectsAttributesAndParented) {
+  Store store;
+  NodeId root = store.NewElement("root");
+  NodeId attr = store.NewAttribute("id", "1");
+  EXPECT_FALSE(store.AppendChild(root, attr).ok());
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  NodeId other = store.NewElement("other");
+  EXPECT_FALSE(store.AppendChild(other, child).ok());  // Already parented.
+  NodeId text = store.NewText("t");
+  EXPECT_FALSE(store.AppendChild(text, store.NewText("x")).ok());
+}
+
+TEST(Store, AppendAttributeRejectsDuplicateNames) {
+  Store store;
+  NodeId elem = store.NewElement("e");
+  ASSERT_TRUE(store.AppendAttribute(elem, store.NewAttribute("id", "1")).ok());
+  EXPECT_FALSE(
+      store.AppendAttribute(elem, store.NewAttribute("id", "2")).ok());
+  EXPECT_TRUE(
+      store.AppendAttribute(elem, store.NewAttribute("name", "x")).ok());
+  EXPECT_EQ(store.AttributesOf(elem).size(), 2u);
+}
+
+TEST(Store, StringValueConcatenatesDescendantText) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(child, store.NewText("in")).ok());
+  ASSERT_TRUE(store.AppendChild(root, store.NewText("pre-")).ok());
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  ASSERT_TRUE(store.AppendChild(root, store.NewElement("empty")).ok());
+  // Comments do not contribute to an element's string value... but our
+  // simplified model appends their content only when asked directly.
+  EXPECT_EQ(store.StringValue(root), "pre-in");
+  EXPECT_EQ(store.StringValue(child), "in");
+}
+
+TEST(Store, AttributeNamedLookup) {
+  Store store;
+  NodeId elem = store.NewElement("e");
+  NodeId id = store.NewAttribute("id", "e1");
+  ASSERT_TRUE(store.AppendAttribute(elem, id).ok());
+  EXPECT_EQ(store.AttributeNamed(elem, "id"), id);
+  EXPECT_EQ(store.AttributeNamed(elem, "missing"), kInvalidNode);
+}
+
+TEST(Store, RootOfAndIsAncestor) {
+  Store store;
+  NodeId doc = store.NewDocument();
+  NodeId a = store.NewElement("a");
+  NodeId b = store.NewElement("b");
+  ASSERT_TRUE(store.AppendChild(doc, a).ok());
+  ASSERT_TRUE(store.AppendChild(a, b).ok());
+  EXPECT_EQ(store.RootOf(b), doc);
+  EXPECT_EQ(store.RootOf(doc), doc);
+  EXPECT_TRUE(store.IsAncestor(doc, b));
+  EXPECT_TRUE(store.IsAncestor(a, b));
+  EXPECT_FALSE(store.IsAncestor(b, a));
+  EXPECT_FALSE(store.IsAncestor(b, b));
+}
+
+TEST(Store, DocOrderWithinTree) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId a = store.NewElement("a");
+  NodeId b = store.NewElement("b");
+  NodeId a1 = store.NewElement("a1");
+  ASSERT_TRUE(store.AppendChild(root, a).ok());
+  ASSERT_TRUE(store.AppendChild(root, b).ok());
+  ASSERT_TRUE(store.AppendChild(a, a1).ok());
+  EXPECT_LT(store.DocOrderCompare(root, a), 0);  // Ancestor first.
+  EXPECT_LT(store.DocOrderCompare(a, a1), 0);
+  EXPECT_LT(store.DocOrderCompare(a1, b), 0);  // Subtree before sibling.
+  EXPECT_GT(store.DocOrderCompare(b, a), 0);
+  EXPECT_EQ(store.DocOrderCompare(a, a), 0);
+}
+
+TEST(Store, DocOrderAttributesBeforeChildren) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId attr1 = store.NewAttribute("x", "1");
+  NodeId attr2 = store.NewAttribute("y", "2");
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendAttribute(root, attr1).ok());
+  ASSERT_TRUE(store.AppendAttribute(root, attr2).ok());
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  EXPECT_LT(store.DocOrderCompare(attr1, attr2), 0);
+  EXPECT_LT(store.DocOrderCompare(attr2, child), 0);
+  EXPECT_LT(store.DocOrderCompare(root, attr1), 0);
+}
+
+TEST(Store, DocOrderAcrossTreesIsStable) {
+  Store store;
+  NodeId t1 = store.NewElement("one");
+  NodeId t2 = store.NewElement("two");
+  int cmp = store.DocOrderCompare(t1, t2);
+  EXPECT_NE(cmp, 0);
+  EXPECT_EQ(store.DocOrderCompare(t1, t2), cmp);  // Stable.
+  EXPECT_EQ(store.DocOrderCompare(t2, t1), -cmp);
+}
+
+TEST(Store, InsertChildrenPlacements) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId b = store.NewElement("b");
+  ASSERT_TRUE(store.AppendChild(root, b).ok());
+
+  ASSERT_TRUE(store.InsertChildrenFirst({store.NewElement("a")}, root).ok());
+  ASSERT_TRUE(store.InsertChildrenLast({store.NewElement("d")}, root).ok());
+  ASSERT_TRUE(store.InsertChildrenAfter({store.NewElement("c")}, b).ok());
+  ASSERT_TRUE(store.InsertChildrenBefore({store.NewElement("a0")},
+                                         store.ChildrenOf(root)[0])
+                  .ok());
+  std::vector<std::string> names;
+  for (NodeId c : store.ChildrenOf(root)) {
+    names.emplace_back(store.NameOf(c));
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"a0", "a", "b", "c", "d"}));
+}
+
+TEST(Store, InsertChildrenPreconditions) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  // Parented payload is rejected ("missing copy").
+  EXPECT_FALSE(store.InsertChildrenLast({child}, root).ok());
+  // Cycle: inserting an ancestor under its descendant.
+  NodeId grand = store.NewElement("g");
+  ASSERT_TRUE(store.AppendChild(child, grand).ok());
+  ASSERT_TRUE(store.Detach(root).ok());  // root has no parent anyway
+  ASSERT_TRUE(store.Detach(child).ok());
+  EXPECT_FALSE(store.InsertChildrenLast({child}, grand).ok());
+  // Document payloads are rejected.
+  EXPECT_FALSE(store.InsertChildrenLast({store.NewDocument()}, root).ok());
+  // Inserting into a text node is rejected.
+  NodeId text = store.NewText("x");
+  EXPECT_FALSE(store.InsertChildrenLast({store.NewElement("y")}, text).ok());
+  // Before/after a parentless node is rejected.
+  EXPECT_FALSE(
+      store.InsertChildrenAfter({store.NewElement("z")}, child).ok());
+}
+
+TEST(Store, InsertAttributesGoToAttributeList) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId attr = store.NewAttribute("id", "1");
+  NodeId elem = store.NewElement("c");
+  ASSERT_TRUE(store.InsertChildrenLast({attr, elem}, root).ok());
+  ASSERT_EQ(store.AttributesOf(root).size(), 1u);
+  ASSERT_EQ(store.ChildrenOf(root).size(), 1u);
+  EXPECT_EQ(store.AttributesOf(root)[0], attr);
+  EXPECT_EQ(store.ChildrenOf(root)[0], elem);
+}
+
+TEST(Store, DetachKeepsNodeAliveAndQueryable) {
+  // The Section 3.1 detach semantics: "if the deleted (actually,
+  // detached) node is still accessible from a variable, then it can
+  // still be queried, or inserted somewhere".
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(child, store.NewText("payload")).ok());
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  ASSERT_TRUE(store.Detach(child).ok());
+  EXPECT_TRUE(store.ChildrenOf(root).empty());
+  EXPECT_EQ(store.ParentOf(child), kInvalidNode);
+  EXPECT_TRUE(store.IsValid(child));
+  EXPECT_EQ(store.StringValue(child), "payload");  // Still queryable.
+  // And re-insertable.
+  ASSERT_TRUE(store.InsertChildrenLast({child}, root).ok());
+  EXPECT_EQ(store.ParentOf(child), root);
+}
+
+TEST(Store, DetachAttribute) {
+  Store store;
+  NodeId elem = store.NewElement("e");
+  NodeId attr = store.NewAttribute("id", "1");
+  ASSERT_TRUE(store.AppendAttribute(elem, attr).ok());
+  ASSERT_TRUE(store.Detach(attr).ok());
+  EXPECT_TRUE(store.AttributesOf(elem).empty());
+  EXPECT_EQ(store.ParentOf(attr), kInvalidNode);
+}
+
+TEST(Store, DetachIsIdempotent) {
+  Store store;
+  NodeId elem = store.NewElement("e");
+  EXPECT_TRUE(store.Detach(elem).ok());
+  EXPECT_TRUE(store.Detach(elem).ok());
+}
+
+TEST(Store, RenameElementAttributePi) {
+  Store store;
+  NodeId elem = store.NewElement("old");
+  ASSERT_TRUE(store.Rename(elem, "new").ok());
+  EXPECT_EQ(store.NameOf(elem), "new");
+  NodeId pi = store.NewProcessingInstruction("t", "d");
+  ASSERT_TRUE(store.Rename(pi, "t2").ok());
+  EXPECT_EQ(store.NameOf(pi), "t2");
+  NodeId attr = store.NewAttribute("a", "v");
+  ASSERT_TRUE(store.Rename(attr, "b").ok());
+  EXPECT_EQ(store.NameOf(attr), "b");
+}
+
+TEST(Store, RenameRejectsTextAndDuplicateAttribute) {
+  Store store;
+  EXPECT_FALSE(store.Rename(store.NewText("t"), "x").ok());
+  EXPECT_FALSE(store.Rename(store.NewComment("c"), "x").ok());
+  NodeId elem = store.NewElement("e");
+  NodeId a = store.NewAttribute("a", "1");
+  NodeId b = store.NewAttribute("b", "2");
+  ASSERT_TRUE(store.AppendAttribute(elem, a).ok());
+  ASSERT_TRUE(store.AppendAttribute(elem, b).ok());
+  EXPECT_FALSE(store.Rename(b, "a").ok());  // Would collide with sibling.
+  EXPECT_TRUE(store.Rename(b, "c").ok());
+}
+
+TEST(Store, SetContent) {
+  Store store;
+  NodeId text = store.NewText("old");
+  ASSERT_TRUE(store.SetContent(text, "new").ok());
+  EXPECT_EQ(store.ContentOf(text), "new");
+  EXPECT_FALSE(store.SetContent(store.NewElement("e"), "x").ok());
+}
+
+TEST(Store, DeepCopyIsParentlessAndStructural) {
+  Store store;
+  NodeId root = store.NewElement("r");
+  ASSERT_TRUE(store.AppendAttribute(root, store.NewAttribute("id", "1")).ok());
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(child, store.NewText("txt")).ok());
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+
+  NodeId copy = store.DeepCopy(root);
+  EXPECT_NE(copy, root);
+  EXPECT_EQ(store.ParentOf(copy), kInvalidNode);
+  EXPECT_EQ(store.NameOf(copy), "r");
+  ASSERT_EQ(store.AttributesOf(copy).size(), 1u);
+  EXPECT_EQ(store.ContentOf(store.AttributesOf(copy)[0]), "1");
+  ASSERT_EQ(store.ChildrenOf(copy).size(), 1u);
+  NodeId copy_child = store.ChildrenOf(copy)[0];
+  EXPECT_NE(copy_child, child);
+  EXPECT_EQ(store.StringValue(copy), "txt");
+  // Mutating the copy leaves the original untouched.
+  ASSERT_TRUE(store.Rename(copy_child, "other").ok());
+  EXPECT_EQ(store.NameOf(child), "c");
+}
+
+TEST(Store, DeepCopyManyNodesSurvivesReallocation) {
+  // Regression: DeepCopy used to hold references across Allocate calls,
+  // which grow the record vector and dangle SSO string buffers.
+  Store store;
+  NodeId root = store.NewElement("root");
+  for (int i = 0; i < 200; ++i) {
+    NodeId child = store.NewElement("c" + std::to_string(i));
+    ASSERT_TRUE(
+        store.AppendAttribute(child, store.NewAttribute("i", std::to_string(i)))
+            .ok());
+    ASSERT_TRUE(store.AppendChild(child, store.NewText(std::to_string(i))).ok());
+    ASSERT_TRUE(store.AppendChild(root, child).ok());
+  }
+  NodeId copy = store.DeepCopy(root);
+  ASSERT_EQ(store.ChildrenOf(copy).size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    NodeId c = store.ChildrenOf(copy)[static_cast<size_t>(i)];
+    EXPECT_EQ(store.NameOf(c), "c" + std::to_string(i));
+    EXPECT_EQ(store.StringValue(c), std::to_string(i));
+    EXPECT_EQ(store.ContentOf(store.AttributesOf(c)[0]), std::to_string(i));
+  }
+}
+
+TEST(Store, GarbageCollectFreesUnreachableTrees) {
+  Store store;
+  NodeId keep = store.NewElement("keep");
+  ASSERT_TRUE(store.AppendChild(keep, store.NewText("x")).ok());
+  NodeId lose = store.NewElement("lose");
+  ASSERT_TRUE(store.AppendChild(lose, store.NewText("y")).ok());
+  EXPECT_EQ(store.live_node_count(), 4u);
+  size_t freed = store.GarbageCollect({keep});
+  EXPECT_EQ(freed, 2u);
+  EXPECT_EQ(store.live_node_count(), 2u);
+  EXPECT_TRUE(store.IsValid(keep));
+  EXPECT_FALSE(store.IsValid(lose));
+}
+
+TEST(Store, GarbageCollectKeepsWholeTreeOfAnyRootedNode) {
+  // Rooting an inner node keeps its whole tree (ancestors included).
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  size_t freed = store.GarbageCollect({child});
+  EXPECT_EQ(freed, 0u);
+  EXPECT_TRUE(store.IsValid(root));
+}
+
+TEST(Store, GarbageCollectRecyclesSlots) {
+  Store store;
+  NodeId keep = store.NewElement("keep");
+  for (int i = 0; i < 10; ++i) store.NewElement("garbage");
+  size_t slots_before = store.slot_count();
+  EXPECT_EQ(store.GarbageCollect({keep}), 10u);
+  for (int i = 0; i < 10; ++i) store.NewElement("recycled");
+  EXPECT_EQ(store.slot_count(), slots_before);  // No new slots needed.
+}
+
+TEST(Store, GarbageCollectDetachedNodeIsFreedWhenUnrooted) {
+  // Section 4.1: the detach semantics creates persistent-but-
+  // unreachable nodes; GC reclaims exactly those not reachable from a
+  // root set.
+  Store store;
+  NodeId root = store.NewElement("r");
+  NodeId child = store.NewElement("c");
+  ASSERT_TRUE(store.AppendChild(root, child).ok());
+  ASSERT_TRUE(store.Detach(child).ok());
+  // While the host still holds `child` as a root, it survives.
+  EXPECT_EQ(store.GarbageCollect({root, child}), 0u);
+  EXPECT_TRUE(store.IsValid(child));
+  // Once the variable goes away, the detached tree is collected.
+  EXPECT_EQ(store.GarbageCollect({root}), 1u);
+  EXPECT_FALSE(store.IsValid(child));
+}
+
+}  // namespace
+}  // namespace xqb

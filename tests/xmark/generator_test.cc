@@ -1,0 +1,123 @@
+// E13: the XMark-like generator substrate — structure, determinism,
+// linear scaling, referential integrity of the foreign keys the Q8
+// experiment depends on, and parser interoperability.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+namespace {
+
+class XMarkTest : public ::testing::Test {
+ protected:
+  std::string Count(Engine* engine, const std::string& path) {
+    auto result = engine->Execute("count(" + path + ")");
+    EXPECT_TRUE(result.ok()) << result.status();
+    return engine->Serialize(*result);
+  }
+};
+
+TEST_F(XMarkTest, TopLevelStructure) {
+  Engine engine;
+  XMarkParams params;
+  NodeId doc = GenerateXMarkDocument(&engine.store(), params);
+  engine.RegisterDocument("auction", doc);
+  EXPECT_EQ(Count(&engine, "doc('auction')/site"), "1");
+  EXPECT_EQ(Count(&engine, "doc('auction')/site/regions/*"), "6");
+  EXPECT_EQ(Count(&engine, "doc('auction')//person"),
+            std::to_string(params.persons()));
+  EXPECT_EQ(Count(&engine, "doc('auction')//item"),
+            std::to_string(params.items()));
+  EXPECT_EQ(Count(&engine, "doc('auction')//open_auction"),
+            std::to_string(params.open_auctions()));
+  EXPECT_EQ(Count(&engine, "doc('auction')//closed_auction"),
+            std::to_string(params.closed_auctions()));
+}
+
+TEST_F(XMarkTest, EntityShapes) {
+  Engine engine;
+  NodeId doc = GenerateXMarkDocument(&engine.store(), {});
+  engine.RegisterDocument("auction", doc);
+  // Every person has an id and a name.
+  EXPECT_EQ(Count(&engine, "doc('auction')//person[@id][name]"),
+            Count(&engine, "doc('auction')//person"));
+  // Every closed auction has seller/buyer/itemref/price/date.
+  EXPECT_EQ(Count(&engine,
+                  "doc('auction')//closed_auction"
+                  "[seller/@person][buyer/@person][itemref/@item][price]"
+                  "[date]"),
+            Count(&engine, "doc('auction')//closed_auction"));
+  // Every open auction has at least one bidder.
+  EXPECT_EQ(Count(&engine, "doc('auction')//open_auction[bidder]"),
+            Count(&engine, "doc('auction')//open_auction"));
+}
+
+TEST_F(XMarkTest, ForeignKeysResolve) {
+  // The Q8 join depends on buyer/@person pointing at real person ids.
+  Engine engine;
+  XMarkParams params;
+  params.factor = 0.3;
+  NodeId doc = GenerateXMarkDocument(&engine.store(), params);
+  engine.RegisterDocument("auction", doc);
+  auto dangling = engine.Execute(
+      "count(doc('auction')//closed_auction/buyer"
+      "[not(@person = doc('auction')//person/@id)])");
+  ASSERT_TRUE(dangling.ok());
+  EXPECT_EQ(engine.Serialize(*dangling), "0");
+  auto dangling_items = engine.Execute(
+      "count(doc('auction')//closed_auction/itemref"
+      "[not(@item = doc('auction')//item/@id)])");
+  ASSERT_TRUE(dangling_items.ok());
+  EXPECT_EQ(engine.Serialize(*dangling_items), "0");
+}
+
+TEST_F(XMarkTest, DeterministicUnderSeed) {
+  XMarkParams params;
+  params.factor = 0.2;
+  std::string a = GenerateXMarkXml(params);
+  std::string b = GenerateXMarkXml(params);
+  EXPECT_EQ(a, b);
+  params.seed = 43;
+  EXPECT_NE(GenerateXMarkXml(params), a);
+}
+
+TEST_F(XMarkTest, ScalesLinearly) {
+  XMarkParams small;
+  small.factor = 0.5;
+  XMarkParams large;
+  large.factor = 2.0;
+  EXPECT_EQ(small.persons(), 127);
+  EXPECT_EQ(large.persons(), 510);
+  Store s1, s2;
+  GenerateXMarkDocument(&s1, small);
+  GenerateXMarkDocument(&s2, large);
+  // Node counts scale roughly 4x (within noise from optional fields).
+  double ratio = static_cast<double>(s2.live_node_count()) /
+                 static_cast<double>(s1.live_node_count());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST_F(XMarkTest, TinyFactorStillValid) {
+  XMarkParams params;
+  params.factor = 0.001;  // Clamps every population to >= 1.
+  Store store;
+  NodeId doc = GenerateXMarkDocument(&store, params);
+  EXPECT_EQ(store.KindOf(doc), NodeKind::kDocument);
+  EXPECT_EQ(params.persons(), 1);
+}
+
+TEST_F(XMarkTest, SerializedFormReparses) {
+  std::string xml = GenerateXMarkXml({});
+  Store store;
+  auto doc = ParseXmlDocument(&store, xml);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(SerializeNode(store, *doc), xml);
+}
+
+}  // namespace
+}  // namespace xqb

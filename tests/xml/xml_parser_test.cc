@@ -1,0 +1,214 @@
+// Unit tests for the XML parser and serializer substrate, including a
+// parameterized parse -> serialize -> parse round-trip property.
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqb {
+namespace {
+
+TEST(XmlParser, SimpleDocument) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<root><a>1</a><b/></root>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(store.ChildrenOf(*doc).size(), 1u);
+  NodeId root = store.ChildrenOf(*doc)[0];
+  EXPECT_EQ(store.NameOf(root), "root");
+  ASSERT_EQ(store.ChildrenOf(root).size(), 2u);
+  EXPECT_EQ(store.StringValue(root), "1");
+}
+
+TEST(XmlParser, Attributes) {
+  Store store;
+  auto doc = ParseXmlDocument(
+      &store, "<e id=\"x\" name='single quoted' empty=\"\"/>");
+  ASSERT_TRUE(doc.ok());
+  NodeId e = store.ChildrenOf(*doc)[0];
+  ASSERT_EQ(store.AttributesOf(e).size(), 3u);
+  EXPECT_EQ(store.ContentOf(store.AttributeNamed(e, "id")), "x");
+  EXPECT_EQ(store.ContentOf(store.AttributeNamed(e, "name")),
+            "single quoted");
+  EXPECT_EQ(store.ContentOf(store.AttributeNamed(e, "empty")), "");
+}
+
+TEST(XmlParser, EntitiesAndCharRefs) {
+  Store store;
+  auto doc = ParseXmlDocument(
+      &store, "<e a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</e>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  NodeId e = store.ChildrenOf(*doc)[0];
+  EXPECT_EQ(store.ContentOf(store.AttributeNamed(e, "a")), "<&>");
+  EXPECT_EQ(store.StringValue(e), "\"x' AB");
+}
+
+TEST(XmlParser, CdataSection) {
+  Store store;
+  auto doc =
+      ParseXmlDocument(&store, "<e><![CDATA[<not & parsed>]]></e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(store.StringValue(store.ChildrenOf(*doc)[0]),
+            "<not & parsed>");
+}
+
+TEST(XmlParser, CommentsAndPis) {
+  Store store;
+  auto doc = ParseXmlDocument(
+      &store, "<?xml version=\"1.0\"?><!-- top --><e><!-- in --><?pi d?></e>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_EQ(store.ChildrenOf(*doc).size(), 2u);  // comment + root
+  EXPECT_EQ(store.KindOf(store.ChildrenOf(*doc)[0]), NodeKind::kComment);
+  NodeId e = store.ChildrenOf(*doc)[1];
+  ASSERT_EQ(store.ChildrenOf(e).size(), 2u);
+  EXPECT_EQ(store.KindOf(store.ChildrenOf(e)[0]), NodeKind::kComment);
+  EXPECT_EQ(store.KindOf(store.ChildrenOf(e)[1]),
+            NodeKind::kProcessingInstruction);
+  EXPECT_EQ(store.NameOf(store.ChildrenOf(e)[1]), "pi");
+}
+
+TEST(XmlParser, DropCommentsOption) {
+  Store store;
+  XmlParseOptions options;
+  options.keep_comments = false;
+  auto doc = ParseXmlDocument(&store, "<e><!-- gone --><a/></e>", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(store.ChildrenOf(store.ChildrenOf(*doc)[0]).size(), 1u);
+}
+
+TEST(XmlParser, BoundaryWhitespaceStripping) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<e>\n  <a/>\n  <b/>\n</e>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(store.ChildrenOf(store.ChildrenOf(*doc)[0]).size(), 2u);
+
+  XmlParseOptions keep;
+  keep.strip_boundary_whitespace = false;
+  Store store2;
+  auto doc2 = ParseXmlDocument(&store2, "<e>\n  <a/>\n</e>", keep);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(store2.ChildrenOf(store2.ChildrenOf(*doc2)[0]).size(), 3u);
+}
+
+TEST(XmlParser, MixedContentPreserved) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<p>pre <b>bold</b> post</p>");
+  ASSERT_TRUE(doc.ok());
+  NodeId p = store.ChildrenOf(*doc)[0];
+  ASSERT_EQ(store.ChildrenOf(p).size(), 3u);
+  EXPECT_EQ(store.StringValue(p), "pre bold post");
+}
+
+TEST(XmlParser, DoctypeSkipped) {
+  Store store;
+  auto doc = ParseXmlDocument(
+      &store, "<!DOCTYPE html [ <!ENTITY x \"y\"> ]><root/>");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(store.NameOf(store.ChildrenOf(*doc)[0]), "root");
+}
+
+struct BadXmlCase {
+  const char* name;
+  const char* input;
+};
+
+class XmlParserErrorTest : public ::testing::TestWithParam<BadXmlCase> {};
+
+TEST_P(XmlParserErrorTest, Rejects) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, GetParam().input);
+  ASSERT_FALSE(doc.ok()) << "input: " << GetParam().input;
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, XmlParserErrorTest,
+    ::testing::Values(
+        BadXmlCase{"empty", ""},
+        BadXmlCase{"text_only", "just text"},
+        BadXmlCase{"mismatched_tags", "<a></b>"},
+        BadXmlCase{"unterminated_element", "<a><b></b>"},
+        BadXmlCase{"unterminated_start_tag", "<a foo=\"1\""},
+        BadXmlCase{"unterminated_attribute", "<a foo=\"1></a>"},
+        BadXmlCase{"missing_attr_equals", "<a foo \"1\"></a>"},
+        BadXmlCase{"unterminated_comment", "<a><!-- x</a>"},
+        BadXmlCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadXmlCase{"unknown_entity", "<a>&nope;</a>"},
+        BadXmlCase{"bad_char_ref", "<a>&#xZZ;</a>"},
+        BadXmlCase{"two_roots", "<a/><b/>"},
+        BadXmlCase{"text_outside_root", "<a/>trailing"},
+        BadXmlCase{"duplicate_attribute", "<a x=\"1\" x=\"2\"/>"}),
+    [](const ::testing::TestParamInfo<BadXmlCase>& info) {
+      return info.param.name;
+    });
+
+TEST(XmlParser, FragmentForm) {
+  Store store;
+  auto frag = ParseXmlFragment(&store, "  <a b=\"1\"><c/></a>  ");
+  ASSERT_TRUE(frag.ok());
+  EXPECT_EQ(store.KindOf(*frag), NodeKind::kElement);
+  EXPECT_FALSE(ParseXmlFragment(&store, "<a/><b/>").ok());
+  EXPECT_FALSE(ParseXmlFragment(&store, "text").ok());
+}
+
+TEST(Serializer, EscapesSpecials) {
+  Store store;
+  NodeId e = store.NewElement("e");
+  ASSERT_TRUE(
+      store.AppendAttribute(e, store.NewAttribute("a", "x\"<&")).ok());
+  ASSERT_TRUE(store.AppendChild(e, store.NewText("1 < 2 & 3 > 2")).ok());
+  EXPECT_EQ(SerializeNode(store, e),
+            "<e a=\"x&quot;&lt;&amp;\">1 &lt; 2 &amp; 3 &gt; 2</e>");
+}
+
+TEST(Serializer, EmptyElementUsesSelfClosing) {
+  Store store;
+  EXPECT_EQ(SerializeNode(store, store.NewElement("e")), "<e/>");
+}
+
+TEST(Serializer, SequenceSpacing) {
+  Store store;
+  NodeId e = store.NewElement("e");
+  Sequence seq{Item::Integer(1), Item::Integer(2), Item::Node(e),
+               Item::Integer(3)};
+  EXPECT_EQ(SerializeSequence(store, seq), "1 2<e/>3");
+}
+
+TEST(Serializer, IndentedOutput) {
+  Store store;
+  auto doc = ParseXmlDocument(&store, "<r><a><b/></a><c>x</c></r>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions options;
+  options.indent = true;
+  EXPECT_EQ(SerializeNode(store, *doc, options),
+            "<r>\n  <a>\n    <b/>\n  </a>\n  <c>x</c>\n</r>");
+}
+
+class XmlRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTripTest, ParseSerializeParseIsStable) {
+  // Property: serialize(parse(x)) re-parses to an identical
+  // serialization (full fixpoint after one round).
+  Store store1;
+  auto doc1 = ParseXmlDocument(&store1, GetParam());
+  ASSERT_TRUE(doc1.ok()) << doc1.status();
+  std::string first = SerializeNode(store1, *doc1);
+  Store store2;
+  auto doc2 = ParseXmlDocument(&store2, first);
+  ASSERT_TRUE(doc2.ok()) << doc2.status();
+  EXPECT_EQ(SerializeNode(store2, *doc2), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, XmlRoundTripTest,
+    ::testing::Values(
+        "<a/>",
+        "<a b=\"1\" c=\"two\"/>",
+        "<r><a>text</a><b><c/></b></r>",
+        "<e>&lt;escaped&gt; &amp; more</e>",
+        "<p>mixed <b>content</b> here</p>",
+        "<r><!-- comment --><?pi data?><x/></r>",
+        "<deep><l1><l2><l3><l4>v</l4></l3></l2></l1></deep>"));
+
+}  // namespace
+}  // namespace xqb
