@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logging.dir/bench_logging.cc.o"
+  "CMakeFiles/bench_logging.dir/bench_logging.cc.o.d"
+  "bench_logging"
+  "bench_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_purity.dir/bench_purity.cc.o"
+  "CMakeFiles/bench_purity.dir/bench_purity.cc.o.d"
+  "bench_purity"
+  "bench_purity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_purity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q8_join.dir/bench_q8_join.cc.o"
+  "CMakeFiles/bench_q8_join.dir/bench_q8_join.cc.o.d"
+  "bench_q8_join"
+  "bench_q8_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q8_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

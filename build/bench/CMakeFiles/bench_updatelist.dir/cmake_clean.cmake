@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_updatelist.dir/bench_updatelist.cc.o"
+  "CMakeFiles/bench_updatelist.dir/bench_updatelist.cc.o.d"
+  "bench_updatelist"
+  "bench_updatelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updatelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

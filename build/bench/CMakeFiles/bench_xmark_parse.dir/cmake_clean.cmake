@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xmark_parse.dir/bench_xmark_parse.cc.o"
+  "CMakeFiles/bench_xmark_parse.dir/bench_xmark_parse.cc.o.d"
+  "bench_xmark_parse"
+  "bench_xmark_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xmark_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

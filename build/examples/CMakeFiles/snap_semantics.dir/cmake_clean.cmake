@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_semantics.dir/snap_semantics.cpp.o"
+  "CMakeFiles/snap_semantics.dir/snap_semantics.cpp.o.d"
+  "snap_semantics"
+  "snap_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

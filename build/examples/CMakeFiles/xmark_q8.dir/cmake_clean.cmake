@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_q8.dir/xmark_q8.cpp.o"
+  "CMakeFiles/xmark_q8.dir/xmark_q8.cpp.o.d"
+  "xmark_q8"
+  "xmark_q8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_q8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

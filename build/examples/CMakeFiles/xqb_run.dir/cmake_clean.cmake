@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_run.dir/xqb_run.cpp.o"
+  "CMakeFiles/xqb_run.dir/xqb_run.cpp.o.d"
+  "xqb_run"
+  "xqb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

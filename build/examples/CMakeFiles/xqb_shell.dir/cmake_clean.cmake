@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_shell.dir/xqb_shell.cpp.o"
+  "CMakeFiles/xqb_shell.dir/xqb_shell.cpp.o.d"
+  "xqb_shell"
+  "xqb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

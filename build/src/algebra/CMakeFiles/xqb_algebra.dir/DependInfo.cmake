@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/compile.cc" "src/algebra/CMakeFiles/xqb_algebra.dir/compile.cc.o" "gcc" "src/algebra/CMakeFiles/xqb_algebra.dir/compile.cc.o.d"
+  "/root/repo/src/algebra/exec.cc" "src/algebra/CMakeFiles/xqb_algebra.dir/exec.cc.o" "gcc" "src/algebra/CMakeFiles/xqb_algebra.dir/exec.cc.o.d"
+  "/root/repo/src/algebra/plan.cc" "src/algebra/CMakeFiles/xqb_algebra.dir/plan.cc.o" "gcc" "src/algebra/CMakeFiles/xqb_algebra.dir/plan.cc.o.d"
+  "/root/repo/src/algebra/rewrite.cc" "src/algebra/CMakeFiles/xqb_algebra.dir/rewrite.cc.o" "gcc" "src/algebra/CMakeFiles/xqb_algebra.dir/rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xqb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/xqb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/xqb_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xqb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

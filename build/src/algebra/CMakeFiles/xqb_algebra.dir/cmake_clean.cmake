@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_algebra.dir/compile.cc.o"
+  "CMakeFiles/xqb_algebra.dir/compile.cc.o.d"
+  "CMakeFiles/xqb_algebra.dir/exec.cc.o"
+  "CMakeFiles/xqb_algebra.dir/exec.cc.o.d"
+  "CMakeFiles/xqb_algebra.dir/plan.cc.o"
+  "CMakeFiles/xqb_algebra.dir/plan.cc.o.d"
+  "CMakeFiles/xqb_algebra.dir/rewrite.cc.o"
+  "CMakeFiles/xqb_algebra.dir/rewrite.cc.o.d"
+  "libxqb_algebra.a"
+  "libxqb_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_base.dir/regex.cc.o"
+  "CMakeFiles/xqb_base.dir/regex.cc.o.d"
+  "CMakeFiles/xqb_base.dir/status.cc.o"
+  "CMakeFiles/xqb_base.dir/status.cc.o.d"
+  "CMakeFiles/xqb_base.dir/string_util.cc.o"
+  "CMakeFiles/xqb_base.dir/string_util.cc.o.d"
+  "libxqb_base.a"
+  "libxqb_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

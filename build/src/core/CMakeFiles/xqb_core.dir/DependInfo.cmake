@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/xqb_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/functions.cc" "src/core/CMakeFiles/xqb_core.dir/functions.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/functions.cc.o.d"
+  "/root/repo/src/core/id_index.cc" "src/core/CMakeFiles/xqb_core.dir/id_index.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/id_index.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/core/CMakeFiles/xqb_core.dir/normalize.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/normalize.cc.o.d"
+  "/root/repo/src/core/purity.cc" "src/core/CMakeFiles/xqb_core.dir/purity.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/purity.cc.o.d"
+  "/root/repo/src/core/static_check.cc" "src/core/CMakeFiles/xqb_core.dir/static_check.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/static_check.cc.o.d"
+  "/root/repo/src/core/update.cc" "src/core/CMakeFiles/xqb_core.dir/update.cc.o" "gcc" "src/core/CMakeFiles/xqb_core.dir/update.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/xqb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/xqb_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xqb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_core.dir/evaluator.cc.o"
+  "CMakeFiles/xqb_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/xqb_core.dir/functions.cc.o"
+  "CMakeFiles/xqb_core.dir/functions.cc.o.d"
+  "CMakeFiles/xqb_core.dir/id_index.cc.o"
+  "CMakeFiles/xqb_core.dir/id_index.cc.o.d"
+  "CMakeFiles/xqb_core.dir/normalize.cc.o"
+  "CMakeFiles/xqb_core.dir/normalize.cc.o.d"
+  "CMakeFiles/xqb_core.dir/purity.cc.o"
+  "CMakeFiles/xqb_core.dir/purity.cc.o.d"
+  "CMakeFiles/xqb_core.dir/static_check.cc.o"
+  "CMakeFiles/xqb_core.dir/static_check.cc.o.d"
+  "CMakeFiles/xqb_core.dir/update.cc.o"
+  "CMakeFiles/xqb_core.dir/update.cc.o.d"
+  "libxqb_core.a"
+  "libxqb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

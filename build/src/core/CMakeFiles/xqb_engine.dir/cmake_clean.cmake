@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_engine.dir/engine.cc.o"
+  "CMakeFiles/xqb_engine.dir/engine.cc.o.d"
+  "libxqb_engine.a"
+  "libxqb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_frontend.dir/ast.cc.o"
+  "CMakeFiles/xqb_frontend.dir/ast.cc.o.d"
+  "CMakeFiles/xqb_frontend.dir/lexer.cc.o"
+  "CMakeFiles/xqb_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/xqb_frontend.dir/parser.cc.o"
+  "CMakeFiles/xqb_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/xqb_frontend.dir/unparse.cc.o"
+  "CMakeFiles/xqb_frontend.dir/unparse.cc.o.d"
+  "libxqb_frontend.a"
+  "libxqb_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

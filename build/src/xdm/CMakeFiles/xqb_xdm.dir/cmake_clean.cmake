@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_xdm.dir/item.cc.o"
+  "CMakeFiles/xqb_xdm.dir/item.cc.o.d"
+  "CMakeFiles/xqb_xdm.dir/store.cc.o"
+  "CMakeFiles/xqb_xdm.dir/store.cc.o.d"
+  "libxqb_xdm.a"
+  "libxqb_xdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_xdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

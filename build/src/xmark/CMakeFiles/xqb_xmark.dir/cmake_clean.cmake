@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_xmark.dir/generator.cc.o"
+  "CMakeFiles/xqb_xmark.dir/generator.cc.o.d"
+  "libxqb_xmark.a"
+  "libxqb_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

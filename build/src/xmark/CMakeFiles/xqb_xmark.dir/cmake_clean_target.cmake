@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxqb_xmark.a"
+)

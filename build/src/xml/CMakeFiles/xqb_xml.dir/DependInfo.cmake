@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/serializer.cc" "src/xml/CMakeFiles/xqb_xml.dir/serializer.cc.o" "gcc" "src/xml/CMakeFiles/xqb_xml.dir/serializer.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/xml/CMakeFiles/xqb_xml.dir/xml_parser.cc.o" "gcc" "src/xml/CMakeFiles/xqb_xml.dir/xml_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xdm/CMakeFiles/xqb_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xqb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xqb_xml.dir/serializer.cc.o"
+  "CMakeFiles/xqb_xml.dir/serializer.cc.o.d"
+  "CMakeFiles/xqb_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/xqb_xml.dir/xml_parser.cc.o.d"
+  "libxqb_xml.a"
+  "libxqb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xqb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

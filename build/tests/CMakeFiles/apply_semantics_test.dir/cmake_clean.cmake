@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apply_semantics_test.dir/core/apply_semantics_test.cc.o"
+  "CMakeFiles/apply_semantics_test.dir/core/apply_semantics_test.cc.o.d"
+  "apply_semantics_test"
+  "apply_semantics_test.pdb"
+  "apply_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apply_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

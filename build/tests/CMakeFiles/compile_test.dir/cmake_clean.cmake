@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_test.dir/algebra/compile_test.cc.o"
+  "CMakeFiles/compile_test.dir/algebra/compile_test.cc.o.d"
+  "compile_test"
+  "compile_test.pdb"
+  "compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

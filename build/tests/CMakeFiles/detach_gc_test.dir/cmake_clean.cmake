@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detach_gc_test.dir/xdm/detach_gc_test.cc.o"
+  "CMakeFiles/detach_gc_test.dir/xdm/detach_gc_test.cc.o.d"
+  "detach_gc_test"
+  "detach_gc_test.pdb"
+  "detach_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detach_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

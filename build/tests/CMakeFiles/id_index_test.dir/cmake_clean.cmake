@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_index_test.dir/core/id_index_test.cc.o"
+  "CMakeFiles/id_index_test.dir/core/id_index_test.cc.o.d"
+  "id_index_test"
+  "id_index_test.pdb"
+  "id_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xdm/item_test.cc" "tests/CMakeFiles/item_test.dir/xdm/item_test.cc.o" "gcc" "tests/CMakeFiles/item_test.dir/xdm/item_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xqb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/xqb_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xqb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/xqb_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xqb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmark/CMakeFiles/xqb_xmark.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/xqb_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/xqb_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_grammar_test.dir/frontend/parser_grammar_test.cc.o"
+  "CMakeFiles/parser_grammar_test.dir/frontend/parser_grammar_test.cc.o.d"
+  "parser_grammar_test"
+  "parser_grammar_test.pdb"
+  "parser_grammar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_grammar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purity_test.dir/core/purity_test.cc.o"
+  "CMakeFiles/purity_test.dir/core/purity_test.cc.o.d"
+  "purity_test"
+  "purity_test.pdb"
+  "purity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

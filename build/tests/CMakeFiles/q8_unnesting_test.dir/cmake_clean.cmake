@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/q8_unnesting_test.dir/algebra/q8_unnesting_test.cc.o"
+  "CMakeFiles/q8_unnesting_test.dir/algebra/q8_unnesting_test.cc.o.d"
+  "q8_unnesting_test"
+  "q8_unnesting_test.pdb"
+  "q8_unnesting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/q8_unnesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_rules_test.dir/core/semantics_rules_test.cc.o"
+  "CMakeFiles/semantics_rules_test.dir/core/semantics_rules_test.cc.o.d"
+  "semantics_rules_test"
+  "semantics_rules_test.pdb"
+  "semantics_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

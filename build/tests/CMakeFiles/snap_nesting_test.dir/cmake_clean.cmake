@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_nesting_test.dir/core/snap_nesting_test.cc.o"
+  "CMakeFiles/snap_nesting_test.dir/core/snap_nesting_test.cc.o.d"
+  "snap_nesting_test"
+  "snap_nesting_test.pdb"
+  "snap_nesting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_nesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_check_test.dir/core/static_check_test.cc.o"
+  "CMakeFiles/static_check_test.dir/core/static_check_test.cc.o.d"
+  "static_check_test"
+  "static_check_test.pdb"
+  "static_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_invariants_test.dir/xdm/store_invariants_test.cc.o"
+  "CMakeFiles/store_invariants_test.dir/xdm/store_invariants_test.cc.o.d"
+  "store_invariants_test"
+  "store_invariants_test.pdb"
+  "store_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_list_test.dir/core/update_list_test.cc.o"
+  "CMakeFiles/update_list_test.dir/core/update_list_test.cc.o.d"
+  "update_list_test"
+  "update_list_test.pdb"
+  "update_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

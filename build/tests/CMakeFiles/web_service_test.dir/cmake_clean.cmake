@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_service_test.dir/integration/web_service_test.cc.o"
+  "CMakeFiles/web_service_test.dir/integration/web_service_test.cc.o.d"
+  "web_service_test"
+  "web_service_test.pdb"
+  "web_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_queries_test.dir/integration/xmark_queries_test.cc.o"
+  "CMakeFiles/xmark_queries_test.dir/integration/xmark_queries_test.cc.o.d"
+  "xmark_queries_test"
+  "xmark_queries_test.pdb"
+  "xmark_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

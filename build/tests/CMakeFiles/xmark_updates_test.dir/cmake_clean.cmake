@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_updates_test.dir/integration/xmark_updates_test.cc.o"
+  "CMakeFiles/xmark_updates_test.dir/integration/xmark_updates_test.cc.o.d"
+  "xmark_updates_test"
+  "xmark_updates_test.pdb"
+  "xmark_updates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_updates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
