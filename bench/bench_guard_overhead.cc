@@ -1,0 +1,87 @@
+// Step-accounting overhead of the execution resource governor: the
+// same Q8-style join workload under (a) default ExecLimits — every
+// expression evaluation, generated item and axis step pays one Tick()
+// (an increment and compare) — versus (b) ExecLimits::Unlimited(),
+// where the guard's disabled flag short-circuits the hot path. The
+// target is <= 3% slowdown with default limits, on both the
+// interpreted and the algebra path.
+
+#include <benchmark/benchmark.h>
+
+#include "base/limits.h"
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace {
+
+// Pure (side-effect-free) Q8 join so both runs are read-only and
+// repeatable without rebuilding the document between iterations.
+constexpr const char* kQ8Pure =
+    "for $p in $auction//person "
+    "let $a := for $t in $auction//closed_auction "
+    "          where $t/buyer/@person = $p/@id "
+    "          return $t "
+    "return <item person=\"{ $p/name }\">{ count($a) }</item>";
+
+void RunGuardOverhead(benchmark::State& state, bool optimize,
+                      bool governed) {
+  const double factor = static_cast<double>(state.range(0)) / 100.0;
+  xqb::Engine engine;
+  xqb::XMarkParams params;
+  params.factor = factor;
+  xqb::NodeId auction = xqb::GenerateXMarkDocument(&engine.store(), params);
+  engine.BindVariable("auction", auction);
+
+  xqb::ExecOptions options;
+  options.optimize = optimize;
+  options.limits = governed ? xqb::ExecLimits{} : xqb::ExecLimits::Unlimited();
+
+  for (auto _ : state) {
+    auto result = engine.Execute(kQ8Pure, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    // Discard the constructed result elements between iterations so the
+    // store does not grow across the run.
+    state.PauseTiming();
+    engine.CollectGarbage();
+    state.ResumeTiming();
+  }
+  state.counters["steps"] = static_cast<double>(engine.last_steps());
+}
+
+void BM_GuardDefault_Interpreted(benchmark::State& state) {
+  RunGuardOverhead(state, /*optimize=*/false, /*governed=*/true);
+}
+void BM_GuardUnlimited_Interpreted(benchmark::State& state) {
+  RunGuardOverhead(state, /*optimize=*/false, /*governed=*/false);
+}
+void BM_GuardDefault_Algebra(benchmark::State& state) {
+  RunGuardOverhead(state, /*optimize=*/true, /*governed=*/true);
+}
+void BM_GuardUnlimited_Algebra(benchmark::State& state) {
+  RunGuardOverhead(state, /*optimize=*/true, /*governed=*/false);
+}
+
+}  // namespace
+
+// Scale factors 1x and 2x (range arg is factor*100): large enough that
+// per-step accounting dominates setup noise.
+BENCHMARK(BM_GuardDefault_Interpreted)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GuardUnlimited_Interpreted)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GuardDefault_Algebra)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GuardUnlimited_Algebra)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);

@@ -57,7 +57,9 @@ void KeysOf(const Store& store, const Sequence& seq,
 class PlanExecutor {
  public:
   PlanExecutor(Evaluator* evaluator, const DynEnv& base_env)
-      : evaluator_(evaluator), base_env_(base_env) {}
+      : evaluator_(evaluator),
+        guard_(&evaluator->guard()),
+        base_env_(base_env) {}
 
   Result<Sequence> Run(const Plan& root) {
     if (root.kind != PlanKind::kMapToItem) {
@@ -85,6 +87,9 @@ class PlanExecutor {
           XQB_ASSIGN_OR_RETURN(Sequence seq,
                                evaluator_->Eval(*plan.expr, tuple.env));
           for (size_t i = 0; i < seq.size(); ++i) {
+            // Same governor as the interpreter's for-clause expansion,
+            // so limits behave identically on both paths.
+            XQB_RETURN_IF_ERROR(guard_->TickStatus());
             DynEnv env = tuple.env.Bind(plan.field, Sequence{seq[i]});
             if (!plan.pos_field.empty()) {
               env = env.Bind(plan.pos_field,
@@ -293,6 +298,9 @@ class PlanExecutor {
         out.push_back(Tuple{tuple.env.Bind(plan.field, std::move(grouped))});
       } else {
         for (size_t idx : matches) {
+          // Join fan-out produces tuples without evaluating expressions;
+          // charge it so a pathological many-to-many join stays bounded.
+          XQB_RETURN_IF_ERROR(guard_->TickStatus());
           out.push_back(Tuple{
               CombineEnvs(tuple.env, right[idx].env, plan.right->fields)});
         }
@@ -302,6 +310,7 @@ class PlanExecutor {
   }
 
   Evaluator* evaluator_;
+  ExecGuard* guard_;
   DynEnv base_env_;
 };
 

@@ -1,0 +1,98 @@
+#ifndef XQB_BASE_LIMITS_H_
+#define XQB_BASE_LIMITS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace xqb {
+
+/// Resource limits shared by every stage of query processing: the
+/// frontend parsers (nesting depth), the tree interpreter and the
+/// algebra executor (recursion, step, store-growth and wall-clock
+/// budgets enforced by ExecGuard, src/core/guard.h).
+///
+/// The defaults are production-sane: large enough that every reasonable
+/// query (the whole test suite and the XMark benchmarks at 4x scale)
+/// runs untouched, small enough that a hostile or runaway query is cut
+/// off in bounded time and memory instead of taking the process down.
+/// A value of 0 (or negative) disables the corresponding limit.
+struct ExecLimits {
+  /// Maximum user-defined-function recursion depth. The interpreter
+  /// evaluates function bodies on the C++ stack, so this also bounds
+  /// native stack usage.
+  int max_call_depth = 2000;
+
+  /// Native stack budget, in bytes, measured from the start of the run
+  /// and checked on every user-function call. A backstop under
+  /// max_call_depth: frame sizes vary wildly across build modes
+  /// (sanitizers can grow them ~10x), so depth alone cannot protect
+  /// the native stack. Must leave headroom below the thread's real
+  /// stack size (8 MB is the common main-thread default). 0 disables.
+  int64_t max_stack_bytes = 6 * 1024 * 1024;
+
+  /// Evaluation step budget for one Run: one step is charged per
+  /// expression evaluation, per generated sequence item (ranges, FLWOR
+  /// row expansion) and per axis-traversal node, on both execution
+  /// paths. 0 disables.
+  int64_t max_steps = 50'000'000;
+
+  /// Store-growth budget: nodes allocated (constructors, copy{},
+  /// parsing inside the query) during one Run. 0 disables.
+  int64_t max_store_growth = 8'000'000;
+
+  /// Wall-clock deadline for one Run, in milliseconds, checked every
+  /// `check_interval` steps. 0 disables.
+  int64_t deadline_ms = 30'000;
+
+  /// Steps between the cheap deadline / cancellation checks.
+  int64_t check_interval = 1024;
+
+  /// Maximum expression nesting depth accepted by the XQuery! parser
+  /// (recursive descent: this bounds parser stack usage).
+  int max_expr_nesting = 400;
+
+  /// Maximum element nesting depth accepted by the XML parser.
+  int max_xml_nesting = 2000;
+
+  /// No execution budgets (tests, benchmarks, trusted batch jobs).
+  /// Parser depths and the stack-byte backstop keep their defaults:
+  /// those guard the native stack, which no amount of trust makes
+  /// bigger.
+  static ExecLimits Unlimited() {
+    ExecLimits limits;
+    limits.max_call_depth = 0;
+    limits.max_steps = 0;
+    limits.max_store_growth = 0;
+    limits.deadline_ms = 0;
+    return limits;
+  }
+};
+
+/// Cooperative cancellation flag shared between a running query and the
+/// host: pass the same token in ExecOptions and keep a reference on the
+/// host side; Cancel() from any thread makes the running query return
+/// StatusCode::kCancelled at its next check point (within
+/// ExecLimits::check_interval evaluation steps).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token for another run.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+using CancellationTokenPtr = std::shared_ptr<CancellationToken>;
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_LIMITS_H_

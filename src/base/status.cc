@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "InvalidArgument";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

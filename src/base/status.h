@@ -32,6 +32,13 @@ enum class StatusCode : int8_t {
   kInvalidArgument = 7,
   /// Internal invariant violation; indicates a bug in the engine.
   kInternal = 8,
+  /// A resource governor limit tripped: recursion depth, step budget,
+  /// store-growth budget or wall-clock deadline (ExecLimits). The store
+  /// holds no partial Δ from the failed run.
+  kResourceExhausted = 9,
+  /// The run's CancellationToken was cancelled by the host. Same
+  /// no-partial-Δ guarantee as kResourceExhausted.
+  kCancelled = 10,
 };
 
 /// Returns a stable, human-readable name ("ParseError", ...).
@@ -78,6 +85,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -19,14 +19,19 @@ namespace xqb {
 Engine::Engine() : store_(std::make_unique<Store>()) {}
 
 Result<NodeId> Engine::LoadDocumentFromString(const std::string& name,
-                                              std::string_view xml) {
-  XQB_ASSIGN_OR_RETURN(NodeId doc, ParseXmlDocument(store_.get(), xml));
+                                              std::string_view xml,
+                                              const ExecLimits& limits) {
+  XmlParseOptions xml_options;
+  xml_options.max_nesting_depth = limits.max_xml_nesting;
+  XQB_ASSIGN_OR_RETURN(NodeId doc,
+                       ParseXmlDocument(store_.get(), xml, xml_options));
   documents_[name] = doc;
   return doc;
 }
 
 Result<NodeId> Engine::LoadDocumentFromFile(const std::string& name,
-                                            const std::string& path) {
+                                            const std::string& path,
+                                            const ExecLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::InvalidArgument("cannot open document file: " + path);
@@ -34,7 +39,7 @@ Result<NodeId> Engine::LoadDocumentFromFile(const std::string& name,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   XQB_ASSIGN_OR_RETURN(NodeId doc,
-                       LoadDocumentFromString(name, buffer.str()));
+                       LoadDocumentFromString(name, buffer.str(), limits));
   documents_[path] = doc;
   return doc;
 }
@@ -51,8 +56,9 @@ void Engine::BindVariable(const std::string& name, NodeId node) {
   variables_[name] = Sequence{Item::Node(node)};
 }
 
-Result<PreparedQuery> Engine::Prepare(std::string_view query) const {
-  XQB_ASSIGN_OR_RETURN(Program program, ParseProgram(query));
+Result<PreparedQuery> Engine::Prepare(std::string_view query,
+                                      const ExecLimits& limits) const {
+  XQB_ASSIGN_OR_RETURN(Program program, ParseProgram(query, limits));
   NormalizeProgram(&program);
   // Static reference checking against prolog declarations and the
   // engine's host bindings.
@@ -72,7 +78,8 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query) const {
 
 Result<Sequence> Engine::Execute(std::string_view query,
                                  const ExecOptions& options) {
-  XQB_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
+  XQB_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                       Prepare(query, options.limits));
   return Run(prepared, options);
 }
 
@@ -81,6 +88,8 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   EvaluatorOptions eval_options;
   eval_options.default_snap_mode = options.default_snap_mode;
   eval_options.nondet_seed = options.nondet_seed;
+  eval_options.limits = options.limits;
+  eval_options.cancellation = options.cancellation;
   Evaluator evaluator(store_.get(), &prepared.program, eval_options);
   for (const auto& [name, doc] : documents_) {
     evaluator.RegisterDocument(name, doc);
@@ -124,6 +133,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   }
   last_snaps_applied_ = evaluator.snaps_applied();
   last_updates_applied_ = evaluator.updates_applied();
+  last_steps_ = evaluator.guard().steps();
   return result;
 }
 

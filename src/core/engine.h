@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algebra/rewrite.h"
+#include "base/limits.h"
 #include "base/result.h"
 #include "core/evaluator.h"
 #include "core/update.h"
@@ -28,6 +29,14 @@ struct ExecOptions {
   bool optimize = false;
   /// Per-rule optimizer switches (ablation).
   RewriteOptions rewrites;
+  /// Resource budgets for this run (and, in Execute, for parsing): the
+  /// execution governor's recursion/step/store-growth/deadline limits.
+  /// Use ExecLimits::Unlimited() for trusted batch work.
+  ExecLimits limits;
+  /// Optional cooperative cancellation: keep a reference on the host
+  /// side and Cancel() from any thread to make the run return
+  /// StatusCode::kCancelled.
+  CancellationTokenPtr cancellation;
 };
 
 /// A compiled, normalized, purity-analyzed program ready to execute.
@@ -55,14 +64,17 @@ class Engine {
   const Store& store() const { return *store_; }
 
   /// Parses `xml` and registers the document under `name` for
-  /// fn:doc("name"). Returns the document node.
+  /// fn:doc("name"). Returns the document node. `limits` supplies the
+  /// XML nesting-depth cap (ExecLimits::max_xml_nesting).
   Result<NodeId> LoadDocumentFromString(const std::string& name,
-                                        std::string_view xml);
+                                        std::string_view xml,
+                                        const ExecLimits& limits = {});
 
   /// Reads `path` from disk, parses it, and registers it under `name`
   /// (and under its path, so fn:doc("<path>") also resolves).
   Result<NodeId> LoadDocumentFromFile(const std::string& name,
-                                      const std::string& path);
+                                      const std::string& path,
+                                      const ExecLimits& limits = {});
 
   /// Registers an existing node as document `name`.
   void RegisterDocument(const std::string& name, NodeId node);
@@ -72,8 +84,10 @@ class Engine {
   void BindVariable(const std::string& name, Sequence value);
   void BindVariable(const std::string& name, NodeId node);
 
-  /// Parses, normalizes and analyzes a program.
-  Result<PreparedQuery> Prepare(std::string_view query) const;
+  /// Parses, normalizes and analyzes a program. `limits` supplies the
+  /// expression nesting-depth cap (ExecLimits::max_expr_nesting).
+  Result<PreparedQuery> Prepare(std::string_view query,
+                                const ExecLimits& limits = {}) const;
 
   /// One-shot execute: Prepare + Run.
   Result<Sequence> Execute(std::string_view query,
@@ -95,6 +109,9 @@ class Engine {
   /// Statistics from the most recent Run/Execute.
   int64_t last_snaps_applied() const { return last_snaps_applied_; }
   int64_t last_updates_applied() const { return last_updates_applied_; }
+  /// Evaluation steps the governor charged in the last Run (0 when the
+  /// guard ran disabled, e.g. under ExecLimits::Unlimited()).
+  int64_t last_steps() const { return last_steps_; }
   /// True if the last Run used the algebraic path end-to-end.
   bool last_used_algebra() const { return last_used_algebra_; }
   /// Plan description of the last optimized run (empty if interpreted).
@@ -106,6 +123,7 @@ class Engine {
   std::unordered_map<std::string, Sequence> variables_;
   int64_t last_snaps_applied_ = 0;
   int64_t last_updates_applied_ = 0;
+  int64_t last_steps_ = 0;
   bool last_used_algebra_ = false;
   std::string last_plan_;
 };

@@ -34,11 +34,24 @@ bool IsReverseAxis(Axis axis) {
 
 Evaluator::Evaluator(Store* store, const Program* program,
                      EvaluatorOptions options)
-    : store_(store), program_(program), options_(options) {
+    : store_(store),
+      program_(program),
+      options_(std::move(options)),
+      guard_(std::make_unique<ExecGuard>(options_.limits,
+                                         options_.cancellation)) {
   for (const FunctionDecl& f : program_->functions) {
     functions_[f.name] = &f;
   }
   snap_stack_.emplace_back();  // Base Δ (the implicit top-level snap's).
+  // Store-growth accounting for this run. With nested evaluators on one
+  // store the innermost (most recently constructed) one wins.
+  store_->set_allocation_gauge(guard_->gauge());
+}
+
+Evaluator::~Evaluator() {
+  if (store_->allocation_gauge() == guard_->gauge()) {
+    store_->set_allocation_gauge(nullptr);
+  }
 }
 
 void Evaluator::RegisterDocument(const std::string& name, NodeId doc) {
@@ -100,6 +113,9 @@ Result<Sequence> Evaluator::Run() {
 }
 
 Result<Sequence> Evaluator::Eval(const Expr& expr, const DynEnv& env) {
+  // One governor step per expression evaluation: the budget that makes
+  // every runaway query (not just recursive ones) terminate.
+  if (!guard_->Tick()) return guard_->status();
   switch (expr.kind) {
     case ExprKind::kIntegerLit:
       return Sequence{Item::Integer(expr.value_int)};
@@ -229,6 +245,7 @@ Result<Sequence> Evaluator::EvalFlwor(const Expr& expr, const DynEnv& env) {
         for (const DynEnv& row : rows) {
           XQB_ASSIGN_OR_RETURN(Sequence binding, Eval(*clause.expr, row));
           for (size_t i = 0; i < binding.size(); ++i) {
+            if (!guard_->Tick()) return guard_->status();
             DynEnv extended = row.Bind(clause.var, Sequence{binding[i]});
             if (!clause.pos_var.empty()) {
               extended = extended.Bind(
@@ -385,6 +402,7 @@ Result<Sequence> Evaluator::EvalQuantified(const Expr& expr,
     for (const DynEnv& row : rows) {
       XQB_ASSIGN_OR_RETURN(Sequence seq, Eval(*binding.expr, row));
       for (const Item& item : seq) {
+        if (!guard_->Tick()) return guard_->status();
         next.push_back(row.Bind(binding.var, Sequence{item}));
       }
     }
@@ -454,6 +472,8 @@ Result<Sequence> Evaluator::EvalGeneralCompare(const Expr& expr,
   std::vector<AtomicValue> ra = Atomize(*store_, rhs);
   for (const AtomicValue& a : la) {
     for (const AtomicValue& b : ra) {
+      // The existential product can be quadratic in the operand sizes.
+      if (!guard_->Tick()) return guard_->status();
       XQB_ASSIGN_OR_RETURN(bool hit, CompareAtomic(a, b, vop));
       if (hit) return Sequence{Item::Boolean(true)};
     }
@@ -593,7 +613,11 @@ Result<Sequence> Evaluator::EvalRange(const Expr& expr, const DynEnv& env) {
   XQB_ASSIGN_OR_RETURN(int64_t lo, to_int(lhs));
   XQB_ASSIGN_OR_RETURN(int64_t hi, to_int(rhs));
   Sequence out;
-  for (int64_t i = lo; i <= hi; ++i) out.push_back(Item::Integer(i));
+  for (int64_t i = lo; i <= hi; ++i) {
+    // `1 to 100000000` must trip the step budget, not swallow memory.
+    if (!guard_->Tick()) return guard_->status();
+    out.push_back(Item::Integer(i));
+  }
   return out;
 }
 
@@ -665,6 +689,10 @@ Result<Sequence> Evaluator::ApplyAxis(const Expr& step,
                                       NodeId context) const {
   Sequence out;
   auto emit = [&](NodeId node) {
+    // Charge a step per visited node; the trip is checked once after
+    // the traversal (each traversal is bounded by the store size, so
+    // the overshoot is bounded too).
+    guard_->Tick();
     if (MatchesTest(step.test, node, step.axis)) {
       out.push_back(Item::Node(node));
     }
@@ -751,6 +779,7 @@ Result<Sequence> Evaluator::ApplyAxis(const Expr& step,
       // Symmetric to following; generated in reverse document order.
       Sequence forward;
       auto emit_to = [&](NodeId node) {
+        guard_->Tick();
         if (MatchesTest(step.test, node, step.axis)) {
           forward.push_back(Item::Node(node));
         }
@@ -778,6 +807,7 @@ Result<Sequence> Evaluator::ApplyAxis(const Expr& step,
       break;
     }
   }
+  if (guard_->tripped()) return guard_->status();
   return out;
 }
 
@@ -879,17 +909,13 @@ Result<Sequence> Evaluator::EvalFunctionCall(const Expr& expr,
 
 Result<Sequence> Evaluator::CallUserFunction(const FunctionDecl& decl,
                                              std::vector<Sequence> args) {
-  if (++call_depth_ > options_.max_call_depth) {
-    --call_depth_;
-    return Status::DynamicError("maximum function call depth exceeded in " +
-                                decl.name);
-  }
+  XQB_RETURN_IF_ERROR(guard_->EnterCall(decl.name));
   DynEnv env;  // Function bodies see only parameters and globals.
   for (size_t i = 0; i < decl.params.size(); ++i) {
     env = env.Bind(decl.params[i], std::move(args[i]));
   }
   Result<Sequence> result = Eval(*decl.body, env);
-  --call_depth_;
+  guard_->ExitCall();
   return result;
 }
 

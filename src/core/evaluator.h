@@ -6,8 +6,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/limits.h"
 #include "base/result.h"
 #include "core/dynenv.h"
+#include "core/guard.h"
 #include "core/id_index.h"
 #include "core/update.h"
 #include "frontend/ast.h"
@@ -23,8 +25,11 @@ struct EvaluatorOptions {
   ApplyMode default_snap_mode = ApplyMode::kOrdered;
   /// Seed for the nondeterministic mode's permutation.
   uint64_t nondet_seed = 0;
-  /// Recursion guard for user functions.
-  int max_call_depth = 2000;
+  /// Resource budgets enforced by the run's ExecGuard (recursion depth,
+  /// steps, store growth, deadline).
+  ExecLimits limits;
+  /// Optional host-shared cancellation token for this run.
+  CancellationTokenPtr cancellation;
   /// When false, the implicit top-level snap is omitted and pending
   /// updates at the end of the query are discarded into `pending_delta`
   /// (used by tests that inspect Δ).
@@ -44,9 +49,14 @@ struct EvaluatorOptions {
 class Evaluator {
  public:
   /// `store` and `program` must outlive the evaluator. The program must
-  /// already be normalized (NormalizeProgram).
+  /// already be normalized (NormalizeProgram). The constructor attaches
+  /// the run's store-growth gauge to `store`; the destructor detaches
+  /// it, so the evaluator must not outlive the store.
   Evaluator(Store* store, const Program* program,
             EvaluatorOptions options = {});
+  ~Evaluator();
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   /// Registers a document for fn:doc("name").
   void RegisterDocument(const std::string& name, NodeId doc);
@@ -77,6 +87,10 @@ class Evaluator {
   Store* store() { return store_; }
   const Program* program() const { return program_; }
   const EvaluatorOptions& options() const { return options_; }
+
+  /// The run's resource governor. The algebra executor charges its
+  /// per-operator work here so both paths share one set of budgets.
+  ExecGuard& guard() { return *guard_; }
 
   /// fn:doc lookup.
   Result<NodeId> LookupDocument(const std::string& name) const;
@@ -158,6 +172,7 @@ class Evaluator {
   Store* store_;
   const Program* program_;
   EvaluatorOptions options_;
+  std::unique_ptr<ExecGuard> guard_;
 
   std::unordered_map<std::string, const FunctionDecl*> functions_;
   std::unordered_map<std::string, Sequence> globals_;
@@ -169,7 +184,6 @@ class Evaluator {
   std::vector<UpdateList> snap_stack_;
 
   IdIndex id_index_;
-  int call_depth_ = 0;
   bool globals_resolved_ = false;
   int64_t snaps_applied_ = 0;
   int64_t updates_applied_ = 0;

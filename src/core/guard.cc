@@ -1,0 +1,93 @@
+#include "core/guard.h"
+
+#include <algorithm>
+
+namespace xqb {
+
+namespace {
+
+int64_t NextCheckAt(int64_t steps, const ExecLimits& limits) {
+  int64_t interval = limits.check_interval > 0 ? limits.check_interval : 1024;
+  int64_t next = steps + interval;
+  // Never skip past the step budget: the budget check lives in
+  // SlowCheck, so a check point must land exactly when it is exceeded.
+  if (limits.max_steps > 0) next = std::min(next, limits.max_steps + 1);
+  return next;
+}
+
+}  // namespace
+
+ExecGuard::ExecGuard(const ExecLimits& limits, CancellationTokenPtr token)
+    : limits_(limits), token_(std::move(token)) {
+  char probe = 0;
+  stack_base_ = &probe;
+  gauge_.limit =
+      limits_.max_store_growth > 0 ? limits_.max_store_growth : -1;
+  enabled_ = limits_.max_steps > 0 || limits_.max_store_growth > 0 ||
+             limits_.deadline_ms > 0 || token_ != nullptr;
+  if (limits_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+  next_check_ = NextCheckAt(0, limits_);
+}
+
+Status ExecGuard::EnterCall(const std::string& fn) {
+  if (tripped_) return status_;
+  if (limits_.max_stack_bytes > 0) {
+    char probe = 0;
+    int64_t used = stack_base_ - &probe;
+    if (used < 0) used = -used;  // growth direction is platform-defined
+    if (used > limits_.max_stack_bytes) {
+      Trip(Status::ResourceExhausted(
+          "native stack budget (" + std::to_string(limits_.max_stack_bytes) +
+          " bytes) exceeded at recursion depth " +
+          std::to_string(call_depth_) + " in function " + fn));
+      return status_;
+    }
+  }
+  if (limits_.max_call_depth > 0 && ++call_depth_ > limits_.max_call_depth) {
+    --call_depth_;
+    Trip(Status::ResourceExhausted(
+        "recursion depth limit (" + std::to_string(limits_.max_call_depth) +
+        ") exceeded in function " + fn));
+    return status_;
+  }
+  if (limits_.max_call_depth <= 0) ++call_depth_;
+  return Status::OK();
+}
+
+bool ExecGuard::Trip(Status status) {
+  tripped_ = true;
+  enabled_ = true;  // Keep failing even if only EnterCall was limited.
+  status_ = std::move(status);
+  return false;
+}
+
+bool ExecGuard::TripStoreGrowth() {
+  return Trip(Status::ResourceExhausted(
+      "store growth budget (" + std::to_string(gauge_.limit) +
+      " nodes) exceeded: query allocated " +
+      std::to_string(gauge_.allocated) + " nodes in one run"));
+}
+
+bool ExecGuard::SlowCheck() {
+  if (limits_.max_steps > 0 && steps_ > limits_.max_steps) {
+    return Trip(Status::ResourceExhausted(
+        "evaluation step budget (" + std::to_string(limits_.max_steps) +
+        ") exceeded"));
+  }
+  if (token_ != nullptr && token_->cancelled()) {
+    return Trip(Status::Cancelled("query cancelled by the host"));
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(Status::ResourceExhausted(
+        "deadline (" + std::to_string(limits_.deadline_ms) +
+        " ms) exceeded"));
+  }
+  next_check_ = NextCheckAt(steps_, limits_);
+  return true;
+}
+
+}  // namespace xqb

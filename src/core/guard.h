@@ -1,0 +1,95 @@
+#ifndef XQB_CORE_GUARD_H_
+#define XQB_CORE_GUARD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/limits.h"
+#include "base/status.h"
+#include "xdm/store.h"
+
+namespace xqb {
+
+/// The execution resource governor: one ExecGuard is created per
+/// Engine::Run and threaded through both execution paths (the tree
+/// interpreter and the algebra executor, which share the run's
+/// Evaluator). It enforces the ExecLimits budgets:
+///
+///  - recursion depth, charged by EnterCall/ExitCall around user
+///    function calls;
+///  - an evaluation step budget, charged by Tick() on every expression
+///    evaluation, generated item and axis-traversal node;
+///  - a store-growth budget, observed through a Store::AllocationGauge
+///    that the evaluator attaches to the store for the run;
+///  - a wall-clock deadline and host cancellation, checked every
+///    ExecLimits::check_interval steps so the hot path stays at one
+///    increment and compare.
+///
+/// A trip is sticky: after the first failed Tick() every later Tick()
+/// fails with the same status, so the evaluation unwinds through the
+/// ordinary error path — pending snap deltas are discarded, never
+/// applied, and registered documents are left exactly as before the
+/// run.
+class ExecGuard {
+ public:
+  explicit ExecGuard(const ExecLimits& limits,
+                     CancellationTokenPtr token = nullptr);
+
+  /// Charges one evaluation step. Returns true to continue; on false
+  /// the governor has tripped and status() holds kResourceExhausted or
+  /// kCancelled. Hot path: one increment and compare.
+  bool Tick() {
+    if (!enabled_) return true;
+    if (tripped_) return false;
+    if (gauge_.tripped) return TripStoreGrowth();
+    if (++steps_ < next_check_) return true;
+    return SlowCheck();
+  }
+
+  /// Tick() as a Status, for XQB_RETURN_IF_ERROR call sites.
+  Status TickStatus() { return Tick() ? Status::OK() : status_; }
+
+  /// Charges one level of user-function recursion (`fn` names the
+  /// callee for the error message) and verifies the native stack
+  /// budget. Balance with ExitCall.
+  Status EnterCall(const std::string& fn);
+  void ExitCall() { --call_depth_; }
+
+  /// The store-growth gauge to attach via Store::set_allocation_gauge.
+  Store::AllocationGauge* gauge() { return &gauge_; }
+
+  /// The trip status: OK until a Tick()/EnterCall fails.
+  const Status& status() const { return status_; }
+  bool tripped() const { return tripped_; }
+
+  const ExecLimits& limits() const { return limits_; }
+  /// Steps charged so far (observability for tests/benches).
+  int64_t steps() const { return steps_; }
+
+ private:
+  bool Trip(Status status);
+  bool TripStoreGrowth();
+  /// Out-of-line: step budget, deadline and cancellation checks.
+  bool SlowCheck();
+
+  ExecLimits limits_;
+  CancellationTokenPtr token_;
+  /// Stack position at construction (≈ the start of the run); EnterCall
+  /// measures consumption against it. Assumes a contiguous stack.
+  const char* stack_base_ = nullptr;
+  Store::AllocationGauge gauge_;
+  int64_t steps_ = 0;
+  int64_t next_check_ = 0;
+  int call_depth_ = 0;
+  bool enabled_ = false;
+  bool tripped_ = false;
+  Status status_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_GUARD_H_

@@ -68,6 +68,30 @@ Status ApplyUpdateRequest(Store* store, const UpdateRequest& request) {
   return Status::Internal("unknown update op");
 }
 
+UpdateList::Node::~Node() {
+  // Dismantle exclusively-owned children iteratively: the default
+  // (recursive) shared_ptr teardown overflows the native stack on the
+  // left-leaning ropes a long snap builds (one Concat per request).
+  std::vector<std::shared_ptr<const Node>> pending;
+  auto take = [&pending](std::shared_ptr<const Node>& child) {
+    if (child != nullptr && child.use_count() == 1) {
+      pending.push_back(std::move(child));
+    }
+    child.reset();
+  };
+  take(left);
+  take(right);
+  while (!pending.empty()) {
+    // Dropping `dying` runs ~Node again, but its children were already
+    // moved into `pending`, so that inner call is O(1).
+    std::shared_ptr<const Node> dying = std::move(pending.back());
+    pending.pop_back();
+    Node& node = const_cast<Node&>(*dying);
+    take(node.left);
+    take(node.right);
+  }
+}
+
 std::vector<const UpdateRequest*> UpdateList::Flatten() const {
   std::vector<const UpdateRequest*> out;
   out.reserve(size());

@@ -134,6 +134,7 @@ class UpdateList {
     Node(std::shared_ptr<const Node> l, std::shared_ptr<const Node> r)
         : left(std::move(l)), right(std::move(r)),
           count(left->count + right->count) {}
+    ~Node();
     UpdateRequest request;            // leaf payload (when left == null)
     std::shared_ptr<const Node> left;
     std::shared_ptr<const Node> right;

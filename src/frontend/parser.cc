@@ -15,7 +15,10 @@ namespace {
 /// raw cursor; enclosed expressions re-enter the token grammar.
 class Parser {
  public:
-  explicit Parser(std::string_view input) : lexer_(input) {}
+  Parser(std::string_view input, int max_nesting_depth)
+      : lexer_(input),
+        max_nesting_depth_(max_nesting_depth > 0 ? max_nesting_depth
+                                                 : kDefaultNestingDepth) {}
 
   Result<Program> ParseProgram() {
     XQB_RETURN_IF_ERROR(Advance());
@@ -232,10 +235,10 @@ class Parser {
     // Recursion guard: the recursive-descent parser's stack usage is
     // proportional to expression nesting; cap it well before the real
     // stack runs out.
-    if (++depth_ > kMaxNestingDepth) {
+    if (++depth_ > max_nesting_depth_) {
       --depth_;
       return ErrorHere("expression nesting exceeds " +
-                       std::to_string(kMaxNestingDepth) + " levels");
+                       std::to_string(max_nesting_depth_) + " levels");
     }
     Result<ExprPtr> result = ParseExprSingleImpl();
     --depth_;
@@ -1287,10 +1290,10 @@ class Parser {
   /// producing a kElementCtor with a literal name, kAttributeCtor
   /// children for attributes, then content parts.
   Result<ExprPtr> ScanDirectElement() {
-    if (++depth_ > kMaxNestingDepth) {
+    if (++depth_ > max_nesting_depth_) {
       --depth_;
       return lexer_.MakeError("element nesting exceeds " +
-                              std::to_string(kMaxNestingDepth) +
+                              std::to_string(max_nesting_depth_) +
                               " levels");
     }
     Result<ExprPtr> result = ScanDirectElementImpl();
@@ -1549,22 +1552,25 @@ class Parser {
     return lexer_.MakeError("unknown entity &" + ent + ";");
   }
 
-  static constexpr int kMaxNestingDepth = 400;
+  static constexpr int kDefaultNestingDepth = 400;
 
   Lexer lexer_;
   Token cur_;
   int depth_ = 0;
+  int max_nesting_depth_;
 };
 
 }  // namespace
 
-Result<Program> ParseProgram(std::string_view input) {
-  Parser parser(input);
+Result<Program> ParseProgram(std::string_view input,
+                             const ExecLimits& limits) {
+  Parser parser(input, limits.max_expr_nesting);
   return parser.ParseProgram();
 }
 
-Result<ExprPtr> ParseExpression(std::string_view input) {
-  Parser parser(input);
+Result<ExprPtr> ParseExpression(std::string_view input,
+                                const ExecLimits& limits) {
+  Parser parser(input, limits.max_expr_nesting);
   return parser.ParseSingleExpression();
 }
 

@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "base/limits.h"
 #include "base/result.h"
 #include "frontend/ast.h"
 
@@ -27,10 +28,17 @@ namespace xqb {
 ///
 /// `snap delete {e}` is sugar for `snap { delete {e} }`, and likewise for
 /// the other update primitives.
-Result<Program> ParseProgram(std::string_view input);
+///
+/// `limits` supplies the expression nesting-depth cap
+/// (ExecLimits::max_expr_nesting) that bounds the recursive-descent
+/// parser's native stack usage — the same struct the execution governor
+/// uses, so hosts tighten or relax all resource limits in one place.
+Result<Program> ParseProgram(std::string_view input,
+                             const ExecLimits& limits = {});
 
 /// Parses a single expression (no prolog). Convenience for tests.
-Result<ExprPtr> ParseExpression(std::string_view input);
+Result<ExprPtr> ParseExpression(std::string_view input,
+                                const ExecLimits& limits = {});
 
 }  // namespace xqb
 

@@ -24,6 +24,12 @@ const char* NodeKindToString(NodeKind kind) {
 }
 
 NodeId Store::Allocate(NodeKind kind) {
+  if (gauge_ != nullptr) {
+    ++gauge_->allocated;
+    if (gauge_->limit >= 0 && gauge_->allocated > gauge_->limit) {
+      gauge_->tripped = true;
+    }
+  }
   NodeId id;
   if (!free_list_.empty()) {
     id = free_list_.back();

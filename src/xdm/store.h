@@ -45,9 +45,28 @@ const char* NodeKindToString(NodeKind kind);
 ///    problem Section 4.1 attributes to the detach semantics).
 class Store {
  public:
+  /// Allocation accounting hook for the execution resource governor
+  /// (ExecGuard, src/core/guard.h). While attached, every node record
+  /// allocation bumps `allocated`; crossing `limit` sets `tripped`,
+  /// which the governor turns into kResourceExhausted at its next
+  /// check point. Constructors themselves never fail: the overshoot is
+  /// bounded by the work one evaluation step can do (a single deep
+  /// copy of an existing subtree).
+  struct AllocationGauge {
+    int64_t allocated = 0;  ///< Nodes allocated while attached.
+    int64_t limit = -1;     ///< < 0 disables the check.
+    bool tripped = false;
+  };
+
   Store() = default;
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
+
+  /// Attaches (or with nullptr detaches) the allocation gauge. The
+  /// gauge must outlive its attachment; not thread-safe, like the rest
+  /// of the store.
+  void set_allocation_gauge(AllocationGauge* gauge) { gauge_ = gauge; }
+  const AllocationGauge* allocation_gauge() const { return gauge_; }
 
   // ---- Constructors (XDM constructor functions) ----
 
@@ -198,6 +217,7 @@ class Store {
   size_t live_count_ = 0;
   uint64_t version_ = 0;
   QNamePool names_;
+  AllocationGauge* gauge_ = nullptr;
 };
 
 }  // namespace xqb

@@ -204,9 +204,12 @@ class XmlScanner {
 
   Result<NodeId> ParseElement() {
     // Recursion guard against adversarially deep documents.
-    if (++depth_ > kMaxDepth) {
+    const int max_depth = options_.max_nesting_depth > 0
+                              ? options_.max_nesting_depth
+                              : kDefaultMaxDepth;
+    if (++depth_ > max_depth) {
       --depth_;
-      return Error("element nesting exceeds " + std::to_string(kMaxDepth) +
+      return Error("element nesting exceeds " + std::to_string(max_depth) +
                    " levels");
     }
     Result<NodeId> result = ParseElementImpl();
@@ -301,7 +304,7 @@ class XmlScanner {
     }
   }
 
-  static constexpr int kMaxDepth = 2000;
+  static constexpr int kDefaultMaxDepth = 2000;
 
   Store* store_;
   std::string_view input_;

@@ -15,6 +15,11 @@ struct XmlParseOptions {
   bool strip_boundary_whitespace = true;
   /// Keep comments and processing instructions as nodes.
   bool keep_comments = true;
+  /// Maximum element nesting depth (bounds the recursive-descent
+  /// scanner's native stack). Hosts usually set this from
+  /// ExecLimits::max_xml_nesting so all resource limits live in one
+  /// struct; values <= 0 fall back to the default (2000).
+  int max_nesting_depth = 2000;
 };
 
 /// Parses a well-formed XML document into `store`, returning the new

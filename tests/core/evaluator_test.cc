@@ -423,7 +423,7 @@ TEST_F(EvaluatorTest, UnknownFunction) {
 
 TEST_F(EvaluatorTest, InfiniteRecursionIsBounded) {
   EXPECT_EQ(EvalStatus("declare function loop() { loop() }; loop()").code(),
-            StatusCode::kDynamicError);
+            StatusCode::kResourceExhausted);
 }
 
 TEST_F(EvaluatorTest, FunctionsSeeGlobalsNotCallerLocals) {

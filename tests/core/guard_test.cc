@@ -1,0 +1,158 @@
+// Unit tests for the ExecGuard resource governor: step accounting,
+// recursion depth, the store allocation gauge, deadlines, cancellation,
+// and trip stickiness — independent of the evaluator.
+
+#include "core/guard.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "base/limits.h"
+#include "xdm/store.h"
+
+namespace xqb {
+namespace {
+
+TEST(ExecGuardTest, DefaultLimitsAllowManySteps) {
+  ExecGuard guard(ExecLimits{});
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_TRUE(guard.Tick());
+  }
+  EXPECT_FALSE(guard.tripped());
+  EXPECT_TRUE(guard.status().ok());
+  EXPECT_EQ(guard.steps(), 100000);
+}
+
+TEST(ExecGuardTest, UnlimitedModeChargesNothing) {
+  ExecGuard guard(ExecLimits::Unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(guard.Tick());
+  }
+  // The disabled hot path skips even the step counter.
+  EXPECT_EQ(guard.steps(), 0);
+}
+
+TEST(ExecGuardTest, StepBudgetTripsExactlyOnceExceeded) {
+  ExecLimits limits;
+  limits.max_steps = 10000;
+  limits.check_interval = 64;
+  ExecGuard guard(limits);
+  int64_t allowed = 0;
+  while (guard.Tick()) {
+    ++allowed;
+    ASSERT_LE(allowed, limits.max_steps) << "budget never tripped";
+  }
+  // The check interval clamps to land exactly on the budget boundary.
+  EXPECT_EQ(allowed, limits.max_steps);
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecGuardTest, TripIsSticky) {
+  ExecLimits limits;
+  limits.max_steps = 100;
+  ExecGuard guard(limits);
+  while (guard.Tick()) {
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(guard.Tick());
+    EXPECT_EQ(guard.TickStatus().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ExecGuardTest, RecursionDepthLimit) {
+  ExecLimits limits;
+  limits.max_call_depth = 3;
+  ExecGuard guard(limits);
+  EXPECT_TRUE(guard.EnterCall("f").ok());
+  EXPECT_TRUE(guard.EnterCall("f").ok());
+  EXPECT_TRUE(guard.EnterCall("f").ok());
+  auto status = guard.EnterCall("f");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // An EnterCall trip must also surface through later Ticks so the
+  // whole evaluation unwinds, even when no step budget is set.
+  EXPECT_FALSE(guard.Tick());
+}
+
+TEST(ExecGuardTest, StackBudgetTripsEnterCall) {
+  ExecLimits limits;
+  limits.max_stack_bytes = 1;  // below any real frame distance
+  ExecGuard guard(limits);
+  auto status = guard.EnterCall("f");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(guard.Tick());
+}
+
+TEST(ExecGuardTest, ExitCallReleasesDepth) {
+  ExecLimits limits;
+  limits.max_call_depth = 2;
+  ExecGuard guard(limits);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(guard.EnterCall("f").ok());
+    guard.ExitCall();
+  }
+  EXPECT_FALSE(guard.tripped());
+}
+
+TEST(ExecGuardTest, StoreGaugeTripsGrowthBudget) {
+  ExecLimits limits;
+  limits.max_store_growth = 5;
+  ExecGuard guard(limits);
+  Store store;
+  store.set_allocation_gauge(guard.gauge());
+  for (int i = 0; i < 5; ++i) {
+    store.NewElement("e");
+    EXPECT_TRUE(guard.Tick()) << "tripped after " << i + 1 << " nodes";
+  }
+  store.NewElement("e");
+  EXPECT_FALSE(guard.Tick());
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+  store.set_allocation_gauge(nullptr);
+}
+
+TEST(ExecGuardTest, DeadlineTrips) {
+  ExecLimits limits = ExecLimits::Unlimited();
+  limits.deadline_ms = 20;
+  limits.check_interval = 16;
+  ExecGuard guard(limits);
+  EXPECT_TRUE(guard.Tick());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  bool tripped = false;
+  // At most check_interval ticks until the deadline is observed.
+  for (int i = 0; i < 64 && !tripped; ++i) tripped = !guard.Tick();
+  ASSERT_TRUE(tripped);
+  EXPECT_EQ(guard.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecGuardTest, CancellationTokenTrips) {
+  auto token = std::make_shared<CancellationToken>();
+  ExecLimits limits = ExecLimits::Unlimited();
+  limits.check_interval = 16;
+  ExecGuard guard(limits, token);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(guard.Tick());
+  }
+  token->Cancel();
+  bool tripped = false;
+  for (int i = 0; i < 64 && !tripped; ++i) tripped = !guard.Tick();
+  ASSERT_TRUE(tripped);
+  EXPECT_EQ(guard.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecGuardTest, TokenResetAllowsReuseAcrossRuns) {
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  EXPECT_TRUE(token->cancelled());
+  token->Reset();
+  EXPECT_FALSE(token->cancelled());
+  ExecGuard guard(ExecLimits::Unlimited(), token);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(guard.Tick());
+  }
+}
+
+}  // namespace
+}  // namespace xqb

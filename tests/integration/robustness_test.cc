@@ -1,12 +1,16 @@
 // Robustness suites: adversarial inputs must produce error statuses,
 // never crashes — deep nesting, truncated programs, random mutations of
-// valid queries — plus a seed-swept random-FLWOR equivalence property
-// between the interpreter and the algebra.
+// valid queries, resource-governor trips (recursion, step, store-growth
+// and deadline budgets, host cancellation) — plus a seed-swept
+// random-FLWOR equivalence property between the interpreter and the
+// algebra.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
 #include <string>
+#include <thread>
 
 #include "core/engine.h"
 #include "frontend/parser.h"
@@ -196,6 +200,260 @@ TEST_P(RandomFlworEquivalenceTest, InterpreterMatchesAlgebra) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlworEquivalenceTest,
                          ::testing::Range<uint64_t>(0, 10));
+
+// ---- Execution resource governor (ExecGuard) ----
+
+/// Engine with a registered document plus its pre-run serialization, so
+/// every governor test can assert "no partial Δ was applied": after a
+/// tripped run the registered document must be byte-identical to its
+/// pre-run state.
+class GovernorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = engine_.LoadDocumentFromString(
+        "d", "<r><a k=\"1\">x</a><a k=\"2\">y</a><b/></r>");
+    ASSERT_TRUE(doc.ok());
+    doc_ = *doc;
+    before_ = SerializeDoc();
+  }
+
+  std::string SerializeDoc() {
+    return engine_.Serialize(Sequence{Item::Node(doc_)});
+  }
+
+  void ExpectStoreUntouched() { EXPECT_EQ(SerializeDoc(), before_); }
+
+  Engine engine_;
+  NodeId doc_ = kInvalidNode;
+  std::string before_;
+};
+
+TEST_F(GovernorTest, InfiniteRecursionReturnsResourceExhausted) {
+  // Section 2's web-service style modules admit unbounded recursion;
+  // under default limits that must degrade to a Status, not a crash —
+  // identically on the interpreted and the algebra path.
+  const char* query = "declare function local:f() { local:f() }; local:f()";
+  for (bool optimize : {false, true}) {
+    ExecOptions options;
+    options.optimize = optimize;
+    auto result = engine_.Execute(query, options);
+    ASSERT_FALSE(result.ok()) << "optimize=" << optimize;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status();
+    ExpectStoreUntouched();
+  }
+}
+
+TEST_F(GovernorTest, TightRecursionLimitIsEnforced) {
+  ExecOptions options;
+  options.limits.max_call_depth = 16;
+  auto result = engine_.Execute(
+      "declare function local:down($n) "
+      "{ if ($n = 0) then 0 else local:down($n - 1) }; local:down(100)",
+      options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The same program within the limit still runs.
+  options.limits.max_call_depth = 200;
+  EXPECT_TRUE(engine_
+                  .Execute(
+                      "declare function local:down($n) "
+                      "{ if ($n = 0) then 0 else local:down($n - 1) }; "
+                      "local:down(100)",
+                      options)
+                  .ok());
+}
+
+TEST_F(GovernorTest, StepBudgetTripsRunawayRange) {
+  // The issue's `(1 to 100000000)` shape: a single expression that
+  // generates unbounded work item by item.
+  ExecOptions options;
+  options.limits.max_steps = 100000;
+  for (bool optimize : {false, true}) {
+    options.optimize = optimize;
+    auto result =
+        engine_.Execute("count((1 to 100000000)[. mod 7 = 3])", options);
+    ASSERT_FALSE(result.ok()) << "optimize=" << optimize;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status();
+    ExpectStoreUntouched();
+  }
+}
+
+TEST_F(GovernorTest, StepBudgetTripsRunawayNestedFlwor) {
+  ExecOptions options;
+  options.limits.max_steps = 50000;
+  auto result = engine_.Execute(
+      "for $i in 1 to 100000 for $j in 1 to 100000 return 1", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  ExpectStoreUntouched();
+}
+
+TEST_F(GovernorTest, PendingUpdatesAreDiscardedOnTrip) {
+  // The update request is already on the top-level Δ when the step
+  // budget trips; the snap semantics require it never to be applied.
+  ExecOptions options;
+  options.limits.max_steps = 100000;
+  auto result = engine_.Execute(
+      "(insert { <hit/> } into { doc('d')/r }, (1 to 100000000))", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  ExpectStoreUntouched();
+  EXPECT_EQ(engine_.last_updates_applied(), 0);
+}
+
+TEST_F(GovernorTest, StoreGrowthBudgetTripsConstructorLoop) {
+  ExecOptions options;
+  options.limits.max_store_growth = 5000;
+  for (bool optimize : {false, true}) {
+    options.optimize = optimize;
+    auto result = engine_.Execute(
+        "for $i in 1 to 1000000 return <a><b c=\"1\"/></a>", options);
+    ASSERT_FALSE(result.ok()) << "optimize=" << optimize;
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+        << result.status();
+    ExpectStoreUntouched();
+  }
+  // The partially constructed garbage is unreachable and reclaimable.
+  EXPECT_GT(engine_.CollectGarbage(), 0u);
+  ExpectStoreUntouched();
+}
+
+TEST_F(GovernorTest, DeadlineTripsLongRunningQuery) {
+  ExecOptions options;
+  options.limits = ExecLimits::Unlimited();
+  options.limits.deadline_ms = 100;
+  const auto start = std::chrono::steady_clock::now();
+  auto result = engine_.Execute(
+      "for $i in 1 to 1000000 return count((1 to 100000)[. = 0])", options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status();
+  // Generous bound: the check interval is 1024 steps, so the trip must
+  // land well inside a couple of seconds even on a slow machine.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  ExpectStoreUntouched();
+}
+
+TEST_F(GovernorTest, CancellationFromAnotherThreadReturnsCancelled) {
+  for (bool optimize : {false, true}) {
+    auto token = std::make_shared<CancellationToken>();
+    ExecOptions options;
+    options.optimize = optimize;
+    options.limits = ExecLimits::Unlimited();
+    options.cancellation = token;
+    std::thread canceller([token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      token->Cancel();
+    });
+    auto result = engine_.Execute(
+        "for $i in 1 to 1000000 return count((1 to 100000)[. = 0])",
+        options);
+    canceller.join();
+    ASSERT_FALSE(result.ok()) << "optimize=" << optimize;
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+        << result.status();
+    ExpectStoreUntouched();
+  }
+}
+
+TEST_F(GovernorTest, LimitsBehaveIdenticallyOnBothPaths) {
+  // The interpreter and the algebra executor share one ExecGuard per
+  // run: the same query under the same limits must produce the same
+  // status category on both paths (extends the random equivalence
+  // property to resource errors).
+  struct Case {
+    const char* query;
+    ExecLimits limits;
+  };
+  ExecLimits tight_steps;
+  tight_steps.max_steps = 200;
+  ExecLimits tight_growth;
+  tight_growth.max_store_growth = 3;
+  ExecLimits roomy;  // Defaults: nothing trips.
+  const Case cases[] = {
+      {"for $x in doc('d')//a for $y in doc('d')//a "
+       "return string($x/@k)",
+       tight_steps},
+      {"for $x in doc('d')//a return <o k=\"{$x/@k}\"><c/><c/></o>",
+       tight_growth},
+      {"for $x in doc('d')//a where $x/@k = '1' return <o>{$x/@k}</o>",
+       roomy},
+  };
+  for (const Case& c : cases) {
+    ExecOptions interpreted;
+    interpreted.limits = c.limits;
+    auto r1 = engine_.Execute(c.query, interpreted);
+    ExecOptions optimized = interpreted;
+    optimized.optimize = true;
+    auto r2 = engine_.Execute(c.query, optimized);
+    EXPECT_EQ(r1.status().code(), r2.status().code())
+        << c.query << "\ninterpreted: " << r1.status()
+        << "\noptimized: " << r2.status();
+    if (r1.ok() && r2.ok()) {
+      EXPECT_EQ(engine_.Serialize(*r1), engine_.Serialize(*r2)) << c.query;
+    } else {
+      ExpectStoreUntouched();
+    }
+  }
+}
+
+TEST_F(GovernorTest, UnlimitedModeRunsLargeQueries) {
+  ExecOptions options;
+  options.limits = ExecLimits::Unlimited();
+  auto result = engine_.Execute("count(1 to 3000000)", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(engine_.Serialize(*result), "3000000");
+}
+
+TEST(GovernorLimits, ParserDepthConfigurableThroughExecLimits) {
+  std::string nested(30, '(');
+  nested += "1";
+  nested += std::string(30, ')');
+  ExecLimits tight;
+  tight.max_expr_nesting = 10;
+  auto rejected = ParseExpression(nested, tight);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kParseError);
+  ExecLimits loose;
+  loose.max_expr_nesting = 600;
+  std::string deeper(500, '(');
+  deeper += "1";
+  deeper += std::string(500, ')');
+  EXPECT_TRUE(ParseExpression(deeper, loose).ok());
+  // The same struct reaches Engine::Prepare / Execute.
+  Engine engine;
+  EXPECT_FALSE(engine.Prepare(nested, tight).ok());
+  ExecOptions options;
+  options.limits = tight;
+  EXPECT_FALSE(engine.Execute(nested, options).ok());
+}
+
+TEST(GovernorLimits, XmlDepthConfigurableThroughExecLimits) {
+  std::string open, close;
+  for (int i = 0; i < 20; ++i) {
+    open += "<e>";
+    close = "</e>" + close;
+  }
+  ExecLimits tight;
+  tight.max_xml_nesting = 10;
+  Engine engine;
+  auto rejected = engine.LoadDocumentFromString("d", open + close, tight);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kParseError);
+  ExecLimits loose;
+  loose.max_xml_nesting = 50;
+  EXPECT_TRUE(engine.LoadDocumentFromString("d", open + close, loose).ok());
+  // And directly through XmlParseOptions for parser-level callers.
+  Store store;
+  XmlParseOptions xml_options;
+  xml_options.max_nesting_depth = 10;
+  EXPECT_FALSE(ParseXmlDocument(&store, open + close, xml_options).ok());
+}
 
 }  // namespace
 }  // namespace xqb
