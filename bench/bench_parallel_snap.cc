@@ -1,0 +1,111 @@
+// E16 (Section 4): parallel evaluation of effect-free snap scopes. The
+// purity analysis proves a FLWOR return clause free of snap and I/O, so
+// its iterations fan out over the worker pool while results (and, for
+// the update-emitting variant, per-iteration deltas) are stitched back
+// in iteration order — bit-identical to serial. Expected shape:
+// near-linear speedup in the thread count for CPU-bound bodies, flat
+// for the serial baseline (threads=1 skips the pool entirely).
+//
+// CI runs this under tools/check_bench_regression.py with the thread
+// counts as benchmark arguments, so a regression in either the serial
+// path or the parallel scaling fails the benchmark-smoke job.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace {
+
+using xqb::Engine;
+using xqb::ExecOptions;
+using xqb::XMarkParams;
+
+/// CPU-bound pure body: per-item string crunching, heavy enough that
+/// the fan-out cost (worker clones + row distribution) is amortized.
+constexpr const char* kPureQuery =
+    "for $i in doc('auction')//item "
+    "return sum(string-to-codepoints(upper-case(string($i/description)))) "
+    "     + count($i/ancestor-or-self::*)";
+
+/// Update-emitting body inside a snap: still parallel-eligible (no
+/// nested snap, no I/O) but exercises per-iteration Δ capture and the
+/// ordered splice + serial application at scope end.
+constexpr const char* kSnapInsertQuery =
+    "snap { for $i in doc('auction')//item "
+    "       return insert { <digest>{ "
+    "         sum(string-to-codepoints(string($i/description))) "
+    "       }</digest> } into { $i } }";
+
+/// One engine per benchmark repetition set: the document dominates
+/// setup, so it is built once and reused across iterations.
+std::unique_ptr<Engine> MakeEngine(double factor) {
+  auto engine = std::make_unique<Engine>();
+  XMarkParams params;
+  params.factor = factor;
+  xqb::NodeId doc = xqb::GenerateXMarkDocument(&engine->store(), params);
+  engine->RegisterDocument("auction", doc);
+  return engine;
+}
+
+void BM_ParallelPureScan(benchmark::State& state) {
+  auto engine = MakeEngine(/*factor=*/2.0);
+  ExecOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  int64_t regions = 0;
+  for (auto _ : state) {
+    auto result = engine->Execute(kPureQuery, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    regions = engine->last_parallel_regions();
+  }
+  state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["parallel_regions"] = static_cast<double>(regions);
+}
+
+void BM_ParallelSnapInsert(benchmark::State& state) {
+  ExecOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  int64_t regions = 0;
+  // Manual timing: the inserts mutate the document, so each iteration
+  // needs a fresh engine whose construction must stay off the clock.
+  for (auto _ : state) {
+    auto engine = MakeEngine(/*factor=*/1.0);
+    auto start = std::chrono::steady_clock::now();
+    auto result = engine->Execute(kSnapInsertQuery, options);
+    auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    regions = engine->last_parallel_regions();
+    state.SetIterationTime(
+        std::chrono::duration<double>(end - start).count());
+  }
+  state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["parallel_regions"] = static_cast<double>(regions);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParallelPureScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelSnapInsert)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);

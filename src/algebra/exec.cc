@@ -66,6 +66,14 @@ class PlanExecutor {
       return Status::Internal("plan root must be MapToItem");
     }
     XQB_ASSIGN_OR_RETURN(TupleVec tuples, Exec(*root.input));
+    if (tuples.size() > 1 && evaluator_->CanEvalParallel(*root.expr)) {
+      // Same parallel map as the interpreter's FLWOR return clause, so
+      // both execution paths fan effect-free scopes out over the pool.
+      std::vector<DynEnv> envs;
+      envs.reserve(tuples.size());
+      for (const Tuple& tuple : tuples) envs.push_back(tuple.env);
+      return evaluator_->EvalMapParallel(*root.expr, envs);
+    }
     Sequence out;
     for (const Tuple& tuple : tuples) {
       XQB_ASSIGN_OR_RETURN(Sequence v,

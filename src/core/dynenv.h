@@ -16,6 +16,13 @@ namespace xqb {
 /// Bindings form an immutable shared chain, so extending an environment
 /// (dynEnv + x => value) is O(1) and environments can be captured by
 /// FLWOR row materialization without copying sequences.
+///
+/// Thread-confinement contract (parallel snap scopes): a DynEnv may be
+/// handed read-only to worker threads — the binding chain is immutable
+/// and shared_ptr refcounts are atomic, so concurrent Lookup/copy is
+/// safe. Extending (Bind/WithFocus) creates a new thread-confined head
+/// and never mutates shared tail links; a worker must only extend
+/// environments, never alter the rows it was handed.
 class DynEnv {
  public:
   DynEnv() = default;

@@ -90,6 +90,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   eval_options.nondet_seed = options.nondet_seed;
   eval_options.limits = options.limits;
   eval_options.cancellation = options.cancellation;
+  eval_options.threads = options.threads;
   Evaluator evaluator(store_.get(), &prepared.program, eval_options);
   for (const auto& [name, doc] : documents_) {
     evaluator.RegisterDocument(name, doc);
@@ -134,6 +135,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   last_snaps_applied_ = evaluator.snaps_applied();
   last_updates_applied_ = evaluator.updates_applied();
   last_steps_ = evaluator.guard().steps();
+  last_parallel_regions_ = evaluator.parallel_regions();
   return result;
 }
 

@@ -37,6 +37,11 @@ struct ExecOptions {
   /// side and Cancel() from any thread to make the run return
   /// StatusCode::kCancelled.
   CancellationTokenPtr cancellation;
+  /// Worker threads for parallel evaluation of effect-free snap scopes
+  /// (results and Δ-order stay bit-identical to serial). 0 = auto: the
+  /// XQB_THREADS environment variable if set, else hardware_concurrency.
+  /// 1 forces serial evaluation; N > 1 caps each region's concurrency.
+  int threads = 0;
 };
 
 /// A compiled, normalized, purity-analyzed program ready to execute.
@@ -116,6 +121,8 @@ class Engine {
   bool last_used_algebra() const { return last_used_algebra_; }
   /// Plan description of the last optimized run (empty if interpreted).
   const std::string& last_plan() const { return last_plan_; }
+  /// Parallel regions (pool fan-outs) the last Run executed.
+  int64_t last_parallel_regions() const { return last_parallel_regions_; }
 
  private:
   std::unique_ptr<Store> store_;
@@ -126,6 +133,7 @@ class Engine {
   int64_t last_steps_ = 0;
   bool last_used_algebra_ = false;
   std::string last_plan_;
+  int64_t last_parallel_regions_ = 0;
 };
 
 }  // namespace xqb

@@ -6,6 +6,7 @@
 
 #include "base/string_util.h"
 #include "core/functions.h"
+#include "core/worker_pool.h"
 
 namespace xqb {
 
@@ -43,13 +44,31 @@ Evaluator::Evaluator(Store* store, const Program* program,
     functions_[f.name] = &f;
   }
   snap_stack_.emplace_back();  // Base Δ (the implicit top-level snap's).
+  threads_ = ResolveThreadCount(options_.threads);
   // Store-growth accounting for this run. With nested evaluators on one
   // store the innermost (most recently constructed) one wins.
   store_->set_allocation_gauge(guard_->gauge());
 }
 
+Evaluator::Evaluator(const Evaluator& root, std::unique_ptr<ExecGuard> guard)
+    : store_(root.store_),
+      program_(root.program_),
+      options_(root.options_),
+      guard_(std::move(guard)),
+      functions_(root.functions_),
+      globals_(root.globals_),
+      external_vars_(root.external_vars_),
+      documents_(root.documents_) {
+  snap_stack_.emplace_back();  // Per-iteration Δ capture target.
+  globals_resolved_ = true;    // Shares the root's resolved globals.
+  is_worker_ = true;
+  threads_ = 1;  // Workers evaluate serially; only the root fans out.
+  // No gauge attachment: the root's gauge is already on the store, and
+  // this clone's guard charges that same gauge.
+}
+
 Evaluator::~Evaluator() {
-  if (store_->allocation_gauge() == guard_->gauge()) {
+  if (!is_worker_ && store_->allocation_gauge() == guard_->gauge()) {
     store_->set_allocation_gauge(nullptr);
   }
 }
@@ -383,10 +402,90 @@ Result<Sequence> Evaluator::EvalFlwor(const Expr& expr, const DynEnv& env) {
   }
 
   const Expr& ret = *expr.children[0];
+  if (rows.size() > 1 && CanEvalParallel(ret)) {
+    return EvalMapParallel(ret, rows);
+  }
   Sequence out;
   for (const DynEnv& row : rows) {
     XQB_ASSIGN_OR_RETURN(Sequence v, Eval(ret, row));
     out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+bool Evaluator::CanEvalParallel(const Expr& expr) {
+  if (is_worker_ || threads_ < 2) return false;
+  auto it = parallel_ok_.find(&expr);
+  if (it != parallel_ok_.end()) return it->second;
+  if (purity_ == nullptr) {
+    purity_ = std::make_unique<PurityAnalysis>();
+    purity_->AnalyzeFunctions(*program_);
+  }
+  // Effect-free in the Section 4 sense: no snap (the store stays frozen
+  // for the whole region) and no observable I/O. Emitting update
+  // requests is fine — they are captured per iteration and spliced back
+  // in iteration order.
+  bool ok = purity_->Analyze(expr).parallel_safe();
+  parallel_ok_.emplace(&expr, ok);
+  return ok;
+}
+
+UpdateList Evaluator::TakeTopDelta() {
+  UpdateList delta = std::move(snap_stack_.back());
+  snap_stack_.back() = UpdateList();
+  return delta;
+}
+
+Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
+                                            const std::vector<DynEnv>& rows) {
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int workers =
+      static_cast<int>(std::min<int64_t>(static_cast<int64_t>(threads_), n));
+  ++parallel_regions_;
+
+  struct IterationResult {
+    Status status;  // Per-iteration error, if any.
+    Sequence value;
+    UpdateList delta;
+  };
+  std::vector<IterationResult> results(static_cast<size_t>(n));
+
+  // One thread-confined evaluator clone per worker slot. The
+  // coordinating evaluator's own state is untouched during the region
+  // (slot 0 — the calling thread — uses a clone too).
+  std::vector<std::unique_ptr<Evaluator>> clones(
+      static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    clones[static_cast<size_t>(w)] = std::unique_ptr<Evaluator>(
+        new Evaluator(*this, guard_->SpawnWorker()));
+  }
+
+  WorkerPool::Global().ParallelFor(n, workers, [&](int64_t i, int w) {
+    Evaluator& ev = *clones[static_cast<size_t>(w)];
+    Result<Sequence> r = ev.Eval(expr, rows[static_cast<size_t>(i)]);
+    IterationResult& out = results[static_cast<size_t>(i)];
+    out.delta = ev.TakeTopDelta();
+    if (r.ok()) {
+      out.value = std::move(r).value();
+    } else {
+      out.status = r.status();
+    }
+  });
+
+  // Fold worker step counts and any trip back into the root guard.
+  for (const auto& clone : clones) guard_->JoinWorker(clone->guard());
+  guard_->EndParallelRegion();
+
+  // Stitch results back in iteration order: deltas splice onto the top
+  // Δ exactly as the serial loop would have appended them; the first
+  // failing iteration's error wins (identical to serial, which stops
+  // there — later iterations' deltas are discarded with the error).
+  Sequence out;
+  for (auto& result : results) {
+    snap_stack_.back() = UpdateList::Concat(std::move(snap_stack_.back()),
+                                            std::move(result.delta));
+    if (!result.status.ok()) return result.status;
+    out.insert(out.end(), result.value.begin(), result.value.end());
   }
   return out;
 }

@@ -2,6 +2,7 @@
 #define XQB_CORE_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/dynenv.h"
 #include "core/guard.h"
 #include "core/id_index.h"
+#include "core/purity.h"
 #include "core/update.h"
 #include "frontend/ast.h"
 #include "xdm/item.h"
@@ -34,6 +36,13 @@ struct EvaluatorOptions {
   /// updates at the end of the query are discarded into `pending_delta`
   /// (used by tests that inspect Δ).
   bool implicit_top_snap = true;
+  /// Worker threads for the parallel evaluation of effect-free snap
+  /// scopes (Section 4: inside an innermost snap the store cannot
+  /// change, so iteration order is unobservable). 0 = auto (the
+  /// XQB_THREADS environment variable if set, else
+  /// hardware_concurrency); 1 disables parallel evaluation; N > 1 uses
+  /// at most N concurrent participants per region.
+  int threads = 0;
 };
 
 /// The dynamic-semantics interpreter for XQuery! core (Section 3.4 and
@@ -110,8 +119,41 @@ class Evaluator {
   int64_t snaps_applied() const { return snaps_applied_; }
   /// Total update requests applied to the store so far.
   int64_t updates_applied() const { return updates_applied_; }
+  /// Number of parallel regions executed so far (observability: tests
+  /// assert that parallel evaluation actually engaged).
+  int64_t parallel_regions() const { return parallel_regions_; }
+
+  /// Effective worker count for this run (after resolving
+  /// EvaluatorOptions::threads; 1 on worker clones).
+  int threads() const { return threads_; }
+
+  /// True when evaluations of `expr` may be fanned out over the worker
+  /// pool: this evaluator runs with threads > 1 and the purity analysis
+  /// proves the expression free of snap and I/O (emitting updates is
+  /// fine — deltas are captured per iteration). Verdicts are memoized
+  /// per expression node.
+  bool CanEvalParallel(const Expr& expr);
+
+  /// Evaluates `expr` once per row concurrently, concatenating results
+  /// (and splicing per-iteration update deltas into the top of the snap
+  /// stack) in iteration order, so value and Δ are identical to the
+  /// serial loop. Errors are reported deterministically: the error of
+  /// the smallest failing iteration index wins, matching serial
+  /// evaluation. Precondition: CanEvalParallel(expr).
+  Result<Sequence> EvalMapParallel(const Expr& expr,
+                                   const std::vector<DynEnv>& rows);
 
  private:
+  /// Worker-clone constructor: a thread-confined evaluator sharing the
+  /// root's store, program and resolved globals, with a worker guard on
+  /// the root's shared budgets. Worker clones never attach/detach the
+  /// store gauge and always evaluate serially (threads() == 1).
+  Evaluator(const Evaluator& root, std::unique_ptr<ExecGuard> guard);
+
+  /// Moves the top pending-update list out (leaving it empty): the
+  /// per-iteration Δ capture of parallel regions.
+  UpdateList TakeTopDelta();
+
   Result<Sequence> EvalSequence(const Expr& expr, const DynEnv& env);
   Result<Sequence> EvalFlwor(const Expr& expr, const DynEnv& env);
   Result<Sequence> EvalQuantified(const Expr& expr, const DynEnv& env);
@@ -187,6 +229,18 @@ class Evaluator {
   bool globals_resolved_ = false;
   int64_t snaps_applied_ = 0;
   int64_t updates_applied_ = 0;
+
+  /// True on worker clones (no gauge ownership, no nested parallelism).
+  bool is_worker_ = false;
+  /// Resolved effective thread count (EvaluatorOptions::threads via
+  /// ResolveThreadCount; forced to 1 on worker clones).
+  int threads_ = 1;
+  /// Function-table purity analysis, computed lazily on the first
+  /// CanEvalParallel call.
+  std::unique_ptr<PurityAnalysis> purity_;
+  /// Memoized per-expression parallel-eligibility verdicts.
+  std::unordered_map<const Expr*, bool> parallel_ok_;
+  int64_t parallel_regions_ = 0;
 };
 
 }  // namespace xqb

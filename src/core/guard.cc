@@ -21,8 +21,9 @@ ExecGuard::ExecGuard(const ExecLimits& limits, CancellationTokenPtr token)
     : limits_(limits), token_(std::move(token)) {
   char probe = 0;
   stack_base_ = &probe;
-  gauge_.limit =
-      limits_.max_store_growth > 0 ? limits_.max_store_growth : -1;
+  own_gauge_.limit.store(
+      limits_.max_store_growth > 0 ? limits_.max_store_growth : -1,
+      std::memory_order_relaxed);
   enabled_ = limits_.max_steps > 0 || limits_.max_store_growth > 0 ||
              limits_.deadline_ms > 0 || token_ != nullptr;
   if (limits_.deadline_ms > 0) {
@@ -33,10 +34,52 @@ ExecGuard::ExecGuard(const ExecLimits& limits, CancellationTokenPtr token)
   next_check_ = NextCheckAt(0, limits_);
 }
 
+ExecGuard::ExecGuard(const ExecGuard& root,
+                     std::shared_ptr<SharedBudget> shared)
+    : limits_(root.limits_),
+      token_(root.token_),
+      stack_base_(nullptr),  // bound to the worker thread's stack lazily
+      gauge_(root.gauge_),
+      shared_(std::move(shared)),
+      enabled_(root.enabled_),
+      tripped_(root.tripped_),
+      status_(root.status_),
+      has_deadline_(root.has_deadline_),
+      deadline_(root.deadline_) {
+  next_check_ = NextCheckAt(0, limits_);
+}
+
+std::unique_ptr<ExecGuard> ExecGuard::SpawnWorker() {
+  if (region_ == nullptr) {
+    region_ = std::make_shared<SharedBudget>();
+    // Seed the shared budget with everything charged so far, so the
+    // whole-run total is what workers compare against max_steps.
+    region_->steps.store(steps_, std::memory_order_relaxed);
+    if (tripped_) {
+      region_->status = status_;
+      region_->tripped.store(true, std::memory_order_release);
+    }
+  }
+  return std::unique_ptr<ExecGuard>(new ExecGuard(*this, region_));
+}
+
+void ExecGuard::JoinWorker(const ExecGuard& worker) {
+  steps_ += worker.steps_;
+  if (worker.tripped_ && !tripped_) {
+    tripped_ = true;
+    enabled_ = true;
+    status_ = worker.status_;
+  }
+  // Re-aim the next check point: the fold may have jumped steps_ past
+  // the previous one (or past the budget itself).
+  next_check_ = NextCheckAt(steps_, limits_);
+}
+
 Status ExecGuard::EnterCall(const std::string& fn) {
   if (tripped_) return status_;
   if (limits_.max_stack_bytes > 0) {
     char probe = 0;
+    if (stack_base_ == nullptr) stack_base_ = &probe;
     int64_t used = stack_base_ - &probe;
     if (used < 0) used = -used;  // growth direction is platform-defined
     if (used > limits_.max_stack_bytes) {
@@ -62,18 +105,52 @@ bool ExecGuard::Trip(Status status) {
   tripped_ = true;
   enabled_ = true;  // Keep failing even if only EnterCall was limited.
   status_ = std::move(status);
+  if (shared_ != nullptr) {
+    // Broadcast to the other workers of the region (first trip wins).
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (!shared_->tripped.load(std::memory_order_relaxed)) {
+      shared_->status = status_;
+      shared_->tripped.store(true, std::memory_order_release);
+    }
+  }
   return false;
 }
 
 bool ExecGuard::TripStoreGrowth() {
   return Trip(Status::ResourceExhausted(
-      "store growth budget (" + std::to_string(gauge_.limit) +
+      "store growth budget (" +
+      std::to_string(gauge_->limit.load(std::memory_order_relaxed)) +
       " nodes) exceeded: query allocated " +
-      std::to_string(gauge_.allocated) + " nodes in one run"));
+      std::to_string(gauge_->allocated.load(std::memory_order_relaxed)) +
+      " nodes in one run"));
 }
 
 bool ExecGuard::SlowCheck() {
-  if (limits_.max_steps > 0 && steps_ > limits_.max_steps) {
+  if (shared_ != nullptr) {
+    // Flush this slice of locally charged steps into the shared budget
+    // and test the whole-region total.
+    int64_t delta = steps_ - flushed_;
+    flushed_ = steps_;
+    int64_t total =
+        shared_->steps.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (shared_->tripped.load(std::memory_order_acquire)) {
+      // Another worker tripped: adopt its status without re-broadcasting.
+      Status adopted;
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        adopted = shared_->status;
+      }
+      tripped_ = true;
+      enabled_ = true;
+      status_ = std::move(adopted);
+      return false;
+    }
+    if (limits_.max_steps > 0 && total > limits_.max_steps) {
+      return Trip(Status::ResourceExhausted(
+          "evaluation step budget (" + std::to_string(limits_.max_steps) +
+          ") exceeded"));
+    }
+  } else if (limits_.max_steps > 0 && steps_ > limits_.max_steps) {
     return Trip(Status::ResourceExhausted(
         "evaluation step budget (" + std::to_string(limits_.max_steps) +
         ") exceeded"));

@@ -1,9 +1,11 @@
 #ifndef XQB_CORE_GUARD_H_
 #define XQB_CORE_GUARD_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "base/limits.h"
@@ -32,6 +34,15 @@ namespace xqb {
 /// ordinary error path — pending snap deltas are discarded, never
 /// applied, and registered documents are left exactly as before the
 /// run.
+///
+/// Parallel regions: the root guard can spawn thread-confined worker
+/// guards (SpawnWorker) that share one atomic step budget. Each worker
+/// ticks a thread-local counter at full speed and flushes its slice
+/// into the shared budget every check_interval steps, so the hot path
+/// stays contention-free; a trip on any worker is broadcast through
+/// the shared budget and adopted by the others at their next check
+/// point. JoinWorker folds a worker's count back into the root so
+/// steps() stays the whole-run total.
 class ExecGuard {
  public:
   explicit ExecGuard(const ExecLimits& limits,
@@ -43,7 +54,9 @@ class ExecGuard {
   bool Tick() {
     if (!enabled_) return true;
     if (tripped_) return false;
-    if (gauge_.tripped) return TripStoreGrowth();
+    if (gauge_->tripped.load(std::memory_order_relaxed)) {
+      return TripStoreGrowth();
+    }
     if (++steps_ < next_check_) return true;
     return SlowCheck();
   }
@@ -58,29 +71,74 @@ class ExecGuard {
   void ExitCall() { --call_depth_; }
 
   /// The store-growth gauge to attach via Store::set_allocation_gauge.
-  Store::AllocationGauge* gauge() { return &gauge_; }
+  /// For worker guards this is the root guard's gauge, so allocations
+  /// from any thread charge one shared budget.
+  Store::AllocationGauge* gauge() { return gauge_; }
 
   /// The trip status: OK until a Tick()/EnterCall fails.
   const Status& status() const { return status_; }
   bool tripped() const { return tripped_; }
 
   const ExecLimits& limits() const { return limits_; }
-  /// Steps charged so far (observability for tests/benches).
+  /// Steps charged so far (observability for tests/benches). For a root
+  /// guard this includes joined workers' steps.
   int64_t steps() const { return steps_; }
 
+  // ---- Parallel regions (effect-free snap scopes, Section 4) ----
+
+  /// Creates a worker guard for one participant of a parallel region.
+  /// The worker shares this guard's step budget (atomic, flushed in
+  /// amortized slices), allocation gauge, cancellation token and
+  /// deadline; its native-stack base is rebound lazily to the first
+  /// stack probe on the worker's own thread. Call on the root guard
+  /// from the coordinating thread only; join every spawned worker with
+  /// JoinWorker, then close the region with EndParallelRegion.
+  std::unique_ptr<ExecGuard> SpawnWorker();
+
+  /// Folds `worker`'s locally charged steps back into this guard and
+  /// adopts its trip status if this guard has not tripped yet. Call on
+  /// the coordinating thread after the region's join barrier.
+  void JoinWorker(const ExecGuard& worker);
+
+  /// Discards the shared budget of the current region (workers must
+  /// all be joined). The next SpawnWorker starts a fresh region.
+  void EndParallelRegion() { region_.reset(); }
+
  private:
+  /// The budget shared by every guard of one parallel region. `steps`
+  /// is seeded with the root's count at region start; workers add their
+  /// slices. The first guard to trip publishes its status here; others
+  /// adopt it at their next slow check.
+  struct SharedBudget {
+    std::atomic<int64_t> steps{0};
+    std::atomic<bool> tripped{false};
+    std::mutex mu;  // guards status
+    Status status;
+  };
+
+  /// Worker-guard constructor.
+  ExecGuard(const ExecGuard& root, std::shared_ptr<SharedBudget> shared);
+
   bool Trip(Status status);
   bool TripStoreGrowth();
-  /// Out-of-line: step budget, deadline and cancellation checks.
+  /// Out-of-line: step budget, deadline and cancellation checks; on
+  /// worker guards also flushes the local step slice into the shared
+  /// budget and adopts cross-thread trips.
   bool SlowCheck();
 
   ExecLimits limits_;
   CancellationTokenPtr token_;
   /// Stack position at construction (≈ the start of the run); EnterCall
-  /// measures consumption against it. Assumes a contiguous stack.
+  /// measures consumption against it. Assumes a contiguous stack. On
+  /// worker guards it starts null and is bound by the first EnterCall
+  /// on the worker thread.
   const char* stack_base_ = nullptr;
-  Store::AllocationGauge gauge_;
+  Store::AllocationGauge own_gauge_;
+  Store::AllocationGauge* gauge_ = &own_gauge_;
+  std::shared_ptr<SharedBudget> shared_;  ///< Set on worker guards.
+  std::shared_ptr<SharedBudget> region_;  ///< Set on a root with an open region.
   int64_t steps_ = 0;
+  int64_t flushed_ = 0;  ///< Portion of steps_ already in shared_->steps.
   int64_t next_check_ = 0;
   int call_depth_ = 0;
   bool enabled_ = false;

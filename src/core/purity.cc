@@ -6,8 +6,11 @@ namespace xqb {
 
 PurityInfo PurityAnalysis::FunctionInfo(const std::string& name) const {
   auto it = functions_.find(name);
-  if (it == functions_.end()) return PurityInfo{};
-  return it->second;
+  if (it != functions_.end()) return it->second;
+  PurityInfo info;
+  // Builtins are pure with one exception: fn:trace logs to stderr.
+  if (name == "trace") info.has_io = true;
+  return info;
 }
 
 PurityInfo PurityAnalysis::Analyze(const Expr& expr) const {
@@ -47,26 +50,34 @@ PurityInfo PurityAnalysis::Analyze(const Expr& expr) const {
   return info;
 }
 
-void PurityAnalysis::AnalyzeProgram(Program* program) {
+void PurityAnalysis::ComputeFixpoint(const Program& program) {
   functions_.clear();
-  for (const FunctionDecl& f : program->functions) {
+  for (const FunctionDecl& f : program.functions) {
     functions_[f.name] = PurityInfo{};
   }
   // Fixpoint: re-analyze bodies until no flag changes. The lattice has
-  // height 2 per function, so this terminates quickly.
+  // height 3 per function, so this terminates quickly.
   bool changed = true;
   while (changed) {
     changed = false;
-    for (const FunctionDecl& f : program->functions) {
+    for (const FunctionDecl& f : program.functions) {
       PurityInfo info = Analyze(*f.body);
       PurityInfo& cur = functions_[f.name];
       if (info.has_update != cur.has_update ||
-          info.has_snap != cur.has_snap) {
+          info.has_snap != cur.has_snap || info.has_io != cur.has_io) {
         cur = info;
         changed = true;
       }
     }
   }
+}
+
+void PurityAnalysis::AnalyzeFunctions(const Program& program) {
+  ComputeFixpoint(program);
+}
+
+void PurityAnalysis::AnalyzeProgram(Program* program) {
+  ComputeFixpoint(*program);
   for (FunctionDecl& f : program->functions) {
     const PurityInfo& info = functions_[f.name];
     f.may_update = info.has_update;

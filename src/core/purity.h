@@ -28,12 +28,27 @@ struct PurityInfo {
   /// call) and therefore may modify the store mid-evaluation. Reordering
   /// rewrites must be guarded on this.
   bool has_snap = false;
+  /// The expression may perform observable I/O (fn:trace). I/O does not
+  /// touch the store, but its interleaving is observable, so rewrites
+  /// that reorder or parallelize evaluation must be guarded on it.
+  bool has_io = false;
 
-  bool pure() const { return !has_update && !has_snap; }
+  bool pure() const { return !has_update && !has_snap && !has_io; }
+
+  /// True when evaluations of the expression may run concurrently, in
+  /// any order, against a frozen store: nothing in it can observe or
+  /// cause a mid-scope store change (no snap) and nothing performs
+  /// observable I/O. has_update is allowed — emitted update requests are
+  /// captured per iteration and concatenated back in iteration order,
+  /// which the paper's Section 4 optimization justifies: inside the
+  /// innermost snap "the store cannot change", so evaluation order is
+  /// unobservable.
+  bool parallel_safe() const { return !has_snap && !has_io; }
 
   PurityInfo& operator|=(const PurityInfo& other) {
     has_update = has_update || other.has_update;
     has_snap = has_snap || other.has_snap;
+    has_io = has_io || other.has_io;
     return *this;
   }
 };
@@ -46,13 +61,19 @@ class PurityAnalysis {
  public:
   /// Analyzes `program`, filling FunctionDecl::may_update/may_snap and
   /// recording the table for later queries. Unknown function names are
-  /// assumed pure builtins.
+  /// assumed pure builtins (except fn:trace, which is I/O).
   void AnalyzeProgram(Program* program);
+
+  /// Like AnalyzeProgram but without mutating the AST: computes the
+  /// function table for a program the caller only holds const (the
+  /// evaluator's parallel-eligibility checks use this).
+  void AnalyzeFunctions(const Program& program);
 
   /// Summary of an expression under the analyzed function table.
   PurityInfo Analyze(const Expr& expr) const;
 
-  /// Lookup of a declared function's flags; defaults to pure.
+  /// Lookup of a declared function's flags; defaults to pure (builtins:
+  /// fn:trace reports has_io).
   PurityInfo FunctionInfo(const std::string& name) const;
 
   /// Enforces the Section 5 signature discipline. Active only when the
@@ -65,6 +86,8 @@ class PurityAnalysis {
   Status CheckUpdatingDeclarations(const Program& program) const;
 
  private:
+  void ComputeFixpoint(const Program& program);
+
   std::unordered_map<std::string, PurityInfo> functions_;
 };
 

@@ -1,0 +1,133 @@
+#include "core/worker_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace xqb {
+
+namespace {
+
+int EnvThreads() {
+  const char* env = std::getenv("XQB_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  int v = std::atoi(env);
+  return v > 0 ? v : 0;
+}
+
+int HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  if (int env = EnvThreads(); env > 0) return env;
+  return HardwareThreads();
+}
+
+WorkerPool& WorkerPool::Global() {
+  // The caller participates in every ParallelFor, so the pool needs one
+  // thread fewer than the widest run; keep at least one pool thread so
+  // the cross-thread paths run (and race under TSan) everywhere.
+  static WorkerPool pool(
+      std::max(1, std::max(HardwareThreads(), EnvThreads()) - 1));
+  return pool;
+}
+
+WorkerPool::WorkerPool(int threads) {
+  threads_.reserve(static_cast<size_t>(std::max(1, threads)));
+  for (int i = 0; i < std::max(1, threads); ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::RunJob(Job* job, int worker) {
+  for (;;) {
+    int64_t start = job->next.fetch_add(job->grain, std::memory_order_relaxed);
+    if (start >= job->n) return;
+    int64_t end = std::min(job->n, start + job->grain);
+    for (int64_t i = start; i < end; ++i) (*job->fn)(i, worker);
+    bool all_done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job->completed += end - start;
+      all_done = job->completed == job->n;
+    }
+    // done_cv_ outlives the job, so notifying after the caller's wait
+    // predicate became true is safe (unlike a per-job cv, which the
+    // caller would already be destroying).
+    if (all_done) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    int worker = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      job = jobs_.front();
+      worker = job->worker_ids.fetch_add(1, std::memory_order_relaxed);
+      if (worker >= job->max_workers ||
+          job->next.load(std::memory_order_relaxed) >= job->n) {
+        // Saturated (or drained): stop offering it to pool threads. The
+        // threads already inside RunJob keep the Job alive via `active`.
+        jobs_.erase(std::find(jobs_.begin(), jobs_.end(), job));
+        continue;
+      }
+      ++job->active;
+    }
+    RunJob(job, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->active;
+      auto it = std::find(jobs_.begin(), jobs_.end(), job);
+      if (it != jobs_.end()) jobs_.erase(it);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::ParallelFor(int64_t n, int max_workers,
+                             const std::function<void(int64_t, int)>& fn) {
+  if (n <= 0) return;
+  if (max_workers <= 1 || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  Job job;
+  job.n = n;
+  job.max_workers = max_workers;
+  job.fn = &fn;
+  job.grain = std::max<int64_t>(1, n / (static_cast<int64_t>(max_workers) * 8));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(&job);
+  }
+  cv_.notify_all();
+  RunJob(&job, /*worker=*/0);
+  // The job leaves this frame only after every claimed index ran and
+  // every pool thread left RunJob (no stragglers holding the pointer).
+  // Workers touch the job only under mu_ after their last fn() call, so
+  // once the predicate holds under mu_ the Job is safe to destroy.
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = std::find(jobs_.begin(), jobs_.end(), &job);
+  if (it != jobs_.end()) jobs_.erase(it);
+  done_cv_.wait(lock,
+                [&job] { return job.completed == job.n && job.active == 0; });
+}
+
+}  // namespace xqb

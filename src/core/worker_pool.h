@@ -1,0 +1,97 @@
+#ifndef XQB_CORE_WORKER_POOL_H_
+#define XQB_CORE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xqb {
+
+/// Resolves an ExecOptions::threads / EvaluatorOptions::threads request
+/// to an effective worker count:
+///  - requested > 0 is taken literally (1 disables parallel evaluation);
+///  - requested <= 0 means "auto": the XQB_THREADS environment variable
+///    if set to a positive integer (the CI knob that forces the thread
+///    count for an entire test-suite run), else hardware_concurrency.
+int ResolveThreadCount(int requested);
+
+/// A persistent, process-wide pool of worker threads backing the
+/// data-parallel evaluation of effect-free snap scopes (the Section 4
+/// optimization: inside an innermost snap the store cannot change, so
+/// iteration order is unobservable and binding tuples can be fanned out
+/// across threads).
+///
+/// Design notes:
+///  - The pool is work-requesting: ParallelFor publishes a job, the
+///    calling thread immediately starts claiming index chunks itself,
+///    and idle pool threads join in. A job therefore always makes
+///    progress even when every pool thread is busy, which makes nested
+///    ParallelFor calls (a parallel FLWOR inside a parallel FLWOR)
+///    deadlock-free by construction.
+///  - Chunked claiming (grain ≈ n / (workers * 8)) keeps the per-index
+///    synchronization cost amortized for cheap loop bodies while still
+///    load-balancing expensive ones.
+///  - Each participating thread is handed a stable worker slot id in
+///    [0, max_workers); callers use it to index per-worker scratch
+///    state (worker evaluators, worker guards) without locking.
+class WorkerPool {
+ public:
+  /// The process-wide pool, created on first use. Its size is
+  /// max(hardware_concurrency, XQB_THREADS) - 1 threads (the caller of
+  /// ParallelFor is always the extra participant), at least 1 so the
+  /// threaded code paths are exercised even on single-core hosts.
+  static WorkerPool& Global();
+
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(index, worker) for every index in [0, n), distributing
+  /// indices over at most `max_workers` concurrent participants (the
+  /// caller plus pool threads). Blocks until every index has been
+  /// processed. `worker` identifies the participant's slot in
+  /// [0, max_workers); the same slot is never used by two threads
+  /// concurrently. With max_workers <= 1 the loop runs inline.
+  void ParallelFor(int64_t n, int max_workers,
+                   const std::function<void(int64_t, int)>& fn);
+
+ private:
+  /// Jobs live on the caller's stack; all their completion bookkeeping
+  /// (completed/active) is guarded by the pool-lifetime mu_ and
+  /// signalled on the pool-lifetime done_cv_. Workers must never touch
+  /// per-job synchronization objects: the caller destroys the Job the
+  /// moment its wait predicate holds, while a worker could still be
+  /// inside a notify call on a per-job condition variable.
+  struct Job {
+    int64_t n = 0;
+    int64_t grain = 1;
+    int max_workers = 1;
+    const std::function<void(int64_t, int)>* fn = nullptr;
+    std::atomic<int64_t> next{0};    // next unclaimed index
+    std::atomic<int> worker_ids{1};  // slot 0 is the caller's
+    int64_t completed = 0;           // indices fully processed (mu_)
+    int active = 0;                  // pool threads inside RunJob (mu_)
+  };
+
+  void WorkerLoop();
+  void RunJob(Job* job, int worker);
+
+  std::mutex mu_;  // guards jobs_, stop_, and job completion counters
+  std::condition_variable cv_;       // wakes idle pool threads
+  std::condition_variable done_cv_;  // signals callers waiting in ParallelFor
+  std::deque<Job*> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_CORE_WORKER_POOL_H_

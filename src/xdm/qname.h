@@ -1,11 +1,13 @@
 #ifndef XQB_XDM_QNAME_H_
 #define XQB_XDM_QNAME_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace xqb {
 
@@ -18,35 +20,70 @@ inline constexpr QNameId kInvalidQName = 0xFFFFFFFFu;
 /// An interning pool mapping names (lexical QNames; this engine treats
 /// prefixes as part of the name, per the paper's "well-formed documents
 /// only" scope, Section 3.2) to dense ids.
+///
+/// Thread-safety contract (for the parallel evaluation of effect-free
+/// snap scopes): Intern and Lookup are serialized on an internal mutex;
+/// NameOf is lock-free and safe concurrently with Intern because names
+/// live in chunked stable storage — a returned reference is never
+/// invalidated by later interning. A NameOf(id) call must be ordered
+/// after the Intern that produced `id` (which the publication of the id
+/// itself — via a node record, an AST, or a fork/join — guarantees).
 class QNamePool {
  public:
   QNamePool() = default;
   QNamePool(const QNamePool&) = delete;
   QNamePool& operator=(const QNamePool&) = delete;
 
+  ~QNamePool() {
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
+
   /// Returns the id for `name`, interning it on first use.
   QNameId Intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = ids_.find(std::string(name));
     if (it != ids_.end()) return it->second;
-    QNameId id = static_cast<QNameId>(names_.size());
-    names_.emplace_back(name);
-    ids_.emplace(names_.back(), id);
+    QNameId id = size_.load(std::memory_order_relaxed);
+    size_t chunk = id >> kChunkBits;
+    std::string* slots = chunks_[chunk].load(std::memory_order_relaxed);
+    if (slots == nullptr) {
+      slots = new std::string[kChunkSize];
+      chunks_[chunk].store(slots, std::memory_order_release);
+    }
+    slots[id & kChunkMask] = std::string(name);
+    ids_.emplace(slots[id & kChunkMask], id);
+    size_.store(id + 1, std::memory_order_release);
     return id;
   }
 
   /// Returns the id for `name` if already interned, else kInvalidQName.
   QNameId Lookup(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = ids_.find(std::string(name));
     return it == ids_.end() ? kInvalidQName : it->second;
   }
 
-  /// Precondition: `id` was returned by Intern.
-  const std::string& NameOf(QNameId id) const { return names_[id]; }
+  /// Precondition: `id` was returned by Intern. The reference stays
+  /// valid for the pool's lifetime (stable chunked storage).
+  const std::string& NameOf(QNameId id) const {
+    return chunks_[id >> kChunkBits]
+        .load(std::memory_order_acquire)[id & kChunkMask];
+  }
 
-  size_t size() const { return names_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  std::vector<std::string> names_;
+  static constexpr size_t kChunkBits = 10;  // 1024 names per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 10;  // 1M name cap
+
+  mutable std::mutex mu_;  // guards ids_ and chunk installation
+  std::unique_ptr<std::atomic<std::string*>[]> chunks_{
+      new std::atomic<std::string*>[kMaxChunks]()};
+  std::atomic<QNameId> size_{0};
   std::unordered_map<std::string, QNameId> ids_;
 };
 

@@ -23,26 +23,52 @@ const char* NodeKindToString(NodeKind kind) {
   return "unknown";
 }
 
+Store::~Store() {
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+}
+
 NodeId Store::Allocate(NodeKind kind) {
   if (gauge_ != nullptr) {
-    ++gauge_->allocated;
-    if (gauge_->limit >= 0 && gauge_->allocated > gauge_->limit) {
-      gauge_->tripped = true;
+    int64_t allocated =
+        gauge_->allocated.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t limit = gauge_->limit.load(std::memory_order_relaxed);
+    if (limit >= 0 && allocated > limit) {
+      gauge_->tripped.store(true, std::memory_order_relaxed);
     }
   }
   NodeId id;
-  if (!free_list_.empty()) {
-    id = free_list_.back();
-    free_list_.pop_back();
-    nodes_[id] = NodeRecord{};
-  } else {
-    id = static_cast<NodeId>(nodes_.size());
-    nodes_.emplace_back();
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      Rec(id) = NodeRecord{};
+    } else {
+      size_t slot = slot_count_.load(std::memory_order_relaxed);
+      size_t chunk = slot >> kChunkBits;
+      NodeRecord* recs = chunks_[chunk].load(std::memory_order_relaxed);
+      if (recs == nullptr) {
+        recs = new NodeRecord[kChunkSize];
+        chunks_[chunk].store(recs, std::memory_order_release);
+      }
+      id = static_cast<NodeId>(slot);
+      slot_count_.store(slot + 1, std::memory_order_release);
+    }
   }
-  nodes_[id].kind = kind;
-  nodes_[id].alive = true;
-  ++live_count_;
+  // The fresh record is thread-private until its id is published, so
+  // initializing it outside the allocation lock is safe.
+  NodeRecord& rec = Rec(id);
+  rec.kind = kind;
+  rec.alive = true;
+  live_count_.fetch_add(1, std::memory_order_acq_rel);
   return id;
+}
+
+void Store::Release(NodeId id) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  free_list_.push_back(id);
 }
 
 NodeId Store::NewDocument() { return Allocate(NodeKind::kDocument); }
@@ -53,7 +79,7 @@ NodeId Store::NewElement(std::string_view name) {
 
 NodeId Store::NewElement(QNameId name) {
   NodeId id = Allocate(NodeKind::kElement);
-  nodes_[id].name = name;
+  Rec(id).name = name;
   return id;
 }
 
@@ -61,51 +87,44 @@ NodeId Store::NewAttribute(std::string_view name, std::string_view value) {
   return NewAttribute(names_.Intern(name), value);
 }
 
-// NOTE: the content constructors copy their string_view argument into a
-// local before Allocate: callers may pass views into this store's own
-// node records (e.g. DeepCopy), which Allocate invalidates when the
-// record vector grows.
-
 NodeId Store::NewAttribute(QNameId name, std::string_view value) {
-  std::string copy(value);
   NodeId id = Allocate(NodeKind::kAttribute);
-  nodes_[id].name = name;
-  nodes_[id].content = std::move(copy);
+  NodeRecord& rec = Rec(id);
+  rec.name = name;
+  rec.content.assign(value);
   return id;
 }
 
 NodeId Store::NewText(std::string_view value) {
-  std::string copy(value);
   NodeId id = Allocate(NodeKind::kText);
-  nodes_[id].content = std::move(copy);
+  Rec(id).content.assign(value);
   return id;
 }
 
 NodeId Store::NewComment(std::string_view value) {
-  std::string copy(value);
   NodeId id = Allocate(NodeKind::kComment);
-  nodes_[id].content = std::move(copy);
+  Rec(id).content.assign(value);
   return id;
 }
 
 NodeId Store::NewProcessingInstruction(std::string_view target,
                                        std::string_view value) {
   QNameId name = names_.Intern(target);
-  std::string copy(value);
   NodeId id = Allocate(NodeKind::kProcessingInstruction);
-  nodes_[id].name = name;
-  nodes_[id].content = std::move(copy);
+  NodeRecord& rec = Rec(id);
+  rec.name = name;
+  rec.content.assign(value);
   return id;
 }
 
 std::string_view Store::NameOf(NodeId node) const {
-  QNameId name = nodes_[node].name;
+  QNameId name = Rec(node).name;
   if (name == kInvalidQName) return {};
   return names_.NameOf(name);
 }
 
 void Store::AppendStringValue(NodeId node, std::string* out) const {
-  const NodeRecord& rec = nodes_[node];
+  const NodeRecord& rec = Rec(node);
   switch (rec.kind) {
     case NodeKind::kDocument:
     case NodeKind::kElement:
@@ -130,15 +149,15 @@ std::string Store::StringValue(NodeId node) const {
 
 NodeId Store::RootOf(NodeId node) const {
   NodeId cur = node;
-  while (nodes_[cur].parent != kInvalidNode) cur = nodes_[cur].parent;
+  while (Rec(cur).parent != kInvalidNode) cur = Rec(cur).parent;
   return cur;
 }
 
 bool Store::IsAncestor(NodeId ancestor, NodeId node) const {
-  NodeId cur = nodes_[node].parent;
+  NodeId cur = Rec(node).parent;
   while (cur != kInvalidNode) {
     if (cur == ancestor) return true;
-    cur = nodes_[cur].parent;
+    cur = Rec(cur).parent;
   }
   return false;
 }
@@ -146,8 +165,8 @@ bool Store::IsAncestor(NodeId ancestor, NodeId node) const {
 NodeId Store::AttributeNamed(NodeId element, std::string_view name) const {
   QNameId id = names_.Lookup(name);
   if (id == kInvalidQName) return kInvalidNode;
-  for (NodeId attr : nodes_[element].attributes) {
-    if (nodes_[attr].name == id) return attr;
+  for (NodeId attr : Rec(element).attributes) {
+    if (Rec(attr).name == id) return attr;
   }
   return kInvalidNode;
 }
@@ -157,8 +176,8 @@ int Store::DocOrderCompare(NodeId a, NodeId b) const {
   // Build root-to-node ancestor paths.
   auto path_of = [this](NodeId n) {
     std::vector<NodeId> path{n};
-    while (nodes_[path.back()].parent != kInvalidNode) {
-      path.push_back(nodes_[path.back()].parent);
+    while (Rec(path.back()).parent != kInvalidNode) {
+      path.push_back(Rec(path.back()).parent);
     }
     std::reverse(path.begin(), path.end());
     return path;
@@ -175,7 +194,7 @@ int Store::DocOrderCompare(NodeId a, NodeId b) const {
   if (i == pb.size()) return 1;   // b is an ancestor of a.
   // pa[i] and pb[i] are distinct children (or attributes) of pa[i-1].
   NodeId parent = pa[i - 1];
-  const NodeRecord& prec = nodes_[parent];
+  const NodeRecord& prec = Rec(parent);
   // Attributes precede children; order among attributes is list order.
   auto index_of = [](const std::vector<NodeId>& v, NodeId n) {
     auto it = std::find(v.begin(), v.end(), n);
@@ -193,13 +212,13 @@ int Store::DocOrderCompare(NodeId a, NodeId b) const {
 }
 
 Status Store::AppendChild(NodeId parent, NodeId child) {
-  NodeRecord& prec = nodes_[parent];
+  NodeRecord& prec = Rec(parent);
   if (prec.kind != NodeKind::kElement && prec.kind != NodeKind::kDocument) {
     return Status::UpdateError("cannot append a child to a " +
                                std::string(NodeKindToString(prec.kind)) +
                                " node");
   }
-  NodeRecord& crec = nodes_[child];
+  NodeRecord& crec = Rec(child);
   if (crec.kind == NodeKind::kAttribute) {
     return Status::UpdateError("attribute node appended as a child");
   }
@@ -208,29 +227,29 @@ Status Store::AppendChild(NodeId parent, NodeId child) {
   }
   // XDM: adjacent text nodes merge.
   if (crec.kind == NodeKind::kText && !prec.children.empty()) {
-    NodeRecord& last = nodes_[prec.children.back()];
+    NodeRecord& last = Rec(prec.children.back());
     if (last.kind == NodeKind::kText) {
       last.content.append(crec.content);
       // The merged-away node stays alive but unused; callers constructing
       // content always go through fresh nodes, so drop it.
       crec.alive = false;
-      --live_count_;
-      free_list_.push_back(child);
+      live_count_.fetch_sub(1, std::memory_order_acq_rel);
+      Release(child);
       return Status::OK();
     }
   }
   crec.parent = parent;
   prec.children.push_back(child);
-  ++version_;
+  BumpVersion();
   return Status::OK();
 }
 
 Status Store::AppendAttribute(NodeId element, NodeId attr) {
-  NodeRecord& erec = nodes_[element];
+  NodeRecord& erec = Rec(element);
   if (erec.kind != NodeKind::kElement) {
     return Status::UpdateError("attributes may only be attached to elements");
   }
-  NodeRecord& arec = nodes_[attr];
+  NodeRecord& arec = Rec(attr);
   if (arec.kind != NodeKind::kAttribute) {
     return Status::UpdateError("AppendAttribute on a non-attribute node");
   }
@@ -238,14 +257,14 @@ Status Store::AppendAttribute(NodeId element, NodeId attr) {
     return Status::UpdateError("attribute already has a parent");
   }
   for (NodeId existing : erec.attributes) {
-    if (nodes_[existing].name == arec.name) {
+    if (Rec(existing).name == arec.name) {
       return Status::UpdateError("duplicate attribute name: " +
                                  std::string(NameOf(attr)));
     }
   }
   arec.parent = element;
   erec.attributes.push_back(attr);
-  ++version_;
+  BumpVersion();
   return Status::OK();
 }
 
@@ -256,17 +275,17 @@ Status Store::InsertChildrenFirst(const std::vector<NodeId>& nodes,
 
 Status Store::InsertChildrenLast(const std::vector<NodeId>& nodes,
                                  NodeId parent) {
-  return InsertChildrenAt(nodes, parent, nodes_[parent].children.size());
+  return InsertChildrenAt(nodes, parent, Rec(parent).children.size());
 }
 
 Status Store::InsertChildrenBefore(const std::vector<NodeId>& nodes,
                                    NodeId sibling) {
-  NodeId parent = nodes_[sibling].parent;
+  NodeId parent = Rec(sibling).parent;
   if (parent == kInvalidNode) {
     return Status::UpdateError(
         "insert before/after a node that has no parent");
   }
-  const std::vector<NodeId>& children = nodes_[parent].children;
+  const std::vector<NodeId>& children = Rec(parent).children;
   auto it = std::find(children.begin(), children.end(), sibling);
   if (it == children.end()) {
     return Status::UpdateError("insert anchor is not among its parent's "
@@ -278,12 +297,12 @@ Status Store::InsertChildrenBefore(const std::vector<NodeId>& nodes,
 
 Status Store::InsertChildrenAfter(const std::vector<NodeId>& nodes,
                                   NodeId sibling) {
-  NodeId parent = nodes_[sibling].parent;
+  NodeId parent = Rec(sibling).parent;
   if (parent == kInvalidNode) {
     return Status::UpdateError(
         "insert before/after a node that has no parent");
   }
-  const std::vector<NodeId>& children = nodes_[parent].children;
+  const std::vector<NodeId>& children = Rec(parent).children;
   auto it = std::find(children.begin(), children.end(), sibling);
   if (it == children.end()) {
     return Status::UpdateError("insert anchor is not among its parent's "
@@ -296,7 +315,7 @@ Status Store::InsertChildrenAfter(const std::vector<NodeId>& nodes,
 
 Status Store::InsertChildrenAt(const std::vector<NodeId>& nodes,
                                NodeId parent, size_t index) {
-  NodeRecord& prec = nodes_[parent];
+  NodeRecord& prec = Rec(parent);
   if (prec.kind != NodeKind::kElement && prec.kind != NodeKind::kDocument) {
     return Status::UpdateError(
         "insert target must be an element or document node, got " +
@@ -306,7 +325,7 @@ Status Store::InsertChildrenAt(const std::vector<NodeId>& nodes,
   // Precondition: inserted nodes are parentless, and inserting none of
   // them may create a cycle.
   for (NodeId n : nodes) {
-    const NodeRecord& rec = nodes_[n];
+    const NodeRecord& rec = Rec(n);
     if (rec.parent != kInvalidNode) {
       return Status::UpdateError(
           "inserted node already has a parent (missing copy?)");
@@ -322,7 +341,7 @@ Status Store::InsertChildrenAt(const std::vector<NodeId>& nodes,
   std::vector<NodeId> element_children;
   element_children.reserve(nodes.size());
   for (NodeId n : nodes) {
-    if (nodes_[n].kind == NodeKind::kAttribute) {
+    if (Rec(n).kind == NodeKind::kAttribute) {
       XQB_RETURN_IF_ERROR(AppendAttribute(parent, n));
     } else {
       element_children.push_back(n);
@@ -330,37 +349,37 @@ Status Store::InsertChildrenAt(const std::vector<NodeId>& nodes,
   }
   prec.children.insert(prec.children.begin() + insert_at,
                        element_children.begin(), element_children.end());
-  for (NodeId n : element_children) nodes_[n].parent = parent;
-  ++version_;
+  for (NodeId n : element_children) Rec(n).parent = parent;
+  BumpVersion();
   return Status::OK();
 }
 
 Status Store::Detach(NodeId node) {
-  NodeRecord& rec = nodes_[node];
+  NodeRecord& rec = Rec(node);
   if (rec.parent == kInvalidNode) return Status::OK();
-  NodeRecord& prec = nodes_[rec.parent];
+  NodeRecord& prec = Rec(rec.parent);
   auto& list = rec.kind == NodeKind::kAttribute ? prec.attributes
                                                 : prec.children;
   auto it = std::find(list.begin(), list.end(), node);
   if (it != list.end()) list.erase(it);
   rec.parent = kInvalidNode;
-  ++version_;
+  BumpVersion();
   return Status::OK();
 }
 
 Status Store::Rename(NodeId node, QNameId name) {
-  NodeRecord& rec = nodes_[node];
+  NodeRecord& rec = Rec(node);
   switch (rec.kind) {
     case NodeKind::kElement:
     case NodeKind::kProcessingInstruction:
       rec.name = name;
-      ++version_;
+      BumpVersion();
       return Status::OK();
     case NodeKind::kAttribute: {
       // Renaming must not create a duplicate attribute on the parent.
       if (rec.parent != kInvalidNode) {
-        for (NodeId sibling : nodes_[rec.parent].attributes) {
-          if (sibling != node && nodes_[sibling].name == name) {
+        for (NodeId sibling : Rec(rec.parent).attributes) {
+          if (sibling != node && Rec(sibling).name == name) {
             return Status::UpdateError(
                 "rename would create a duplicate attribute: " +
                 names_.NameOf(name));
@@ -368,7 +387,7 @@ Status Store::Rename(NodeId node, QNameId name) {
         }
       }
       rec.name = name;
-      ++version_;
+      BumpVersion();
       return Status::OK();
     }
     default:
@@ -383,14 +402,14 @@ Status Store::Rename(NodeId node, std::string_view name) {
 }
 
 Status Store::SetContent(NodeId node, std::string_view value) {
-  NodeRecord& rec = nodes_[node];
+  NodeRecord& rec = Rec(node);
   switch (rec.kind) {
     case NodeKind::kText:
     case NodeKind::kComment:
     case NodeKind::kProcessingInstruction:
     case NodeKind::kAttribute:
       rec.content.assign(value);
-      ++version_;
+      BumpVersion();
       return Status::OK();
     default:
       return Status::UpdateError("cannot set content of a " +
@@ -400,53 +419,47 @@ Status Store::SetContent(NodeId node, std::string_view value) {
 }
 
 NodeId Store::DeepCopy(NodeId node) {
-  // Copy scalar fields out first: Allocate (inside the constructors) may
-  // grow nodes_ and invalidate references into it.
-  const NodeKind kind = nodes_[node].kind;
-  const QNameId name = nodes_[node].name;
+  // Records live in stable chunked storage, so holding a reference
+  // across the nested allocations below is safe.
+  const NodeRecord& src = Rec(node);
   NodeId copy = kInvalidNode;
-  switch (kind) {
+  switch (src.kind) {
     case NodeKind::kDocument:
       copy = NewDocument();
       break;
     case NodeKind::kElement:
-      copy = NewElement(name);
+      copy = NewElement(src.name);
       break;
-    case NodeKind::kAttribute: {
-      std::string content = nodes_[node].content;
-      return NewAttribute(name, content);
-    }
-    case NodeKind::kText: {
-      std::string content = nodes_[node].content;
-      return NewText(content);
-    }
-    case NodeKind::kComment: {
-      std::string content = nodes_[node].content;
-      return NewComment(content);
-    }
+    case NodeKind::kAttribute:
+      return NewAttribute(src.name, src.content);
+    case NodeKind::kText:
+      return NewText(src.content);
+    case NodeKind::kComment:
+      return NewComment(src.content);
     case NodeKind::kProcessingInstruction: {
-      std::string content = nodes_[node].content;
       copy = Allocate(NodeKind::kProcessingInstruction);
-      nodes_[copy].name = name;
-      nodes_[copy].content = std::move(content);
+      NodeRecord& rec = Rec(copy);
+      rec.name = src.name;
+      rec.content = src.content;
       return copy;
     }
   }
-  for (size_t i = 0; i < nodes_[node].attributes.size(); ++i) {
-    NodeId attr_copy = DeepCopy(nodes_[node].attributes[i]);
-    nodes_[attr_copy].parent = copy;
-    nodes_[copy].attributes.push_back(attr_copy);
+  for (NodeId attr : src.attributes) {
+    NodeId attr_copy = DeepCopy(attr);
+    Rec(attr_copy).parent = copy;
+    Rec(copy).attributes.push_back(attr_copy);
   }
-  for (size_t i = 0; i < nodes_[node].children.size(); ++i) {
-    NodeId child_copy = DeepCopy(nodes_[node].children[i]);
-    nodes_[child_copy].parent = copy;
-    nodes_[copy].children.push_back(child_copy);
+  for (NodeId child : src.children) {
+    NodeId child_copy = DeepCopy(child);
+    Rec(child_copy).parent = copy;
+    Rec(copy).children.push_back(child_copy);
   }
   return copy;
 }
 
 size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {
-  std::vector<bool> reachable(nodes_.size(), false);
+  size_t slots = slot_count_.load(std::memory_order_acquire);
+  std::vector<bool> reachable(slots, false);
   std::vector<NodeId> stack;
   for (NodeId r : roots) {
     if (r == kInvalidNode || !IsValid(r)) continue;
@@ -457,19 +470,24 @@ size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {
     stack.pop_back();
     if (reachable[n]) continue;
     reachable[n] = true;
-    for (NodeId c : nodes_[n].children) stack.push_back(c);
-    for (NodeId a : nodes_[n].attributes) stack.push_back(a);
+    for (NodeId c : Rec(n).children) stack.push_back(c);
+    for (NodeId a : Rec(n).attributes) stack.push_back(a);
   }
   size_t freed = 0;
-  for (NodeId i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].alive && !reachable[i]) {
-      nodes_[i] = NodeRecord{};
-      free_list_.push_back(i);
-      --live_count_;
-      ++freed;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    for (NodeId i = 0; i < slots; ++i) {
+      if (Rec(i).alive && !reachable[i]) {
+        Rec(i) = NodeRecord{};
+        free_list_.push_back(i);
+        ++freed;
+      }
     }
   }
-  if (freed > 0) ++version_;
+  if (freed > 0) {
+    live_count_.fetch_sub(freed, std::memory_order_acq_rel);
+    BumpVersion();
+  }
   return freed;
 }
 

@@ -1,7 +1,10 @@
 #ifndef XQB_XDM_STORE_H_
 #define XQB_XDM_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +46,19 @@ const char* NodeKindToString(NodeKind kind);
 ///    appendix convention that nodepos == nodepar means "as first".
 ///  - GarbageCollect reclaims persistent-but-unreachable nodes (the
 ///    problem Section 4.1 attributes to the detach semantics).
+///
+/// Thread-safety contract (for the parallel evaluation of effect-free
+/// snap scopes, Section 4): node records live in chunked stable storage
+/// — a record never moves once allocated, so read accessors are safe
+/// concurrently with allocation. Allocation itself (constructors,
+/// DeepCopy) is serialized on an internal mutex. Mutating an individual
+/// record (AppendChild, Insert*, Detach, Rename, SetContent) is NOT
+/// internally synchronized: during a parallel region each worker may
+/// mutate only nodes it allocated itself (thread-confined fresh trees);
+/// nodes visible to more than one thread must stay immutable — which is
+/// exactly what the purity analysis guarantees for effect-free scopes,
+/// where all updates are deferred to pending-update lists and applied
+/// after the join.
 class Store {
  public:
   /// Allocation accounting hook for the execution resource governor
@@ -51,20 +67,22 @@ class Store {
   /// which the governor turns into kResourceExhausted at its next
   /// check point. Constructors themselves never fail: the overshoot is
   /// bounded by the work one evaluation step can do (a single deep
-  /// copy of an existing subtree).
+  /// copy of an existing subtree). All fields are atomic so workers of
+  /// a parallel region can charge the shared gauge directly.
   struct AllocationGauge {
-    int64_t allocated = 0;  ///< Nodes allocated while attached.
-    int64_t limit = -1;     ///< < 0 disables the check.
-    bool tripped = false;
+    std::atomic<int64_t> allocated{0};  ///< Nodes allocated while attached.
+    std::atomic<int64_t> limit{-1};     ///< < 0 disables the check.
+    std::atomic<bool> tripped{false};
   };
 
   Store() = default;
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
+  ~Store();
 
   /// Attaches (or with nullptr detaches) the allocation gauge. The
-  /// gauge must outlive its attachment; not thread-safe, like the rest
-  /// of the store.
+  /// gauge must outlive its attachment. Attachment itself happens
+  /// outside parallel regions (at Engine::Run start/end).
   void set_allocation_gauge(AllocationGauge* gauge) { gauge_ = gauge; }
   const AllocationGauge* allocation_gauge() const { return gauge_; }
 
@@ -87,29 +105,28 @@ class Store {
   // ---- Accessors ----
 
   bool IsValid(NodeId node) const {
-    return node < nodes_.size() && nodes_[node].alive;
+    return node < slot_count_.load(std::memory_order_acquire) &&
+           Rec(node).alive;
   }
-  NodeKind KindOf(NodeId node) const { return nodes_[node].kind; }
+  NodeKind KindOf(NodeId node) const { return Rec(node).kind; }
   /// Name id; kInvalidQName for document/text/comment nodes.
-  QNameId NameIdOf(NodeId node) const { return nodes_[node].name; }
+  QNameId NameIdOf(NodeId node) const { return Rec(node).name; }
   /// Lexical name; empty for unnamed kinds.
   std::string_view NameOf(NodeId node) const;
   /// Parent node, or kInvalidNode if the node is a root or detached.
-  NodeId ParentOf(NodeId node) const { return nodes_[node].parent; }
+  NodeId ParentOf(NodeId node) const { return Rec(node).parent; }
   /// Child list (document/element nodes; empty otherwise). Attributes are
   /// not children.
   const std::vector<NodeId>& ChildrenOf(NodeId node) const {
-    return nodes_[node].children;
+    return Rec(node).children;
   }
   /// Attribute list (element nodes; empty otherwise).
   const std::vector<NodeId>& AttributesOf(NodeId node) const {
-    return nodes_[node].attributes;
+    return Rec(node).attributes;
   }
   /// Raw content: text/comment/PI content or attribute value; empty for
   /// document/element nodes.
-  const std::string& ContentOf(NodeId node) const {
-    return nodes_[node].content;
-  }
+  const std::string& ContentOf(NodeId node) const { return Rec(node).content; }
 
   /// The XDM string value: for document/element nodes the concatenation
   /// of all descendant text; for others the content.
@@ -180,18 +197,23 @@ class Store {
   /// child/attribute edges from the root of each tree containing a root
   /// entry — i.e. a whole tree stays alive if any of its nodes is
   /// rooted). Returns the number of freed node records. Freed ids go to
-  /// a free list and may be recycled by later constructors.
+  /// a free list and may be recycled by later constructors. Not safe
+  /// during a parallel region (serial phases only).
   size_t GarbageCollect(const std::vector<NodeId>& roots);
 
   /// Number of live node records.
-  size_t live_node_count() const { return live_count_; }
-  /// Total records ever allocated minus recycled (capacity proxy).
-  size_t slot_count() const { return nodes_.size(); }
+  size_t live_node_count() const {
+    return live_count_.load(std::memory_order_acquire);
+  }
+  /// Total record slots ever allocated (capacity proxy; includes freed).
+  size_t slot_count() const {
+    return slot_count_.load(std::memory_order_acquire);
+  }
 
   /// Monotone counter bumped by every structural mutation (attach,
   /// detach, rename, content change, GC). Derived structures such as
   /// the id index use it for cheap invalidation.
-  uint64_t version() const { return version_; }
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   QNamePool& names() { return names_; }
   const QNamePool& names() const { return names_; }
@@ -207,15 +229,39 @@ class Store {
     std::string content;
   };
 
+  // Chunked stable storage: a two-level table of record chunks. Records
+  // never move once allocated, so references and read accessors stay
+  // valid while other threads allocate. Chunk pointers are installed
+  // with release ordering under alloc_mu_; readers load with acquire.
+  static constexpr size_t kChunkBits = 13;  // 8192 records per chunk
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 15;  // 2^28 node cap
+
+  NodeRecord& Rec(NodeId id) {
+    return chunks_[id >> kChunkBits]
+        .load(std::memory_order_acquire)[id & kChunkMask];
+  }
+  const NodeRecord& Rec(NodeId id) const {
+    return chunks_[id >> kChunkBits]
+        .load(std::memory_order_acquire)[id & kChunkMask];
+  }
+
   NodeId Allocate(NodeKind kind);
+  /// Returns a merged-away or collected record to the free list.
+  void Release(NodeId id);
   void AppendStringValue(NodeId node, std::string* out) const;
   Status InsertChildrenAt(const std::vector<NodeId>& nodes, NodeId parent,
                           size_t index);
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
-  std::vector<NodeRecord> nodes_;
+  std::unique_ptr<std::atomic<NodeRecord*>[]> chunks_{
+      new std::atomic<NodeRecord*>[kMaxChunks]()};
+  std::atomic<size_t> slot_count_{0};
+  std::mutex alloc_mu_;  // guards free_list_ and chunk installation
   std::vector<NodeId> free_list_;
-  size_t live_count_ = 0;
-  uint64_t version_ = 0;
+  std::atomic<size_t> live_count_{0};
+  std::atomic<uint64_t> version_{0};
   QNamePool names_;
   AllocationGauge* gauge_ = nullptr;
 };

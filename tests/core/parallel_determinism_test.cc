@@ -1,0 +1,237 @@
+// Determinism suite for the parallel evaluation of effect-free snap
+// scopes: for threads=1 vs threads=8 the engine must produce identical
+// result sequences, identical update application order (hence identical
+// final stores), identical errors, and identical governor trip behavior
+// (kResourceExhausted, kCancelled). Also covers the eligibility rules
+// (fn:trace is excluded; snap-containing bodies stay serial) and the
+// algebra execution path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/limits.h"
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+constexpr const char* kDoc =
+    "<r>"
+    "<item id='a'><v>1</v></item>"
+    "<item id='b'><v>2</v></item>"
+    "<item id='c'><v>3</v></item>"
+    "<item id='d'><v>4</v></item>"
+    "<item id='e'><v>5</v></item>"
+    "<item id='f'><v>6</v></item>"
+    "</r>";
+
+struct RunOutcome {
+  Status status = Status::OK();
+  std::string result;
+  std::string store_after;
+  int64_t updates_applied = 0;
+  int64_t parallel_regions = 0;
+};
+
+/// Runs `query` on a fresh engine loaded with kDoc, returning the
+/// serialized result, the serialized document after the run, and the
+/// run statistics.
+RunOutcome RunWith(const std::string& query, int threads,
+                   ExecOptions options = {}) {
+  Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  EXPECT_TRUE(doc.ok());
+  options.threads = threads;
+  RunOutcome out;
+  auto result = engine.Execute(query, options);
+  // Stats first: the store-dump Execute below overwrites them.
+  out.updates_applied = engine.last_updates_applied();
+  out.parallel_regions = engine.last_parallel_regions();
+  if (result.ok()) {
+    out.result = engine.Serialize(*result);
+    auto dump = engine.Execute("doc('d')");
+    EXPECT_TRUE(dump.ok());
+    out.store_after = engine.Serialize(*dump);
+  } else {
+    out.status = result.status();
+  }
+  return out;
+}
+
+TEST(ParallelDeterminismTest, PureFlworResultsIdentical) {
+  const std::string q =
+      "for $i in 1 to 200 return $i * $i - ($i idiv 3)";
+  RunOutcome serial = RunWith(q, 1);
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(serial.result, parallel.result);
+  EXPECT_EQ(serial.parallel_regions, 0);
+  EXPECT_GT(parallel.parallel_regions, 0)
+      << "threads=8 never engaged the worker pool";
+}
+
+TEST(ParallelDeterminismTest, NodeConstructionInWorkersIsOrdered) {
+  // Fresh elements are allocated concurrently by worker clones; the
+  // concatenated result must still be in iteration order.
+  const std::string q =
+      "for $x in doc('d')/r/item "
+      "return <out id='{string($x/@id)}'>{string($x/v)}</out>";
+  RunOutcome serial = RunWith(q, 1);
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(serial.result, parallel.result);
+  EXPECT_GT(parallel.parallel_regions, 0);
+}
+
+TEST(ParallelDeterminismTest, UpdateDeltaOrderIdentical) {
+  // Every iteration inserts into the same parent: the children's final
+  // order is exactly the Δ application order, so any reordering of the
+  // per-iteration deltas would change the document.
+  const std::string q =
+      "snap { for $i in 1 to 20 "
+      "       return insert { <e>{$i}</e> } into { doc('d')/r } }";
+  RunOutcome serial = RunWith(q, 1);
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(serial.store_after, parallel.store_after);
+  EXPECT_EQ(serial.updates_applied, parallel.updates_applied);
+  EXPECT_GT(parallel.parallel_regions, 0);
+}
+
+TEST(ParallelDeterminismTest, EffectfulOuterSnapWithPureInnerScope) {
+  // The outer snap's body emits updates (parallel-eligible with Δ
+  // capture); each iteration also runs a pure inner FLWOR. Results and
+  // final store must be bit-identical to serial.
+  const std::string q =
+      "snap { for $x in doc('d')/r/item "
+      "       return insert { <sum>{sum(for $j in 1 to 50 return $j * "
+      "number($x/v))}</sum> } into { $x } }";
+  RunOutcome serial = RunWith(q, 1);
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(serial.result, parallel.result);
+  EXPECT_EQ(serial.store_after, parallel.store_after);
+  EXPECT_EQ(serial.updates_applied, parallel.updates_applied);
+  EXPECT_GT(parallel.parallel_regions, 0);
+}
+
+TEST(ParallelDeterminismTest, SnapInBodyStaysSerial) {
+  // A body containing its own snap mutates the store mid-scope: not
+  // effect-free, so it must never be fanned out.
+  const std::string q =
+      "for $i in 1 to 5 "
+      "return snap { insert { <e/> } into { doc('d')/r } }";
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(parallel.parallel_regions, 0);
+}
+
+TEST(ParallelDeterminismTest, TraceIsExcludedFromParallelism) {
+  // fn:trace performs observable I/O: interleaving it across threads
+  // would reorder output, so purity must veto the fan-out.
+  const std::string q = "for $i in 1 to 10 return trace($i, 'it')";
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(parallel.parallel_regions, 0);
+}
+
+TEST(ParallelDeterminismTest, FirstIterationErrorWins) {
+  // Iteration 37 fails. Parallel evaluation must report the same error
+  // as serial (the smallest failing index), not whichever worker
+  // happened to fail first in wall-clock order.
+  const std::string q =
+      "for $i in 1 to 100 "
+      "return (if ($i = 37) then $i idiv 0 else $i, "
+      "        if ($i = 90) then $i idiv 0 else $i)";
+  RunOutcome serial = RunWith(q, 1);
+  RunOutcome parallel = RunWith(q, 8);
+  ASSERT_FALSE(serial.status.ok());
+  ASSERT_FALSE(parallel.status.ok());
+  EXPECT_EQ(serial.status.code(), parallel.status.code());
+  EXPECT_EQ(serial.status.message(), parallel.status.message());
+}
+
+TEST(ParallelDeterminismTest, StepBudgetTripsResourceExhausted) {
+  const std::string q =
+      "for $i in 1 to 500 return sum(for $j in 1 to 200 return $j)";
+  ExecOptions options;
+  options.limits.max_steps = 20000;
+  options.limits.check_interval = 64;
+  RunOutcome serial = RunWith(q, 1, options);
+  RunOutcome parallel = RunWith(q, 8, options);
+  ASSERT_FALSE(serial.status.ok());
+  ASSERT_FALSE(parallel.status.ok());
+  EXPECT_EQ(serial.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parallel.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelDeterminismTest, StoreGrowthTripsResourceExhausted) {
+  const std::string q =
+      "for $i in 1 to 500 return <wide a='1' b='2'><x/><y/></wide>";
+  ExecOptions options;
+  options.limits.max_store_growth = 100;
+  RunOutcome serial = RunWith(q, 1, options);
+  RunOutcome parallel = RunWith(q, 8, options);
+  ASSERT_FALSE(serial.status.ok());
+  ASSERT_FALSE(parallel.status.ok());
+  EXPECT_EQ(serial.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(parallel.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelDeterminismTest, CancellationTripsCancelled) {
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  ExecOptions options;
+  options.limits = ExecLimits::Unlimited();
+  options.limits.check_interval = 16;
+  options.cancellation = token;
+  const std::string q = "for $i in 1 to 1000 return $i * $i";
+  RunOutcome serial = RunWith(q, 1, options);
+  RunOutcome parallel = RunWith(q, 8, options);
+  ASSERT_FALSE(serial.status.ok());
+  ASSERT_FALSE(parallel.status.ok());
+  EXPECT_EQ(serial.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(parallel.status.code(), StatusCode::kCancelled);
+}
+
+TEST(ParallelDeterminismTest, AlgebraPathMatchesInterpreter) {
+  const std::string q =
+      "for $x in doc('d')/r/item "
+      "where number($x/v) > 2 "
+      "return <hit>{string($x/@id)}</hit>";
+  ExecOptions algebra;
+  algebra.optimize = true;
+  RunOutcome serial = RunWith(q, 1);
+  RunOutcome parallel_interp = RunWith(q, 8);
+  RunOutcome parallel_algebra = RunWith(q, 8, algebra);
+  ASSERT_TRUE(serial.status.ok());
+  ASSERT_TRUE(parallel_interp.status.ok());
+  ASSERT_TRUE(parallel_algebra.status.ok());
+  EXPECT_EQ(serial.result, parallel_interp.result);
+  EXPECT_EQ(serial.result, parallel_algebra.result);
+}
+
+TEST(ParallelDeterminismTest, RepeatedRunsAreStable) {
+  // Shake out scheduling-dependent nondeterminism: many parallel runs
+  // of an update-emitting query must all agree with the serial run.
+  const std::string q =
+      "snap { for $x in doc('d')/r/item "
+      "       return (insert { <t>{string($x/@id)}</t> } into "
+      "               { doc('d')/r }, count($x/v)) }";
+  RunOutcome serial = RunWith(q, 1);
+  ASSERT_TRUE(serial.status.ok());
+  for (int i = 0; i < 10; ++i) {
+    RunOutcome parallel = RunWith(q, 8);
+    ASSERT_TRUE(parallel.status.ok());
+    EXPECT_EQ(serial.result, parallel.result) << "run " << i;
+    EXPECT_EQ(serial.store_after, parallel.store_after) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Compares a benchmark run against the checked-in baseline and fails
+on regressions.
+
+Usage:
+  tools/check_bench_regression.py --baseline bench/baseline.json \
+      --current BENCH_ci.json [--threshold 1.25] [--build-dir build]
+
+Both files are merged google-benchmark JSON reports (see
+tools/run_benchmarks.py). Benchmarks are matched by name; entries only
+present on one side are reported but never fail the check (new
+benchmarks land before their baseline is refreshed).
+
+The baseline was recorded on different hardware than the CI runner, so
+absolute times cannot be compared directly. Instead the check
+normalizes by the *median* time ratio across all matched benchmarks:
+a uniform machine-speed difference shifts every ratio equally and
+cancels out, while a genuine regression in one benchmark sticks out
+against the rest of the suite. A benchmark fails when its normalized
+ratio exceeds --threshold (default 1.25, i.e. >25% slower than the
+suite-wide trend).
+
+Suspects are retried before the verdict: when --build-dir is given,
+each flagged benchmark is rerun in its own binary and the fastest
+observation kept. A scheduler-induced spike disappears on retry; a
+real regression reproduces.
+
+Sub-microsecond benchmarks additionally jitter across *processes*
+(code layout / alignment shifts between builds and runs move them by
+tens of percent), which no amount of in-process repetition removes.
+--slack-ns (default 500) therefore widens each benchmark's effective
+threshold by slack_ns / baseline_ns: negligible for anything above a
+few microseconds, but it keeps a 1us benchmark from failing the gate
+over a 300ns wobble while still catching a 2x regression there.
+
+Some benchmarks are inherently noisier than others (allocation-heavy
+ones move with heap/page-cache state). When the baseline was folded
+over several sweeps (tools/run_benchmarks.py --fold), each entry
+carries fold_max_real_time, the slowest observation next to the kept
+fastest; the checker widens that benchmark's threshold by half its
+max/min spread (capped at +0.5) — a benchmark whose identical runs
+on the recording machine differed by 30% cannot honestly be gated at
+25%, while stable benchmarks keep the tight gate.
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+
+# google-benchmark time_unit values, in nanoseconds.
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def entry_time_ns(entry):
+    return entry["real_time"] * UNIT_NS[entry.get("time_unit", "ns")]
+
+
+def fold(out, entry):
+    """Folds one iteration row into `out`, keeping the fastest run.
+
+    Repetitions share a run_name; noise on a timing benchmark is
+    one-sided (preemption only slows things down), so the min over
+    repetitions is the stablest point estimate.
+    """
+    # Aggregates are recomputed here; errored runs (SkipWithError, e.g.
+    # the intentionally budget-tripped Q8 nested loop) report 0.0 time.
+    if entry.get("run_type") == "aggregate" or entry.get("error_occurred"):
+        return
+    name = entry.get("run_name", entry["name"])
+    ns = entry_time_ns(entry)
+    if name not in out:
+        out[name] = {"ns": ns, "binary": entry.get("binary"),
+                     "spread": 1.0}
+    elif ns < out[name]["ns"]:
+        out[name]["ns"] = ns
+    if "fold_max_real_time" in entry and entry["real_time"] > 0:
+        # max/min over the baseline sweeps: how much this benchmark
+        # moves between identical runs on the recording machine.
+        out[name]["spread"] = max(
+            out[name]["spread"],
+            entry["fold_max_real_time"] / entry["real_time"])
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for entry in report.get("benchmarks", []):
+        fold(out, entry)
+    return out
+
+
+def name_filter(names):
+    """Builds a --benchmark_filter regex matching exactly `names`.
+
+    The displayed name may carry a /real_time or /manual_time suffix
+    that the registered benchmark name (which the filter matches) also
+    carries, so escape the whole thing verbatim.
+    """
+    return "|".join("^" + re.escape(n) + "$" for n in names)
+
+
+def retry_suspects(current, suspects, build_dir, min_time, repetitions):
+    by_binary = {}
+    for name in suspects:
+        binary = current[name].get("binary")
+        if binary is None:
+            continue
+        by_binary.setdefault(binary, []).append(name)
+    for binary, names in sorted(by_binary.items()):
+        cmd = [f"{build_dir}/bench/{binary}",
+               "--benchmark_format=json",
+               f"--benchmark_min_time={min_time}",
+               # Retries are targeted, so more repetitions are cheap
+               # and buy extra chances to dodge a scheduling spike.
+               f"--benchmark_repetitions={max(repetitions, 5)}",
+               f"--benchmark_filter={name_filter(names)}"]
+        print(f"[bench] retrying {len(names)} suspect(s) in {binary}")
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=False)
+        if proc.returncode != 0:
+            print(f"warning: retry in {binary} exited with "
+                  f"{proc.returncode}; keeping original timings")
+            continue
+        for entry in json.loads(proc.stdout).get("benchmarks", []):
+            fold(current, entry)
+
+
+def median_of(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def find_regressions(baseline, current, matched, threshold, slack_ns):
+    """Returns (per-name normalized ratios, global median, failures).
+
+    Each benchmark's time ratio is normalized by the median ratio of
+    its own binary: binaries run contiguously, so background load is
+    roughly constant within one and a load swing mid-sweep does not
+    smear across the whole suite. A wholesale slowdown of one binary
+    would vanish under its own median, so binaries whose median
+    exceeds threshold x the global median fail as a unit (compared
+    globally, where machine-speed differences still cancel).
+    """
+    ratios = {name: current[name]["ns"] / baseline[name]["ns"]
+              for name in matched if baseline[name]["ns"] > 0}
+    median = median_of(ratios.values())
+
+    by_binary = {}
+    for name in ratios:
+        by_binary.setdefault(current[name].get("binary"), []).append(name)
+    binary_median = {b: median_of([ratios[n] for n in names])
+                     for b, names in by_binary.items()}
+
+    normalized = {}
+    failures = []
+    for name in matched:
+        if name not in ratios:
+            continue
+        norm = binary_median[current[name].get("binary")]
+        normalized[name] = ratios[name] / norm
+        # Absolute slack: a relative gate alone over-triggers on
+        # sub-microsecond benchmarks (see module docstring). Spread:
+        # a benchmark whose identical baseline runs differed by 30%
+        # cannot be gated at 25%; widen its threshold by half its
+        # demonstrated variance (half, because both sides compare
+        # min-folds, which sit far below the max observation; capped
+        # so a real 2x still fails even on the noisiest benchmark).
+        spread = min(0.5 * (baseline[name].get("spread", 1.0) - 1.0), 0.5)
+        effective = threshold + slack_ns / baseline[name]["ns"] + spread
+        if normalized[name] > effective or norm / median > threshold:
+            failures.append(name)
+    return normalized, median, failures
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--current", default="BENCH_ci.json")
+    parser.add_argument("--threshold", type=float, default=1.25)
+    parser.add_argument("--slack-ns", type=float, default=500.0,
+                        help="absolute headroom added to the threshold "
+                             "as slack_ns/baseline_ns; damps alignment "
+                             "jitter on sub-microsecond benchmarks")
+    parser.add_argument("--build-dir", default="",
+                        help="build tree for retrying suspects; empty "
+                             "disables retries")
+    parser.add_argument("--min-time", default="0.05")
+    parser.add_argument("--repetitions", type=int, default=3)
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    matched = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    if only_baseline:
+        print(f"note: {len(only_baseline)} baseline-only benchmarks "
+              f"(removed?): {', '.join(only_baseline[:5])} ...")
+    if only_current:
+        print(f"note: {len(only_current)} new benchmarks without a "
+              f"baseline: {', '.join(only_current[:5])} ...")
+    if not matched:
+        sys.exit("error: no benchmarks in common with the baseline")
+
+    ratios, median, failures = find_regressions(
+        baseline, current, matched, args.threshold, args.slack_ns)
+    for _ in range(2):
+        if not failures or not args.build_dir:
+            break
+        retry_suspects(current, failures, args.build_dir,
+                       args.min_time, args.repetitions)
+        ratios, median, failures = find_regressions(
+            baseline, current, matched, args.threshold, args.slack_ns)
+
+    print(f"[bench] {len(matched)} matched benchmarks, median time "
+          f"ratio {median:.3f} (machine-speed normalizer)")
+    for name in matched:
+        if name not in ratios:
+            continue
+        flag = "  <-- REGRESSION" if name in failures else ""
+        print(f"  {ratios[name]:6.3f}x  {name}{flag}")
+
+    if failures:
+        print(f"\nerror: {len(failures)} benchmark(s) regressed more "
+              f"than {args.threshold:.2f}x vs the suite trend:")
+        for name in failures:
+            print(f"  {name}")
+        sys.exit(1)
+    print("[bench] no regressions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Runs every google-benchmark binary in a build tree and merges the
+JSON reports into one file (the BENCH_ci.json artifact in CI).
+
+Usage:
+  tools/run_benchmarks.py --build-dir build --out BENCH_ci.json \
+      [--min-time 0.05] [--filter REGEX]
+
+Only the standard library is used. Each binary under <build-dir>/bench
+named bench_* is run with --benchmark_format=json; their "benchmarks"
+arrays are concatenated, with each entry annotated with the binary it
+came from ("binary" key). A binary that fails to run fails the script.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_bench_binaries(build_dir):
+    bench_dir = os.path.join(build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        sys.exit(f"error: no bench directory under {build_dir}")
+    binaries = []
+    for name in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, name)
+        if name.startswith("bench_") and os.access(path, os.X_OK) \
+                and os.path.isfile(path):
+            binaries.append(path)
+    if not binaries:
+        sys.exit(f"error: no bench_* binaries in {bench_dir}")
+    return binaries
+
+
+def run_one(path, min_time, repetitions, bench_filter):
+    cmd = [path,
+           "--benchmark_format=json",
+           f"--benchmark_min_time={min_time}",
+           f"--benchmark_repetitions={repetitions}"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=False)
+    if proc.returncode != 0:
+        sys.exit(f"error: {path} exited with {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument("--min-time", default="0.05",
+                        help="--benchmark_min_time per binary (seconds)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="repetitions per benchmark; the regression "
+                             "checker keeps the fastest, which filters "
+                             "out one-sided scheduling noise")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex passed to binaries")
+    parser.add_argument("--fold", action="store_true",
+                        help="merge with an existing --out file, keeping "
+                             "the fastest entry per benchmark; run several "
+                             "folded sweeps to record a noise-floor "
+                             "baseline (see bench/baseline.json)")
+    args = parser.parse_args()
+
+    merged = {"context": None, "benchmarks": []}
+    previous = {}
+    if args.fold and os.path.exists(args.out):
+        with open(args.out) as f:
+            prior = json.load(f)
+        merged["context"] = prior.get("context")
+        for entry in prior.get("benchmarks", []):
+            previous[entry.get("run_name", entry["name"])] = entry
+    for path in find_bench_binaries(args.build_dir):
+        name = os.path.basename(path)
+        print(f"[bench] {name}", flush=True)
+        report = run_one(path, args.min_time, args.repetitions,
+                         args.filter)
+        if merged["context"] is None:
+            merged["context"] = report.get("context", {})
+        for entry in report.get("benchmarks", []):
+            entry["binary"] = name
+            if args.fold:
+                key = entry.get("run_name", entry["name"])
+                kept = previous.get(key)
+                usable = (kept is not None
+                          and kept.get("run_type") != "aggregate"
+                          and not kept.get("error_occurred"))
+                if entry.get("run_type") == "aggregate" \
+                        or entry.get("error_occurred"):
+                    if kept is None:
+                        previous[key] = entry
+                elif not usable:
+                    entry["fold_max_real_time"] = entry["real_time"]
+                    previous[key] = entry
+                else:
+                    # Keep the fastest observation but remember the
+                    # slowest: the regression checker widens a noisy
+                    # benchmark's threshold by its demonstrated spread.
+                    slowest = max(entry["real_time"],
+                                  kept.get("fold_max_real_time",
+                                           kept["real_time"]))
+                    if entry["real_time"] < kept["real_time"]:
+                        previous[key] = entry
+                    previous[key]["fold_max_real_time"] = slowest
+            else:
+                merged["benchmarks"].append(entry)
+
+    if args.fold:
+        merged["benchmarks"] = list(previous.values())
+
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"[bench] wrote {len(merged['benchmarks'])} entries to {args.out}")
+
+
+if __name__ == "__main__":
+    main()
