@@ -7,10 +7,35 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "core/engine.h"
 #include "xmark/generator.h"
 
 namespace {
+
+// With XQB_BENCH_STATS set (tools/run_benchmarks.py --stats), runs
+// collect ExecStats and report per-phase times as counters, so the
+// regression checker can name the phase that moved. Off by default:
+// collection itself perturbs the timing being measured.
+bool BenchStatsEnabled() {
+  static const bool enabled = std::getenv("XQB_BENCH_STATS") != nullptr;
+  return enabled;
+}
+
+void ReportPhaseCounters(benchmark::State& state,
+                         const xqb::ExecStats& stats) {
+  state.counters["phase_parse_ms"] =
+      static_cast<double>(stats.parse_ns) / 1e6;
+  state.counters["phase_compile_ms"] =
+      static_cast<double>(stats.compile_ns) / 1e6;
+  state.counters["phase_rewrite_ms"] =
+      static_cast<double>(stats.rewrite_ns) / 1e6;
+  state.counters["phase_eval_ms"] =
+      static_cast<double>(stats.eval_ns) / 1e6;
+  state.counters["phase_snap_apply_ms"] =
+      static_cast<double>(stats.snap_apply_ns) / 1e6;
+}
 
 constexpr const char* kQ8WithInsert =
     "for $p in $auction//person "
@@ -41,6 +66,7 @@ void RunQ8(benchmark::State& state, bool optimize) {
     engine.BindVariable("purchasers", (*root)[0].node());
     xqb::ExecOptions options;
     options.optimize = optimize;
+    options.collect_stats = BenchStatsEnabled();
     state.ResumeTiming();
 
     auto result = engine.Execute(kQ8WithInsert, options);
@@ -57,6 +83,9 @@ void RunQ8(benchmark::State& state, bool optimize) {
     state.counters["closed_auctions"] = p2.closed_auctions();
     state.counters["inserts"] =
         static_cast<double>(engine.last_updates_applied());
+    if (BenchStatsEnabled()) {
+      ReportPhaseCounters(state, engine.last_stats());
+    }
     state.ResumeTiming();
   }
 }

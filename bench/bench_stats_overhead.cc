@@ -1,0 +1,91 @@
+// Overhead of the observability layer (E17): the same pure Q8-style
+// join under (a) collect_stats=false — the default, where every
+// instrumentation site costs one null-pointer check — versus (b)
+// collect_stats=true, where phase timers, the update-kind breakdown
+// and the per-operator plan profile are live. The target is <= 2%
+// overhead for the disabled path relative to the pre-instrumentation
+// baseline; the CI regression gate enforces that via the pre-existing
+// Q8/guard baselines, and this benchmark makes the off-vs-on gap
+// directly measurable on both execution paths.
+
+#include <benchmark/benchmark.h>
+
+#include "base/limits.h"
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace {
+
+// Pure (side-effect-free) Q8 join so both runs are read-only and
+// repeatable without rebuilding the document between iterations.
+constexpr const char* kQ8Pure =
+    "for $p in $auction//person "
+    "let $a := for $t in $auction//closed_auction "
+    "          where $t/buyer/@person = $p/@id "
+    "          return $t "
+    "return <item person=\"{ $p/name }\">{ count($a) }</item>";
+
+void RunStatsOverhead(benchmark::State& state, bool optimize,
+                      bool collect) {
+  const double factor = static_cast<double>(state.range(0)) / 100.0;
+  xqb::Engine engine;
+  xqb::XMarkParams params;
+  params.factor = factor;
+  xqb::NodeId auction = xqb::GenerateXMarkDocument(&engine.store(), params);
+  engine.BindVariable("auction", auction);
+
+  xqb::ExecOptions options;
+  options.optimize = optimize;
+  options.collect_stats = collect;
+
+  for (auto _ : state) {
+    auto result = engine.Execute(kQ8Pure, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    // Discard the constructed result elements between iterations so the
+    // store does not grow across the run.
+    state.PauseTiming();
+    engine.CollectGarbage();
+    state.ResumeTiming();
+  }
+  if (collect) {
+    state.counters["eval_ms"] =
+        static_cast<double>(engine.last_stats().eval_ns) / 1e6;
+  }
+}
+
+void BM_StatsOff_Interpreted(benchmark::State& state) {
+  RunStatsOverhead(state, /*optimize=*/false, /*collect=*/false);
+}
+void BM_StatsOn_Interpreted(benchmark::State& state) {
+  RunStatsOverhead(state, /*optimize=*/false, /*collect=*/true);
+}
+void BM_StatsOff_Algebra(benchmark::State& state) {
+  RunStatsOverhead(state, /*optimize=*/true, /*collect=*/false);
+}
+void BM_StatsOn_Algebra(benchmark::State& state) {
+  RunStatsOverhead(state, /*optimize=*/true, /*collect=*/true);
+}
+
+}  // namespace
+
+// Scale factors 1x and 2x (range arg is factor*100).
+BENCHMARK(BM_StatsOff_Interpreted)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StatsOn_Interpreted)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StatsOff_Algebra)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StatsOn_Algebra)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);

@@ -10,6 +10,14 @@
 //     --seed N            seed for the nondeterministic mode
 //     --indent            pretty-print the result
 //     --save NAME=FILE    after the query, serialize doc('NAME') to FILE
+//     --xmark NAME=FACTOR register a generated XMark auction document of
+//                         the given scale factor as doc('NAME')
+//     --profile           print run statistics (phase timings, update
+//                         counts, EXPLAIN ANALYZE plan) to stderr
+//     --trace FILE        write a Chrome trace_event JSON span trace of
+//                         the run to FILE (chrome://tracing / Perfetto);
+//                         --trace=FILE also accepted
+//     --threads N         worker threads for parallel snap evaluation
 //
 // Exit status: 0 on success, 1 on usage/load errors, 2 on query errors.
 
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "xmark/generator.h"
 
 namespace {
 
@@ -37,8 +46,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: xqb_run [--doc NAME=FILE]... [--var NAME=VALUE]...\n"
-      "               [--optimize] [--plan] [--mode MODE] [--seed N]\n"
-      "               [--indent] [--save NAME=FILE]... query.xq\n");
+      "               [--xmark NAME=FACTOR]... [--optimize] [--plan]\n"
+      "               [--mode MODE] [--seed N] [--threads N] [--indent]\n"
+      "               [--profile] [--trace FILE] [--save NAME=FILE]...\n"
+      "               query.xq\n");
   return 1;
 }
 
@@ -49,6 +60,7 @@ int main(int argc, char** argv) {
   xqb::ExecOptions options;
   bool indent = false;
   bool print_plan = false;
+  bool profile = false;
   std::string query_path;
   std::vector<std::pair<std::string, std::string>> saves;
 
@@ -85,6 +97,36 @@ int main(int argc, char** argv) {
       std::string name, path;
       if (!SplitKeyValue(value, &name, &path)) return Usage();
       saves.emplace_back(name, path);
+    } else if (arg == "--xmark") {
+      const char* value = next_value("--xmark");
+      if (!value) return Usage();
+      std::string name, factor;
+      if (!SplitKeyValue(value, &name, &factor)) return Usage();
+      xqb::XMarkParams params;
+      params.factor = std::strtod(factor.c_str(), nullptr);
+      if (params.factor <= 0) {
+        std::fprintf(stderr, "--xmark factor must be > 0\n");
+        return Usage();
+      }
+      engine.RegisterDocument(
+          name, xqb::GenerateXMarkDocument(&engine.store(), params));
+    } else if (arg == "--profile") {
+      profile = true;
+      options.collect_stats = true;
+    } else if (arg == "--trace" ||
+               arg.rfind("--trace=", 0) == 0) {
+      if (arg == "--trace") {
+        const char* value = next_value("--trace");
+        if (!value) return Usage();
+        options.trace_path = value;
+      } else {
+        options.trace_path = arg.substr(std::strlen("--trace="));
+      }
+      if (options.trace_path.empty()) return Usage();
+    } else if (arg == "--threads") {
+      const char* value = next_value("--threads");
+      if (!value) return Usage();
+      options.threads = static_cast<int>(std::strtol(value, nullptr, 10));
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--plan") {
@@ -137,6 +179,14 @@ int main(int argc, char** argv) {
   std::printf("%s\n", engine.Serialize(*result, indent).c_str());
   if (print_plan && engine.last_used_algebra()) {
     std::fprintf(stderr, "-- plan --\n%s", engine.last_plan().c_str());
+  }
+  if (profile) {
+    const xqb::ExecStats& stats = engine.last_stats();
+    std::fprintf(stderr, "-- profile --\n%s", stats.Summary().c_str());
+    if (!stats.plan.empty()) {
+      std::fprintf(stderr, "-- explain analyze --\n%s\n",
+                   stats.plan.c_str());
+    }
   }
 
   for (const auto& [name, path] : saves) {

@@ -6,6 +6,8 @@
 //   :load NAME <xml>     register inline XML as doc('NAME')
 //   :xmark NAME FACTOR   register a generated XMark doc as doc('NAME')
 //   :plan on|off         toggle the algebraic optimizer (+ plan print)
+//   :profile on|off      print per-run statistics after each query
+//                        (phase timings, update counts, EXPLAIN ANALYZE)
 //   :mode ordered|nondeterministic|conflict-detection
 //   :gc                  collect unreachable store nodes
 //   :stats               store/node statistics
@@ -81,6 +83,12 @@ int main() {
         std::printf("optimizer %s\n", options.optimize ? "on" : "off");
         continue;
       }
+      if (cmd == ":profile") {
+        options.collect_stats = args.find("off") == std::string::npos;
+        std::printf("profiling %s\n",
+                    options.collect_stats ? "on" : "off");
+        continue;
+      }
       if (cmd == ":mode") {
         if (args.find("nondeterministic") != std::string::npos) {
           options.default_snap_mode = xqb::ApplyMode::kNondeterministic;
@@ -115,6 +123,13 @@ int main() {
     std::printf("%s\n", engine.Serialize(*result, /*indent=*/true).c_str());
     if (options.optimize && engine.last_used_algebra()) {
       std::printf("-- plan --\n%s", engine.last_plan().c_str());
+    }
+    if (options.collect_stats) {
+      const xqb::ExecStats& stats = engine.last_stats();
+      std::printf("-- profile --\n%s", stats.Summary().c_str());
+      if (!stats.plan.empty()) {
+        std::printf("-- explain analyze --\n%s\n", stats.plan.c_str());
+      }
     }
   }
   return 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <unordered_map>
 
 #include "base/string_util.h"
+#include "base/trace.h"
 
 namespace xqb {
 
@@ -56,15 +58,30 @@ void KeysOf(const Store& store, const Sequence& seq,
 
 class PlanExecutor {
  public:
-  PlanExecutor(Evaluator* evaluator, const DynEnv& base_env)
+  PlanExecutor(Evaluator* evaluator, const DynEnv& base_env,
+               PlanProfile* profile)
       : evaluator_(evaluator),
         guard_(&evaluator->guard()),
-        base_env_(base_env) {}
+        base_env_(base_env),
+        profile_(profile) {}
 
   Result<Sequence> Run(const Plan& root) {
     if (root.kind != PlanKind::kMapToItem) {
       return Status::Internal("plan root must be MapToItem");
     }
+    const int64_t t0 = profile_ != nullptr ? MonotonicNowNs() : 0;
+    Result<Sequence> out = RunRoot(root);
+    if (profile_ != nullptr) {
+      PlanOpProfile& p = (*profile_)[&root];
+      ++p.calls;
+      p.total_ns += MonotonicNowNs() - t0;
+      if (out.ok()) p.rows_out += static_cast<int64_t>(out->size());
+    }
+    return out;
+  }
+
+ private:
+  Result<Sequence> RunRoot(const Plan& root) {
     XQB_ASSIGN_OR_RETURN(TupleVec tuples, Exec(*root.input));
     if (tuples.size() > 1 && evaluator_->CanEvalParallel(*root.expr)) {
       // Same parallel map as the interpreter's FLWOR return clause, so
@@ -83,8 +100,22 @@ class PlanExecutor {
     return out;
   }
 
- private:
+  /// Profiling wrapper around ExecImpl: one entry per plan node, timing
+  /// inclusive of inputs, plus an operator span on the active trace.
   Result<TupleVec> Exec(const Plan& plan) {
+    if (profile_ == nullptr) return ExecImpl(plan);
+    TraceSpan span(evaluator_->options().tracer, PlanKindToString(plan.kind),
+                   "operator");
+    const int64_t t0 = MonotonicNowNs();
+    Result<TupleVec> out = ExecImpl(plan);
+    PlanOpProfile& p = (*profile_)[&plan];
+    ++p.calls;
+    p.total_ns += MonotonicNowNs() - t0;
+    if (out.ok()) p.rows_out += static_cast<int64_t>(out->size());
+    return out;
+  }
+
+  Result<TupleVec> ExecImpl(const Plan& plan) {
     switch (plan.kind) {
       case PlanKind::kSingleton:
         return TupleVec{Tuple{base_env_}};
@@ -320,14 +351,41 @@ class PlanExecutor {
   Evaluator* evaluator_;
   ExecGuard* guard_;
   DynEnv base_env_;
+  PlanProfile* profile_;
 };
 
 }  // namespace
 
 Result<Sequence> ExecutePlan(const Plan& plan, Evaluator* evaluator,
-                             const DynEnv& base_env) {
-  PlanExecutor executor(evaluator, base_env);
+                             const DynEnv& base_env, PlanProfile* profile) {
+  PlanExecutor executor(evaluator, base_env, profile);
   return executor.Run(plan);
+}
+
+std::string AnnotatePlan(const Plan& plan, const PlanProfile& profile,
+                         int indent) {
+  return plan.DebugString(indent, [&profile](const Plan& op) -> std::string {
+    auto it = profile.find(&op);
+    if (it == profile.end()) return "  [not executed]";
+    const PlanOpProfile& p = it->second;
+    // Self time: inclusive minus the children's inclusive times. A
+    // child missing from the profile contributes zero (never run).
+    int64_t children_ns = 0;
+    for (const Plan* child : {op.input.get(), op.right.get()}) {
+      if (child == nullptr) continue;
+      auto cit = profile.find(child);
+      if (cit != profile.end()) children_ns += cit->second.total_ns;
+    }
+    const int64_t self_ns = std::max<int64_t>(0, p.total_ns - children_ns);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "  [calls=%lld rows=%lld time=%.3fms self=%.3fms]",
+                  static_cast<long long>(p.calls),
+                  static_cast<long long>(p.rows_out),
+                  static_cast<double>(p.total_ns) / 1e6,
+                  static_cast<double>(self_ns) / 1e6);
+    return buf;
+  });
 }
 
 }  // namespace xqb

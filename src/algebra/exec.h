@@ -1,18 +1,46 @@
 #ifndef XQB_ALGEBRA_EXEC_H_
 #define XQB_ALGEBRA_EXEC_H_
 
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
 #include "algebra/plan.h"
 #include "base/result.h"
 #include "core/evaluator.h"
 
 namespace xqb {
 
+/// Per-operator execution measurements for one plan run (the substrate
+/// of EXPLAIN ANALYZE, docs/OBSERVABILITY.md). Times are inclusive of
+/// the operator's inputs; AnnotatePlan derives the self time by
+/// subtracting the children's inclusive times.
+struct PlanOpProfile {
+  int64_t calls = 0;     ///< Times the operator was executed.
+  int64_t rows_out = 0;  ///< Tuples (root: items) emitted, summed.
+  int64_t total_ns = 0;  ///< Inclusive wall time, summed over calls.
+};
+
+/// Profile keyed by plan node. Operators never reached (e.g. a join
+/// build side short-circuited by an error) have no entry.
+using PlanProfile = std::unordered_map<const Plan*, PlanOpProfile>;
+
 /// Executes a tuple plan. Embedded expressions evaluate through
 /// `evaluator` (so update requests land on its snap stack exactly as in
 /// interpreted execution) with tuple fields bound as variables on top of
 /// `base_env`. Returns the item sequence produced by the MapToItem root.
+/// When `profile` is non-null, each operator's calls, output cardinality
+/// and inclusive time are recorded into it (ExecOptions::collect_stats);
+/// a null profile keeps the per-operator cost at one pointer check.
 Result<Sequence> ExecutePlan(const Plan& plan, Evaluator* evaluator,
-                             const DynEnv& base_env);
+                             const DynEnv& base_env,
+                             PlanProfile* profile = nullptr);
+
+/// Renders `plan` in the DebugString format with per-operator
+/// "calls/rows/time(self)" annotations — the EXPLAIN ANALYZE output
+/// stored in ExecStats::plan.
+std::string AnnotatePlan(const Plan& plan, const PlanProfile& profile,
+                         int indent = 0);
 
 }  // namespace xqb
 

@@ -18,7 +18,8 @@ const char* PlanKindToString(PlanKind kind) {
   return "Unknown";
 }
 
-std::string Plan::DebugString(int indent) const {
+std::string Plan::DebugString(int indent,
+                              const PlanAnnotator& annotator) const {
   std::ostringstream out;
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   out << pad << PlanKindToString(kind);
@@ -41,9 +42,10 @@ std::string Plan::DebugString(int indent) const {
     default:
       break;
   }
+  if (annotator) out << annotator(*this);
   out << '\n';
-  if (input) out << input->DebugString(indent + 1);
-  if (right) out << right->DebugString(indent + 1);
+  if (input) out << input->DebugString(indent + 1, annotator);
+  if (right) out << right->DebugString(indent + 1, annotator);
   return out.str();
 }
 

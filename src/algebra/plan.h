@@ -1,6 +1,7 @@
 #ifndef XQB_ALGEBRA_PLAN_H_
 #define XQB_ALGEBRA_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ enum class PlanKind : uint8_t {
 
 const char* PlanKindToString(PlanKind kind);
 
+/// Optional per-operator suffix hook for Plan::DebugString: returns the
+/// annotation appended to one operator's line (EXPLAIN ANALYZE uses it
+/// to splice per-operator calls/rows/timings into the rendered plan).
+using PlanAnnotator = std::function<std::string(const struct Plan&)>;
+
 /// One algebra operator. Expression pointers borrow from the compiled
 /// Program, which must outlive the plan.
 struct Plan {
@@ -69,8 +75,10 @@ struct Plan {
   Plan& operator=(const Plan&) = delete;
 
   /// Indented operator-tree rendering, used by plan-shape tests (E6) and
-  /// Engine::last_plan().
-  std::string DebugString(int indent = 0) const;
+  /// Engine::last_plan(). When `annotator` is set, its return value is
+  /// appended to each operator line (ExecStats::plan EXPLAIN ANALYZE).
+  std::string DebugString(int indent = 0,
+                          const PlanAnnotator& annotator = {}) const;
 };
 
 using PlanPtr = std::unique_ptr<Plan>;

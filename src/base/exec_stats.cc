@@ -1,0 +1,81 @@
+#include "base/exec_stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace xqb {
+
+namespace {
+
+std::string Ms(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string ExecStats::Summary() const {
+  std::ostringstream out;
+  out << "phases (ms): parse " << Ms(parse_ns) << "  normalize "
+      << Ms(normalize_ns) << "  static-check " << Ms(static_check_ns)
+      << "  compile " << Ms(compile_ns) << "  rewrite " << Ms(rewrite_ns)
+      << "  eval " << Ms(eval_ns) << "  snap-apply " << Ms(snap_apply_ns)
+      << "  serialize " << Ms(serialize_ns) << "\n";
+  out << "updates: emitted=" << updates_emitted << " applied="
+      << updates_applied << " (insert=" << inserts_applied << " delete="
+      << deletes_applied << " rename=" << renames_applied << ") snaps="
+      << snaps_applied << " max-snap-depth=" << snap_depth_max << "\n";
+  out << "work: steps=" << guard_steps << " nodes-allocated="
+      << nodes_allocated << " gc-freed=" << gc_freed << " result-items="
+      << result_cardinality << "\n";
+  out << "parallel: regions=" << parallel_regions << " pool-jobs="
+      << pool_jobs << " busy=" << Ms(pool_busy_ns) << "ms idle="
+      << Ms(pool_idle_ns) << "ms\n";
+  out << "rewrites: group-join=" << rw_group_joins << " hash-join="
+      << rw_hash_joins << " select-pushdown=" << rw_selects_pushed
+      << "  path=" << (used_algebra ? "algebra" : "interpreter") << "\n";
+  return out.str();
+}
+
+std::string ExecStats::ToJson() const {
+  std::ostringstream out;
+  out << "{";
+  auto field = [&out, first = true](const char* name, int64_t v) mutable {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << v;
+  };
+  field("parse_ns", parse_ns);
+  field("normalize_ns", normalize_ns);
+  field("static_check_ns", static_check_ns);
+  field("compile_ns", compile_ns);
+  field("rewrite_ns", rewrite_ns);
+  field("eval_ns", eval_ns);
+  field("snap_apply_ns", snap_apply_ns);
+  field("serialize_ns", serialize_ns);
+  field("snaps_applied", snaps_applied);
+  field("updates_emitted", updates_emitted);
+  field("updates_applied", updates_applied);
+  field("inserts_applied", inserts_applied);
+  field("deletes_applied", deletes_applied);
+  field("renames_applied", renames_applied);
+  field("snap_depth_max", snap_depth_max);
+  field("guard_steps", guard_steps);
+  field("nodes_allocated", nodes_allocated);
+  field("gc_freed", gc_freed);
+  field("parallel_regions", parallel_regions);
+  field("pool_jobs", pool_jobs);
+  field("pool_busy_ns", pool_busy_ns);
+  field("pool_idle_ns", pool_idle_ns);
+  field("result_cardinality", result_cardinality);
+  field("rw_group_joins", rw_group_joins);
+  field("rw_hash_joins", rw_hash_joins);
+  field("rw_selects_pushed", rw_selects_pushed);
+  field("used_algebra", used_algebra ? 1 : 0);
+  field("collected", collected ? 1 : 0);
+  out << "}";
+  return out.str();
+}
+
+}  // namespace xqb

@@ -1,0 +1,90 @@
+#ifndef XQB_BASE_EXEC_STATS_H_
+#define XQB_BASE_EXEC_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace xqb {
+
+/// Monotonic clock sample in nanoseconds, the time base shared by the
+/// ExecStats phase timers and the span Tracer.
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Execution statistics for one Engine::Run (docs/OBSERVABILITY.md).
+///
+/// The cheap counters (snaps/updates applied, steps, parallel regions,
+/// result cardinality, rewrite-rule fires) are filled on every run —
+/// they are byproducts of evaluation the engine already tracked. The
+/// detailed instrumentation (per-phase and per-snap timings, update
+/// kind breakdown, per-operator plan profile, pool busy/idle split) is
+/// gated on ExecOptions::collect_stats; when it is off the hot paths
+/// pay only a null-pointer check.
+///
+/// Determinism contract (pinned by tests/core/stats_test.cc): every
+/// counter below the "timings" group is thread-count-invariant — the
+/// same query yields identical values at threads=1 and threads=8.
+/// Timing fields are wall-clock and may vary, but are always
+/// non-negative.
+struct ExecStats {
+  /// True when the run collected the detailed (opt-in) instrumentation.
+  bool collected = false;
+
+  // ---- Phase timings, nanoseconds (collect_stats) ----
+  // parse/normalize/static-check come from Prepare and are carried on
+  // the PreparedQuery, so a cached prepared query reports its original
+  // front-end cost on every run.
+  int64_t parse_ns = 0;
+  int64_t normalize_ns = 0;
+  int64_t static_check_ns = 0;  ///< Includes the purity analysis.
+  int64_t compile_ns = 0;       ///< Expr -> algebra (optimize runs only).
+  int64_t rewrite_ns = 0;       ///< Rule-based plan optimization.
+  int64_t eval_ns = 0;          ///< Body evaluation (either path).
+  int64_t snap_apply_ns = 0;    ///< Sum over all Δ applications.
+  int64_t serialize_ns = 0;     ///< Engine::Serialize calls since the run.
+
+  // ---- Counters (always filled) ----
+  int64_t snaps_applied = 0;
+  int64_t updates_applied = 0;  ///< Update requests applied to the store.
+  int64_t guard_steps = 0;      ///< Governor steps (0 when guard disabled).
+  int64_t parallel_regions = 0;
+  int64_t result_cardinality = 0;
+  /// Rewrite-rule fire counts (RewriteStats lifted through the engine).
+  int64_t rw_group_joins = 0;
+  int64_t rw_hash_joins = 0;
+  int64_t rw_selects_pushed = 0;
+  bool used_algebra = false;
+
+  // ---- Counters (collect_stats) ----
+  int64_t nodes_allocated = 0;  ///< Store records allocated by the run.
+  int64_t updates_emitted = 0;  ///< Requests appended to pending-Δ lists.
+  int64_t inserts_applied = 0;
+  int64_t deletes_applied = 0;
+  int64_t renames_applied = 0;
+  int64_t snap_depth_max = 0;  ///< Deepest explicit-snap nesting reached.
+  int64_t gc_freed = 0;        ///< Engine::CollectGarbage frees since the run.
+  int64_t pool_jobs = 0;       ///< Iterations fanned out over the pool.
+  int64_t pool_busy_ns = 0;    ///< Summed per-worker busy time in regions.
+  int64_t pool_idle_ns = 0;    ///< workers x wall - busy (load imbalance).
+
+  /// EXPLAIN ANALYZE: the optimized plan annotated with per-operator
+  /// calls/rows/time (collect_stats + algebra path; empty otherwise).
+  std::string plan;
+
+  void Reset() { *this = ExecStats(); }
+
+  /// Multi-line human-readable rendering (xqb_run --profile, :profile).
+  std::string Summary() const;
+
+  /// Flat single-object JSON rendering (benchmark/CI embedding). The
+  /// annotated plan is omitted (it has its own surface).
+  std::string ToJson() const;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_EXEC_STATS_H_

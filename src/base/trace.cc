@@ -1,0 +1,132 @@
+#include "base/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace xqb {
+
+Tracer::Tracer(size_t max_events)
+    : epoch_ns_(MonotonicNowNs()), max_events_(max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lanes_[std::this_thread::get_id()] = 0;  // Constructing thread = "main".
+}
+
+int Tracer::LaneLocked() {
+  auto [it, inserted] =
+      lanes_.emplace(std::this_thread::get_id(), static_cast<int>(lanes_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Tracer::RecordSpan(std::string name, const char* cat, int64_t start_ns,
+                        int64_t end_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{std::move(name), cat, start_ns,
+                          end_ns > start_ns ? end_ns - start_ns : 0,
+                          LaneLocked()});
+}
+
+void Tracer::RecordInstant(std::string name, const char* cat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(Event{std::move(name), cat, NowNs(), -1, LaneLocked()});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+void AppendJsonEscaped(const std::string& s, std::ostringstream* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out << "\\\""; break;
+      case '\\': *out << "\\\\"; break;
+      case '\n': *out << "\\n"; break;
+      case '\t': *out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+}
+
+std::string Us(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata so Perfetto labels the lanes.
+  std::vector<int> lane_ids;
+  for (const auto& [tid, lane] : lanes_) {
+    (void)tid;
+    lane_ids.push_back(lane);
+  }
+  for (int lane : lane_ids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << (lane == 0 ? std::string("main")
+                      : "worker-" + std::to_string(lane))
+        << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"" << (e.dur_ns < 0 ? "i" : "X")
+        << "\",\"pid\":1,\"tid\":" << e.lane << ",\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out << "\",\"cat\":\"" << e.cat << "\",\"ts\":" << Us(e.start_ns);
+    if (e.dur_ns < 0) {
+      out << ",\"s\":\"t\"";  // instant scope: thread
+    } else {
+      out << ",\"dur\":" << Us(e.dur_ns);
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::InvalidArgument("cannot write trace file: " + path);
+  }
+  out << ToChromeTraceJson() << "\n";
+  if (!out) {
+    return Status::Internal("short write on trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xqb

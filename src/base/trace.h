@@ -1,0 +1,115 @@
+#ifndef XQB_BASE_TRACE_H_
+#define XQB_BASE_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/exec_stats.h"
+#include "base/status.h"
+
+namespace xqb {
+
+/// A hierarchical span tracer producing Chrome trace_event JSON
+/// ("Trace Event Format") loadable in chrome://tracing and Perfetto.
+///
+/// One Tracer is created per traced Engine::Run (ExecOptions::
+/// trace_path). Spans are recorded as complete ("ph":"X") events with
+/// microsecond timestamps relative to the tracer's construction;
+/// nesting (phases > snap scopes > operators) is reconstructed by the
+/// viewer from span containment, and parallel fan-outs appear as
+/// separate thread lanes: each recording thread is assigned a stable
+/// lane id on first use (lane 0 is the constructing thread, shown as
+/// "main"; others as "worker-N").
+///
+/// Thread safety: RecordSpan may be called concurrently from worker
+/// threads; the event buffer is mutex-protected. Tracing is the
+/// explicitly-enabled slow path — when no tracer is attached, call
+/// sites pay a single null-pointer check (see TraceSpan).
+///
+/// The buffer is bounded (`max_events`); once full, further events are
+/// counted in dropped() instead of recorded, so a pathological query
+/// cannot OOM the host through its own trace.
+class Tracer {
+ public:
+  explicit Tracer(size_t max_events = size_t{1} << 20);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Nanoseconds since tracer construction (the span time base).
+  int64_t NowNs() const { return MonotonicNowNs() - epoch_ns_; }
+
+  /// Converts a raw MonotonicNowNs() sample into the span time base,
+  /// for call sites that already hold a monotonic timestamp.
+  int64_t ToTraceNs(int64_t monotonic_ns) const {
+    return monotonic_ns - epoch_ns_;
+  }
+
+  /// Records one complete span on the calling thread's lane. `cat` must
+  /// be a string literal (stored by pointer).
+  void RecordSpan(std::string name, const char* cat, int64_t start_ns,
+                  int64_t end_ns);
+
+  /// Records a zero-duration instant event (marks GC, trips, ...).
+  void RecordInstant(std::string name, const char* cat);
+
+  size_t event_count() const;
+  size_t dropped() const;
+
+  /// Serializes the whole trace as Chrome trace_event JSON.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* cat;
+    int64_t start_ns;
+    int64_t dur_ns;  // < 0 for instant events
+    int lane;
+  };
+
+  /// Lane for the calling thread; assigns the next id on first use.
+  /// Caller must hold mu_.
+  int LaneLocked();
+
+  const int64_t epoch_ns_;
+  const size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::unordered_map<std::thread::id, int> lanes_;
+  size_t dropped_ = 0;
+};
+
+/// RAII span: opens at construction, records at destruction. A null
+/// tracer makes both operations a single branch — the disabled-tracing
+/// cost at every instrumentation point.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name, const char* cat)
+      : tracer_(tracer), name_(name), cat_(cat) {
+    if (tracer_ != nullptr) start_ = tracer_->NowNs();
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan(name_, cat_, start_, tracer_->NowNs());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  int64_t start_ = 0;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_TRACE_H_

@@ -7,6 +7,7 @@
 #include "algebra/compile.h"
 #include "algebra/exec.h"
 #include "algebra/rewrite.h"
+#include "base/trace.h"
 #include "core/normalize.h"
 #include "core/purity.h"
 #include "core/static_check.h"
@@ -58,8 +59,13 @@ void Engine::BindVariable(const std::string& name, NodeId node) {
 
 Result<PreparedQuery> Engine::Prepare(std::string_view query,
                                       const ExecLimits& limits) const {
+  // Front-end phases are timed unconditionally (three clock samples per
+  // Prepare) and carried on the PreparedQuery for ExecStats reporting.
+  int64_t t0 = MonotonicNowNs();
   XQB_ASSIGN_OR_RETURN(Program program, ParseProgram(query, limits));
+  const int64_t parse_done = MonotonicNowNs();
   NormalizeProgram(&program);
+  const int64_t normalize_done = MonotonicNowNs();
   // Static reference checking against prolog declarations and the
   // engine's host bindings.
   std::set<std::string> engine_variables;
@@ -73,6 +79,9 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query,
   XQB_RETURN_IF_ERROR(purity.CheckUpdatingDeclarations(program));
   PreparedQuery prepared;
   prepared.program = std::move(program);
+  prepared.parse_ns = parse_done - t0;
+  prepared.normalize_ns = normalize_done - parse_done;
+  prepared.static_check_ns = MonotonicNowNs() - normalize_done;
   return prepared;
 }
 
@@ -85,12 +94,27 @@ Result<Sequence> Engine::Execute(std::string_view query,
 
 Result<Sequence> Engine::Run(const PreparedQuery& prepared,
                              const ExecOptions& options) {
+  // Every run statistic resets at entry, so a run that errors out early
+  // reports its own (partial) numbers, never the previous run's
+  // (pinned by stats_test.StaleStatsResetOnFailedRun).
+  last_stats_.Reset();
+  last_plan_.clear();
+  last_stats_.collected = options.collect_stats;
+  last_stats_.parse_ns = prepared.parse_ns;
+  last_stats_.normalize_ns = prepared.normalize_ns;
+  last_stats_.static_check_ns = prepared.static_check_ns;
+
+  std::unique_ptr<Tracer> tracer;
+  if (!options.trace_path.empty()) tracer = std::make_unique<Tracer>();
+
   EvaluatorOptions eval_options;
   eval_options.default_snap_mode = options.default_snap_mode;
   eval_options.nondet_seed = options.nondet_seed;
   eval_options.limits = options.limits;
   eval_options.cancellation = options.cancellation;
   eval_options.threads = options.threads;
+  eval_options.stats = options.collect_stats ? &last_stats_ : nullptr;
+  eval_options.tracer = tracer.get();
   Evaluator evaluator(store_.get(), &prepared.program, eval_options);
   for (const auto& [name, doc] : documents_) {
     evaluator.RegisterDocument(name, doc);
@@ -98,51 +122,96 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   for (const auto& [name, value] : variables_) {
     evaluator.BindExternalVariable(name, value);
   }
-  last_used_algebra_ = false;
-  last_plan_.clear();
 
   Result<Sequence> result = Status::Internal("unset");
+  PlanPtr plan;
   if (options.optimize) {
     // Algebraic path: compile the body to a tuple plan when its shape is
     // supported, optimize under purity guards, execute inside the same
     // implicit top-level snap discipline as the interpreter.
-    PlanPtr plan = CompileQueryToPlan(*prepared.program.body);
+    {
+      TraceSpan span(tracer.get(), "compile", "phase");
+      const int64_t t0 = MonotonicNowNs();
+      plan = CompileQueryToPlan(*prepared.program.body);
+      last_stats_.compile_ns = MonotonicNowNs() - t0;
+    }
     if (plan != nullptr) {
       PurityAnalysis purity;
       // Program already analyzed at Prepare time; rebuild the table
       // (cheap) so the optimizer can query function flags.
       purity.AnalyzeProgram(const_cast<Program*>(&prepared.program));
-      OptimizePlan(&plan, purity, options.rewrites);
+      {
+        TraceSpan span(tracer.get(), "rewrite", "phase");
+        const int64_t t0 = MonotonicNowNs();
+        RewriteStats rewrites =
+            OptimizePlan(&plan, purity, options.rewrites);
+        last_stats_.rewrite_ns = MonotonicNowNs() - t0;
+        last_stats_.rw_group_joins = rewrites.group_joins;
+        last_stats_.rw_hash_joins = rewrites.hash_joins;
+        last_stats_.rw_selects_pushed = rewrites.selects_pushed;
+      }
       last_plan_ = "Snap {\n" + plan->DebugString(1) + "}";
-      last_used_algebra_ = true;
+      last_stats_.used_algebra = true;
+      PlanProfile profile;
+      PlanProfile* pp = options.collect_stats ? &profile : nullptr;
       // Mirror Evaluator::Run: resolve globals, execute, apply the
       // top-level Δ.
       auto run_algebra = [&]() -> Result<Sequence> {
         XQB_RETURN_IF_ERROR(evaluator.PrepareGlobals());
         DynEnv env;
         XQB_ASSIGN_OR_RETURN(Sequence value,
-                             ExecutePlan(*plan, &evaluator, env));
+                             ExecutePlan(*plan, &evaluator, env, pp));
         XQB_RETURN_IF_ERROR(evaluator.ApplyPendingTopLevel());
         return value;
       };
-      result = run_algebra();
-    } else {
-      result = evaluator.Run();
+      {
+        TraceSpan span(tracer.get(), "eval", "phase");
+        const int64_t t0 = MonotonicNowNs();
+        result = run_algebra();
+        last_stats_.eval_ns = MonotonicNowNs() - t0;
+      }
+      if (pp != nullptr) {
+        // EXPLAIN ANALYZE: the same plan rendering, annotated with what
+        // each operator actually did.
+        last_stats_.plan =
+            "Snap {\n" + AnnotatePlan(*plan, profile, 1) + "}";
+      }
     }
-  } else {
-    result = evaluator.Run();
   }
-  last_snaps_applied_ = evaluator.snaps_applied();
-  last_updates_applied_ = evaluator.updates_applied();
-  last_steps_ = evaluator.guard().steps();
-  last_parallel_regions_ = evaluator.parallel_regions();
+  if (plan == nullptr) {
+    TraceSpan span(tracer.get(), "eval", "phase");
+    const int64_t t0 = MonotonicNowNs();
+    result = evaluator.Run();
+    last_stats_.eval_ns = MonotonicNowNs() - t0;
+  }
+  last_stats_.snaps_applied = evaluator.snaps_applied();
+  last_stats_.updates_applied = evaluator.updates_applied();
+  last_stats_.guard_steps = evaluator.guard().steps();
+  last_stats_.parallel_regions = evaluator.parallel_regions();
+  last_stats_.nodes_allocated =
+      evaluator.guard().gauge()->allocated.load(std::memory_order_relaxed);
+  if (result.ok()) {
+    last_stats_.result_cardinality =
+        static_cast<int64_t>(result->size());
+  }
+  if (tracer != nullptr) {
+    Status written = tracer->WriteChromeTrace(options.trace_path);
+    // An unwritable trace path fails an otherwise-successful run: the
+    // caller asked for an artifact and silence would lose it.
+    if (!written.ok() && result.ok()) return written;
+  }
   return result;
 }
 
 std::string Engine::Serialize(const Sequence& seq, bool indent) const {
+  const int64_t t0 = MonotonicNowNs();
   SerializeOptions options;
   options.indent = indent;
-  return SerializeSequence(*store_, seq, options);
+  std::string out = SerializeSequence(*store_, seq, options);
+  // Serialization happens after Run returns; accumulate (+=) so several
+  // Serialize calls against one result all land in that run's stats.
+  last_stats_.serialize_ns += MonotonicNowNs() - t0;
+  return out;
 }
 
 size_t Engine::CollectGarbage() {
@@ -157,7 +226,9 @@ size_t Engine::CollectGarbage() {
       if (item.is_node()) roots.push_back(item.node());
     }
   }
-  return store_->GarbageCollect(roots);
+  const size_t freed = store_->GarbageCollect(roots);
+  last_stats_.gc_freed += static_cast<int64_t>(freed);
+  return freed;
 }
 
 }  // namespace xqb

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algebra/rewrite.h"
+#include "base/exec_stats.h"
 #include "base/limits.h"
 #include "base/result.h"
 #include "core/evaluator.h"
@@ -42,11 +43,25 @@ struct ExecOptions {
   /// XQB_THREADS environment variable if set, else hardware_concurrency.
   /// 1 forces serial evaluation; N > 1 caps each region's concurrency.
   int threads = 0;
+  /// Collect the detailed run statistics (per-phase and per-snap
+  /// timings, update-kind breakdown, per-operator plan profile — see
+  /// Engine::last_stats and docs/OBSERVABILITY.md). Off by default;
+  /// when off the instrumentation costs one pointer check per site.
+  bool collect_stats = false;
+  /// When non-empty, record a hierarchical span trace of this run
+  /// (phases, snap scopes, parallel worker lanes) and write it to this
+  /// path as Chrome trace_event JSON (chrome://tracing / Perfetto).
+  std::string trace_path;
 };
 
 /// A compiled, normalized, purity-analyzed program ready to execute.
 struct PreparedQuery {
   Program program;
+  /// Front-end phase costs of Prepare, carried here so every Run of a
+  /// cached prepared query reports them in its ExecStats.
+  int64_t parse_ns = 0;
+  int64_t normalize_ns = 0;
+  int64_t static_check_ns = 0;  ///< Includes the purity analysis.
 };
 
 /// The public entry point of the XQB engine: owns the store, named
@@ -111,29 +126,37 @@ class Engine {
   /// number of freed node records.
   size_t CollectGarbage();
 
-  /// Statistics from the most recent Run/Execute.
-  int64_t last_snaps_applied() const { return last_snaps_applied_; }
-  int64_t last_updates_applied() const { return last_updates_applied_; }
+  /// Statistics of the most recent Run/Execute (docs/OBSERVABILITY.md).
+  /// Every field is reset at Run entry, so a failed run never shows the
+  /// previous run's numbers. Detailed fields (phase timings, update
+  /// kinds, plan profile) are filled when ExecOptions::collect_stats
+  /// was set; the cheap counters are always filled.
+  const ExecStats& last_stats() const { return last_stats_; }
+
+  // Thin shims over last_stats(), kept for existing callers.
+  int64_t last_snaps_applied() const { return last_stats_.snaps_applied; }
+  int64_t last_updates_applied() const {
+    return last_stats_.updates_applied;
+  }
   /// Evaluation steps the governor charged in the last Run (0 when the
   /// guard ran disabled, e.g. under ExecLimits::Unlimited()).
-  int64_t last_steps() const { return last_steps_; }
+  int64_t last_steps() const { return last_stats_.guard_steps; }
   /// True if the last Run used the algebraic path end-to-end.
-  bool last_used_algebra() const { return last_used_algebra_; }
+  bool last_used_algebra() const { return last_stats_.used_algebra; }
   /// Plan description of the last optimized run (empty if interpreted).
   const std::string& last_plan() const { return last_plan_; }
   /// Parallel regions (pool fan-outs) the last Run executed.
-  int64_t last_parallel_regions() const { return last_parallel_regions_; }
+  int64_t last_parallel_regions() const {
+    return last_stats_.parallel_regions;
+  }
 
  private:
   std::unique_ptr<Store> store_;
   std::unordered_map<std::string, NodeId> documents_;
   std::unordered_map<std::string, Sequence> variables_;
-  int64_t last_snaps_applied_ = 0;
-  int64_t last_updates_applied_ = 0;
-  int64_t last_steps_ = 0;
-  bool last_used_algebra_ = false;
   std::string last_plan_;
-  int64_t last_parallel_regions_ = 0;
+  /// Mutable: Serialize (const) accumulates its phase time here.
+  mutable ExecStats last_stats_;
 };
 
 }  // namespace xqb

@@ -1,6 +1,7 @@
 #include "core/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
@@ -16,6 +17,19 @@ Status ErrorAt(const Expr& expr, StatusCode code, const std::string& what) {
   std::string msg = what;
   if (expr.line > 0) msg += " (line " + std::to_string(expr.line) + ")";
   return Status(code, std::move(msg));
+}
+
+/// Update-kind breakdown for the stats sink, taken right before a Δ is
+/// applied. Flattening is linear, paid only when stats collection is on.
+void CountAppliedKinds(const UpdateList& delta, ExecStats* stats) {
+  if (stats == nullptr || delta.empty()) return;
+  for (const UpdateRequest* r : delta.Flatten()) {
+    switch (r->op) {
+      case UpdateRequest::Op::kInsert: ++stats->inserts_applied; break;
+      case UpdateRequest::Op::kDelete: ++stats->deletes_applied; break;
+      case UpdateRequest::Op::kRename: ++stats->renames_applied; break;
+    }
+  }
 }
 
 bool IsReverseAxis(Axis axis) {
@@ -63,6 +77,11 @@ Evaluator::Evaluator(const Evaluator& root, std::unique_ptr<ExecGuard> guard)
   globals_resolved_ = true;    // Shares the root's resolved globals.
   is_worker_ = true;
   threads_ = 1;  // Workers evaluate serially; only the root fans out.
+  // The stats sink is single-writer (coordinating thread): workers run
+  // without one and their contributions (emitted updates, steps) are
+  // folded in after the region join. The tracer stays shared — it is
+  // thread-safe and lanes per-thread spans itself.
+  options_.stats = nullptr;
   // No gauge attachment: the root's gauge is already on the store, and
   // this clone's guard charges that same gauge.
 }
@@ -115,8 +134,14 @@ Status Evaluator::ApplyPendingTopLevel() {
   snap_stack_.back() = UpdateList();
   updates_applied_ += static_cast<int64_t>(delta.size());
   ++snaps_applied_;
-  return ApplyUpdateList(store_, delta, options_.default_snap_mode,
-                         options_.nondet_seed);
+  ExecStats* stats = options_.stats;
+  CountAppliedKinds(delta, stats);
+  TraceSpan span(options_.tracer, "snap-apply", "snap");
+  const int64_t t0 = stats != nullptr ? MonotonicNowNs() : 0;
+  Status status = ApplyUpdateList(store_, delta, options_.default_snap_mode,
+                                  options_.nondet_seed);
+  if (stats != nullptr) stats->snap_apply_ns += MonotonicNowNs() - t0;
+  return status;
 }
 
 Result<Sequence> Evaluator::Run() {
@@ -442,6 +467,15 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
   const int workers =
       static_cast<int>(std::min<int64_t>(static_cast<int64_t>(threads_), n));
   ++parallel_regions_;
+  ExecStats* stats = options_.stats;
+  Tracer* tracer = options_.tracer;
+  const bool timed = stats != nullptr || tracer != nullptr;
+  if (stats != nullptr) stats->pool_jobs += n;
+  TraceSpan region_span(tracer, "parallel-region", "parallel");
+  const int64_t region_t0 = timed ? MonotonicNowNs() : 0;
+  // Busy time summed across participants; stats are single-writer on
+  // the coordinating thread, so workers accumulate here instead.
+  std::atomic<int64_t> busy_ns{0};
 
   struct IterationResult {
     Status status;  // Per-iteration error, if any.
@@ -461,6 +495,7 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
   }
 
   WorkerPool::Global().ParallelFor(n, workers, [&](int64_t i, int w) {
+    const int64_t t0 = timed ? MonotonicNowNs() : 0;
     Evaluator& ev = *clones[static_cast<size_t>(w)];
     Result<Sequence> r = ev.Eval(expr, rows[static_cast<size_t>(i)]);
     IterationResult& out = results[static_cast<size_t>(i)];
@@ -470,11 +505,29 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
     } else {
       out.status = r.status();
     }
+    if (timed) {
+      const int64_t t1 = MonotonicNowNs();
+      busy_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+      if (tracer != nullptr) {
+        // One span per iteration on the executing thread's lane, so the
+        // trace shows the fan-out's load balance worker by worker.
+        tracer->RecordSpan("iter[" + std::to_string(i) + "]", "parallel",
+                           tracer->ToTraceNs(t0), tracer->ToTraceNs(t1));
+      }
+    }
   });
 
   // Fold worker step counts and any trip back into the root guard.
   for (const auto& clone : clones) guard_->JoinWorker(clone->guard());
   guard_->EndParallelRegion();
+
+  if (stats != nullptr) {
+    const int64_t wall = MonotonicNowNs() - region_t0;
+    const int64_t busy = busy_ns.load(std::memory_order_relaxed);
+    stats->pool_busy_ns += busy;
+    stats->pool_idle_ns +=
+        std::max<int64_t>(0, wall * static_cast<int64_t>(workers) - busy);
+  }
 
   // Stitch results back in iteration order: deltas splice onto the top
   // Δ exactly as the serial loop would have appended them; the first
@@ -482,6 +535,12 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
   // there — later iterations' deltas are discarded with the error).
   Sequence out;
   for (auto& result : results) {
+    // Workers run with a null stats sink; their emitted updates are the
+    // captured per-iteration deltas, folded in here so updates_emitted
+    // is thread-count-invariant.
+    if (stats != nullptr) {
+      stats->updates_emitted += static_cast<int64_t>(result.delta.size());
+    }
     snap_stack_.back() = UpdateList::Concat(std::move(snap_stack_.back()),
                                             std::move(result.delta));
     if (!result.status.ok()) return result.status;
@@ -1354,6 +1413,7 @@ Result<NodeId> Evaluator::EvalToSingleNode(const Expr& expr,
 }
 
 void Evaluator::EmitUpdate(UpdateRequest request) {
+  if (options_.stats != nullptr) ++options_.stats->updates_emitted;
   snap_stack_.back().Append(std::move(request));
 }
 
@@ -1465,6 +1525,13 @@ Result<Sequence> Evaluator::EvalCopy(const Expr& expr, const DynEnv& env) {
 Result<Sequence> Evaluator::EvalSnap(const Expr& expr, const DynEnv& env) {
   // Section 4.1: push a fresh Δ, evaluate the scope, pop and apply.
   snap_stack_.emplace_back();
+  ExecStats* stats = options_.stats;
+  if (stats != nullptr) {
+    stats->snap_depth_max =
+        std::max(stats->snap_depth_max,
+                 static_cast<int64_t>(snap_stack_.size()) - 1);
+  }
+  TraceSpan span(options_.tracer, "snap", "snap");
   Result<Sequence> value = Eval(*expr.children[0], env);
   UpdateList delta = std::move(snap_stack_.back());
   snap_stack_.pop_back();
@@ -1488,11 +1555,15 @@ Result<Sequence> Evaluator::EvalSnap(const Expr& expr, const DynEnv& env) {
   uint64_t seed = options_.nondet_seed +
                   static_cast<uint64_t>(snaps_applied_);
   ++snaps_applied_;
-  if (expr.snap_atomic) {
-    XQB_RETURN_IF_ERROR(ApplyUpdateListAtomic(store_, delta, mode, seed));
-  } else {
-    XQB_RETURN_IF_ERROR(ApplyUpdateList(store_, delta, mode, seed));
+  CountAppliedKinds(delta, stats);
+  const int64_t apply_t0 = stats != nullptr ? MonotonicNowNs() : 0;
+  Status applied = expr.snap_atomic
+                       ? ApplyUpdateListAtomic(store_, delta, mode, seed)
+                       : ApplyUpdateList(store_, delta, mode, seed);
+  if (stats != nullptr) {
+    stats->snap_apply_ns += MonotonicNowNs() - apply_t0;
   }
+  XQB_RETURN_IF_ERROR(applied);
   return value;
 }
 

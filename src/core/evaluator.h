@@ -7,8 +7,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/exec_stats.h"
 #include "base/limits.h"
 #include "base/result.h"
+#include "base/trace.h"
 #include "core/dynenv.h"
 #include "core/guard.h"
 #include "core/id_index.h"
@@ -43,6 +45,15 @@ struct EvaluatorOptions {
   /// hardware_concurrency); 1 disables parallel evaluation; N > 1 uses
   /// at most N concurrent participants per region.
   int threads = 0;
+  /// Detailed run statistics sink (ExecOptions::collect_stats). Null
+  /// disables the opt-in instrumentation: update-kind breakdown, snap
+  /// depth/apply timing, pool busy/idle accounting. The sink is written
+  /// from the coordinating thread only (worker clones run with a null
+  /// sink; their contributions are folded in at region joins).
+  ExecStats* stats = nullptr;
+  /// Span tracer for this run (ExecOptions::trace_path). Thread-safe;
+  /// worker clones share it so parallel regions appear as worker lanes.
+  Tracer* tracer = nullptr;
 };
 
 /// The dynamic-semantics interpreter for XQuery! core (Section 3.4 and

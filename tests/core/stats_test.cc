@@ -1,0 +1,324 @@
+// Observability suite: ExecStats collection (phase timings, update-kind
+// breakdown, rewrite fires), stats determinism across thread counts,
+// stale-stats reset on failed runs, EXPLAIN ANALYZE plan annotation,
+// and the Chrome trace_event exporter.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "base/trace.h"
+#include "core/engine.h"
+#include "xmark/generator.h"
+
+namespace xqb {
+namespace {
+
+constexpr const char* kDoc =
+    "<r>"
+    "<item id='a'><v>1</v></item>"
+    "<item id='b'><v>2</v></item>"
+    "<item id='c'><v>3</v></item>"
+    "<item id='d'><v>4</v></item>"
+    "</r>";
+
+// ---------------------------------------------------------------------
+// Satellite 1: a failed run must never report the previous run's stats.
+
+TEST(StatsReset, FailedRunClearsPreviousStats) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  ExecOptions options;
+  options.collect_stats = true;
+  auto ok = engine.Execute(
+      "snap { insert { <x/> } into { doc('d')/r } }", options);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_GT(engine.last_stats().updates_applied, 0);
+  ASSERT_GT(engine.last_stats().snaps_applied, 0);
+  ASSERT_GT(engine.last_stats().updates_emitted, 0);
+
+  // Fails at evaluation time (unknown document), after Run has started.
+  auto failed = engine.Execute("doc('no-such-document')", options);
+  ASSERT_FALSE(failed.ok());
+  const ExecStats& stats = engine.last_stats();
+  EXPECT_EQ(stats.updates_applied, 0);
+  EXPECT_EQ(stats.updates_emitted, 0);
+  EXPECT_EQ(stats.snaps_applied, 0);
+  EXPECT_EQ(stats.inserts_applied, 0);
+  EXPECT_EQ(stats.result_cardinality, 0);
+  EXPECT_FALSE(stats.used_algebra);
+  EXPECT_FALSE(engine.last_used_algebra());
+  EXPECT_TRUE(engine.last_plan().empty());
+  EXPECT_TRUE(stats.plan.empty());
+}
+
+TEST(StatsReset, OptimizedRunAfterInterpretedClearsPlanAndBack) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  ExecOptions optimized;
+  optimized.optimize = true;
+  ASSERT_TRUE(engine.Execute("for $x in doc('d')/r/item return $x",
+                             optimized)
+                  .ok());
+  EXPECT_TRUE(engine.last_used_algebra());
+  EXPECT_FALSE(engine.last_plan().empty());
+  ASSERT_TRUE(engine.Execute("1 + 1").ok());
+  EXPECT_FALSE(engine.last_used_algebra());
+  EXPECT_TRUE(engine.last_plan().empty());
+}
+
+// ---------------------------------------------------------------------
+// Detailed collection: phases, update kinds, cardinality.
+
+TEST(StatsCollect, PhaseTimingsAndCountersFilled) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  ExecOptions options;
+  options.collect_stats = true;
+  auto result = engine.Execute(
+      "for $x in doc('d')/r/item return string($x/@id)", options);
+  ASSERT_TRUE(result.ok());
+  (void)engine.Serialize(*result);
+  const ExecStats& stats = engine.last_stats();
+  EXPECT_TRUE(stats.collected);
+  EXPECT_GT(stats.parse_ns, 0);
+  EXPECT_GE(stats.normalize_ns, 0);
+  EXPECT_GE(stats.static_check_ns, 0);
+  EXPECT_GT(stats.eval_ns, 0);
+  EXPECT_GT(stats.serialize_ns, 0);
+  EXPECT_EQ(stats.result_cardinality, 4);
+  EXPECT_GT(stats.guard_steps, 0);
+  // Summary and JSON render without crashing and carry the phase line.
+  EXPECT_NE(stats.Summary().find("phases (ms):"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"eval_ns\":"), std::string::npos);
+}
+
+TEST(StatsCollect, UpdateKindBreakdown) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  ExecOptions options;
+  options.collect_stats = true;
+  auto result = engine.Execute(
+      "snap { insert { <x/> } into { doc('d')/r }, "
+      "       delete { doc('d')/r/item[@id='a'] }, "
+      "       rename { doc('d')/r/item[@id='b'] } to { \"thing\" } }",
+      options);
+  ASSERT_TRUE(result.ok());
+  const ExecStats& stats = engine.last_stats();
+  EXPECT_EQ(stats.inserts_applied, 1);
+  EXPECT_EQ(stats.deletes_applied, 1);
+  EXPECT_EQ(stats.renames_applied, 1);
+  EXPECT_EQ(stats.updates_applied, 3);
+  EXPECT_EQ(stats.updates_emitted, 3);
+  EXPECT_GE(stats.snap_depth_max, 1);
+}
+
+TEST(StatsCollect, DisabledCollectionStillFillsCheapCounters) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  auto result = engine.Execute(
+      "snap { insert { <x/> } into { doc('d')/r } }");
+  ASSERT_TRUE(result.ok());
+  const ExecStats& stats = engine.last_stats();
+  EXPECT_FALSE(stats.collected);
+  EXPECT_EQ(stats.updates_applied, 1);
+  EXPECT_GT(stats.snaps_applied, 0);
+  // Detailed (opt-in) fields stay zero when collection is off.
+  EXPECT_EQ(stats.updates_emitted, 0);
+  EXPECT_EQ(stats.inserts_applied, 0);
+}
+
+TEST(StatsCollect, GarbageCollectionFreesAreCounted) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  // Constructed elements are unreachable from documents/variables after
+  // the run, so GC reclaims them.
+  ASSERT_TRUE(engine.Execute("<tmp><a/><b/></tmp>").ok());
+  const size_t freed = engine.CollectGarbage();
+  EXPECT_GT(freed, 0u);
+  EXPECT_EQ(engine.last_stats().gc_freed, static_cast<int64_t>(freed));
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: counters are thread-count invariant; timings sane.
+
+TEST(StatsDeterminism, CountersIdenticalAcrossThreadCounts) {
+  const std::string query =
+      "snap { for $x in doc('d')/r/item "
+      "       return insert { <sum>{sum(for $j in 1 to 40 return $j * "
+      "number($x/v))}</sum> } into { $x } }";
+  ExecStats collected[2];
+  int64_t regions[2] = {0, 0};
+  int i = 0;
+  for (int threads : {1, 8}) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+    ExecOptions options;
+    options.collect_stats = true;
+    options.threads = threads;
+    auto result = engine.Execute(query, options);
+    ASSERT_TRUE(result.ok());
+    collected[i] = engine.last_stats();
+    regions[i] = engine.last_parallel_regions();
+    ++i;
+  }
+  EXPECT_EQ(regions[0], 0);
+  EXPECT_GT(regions[1], 0) << "threads=8 never engaged the pool";
+  EXPECT_EQ(collected[0].updates_emitted, collected[1].updates_emitted);
+  EXPECT_EQ(collected[0].updates_applied, collected[1].updates_applied);
+  EXPECT_EQ(collected[0].inserts_applied, collected[1].inserts_applied);
+  EXPECT_EQ(collected[0].snaps_applied, collected[1].snaps_applied);
+  EXPECT_EQ(collected[0].snap_depth_max, collected[1].snap_depth_max);
+  EXPECT_EQ(collected[0].result_cardinality,
+            collected[1].result_cardinality);
+  // Pool accounting only exists on the parallel run.
+  EXPECT_EQ(collected[0].pool_jobs, 0);
+  EXPECT_GT(collected[1].pool_jobs, 0);
+  EXPECT_GE(collected[1].pool_busy_ns, 0);
+  EXPECT_GE(collected[1].pool_idle_ns, 0);
+}
+
+// ---------------------------------------------------------------------
+// Tentpole: EXPLAIN ANALYZE for the algebra executor.
+
+TEST(ExplainAnalyze, AnnotatedPlanCarriesPerOperatorCounters) {
+  Engine engine;
+  XMarkParams params;
+  params.factor = 0.05;
+  engine.RegisterDocument("auction",
+                          GenerateXMarkDocument(&engine.store(), params));
+  ExecOptions options;
+  options.optimize = true;
+  options.collect_stats = true;
+  auto result = engine.Execute(
+      "for $p in doc('auction')//person "
+      "let $a := for $t in doc('auction')//closed_auction "
+      "          where $t/buyer/@person = $p/@id return $t "
+      "return <r id=\"{$p/@id}\" n=\"{count($a)}\"/>",
+      options);
+  ASSERT_TRUE(result.ok());
+  const ExecStats& stats = engine.last_stats();
+  ASSERT_TRUE(stats.used_algebra);
+  // The plain plan stays un-annotated; the stats plan is annotated.
+  EXPECT_EQ(engine.last_plan().find("[calls="), std::string::npos);
+  EXPECT_NE(stats.plan.find("[calls="), std::string::npos);
+  EXPECT_NE(stats.plan.find("rows="), std::string::npos);
+  EXPECT_NE(stats.plan.find("self="), std::string::npos);
+  EXPECT_NE(stats.plan.find("MapToItem"), std::string::npos);
+  // Satellite 2: the optimizer's rule fires surface in the stats.
+  EXPECT_GE(stats.rw_group_joins, 1);
+  EXPECT_GT(stats.compile_ns, 0);
+  EXPECT_GE(stats.rewrite_ns, 0);
+}
+
+TEST(ExplainAnalyze, NotCollectedWithoutOptIn) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  ExecOptions options;
+  options.optimize = true;
+  ASSERT_TRUE(
+      engine.Execute("for $x in doc('d')/r/item return $x", options)
+          .ok());
+  EXPECT_TRUE(engine.last_stats().plan.empty());
+  EXPECT_FALSE(engine.last_plan().empty());
+}
+
+// Satellite 2: Prepare exposes front-end phase costs.
+TEST(PreparedQueryStats, FrontEndPhasesTimed) {
+  Engine engine;
+  auto prepared = engine.Prepare("for $i in 1 to 3 return $i + 1");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_GT(prepared->parse_ns, 0);
+  EXPECT_GE(prepared->normalize_ns, 0);
+  EXPECT_GE(prepared->static_check_ns, 0);
+  // Run carries them into the stats of every execution.
+  ASSERT_TRUE(engine.Run(*prepared).ok());
+  EXPECT_EQ(engine.last_stats().parse_ns, prepared->parse_ns);
+}
+
+// ---------------------------------------------------------------------
+// Tracer unit tests.
+
+TEST(TracerTest, LanesNamedAndEventsExported) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "outer", "phase");
+    std::thread worker([&tracer] {
+      const int64_t t0 = tracer.NowNs();
+      tracer.RecordSpan("inner-work", "parallel", t0, tracer.NowNs());
+    });
+    worker.join();
+  }
+  tracer.RecordInstant("mark", "test");
+  EXPECT_EQ(tracer.event_count(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker-1\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner-work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TracerTest, BoundedBufferCountsDrops) {
+  Tracer tracer(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i) tracer.RecordInstant("e", "test");
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+}
+
+TEST(TracerTest, JsonEscapesSpanNames) {
+  Tracer tracer;
+  tracer.RecordInstant("quote\"back\\slash\nnewline", "test");
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end trace export through ExecOptions::trace_path.
+
+TEST(TraceExport, RunWritesLoadableChromeTrace) {
+  const std::string path =
+      ::testing::TempDir() + "/xqb_stats_test_trace.json";
+  std::remove(path.c_str());
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", kDoc).ok());
+  ExecOptions options;
+  options.optimize = true;
+  options.collect_stats = true;
+  options.trace_path = path;
+  ASSERT_TRUE(
+      engine.Execute("snap { for $x in doc('d')/r/item "
+                     "return insert { <y/> } into { $x } }",
+                     options)
+          .ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"eval\""), std::string::npos);
+  EXPECT_NE(json.find("\"snap-apply\""), std::string::npos);
+  const size_t last = json.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json[last], '}');
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, UnwritableTracePathFailsTheRun) {
+  Engine engine;
+  ExecOptions options;
+  options.trace_path = "/nonexistent-dir-xqb/trace.json";
+  auto result = engine.Execute("1 + 1", options);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace xqb

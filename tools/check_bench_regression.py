@@ -71,11 +71,19 @@ def fold(out, entry):
         return
     name = entry.get("run_name", entry["name"])
     ns = entry_time_ns(entry)
+    # Per-phase counters (phase_*_ms, present when the run was recorded
+    # with run_benchmarks.py --stats) follow the kept-fastest entry, so
+    # a failure report can name the phase that moved.
+    phases = {key: value for key, value in entry.items()
+              if key.startswith("phase_")
+              and isinstance(value, (int, float))}
     if name not in out:
         out[name] = {"ns": ns, "binary": entry.get("binary"),
-                     "spread": 1.0}
+                     "spread": 1.0, "phases": phases}
     elif ns < out[name]["ns"]:
         out[name]["ns"] = ns
+        if phases:
+            out[name]["phases"] = phases
     if "fold_max_real_time" in entry and entry["real_time"] > 0:
         # max/min over the baseline sweeps: how much this benchmark
         # moves between identical runs on the recording machine.
@@ -126,6 +134,21 @@ def retry_suspects(current, suspects, build_dir, min_time, repetitions):
             continue
         for entry in json.loads(proc.stdout).get("benchmarks", []):
             fold(current, entry)
+
+
+def dominant_phase_delta(baseline_entry, current_entry):
+    """Names the per-phase timing that moved the most, if both sides
+    carry phase counters (run_benchmarks.py --stats); None otherwise."""
+    base = baseline_entry.get("phases", {})
+    cur = current_entry.get("phases", {})
+    deltas = {key: cur[key] - base[key] for key in cur if key in base}
+    if not deltas:
+        return None
+    key = max(deltas, key=lambda k: abs(deltas[k]))
+    phase = key[len("phase_"):].removesuffix("_ms").replace("_", "-")
+    ratio = cur[key] / base[key] if base[key] > 0 else float("inf")
+    return (f"dominant phase: {phase} {deltas[key]:+.3f}ms "
+            f"({base[key]:.3f} -> {cur[key]:.3f}ms, {ratio:.2f}x)")
 
 
 def median_of(values):
@@ -229,6 +252,9 @@ def main():
               f"than {args.threshold:.2f}x vs the suite trend:")
         for name in failures:
             print(f"  {name}")
+            hint = dominant_phase_delta(baseline[name], current[name])
+            if hint:
+                print(f"    {hint}")
         sys.exit(1)
     print("[bench] no regressions")
 

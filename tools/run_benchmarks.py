@@ -34,14 +34,20 @@ def find_bench_binaries(build_dir):
     return binaries
 
 
-def run_one(path, min_time, repetitions, bench_filter):
+def run_one(path, min_time, repetitions, bench_filter, stats=False):
     cmd = [path,
            "--benchmark_format=json",
            f"--benchmark_min_time={min_time}",
            f"--benchmark_repetitions={repetitions}"]
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
-    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=False)
+    env = dict(os.environ)
+    if stats:
+        # Stats-aware benchmarks (bench_q8_join) collect ExecStats and
+        # embed per-phase times as phase_*_ms counters in their JSON.
+        env["XQB_BENCH_STATS"] = "1"
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, env=env,
+                          check=False)
     if proc.returncode != 0:
         sys.exit(f"error: {path} exited with {proc.returncode}")
     return json.loads(proc.stdout)
@@ -59,6 +65,12 @@ def main():
                              "out one-sided scheduling noise")
     parser.add_argument("--filter", default="",
                         help="--benchmark_filter regex passed to binaries")
+    parser.add_argument("--stats", action="store_true",
+                        help="set XQB_BENCH_STATS so stats-aware "
+                             "benchmarks embed per-phase timings "
+                             "(phase_*_ms counters) in the report; the "
+                             "regression checker then names the phase "
+                             "that moved")
     parser.add_argument("--fold", action="store_true",
                         help="merge with an existing --out file, keeping "
                              "the fastest entry per benchmark; run several "
@@ -78,7 +90,7 @@ def main():
         name = os.path.basename(path)
         print(f"[bench] {name}", flush=True)
         report = run_one(path, args.min_time, args.repetitions,
-                         args.filter)
+                         args.filter, stats=args.stats)
         if merged["context"] is None:
             merged["context"] = report.get("context", {})
         for entry in report.get("benchmarks", []):
