@@ -1,0 +1,84 @@
+// Cost of the fail-point instrumentation (docs/ROBUSTNESS.md): the same
+// snap-heavy workload with the registry disarmed (the production state
+// of a XQB_FAILPOINTS=ON build — each site pays one relaxed atomic
+// load) versus armed-but-never-firing (the chaos-harness state, where
+// every hit takes the per-point mutex). In a -DXQB_FAILPOINTS=OFF build
+// the sites compile away and Disarmed measures the true zero-overhead
+// baseline; CI's failpoint-overhead smoke compares the two builds to
+// pin the "no-ops in release" claim.
+
+#include <benchmark/benchmark.h>
+
+#include "base/failpoint.h"
+#include "core/engine.h"
+
+namespace {
+
+constexpr const char* kDoc =
+    "<r>"
+    "<item id='a'><v>1</v></item>"
+    "<item id='b'><v>2</v></item>"
+    "<item id='c'><v>3</v></item>"
+    "<item id='d'><v>4</v></item>"
+    "</r>";
+
+// Every iteration crosses the instrumented edges many times: snap
+// push/apply, per-request apply, conflict hashing stays cold (ordered
+// mode), store allocation per constructed node.
+constexpr const char* kSnapLoop =
+    "snap { for $i in 1 to 50 "
+    "       return insert { <e>{$i}</e> } into { doc('d')/r } }";
+
+void RunSnapLoop(benchmark::State& state, bool armed) {
+  if (armed && !xqb::FailpointRegistry::kCompiledIn) {
+    state.SkipWithError("fail points compiled out; Armed not measurable");
+    return;
+  }
+  if (armed) {
+    // A threshold no run can reach: the policy evaluates on every hit
+    // but never fires, which is the worst-case armed cost.
+    auto st = xqb::FailpointRegistry::Global().Configure(
+        "snap.push=nth:1000000000");
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  xqb::Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  if (!doc.ok()) {
+    state.SkipWithError(doc.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = engine.Execute(kSnapLoop);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    // Restore the document between iterations so the store does not
+    // grow across the run (the restore is untimed).
+    state.PauseTiming();
+    auto restore = engine.Execute("snap { delete { doc('d')/r/e } }");
+    if (!restore.ok()) {
+      state.SkipWithError(restore.status().ToString().c_str());
+      return;
+    }
+    engine.CollectGarbage();
+    state.ResumeTiming();
+  }
+  xqb::FailpointRegistry::Global().Clear();
+}
+
+void BM_FailpointsDisarmed(benchmark::State& state) {
+  RunSnapLoop(state, /*armed=*/false);
+}
+void BM_FailpointsArmedNotFiring(benchmark::State& state) {
+  RunSnapLoop(state, /*armed=*/true);
+}
+
+BENCHMARK(BM_FailpointsDisarmed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FailpointsArmedNotFiring)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

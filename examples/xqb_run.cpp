@@ -18,8 +18,23 @@
 //                         the run to FILE (chrome://tracing / Perfetto);
 //                         --trace=FILE also accepted
 //     --threads N         worker threads for parallel snap evaluation
+//     --failpoints SPEC   arm fault-injection points for this run, e.g.
+//                         "snap.apply=nth:1,store.alloc=prob:0.01:7"
+//                         (see docs/ROBUSTNESS.md for the grammar)
+//     --list-failpoints   print the fail-point catalog and exit
 //
-// Exit status: 0 on success, 1 on usage/load errors, 2 on query errors.
+// Exit status (documented contract — scripts and the chaos harness key
+// off these; see docs/ROBUSTNESS.md):
+//   0  success
+//   1  usage error, unreadable query/document file, unwritable output
+//   2  parse or static error in the query or an XML document
+//   3  dynamic or type error raised during evaluation
+//   4  update error (Section 3.2 precondition failure)
+//   5  conflict-detection mode rejected the update list
+//   6  a resource budget tripped (ExecLimits governor)
+//   7  the run was cancelled
+//   8  an armed fail point fired (fault injection)
+//   9  internal error / invalid API use — indicates an engine bug
 
 #include <cstdio>
 #include <cstring>
@@ -28,10 +43,39 @@
 #include <string>
 #include <vector>
 
+#include "base/failpoint.h"
 #include "core/engine.h"
 #include "xmark/generator.h"
 
 namespace {
+
+/// Maps a Status class onto the documented exit-code contract above.
+int ExitCodeFor(const xqb::Status& status) {
+  switch (status.code()) {
+    case xqb::StatusCode::kOk:
+      return 0;
+    case xqb::StatusCode::kParseError:
+    case xqb::StatusCode::kStaticError:
+      return 2;
+    case xqb::StatusCode::kDynamicError:
+    case xqb::StatusCode::kTypeError:
+      return 3;
+    case xqb::StatusCode::kUpdateError:
+      return 4;
+    case xqb::StatusCode::kConflictError:
+      return 5;
+    case xqb::StatusCode::kResourceExhausted:
+      return 6;
+    case xqb::StatusCode::kCancelled:
+      return 7;
+    case xqb::StatusCode::kFaultInjected:
+      return 8;
+    case xqb::StatusCode::kInvalidArgument:
+    case xqb::StatusCode::kInternal:
+      return 9;
+  }
+  return 9;
+}
 
 bool SplitKeyValue(const std::string& arg, std::string* key,
                    std::string* value) {
@@ -49,6 +93,7 @@ int Usage() {
       "               [--xmark NAME=FACTOR]... [--optimize] [--plan]\n"
       "               [--mode MODE] [--seed N] [--threads N] [--indent]\n"
       "               [--profile] [--trace FILE] [--save NAME=FILE]...\n"
+      "               [--failpoints SPEC] [--list-failpoints]\n"
       "               query.xq\n");
   return 1;
 }
@@ -82,7 +127,12 @@ int main(int argc, char** argv) {
       if (!doc.ok()) {
         std::fprintf(stderr, "loading %s: %s\n", path.c_str(),
                      doc.status().ToString().c_str());
-        return 1;
+        // Unreadable files are usage errors (exit 1); anything else —
+        // an XML parse failure, an injected fault — follows the
+        // documented Status mapping so chaos runs can tell them apart.
+        return doc.status().code() == xqb::StatusCode::kInvalidArgument
+                   ? 1
+                   : ExitCodeFor(doc.status());
       }
     } else if (arg == "--var") {
       const char* value = next_value("--var");
@@ -127,6 +177,22 @@ int main(int argc, char** argv) {
       const char* value = next_value("--threads");
       if (!value) return Usage();
       options.threads = static_cast<int>(std::strtol(value, nullptr, 10));
+    } else if (arg == "--failpoints") {
+      const char* value = next_value("--failpoints");
+      if (!value) return Usage();
+      options.failpoints = value;
+    } else if (arg == "--list-failpoints") {
+      for (const xqb::FailpointInfo& info : xqb::FailpointCatalog()) {
+        std::printf("%-28s %s %s\n", info.name,
+                    info.preserves_documents ? "[preserves-documents]"
+                                             : "[partial-delta-ok]   ",
+                    info.description);
+      }
+      if (!xqb::FailpointRegistry::kCompiledIn) {
+        std::printf("(fail points are compiled out in this build; "
+                    "rebuild with -DXQB_FAILPOINTS=ON to arm them)\n");
+      }
+      return 0;
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--plan") {
@@ -174,9 +240,14 @@ int main(int argc, char** argv) {
   auto result = engine.Execute(buffer.str(), options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 2;
+    return ExitCodeFor(result.status());
   }
-  std::printf("%s\n", engine.Serialize(*result, indent).c_str());
+  auto serialized = engine.SerializeChecked(*result, indent);
+  if (!serialized.ok()) {
+    std::fprintf(stderr, "%s\n", serialized.status().ToString().c_str());
+    return ExitCodeFor(serialized.status());
+  }
+  std::printf("%s\n", serialized->c_str());
   if (print_plan && engine.last_used_algebra()) {
     std::fprintf(stderr, "-- plan --\n%s", engine.last_plan().c_str());
   }
@@ -194,7 +265,7 @@ int main(int argc, char** argv) {
     if (!doc.ok()) {
       std::fprintf(stderr, "saving %s: %s\n", name.c_str(),
                    doc.status().ToString().c_str());
-      return 2;
+      return ExitCodeFor(doc.status());
     }
     std::ofstream out(path, std::ios::binary);
     if (!out) {

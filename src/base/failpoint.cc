@@ -1,0 +1,258 @@
+#include "base/failpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace xqb {
+
+const std::vector<FailpointInfo>& FailpointCatalog() {
+  // The taxonomy of injectable failure edges. Ordering is stable (tools
+  // and the chaos harness enumerate it); add new points at the end of
+  // their subsystem group and document them in docs/ROBUSTNESS.md.
+  static const std::vector<FailpointInfo> kCatalog = {
+      {"store.alloc", true,
+       "node-record allocation: fires the run's allocation gauge, "
+       "surfacing as kResourceExhausted at the governor's next check"},
+      {"update.apply.request", false,
+       "before each request of a non-atomic update-list apply (a "
+       "partial Delta is permitted by the paper here)"},
+      {"update.atomic.apply", true,
+       "before each request of an atomic apply; rollback restores the "
+       "store"},
+      {"update.atomic.applied", true,
+       "after each successfully applied request of an atomic apply; "
+       "rollback restores the store"},
+      {"update.atomic.after-rollback", true,
+       "after an atomic apply's rollback completed (the error path's "
+       "error path)"},
+      {"update.conflict.verify", true,
+       "conflict-detection hashing over Delta, before anything is "
+       "applied"},
+      {"query.parse", true, "XQuery! program parsing"},
+      {"xml.parse", true,
+       "XML element parsing (document loading and fragments)"},
+      {"serialize.output", true, "serializer output production"},
+      {"pool.spawn", true,
+       "worker-pool fan-out: before worker evaluators spawn"},
+      {"pool.join", true,
+       "worker-pool fan-out: after every worker joined, before results "
+       "splice"},
+      {"snap.push", true, "snap-scope entry (Delta stack push)"},
+      {"snap.apply", true,
+       "snap-scope close: after the Delta stack pop, before apply"},
+  };
+  return kCatalog;
+}
+
+Status FailpointError(const char* name) {
+  return Status(StatusCode::kFaultInjected,
+                std::string("injected fault at ") + name);
+}
+
+namespace {
+
+/// splitmix64: tiny, seedable, and identical on every platform — the
+/// probability policy must fire the same hit sequence for the same
+/// seed regardless of build or thread count.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97f4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+enum class Policy : uint8_t { kOff, kNth, kEveryK, kProbability };
+
+}  // namespace
+
+struct FailpointRegistry::Point {
+  const char* name = nullptr;
+  std::mutex mu;  // guards everything below
+  Policy policy = Policy::kOff;
+  int64_t param = 0;       // N for kNth, K for kEveryK
+  double probability = 0;  // kProbability
+  uint64_t rng_state = 0;
+  int64_t hits = 0;
+  bool fired_once = false;  // kNth fires exactly once
+};
+
+FailpointRegistry::FailpointRegistry() {
+  point_count_ = FailpointCatalog().size();
+  points_ = new Point[point_count_];
+  for (size_t i = 0; i < point_count_; ++i) {
+    points_[i].name = FailpointCatalog()[i].name;
+  }
+  if (const char* env = std::getenv("XQB_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    // A malformed env spec must not be silently ignored nor crash the
+    // host; report once on stderr and continue disarmed.
+    Status st = Configure(env);
+    if (!st.ok()) {
+      std::fprintf(stderr, "XQB_FAILPOINTS: %s\n", st.ToString().c_str());
+    }
+  }
+}
+
+FailpointRegistry::~FailpointRegistry() { delete[] points_; }
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::Point* FailpointRegistry::Find(
+    const std::string& name) const {
+  for (size_t i = 0; i < point_count_; ++i) {
+    if (name == points_[i].name) return &points_[i];
+  }
+  return nullptr;
+}
+
+Status FailpointRegistry::Configure(const std::string& specs) {
+  struct Parsed {
+    Point* point;
+    Policy policy;
+    int64_t param = 0;
+    double probability = 0;
+    uint64_t seed = 0;
+  };
+  std::vector<Parsed> parsed;
+  size_t start = 0;
+  while (start <= specs.size()) {
+    size_t end = specs.find_first_of(",;", start);
+    if (end == std::string::npos) end = specs.size();
+    std::string item = specs.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding blanks so "a=nth:1, b" parses.
+    while (!item.empty() && item.front() == ' ') item.erase(0, 1);
+    while (!item.empty() && item.back() == ' ') item.pop_back();
+    if (item.empty()) continue;
+
+    size_t eq = item.find('=');
+    std::string name = item.substr(0, eq);
+    std::string policy_str =
+        eq == std::string::npos ? "nth:1" : item.substr(eq + 1);
+    Parsed p;
+    p.point = Find(name);
+    if (p.point == nullptr) {
+      return Status::InvalidArgument("unknown fail point \"" + name +
+                                     "\" (see --list-failpoints)");
+    }
+    // Split policy on ':' into kind and up to two numeric fields.
+    size_t c1 = policy_str.find(':');
+    std::string kind = policy_str.substr(0, c1);
+    std::string arg1, arg2;
+    if (c1 != std::string::npos) {
+      size_t c2 = policy_str.find(':', c1 + 1);
+      arg1 = policy_str.substr(c1 + 1, c2 == std::string::npos
+                                           ? std::string::npos
+                                           : c2 - c1 - 1);
+      if (c2 != std::string::npos) arg2 = policy_str.substr(c2 + 1);
+    }
+    auto bad = [&]() {
+      return Status::InvalidArgument("bad fail-point policy \"" +
+                                     policy_str + "\" for " + name);
+    };
+    char* endp = nullptr;
+    if (kind == "off") {
+      p.policy = Policy::kOff;
+    } else if (kind == "nth" || kind == "every") {
+      if (arg1.empty() || !arg2.empty()) return bad();
+      long long v = std::strtoll(arg1.c_str(), &endp, 10);
+      if (endp != arg1.c_str() + arg1.size() || v <= 0) return bad();
+      p.policy = kind == "nth" ? Policy::kNth : Policy::kEveryK;
+      p.param = v;
+    } else if (kind == "prob") {
+      if (arg1.empty()) return bad();
+      double prob = std::strtod(arg1.c_str(), &endp);
+      if (endp != arg1.c_str() + arg1.size() || prob < 0 || prob > 1) {
+        return bad();
+      }
+      uint64_t seed = 0;
+      if (!arg2.empty()) {
+        seed = std::strtoull(arg2.c_str(), &endp, 10);
+        if (endp != arg2.c_str() + arg2.size()) return bad();
+      }
+      p.policy = Policy::kProbability;
+      p.probability = prob;
+      p.seed = seed;
+    } else {
+      return bad();
+    }
+    parsed.push_back(p);
+  }
+
+  // All-or-nothing: apply only after the whole list parsed.
+  for (const Parsed& p : parsed) {
+    Point& point = *p.point;
+    std::lock_guard<std::mutex> lock(point.mu);
+    const bool was_armed = point.policy != Policy::kOff;
+    point.policy = p.policy;
+    point.param = p.param;
+    point.probability = p.probability;
+    // Mix the point name's address-independent hash into the seed so
+    // two points armed with the same seed fire decorrelated sequences.
+    uint64_t name_mix = 1469598103934665603ull;
+    for (const char* c = point.name; *c != '\0'; ++c) {
+      name_mix = (name_mix ^ static_cast<uint64_t>(*c)) * 1099511628211ull;
+    }
+    point.rng_state = p.seed ^ name_mix;
+    point.hits = 0;
+    point.fired_once = false;
+    const bool now_armed = point.policy != Policy::kOff;
+    if (was_armed != now_armed) {
+      armed_count_.fetch_add(now_armed ? 1 : -1,
+                             std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+void FailpointRegistry::Clear() {
+  for (size_t i = 0; i < point_count_; ++i) {
+    Point& point = points_[i];
+    std::lock_guard<std::mutex> lock(point.mu);
+    if (point.policy != Policy::kOff) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    point.policy = Policy::kOff;
+    point.hits = 0;
+    point.fired_once = false;
+  }
+}
+
+bool FailpointRegistry::ShouldFail(const char* name) {
+  Point* point = Find(name);
+  if (point == nullptr) return false;
+  std::lock_guard<std::mutex> lock(point->mu);
+  if (point->policy == Policy::kOff) return false;
+  ++point->hits;
+  switch (point->policy) {
+    case Policy::kOff:
+      return false;
+    case Policy::kNth:
+      if (point->fired_once || point->hits != point->param) return false;
+      point->fired_once = true;
+      return true;
+    case Policy::kEveryK:
+      return point->hits % point->param == 0;
+    case Policy::kProbability: {
+      // 53-bit mantissa draw in [0, 1).
+      double draw = static_cast<double>(SplitMix64(&point->rng_state) >> 11) *
+                    0x1.0p-53;
+      return draw < point->probability;
+    }
+  }
+  return false;
+}
+
+int64_t FailpointRegistry::HitCount(const std::string& name) const {
+  Point* point = Find(name);
+  if (point == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(point->mu);
+  return point->hits;
+}
+
+}  // namespace xqb

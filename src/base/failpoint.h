@@ -1,0 +1,147 @@
+#ifndef XQB_BASE_FAILPOINT_H_
+#define XQB_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+// Deterministic fault injection for the engine's failure edges.
+//
+// A fail point is a named site on a critical failure edge (store
+// allocation, per-request update apply, rollback boundary, parsing,
+// serialization, worker spawn/join, snap push/pop). In a build with
+// XQB_FAILPOINTS_ENABLED=1 (CMake option XQB_FAILPOINTS, default ON)
+// each site costs one relaxed atomic load while no point is armed; in a
+// build with the option OFF every site compiles away entirely, so
+// release binaries can be shipped with zero overhead
+// (bench_failpoint_overhead pins both claims).
+//
+// Arming is runtime configuration, one spec per point:
+//
+//   point=nth:N        fire on exactly the Nth hit (1-based), once
+//   point=every:K      fire on every Kth hit
+//   point=prob:P[:S]   fire with probability P, deterministic PRNG
+//                      seeded with S (default 0) — the same seed gives
+//                      the same fire pattern on every run
+//   point=off          disarm
+//   point              shorthand for point=nth:1
+//
+// Specs come from ExecOptions::failpoints (per run), from the
+// XQB_FAILPOINTS environment variable (process-wide, read once at
+// first registry use), or from FailpointRegistry::Configure directly
+// (the chaos harness). Several specs join with ',' or ';'.
+//
+// A fired point surfaces as Status(StatusCode::kFaultInjected,
+// "injected fault at <point>") through the engine's ordinary error
+// path — never a crash, never a partial Δ beyond what the edge itself
+// permits (see docs/ROBUSTNESS.md for the per-point guarantee table).
+
+#if !defined(XQB_FAILPOINTS_ENABLED)
+#define XQB_FAILPOINTS_ENABLED 0
+#endif
+
+namespace xqb {
+
+/// One entry of the static fail-point catalog.
+struct FailpointInfo {
+  const char* name;
+  /// True when a fault injected at this point must leave every
+  /// registered document byte-identical to its pre-run state (the
+  /// chaos harness asserts it). False only for points inside
+  /// non-atomic update application, where the paper explicitly
+  /// permits a partial Δ.
+  bool preserves_documents;
+  const char* description;
+};
+
+/// The full catalog of fail points compiled into the engine, in stable
+/// order. Available (and non-empty) even when fail points are compiled
+/// out, so tools can always enumerate the taxonomy.
+const std::vector<FailpointInfo>& FailpointCatalog();
+
+/// Process-wide fail-point configuration. Thread-safe: sites evaluate
+/// their policy against atomically-published config; hit counters are
+/// shared across threads, which keeps the injected error *identity*
+/// (code + message) independent of the thread count even when the
+/// winning hit lands on a different thread.
+class FailpointRegistry {
+ public:
+  /// True in builds whose sites are compiled in.
+  static constexpr bool kCompiledIn = XQB_FAILPOINTS_ENABLED != 0;
+
+  /// The process-wide registry. On first use, arms any specs found in
+  /// the XQB_FAILPOINTS environment variable.
+  static FailpointRegistry& Global();
+
+  /// Parses and applies a spec list ("a=nth:1,b=prob:0.5:7"). Unknown
+  /// point names and malformed policies fail with kInvalidArgument and
+  /// leave the registry unchanged. Re-configuring a point resets its
+  /// hit counter, so sweeps can re-arm the same point per iteration.
+  Status Configure(const std::string& specs);
+
+  /// Disarms every point and clears hit counters.
+  void Clear();
+
+  /// True when at least one point is armed (the fast-path gate).
+  bool armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Policy evaluation for one site hit (slow path; called only while
+  /// armed() is true). Returns true when the site must fail now.
+  bool ShouldFail(const char* name);
+
+  /// Hits observed on `name` since it was last configured (0 when the
+  /// point is not armed). Observability for tests.
+  int64_t HitCount(const std::string& name) const;
+
+  ~FailpointRegistry();
+
+ private:
+  FailpointRegistry();
+  struct Point;
+  Point* Find(const std::string& name) const;
+
+  std::atomic<int64_t> armed_count_{0};
+  /// Fixed array parallel to FailpointCatalog(); pointer-stable so
+  /// sites may cache entries.
+  Point* points_;
+  size_t point_count_;
+};
+
+/// The Status a fired fail point surfaces as.
+Status FailpointError(const char* name);
+
+#if XQB_FAILPOINTS_ENABLED
+
+/// True when the named point is armed and its policy fires on this hit.
+/// Use directly on edges that cannot return a Status (e.g. store
+/// allocation, which reports through the allocation gauge instead).
+#define XQB_FAILPOINT_FIRED(name)                       \
+  (::xqb::FailpointRegistry::Global().armed() &&        \
+   ::xqb::FailpointRegistry::Global().ShouldFail(name))
+
+/// Returns FailpointError(name) from the enclosing function (which
+/// must return Status or Result<T>) when the point fires.
+#define XQB_FAILPOINT(name)                             \
+  do {                                                  \
+    if (XQB_FAILPOINT_FIRED(name)) {                    \
+      return ::xqb::FailpointError(name);               \
+    }                                                   \
+  } while (0)
+
+#else
+
+#define XQB_FAILPOINT_FIRED(name) (false)
+#define XQB_FAILPOINT(name) \
+  do {                      \
+  } while (0)
+
+#endif  // XQB_FAILPOINTS_ENABLED
+
+}  // namespace xqb
+
+#endif  // XQB_BASE_FAILPOINT_H_

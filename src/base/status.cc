@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kFaultInjected:
+      return "FaultInjected";
   }
   return "Unknown";
 }

@@ -39,6 +39,10 @@ enum class StatusCode : int8_t {
   /// The run's CancellationToken was cancelled by the host. Same
   /// no-partial-Δ guarantee as kResourceExhausted.
   kCancelled = 10,
+  /// A deterministic fault-injection point fired (src/base/failpoint.h).
+  /// Only ever produced while fail points are armed (chaos testing);
+  /// carries the fail-point name so tests can assert error identity.
+  kFaultInjected = 11,
 };
 
 /// Returns a stable, human-readable name ("ParseError", ...).

@@ -7,6 +7,7 @@
 #include "algebra/compile.h"
 #include "algebra/exec.h"
 #include "algebra/rewrite.h"
+#include "base/failpoint.h"
 #include "base/trace.h"
 #include "core/normalize.h"
 #include "core/purity.h"
@@ -85,11 +86,32 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query,
   return prepared;
 }
 
+namespace {
+
+/// Applies ExecOptions::failpoints to the process-wide registry.
+Status ArmFailpoints(const ExecOptions& options) {
+  if (options.failpoints.empty()) return Status::OK();
+  if (!FailpointRegistry::kCompiledIn) {
+    return Status::InvalidArgument(
+        "ExecOptions::failpoints set but fail points are compiled out "
+        "(build with -DXQB_FAILPOINTS=ON)");
+  }
+  return FailpointRegistry::Global().Configure(options.failpoints);
+}
+
+}  // namespace
+
 Result<Sequence> Engine::Execute(std::string_view query,
                                  const ExecOptions& options) {
+  // Arm before Prepare so the parse-edge fail points see this run's
+  // spec; arming only at Run entry would miss them, and re-arming there
+  // would reset hit counters between the parse and evaluation phases.
+  XQB_RETURN_IF_ERROR(ArmFailpoints(options));
+  ExecOptions run_options = options;
+  run_options.failpoints.clear();
   XQB_ASSIGN_OR_RETURN(PreparedQuery prepared,
                        Prepare(query, options.limits));
-  return Run(prepared, options);
+  return Run(prepared, run_options);
 }
 
 Result<Sequence> Engine::Run(const PreparedQuery& prepared,
@@ -97,6 +119,11 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   // Every run statistic resets at entry, so a run that errors out early
   // reports its own (partial) numbers, never the previous run's
   // (pinned by stats_test.StaleStatsResetOnFailedRun).
+  // Arm requested fail points before any other work so every edge of
+  // this run sees the configuration (Execute arms earlier, before
+  // Prepare, and hands Run an empty spec).
+  XQB_RETURN_IF_ERROR(ArmFailpoints(options));
+
   last_stats_.Reset();
   last_plan_.clear();
   last_stats_.collected = options.collect_stats;
@@ -210,6 +237,16 @@ std::string Engine::Serialize(const Sequence& seq, bool indent) const {
   std::string out = SerializeSequence(*store_, seq, options);
   // Serialization happens after Run returns; accumulate (+=) so several
   // Serialize calls against one result all land in that run's stats.
+  last_stats_.serialize_ns += MonotonicNowNs() - t0;
+  return out;
+}
+
+Result<std::string> Engine::SerializeChecked(const Sequence& seq,
+                                             bool indent) const {
+  const int64_t t0 = MonotonicNowNs();
+  SerializeOptions options;
+  options.indent = indent;
+  Result<std::string> out = SerializeSequenceChecked(*store_, seq, options);
   last_stats_.serialize_ns += MonotonicNowNs() - t0;
   return out;
 }

@@ -52,6 +52,16 @@ struct ExecOptions {
   /// (phases, snap scopes, parallel worker lanes) and write it to this
   /// path as Chrome trace_event JSON (chrome://tracing / Perfetto).
   std::string trace_path;
+  /// Fail-point specs to arm for this run, e.g.
+  /// "snap.apply=nth:1,store.alloc=prob:0.01:7" (grammar and catalog:
+  /// src/base/failpoint.h, docs/ROBUSTNESS.md). Applied to the
+  /// process-wide FailpointRegistry at Run entry — arming therefore
+  /// outlives the run and affects concurrent engines; intended for
+  /// chaos testing, not production. Empty (the default) leaves the
+  /// registry untouched. The XQB_FAILPOINTS environment variable arms
+  /// points process-wide instead. Ignored (with an error) in builds
+  /// whose fail points are compiled out (-DXQB_FAILPOINTS=OFF).
+  std::string failpoints;
 };
 
 /// A compiled, normalized, purity-analyzed program ready to execute.
@@ -120,6 +130,12 @@ class Engine {
 
   /// Serializes a result sequence (nodes as XML, atomics as strings).
   std::string Serialize(const Sequence& seq, bool indent = false) const;
+
+  /// Serialize with the output-production failure edge surfaced as a
+  /// Status (fail point "serialize.output"). Failure-hardened hosts
+  /// (xqb_run, the chaos harness) use this variant.
+  Result<std::string> SerializeChecked(const Sequence& seq,
+                                       bool indent = false) const;
 
   /// Reclaims store nodes unreachable from registered documents and
   /// bound variables (Section 4.1 garbage collection). Returns the

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "base/failpoint.h"
 #include "base/string_util.h"
 #include "core/functions.h"
 #include "core/worker_pool.h"
@@ -484,6 +485,10 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
   };
   std::vector<IterationResult> results(static_cast<size_t>(n));
 
+  // Fan-out edge: a fault here aborts the region before any worker
+  // state exists; the run unwinds with the pending Δ intact.
+  XQB_FAILPOINT("pool.spawn");
+
   // One thread-confined evaluator clone per worker slot. The
   // coordinating evaluator's own state is untouched during the region
   // (slot 0 — the calling thread — uses a clone too).
@@ -520,6 +525,11 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
   // Fold worker step counts and any trip back into the root guard.
   for (const auto& clone : clones) guard_->JoinWorker(clone->guard());
   guard_->EndParallelRegion();
+
+  // Join edge: every worker is joined and the region closed; a fault
+  // here discards the iterations' results and deltas wholesale, the
+  // same observable outcome as an error in the first iteration.
+  XQB_FAILPOINT("pool.join");
 
   if (stats != nullptr) {
     const int64_t wall = MonotonicNowNs() - region_t0;
@@ -1523,6 +1533,9 @@ Result<Sequence> Evaluator::EvalCopy(const Expr& expr, const DynEnv& env) {
 }
 
 Result<Sequence> Evaluator::EvalSnap(const Expr& expr, const DynEnv& env) {
+  // Scope-entry edge: a fault here fails the snap before its Δ exists,
+  // so the stack stays balanced and the store untouched.
+  XQB_FAILPOINT("snap.push");
   // Section 4.1: push a fresh Δ, evaluate the scope, pop and apply.
   snap_stack_.emplace_back();
   ExecStats* stats = options_.stats;
@@ -1536,6 +1549,9 @@ Result<Sequence> Evaluator::EvalSnap(const Expr& expr, const DynEnv& env) {
   UpdateList delta = std::move(snap_stack_.back());
   snap_stack_.pop_back();
   if (!value.ok()) return value.status();
+  // Scope-close edge: the Δ is popped but nothing applied yet; a fault
+  // here discards it whole (store exactly as before the snap).
+  XQB_FAILPOINT("snap.apply");
   ApplyMode mode = options_.default_snap_mode;
   switch (expr.snap_mode) {
     case SnapMode::kDefault:

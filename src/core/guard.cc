@@ -117,6 +117,13 @@ bool ExecGuard::Trip(Status status) {
 }
 
 bool ExecGuard::TripStoreGrowth() {
+  if (gauge_->injected.load(std::memory_order_relaxed)) {
+    // A simulated allocation failure (fail point "store.alloc"): report
+    // without allocation counts so the error identity is byte-identical
+    // at every thread count.
+    return Trip(Status::ResourceExhausted(
+        "store allocation failed (injected fault at store.alloc)"));
+  }
   return Trip(Status::ResourceExhausted(
       "store growth budget (" +
       std::to_string(gauge_->limit.load(std::memory_order_relaxed)) +

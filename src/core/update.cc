@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/failpoint.h"
+
 namespace xqb {
 
 const char* InsertAnchorToString(InsertAnchor anchor) {
@@ -109,6 +111,40 @@ std::vector<const UpdateRequest*> UpdateList::Flatten() const {
     stack.push_back(node->left.get());
   }
   return out;
+}
+
+Status UpdateList::CheckWellFormed() const {
+  if (root_ == nullptr) return Status::OK();
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->left == nullptr) {
+      if (node->right != nullptr) {
+        return Status::Internal(
+            "update-list rope: leaf with a right child");
+      }
+      if (node->count != 1) {
+        return Status::Internal("update-list rope: leaf count " +
+                                std::to_string(node->count));
+      }
+      continue;
+    }
+    if (node->right == nullptr) {
+      return Status::Internal(
+          "update-list rope: internal node missing its right child");
+    }
+    if (node->count != node->left->count + node->right->count) {
+      return Status::Internal(
+          "update-list rope: internal count " +
+          std::to_string(node->count) + " != " +
+          std::to_string(node->left->count) + " + " +
+          std::to_string(node->right->count));
+    }
+    stack.push_back(node->right.get());
+    stack.push_back(node->left.get());
+  }
+  return Status::OK();
 }
 
 const char* ApplyModeToString(ApplyMode mode) {
@@ -235,6 +271,10 @@ Status ApplyUpdateList(Store* store, const UpdateList& delta, ApplyMode mode,
   std::vector<const UpdateRequest*> requests = delta.Flatten();
   XQB_RETURN_IF_ERROR(OrderRequests(mode, seed, store, &requests));
   for (const UpdateRequest* request : requests) {
+    // Non-atomic apply: a fault here leaves all prior requests applied,
+    // exactly like a real per-request failure (the paper does not
+    // require atomicity of update application).
+    XQB_FAILPOINT("update.apply.request");
     XQB_RETURN_IF_ERROR(ApplyUpdateRequest(store, *request));
   }
   return Status::OK();
@@ -246,11 +286,25 @@ Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
   XQB_RETURN_IF_ERROR(OrderRequests(mode, seed, store, &requests));
   std::vector<UndoEntry> log;
   for (const UpdateRequest* request : requests) {
+    // Pre-apply edge of request i: everything up to i-1 is applied and
+    // must roll back cleanly.
+    if (XQB_FAILPOINT_FIRED("update.atomic.apply")) {
+      Rollback(store, log);
+      XQB_FAILPOINT("update.atomic.after-rollback");
+      return FailpointError("update.atomic.apply");
+    }
     RecordUndo(*store, *request, &log);
     Status st = ApplyUpdateRequest(store, *request);
     if (!st.ok()) {
       Rollback(store, log);
+      XQB_FAILPOINT("update.atomic.after-rollback");
       return st;
+    }
+    // Post-apply edge of request i: i itself must roll back too.
+    if (XQB_FAILPOINT_FIRED("update.atomic.applied")) {
+      Rollback(store, log);
+      XQB_FAILPOINT("update.atomic.after-rollback");
+      return FailpointError("update.atomic.applied");
     }
   }
   return Status::OK();
@@ -259,6 +313,9 @@ Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
 Status VerifyConflictFree(
     const std::vector<const UpdateRequest*>& requests,
     const Store* store) {
+  // Conflict verification runs before anything is applied, so a fault
+  // here must leave the store untouched.
+  XQB_FAILPOINT("update.conflict.verify");
   // Hash table 1, keyed by node id: rename targets and parent-link
   // writes (deleted / inserted-somewhere). Hash table 2, keyed by the
   // sibling slot (parent, anchor) an insert writes.

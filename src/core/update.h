@@ -127,6 +127,13 @@ class UpdateList {
   /// Flattens into application order. Iterative to support deep lists.
   std::vector<const UpdateRequest*> Flatten() const;
 
+  /// Audits the concat tree's structural invariants: every internal
+  /// node has both children and a count equal to the sum of theirs;
+  /// every leaf counts 1. Iterative; O(size). Part of the store/Δ
+  /// integrity audit the chaos harness runs after injected failures.
+  /// Returns kInternal naming the first violated invariant.
+  Status CheckWellFormed() const;
+
  private:
   struct Node {
     explicit Node(UpdateRequest r)

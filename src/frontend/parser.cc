@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "base/failpoint.h"
 #include "base/string_util.h"
 #include "frontend/lexer.h"
 
@@ -1564,6 +1565,7 @@ class Parser {
 
 Result<Program> ParseProgram(std::string_view input,
                              const ExecLimits& limits) {
+  XQB_FAILPOINT("query.parse");
   Parser parser(input, limits.max_expr_nesting);
   return parser.ParseProgram();
 }

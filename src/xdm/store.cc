@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/failpoint.h"
+
 namespace xqb {
 
 const char* NodeKindToString(NodeKind kind) {
@@ -30,6 +32,16 @@ Store::~Store() {
 }
 
 NodeId Store::Allocate(NodeKind kind) {
+  // Node constructors cannot fail by contract, so a simulated
+  // allocation failure reports through the governor instead: firing
+  // trips the run's allocation gauge, which surfaces as
+  // kResourceExhausted at the next guard check with the usual
+  // no-partial-Δ unwind. Without an attached gauge (no governed run in
+  // progress) the fired point is a no-op.
+  if (XQB_FAILPOINT_FIRED("store.alloc") && gauge_ != nullptr) {
+    gauge_->injected.store(true, std::memory_order_relaxed);
+    gauge_->tripped.store(true, std::memory_order_relaxed);
+  }
   if (gauge_ != nullptr) {
     int64_t allocated =
         gauge_->allocated.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -455,6 +467,131 @@ NodeId Store::DeepCopy(NodeId node) {
     Rec(copy).children.push_back(child_copy);
   }
   return copy;
+}
+
+Status Store::CheckIntegrity() const {
+  const size_t slots = slot_count_.load(std::memory_order_acquire);
+  auto fail = [](const std::string& what) {
+    return Status::Internal("store integrity: " + what);
+  };
+  auto id_str = [](NodeId n) { return std::to_string(n); };
+
+  // Free-list snapshot: membership bitmap + duplicate detection.
+  std::vector<char> on_free_list(slots, 0);
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    for (NodeId id : free_list_) {
+      if (id >= slots) {
+        return fail("free-list id " + id_str(id) + " beyond slot count");
+      }
+      if (on_free_list[id]) {
+        return fail("free-list id " + id_str(id) + " listed twice");
+      }
+      on_free_list[id] = 1;
+    }
+  }
+
+  size_t alive = 0;
+  for (NodeId id = 0; id < slots; ++id) {
+    const NodeRecord& rec = Rec(id);
+    if (!rec.alive) {
+      if (!on_free_list[id]) {
+        return fail("dead slot " + id_str(id) + " missing from free list");
+      }
+      continue;
+    }
+    ++alive;
+    if (on_free_list[id]) {
+      return fail("alive node " + id_str(id) + " on the free list");
+    }
+
+    // Parent link symmetry: the parent is alive, of a kind that can
+    // own this node, and lists it exactly once in the right list.
+    if (rec.parent != kInvalidNode) {
+      if (rec.parent >= slots || !Rec(rec.parent).alive) {
+        return fail("node " + id_str(id) + " has dangling parent " +
+                    id_str(rec.parent));
+      }
+      const NodeRecord& prec = Rec(rec.parent);
+      const bool is_attr = rec.kind == NodeKind::kAttribute;
+      if (is_attr && prec.kind != NodeKind::kElement) {
+        return fail("attribute " + id_str(id) + " parented by a " +
+                    NodeKindToString(prec.kind) + " node");
+      }
+      if (!is_attr && prec.kind != NodeKind::kElement &&
+          prec.kind != NodeKind::kDocument) {
+        return fail("node " + id_str(id) + " parented by a " +
+                    NodeKindToString(prec.kind) + " node");
+      }
+      const std::vector<NodeId>& list =
+          is_attr ? prec.attributes : prec.children;
+      if (std::count(list.begin(), list.end(), id) != 1) {
+        return fail("node " + id_str(id) + " appears " +
+                    std::to_string(std::count(list.begin(), list.end(), id)) +
+                    " times in parent " + id_str(rec.parent) + "'s list");
+      }
+    }
+
+    // Child and attribute lists: backlinks, kinds, duplicates.
+    for (NodeId child : rec.children) {
+      if (child >= slots || !Rec(child).alive) {
+        return fail("node " + id_str(id) + " lists dangling child " +
+                    id_str(child));
+      }
+      const NodeRecord& crec = Rec(child);
+      if (crec.kind == NodeKind::kAttribute ||
+          crec.kind == NodeKind::kDocument) {
+        return fail("node " + id_str(id) + " lists a " +
+                    NodeKindToString(crec.kind) + " node as child");
+      }
+      if (crec.parent != id) {
+        return fail("child " + id_str(child) + " of node " + id_str(id) +
+                    " points back to " + id_str(crec.parent));
+      }
+    }
+    std::unordered_set<QNameId> attr_names;
+    for (NodeId attr : rec.attributes) {
+      if (attr >= slots || !Rec(attr).alive) {
+        return fail("node " + id_str(id) + " lists dangling attribute " +
+                    id_str(attr));
+      }
+      const NodeRecord& arec = Rec(attr);
+      if (arec.kind != NodeKind::kAttribute) {
+        return fail("node " + id_str(id) + " lists a " +
+                    NodeKindToString(arec.kind) + " node as attribute");
+      }
+      if (arec.parent != id) {
+        return fail("attribute " + id_str(attr) + " of node " + id_str(id) +
+                    " points back to " + id_str(arec.parent));
+      }
+      if (!attr_names.insert(arec.name).second) {
+        return fail("node " + id_str(id) + " carries duplicate attribute " +
+                    std::string(names_.NameOf(arec.name)));
+      }
+    }
+    if (rec.kind != NodeKind::kElement && rec.kind != NodeKind::kDocument &&
+        (!rec.children.empty() || !rec.attributes.empty())) {
+      return fail(std::string(NodeKindToString(rec.kind)) + " node " +
+                  id_str(id) + " owns children or attributes");
+    }
+
+    // Parent chains terminate (no cycles): a chain longer than the
+    // number of alive slots must revisit a node.
+    size_t hops = 0;
+    for (NodeId cur = rec.parent; cur != kInvalidNode;
+         cur = Rec(cur).parent) {
+      if (++hops > slots) {
+        return fail("parent chain from node " + id_str(id) + " cycles");
+      }
+    }
+  }
+
+  if (alive != live_count_.load(std::memory_order_acquire)) {
+    return fail("live_node_count " +
+                std::to_string(live_count_.load(std::memory_order_acquire)) +
+                " != " + std::to_string(alive) + " alive records");
+  }
+  return Status::OK();
 }
 
 size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {

@@ -73,6 +73,12 @@ class Store {
     std::atomic<int64_t> allocated{0};  ///< Nodes allocated while attached.
     std::atomic<int64_t> limit{-1};     ///< < 0 disables the check.
     std::atomic<bool> tripped{false};
+    /// Set alongside `tripped` when the "store.alloc" fail point fired
+    /// (a simulated allocation failure, not a real budget trip): the
+    /// governor then reports a deterministic message with no allocation
+    /// counts, keeping the injected error identity independent of the
+    /// thread count.
+    std::atomic<bool> injected{false};
   };
 
   Store() = default;
@@ -201,6 +207,26 @@ class Store {
   /// during a parallel region (serial phases only).
   size_t GarbageCollect(const std::vector<NodeId>& roots);
 
+  // ---- Integrity auditing (chaos harness, docs/ROBUSTNESS.md) ----
+
+  /// Full-store invariant audit: every alive record's parent/child and
+  /// parent/attribute links are symmetric (each child appears exactly
+  /// once in its parent's list and points back), child/attribute lists
+  /// reference only alive records of legal kinds, no parent chain
+  /// cycles, no duplicate attribute names, the free list holds exactly
+  /// the non-alive slots (each once), and live_node_count() matches the
+  /// records. O(nodes); intended for tests and post-failure audits, not
+  /// hot paths. Must not run concurrently with mutation or allocation.
+  /// Returns kInternal naming the first violated invariant.
+  Status CheckIntegrity() const;
+
+  /// Test-only: severs `node`'s parent backlink while leaving it in its
+  /// parent's child/attribute list — the asymmetric state CheckIntegrity
+  /// must detect. Never called outside tests.
+  void CorruptParentLinkForTest(NodeId node) {
+    Rec(node).parent = kInvalidNode;
+  }
+
   /// Number of live node records.
   size_t live_node_count() const {
     return live_count_.load(std::memory_order_acquire);
@@ -258,7 +284,8 @@ class Store {
   std::unique_ptr<std::atomic<NodeRecord*>[]> chunks_{
       new std::atomic<NodeRecord*>[kMaxChunks]()};
   std::atomic<size_t> slot_count_{0};
-  std::mutex alloc_mu_;  // guards free_list_ and chunk installation
+  /// Mutable: CheckIntegrity (const) snapshots free_list_ under it.
+  mutable std::mutex alloc_mu_;  // guards free_list_ and chunk installation
   std::vector<NodeId> free_list_;
   std::atomic<size_t> live_count_{0};
   std::atomic<uint64_t> version_{0};

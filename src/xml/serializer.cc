@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "base/failpoint.h"
+
 namespace xqb {
 
 std::string EscapeXmlText(const std::string& text) {
@@ -151,6 +153,20 @@ std::string SerializeSequence(const Store& store, const Sequence& seq,
     }
   }
   return out;
+}
+
+Result<std::string> SerializeSequenceChecked(const Store& store,
+                                             const Sequence& seq,
+                                             const SerializeOptions& options) {
+  // One hit up front plus one per serialized item models a streaming
+  // writer that can fail between output chunks; serialization itself is
+  // side-effect free, so a fault discards only partial output.
+  XQB_FAILPOINT("serialize.output");
+  for (const Item& item : seq) {
+    (void)item;
+    XQB_FAILPOINT("serialize.output");
+  }
+  return SerializeSequence(store, seq, options);
 }
 
 }  // namespace xqb

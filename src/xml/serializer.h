@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "base/result.h"
 #include "xdm/item.h"
 #include "xdm/store.h"
 
@@ -23,6 +24,14 @@ std::string SerializeNode(const Store& store, NodeId node,
 /// nodes as XML, atomics via fn:string, space-separated atomics.
 std::string SerializeSequence(const Store& store, const Sequence& seq,
                               const SerializeOptions& options = {});
+
+/// SerializeSequence with the output-production failure edge surfaced
+/// as a Status (fail point "serialize.output"; a real engine would
+/// fail here on writer errors). Failure-hardened callers — xqb_run,
+/// the chaos harness — use this variant; the plain one cannot fail.
+Result<std::string> SerializeSequenceChecked(
+    const Store& store, const Sequence& seq,
+    const SerializeOptions& options = {});
 
 /// Escapes &<> (and " in attribute context) for XML output.
 std::string EscapeXmlText(const std::string& text);

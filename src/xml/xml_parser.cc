@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/failpoint.h"
 #include "base/string_util.h"
 
 namespace xqb {
@@ -203,6 +204,9 @@ class XmlScanner {
   }
 
   Result<NodeId> ParseElement() {
+    // Per-element edge: a mid-document fault abandons a partially built
+    // tree (parentless, unregistered — reclaimed by the next GC).
+    XQB_FAILPOINT("xml.parse");
     // Recursion guard against adversarially deep documents.
     const int max_depth = options_.max_nesting_depth > 0
                               ? options_.max_nesting_depth

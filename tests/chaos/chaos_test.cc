@@ -1,0 +1,335 @@
+// Chaos harness for the fail-point subsystem (docs/ROBUSTNESS.md):
+// enumerates every registered fail point against a corpus of snap-heavy
+// queries at threads=1 and threads=8 and asserts, for each combination:
+//
+//   1. the injected fault surfaces as a clean Status (kFaultInjected,
+//      or kResourceExhausted for the simulated-OOM store.alloc point) —
+//      never a crash, hang, or success-with-corruption;
+//   2. the store passes Store::CheckIntegrity() afterwards;
+//   3. for points whose catalog entry promises preserves_documents, the
+//      registered document is never left with a torn Δ: it serializes
+//      byte-identically to either its pre-run state or the fault-free
+//      final state (a scope that closed before the fault legitimately
+//      committed — e.g. an inner snap's Δ applies before a fault at the
+//      top-level scope's close — but no scope's Δ is ever partial);
+//   4. the error identity (code + message) is the same at every thread
+//      count — except pool.* points, which by construction only exist
+//      once a parallel region is entered (threads > 1).
+//
+// Also covers the fail-point policy engine itself (nth / every / prob
+// determinism, spec parsing) and the ExecOptions::failpoints plumbing.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/failpoint.h"
+#include "core/engine.h"
+#include "xml/serializer.h"
+
+namespace xqb {
+namespace {
+
+constexpr const char* kDoc =
+    "<r>"
+    "<item id='a'><v>1</v></item>"
+    "<item id='b'><v>2</v></item>"
+    "<item id='c'><v>3</v></item>"
+    "<item id='d'><v>4</v></item>"
+    "<item id='e'><v>5</v></item>"
+    "<item id='f'><v>6</v></item>"
+    "</r>";
+
+struct ChaosQuery {
+  const char* name;
+  const char* text;
+  ApplyMode mode;
+};
+
+// Snap-heavy corpus: an ordered snap loop, a mixed-kind `snap atomic`
+// block, a conflict-free Δ under conflict-detection mode, and a
+// parallel-eligible effect-free snap body.
+const ChaosQuery kQueries[] = {
+    {"snap-insert-loop",
+     "snap { for $i in 1 to 12 "
+     "       return insert { <e>{$i}</e> } into { doc('d')/r } }",
+     ApplyMode::kOrdered},
+    {"snap-atomic-mixed",
+     "let $r := doc('d')/r return snap atomic { "
+     "  insert { <n1/> } into { $r }, "
+     "  insert { <n2/> } into { $r/item[1] }, "
+     "  rename { $r/item[2] } to { \"renamed\" }, "
+     "  delete { $r/item[3] } }",
+     ApplyMode::kOrdered},
+    {"conflict-detection-free",
+     "snap { for $x in doc('d')/r/item "
+     "       return insert { <t/> } into { $x } }",
+     ApplyMode::kConflictDetection},
+    {"parallel-eligible",
+     "snap { for $x in doc('d')/r/item "
+     "       return insert { <sum>{sum(for $j in 1 to 30 "
+     "           return $j * number($x/v))}</sum> } into { $x } }",
+     ApplyMode::kOrdered},
+};
+
+/// The document exactly as a fresh load serializes it — the byte-level
+/// baseline that preserves_documents points must restore.
+std::string BaselineDoc() {
+  Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return SerializeNode(engine.store(), *doc);
+}
+
+struct ChaosOutcome {
+  Status status;            ///< Execute's status.
+  Status serialize_status;  ///< SerializeChecked's status (success runs).
+  std::string result;       ///< Serialized result when both succeeded.
+  std::string doc_after;    ///< doc('d') after the run, points disarmed.
+  Status integrity;         ///< Store::CheckIntegrity after the run.
+};
+
+ChaosOutcome RunCase(const ChaosQuery& query, const std::string& spec,
+                     int threads) {
+  Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  ExecOptions options;
+  options.default_snap_mode = query.mode;
+  options.threads = threads;
+  options.failpoints = spec;
+  ChaosOutcome out;
+  auto result = engine.Execute(query.text, options);
+  if (result.ok()) {
+    auto serialized = engine.SerializeChecked(*result);
+    if (serialized.ok()) {
+      out.result = *serialized;
+    } else {
+      out.serialize_status = serialized.status();
+    }
+  } else {
+    out.status = result.status();
+  }
+  // Disarm before auditing, so the audit itself runs fault-free.
+  FailpointRegistry::Global().Clear();
+  out.integrity = engine.store().CheckIntegrity();
+  out.doc_after = SerializeNode(engine.store(), *doc);
+  return out;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FailpointRegistry::kCompiledIn) {
+      GTEST_SKIP() << "fail points compiled out (-DXQB_FAILPOINTS=OFF)";
+    }
+    FailpointRegistry::Global().Clear();
+  }
+  void TearDown() override { FailpointRegistry::Global().Clear(); }
+};
+
+TEST_F(ChaosTest, EveryFailpointEveryQuerySurfacesCleanly) {
+  const std::string baseline = BaselineDoc();
+  const char* kPolicies[] = {"nth:1", "nth:3", "every:2"};
+  for (const FailpointInfo& fp : FailpointCatalog()) {
+    for (const ChaosQuery& query : kQueries) {
+      // The fault-free final state: the other legal document outcome
+      // besides the pristine baseline (scopes that closed before the
+      // fault committed their whole Δ).
+      const std::string applied = RunCase(query, "", 1).doc_after;
+      for (const char* policy : kPolicies) {
+        const std::string spec = std::string(fp.name) + "=" + policy;
+        SCOPED_TRACE(spec + " query=" + query.name);
+        ChaosOutcome outcomes[2] = {RunCase(query, spec, 1),
+                                    RunCase(query, spec, 8)};
+        for (const ChaosOutcome& out : outcomes) {
+          EXPECT_TRUE(out.integrity.ok()) << out.integrity;
+          if (!out.status.ok()) {
+            // The only legal failures are the injected fault itself and
+            // the governor surfacing the simulated OOM of store.alloc.
+            EXPECT_TRUE(out.status.code() == StatusCode::kFaultInjected ||
+                        out.status.code() == StatusCode::kResourceExhausted)
+                << out.status;
+            if (fp.preserves_documents) {
+              EXPECT_TRUE(out.doc_after == baseline ||
+                          out.doc_after == applied)
+                  << "fault at " << fp.name
+                  << " left a torn Δ in the document: " << out.doc_after;
+            }
+          }
+          if (!out.serialize_status.ok()) {
+            // Serialization faults never touch the store.
+            EXPECT_EQ(out.serialize_status.code(),
+                      StatusCode::kFaultInjected)
+                << out.serialize_status;
+            EXPECT_TRUE(out.integrity.ok());
+          }
+        }
+        // Error identity must not depend on the thread count. pool.*
+        // points are exempt: the edges they sit on only exist once a
+        // parallel region is entered, which threads=1 never does.
+        if (std::strncmp(fp.name, "pool.", 5) != 0) {
+          EXPECT_EQ(outcomes[0].status.code(), outcomes[1].status.code())
+              << "t1=" << outcomes[0].status
+              << " t8=" << outcomes[1].status;
+          EXPECT_EQ(outcomes[0].status.message(),
+                    outcomes[1].status.message());
+          EXPECT_EQ(outcomes[0].serialize_status,
+                    outcomes[1].serialize_status);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ChaosTest, PoolPointsFireOnlyInParallelRegionsAndCleanly) {
+  const std::string baseline = BaselineDoc();
+  for (const char* point : {"pool.spawn", "pool.join"}) {
+    const std::string spec = std::string(point) + "=nth:1";
+    SCOPED_TRACE(spec);
+    ChaosOutcome serial = RunCase(kQueries[3], spec, 1);
+    ChaosOutcome parallel = RunCase(kQueries[3], spec, 8);
+    // Serial evaluation never reaches the fan-out edges.
+    EXPECT_TRUE(serial.status.ok()) << serial.status;
+    // Parallel evaluation must surface the fault cleanly and keep the
+    // pending Δ unapplied (both pool points preserve documents).
+    ASSERT_FALSE(parallel.status.ok());
+    EXPECT_EQ(parallel.status.code(), StatusCode::kFaultInjected);
+    EXPECT_TRUE(parallel.integrity.ok()) << parallel.integrity;
+    EXPECT_EQ(parallel.doc_after, baseline);
+  }
+}
+
+TEST_F(ChaosTest, XmlParseFaultOnDocumentLoadIsClean) {
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Configure("xml.parse=nth:1").ok());
+  Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  FailpointRegistry::Global().Clear();
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kFaultInjected);
+  // The abandoned partial tree must not corrupt the store.
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+}
+
+TEST_F(ChaosTest, MidDocumentXmlParseFaultLeavesStoreConsistent) {
+  // nth:3 lands mid-document: elements 1 and 2 are already allocated
+  // and linked when element 3 faults.
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Configure("xml.parse=nth:3").ok());
+  Engine engine;
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  FailpointRegistry::Global().Clear();
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kFaultInjected);
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+  // The orphaned fragment is unreachable garbage; GC reclaims it.
+  EXPECT_GT(engine.CollectGarbage(), 0u);
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+}
+
+// ---- Policy engine ----
+
+TEST_F(ChaosTest, NthPolicyFiresExactlyOnce) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("snap.push=nth:2").ok());
+  EXPECT_FALSE(registry.ShouldFail("snap.push"));  // hit 1
+  EXPECT_TRUE(registry.ShouldFail("snap.push"));   // hit 2 fires
+  EXPECT_FALSE(registry.ShouldFail("snap.push"));  // hit 3: once only
+  EXPECT_FALSE(registry.ShouldFail("snap.push"));
+  EXPECT_EQ(registry.HitCount("snap.push"), 4);
+}
+
+TEST_F(ChaosTest, EveryPolicyFiresPeriodically) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("snap.push=every:3").ok());
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (registry.ShouldFail("snap.push")) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // hits 3, 6, 9
+}
+
+TEST_F(ChaosTest, ProbabilityPolicyIsDeterministicPerSeed) {
+  auto& registry = FailpointRegistry::Global();
+  auto draw = [&](const std::string& spec) {
+    EXPECT_TRUE(registry.Configure(spec).ok());
+    std::string pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern += registry.ShouldFail("snap.push") ? '1' : '0';
+    }
+    return pattern;
+  };
+  const std::string a = draw("snap.push=prob:0.5:7");
+  const std::string b = draw("snap.push=prob:0.5:7");
+  const std::string c = draw("snap.push=prob:0.5:8");
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fire pattern";
+  EXPECT_NE(a, c) << "different seeds should diverge";
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST_F(ChaosTest, ConfigureRejectsBadSpecs) {
+  auto& registry = FailpointRegistry::Global();
+  for (const char* bad :
+       {"no.such.point=nth:1", "snap.push=nth:0", "snap.push=nth:x",
+        "snap.push=every:0", "snap.push=prob:1.5", "snap.push=prob:-0.1",
+        "snap.push=banana", "=nth:1"}) {
+    Status st = registry.Configure(bad);
+    EXPECT_FALSE(st.ok()) << "accepted: " << bad;
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // A bad spec leaves the registry disarmed.
+  EXPECT_FALSE(registry.armed());
+}
+
+TEST_F(ChaosTest, BareNameMeansFireOnFirstHit) {
+  auto& registry = FailpointRegistry::Global();
+  ASSERT_TRUE(registry.Configure("snap.push").ok());
+  EXPECT_TRUE(registry.ShouldFail("snap.push"));
+  EXPECT_FALSE(registry.ShouldFail("snap.push"));
+}
+
+TEST_F(ChaosTest, ExecOptionsRejectsMalformedSpec) {
+  Engine engine;
+  ExecOptions options;
+  options.failpoints = "snap.push=nth:banana";
+  auto result = engine.Execute("1 + 1", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ChaosTest, InjectedErrorCarriesThePointName) {
+  Engine engine;
+  ExecOptions options;
+  options.failpoints = "snap.apply=nth:1";
+  auto result = engine.Execute("snap { 1 }", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFaultInjected);
+  EXPECT_EQ(result.status().message(), "injected fault at snap.apply");
+}
+
+TEST_F(ChaosTest, QueryParseFaultFiresThroughExecute) {
+  Engine engine;
+  ExecOptions options;
+  options.failpoints = "query.parse=nth:1";
+  auto result = engine.Execute("1 + 1", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFaultInjected);
+  EXPECT_EQ(result.status().message(), "injected fault at query.parse");
+}
+
+TEST_F(ChaosTest, CatalogIsNonEmptyAndWellFormed) {
+  const auto& catalog = FailpointCatalog();
+  ASSERT_GE(catalog.size(), 13u);
+  for (const FailpointInfo& fp : catalog) {
+    EXPECT_NE(fp.name, nullptr);
+    EXPECT_NE(fp.description, nullptr);
+    EXPECT_GT(std::strlen(fp.name), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace xqb

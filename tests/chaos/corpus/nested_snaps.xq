@@ -1,0 +1,4 @@
+snap {
+  for $x in doc("d")/r/item
+  return snap { insert { <tick/> } into { $x } }
+}

@@ -1,0 +1,2 @@
+snap { for $x in doc("d")/r/item
+       return insert { <sum>{sum(for $j in 1 to 30 return $j * number($x/v))}</sum> } into { $x } }

@@ -1,0 +1,7 @@
+let $r := doc("d")/r return snap atomic {
+  insert { <n1/> } into { $r },
+  insert { <n2/> } into { $r/item[1] },
+  rename { $r/item[2] } to { "renamed" },
+  replace { $r/item[3]/v } with { <v>30</v> },
+  delete { $r/item[4] }
+}

@@ -1,0 +1,1 @@
+snap { for $i in 1 to 12 return insert { <e>{$i}</e> } into { doc("d")/r } }

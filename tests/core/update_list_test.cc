@@ -90,6 +90,29 @@ TEST(UpdateList, TreeShapedConcatOrder) {
   EXPECT_EQ(TargetsOf(all), (std::vector<NodeId>{1, 2, 3, 4, 5}));
 }
 
+TEST(UpdateList, CheckWellFormedHoldsAcrossRopeShapes) {
+  // The rope auditor (docs/ROBUSTNESS.md §3) must accept every shape
+  // the public API can build.
+  EXPECT_TRUE(UpdateList().CheckWellFormed().ok());
+  EXPECT_TRUE(UpdateList::Single(Del(1)).CheckWellFormed().ok());
+
+  UpdateList appended;
+  for (NodeId i = 0; i < 50; ++i) appended.Append(Del(i));
+  EXPECT_TRUE(appended.CheckWellFormed().ok());
+
+  UpdateList l12 = UpdateList::Concat(UpdateList::Single(Del(1)),
+                                      UpdateList::Single(Del(2)));
+  UpdateList tree = UpdateList::Concat(l12, appended);
+  EXPECT_TRUE(tree.CheckWellFormed().ok());
+  EXPECT_TRUE(UpdateList::Concat(tree, UpdateList()).CheckWellFormed().ok());
+
+  // Sharing a prefix must keep both ropes well-formed.
+  UpdateList shared = tree;
+  shared.Append(Del(99));
+  EXPECT_TRUE(tree.CheckWellFormed().ok());
+  EXPECT_TRUE(shared.CheckWellFormed().ok());
+}
+
 TEST(UpdateRequest, DebugStrings) {
   EXPECT_EQ(Del(7).DebugString(), "delete(7)");
   EXPECT_EQ(UpdateRequest::Rename(3, 9).DebugString(), "rename(3,9)");

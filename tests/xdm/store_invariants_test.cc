@@ -87,13 +87,47 @@ TEST_P(StoreInvariantsTest, RandomUpdateProgramsPreserveInvariants) {
     // fine as long as the store stays structurally sound.
     (void)result;
     CheckStoreInvariants(engine.store());
+    // The engine's own auditor must agree with the walker above.
+    Status audit = engine.store().CheckIntegrity();
+    ASSERT_TRUE(audit.ok()) << audit;
   }
   engine.CollectGarbage();
   CheckStoreInvariants(engine.store());
+  Status audit = engine.store().CheckIntegrity();
+  ASSERT_TRUE(audit.ok()) << audit;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreInvariantsTest,
                          ::testing::Range<uint64_t>(0, 12));
+
+TEST(StoreInvariants, CheckIntegrityPassesOnFreshAndMutatedStores) {
+  Engine engine;
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+  ASSERT_TRUE(
+      engine.LoadDocumentFromString("d", "<r><a k=\"1\"/><b/></r>").ok());
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+  ASSERT_TRUE(
+      engine.Execute("snap delete { doc('d')/r/b }").ok());
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+  engine.CollectGarbage();
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+}
+
+TEST(StoreInvariants, CheckIntegrityReportsPlantedCorruption) {
+  // Detach a child behind the auditor's back: the parent still lists
+  // it, but its parent link is gone — exactly the asymmetric state a
+  // buggy rollback would leave.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r><a/></r>").ok());
+  auto child = engine.Execute("doc('d')/r/a");
+  ASSERT_TRUE(child.ok());
+  NodeId a = (*child)[0].node();
+  engine.store().CorruptParentLinkForTest(a);
+  Status audit = engine.store().CheckIntegrity();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_EQ(audit.code(), StatusCode::kInternal);
+  EXPECT_NE(audit.message().find("store integrity"), std::string::npos);
+}
 
 TEST(StoreInvariants, InsertingSameVariableTwiceMakesTwoCopies) {
   // The normalization copy is what maintains the single-parent

@@ -93,11 +93,32 @@ def fold(out, entry):
 
 
 def load(path):
-    with open(path) as f:
-        report = json.load(f)
+    """Loads a merged report, dying with a clear message (not a
+    traceback) on a missing, unreadable, or corrupt file."""
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: benchmark report {path!r} does not exist; "
+                 "run tools/run_benchmarks.py first (CI uploads it as "
+                 "the BENCH_*.json artifact)")
+    except OSError as e:
+        sys.exit(f"error: cannot read benchmark report {path!r}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: benchmark report {path!r} is not valid JSON "
+                 f"({e}); was the run interrupted? Regenerate it with "
+                 "tools/run_benchmarks.py")
+    if not isinstance(report, dict):
+        sys.exit(f"error: benchmark report {path!r} is valid JSON but "
+                 "not a report object (expected google-benchmark "
+                 "merged output with a 'benchmarks' array)")
     out = {}
     for entry in report.get("benchmarks", []):
-        fold(out, entry)
+        try:
+            fold(out, entry)
+        except (KeyError, TypeError, ValueError) as e:
+            sys.exit(f"error: malformed benchmark entry in {path!r} "
+                     f"({e}): {json.dumps(entry)[:200]}")
     return out
 
 
@@ -127,12 +148,24 @@ def retry_suspects(current, suspects, build_dir, min_time, repetitions):
                f"--benchmark_repetitions={max(repetitions, 5)}",
                f"--benchmark_filter={name_filter(names)}"]
         print(f"[bench] retrying {len(names)} suspect(s) in {binary}")
-        proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=False)
+        try:
+            proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                                  check=False)
+        except OSError as e:
+            print(f"warning: cannot execute {cmd[0]} ({e}); "
+                  "keeping original timings")
+            continue
         if proc.returncode != 0:
             print(f"warning: retry in {binary} exited with "
                   f"{proc.returncode}; keeping original timings")
             continue
-        for entry in json.loads(proc.stdout).get("benchmarks", []):
+        try:
+            report = json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            print(f"warning: retry in {binary} produced invalid JSON "
+                  f"({e}); keeping original timings")
+            continue
+        for entry in report.get("benchmarks", []):
             fold(current, entry)
 
 

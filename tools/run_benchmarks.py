@@ -46,11 +46,20 @@ def run_one(path, min_time, repetitions, bench_filter, stats=False):
         # Stats-aware benchmarks (bench_q8_join) collect ExecStats and
         # embed per-phase times as phase_*_ms counters in their JSON.
         env["XQB_BENCH_STATS"] = "1"
-    proc = subprocess.run(cmd, stdout=subprocess.PIPE, env=env,
-                          check=False)
+    try:
+        proc = subprocess.run(cmd, stdout=subprocess.PIPE, env=env,
+                              check=False)
+    except OSError as e:
+        sys.exit(f"error: cannot execute {path}: {e}")
     if proc.returncode != 0:
         sys.exit(f"error: {path} exited with {proc.returncode}")
-    return json.loads(proc.stdout)
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {os.path.basename(path)} produced invalid "
+                 f"JSON ({e}); first bytes: "
+                 f"{proc.stdout[:120]!r} — did the binary crash "
+                 "mid-report or print to stdout?")
 
 
 def main():
@@ -81,11 +90,27 @@ def main():
     merged = {"context": None, "benchmarks": []}
     previous = {}
     if args.fold and os.path.exists(args.out):
-        with open(args.out) as f:
-            prior = json.load(f)
+        try:
+            with open(args.out) as f:
+                prior = json.load(f)
+        except OSError as e:
+            sys.exit(f"error: cannot read prior --fold file "
+                     f"{args.out!r}: {e}")
+        except json.JSONDecodeError as e:
+            sys.exit(f"error: prior --fold file {args.out!r} is not "
+                     f"valid JSON ({e}); delete it to start a fresh "
+                     "fold, or point --out elsewhere")
+        if not isinstance(prior, dict):
+            sys.exit(f"error: prior --fold file {args.out!r} is not a "
+                     "report object; delete it to start a fresh fold")
         merged["context"] = prior.get("context")
         for entry in prior.get("benchmarks", []):
-            previous[entry.get("run_name", entry["name"])] = entry
+            key = entry.get("run_name") or entry.get("name")
+            if key is None:
+                sys.exit(f"error: prior --fold file {args.out!r} has an "
+                         "entry with neither run_name nor name; delete "
+                         "it to start a fresh fold")
+            previous[key] = entry
     for path in find_bench_binaries(args.build_dir):
         name = os.path.basename(path)
         print(f"[bench] {name}", flush=True)
@@ -124,9 +149,12 @@ def main():
     if args.fold:
         merged["benchmarks"] = list(previous.values())
 
-    with open(args.out, "w") as f:
-        json.dump(merged, f, indent=2)
-        f.write("\n")
+    try:
+        with open(args.out, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
+    except OSError as e:
+        sys.exit(f"error: cannot write {args.out!r}: {e}")
     print(f"[bench] wrote {len(merged['benchmarks'])} entries to {args.out}")
 
 

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Chaos driver: sweep every fail point against the chaos query corpus.
+
+For each registered fail point (enumerated live from
+`xqb_run --list-failpoints`), each corpus query, each seed, and each
+thread count, runs
+
+    xqb_run --failpoints <point>=prob:0.5:<seed> --threads <t> \
+            --doc d=tests/chaos/corpus/data.xml <query.xq>
+
+and asserts the process exits through the documented exit-code contract
+(0-9; see docs/ROBUSTNESS.md) — never a signal, never an undocumented
+code. Deterministic policies (nth:1) additionally assert run-to-run and
+cross-thread-count reproducibility of the full error identity (exit
+code + stderr); pool.* points are exempt from the cross-thread check
+because their edges only exist in parallel regions.
+
+Exit status: 0 when every combination behaved, 1 on any violation
+(each printed with a copy-pasteable repro command), 2 on usage errors.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS_DIR = os.path.join(REPO_ROOT, "tests", "chaos", "corpus")
+
+# The documented xqb_run exit-code contract (examples/xqb_run.cpp).
+DOCUMENTED_EXIT_CODES = set(range(0, 10))
+
+
+def find_binary(build_dir):
+    for candidate in (
+        os.path.join(build_dir, "examples", "xqb_run"),
+        os.path.join(build_dir, "xqb_run"),
+    ):
+        if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+            return candidate
+    sys.exit(
+        f"error: xqb_run not found under {build_dir!r}; build it first "
+        "(cmake --build <build-dir> --target xqb_run)"
+    )
+
+
+def list_failpoints(binary):
+    proc = subprocess.run(
+        [binary, "--list-failpoints"], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            "error: --list-failpoints failed "
+            f"(exit {proc.returncode}): {proc.stderr.strip()}"
+        )
+    points = []
+    compiled_out = False
+    for line in proc.stdout.splitlines():
+        if line.startswith("("):
+            compiled_out = True
+            continue
+        fields = line.split()
+        if fields:
+            points.append(fields[0])
+    return points, compiled_out
+
+
+def run_one(binary, query, spec, threads, timeout):
+    cmd = [
+        binary,
+        "--failpoints",
+        spec,
+        "--threads",
+        str(threads),
+        "--doc",
+        "d=" + os.path.join(CORPUS_DIR, "data.xml"),
+        query,
+    ]
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout
+        )
+    except subprocess.TimeoutExpired:
+        return None, "", cmd  # hang
+    return proc.returncode, proc.stderr, cmd
+
+
+def repro(cmd):
+    return " ".join(cmd)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        help="probability-policy seeds per (point, query) pair",
+    )
+    parser.add_argument(
+        "--threads",
+        default="1,8",
+        help="comma-separated thread counts to sweep (default: 1,8)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        help="per-run hang timeout in seconds",
+    )
+    args = parser.parse_args()
+
+    try:
+        thread_counts = [int(t) for t in args.threads.split(",") if t]
+    except ValueError:
+        sys.exit(f"error: bad --threads value {args.threads!r}")
+    if args.seeds < 1:
+        sys.exit("error: --seeds must be >= 1")
+
+    binary = find_binary(args.build_dir)
+    points, compiled_out = list_failpoints(binary)
+    if compiled_out:
+        print(
+            "fail points are compiled out in this build "
+            "(-DXQB_FAILPOINTS=OFF); nothing to chaos-test"
+        )
+        return 0
+    if not points:
+        sys.exit("error: --list-failpoints reported an empty catalog")
+
+    queries = sorted(
+        os.path.join(CORPUS_DIR, f)
+        for f in os.listdir(CORPUS_DIR)
+        if f.endswith(".xq")
+    )
+    if not queries:
+        sys.exit(f"error: no .xq corpus files in {CORPUS_DIR}")
+
+    failures = []
+    runs = 0
+
+    def check(rc, stderr, cmd, what):
+        nonlocal runs
+        runs += 1
+        if rc is None:
+            failures.append(f"HANG (> {args.timeout}s): {repro(cmd)}")
+        elif rc < 0:
+            failures.append(
+                f"SIGNAL {-rc} ({what}): {repro(cmd)}\n  stderr: "
+                f"{stderr.strip()}"
+            )
+        elif rc not in DOCUMENTED_EXIT_CODES:
+            failures.append(
+                f"UNDOCUMENTED EXIT {rc} ({what}): {repro(cmd)}\n"
+                f"  stderr: {stderr.strip()}"
+            )
+
+    for point in points:
+        for query in queries:
+            # Probability sweep: seeded, so every failure reproduces.
+            for seed in range(args.seeds):
+                spec = f"{point}=prob:0.5:{seed}"
+                for threads in thread_counts:
+                    rc, err, cmd = run_one(
+                        binary, query, spec, threads, args.timeout
+                    )
+                    check(rc, err, cmd, "prob sweep")
+
+            # Deterministic first-hit: identical identity across repeat
+            # runs and (for non-pool points) across thread counts.
+            spec = f"{point}=nth:1"
+            outcomes = {}
+            for threads in thread_counts:
+                rc1, err1, cmd = run_one(
+                    binary, query, spec, threads, args.timeout
+                )
+                check(rc1, err1, cmd, "nth run 1")
+                rc2, err2, _ = run_one(
+                    binary, query, spec, threads, args.timeout
+                )
+                check(rc2, err2, cmd, "nth run 2")
+                if (rc1, err1) != (rc2, err2):
+                    failures.append(
+                        f"NONDETERMINISTIC across repeat runs: "
+                        f"{repro(cmd)}\n  run1: exit={rc1} "
+                        f"{err1.strip()!r}\n  run2: exit={rc2} "
+                        f"{err2.strip()!r}"
+                    )
+                outcomes[threads] = (rc1, err1, cmd)
+            if not point.startswith("pool.") and len(outcomes) > 1:
+                baseline = None
+                for threads, (rc, err, cmd) in sorted(outcomes.items()):
+                    if rc is None:
+                        continue
+                    if baseline is None:
+                        baseline = (threads, rc, err)
+                    elif (rc, err) != baseline[1:]:
+                        failures.append(
+                            "ERROR IDENTITY DEPENDS ON THREAD COUNT "
+                            f"for {point}: threads={baseline[0]} gives "
+                            f"exit={baseline[1]} {baseline[2].strip()!r} "
+                            f"but threads={threads} gives exit={rc} "
+                            f"{err.strip()!r}\n  repro: {repro(cmd)}"
+                        )
+
+    print(f"chaos sweep: {runs} runs, {len(points)} fail points, "
+          f"{len(queries)} queries, {args.seeds} seeds, "
+          f"threads={thread_counts}")
+    if failures:
+        print(f"\n{len(failures)} FAILURE(S):", file=sys.stderr)
+        for failure in failures:
+            print("  " + failure.replace("\n", "\n  "), file=sys.stderr)
+        return 1
+    print("all clear: every injected fault surfaced as a documented, "
+          "deterministic exit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
