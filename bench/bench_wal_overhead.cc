@@ -1,0 +1,112 @@
+// Cost of the durable store (docs/ROBUSTNESS.md "Durability"): the same
+// snap-heavy workload with no durability open, and with the write-ahead
+// log enabled under each sync mode. sync=off pays only the in-memory
+// delta capture + buffered write — the regression gate holds it at
+// parity with the no-durability baseline. sync=batch adds one fsync per
+// 16 records; sync=always fsyncs every atomic apply and is dominated by
+// device sync latency, so its absolute number is environment noise and
+// only gross regressions are meaningful.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "store/wal.h"
+
+namespace {
+
+constexpr const char* kDoc =
+    "<r>"
+    "<item id='a'><v>1</v></item>"
+    "<item id='b'><v>2</v></item>"
+    "<item id='c'><v>3</v></item>"
+    "<item id='d'><v>4</v></item>"
+    "</r>";
+
+// Each iteration is one atomic apply boundary logging 50 inserts: one
+// WAL record encode + append (+ fsync per the mode under test).
+constexpr const char* kSnapLoop =
+    "snap { for $i in 1 to 50 "
+    "       return insert { <e>{$i}</e> } into { doc('d')/r } }";
+
+// A fresh WAL directory per benchmark run, removed on destruction.
+struct ScratchDir {
+  ScratchDir() {
+    char tmpl[] = "/tmp/xqb_bench_wal_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    if (made != nullptr) path = made;
+  }
+  ~ScratchDir() {
+    if (!path.empty()) {
+      std::string cmd = "rm -rf '" + path + "'";
+      if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr, "warning: failed to remove %s\n", path.c_str());
+      }
+    }
+  }
+  std::string path;
+};
+
+void RunSnapLoop(benchmark::State& state, bool durable, xqb::SyncMode mode) {
+  ScratchDir scratch;
+  xqb::Engine engine;
+  if (durable) {
+    if (scratch.path.empty()) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    auto opened = engine.OpenDurability(scratch.path, mode);
+    if (!opened.ok()) {
+      state.SkipWithError(opened.ToString().c_str());
+      return;
+    }
+  }
+  auto doc = engine.LoadDocumentFromString("d", kDoc);
+  if (!doc.ok()) {
+    state.SkipWithError(doc.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto result = engine.Execute(kSnapLoop);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+    // Restore the document between iterations so the store does not
+    // grow across the run (the restore is untimed; its WAL records are
+    // part of keeping the durable state consistent, not of the cost
+    // under measurement).
+    state.PauseTiming();
+    auto restore = engine.Execute("snap { delete { doc('d')/r/e } }");
+    if (!restore.ok()) {
+      state.SkipWithError(restore.status().ToString().c_str());
+      return;
+    }
+    engine.CollectGarbage();
+    state.ResumeTiming();
+  }
+}
+
+void BM_SnapLoopNoDurability(benchmark::State& state) {
+  RunSnapLoop(state, /*durable=*/false, xqb::SyncMode::kOff);
+}
+void BM_SnapLoopWalSyncOff(benchmark::State& state) {
+  RunSnapLoop(state, /*durable=*/true, xqb::SyncMode::kOff);
+}
+void BM_SnapLoopWalSyncBatch(benchmark::State& state) {
+  RunSnapLoop(state, /*durable=*/true, xqb::SyncMode::kBatch);
+}
+void BM_SnapLoopWalSyncAlways(benchmark::State& state) {
+  RunSnapLoop(state, /*durable=*/true, xqb::SyncMode::kAlways);
+}
+
+BENCHMARK(BM_SnapLoopNoDurability)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapLoopWalSyncOff)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapLoopWalSyncBatch)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapLoopWalSyncAlways)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,7 +1,8 @@
 // Batch runner: execute an XQuery! file against XML documents.
 //
 //   xqb_run [options] query.xq
-//     --doc NAME=FILE     register FILE as doc('NAME') (repeatable)
+//     --doc NAME=FILE     register FILE as doc('NAME') (repeatable;
+//                         skipped if recovery already restored NAME)
 //     --var NAME=VALUE    bind $NAME to a string value (repeatable)
 //     --optimize          run through the algebraic optimizer
 //     --plan              print the optimized plan (implies --optimize)
@@ -22,6 +23,21 @@
 //                         "snap.apply=nth:1,store.alloc=prob:0.01:7"
 //                         (see docs/ROBUSTNESS.md for the grammar)
 //     --list-failpoints   print the fail-point catalog and exit
+//     --crash-on-failpoints
+//                         armed fail points SIGKILL the process at the
+//                         fired site instead of returning an error
+//                         (crash-torture mode; simulates power loss)
+//     --data-dir DIR      open the durable store at DIR before loading
+//                         documents: recover from checkpoint + WAL,
+//                         then log every load, applied Δ and GC
+//     --sync MODE         WAL sync mode for --data-dir: always
+//                         (default), batch, off
+//     --recover           print recovery statistics to stderr; the
+//                         query becomes optional (recover-only runs)
+//     --checkpoint        write a checkpoint (and truncate the WAL)
+//                         after the query; query optional
+//     --check-integrity   audit store integrity after everything else;
+//                         a violated invariant exits 10
 //
 // Exit status (documented contract — scripts and the chaos harness key
 // off these; see docs/ROBUSTNESS.md):
@@ -35,6 +51,8 @@
 //   7  the run was cancelled
 //   8  an armed fail point fired (fault injection)
 //   9  internal error / invalid API use — indicates an engine bug
+//  10  durable-store damage: recovery found unrecoverable corruption,
+//      or --check-integrity found a violated store invariant
 
 #include <cstdio>
 #include <cstring>
@@ -73,6 +91,8 @@ int ExitCodeFor(const xqb::Status& status) {
     case xqb::StatusCode::kInvalidArgument:
     case xqb::StatusCode::kInternal:
       return 9;
+    case xqb::StatusCode::kDataLoss:
+      return 10;
   }
   return 9;
 }
@@ -94,9 +114,20 @@ int Usage() {
       "               [--mode MODE] [--seed N] [--threads N] [--indent]\n"
       "               [--profile] [--trace FILE] [--save NAME=FILE]...\n"
       "               [--failpoints SPEC] [--list-failpoints]\n"
-      "               query.xq\n");
+      "               [--crash-on-failpoints] [--data-dir DIR]\n"
+      "               [--sync always|batch|off] [--recover]\n"
+      "               [--checkpoint] [--check-integrity] [query.xq]\n");
   return 1;
 }
+
+/// A deferred document source: loads run only after durability is open,
+/// so recovery precedes (and can satisfy) them.
+struct LoadAction {
+  enum class Kind { kDoc, kXMark } kind;
+  std::string name;
+  std::string path;    // kDoc
+  double factor = 0;   // kXMark
+};
 
 }  // namespace
 
@@ -106,9 +137,19 @@ int main(int argc, char** argv) {
   bool indent = false;
   bool print_plan = false;
   bool profile = false;
+  bool recover = false;
+  bool do_checkpoint = false;
+  bool check_integrity = false;
+  bool crash_on_failpoints = false;
+  std::string data_dir;
+  std::string sync_mode = "always";
   std::string query_path;
+  std::vector<LoadAction> loads;
+  std::vector<std::pair<std::string, std::string>> vars;
   std::vector<std::pair<std::string, std::string>> saves;
 
+  // Pass 1: parse everything, deferring document loads — durability
+  // must open (and recover) before the first document materializes.
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next_value = [&](const char* flag) -> const char* {
@@ -121,26 +162,16 @@ int main(int argc, char** argv) {
     if (arg == "--doc") {
       const char* value = next_value("--doc");
       if (!value) return Usage();
-      std::string name, path;
-      if (!SplitKeyValue(value, &name, &path)) return Usage();
-      auto doc = engine.LoadDocumentFromFile(name, path);
-      if (!doc.ok()) {
-        std::fprintf(stderr, "loading %s: %s\n", path.c_str(),
-                     doc.status().ToString().c_str());
-        // Unreadable files are usage errors (exit 1); anything else —
-        // an XML parse failure, an injected fault — follows the
-        // documented Status mapping so chaos runs can tell them apart.
-        return doc.status().code() == xqb::StatusCode::kInvalidArgument
-                   ? 1
-                   : ExitCodeFor(doc.status());
-      }
+      LoadAction load;
+      load.kind = LoadAction::Kind::kDoc;
+      if (!SplitKeyValue(value, &load.name, &load.path)) return Usage();
+      loads.push_back(std::move(load));
     } else if (arg == "--var") {
       const char* value = next_value("--var");
       if (!value) return Usage();
       std::string name, str;
       if (!SplitKeyValue(value, &name, &str)) return Usage();
-      engine.BindVariable(name,
-                          xqb::Sequence{xqb::Item::String(str)});
+      vars.emplace_back(name, str);
     } else if (arg == "--save") {
       const char* value = next_value("--save");
       if (!value) return Usage();
@@ -150,16 +181,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--xmark") {
       const char* value = next_value("--xmark");
       if (!value) return Usage();
-      std::string name, factor;
-      if (!SplitKeyValue(value, &name, &factor)) return Usage();
-      xqb::XMarkParams params;
-      params.factor = std::strtod(factor.c_str(), nullptr);
-      if (params.factor <= 0) {
+      LoadAction load;
+      load.kind = LoadAction::Kind::kXMark;
+      std::string factor;
+      if (!SplitKeyValue(value, &load.name, &factor)) return Usage();
+      load.factor = std::strtod(factor.c_str(), nullptr);
+      if (load.factor <= 0) {
         std::fprintf(stderr, "--xmark factor must be > 0\n");
         return Usage();
       }
-      engine.RegisterDocument(
-          name, xqb::GenerateXMarkDocument(&engine.store(), params));
+      loads.push_back(std::move(load));
     } else if (arg == "--profile") {
       profile = true;
       options.collect_stats = true;
@@ -193,6 +224,23 @@ int main(int argc, char** argv) {
                     "rebuild with -DXQB_FAILPOINTS=ON to arm them)\n");
       }
       return 0;
+    } else if (arg == "--crash-on-failpoints") {
+      crash_on_failpoints = true;
+    } else if (arg == "--data-dir") {
+      const char* value = next_value("--data-dir");
+      if (!value) return Usage();
+      data_dir = value;
+      if (data_dir.empty()) return Usage();
+    } else if (arg == "--sync") {
+      const char* value = next_value("--sync");
+      if (!value) return Usage();
+      sync_mode = value;
+    } else if (arg == "--recover") {
+      recover = true;
+    } else if (arg == "--checkpoint") {
+      do_checkpoint = true;
+    } else if (arg == "--check-integrity") {
+      check_integrity = true;
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--plan") {
@@ -226,37 +274,136 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (query_path.empty()) return Usage();
+  // Maintenance-only invocations need no query.
+  const bool maintenance = recover || do_checkpoint || check_integrity;
+  if (query_path.empty() && !maintenance) return Usage();
+  if ((recover || do_checkpoint) && data_dir.empty()) {
+    std::fprintf(stderr, "--recover/--checkpoint require --data-dir\n");
+    return Usage();
+  }
 
-  std::ifstream in(query_path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "cannot open query file %s\n",
-                 query_path.c_str());
-    return 1;
+  if (crash_on_failpoints) {
+    xqb::FailpointRegistry::Global().set_crash_on_fire(true);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  // Arm fail points here rather than at Run entry: recovery-on-open and
+  // document loads happen below, before any Run, and their sites
+  // (recovery.replay, wal.*, checkpoint.*) must see the configuration.
+  if (!options.failpoints.empty()) {
+    if (!xqb::FailpointRegistry::kCompiledIn) {
+      std::fprintf(stderr,
+                   "--failpoints set but fail points are compiled out "
+                   "(build with -DXQB_FAILPOINTS=ON)\n");
+      return 9;
+    }
+    xqb::Status armed =
+        xqb::FailpointRegistry::Global().Configure(options.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 9;
+    }
+    // Already armed; an Execute re-arm would reset the hit counters.
+    options.failpoints.clear();
+  }
 
-  auto result = engine.Execute(buffer.str(), options);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return ExitCodeFor(result.status());
+  // Pass 2: open durability (recovery runs here), then load documents.
+  if (!data_dir.empty()) {
+    auto mode = xqb::ParseSyncMode(sync_mode);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+      return Usage();
+    }
+    xqb::RecoveryStats stats;
+    xqb::Status opened = engine.OpenDurability(data_dir, *mode, &stats);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "opening durable store %s: %s\n",
+                   data_dir.c_str(), opened.ToString().c_str());
+      return ExitCodeFor(opened);
+    }
+    if (recover) {
+      std::fprintf(
+          stderr,
+          "-- recovery --\n"
+          "checkpoint: %s (seq %llu, %zu rejected)\n"
+          "wal: %llu records replayed, %llu skipped\n"
+          "torn tail: %s (%llu bytes discarded)\n"
+          "documents: %zu, live nodes: %zu\n",
+          stats.had_checkpoint ? stats.checkpoint_path.c_str() : "none",
+          static_cast<unsigned long long>(stats.checkpoint_seq),
+          stats.checkpoints_rejected,
+          static_cast<unsigned long long>(stats.wal_records_replayed),
+          static_cast<unsigned long long>(stats.wal_records_skipped),
+          stats.torn_tail ? stats.torn_tail_error.c_str() : "none",
+          static_cast<unsigned long long>(stats.torn_bytes_discarded),
+          engine.document_count(),
+          engine.store().live_node_count());
+    }
   }
-  auto serialized = engine.SerializeChecked(*result, indent);
-  if (!serialized.ok()) {
-    std::fprintf(stderr, "%s\n", serialized.status().ToString().c_str());
-    return ExitCodeFor(serialized.status());
+  for (const LoadAction& load : loads) {
+    if (engine.durability_open() && engine.HasDocument(load.name)) {
+      // Recovery already restored this document; re-loading would
+      // shadow the durable copy with a fresh (diverging) tree.
+      continue;
+    }
+    if (load.kind == LoadAction::Kind::kDoc) {
+      auto doc = engine.LoadDocumentFromFile(load.name, load.path);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "loading %s: %s\n", load.path.c_str(),
+                     doc.status().ToString().c_str());
+        // Unreadable files are usage errors (exit 1); anything else —
+        // an XML parse failure, an injected fault — follows the
+        // documented Status mapping so chaos runs can tell them apart.
+        return doc.status().code() == xqb::StatusCode::kInvalidArgument
+                   ? 1
+                   : ExitCodeFor(doc.status());
+      }
+    } else {
+      xqb::XMarkParams params;
+      params.factor = load.factor;
+      engine.RegisterDocument(
+          load.name, xqb::GenerateXMarkDocument(&engine.store(), params));
+    }
   }
-  std::printf("%s\n", serialized->c_str());
-  if (print_plan && engine.last_used_algebra()) {
-    std::fprintf(stderr, "-- plan --\n%s", engine.last_plan().c_str());
+  if (!engine.durability_error().ok()) {
+    std::fprintf(stderr, "durability: %s\n",
+                 engine.durability_error().ToString().c_str());
+    return ExitCodeFor(engine.durability_error());
   }
-  if (profile) {
-    const xqb::ExecStats& stats = engine.last_stats();
-    std::fprintf(stderr, "-- profile --\n%s", stats.Summary().c_str());
-    if (!stats.plan.empty()) {
-      std::fprintf(stderr, "-- explain analyze --\n%s\n",
-                   stats.plan.c_str());
+  for (const auto& [name, str] : vars) {
+    engine.BindVariable(name, xqb::Sequence{xqb::Item::String(str)});
+  }
+
+  if (!query_path.empty()) {
+    std::ifstream in(query_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open query file %s\n",
+                   query_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    auto result = engine.Execute(buffer.str(), options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return ExitCodeFor(result.status());
+    }
+    auto serialized = engine.SerializeChecked(*result, indent);
+    if (!serialized.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   serialized.status().ToString().c_str());
+      return ExitCodeFor(serialized.status());
+    }
+    std::printf("%s\n", serialized->c_str());
+    if (print_plan && engine.last_used_algebra()) {
+      std::fprintf(stderr, "-- plan --\n%s", engine.last_plan().c_str());
+    }
+    if (profile) {
+      const xqb::ExecStats& stats = engine.last_stats();
+      std::fprintf(stderr, "-- profile --\n%s", stats.Summary().c_str());
+      if (!stats.plan.empty()) {
+        std::fprintf(stderr, "-- explain analyze --\n%s\n",
+                     stats.plan.c_str());
+      }
     }
   }
 
@@ -273,6 +420,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << engine.Serialize(*doc, indent);
+  }
+
+  if (do_checkpoint) {
+    xqb::Status status = engine.Checkpoint();
+    if (!status.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", status.ToString().c_str());
+      return ExitCodeFor(status);
+    }
+  }
+  if (check_integrity) {
+    xqb::Status audit = engine.store().CheckIntegrity();
+    if (!audit.ok()) {
+      std::fprintf(stderr, "integrity: %s\n", audit.ToString().c_str());
+      return 10;
+    }
+    std::fprintf(stderr, "integrity: ok (%zu live nodes)\n",
+                 engine.store().live_node_count());
   }
   return 0;
 }

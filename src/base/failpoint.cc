@@ -1,5 +1,8 @@
 #include "base/failpoint.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +45,22 @@ const std::vector<FailpointInfo>& FailpointCatalog() {
       {"snap.push", true, "snap-scope entry (Delta stack push)"},
       {"snap.apply", true,
        "snap-scope close: after the Delta stack pop, before apply"},
+      {"wal.append", false,
+       "durable store: before a WAL record's frame is written (a "
+       "non-atomic apply keeps its in-memory prefix with no durable "
+       "record; an atomic apply rolls back)"},
+      {"wal.fsync", false,
+       "durable store: before the WAL fsync that makes an appended "
+       "record durable (same apply-path semantics as wal.append)"},
+      {"checkpoint.write", true,
+       "durable store: while the checkpoint temp file is written, "
+       "before rename (the previous checkpoint and WAL stay in force)"},
+      {"checkpoint.rename", true,
+       "durable store: before the checkpoint's atomic rename into "
+       "place (the previous checkpoint and WAL stay in force)"},
+      {"recovery.replay", true,
+       "durable store: before each WAL record replays during "
+       "recovery-on-open (the store is not yet serving)"},
   };
   return kCatalog;
 }
@@ -83,6 +102,10 @@ FailpointRegistry::FailpointRegistry() {
   points_ = new Point[point_count_];
   for (size_t i = 0; i < point_count_; ++i) {
     points_[i].name = FailpointCatalog()[i].name;
+  }
+  if (const char* crash = std::getenv("XQB_FAILPOINT_CRASH");
+      crash != nullptr && *crash != '\0') {
+    crash_on_fire_.store(true, std::memory_order_relaxed);
   }
   if (const char* env = std::getenv("XQB_FAILPOINTS");
       env != nullptr && *env != '\0') {
@@ -226,26 +249,45 @@ void FailpointRegistry::Clear() {
 bool FailpointRegistry::ShouldFail(const char* name) {
   Point* point = Find(name);
   if (point == nullptr) return false;
-  std::lock_guard<std::mutex> lock(point->mu);
-  if (point->policy == Policy::kOff) return false;
-  ++point->hits;
-  switch (point->policy) {
-    case Policy::kOff:
-      return false;
-    case Policy::kNth:
-      if (point->fired_once || point->hits != point->param) return false;
-      point->fired_once = true;
-      return true;
-    case Policy::kEveryK:
-      return point->hits % point->param == 0;
-    case Policy::kProbability: {
-      // 53-bit mantissa draw in [0, 1).
-      double draw = static_cast<double>(SplitMix64(&point->rng_state) >> 11) *
-                    0x1.0p-53;
-      return draw < point->probability;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(point->mu);
+    if (point->policy == Policy::kOff) return false;
+    ++point->hits;
+    switch (point->policy) {
+      case Policy::kOff:
+        break;
+      case Policy::kNth:
+        if (!point->fired_once && point->hits == point->param) {
+          point->fired_once = true;
+          fired = true;
+        }
+        break;
+      case Policy::kEveryK:
+        fired = point->hits % point->param == 0;
+        break;
+      case Policy::kProbability: {
+        // 53-bit mantissa draw in [0, 1).
+        double draw =
+            static_cast<double>(SplitMix64(&point->rng_state) >> 11) *
+            0x1.0p-53;
+        fired = draw < point->probability;
+        break;
+      }
     }
   }
-  return false;
+  if (fired && crash_on_fire()) {
+    // Simulate a hard crash at the fired edge: SIGKILL cannot be
+    // caught, so no destructor, atexit handler, or stdio flush runs —
+    // whatever bytes the durable layer already fsynced are all that
+    // survives, exactly like power loss. The raise never returns;
+    // _exit(137) is an unreachable backstop.
+    std::fprintf(stderr, "failpoint %s: crash-on-fire (SIGKILL)\n", name);
+    std::fflush(stderr);
+    kill(getpid(), SIGKILL);
+    _exit(137);
+  }
+  return fired;
 }
 
 int64_t FailpointRegistry::HitCount(const std::string& name) const {

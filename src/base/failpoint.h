@@ -91,8 +91,22 @@ class FailpointRegistry {
   }
 
   /// Policy evaluation for one site hit (slow path; called only while
-  /// armed() is true). Returns true when the site must fail now.
+  /// armed() is true). Returns true when the site must fail now — or,
+  /// in crash-on-fire mode, does not return: the process is SIGKILLed
+  /// at the fired site.
   bool ShouldFail(const char* name);
+
+  /// Crash-on-fire mode (the crash-torture harness): a point that
+  /// fires raises SIGKILL instead of surfacing kFaultInjected, which
+  /// simulates a hard crash (power loss, OOM kill) exactly at the
+  /// injected edge — no destructors, no buffered-write flush. Also
+  /// enabled by a non-empty XQB_FAILPOINT_CRASH environment variable.
+  void set_crash_on_fire(bool crash) {
+    crash_on_fire_.store(crash, std::memory_order_relaxed);
+  }
+  bool crash_on_fire() const {
+    return crash_on_fire_.load(std::memory_order_relaxed);
+  }
 
   /// Hits observed on `name` since it was last configured (0 when the
   /// point is not armed). Observability for tests.
@@ -106,6 +120,7 @@ class FailpointRegistry {
   Point* Find(const std::string& name) const;
 
   std::atomic<int64_t> armed_count_{0};
+  std::atomic<bool> crash_on_fire_{false};
   /// Fixed array parallel to FailpointCatalog(); pointer-stable so
   /// sites may cache entries.
   Point* points_;

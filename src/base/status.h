@@ -43,6 +43,12 @@ enum class StatusCode : int8_t {
   /// Only ever produced while fail points are armed (chaos testing);
   /// carries the fail-point name so tests can assert error identity.
   kFaultInjected = 11,
+  /// Durable state (WAL record, checkpoint file) failed validation:
+  /// CRC mismatch, truncated frame, malformed payload, or a replay that
+  /// contradicts the store. Recovery treats a trailing kDataLoss as a
+  /// torn tail (expected after a crash, truncated away); anywhere else
+  /// it is real corruption and the open fails.
+  kDataLoss = 12,
 };
 
 /// Returns a stable, human-readable name ("ParseError", ...).
@@ -95,6 +101,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

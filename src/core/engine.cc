@@ -27,6 +27,9 @@ Result<NodeId> Engine::LoadDocumentFromString(const std::string& name,
   xml_options.max_nesting_depth = limits.max_xml_nesting;
   XQB_ASSIGN_OR_RETURN(NodeId doc,
                        ParseXmlDocument(store_.get(), xml, xml_options));
+  if (durability_ != nullptr) {
+    XQB_RETURN_IF_ERROR(durability_->LogDocument(*store_, name, doc));
+  }
   documents_[name] = doc;
   return doc;
 }
@@ -42,11 +45,21 @@ Result<NodeId> Engine::LoadDocumentFromFile(const std::string& name,
   buffer << in.rdbuf();
   XQB_ASSIGN_OR_RETURN(NodeId doc,
                        LoadDocumentFromString(name, buffer.str(), limits));
-  documents_[path] = doc;
+  RegisterDocument(path, doc);
   return doc;
 }
 
 void Engine::RegisterDocument(const std::string& name, NodeId node) {
+  if (durability_ != nullptr) {
+    // The kDocument record carries the tree; replay skips the restore
+    // when the root is already durable (a second name for one tree)
+    // and just re-registers the name.
+    Status logged = durability_->LogDocument(*store_, name, node);
+    if (!logged.ok() && durability_error_.ok()) {
+      durability_error_ = logged;
+      return;  // Fail-stop: an unlogged registration must not serve.
+    }
+  }
   documents_[name] = node;
 }
 
@@ -86,6 +99,39 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query,
   return prepared;
 }
 
+Status Engine::OpenDurability(const std::string& dir, SyncMode mode,
+                              RecoveryStats* stats) {
+  if (durability_ != nullptr) {
+    if (durability_->dir() == dir) return Status::OK();
+    return Status::InvalidArgument(
+        "durability already open at " + durability_->dir() +
+        "; cannot reopen at " + dir);
+  }
+  XQB_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurabilityManager> durability,
+      DurabilityManager::Open(dir, mode, store_.get(), &documents_, stats));
+  durability_ = std::move(durability);
+  return Status::OK();
+}
+
+Status Engine::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "Checkpoint requires durability open (OpenDurability / "
+        "ExecOptions::durability_dir)");
+  }
+  XQB_RETURN_IF_ERROR(durability_error_);
+  return durability_->Checkpoint(*store_, documents_);
+}
+
+Status Engine::EnsureDurability(const ExecOptions& options) {
+  XQB_RETURN_IF_ERROR(durability_error_);
+  if (options.durability_dir.empty()) return Status::OK();
+  XQB_ASSIGN_OR_RETURN(SyncMode mode,
+                       ParseSyncMode(options.durability_sync));
+  return OpenDurability(options.durability_dir, mode);
+}
+
 namespace {
 
 /// Applies ExecOptions::failpoints to the process-wide registry.
@@ -123,6 +169,9 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   // this run sees the configuration (Execute arms earlier, before
   // Prepare, and hands Run an empty spec).
   XQB_RETURN_IF_ERROR(ArmFailpoints(options));
+  // Open durability if this run asks for it, and refuse to run while
+  // the durability-error latch is set (log diverged from store).
+  XQB_RETURN_IF_ERROR(EnsureDurability(options));
 
   last_stats_.Reset();
   last_plan_.clear();
@@ -142,6 +191,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   eval_options.threads = options.threads;
   eval_options.stats = options.collect_stats ? &last_stats_ : nullptr;
   eval_options.tracer = tracer.get();
+  eval_options.delta_sink = durability_.get();
   Evaluator evaluator(store_.get(), &prepared.program, eval_options);
   for (const auto& [name, doc] : documents_) {
     evaluator.RegisterDocument(name, doc);
@@ -263,7 +313,15 @@ size_t Engine::CollectGarbage() {
       if (item.is_node()) roots.push_back(item.node());
     }
   }
-  const size_t freed = store_->GarbageCollect(roots);
+  std::vector<NodeId> freed_ids;
+  const size_t freed = store_->GarbageCollect(
+      roots, durability_ != nullptr ? &freed_ids : nullptr);
+  if (durability_ != nullptr) {
+    // An unlogged GC would let post-GC allocations claim slots that
+    // replay still believes alive; latch fail-stop on append failure.
+    Status logged = durability_->LogGcFree(freed_ids);
+    if (!logged.ok() && durability_error_.ok()) durability_error_ = logged;
+  }
   last_stats_.gc_freed += static_cast<int64_t>(freed);
   return freed;
 }

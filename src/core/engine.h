@@ -14,6 +14,8 @@
 #include "core/evaluator.h"
 #include "core/update.h"
 #include "frontend/ast.h"
+#include "store/recovery.h"
+#include "store/wal.h"
 #include "xdm/item.h"
 #include "xdm/store.h"
 
@@ -62,6 +64,17 @@ struct ExecOptions {
   /// points process-wide instead. Ignored (with an error) in builds
   /// whose fail points are compiled out (-DXQB_FAILPOINTS=OFF).
   std::string failpoints;
+  /// When non-empty, the engine's durable-store directory
+  /// (docs/ROBUSTNESS.md §7). If durability is not open yet, the first
+  /// Run opens it there — recovery-on-open, which requires that no
+  /// documents were loaded into this engine beforehand (prefer an
+  /// explicit Engine::OpenDurability before loading). Later Runs must
+  /// name the same directory. Empty leaves durability as-is (off, or
+  /// whatever OpenDurability established).
+  std::string durability_dir;
+  /// WAL sync mode for durability_dir: "always" | "batch" | "off"
+  /// (src/store/wal.h). Only consulted when this Run opens durability.
+  std::string durability_sync = "always";
 };
 
 /// A compiled, normalized, purity-analyzed program ready to execute.
@@ -109,6 +122,15 @@ class Engine {
   /// Registers an existing node as document `name`.
   void RegisterDocument(const std::string& name, NodeId node);
 
+  /// True if a document is registered under `name` (e.g. restored by
+  /// durable-store recovery — lets hosts skip re-loading it).
+  bool HasDocument(const std::string& name) const {
+    return documents_.count(name) != 0;
+  }
+
+  /// Number of registered documents (names, including path aliases).
+  size_t document_count() const { return documents_.size(); }
+
   /// Binds $name for `declare variable $name external;` declarations
   /// (and as a fallback for otherwise-unbound variables).
   void BindVariable(const std::string& name, Sequence value);
@@ -139,8 +161,33 @@ class Engine {
 
   /// Reclaims store nodes unreachable from registered documents and
   /// bound variables (Section 4.1 garbage collection). Returns the
-  /// number of freed node records.
+  /// number of freed node records. With durability open the collection
+  /// is logged; a log failure latches the durability error (below).
   size_t CollectGarbage();
+
+  // ---- Durability (src/store/, docs/ROBUSTNESS.md §7) ----
+
+  /// Opens the durable store rooted at `dir`: recovers from the newest
+  /// valid checkpoint plus the WAL tail (creating the directory for a
+  /// fresh store), then logs every subsequent document load, applied
+  /// snap Δ and GC. Must be called before any documents load — recovery
+  /// rebuilds the engine's store and document registry in place.
+  Status OpenDurability(const std::string& dir,
+                        SyncMode mode = SyncMode::kAlways,
+                        RecoveryStats* stats = nullptr);
+
+  /// Writes a full checkpoint covering everything logged so far, then
+  /// truncates the WAL. Requires durability open.
+  Status Checkpoint();
+
+  bool durability_open() const { return durability_ != nullptr; }
+  const DurabilityManager* durability() const { return durability_.get(); }
+
+  /// Fail-stop latch: the first durable-logging failure raised on a
+  /// path that cannot return Status (RegisterDocument, CollectGarbage).
+  /// While set, Run refuses to execute — an engine whose log has
+  /// diverged from its store must not keep applying updates.
+  const Status& durability_error() const { return durability_error_; }
 
   /// Statistics of the most recent Run/Execute (docs/OBSERVABILITY.md).
   /// Every field is reset at Run entry, so a failed run never shows the
@@ -167,9 +214,14 @@ class Engine {
   }
 
  private:
+  /// Opens durability per ExecOptions when not open yet (Run entry).
+  Status EnsureDurability(const ExecOptions& options);
+
   std::unique_ptr<Store> store_;
   std::unordered_map<std::string, NodeId> documents_;
   std::unordered_map<std::string, Sequence> variables_;
+  std::unique_ptr<DurabilityManager> durability_;
+  Status durability_error_;
   std::string last_plan_;
   /// Mutable: Serialize (const) accumulates its phase time here.
   mutable ExecStats last_stats_;

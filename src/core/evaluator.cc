@@ -140,7 +140,7 @@ Status Evaluator::ApplyPendingTopLevel() {
   TraceSpan span(options_.tracer, "snap-apply", "snap");
   const int64_t t0 = stats != nullptr ? MonotonicNowNs() : 0;
   Status status = ApplyUpdateList(store_, delta, options_.default_snap_mode,
-                                  options_.nondet_seed);
+                                  options_.nondet_seed, options_.delta_sink);
   if (stats != nullptr) stats->snap_apply_ns += MonotonicNowNs() - t0;
   return status;
 }
@@ -1573,9 +1573,11 @@ Result<Sequence> Evaluator::EvalSnap(const Expr& expr, const DynEnv& env) {
   ++snaps_applied_;
   CountAppliedKinds(delta, stats);
   const int64_t apply_t0 = stats != nullptr ? MonotonicNowNs() : 0;
-  Status applied = expr.snap_atomic
-                       ? ApplyUpdateListAtomic(store_, delta, mode, seed)
-                       : ApplyUpdateList(store_, delta, mode, seed);
+  Status applied =
+      expr.snap_atomic
+          ? ApplyUpdateListAtomic(store_, delta, mode, seed,
+                                  options_.delta_sink)
+          : ApplyUpdateList(store_, delta, mode, seed, options_.delta_sink);
   if (stats != nullptr) {
     stats->snap_apply_ns += MonotonicNowNs() - apply_t0;
   }

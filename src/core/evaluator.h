@@ -54,6 +54,13 @@ struct EvaluatorOptions {
   /// Span tracer for this run (ExecOptions::trace_path). Thread-safe;
   /// worker clones share it so parallel regions appear as worker lanes.
   Tracer* tracer = nullptr;
+  /// Durable-store observer handed to every update-list application
+  /// (snap closes and the implicit top-level snap). Null disables
+  /// durability. Must be thread-safe if parallel evaluation is on
+  /// (DurabilityManager is). Worker clones inherit it, but applies
+  /// only happen on the coordinating thread — effect-free scopes defer
+  /// their updates past the join.
+  DeltaSink* delta_sink = nullptr;
 };
 
 /// The dynamic-semantics interpreter for XQuery! core (Section 3.4 and

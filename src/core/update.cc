@@ -267,29 +267,61 @@ void Rollback(Store* store, const std::vector<UndoEntry>& log) {
 }  // namespace
 
 Status ApplyUpdateList(Store* store, const UpdateList& delta, ApplyMode mode,
-                       uint64_t seed) {
+                       uint64_t seed, DeltaSink* sink) {
   std::vector<const UpdateRequest*> requests = delta.Flatten();
   XQB_RETURN_IF_ERROR(OrderRequests(mode, seed, store, &requests));
+  // Capture pre-apply state (insert payload trees) before any mutation;
+  // a capture failure aborts with the store untouched.
+  if (sink != nullptr && !requests.empty()) {
+    XQB_RETURN_IF_ERROR(sink->Prepare(*store, requests));
+  }
+  Status status = Status::OK();
+  size_t applied = 0;
   for (const UpdateRequest* request : requests) {
     // Non-atomic apply: a fault here leaves all prior requests applied,
     // exactly like a real per-request failure (the paper does not
     // require atomicity of update application).
-    XQB_FAILPOINT("update.apply.request");
-    XQB_RETURN_IF_ERROR(ApplyUpdateRequest(store, *request));
+    if (XQB_FAILPOINT_FIRED("update.apply.request")) {
+      status = FailpointError("update.apply.request");
+      break;
+    }
+    status = ApplyUpdateRequest(store, *request);
+    if (!status.ok()) break;
+    ++applied;
   }
-  return Status::OK();
+  // The durable record mirrors the in-memory outcome exactly: whatever
+  // prefix of Δ mutated the store is what gets logged, even when a
+  // later request failed. Nothing applied → no record (read-only runs
+  // produce zero log traffic); Commit still runs so the sink releases
+  // what Prepare captured.
+  if (sink != nullptr && !requests.empty()) {
+    Status logged = sink->Commit(*store, requests, applied);
+    if (status.ok()) status = logged;
+  }
+  return status;
 }
 
 Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
-                             ApplyMode mode, uint64_t seed) {
+                             ApplyMode mode, uint64_t seed, DeltaSink* sink) {
   std::vector<const UpdateRequest*> requests = delta.Flatten();
   XQB_RETURN_IF_ERROR(OrderRequests(mode, seed, store, &requests));
+  if (sink != nullptr && !requests.empty()) {
+    XQB_RETURN_IF_ERROR(sink->Prepare(*store, requests));
+  }
+  // Every rollback path discards the sink's captured state by
+  // committing an empty prefix (applied == 0 → nothing logged).
+  auto abandon = [&] {
+    if (sink != nullptr && !requests.empty()) {
+      (void)sink->Commit(*store, requests, 0);
+    }
+  };
   std::vector<UndoEntry> log;
   for (const UpdateRequest* request : requests) {
     // Pre-apply edge of request i: everything up to i-1 is applied and
     // must roll back cleanly.
     if (XQB_FAILPOINT_FIRED("update.atomic.apply")) {
       Rollback(store, log);
+      abandon();
       XQB_FAILPOINT("update.atomic.after-rollback");
       return FailpointError("update.atomic.apply");
     }
@@ -297,14 +329,26 @@ Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
     Status st = ApplyUpdateRequest(store, *request);
     if (!st.ok()) {
       Rollback(store, log);
+      abandon();
       XQB_FAILPOINT("update.atomic.after-rollback");
       return st;
     }
     // Post-apply edge of request i: i itself must roll back too.
     if (XQB_FAILPOINT_FIRED("update.atomic.applied")) {
       Rollback(store, log);
+      abandon();
       XQB_FAILPOINT("update.atomic.after-rollback");
       return FailpointError("update.atomic.applied");
+    }
+  }
+  // Atomicity covers the durable record: only a fully-applied Δ is
+  // logged, and a Δ that cannot be logged is rolled back, so after
+  // recovery the snap either happened entirely or not at all.
+  if (sink != nullptr && !requests.empty()) {
+    Status logged = sink->Commit(*store, requests, requests.size());
+    if (!logged.ok()) {
+      Rollback(store, log);
+      return logged;
     }
   }
   return Status::OK();

@@ -151,6 +151,43 @@ class UpdateList {
   std::shared_ptr<const Node> root_;
 };
 
+/// Observer of update-list applications — the durability subsystem's
+/// write-ahead delta log (src/store/recovery.h) implements it. The
+/// interface is two-phase because a durable record must describe insert
+/// payloads as they were WHEN INSERTED: a later request of the same Δ
+/// may mutate an earlier insert's payload subtree, so capturing after
+/// the fact would record the wrong tree.
+///
+/// Prepare runs after ordering and before the first mutation, with
+/// `requests` in actual application order (post shuffle — so a
+/// nondeterministic-mode snap replays deterministically). It snapshots
+/// whatever pre-apply state the record needs; a non-OK return fails the
+/// apply before anything mutated.
+///
+/// Commit runs at the apply boundary — after the last mutation of the
+/// applied prefix and before the apply returns, i.e. before the
+/// mutations become visible to any subsequent expression. It is called
+/// exactly once after every successful Prepare, with the same request
+/// vector; `applied` is how many leading entries mutated the store
+/// (requests.size() on full success; the applied prefix of a failed
+/// non-atomic apply; 0 when nothing survived — then the sink discards
+/// its captured state and must log nothing, so read-only runs and
+/// fully rolled-back snaps produce zero log traffic). The record must
+/// be persisted before returning. A non-OK Commit fails the apply: the
+/// atomic variant rolls the whole Δ back first (nothing applied,
+/// nothing logged — logged ⟺ applied), the non-atomic variant keeps
+/// the applied prefix in memory with no durable record — the usual
+/// partial-failure semantics, documented in docs/ROBUSTNESS.md.
+class DeltaSink {
+ public:
+  virtual ~DeltaSink() = default;
+  virtual Status Prepare(const Store& store,
+                         const std::vector<const UpdateRequest*>& requests) = 0;
+  virtual Status Commit(const Store& store,
+                        const std::vector<const UpdateRequest*>& requests,
+                        size_t applied) = 0;
+};
+
 /// How a snap applies its collected Δ (Section 3.2).
 enum class ApplyMode : uint8_t {
   /// Apply in exactly the Δ order.
@@ -168,8 +205,13 @@ const char* ApplyModeToString(ApplyMode mode);
 /// Applies a whole update list with the given semantics. On the first
 /// failing request the store is left with all prior requests applied
 /// (the paper does not require atomicity of update application).
+///
+/// When `sink` is non-null, the applied prefix (all of Δ on success) is
+/// committed to it at the apply boundary; a request failure still
+/// commits the prefix that did apply, so the durable log mirrors the
+/// in-memory partial Δ exactly.
 Status ApplyUpdateList(Store* store, const UpdateList& delta, ApplyMode mode,
-                       uint64_t seed = 0);
+                       uint64_t seed = 0, DeltaSink* sink = nullptr);
 
 /// Atomic variant (the failure-containment use of snap the paper's
 /// Section 5 attributes to the full paper): if any request fails, every
@@ -179,8 +221,13 @@ Status ApplyUpdateList(Store* store, const UpdateList& delta, ApplyMode mode,
 /// store exactly as before the application started. Atomicity covers
 /// this Δ's application only; snaps nested *inside* the scope applied
 /// when their own scopes closed and are not undone.
+///
+/// When `sink` is non-null, the Δ is committed to it only after every
+/// request applied; a failed Commit rolls the whole Δ back (atomicity
+/// extends over the durable record: logged ⟺ applied).
 Status ApplyUpdateListAtomic(Store* store, const UpdateList& delta,
-                             ApplyMode mode, uint64_t seed = 0);
+                             ApplyMode mode, uint64_t seed = 0,
+                             DeltaSink* sink = nullptr);
 
 /// Conflict verification (Section 3.2 / 4.1): proves "by some simple
 /// rules" that applying every permutation of Δ yields the same store,

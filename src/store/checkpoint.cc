@@ -1,0 +1,303 @@
+#include "store/checkpoint.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/failpoint.h"
+#include "store/wal.h"
+
+namespace xqb {
+
+namespace {
+
+constexpr const char* kCheckpointPrefix = "checkpoint-";
+constexpr const char* kCheckpointSuffix = ".xqbc";
+constexpr const char* kTempSuffix = ".tmp";
+
+std::string CheckpointFileName(uint64_t seq) {
+  return std::string(kCheckpointPrefix) + std::to_string(seq) +
+         kCheckpointSuffix;
+}
+
+/// Parses "checkpoint-<seq>.xqbc"; returns false for anything else.
+bool ParseCheckpointName(const std::string& name, uint64_t* seq) {
+  size_t prefix_len = strlen(kCheckpointPrefix);
+  size_t suffix_len = strlen(kCheckpointSuffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len,
+                   kCheckpointSuffix) != 0) {
+    return false;
+  }
+  std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  char* end = nullptr;
+  uint64_t v = std::strtoull(digits.c_str(), &end, 10);
+  if (end != digits.c_str() + digits.size()) return false;
+  *seq = v;
+  return true;
+}
+
+/// Names all entries of `dir` (not paths). Missing directory → empty.
+std::vector<std::string> ListDirectory(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  return names;
+}
+
+std::string EncodeCheckpointPayload(
+    const Store& store,
+    const std::vector<std::pair<std::string, NodeId>>& documents,
+    uint64_t last_seq) {
+  // The store image: every alive node in id order; links grouped per
+  // parent (attributes before children, each list in order) — the same
+  // TreeSnapshot body layout WAL payload trees use.
+  TreeSnapshot image;
+  const size_t slots = store.slot_count();
+  image.nodes.reserve(store.live_node_count());
+  for (NodeId id = 0; id < slots; ++id) {
+    if (!store.IsValid(id)) continue;
+    TreeNode node;
+    node.id = id;
+    node.kind = store.KindOf(id);
+    QNameId name = store.NameIdOf(id);
+    if (name != kInvalidQName) {
+      node.has_name = true;
+      node.name = store.names().NameOf(name);
+    }
+    node.content = store.ContentOf(id);
+    image.nodes.push_back(std::move(node));
+    for (NodeId a : store.AttributesOf(id)) {
+      image.links.push_back(TreeLink{id, a, /*is_attribute=*/true});
+    }
+    for (NodeId c : store.ChildrenOf(id)) {
+      image.links.push_back(TreeLink{id, c, /*is_attribute=*/false});
+    }
+  }
+  std::string payload;
+  PutU64(&payload, last_seq);
+  EncodeTree(&payload, image);
+  PutU32(&payload, static_cast<uint32_t>(documents.size()));
+  for (const auto& [name, root] : documents) {
+    PutString(&payload, name);
+    PutU32(&payload, root);
+  }
+  return payload;
+}
+
+Result<CheckpointData> DecodeCheckpointPayload(std::string_view payload) {
+  ByteReader reader(payload);
+  CheckpointData data;
+  XQB_ASSIGN_OR_RETURN(data.last_seq, reader.TakeU64());
+  XQB_ASSIGN_OR_RETURN(data.image, DecodeTree(&reader));
+  uint32_t doc_count;
+  XQB_ASSIGN_OR_RETURN(doc_count, reader.TakeU32());
+  data.documents.reserve(std::min<uint32_t>(doc_count, 4096));
+  for (uint32_t i = 0; i < doc_count; ++i) {
+    std::string_view name;
+    XQB_ASSIGN_OR_RETURN(name, reader.TakeString());
+    NodeId root;
+    XQB_ASSIGN_OR_RETURN(root, reader.TakeU32());
+    data.documents.emplace_back(std::string(name), root);
+  }
+  if (!reader.empty()) {
+    return Status::DataLoss("trailing bytes after checkpoint body");
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<std::string> WriteCheckpoint(
+    const Store& store,
+    const std::vector<std::pair<std::string, NodeId>>& documents,
+    uint64_t last_seq, const std::string& dir) {
+  std::string payload = EncodeCheckpointPayload(store, documents, last_seq);
+  std::string file = CheckpointFileName(last_seq);
+  std::string tmp_path = dir + "/" + file + kTempSuffix;
+  std::string final_path = dir + "/" + file;
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("open " + tmp_path + ": " +
+                            std::string(strerror(errno)));
+  }
+  auto write_all = [&](const char* data, size_t size) -> Status {
+    while (size > 0) {
+      ssize_t n = ::write(fd, data, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal("write " + tmp_path + ": " +
+                                std::string(strerror(errno)));
+      }
+      data += n;
+      size -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  };
+  auto fail = [&](Status st) -> Status {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return st;
+  };
+  Status st = write_all(kCheckpointMagic, sizeof(kCheckpointMagic));
+  if (!st.ok()) return fail(st);
+  // A crash while the temp file is mid-write (simulated by this fail
+  // point) leaves garbage under a .tmp name: invisible to recovery,
+  // cleaned up by the next successful checkpoint.
+  if (XQB_FAILPOINT_FIRED("checkpoint.write")) {
+    return fail(FailpointError("checkpoint.write"));
+  }
+  std::string frame;
+  AppendFrame(&frame, payload);
+  st = write_all(frame.data(), frame.size());
+  if (!st.ok()) return fail(st);
+  if (::fsync(fd) != 0) {
+    return fail(Status::Internal("fsync " + tmp_path + ": " +
+                                 std::string(strerror(errno))));
+  }
+  ::close(fd);
+  fd = -1;
+
+  // The commit point: before the rename the old durable state is in
+  // force; after it (and the directory fsync) the new one is.
+  if (XQB_FAILPOINT_FIRED("checkpoint.rename")) {
+    ::unlink(tmp_path.c_str());
+    return FailpointError("checkpoint.rename");
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    Status err = Status::Internal("rename " + tmp_path + ": " +
+                                  std::string(strerror(errno)));
+    ::unlink(tmp_path.c_str());
+    return err;
+  }
+  XQB_RETURN_IF_ERROR(SyncParentDirectory(final_path));
+
+  // Older checkpoints and stray temp files are now redundant. Deletion
+  // failures are ignored: recovery prefers the newest valid file, so a
+  // leftover is waste, not corruption.
+  for (const std::string& name : ListDirectory(dir)) {
+    std::string path = dir + "/" + name;
+    if (path == final_path) continue;
+    uint64_t seq = 0;
+    const bool is_temp =
+        name.size() > strlen(kTempSuffix) &&
+        name.compare(name.size() - strlen(kTempSuffix), strlen(kTempSuffix),
+                     kTempSuffix) == 0;
+    if (is_temp || (ParseCheckpointName(name, &seq) && seq <= last_seq)) {
+      ::unlink(path.c_str());
+    }
+  }
+  return final_path;
+}
+
+Result<LoadedCheckpoint> LoadNewestCheckpoint(const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : ListDirectory(dir)) {
+    uint64_t seq = 0;
+    if (ParseCheckpointName(name, &seq)) candidates.emplace_back(seq, name);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  LoadedCheckpoint loaded;
+  for (const auto& [seq, name] : candidates) {
+    std::string path = dir + "/" + name;
+    auto reject = [&, seq = seq](const std::string&) {
+      loaded.rejected.push_back(path);
+      loaded.max_rejected_seq = std::max(loaded.max_rejected_seq, seq);
+    };
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      reject("unreadable");
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string data = buffer.str();
+    if (data.size() < sizeof(kCheckpointMagic) ||
+        memcmp(data.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+            0) {
+      reject("bad magic");
+      continue;
+    }
+    Result<FrameView> frame =
+        DecodeFrame(std::string_view(data).substr(sizeof(kCheckpointMagic)));
+    if (!frame.ok()) {
+      reject(frame.status().message());
+      continue;
+    }
+    if (frame->frame_size !=
+        data.size() - sizeof(kCheckpointMagic)) {
+      reject("trailing bytes after checkpoint frame");
+      continue;
+    }
+    Result<CheckpointData> decoded = DecodeCheckpointPayload(frame->payload);
+    if (!decoded.ok()) {
+      reject(decoded.status().message());
+      continue;
+    }
+    if (decoded->last_seq != seq) {
+      reject("checkpoint body seq disagrees with its file name");
+      continue;
+    }
+    loaded.found = true;
+    loaded.path = path;
+    loaded.data = std::move(decoded).value();
+    return loaded;
+  }
+  return loaded;
+}
+
+Status RestoreFromCheckpoint(Store* store, const CheckpointData& data,
+                             std::unordered_map<std::string, NodeId>*
+                                 documents) {
+  if (store->slot_count() != 0) {
+    return Status::InvalidArgument(
+        "checkpoint restore requires a fresh store");
+  }
+  for (const TreeNode& node : data.image.nodes) {
+    QNameId name = node.has_name ? store->names().Intern(node.name)
+                                 : kInvalidQName;
+    Status st = store->RestoreNode(node.id, node.kind, name, node.content);
+    if (!st.ok()) {
+      return Status::DataLoss("checkpoint node " + std::to_string(node.id) +
+                              ": " + st.message());
+    }
+  }
+  for (const TreeLink& link : data.image.links) {
+    Status st = link.is_attribute
+                    ? store->RestoreAttributeLink(link.parent, link.child)
+                    : store->RestoreChildLink(link.parent, link.child);
+    if (!st.ok()) {
+      return Status::DataLoss(
+          "checkpoint link " + std::to_string(link.parent) + "->" +
+          std::to_string(link.child) + ": " + st.message());
+    }
+  }
+  for (const auto& [name, root] : data.documents) {
+    if (!store->IsValid(root)) {
+      return Status::DataLoss("checkpoint document \"" + name +
+                              "\" names dead node " + std::to_string(root));
+    }
+    (*documents)[name] = root;
+  }
+  return Status::OK();
+}
+
+}  // namespace xqb

@@ -1,0 +1,82 @@
+#ifndef XQB_STORE_CHECKPOINT_H_
+#define XQB_STORE_CHECKPOINT_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "store/record.h"
+#include "xdm/store.h"
+
+// Full-store checkpoints (docs/ROBUSTNESS.md §7). A checkpoint is one
+// file `checkpoint-<seq>.xqbc`: an 8-byte magic followed by a single
+// CRC-framed payload holding the WAL sequence number it covers, every
+// alive node (in id order, names lexical — the QName pool is rebuilt
+// by re-interning on restore), every parent/child and parent/attribute
+// link in list order, and the document-name registry. It is written to
+// a temp file, fsynced, then atomically renamed into place, so a crash
+// at any point leaves either the old durable state or the new one —
+// never a half-checkpoint that recovery would trust. After the rename
+// is durable the WAL resets and older checkpoint files are deleted.
+
+namespace xqb {
+
+inline constexpr char kCheckpointMagic[8] = {'X', 'Q', 'B', 'C',
+                                             'K', 'P', '0', '1'};
+
+/// A decoded checkpoint body.
+struct CheckpointData {
+  /// The last WAL sequence number applied to this image. WAL records
+  /// with seq <= last_seq are already reflected and skip replay.
+  uint64_t last_seq = 0;
+  /// The store image: a forest over every alive node (nodes in id
+  /// order; links grouped per parent, attributes then children).
+  TreeSnapshot image;
+  /// The engine's document registry (name -> root), insertion order
+  /// not significant.
+  std::vector<std::pair<std::string, NodeId>> documents;
+};
+
+/// Serializes `store` + `documents` and writes checkpoint-<seq>.xqbc
+/// into `dir` (temp + fsync + rename + directory fsync). On success
+/// older checkpoint files and stray temp files are deleted and the
+/// final path is returned. Fail points: "checkpoint.write" while the
+/// temp file is being written, "checkpoint.rename" before the rename.
+Result<std::string> WriteCheckpoint(
+    const Store& store,
+    const std::vector<std::pair<std::string, NodeId>>& documents,
+    uint64_t last_seq, const std::string& dir);
+
+struct LoadedCheckpoint {
+  bool found = false;       // false: no usable checkpoint (fresh store)
+  std::string path;         // the file the data came from
+  CheckpointData data;
+  /// Checkpoint files that failed validation and were skipped (newest
+  /// first). Non-empty means an older checkpoint is serving instead.
+  std::vector<std::string> rejected;
+  /// Highest sequence number among the rejected files: the store
+  /// provably reached this seq once, so recovery that cannot replay up
+  /// to it (from a valid checkpoint and/or the WAL) is data loss, not
+  /// a fresh store.
+  uint64_t max_rejected_seq = 0;
+};
+
+/// Scans `dir` for checkpoint files, newest sequence first, returning
+/// the first that validates (magic, CRC, well-formed body). Corrupt
+/// candidates are skipped — a crash during checkpointing must never
+/// take out the store when an older checkpoint still exists.
+Result<LoadedCheckpoint> LoadNewestCheckpoint(const std::string& dir);
+
+/// Rebuilds a store from a decoded checkpoint. The store must be
+/// freshly constructed (no nodes). The caller runs CheckIntegrity
+/// after WAL replay completes.
+Status RestoreFromCheckpoint(Store* store, const CheckpointData& data,
+                             std::unordered_map<std::string, NodeId>*
+                                 documents);
+
+}  // namespace xqb
+
+#endif  // XQB_STORE_CHECKPOINT_H_

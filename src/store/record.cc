@@ -1,0 +1,511 @@
+#include "store/record.h"
+
+#include <array>
+
+namespace xqb {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char byte : data) {
+    h ^= byte;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Little-endian primitives ----
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutString(std::string* out, std::string_view v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  out->append(v.data(), v.size());
+}
+
+Result<uint8_t> ByteReader::TakeU8() {
+  if (remaining() < 1) return Status::DataLoss("record underrun (u8)");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::TakeU32() {
+  if (remaining() < 4) return Status::DataLoss("record underrun (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::TakeU64() {
+  if (remaining() < 8) return Status::DataLoss("record underrun (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string_view> ByteReader::TakeString() {
+  auto len = TakeU32();
+  if (!len.ok()) return len.status();
+  if (remaining() < *len) {
+    return Status::DataLoss("record underrun (string of " +
+                            std::to_string(*len) + " bytes)");
+  }
+  std::string_view v = data_.substr(pos_, *len);
+  pos_ += *len;
+  return v;
+}
+
+// ---- Tree snapshots ----
+
+TreeSnapshot CaptureTree(const Store& store, NodeId root) {
+  TreeSnapshot tree;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    TreeNode node;
+    node.id = id;
+    node.kind = store.KindOf(id);
+    QNameId name = store.NameIdOf(id);
+    if (name != kInvalidQName) {
+      node.has_name = true;
+      node.name = store.names().NameOf(name);
+    }
+    node.content = store.ContentOf(id);
+    tree.nodes.push_back(std::move(node));
+    const std::vector<NodeId>& attrs = store.AttributesOf(id);
+    const std::vector<NodeId>& children = store.ChildrenOf(id);
+    for (NodeId a : attrs) {
+      tree.links.push_back(TreeLink{id, a, /*is_attribute=*/true});
+    }
+    for (NodeId c : children) {
+      tree.links.push_back(TreeLink{id, c, /*is_attribute=*/false});
+    }
+    // Visit attributes before children, each list in order (push both
+    // reversed; the attributes land on top of the stack).
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+    for (auto it = attrs.rbegin(); it != attrs.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return tree;
+}
+
+Status RestoreTree(Store* store, const TreeSnapshot& tree) {
+  if (tree.empty()) return Status::DataLoss("empty tree snapshot");
+  if (store->IsValid(tree.root())) {
+    // Already restored by an earlier record (a re-registration, or the
+    // re-insert of a detached durable tree): the snapshot must agree on
+    // what lives there.
+    if (store->KindOf(tree.root()) != tree.nodes[0].kind) {
+      return Status::DataLoss(
+          "tree root " + std::to_string(tree.root()) +
+          " already alive with a different kind");
+    }
+    return Status::OK();
+  }
+  for (const TreeNode& node : tree.nodes) {
+    QNameId name = node.has_name ? store->names().Intern(node.name)
+                                 : kInvalidQName;
+    Status st = store->RestoreNode(node.id, node.kind, name, node.content);
+    if (!st.ok()) {
+      return Status::DataLoss("restore node " + std::to_string(node.id) +
+                              ": " + st.message());
+    }
+  }
+  for (const TreeLink& link : tree.links) {
+    Status st = link.is_attribute
+                    ? store->RestoreAttributeLink(link.parent, link.child)
+                    : store->RestoreChildLink(link.parent, link.child);
+    if (!st.ok()) {
+      return Status::DataLoss("restore link " + std::to_string(link.parent) +
+                              "->" + std::to_string(link.child) + ": " +
+                              st.message());
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Durable update requests ----
+
+RecordedRequest CaptureRequest(const Store& store,
+                               const UpdateRequest& request) {
+  RecordedRequest rec;
+  rec.op = request.op;
+  switch (request.op) {
+    case UpdateRequest::Op::kInsert:
+      rec.anchor = request.anchor;
+      rec.parent = request.parent;
+      rec.anchor_node = request.anchor_node;
+      rec.payload.reserve(request.nodes.size());
+      for (NodeId n : request.nodes) {
+        rec.payload.push_back(CaptureTree(store, n));
+      }
+      break;
+    case UpdateRequest::Op::kDelete:
+      rec.target = request.target;
+      break;
+    case UpdateRequest::Op::kRename:
+      rec.target = request.target;
+      rec.rename_name = store.names().NameOf(request.name);
+      break;
+  }
+  return rec;
+}
+
+namespace {
+
+// A logged request references nodes by id; on replay those ids come
+// from disk, so they must be validated before the update machinery
+// (which, on the live path, gets only evaluator-vetted ids) touches
+// them. A reference to a node the store does not hold is kDataLoss.
+Status RequireAlive(const Store& store, NodeId id, const char* role) {
+  if (store.IsValid(id)) return Status::OK();
+  return Status::DataLoss(std::string("replayed request references ") +
+                          role + " node " + std::to_string(id) +
+                          " which is not alive in the recovered store");
+}
+
+}  // namespace
+
+Status ReplayRequest(Store* store, const RecordedRequest& request) {
+  UpdateRequest u;
+  u.op = request.op;
+  switch (request.op) {
+    case UpdateRequest::Op::kInsert:
+      u.anchor = request.anchor;
+      u.parent = request.parent;
+      u.anchor_node = request.anchor_node;
+      if (request.anchor == InsertAnchor::kBefore ||
+          request.anchor == InsertAnchor::kAfter) {
+        XQB_RETURN_IF_ERROR(RequireAlive(*store, u.anchor_node, "anchor"));
+      } else {
+        XQB_RETURN_IF_ERROR(RequireAlive(*store, u.parent, "parent"));
+      }
+      u.nodes.reserve(request.payload.size());
+      for (const TreeSnapshot& tree : request.payload) {
+        XQB_RETURN_IF_ERROR(RestoreTree(store, tree));
+        u.nodes.push_back(tree.root());
+      }
+      break;
+    case UpdateRequest::Op::kDelete:
+      u.target = request.target;
+      XQB_RETURN_IF_ERROR(RequireAlive(*store, u.target, "delete target"));
+      break;
+    case UpdateRequest::Op::kRename:
+      u.target = request.target;
+      XQB_RETURN_IF_ERROR(RequireAlive(*store, u.target, "rename target"));
+      u.name = store->names().Intern(request.rename_name);
+      break;
+  }
+  Status st = ApplyUpdateRequest(store, u);
+  if (!st.ok()) {
+    // The record described an apply that succeeded live; a replay that
+    // fails means the log contradicts the store it is rebuilding.
+    return Status::DataLoss("replay of " + u.DebugString() +
+                            " failed: " + st.message());
+  }
+  return Status::OK();
+}
+
+// ---- Encoding ----
+
+void EncodeTree(std::string* out, const TreeSnapshot& tree) {
+  PutU32(out, static_cast<uint32_t>(tree.nodes.size()));
+  for (const TreeNode& node : tree.nodes) {
+    PutU32(out, node.id);
+    PutU8(out, static_cast<uint8_t>(node.kind));
+    PutU8(out, node.has_name ? 1 : 0);
+    if (node.has_name) PutString(out, node.name);
+    PutString(out, node.content);
+  }
+  PutU32(out, static_cast<uint32_t>(tree.links.size()));
+  for (const TreeLink& link : tree.links) {
+    PutU32(out, link.parent);
+    PutU32(out, link.child);
+    PutU8(out, link.is_attribute ? 1 : 0);
+  }
+}
+
+Result<TreeSnapshot> DecodeTree(ByteReader* reader) {
+  TreeSnapshot tree;
+  uint32_t node_count;
+  XQB_ASSIGN_OR_RETURN(node_count, reader->TakeU32());
+  tree.nodes.reserve(std::min<uint32_t>(node_count, 4096));
+  for (uint32_t i = 0; i < node_count; ++i) {
+    TreeNode node;
+    XQB_ASSIGN_OR_RETURN(node.id, reader->TakeU32());
+    uint8_t kind;
+    XQB_ASSIGN_OR_RETURN(kind, reader->TakeU8());
+    if (kind > static_cast<uint8_t>(NodeKind::kProcessingInstruction)) {
+      return Status::DataLoss("unknown node kind " + std::to_string(kind));
+    }
+    node.kind = static_cast<NodeKind>(kind);
+    uint8_t has_name;
+    XQB_ASSIGN_OR_RETURN(has_name, reader->TakeU8());
+    if (has_name > 1) {
+      return Status::DataLoss("malformed has-name flag");
+    }
+    node.has_name = has_name != 0;
+    if (node.has_name) {
+      std::string_view name;
+      XQB_ASSIGN_OR_RETURN(name, reader->TakeString());
+      node.name = std::string(name);
+    }
+    std::string_view content;
+    XQB_ASSIGN_OR_RETURN(content, reader->TakeString());
+    node.content = std::string(content);
+    tree.nodes.push_back(std::move(node));
+  }
+  uint32_t link_count;
+  XQB_ASSIGN_OR_RETURN(link_count, reader->TakeU32());
+  tree.links.reserve(std::min<uint32_t>(link_count, 4096));
+  for (uint32_t i = 0; i < link_count; ++i) {
+    TreeLink link;
+    XQB_ASSIGN_OR_RETURN(link.parent, reader->TakeU32());
+    XQB_ASSIGN_OR_RETURN(link.child, reader->TakeU32());
+    uint8_t is_attr;
+    XQB_ASSIGN_OR_RETURN(is_attr, reader->TakeU8());
+    if (is_attr > 1) return Status::DataLoss("malformed link flag");
+    link.is_attribute = is_attr != 0;
+    tree.links.push_back(link);
+  }
+  return tree;
+}
+
+namespace {
+
+void EncodeRequest(std::string* out, const RecordedRequest& request) {
+  PutU8(out, static_cast<uint8_t>(request.op));
+  switch (request.op) {
+    case UpdateRequest::Op::kInsert:
+      PutU8(out, static_cast<uint8_t>(request.anchor));
+      PutU32(out, request.parent);
+      PutU32(out, request.anchor_node);
+      PutU32(out, static_cast<uint32_t>(request.payload.size()));
+      for (const TreeSnapshot& tree : request.payload) {
+        EncodeTree(out, tree);
+      }
+      break;
+    case UpdateRequest::Op::kDelete:
+      PutU32(out, request.target);
+      break;
+    case UpdateRequest::Op::kRename:
+      PutU32(out, request.target);
+      PutString(out, request.rename_name);
+      break;
+  }
+}
+
+Result<RecordedRequest> DecodeRequest(ByteReader* reader) {
+  RecordedRequest request;
+  uint8_t op;
+  XQB_ASSIGN_OR_RETURN(op, reader->TakeU8());
+  if (op > static_cast<uint8_t>(UpdateRequest::Op::kRename)) {
+    return Status::DataLoss("unknown update op " + std::to_string(op));
+  }
+  request.op = static_cast<UpdateRequest::Op>(op);
+  switch (request.op) {
+    case UpdateRequest::Op::kInsert: {
+      uint8_t anchor;
+      XQB_ASSIGN_OR_RETURN(anchor, reader->TakeU8());
+      if (anchor > static_cast<uint8_t>(InsertAnchor::kAfter)) {
+        return Status::DataLoss("unknown insert anchor " +
+                                std::to_string(anchor));
+      }
+      request.anchor = static_cast<InsertAnchor>(anchor);
+      XQB_ASSIGN_OR_RETURN(request.parent, reader->TakeU32());
+      XQB_ASSIGN_OR_RETURN(request.anchor_node, reader->TakeU32());
+      uint32_t payload_count;
+      XQB_ASSIGN_OR_RETURN(payload_count, reader->TakeU32());
+      request.payload.reserve(std::min<uint32_t>(payload_count, 4096));
+      for (uint32_t i = 0; i < payload_count; ++i) {
+        XQB_ASSIGN_OR_RETURN(TreeSnapshot tree, DecodeTree(reader));
+        request.payload.push_back(std::move(tree));
+      }
+      break;
+    }
+    case UpdateRequest::Op::kDelete: {
+      XQB_ASSIGN_OR_RETURN(request.target, reader->TakeU32());
+      break;
+    }
+    case UpdateRequest::Op::kRename: {
+      XQB_ASSIGN_OR_RETURN(request.target, reader->TakeU32());
+      std::string_view name;
+      XQB_ASSIGN_OR_RETURN(name, reader->TakeString());
+      request.rename_name = std::string(name);
+      break;
+    }
+  }
+  return request;
+}
+
+}  // namespace
+
+std::string EncodeRecordPayload(const WalRecord& record) {
+  std::string out;
+  PutU64(&out, record.seq);
+  PutU8(&out, static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case WalRecordKind::kDocument:
+      PutString(&out, record.doc_name);
+      EncodeTree(&out, record.tree);
+      break;
+    case WalRecordKind::kDelta: {
+      std::string body;
+      PutU32(&body, static_cast<uint32_t>(record.requests.size()));
+      for (const RecordedRequest& request : record.requests) {
+        EncodeRequest(&body, request);
+      }
+      PutU64(&out, Fnv1a(body));
+      out += body;
+      break;
+    }
+    case WalRecordKind::kGcFree:
+      PutU32(&out, static_cast<uint32_t>(record.freed.size()));
+      for (NodeId id : record.freed) PutU32(&out, id);
+      break;
+  }
+  return out;
+}
+
+Result<WalRecord> DecodeRecordPayload(std::string_view payload) {
+  ByteReader reader(payload);
+  WalRecord record;
+  XQB_ASSIGN_OR_RETURN(record.seq, reader.TakeU64());
+  uint8_t kind;
+  XQB_ASSIGN_OR_RETURN(kind, reader.TakeU8());
+  if (kind < static_cast<uint8_t>(WalRecordKind::kDocument) ||
+      kind > static_cast<uint8_t>(WalRecordKind::kGcFree)) {
+    return Status::DataLoss("unknown record kind " + std::to_string(kind));
+  }
+  record.kind = static_cast<WalRecordKind>(kind);
+  switch (record.kind) {
+    case WalRecordKind::kDocument: {
+      std::string_view name;
+      XQB_ASSIGN_OR_RETURN(name, reader.TakeString());
+      record.doc_name = std::string(name);
+      XQB_ASSIGN_OR_RETURN(record.tree, DecodeTree(&reader));
+      if (!reader.empty()) {
+        return Status::DataLoss("trailing bytes after document record");
+      }
+      return record;
+    }
+    case WalRecordKind::kDelta: {
+      XQB_ASSIGN_OR_RETURN(record.delta_hash, reader.TakeU64());
+      std::string_view body =
+          payload.substr(payload.size() - reader.remaining());
+      if (Fnv1a(body) != record.delta_hash) {
+        return Status::DataLoss("delta record hash mismatch");
+      }
+      ByteReader body_reader(body);
+      uint32_t count;
+      XQB_ASSIGN_OR_RETURN(count, body_reader.TakeU32());
+      record.requests.reserve(std::min<uint32_t>(count, 4096));
+      for (uint32_t i = 0; i < count; ++i) {
+        XQB_ASSIGN_OR_RETURN(RecordedRequest request,
+                             DecodeRequest(&body_reader));
+        record.requests.push_back(std::move(request));
+      }
+      if (!body_reader.empty()) {
+        return Status::DataLoss("trailing bytes after delta record");
+      }
+      return record;
+    }
+    case WalRecordKind::kGcFree: {
+      uint32_t count;
+      XQB_ASSIGN_OR_RETURN(count, reader.TakeU32());
+      record.freed.reserve(std::min<uint32_t>(count, 65536));
+      for (uint32_t i = 0; i < count; ++i) {
+        NodeId id;
+        XQB_ASSIGN_OR_RETURN(id, reader.TakeU32());
+        record.freed.push_back(id);
+      }
+      if (!reader.empty()) {
+        return Status::DataLoss("trailing bytes after gc record");
+      }
+      return record;
+    }
+  }
+  return Status::DataLoss("unreachable record kind");
+}
+
+// ---- Frames ----
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out->append(payload.data(), payload.size());
+}
+
+Result<FrameView> DecodeFrame(std::string_view data) {
+  ByteReader reader(data);
+  uint32_t len;
+  XQB_ASSIGN_OR_RETURN(len, reader.TakeU32());
+  uint32_t crc;
+  XQB_ASSIGN_OR_RETURN(crc, reader.TakeU32());
+  if (len > kMaxFramePayload) {
+    return Status::DataLoss("frame length " + std::to_string(len) +
+                            " exceeds the payload cap");
+  }
+  if (data.size() - kFrameHeaderSize < len) {
+    return Status::DataLoss("truncated frame payload");
+  }
+  std::string_view payload = data.substr(kFrameHeaderSize, len);
+  if (Crc32(payload) != crc) {
+    return Status::DataLoss("frame CRC mismatch");
+  }
+  return FrameView{payload, kFrameHeaderSize + len};
+}
+
+}  // namespace xqb

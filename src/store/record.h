@@ -1,0 +1,201 @@
+#ifndef XQB_STORE_RECORD_H_
+#define XQB_STORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "core/update.h"
+#include "xdm/store.h"
+
+// Binary serialization of the durable-store record stream
+// (docs/ROBUSTNESS.md §7). Every durable event — a document load, an
+// applied snap Δ, a garbage collection — becomes one WalRecord,
+// encoded as a length-prefixed, CRC32-framed payload so a torn tail
+// (the record a crash interrupted mid-write) is detected and discarded
+// on recovery rather than replayed as garbage.
+//
+// Replay fidelity rests on two representation choices:
+//  - Node identity is physical: every node a record creates carries its
+//    exact original NodeId, restored through Store::RestoreNode (update
+//    records reference existing nodes by id, so ids must survive
+//    restarts bit-for-bit).
+//  - Name identity is lexical: QNameIds are intern-pool indices that do
+//    NOT survive restarts, so records spell names out and replay
+//    re-interns them.
+//
+// All integers are fixed-width little-endian. Strings are u32 length +
+// raw bytes. The format is versioned by the file magics in wal.h /
+// checkpoint.h; record kinds may be appended, never reordered.
+
+namespace xqb {
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320, reflected), the frame checksum.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+// ---- Little-endian encode/decode primitives ----
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, std::string_view v);
+
+/// Sequential decoder over an immutable byte range. Every Take* returns
+/// kDataLoss on underrun, which recovery treats exactly like a CRC
+/// mismatch: the record (and everything after it) is discarded.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+  Result<uint8_t> TakeU8();
+  Result<uint32_t> TakeU32();
+  Result<uint64_t> TakeU64();
+  Result<std::string_view> TakeString();
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Tree snapshots ----
+
+/// One node of a captured subtree: the fields RestoreNode needs, with
+/// the name spelled lexically. `has_name` distinguishes an unnamed
+/// kind (document/text/comment: kInvalidQName) from a node whose
+/// interned name happens to be the empty string.
+struct TreeNode {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kText;
+  bool has_name = false;
+  std::string name;
+  std::string content;
+};
+
+/// A parent/child or parent/attribute edge, in the parent's list order.
+struct TreeLink {
+  NodeId parent = kInvalidNode;
+  NodeId child = kInvalidNode;
+  bool is_attribute = false;
+};
+
+/// A materialized subtree: nodes in document order (root first), then
+/// every edge grouped per parent in list order, so replaying the links
+/// sequentially reproduces each child/attribute list verbatim.
+struct TreeSnapshot {
+  std::vector<TreeNode> nodes;
+  std::vector<TreeLink> links;
+
+  bool empty() const { return nodes.empty(); }
+  NodeId root() const { return nodes.empty() ? kInvalidNode : nodes[0].id; }
+};
+
+/// Captures the subtree rooted at `root` (attributes before children,
+/// both in list order — the same document order the serializer walks).
+TreeSnapshot CaptureTree(const Store& store, NodeId root);
+
+/// Body serialization of a snapshot (u32 node count, nodes, u32 link
+/// count, links). Also the checkpoint's store image: a checkpoint body
+/// is one TreeSnapshot-shaped *forest* holding every alive node.
+void EncodeTree(std::string* out, const TreeSnapshot& tree);
+Result<TreeSnapshot> DecodeTree(ByteReader* reader);
+
+/// Rebuilds a captured subtree at its original ids via the store's
+/// restore primitives. If the tree's root id is already alive (the
+/// snapshot describes a node an earlier record restored — e.g. a
+/// re-registration of a loaded document, or the re-insert of a
+/// previously detached durable tree), the whole snapshot is skipped
+/// after checking the existing root's kind matches; interior conflicts
+/// surface as kDataLoss.
+Status RestoreTree(Store* store, const TreeSnapshot& tree);
+
+// ---- Durable update requests ----
+
+/// An UpdateRequest in durable form: rename names lexical, insert
+/// payloads carried as tree snapshots (captured BEFORE the Δ applied,
+/// so replay sees each payload exactly as the request inserted it,
+/// even when later requests of the same Δ mutated it afterwards).
+struct RecordedRequest {
+  UpdateRequest::Op op = UpdateRequest::Op::kDelete;
+  InsertAnchor anchor = InsertAnchor::kLast;
+  NodeId parent = kInvalidNode;
+  NodeId anchor_node = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::string rename_name;
+  std::vector<TreeSnapshot> payload;  // one snapshot per inserted node
+};
+
+/// Captures one request (payload subtrees must still be pre-apply).
+RecordedRequest CaptureRequest(const Store& store,
+                               const UpdateRequest& request);
+
+/// Replays one recorded request: restores payload trees, then applies
+/// the logical operation through the ordinary update machinery.
+Status ReplayRequest(Store* store, const RecordedRequest& request);
+
+// ---- WAL records ----
+
+enum class WalRecordKind : uint8_t {
+  /// A document load or registration: `doc_name` resolves to the root
+  /// of `tree`. Replay restores the tree (skipped when the root is
+  /// already alive — a second name for the same tree) and registers it.
+  kDocument = 1,
+  /// One applied snap Δ: the request vector in actual application
+  /// order (post ordering/shuffle), truncated to the applied prefix.
+  kDelta = 2,
+  /// A garbage collection: the freed slot ids in free-list push order,
+  /// so replay leaves the allocator able to re-claim the same ids.
+  kGcFree = 3,
+};
+
+struct WalRecord {
+  uint64_t seq = 0;
+  WalRecordKind kind = WalRecordKind::kDelta;
+  // kDocument
+  std::string doc_name;
+  TreeSnapshot tree;
+  // kDelta
+  std::vector<RecordedRequest> requests;
+  /// FNV-1a over the encoded request stream — the record's conflict-
+  /// hash identity (the same cheap hashing discipline VerifyConflictFree
+  /// uses over node ids). Decode re-derives and compares, so a bit flip
+  /// inside a frame that happens to keep its CRC is still caught.
+  uint64_t delta_hash = 0;
+  // kGcFree
+  std::vector<NodeId> freed;
+};
+
+/// Encodes the record body (everything inside a frame).
+std::string EncodeRecordPayload(const WalRecord& record);
+
+/// Decodes a record body. Any malformation — underrun, unknown kind or
+/// enum value, hash mismatch, trailing bytes — is kDataLoss.
+Result<WalRecord> DecodeRecordPayload(std::string_view payload);
+
+// ---- Frames ----
+
+/// Frame layout: u32 payload length, u32 CRC32(payload), payload.
+inline constexpr size_t kFrameHeaderSize = 8;
+/// Upper bound on one frame's payload, a corruption guard: a torn or
+/// flipped length field must not read as a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+void AppendFrame(std::string* out, std::string_view payload);
+
+struct FrameView {
+  std::string_view payload;
+  size_t frame_size = 0;  // header + payload bytes consumed
+};
+
+/// Decodes the frame at the head of `data`. kDataLoss on a truncated
+/// header/payload or CRC mismatch — the caller treats the rest of the
+/// buffer as a torn tail.
+Result<FrameView> DecodeFrame(std::string_view data);
+
+}  // namespace xqb
+
+#endif  // XQB_STORE_RECORD_H_

@@ -1,0 +1,223 @@
+#include "store/recovery.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "base/failpoint.h"
+
+namespace xqb {
+
+namespace {
+
+Status ReplayWalRecord(Store* store,
+                       std::unordered_map<std::string, NodeId>* documents,
+                       const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecordKind::kDocument: {
+      XQB_RETURN_IF_ERROR(RestoreTree(store, record.tree));
+      (*documents)[record.doc_name] = record.tree.root();
+      return Status::OK();
+    }
+    case WalRecordKind::kDelta: {
+      for (const RecordedRequest& request : record.requests) {
+        XQB_RETURN_IF_ERROR(ReplayRequest(store, request));
+      }
+      return Status::OK();
+    }
+    case WalRecordKind::kGcFree:
+      return store->RestoreFreeNodes(record.freed);
+  }
+  return Status::DataLoss("unknown record kind in replay");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const std::string& dir, SyncMode mode, Store* store,
+    std::unordered_map<std::string, NodeId>* documents,
+    RecoveryStats* stats) {
+  if (store->slot_count() != 0 || !documents->empty()) {
+    return Status::InvalidArgument(
+        "durability must open before any document loads (recovery "
+        "rebuilds the store in place)");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("mkdir " + dir + ": " +
+                            std::string(strerror(errno)));
+  }
+  RecoveryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  XQB_ASSIGN_OR_RETURN(LoadedCheckpoint checkpoint,
+                       LoadNewestCheckpoint(dir));
+  stats->checkpoints_rejected = checkpoint.rejected.size();
+  uint64_t last_seq = 0;
+  if (checkpoint.found) {
+    XQB_RETURN_IF_ERROR(
+        RestoreFromCheckpoint(store, checkpoint.data, documents));
+    last_seq = checkpoint.data.last_seq;
+    stats->had_checkpoint = true;
+    stats->checkpoint_seq = last_seq;
+    stats->checkpoint_path = checkpoint.path;
+  }
+
+  const std::string wal_path = dir + "/" + kWalFileName;
+  XQB_ASSIGN_OR_RETURN(WalContents contents, ReadWal(wal_path));
+  for (const WalRecord& record : contents.records) {
+    if (record.seq <= last_seq) {
+      // Already reflected in the checkpoint (a crash between the
+      // checkpoint rename and the WAL reset leaves such records).
+      ++stats->wal_records_skipped;
+      continue;
+    }
+    XQB_FAILPOINT("recovery.replay");
+    if (record.seq != last_seq + 1) {
+      return Status::DataLoss(
+          "WAL sequence gap: expected " + std::to_string(last_seq + 1) +
+          ", found " + std::to_string(record.seq));
+    }
+    XQB_RETURN_IF_ERROR(ReplayWalRecord(store, documents, record));
+    last_seq = record.seq;
+    ++stats->wal_records_replayed;
+  }
+  if (contents.torn_tail) {
+    // The expected crash artifact: a record interrupted mid-append.
+    // Everything before it is consistent; the tail is discarded so
+    // appending can resume on a clean boundary.
+    stats->torn_tail = true;
+    stats->torn_tail_error = contents.tail_error;
+    struct stat st;
+    if (::stat(wal_path.c_str(), &st) == 0 &&
+        static_cast<uint64_t>(st.st_size) > contents.valid_bytes) {
+      stats->torn_bytes_discarded =
+          static_cast<uint64_t>(st.st_size) - contents.valid_bytes;
+      if (::truncate(wal_path.c_str(),
+                     static_cast<off_t>(contents.valid_bytes)) != 0) {
+        return Status::Internal("truncate torn WAL tail: " +
+                                std::string(strerror(errno)));
+      }
+    }
+  }
+
+  // A rejected checkpoint is proof the store once reached its seq; if
+  // the surviving checkpoint + WAL could not replay back up to it, the
+  // difference is gone (the WAL prefix was truncated when that
+  // checkpoint was written). Report the loss instead of silently
+  // serving the stale — possibly empty — prefix.
+  if (checkpoint.max_rejected_seq > last_seq) {
+    return Status::DataLoss(
+        "checkpoint for seq " +
+        std::to_string(checkpoint.max_rejected_seq) +
+        " failed validation and the surviving state only reaches seq " +
+        std::to_string(last_seq));
+  }
+
+  // The gate: a recovered store that fails its own integrity audit
+  // must never serve.
+  Status integrity = store->CheckIntegrity();
+  if (!integrity.ok()) {
+    return Status::DataLoss("recovered store failed integrity audit: " +
+                            integrity.message());
+  }
+  for (const auto& [name, root] : *documents) {
+    if (!store->IsValid(root)) {
+      return Status::DataLoss("recovered document \"" + name +
+                              "\" names dead node " + std::to_string(root));
+    }
+  }
+
+  XQB_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal, Wal::Open(wal_path, mode));
+  return std::unique_ptr<DurabilityManager>(
+      new DurabilityManager(dir, mode, std::move(wal), last_seq + 1));
+}
+
+Status DurabilityManager::Prepare(
+    const Store& store, const std::vector<const UpdateRequest*>& requests) {
+  std::vector<RecordedRequest> captured;
+  captured.reserve(requests.size());
+  for (const UpdateRequest* request : requests) {
+    captured.push_back(CaptureRequest(store, *request));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      pending_.emplace(std::this_thread::get_id(), std::move(captured));
+  if (!inserted) {
+    // A Prepare without its Commit on the same thread is an engine
+    // bug, not a recoverable condition.
+    return Status::Internal(
+        "durability: Prepare while a prepared delta is pending");
+  }
+  return Status::OK();
+}
+
+Status DurabilityManager::Commit(
+    const Store& store, const std::vector<const UpdateRequest*>& requests,
+    size_t applied) {
+  (void)store;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(std::this_thread::get_id());
+  if (it == pending_.end()) {
+    return Status::Internal("durability: Commit without a Prepare");
+  }
+  std::vector<RecordedRequest> captured = std::move(it->second);
+  pending_.erase(it);
+  if (captured.size() != requests.size()) {
+    return Status::Internal("durability: Commit request count differs "
+                            "from Prepare");
+  }
+  if (applied == 0) return Status::OK();  // Nothing survived: no record.
+  WalRecord record;
+  record.kind = WalRecordKind::kDelta;
+  captured.resize(applied);  // Only the applied prefix is durable.
+  record.requests = std::move(captured);
+  return AppendLocked(&record);
+}
+
+Status DurabilityManager::LogDocument(const Store& store,
+                                      const std::string& name, NodeId root) {
+  WalRecord record;
+  record.kind = WalRecordKind::kDocument;
+  record.doc_name = name;
+  record.tree = CaptureTree(store, root);
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(&record);
+}
+
+Status DurabilityManager::LogGcFree(const std::vector<NodeId>& freed) {
+  if (freed.empty()) return Status::OK();
+  WalRecord record;
+  record.kind = WalRecordKind::kGcFree;
+  record.freed = freed;
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(&record);
+}
+
+Status DurabilityManager::Checkpoint(
+    const Store& store,
+    const std::unordered_map<std::string, NodeId>& documents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Everything logged so far must be on disk before the checkpoint
+  // claims to cover it.
+  XQB_RETURN_IF_ERROR(wal_->Sync());
+  std::vector<std::pair<std::string, NodeId>> docs(documents.begin(),
+                                                   documents.end());
+  XQB_ASSIGN_OR_RETURN(std::string path,
+                       WriteCheckpoint(store, docs, next_seq_ - 1, dir_));
+  (void)path;
+  // The checkpoint is durable; its records are redundant. A crash
+  // before this reset is handled by replay's seq <= checkpoint skip.
+  return wal_->Reset();
+}
+
+Status DurabilityManager::AppendLocked(WalRecord* record) {
+  record->seq = next_seq_;
+  XQB_RETURN_IF_ERROR(wal_->Append(*record));
+  ++next_seq_;
+  return Status::OK();
+}
+
+}  // namespace xqb

@@ -1,0 +1,119 @@
+#ifndef XQB_STORE_RECOVERY_H_
+#define XQB_STORE_RECOVERY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "core/update.h"
+#include "store/checkpoint.h"
+#include "store/wal.h"
+#include "xdm/store.h"
+
+// Recovery-on-open and live logging for the durable store
+// (docs/ROBUSTNESS.md §7). DurabilityManager::Open rebuilds a store
+// from its durability directory — newest valid checkpoint, then the
+// WAL tail, discarding a torn trailing record — and refuses to serve
+// unless the result passes Store::CheckIntegrity. The open manager is
+// then the engine's DeltaSink: every applied Δ, document registration
+// and GC appends a WAL record at the apply boundary.
+
+namespace xqb {
+
+/// What recovery-on-open found and did. Observability for xqb_run
+/// --recover and the crash-torture harness.
+struct RecoveryStats {
+  bool had_checkpoint = false;
+  uint64_t checkpoint_seq = 0;
+  std::string checkpoint_path;
+  /// Checkpoint files that failed validation and were skipped.
+  size_t checkpoints_rejected = 0;
+  size_t wal_records_replayed = 0;
+  /// Records already covered by the checkpoint (seq <= checkpoint_seq).
+  size_t wal_records_skipped = 0;
+  /// True when the WAL ended in a torn record, which was truncated.
+  bool torn_tail = false;
+  std::string torn_tail_error;
+  /// Bytes removed by the torn-tail truncation.
+  uint64_t torn_bytes_discarded = 0;
+};
+
+/// The engine-facing durability subsystem: one directory holding
+/// checkpoint files plus a WAL. Thread-safe for the engine's actual
+/// use (appends serialized internally; Prepare/Commit pairs are keyed
+/// by thread, so concurrently-applying evaluators do not mix state).
+class DurabilityManager : public DeltaSink {
+ public:
+  /// Opens (recovering if the directory holds prior state) and leaves
+  /// the WAL ready for appending. `store` and `documents` must be
+  /// empty — recovery rebuilds them in place. The directory is created
+  /// if absent. Returns kDataLoss when durable state exists but cannot
+  /// be restored to a store passing CheckIntegrity; a torn WAL tail is
+  /// NOT an error (it is the expected crash artifact) and is truncated
+  /// away. Fail point "recovery.replay" fires before each WAL record
+  /// replays.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const std::string& dir, SyncMode mode, Store* store,
+      std::unordered_map<std::string, NodeId>* documents,
+      RecoveryStats* stats = nullptr);
+
+  // DeltaSink: called by ApplyUpdateList(Atomic) at the apply boundary.
+  Status Prepare(const Store& store,
+                 const std::vector<const UpdateRequest*>& requests) override;
+  Status Commit(const Store& store,
+                const std::vector<const UpdateRequest*>& requests,
+                size_t applied) override;
+
+  /// Logs a document load/registration (`name` resolves to `root`).
+  /// The subtree is captured and embedded; re-registering an already
+  /// durable tree under a second name logs cheaply at replay (the
+  /// restore is skipped when the root is alive).
+  Status LogDocument(const Store& store, const std::string& name,
+                     NodeId root);
+
+  /// Logs a garbage collection's freed ids (free-list push order), so
+  /// replayed post-GC allocations land on the same recycled slots.
+  /// No-op for an empty `freed`.
+  Status LogGcFree(const std::vector<NodeId>& freed);
+
+  /// Writes a full checkpoint of `store` + `documents`, then resets
+  /// the WAL (its records are now redundant). On checkpoint failure
+  /// the WAL is left untouched — the previous durable state stays in
+  /// force.
+  Status Checkpoint(const Store& store,
+                    const std::unordered_map<std::string, NodeId>&
+                        documents);
+
+  SyncMode sync_mode() const { return mode_; }
+  const std::string& dir() const { return dir_; }
+  /// The sequence number the next appended record will carry.
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  DurabilityManager(std::string dir, SyncMode mode,
+                    std::unique_ptr<Wal> wal, uint64_t next_seq)
+      : dir_(std::move(dir)), mode_(mode), wal_(std::move(wal)),
+        next_seq_(next_seq) {}
+
+  Status AppendLocked(WalRecord* record);
+
+  std::string dir_;
+  SyncMode mode_;
+  std::mutex mu_;  // serializes appends, seq allocation and pending_
+  std::unique_ptr<Wal> wal_;
+  uint64_t next_seq_ = 1;
+  /// Prepare's pre-apply captures, keyed by applying thread (a
+  /// Prepare/Commit pair always runs on one thread; different threads
+  /// may interleave pairs).
+  std::unordered_map<std::thread::id, std::vector<RecordedRequest>>
+      pending_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_STORE_RECOVERY_H_

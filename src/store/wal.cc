@@ -1,0 +1,211 @@
+#include "store/wal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/failpoint.h"
+
+namespace xqb {
+
+const char* SyncModeToString(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kAlways: return "always";
+    case SyncMode::kBatch: return "batch";
+    case SyncMode::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Result<SyncMode> ParseSyncMode(const std::string& text) {
+  if (text == "always") return SyncMode::kAlways;
+  if (text == "batch") return SyncMode::kBatch;
+  if (text == "off") return SyncMode::kOff;
+  return Status::InvalidArgument(
+      "unknown sync mode \"" + text + "\" (always | batch | off)");
+}
+
+namespace {
+
+Status WriteFully(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write " + path + ": " +
+                              std::string(strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal("fsync " + path + ": " +
+                            std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("open directory " + dir + ": " +
+                            std::string(strerror(errno)));
+  }
+  Status st = SyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+Result<WalContents> ReadWal(const std::string& path) {
+  WalContents contents;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return contents;  // No log yet: a fresh store.
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string data = buffer.str();
+
+  if (data.size() < sizeof(kWalMagic)) {
+    // A crash during file creation can leave a short file; everything
+    // in it is torn tail (valid prefix: nothing).
+    contents.torn_tail = !data.empty();
+    if (contents.torn_tail) contents.tail_error = "truncated WAL magic";
+    return contents;
+  }
+  if (memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    // A wrong magic on a full-length header is not a crash artifact;
+    // refuse to guess at the file's framing.
+    return Status::DataLoss(path + ": bad WAL magic");
+  }
+
+  contents.valid_bytes = sizeof(kWalMagic);
+  std::string_view rest =
+      std::string_view(data).substr(sizeof(kWalMagic));
+  while (!rest.empty()) {
+    Result<FrameView> frame = DecodeFrame(rest);
+    if (!frame.ok()) {
+      contents.torn_tail = true;
+      contents.tail_error = frame.status().message();
+      break;
+    }
+    Result<WalRecord> record = DecodeRecordPayload(frame->payload);
+    if (!record.ok()) {
+      contents.torn_tail = true;
+      contents.tail_error = record.status().message();
+      break;
+    }
+    contents.records.push_back(std::move(record).value());
+    contents.valid_bytes += frame->frame_size;
+    rest = rest.substr(frame->frame_size);
+  }
+  return contents;
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       SyncMode mode) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("open WAL " + path + ": " +
+                            std::string(strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("stat WAL " + path + ": " +
+                            std::string(strerror(errno)));
+  }
+  std::unique_ptr<Wal> wal(new Wal(path, fd, mode));
+  if (st.st_size == 0) {
+    Status written =
+        WriteFully(fd, kWalMagic, sizeof(kWalMagic), path);
+    if (written.ok() && mode != SyncMode::kOff) {
+      written = SyncFd(fd, path);
+      if (written.ok()) written = SyncParentDirectory(path);
+    }
+    if (!written.ok()) return written;  // wal's destructor closes fd
+  }
+  return wal;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Wal::Append(const WalRecord& record) {
+  frame_buffer_.clear();
+  AppendFrame(&frame_buffer_, EncodeRecordPayload(record));
+  XQB_FAILPOINT("wal.append");
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::Internal("stat WAL " + path_ + ": " +
+                            std::string(strerror(errno)));
+  }
+  const off_t pre_size = st.st_size;
+  // An error after the write must un-write the frame: the caller will
+  // fail (and possibly roll back) the apply, so a record left behind
+  // would replay a Δ that never committed (logged ⟺ applied). The
+  // truncate is best effort — if it fails too we are in double-fault
+  // territory and the error still propagates.
+  auto unwrite = [&] { (void)::ftruncate(fd_, pre_size); };
+  Status written =
+      WriteFully(fd_, frame_buffer_.data(), frame_buffer_.size(), path_);
+  if (!written.ok()) {
+    unwrite();
+    return written;
+  }
+  const bool sync_now =
+      mode_ == SyncMode::kAlways ||
+      (mode_ == SyncMode::kBatch && unsynced_ + 1 >= kWalBatchInterval);
+  if (XQB_FAILPOINT_FIRED("wal.fsync")) {
+    unwrite();
+    return FailpointError("wal.fsync");
+  }
+  if (sync_now) {
+    Status synced = SyncFd(fd_, path_);
+    if (!synced.ok()) {
+      unwrite();
+      return synced;
+    }
+    unsynced_ = 0;
+  } else {
+    ++unsynced_;
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  if (mode_ == SyncMode::kOff) return Status::OK();
+  XQB_RETURN_IF_ERROR(SyncFd(fd_, path_));
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Reset() {
+  if (::ftruncate(fd_, static_cast<off_t>(sizeof(kWalMagic))) != 0) {
+    return Status::Internal("truncate WAL " + path_ + ": " +
+                            std::string(strerror(errno)));
+  }
+  // O_APPEND positions each write at the (new) end; sync the shrink so
+  // a crash cannot resurrect pre-checkpoint records after the reset.
+  if (mode_ != SyncMode::kOff) XQB_RETURN_IF_ERROR(SyncFd(fd_, path_));
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+}  // namespace xqb

@@ -1,0 +1,115 @@
+#ifndef XQB_STORE_WAL_H_
+#define XQB_STORE_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "store/record.h"
+
+// The write-ahead delta log (docs/ROBUSTNESS.md §7): an append-only
+// file of CRC-framed WalRecords behind an 8-byte magic. Appends happen
+// at the update-apply boundary (DeltaSink::Commit) and at document
+// registration/GC, so the log replayed over the newest checkpoint
+// reconstructs the store exactly — every prefix of the log that ends
+// on a record boundary is a consistent, snap-aligned store state.
+
+namespace xqb {
+
+inline constexpr char kWalMagic[8] = {'X', 'Q', 'B', 'W', 'A', 'L', '0', '1'};
+inline constexpr const char* kWalFileName = "wal.xqbw";
+
+/// When an appended record becomes durable.
+enum class SyncMode : uint8_t {
+  /// fsync after every append: a record acknowledged is a record that
+  /// survives power loss. The default.
+  kAlways,
+  /// fsync every kWalBatchInterval appends (and on Sync/checkpoint): a
+  /// crash may lose the last few acknowledged records, but never
+  /// produces a torn or reordered store — recovery still lands on a
+  /// snap-aligned prefix.
+  kBatch,
+  /// Never fsync (the OS flushes when it pleases): process-crash-safe
+  /// (the page cache survives the process), power-loss-unsafe. The
+  /// bench_wal_overhead regression gate pins this mode ≈ no-durability.
+  kOff,
+};
+
+/// Appends between fsyncs in kBatch mode.
+inline constexpr size_t kWalBatchInterval = 16;
+
+const char* SyncModeToString(SyncMode mode);
+/// Parses "always" | "batch" | "off" (kInvalidArgument otherwise).
+Result<SyncMode> ParseSyncMode(const std::string& text);
+
+/// Everything a WAL file held, read torn-tail-tolerantly.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Byte length of the valid prefix (magic + whole valid frames).
+  /// Recovery truncates the file here before appending resumes.
+  uint64_t valid_bytes = 0;
+  /// True when bytes past valid_bytes existed and failed validation —
+  /// the torn tail a crash mid-append leaves behind.
+  bool torn_tail = false;
+  /// Why the tail was rejected (empty when !torn_tail).
+  std::string tail_error;
+};
+
+/// fsyncs the directory containing `path`, making a just-created or
+/// just-renamed entry durable (shared by the WAL and checkpointing).
+Status SyncParentDirectory(const std::string& path);
+
+/// Reads and validates `path`. A missing file yields empty contents
+/// (valid_bytes 0); a file too short to hold the magic is all torn
+/// tail; a present-but-wrong magic is hard corruption (kDataLoss) —
+/// that is not a state a crash can produce.
+Result<WalContents> ReadWal(const std::string& path);
+
+/// The append side. Single-writer: the engine serializes appends (the
+/// apply boundary already is serial), so Wal does no locking itself.
+class Wal {
+ public:
+  /// Opens `path` for appending, creating it (magic + fsync, and an
+  /// fsync of the parent directory so the creation itself is durable)
+  /// if absent. An existing file must already be validated/truncated
+  /// by recovery; Open seeks to its end.
+  static Result<std::unique_ptr<Wal>> Open(const std::string& path,
+                                           SyncMode mode);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Encodes, frames and appends `record`, then syncs per the mode.
+  /// Fail points: "wal.append" before the frame is written (nothing of
+  /// the record reaches the file), "wal.fsync" after the write, before
+  /// the sync (the record is written but not yet durable).
+  Status Append(const WalRecord& record);
+
+  /// Forces an fsync now (checkpointing, engine shutdown).
+  Status Sync();
+
+  /// Truncates the log back to just the magic — the WAL reset after a
+  /// successful checkpoint made every logged record redundant.
+  Status Reset();
+
+  const std::string& path() const { return path_; }
+  uint64_t appended_records() const { return appended_; }
+
+ private:
+  Wal(std::string path, int fd, SyncMode mode)
+      : path_(std::move(path)), fd_(fd), mode_(mode) {}
+
+  std::string path_;
+  int fd_ = -1;
+  SyncMode mode_;
+  size_t unsynced_ = 0;
+  uint64_t appended_ = 0;
+  std::string frame_buffer_;  // reused across appends
+};
+
+}  // namespace xqb
+
+#endif  // XQB_STORE_WAL_H_

@@ -469,6 +469,102 @@ NodeId Store::DeepCopy(NodeId node) {
   return copy;
 }
 
+Status Store::RestoreNode(NodeId id, NodeKind kind, QNameId name,
+                          std::string_view content) {
+  if (static_cast<size_t>(id) >= kMaxChunks * kChunkSize) {
+    return Status::Internal("restore: node id " + std::to_string(id) +
+                            " exceeds the store's node cap");
+  }
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    size_t slots = slot_count_.load(std::memory_order_relaxed);
+    if (id < slots) {
+      if (Rec(id).alive) {
+        return Status::Internal("restore: slot " + std::to_string(id) +
+                                " is already alive");
+      }
+      auto it = std::find(free_list_.begin(), free_list_.end(), id);
+      if (it == free_list_.end()) {
+        return Status::Internal("restore: dead slot " + std::to_string(id) +
+                                " is not on the free list");
+      }
+      free_list_.erase(it);
+    } else {
+      // Extend the slot range up to `id`, installing any missing
+      // chunks. Skipped-over fresh slots become free-list entries so a
+      // later RestoreNode (or ordinary Allocate) can claim them.
+      for (size_t chunk = slots >> kChunkBits;
+           chunk <= (static_cast<size_t>(id) >> kChunkBits); ++chunk) {
+        if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+          chunks_[chunk].store(new NodeRecord[kChunkSize],
+                               std::memory_order_release);
+        }
+      }
+      for (size_t gap = slots; gap < id; ++gap) {
+        free_list_.push_back(static_cast<NodeId>(gap));
+      }
+      slot_count_.store(static_cast<size_t>(id) + 1,
+                        std::memory_order_release);
+    }
+  }
+  NodeRecord& rec = Rec(id);
+  rec = NodeRecord{};
+  rec.kind = kind;
+  rec.alive = true;
+  rec.name = name;
+  rec.content.assign(content);
+  live_count_.fetch_add(1, std::memory_order_acq_rel);
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Store::RestoreChildLink(NodeId parent, NodeId child) {
+  if (!IsValid(parent) || !IsValid(child)) {
+    return Status::Internal("restore link references a dead node");
+  }
+  NodeRecord& prec = Rec(parent);
+  NodeRecord& crec = Rec(child);
+  if (prec.kind != NodeKind::kElement && prec.kind != NodeKind::kDocument) {
+    return Status::Internal("restore: child linked under a " +
+                            std::string(NodeKindToString(prec.kind)) +
+                            " node");
+  }
+  if (crec.kind == NodeKind::kAttribute ||
+      crec.kind == NodeKind::kDocument) {
+    return Status::Internal("restore: a " +
+                            std::string(NodeKindToString(crec.kind)) +
+                            " node linked as child");
+  }
+  if (crec.parent != kInvalidNode) {
+    return Status::Internal("restore: child " + std::to_string(child) +
+                            " linked twice");
+  }
+  crec.parent = parent;
+  prec.children.push_back(child);
+  BumpVersion();
+  return Status::OK();
+}
+
+Status Store::RestoreAttributeLink(NodeId parent, NodeId attr) {
+  if (!IsValid(parent) || !IsValid(attr)) {
+    return Status::Internal("restore link references a dead node");
+  }
+  NodeRecord& prec = Rec(parent);
+  NodeRecord& arec = Rec(attr);
+  if (prec.kind != NodeKind::kElement ||
+      arec.kind != NodeKind::kAttribute) {
+    return Status::Internal("restore: bad attribute link kinds");
+  }
+  if (arec.parent != kInvalidNode) {
+    return Status::Internal("restore: attribute " + std::to_string(attr) +
+                            " linked twice");
+  }
+  arec.parent = parent;
+  prec.attributes.push_back(attr);
+  BumpVersion();
+  return Status::OK();
+}
+
 Status Store::CheckIntegrity() const {
   const size_t slots = slot_count_.load(std::memory_order_acquire);
   auto fail = [](const std::string& what) {
@@ -594,7 +690,8 @@ Status Store::CheckIntegrity() const {
   return Status::OK();
 }
 
-size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {
+size_t Store::GarbageCollect(const std::vector<NodeId>& roots,
+                             std::vector<NodeId>* freed_ids) {
   size_t slots = slot_count_.load(std::memory_order_acquire);
   std::vector<bool> reachable(slots, false);
   std::vector<NodeId> stack;
@@ -617,6 +714,7 @@ size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {
       if (Rec(i).alive && !reachable[i]) {
         Rec(i) = NodeRecord{};
         free_list_.push_back(i);
+        if (freed_ids != nullptr) freed_ids->push_back(i);
         ++freed;
       }
     }
@@ -626,6 +724,44 @@ size_t Store::GarbageCollect(const std::vector<NodeId>& roots) {
     BumpVersion();
   }
   return freed;
+}
+
+Status Store::RestoreFreeNodes(const std::vector<NodeId>& freed) {
+  // A GC record names every slot the original collection freed — but
+  // replay only materialized the *durable* nodes (logged documents and
+  // Δ payloads), while the original run also collected evaluation
+  // temporaries that never reached the log. Ids that are not alive
+  // here are exactly those: never restored, so their slots are already
+  // free — skip them. Validate the rest before mutating anything: an
+  // alive node still attached to a surviving parent contradicts the
+  // replayed store (half-freeing it would leave a dangling child
+  // link), which is corruption. Interior nodes of a freed tree
+  // legitimately have parents — but the parent must be freed too.
+  std::unordered_set<NodeId> freeing(freed.begin(), freed.end());
+  std::vector<NodeId> to_free;
+  to_free.reserve(freed.size());
+  for (NodeId id : freed) {
+    if (!IsValid(id)) continue;  // Non-durable garbage: already free.
+    NodeId parent = Rec(id).parent;
+    if (parent != kInvalidNode && freeing.count(parent) == 0) {
+      return Status::DataLoss("gc replay frees node " + std::to_string(id) +
+                              " still attached to surviving parent " +
+                              std::to_string(parent));
+    }
+    to_free.push_back(id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    for (NodeId id : to_free) {
+      Rec(id) = NodeRecord{};
+      free_list_.push_back(id);
+    }
+  }
+  if (!to_free.empty()) {
+    live_count_.fetch_sub(to_free.size(), std::memory_order_acq_rel);
+    BumpVersion();
+  }
+  return Status::OK();
 }
 
 }  // namespace xqb

@@ -205,7 +205,51 @@ class Store {
   /// rooted). Returns the number of freed node records. Freed ids go to
   /// a free list and may be recycled by later constructors. Not safe
   /// during a parallel region (serial phases only).
-  size_t GarbageCollect(const std::vector<NodeId>& roots);
+  ///
+  /// When `freed_ids` is non-null it receives the freed ids in exactly
+  /// the order they were pushed onto the free list — the durable GC
+  /// record (src/store/), so RestoreFreeNodes leaves a recovered
+  /// allocator recycling the same slots in the same order.
+  size_t GarbageCollect(const std::vector<NodeId>& roots,
+                        std::vector<NodeId>* freed_ids = nullptr);
+
+  // ---- Durability restore (recovery-on-open, src/store/) ----
+  //
+  // Checkpoint and WAL replay must rebuild nodes at their *exact*
+  // original NodeIds (update records reference nodes by id). These
+  // primitives are the restore-mode allocator: they claim a specific
+  // slot instead of drawing from the free list, and wire raw links
+  // without the construction-time behaviors (text merging, duplicate
+  // checks) that would change the materialized shape. They are meant
+  // for single-threaded recovery into a store that is being rebuilt;
+  // they are never called on a serving store.
+
+  /// Claims slot `id` for a fresh node. The slot must not be alive:
+  /// either it is on the free list, or it lies at/beyond slot_count()
+  /// (the slot range is extended; intermediate fresh slots go to the
+  /// free list so a later RestoreNode can still claim them). `name` is
+  /// kInvalidQName for unnamed kinds. Returns kInternal if the slot is
+  /// alive or the id exceeds the store's node cap.
+  Status RestoreNode(NodeId id, NodeKind kind, QNameId name,
+                     std::string_view content);
+
+  /// Appends `child` to `parent`'s child list and sets the backlink.
+  /// Unlike AppendChild, adjacent text nodes are NOT merged: recovered
+  /// trees must reproduce the stored shape verbatim (update application
+  /// never merges, so stored trees can legitimately hold adjacent text
+  /// siblings). Checks only what CheckIntegrity would later reject.
+  Status RestoreChildLink(NodeId parent, NodeId child);
+
+  /// Appends `attr` to `parent`'s attribute list and sets the backlink.
+  Status RestoreAttributeLink(NodeId parent, NodeId attr);
+
+  /// Replays a garbage collection: frees the alive subset of `freed`,
+  /// pushing ids onto the free list in record order. Ids that are not
+  /// alive are skipped — the original collection also freed evaluation
+  /// temporaries that never reached the log, so a replayed store never
+  /// materialized them. An alive id still attached to a parent outside
+  /// `freed` is corruption (kDataLoss).
+  Status RestoreFreeNodes(const std::vector<NodeId>& freed);
 
   // ---- Integrity auditing (chaos harness, docs/ROBUSTNESS.md) ----
 

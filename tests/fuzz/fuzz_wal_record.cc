@@ -1,0 +1,62 @@
+// libFuzzer entry point for the durable-store decode surface
+// (docs/ROBUSTNESS.md "Durability"). Build with
+//
+//   cmake -B build-fuzz -S . -DXQB_FUZZ=ON \
+//         -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target fuzz_wal_record
+//   ./build-fuzz/tests/fuzz/fuzz_wal_record tests/fuzz/corpus
+//
+// The input is treated three ways at once: as the head of a WAL byte
+// stream (frame decode: length/CRC validation, torn-tail detection), as
+// a bare record payload (record decode: kind tags, QNames, tree
+// snapshots, delta-hash verification), and — when it decodes — as a
+// record replayed into a fresh Store. The corpus seeds
+// (seed_wal_frame_*) are valid encoded frames, so the fuzzer starts
+// from the interesting side of the CRC and mutates inward. The property
+// under test: arbitrary bytes produce a Status (malformation is
+// kDataLoss), never a crash, hang, OOM, or sanitizer report.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "store/record.h"
+#include "xdm/store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // Frame layer: consume frames until the torn tail, as ReadWal does.
+  std::string_view rest = input;
+  while (!rest.empty()) {
+    auto frame = xqb::DecodeFrame(rest);
+    if (!frame.ok()) break;
+    auto record = xqb::DecodeRecordPayload(frame->payload);
+    if (record.ok()) {
+      xqb::Store store;
+      switch (record->kind) {
+        case xqb::WalRecordKind::kDocument:
+          (void)xqb::RestoreTree(&store, record->tree);
+          break;
+        case xqb::WalRecordKind::kDelta:
+          for (const auto& request : record->requests) {
+            if (!xqb::ReplayRequest(&store, request).ok()) break;
+          }
+          break;
+        case xqb::WalRecordKind::kGcFree:
+          (void)store.RestoreFreeNodes(record->freed);
+          break;
+      }
+    }
+    rest.remove_prefix(frame->frame_size);
+  }
+
+  // Record layer, unframed: the raw payload bytes directly, probing the
+  // decoder without requiring the fuzzer to keep a CRC consistent.
+  (void)xqb::DecodeRecordPayload(input);
+
+  // Primitive layer: the tree codec via a bare reader.
+  xqb::ByteReader reader(input);
+  (void)xqb::DecodeTree(&reader);
+  return 0;
+}

@@ -1,0 +1,279 @@
+// In-process crash-torture: fork a child that SIGKILLs itself at a
+// WAL/checkpoint fail point mid-workload (crash-on-fire mode — no
+// destructors, no flushes, exactly like power loss), then recover in
+// the parent and assert the store is a snap-aligned prefix of the
+// workload that passes the full integrity audit. The out-of-process
+// sweep over every catalog point × seeds × thread counts lives in
+// tools/run_crash_torture.py; these tests pin the semantics per point.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/failpoint.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+
+namespace xqb {
+namespace {
+
+/// Runs `body` in a forked child with crash-on-fire armed for `spec`.
+/// Returns the child's fate: true when SIGKILLed (the fail point was
+/// reached), false when it ran to completion.
+bool RunCrashingChild(const std::string& spec,
+                      const std::function<void()>& body) {
+  pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    FailpointRegistry::Global().set_crash_on_fire(true);
+    if (!FailpointRegistry::Global().Configure(spec).ok()) _exit(3);
+    body();
+    _exit(0);
+  }
+  int wstatus = 0;
+  EXPECT_EQ(waitpid(pid, &wstatus, 0), pid);
+  if (WIFSIGNALED(wstatus)) {
+    EXPECT_EQ(WTERMSIG(wstatus), SIGKILL);
+    return true;
+  }
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  return false;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/xqb_crash_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    if (!FailpointRegistry::kCompiledIn) GTEST_SKIP();
+  }
+  void TearDown() override { FailpointRegistry::Global().Clear(); }
+
+  /// The torture workload: load a document, then `snaps` hit-appending
+  /// snaps, each its own atomic apply boundary.
+  static void Workload(const std::string& dir, int snaps) {
+    Engine engine;
+    if (!engine.OpenDurability(dir).ok()) _exit(4);
+    if (!engine.LoadDocumentFromString("site", "<site/>").ok()) _exit(5);
+    for (int i = 1; i <= snaps; ++i) {
+      auto result = engine.Execute(
+          "snap { insert { <hit n=\"" + std::to_string(i) +
+          "\"/> } into { doc(\"site\")/site } }");
+      if (!result.ok()) _exit(6);
+    }
+  }
+
+  /// Recovers and asserts the invariant the torture contract promises:
+  /// integrity-clean store whose hits are exactly 1..k for some k ≤ n
+  /// (a snap-aligned prefix of the workload — no hole, no reorder, no
+  /// partial snap).
+  int RecoverAndCheckPrefix(int max_snaps) {
+    Engine engine;
+    RecoveryStats stats;
+    Status opened = engine.OpenDurability(dir_, SyncMode::kAlways, &stats);
+    EXPECT_TRUE(opened.ok()) << opened.ToString();
+    if (!opened.ok()) return -1;
+    EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+    if (!engine.HasDocument("site")) return 0;
+    auto doc = engine.Execute("doc(\"site\")");
+    EXPECT_TRUE(doc.ok());
+    if (!doc.ok()) return -1;
+    std::string xml = engine.Serialize(*doc);
+    int count = 0;
+    size_t pos = 0;
+    while ((pos = xml.find("<hit n=\"", pos)) != std::string::npos) {
+      ++count;
+      std::string expected = "<hit n=\"" + std::to_string(count) + "\"";
+      EXPECT_EQ(xml.compare(pos, expected.size(), expected), 0)
+          << "hits are not a contiguous 1..k prefix: " << xml;
+      pos += expected.size();
+    }
+    EXPECT_LE(count, max_snaps);
+    return count;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CrashRecoveryTest, KillAtWalAppendLosesAtMostTheCrashingSnap) {
+  ASSERT_TRUE(RunCrashingChild("wal.append=nth:4",
+                               [&] { Workload(dir_, 8); }));
+  // Records: doc load = 1, snaps = 2.. — append #4 is snap 3, which
+  // died before its bytes hit the file.
+  EXPECT_EQ(RecoverAndCheckPrefix(8), 2);
+}
+
+TEST_F(CrashRecoveryTest, KillAtWalFsyncKeepsTheWrittenRecord) {
+  ASSERT_TRUE(RunCrashingChild("wal.fsync=nth:4",
+                               [&] { Workload(dir_, 8); }));
+  // The record was fully written before the fsync-point kill, so the
+  // crashing snap survives (fsync is the durability bound against OS
+  // loss, not the atomicity bound of the file contents).
+  EXPECT_EQ(RecoverAndCheckPrefix(8), 3);
+}
+
+TEST_F(CrashRecoveryTest, KillDuringCheckpointWritePreservesOldState) {
+  ASSERT_TRUE(RunCrashingChild("checkpoint.write=nth:1", [&] {
+    Workload(dir_, 5);
+    // Workload's engine is gone; reopen and checkpoint — the kill
+    // lands inside the checkpoint file write, before the rename.
+    Engine engine;
+    if (!engine.OpenDurability(dir_).ok()) _exit(4);
+    (void)engine.Checkpoint();
+    _exit(7);  // Unreachable when the point fires.
+  }));
+  // The WAL was never reset, no checkpoint committed: full replay.
+  EXPECT_EQ(RecoverAndCheckPrefix(5), 5);
+  std::ifstream tmp_probe(dir_ + "/wal.xqbw");
+  EXPECT_TRUE(tmp_probe.good());
+}
+
+TEST_F(CrashRecoveryTest, KillAtCheckpointRenameLeavesTmpIgnored) {
+  ASSERT_TRUE(RunCrashingChild("checkpoint.rename=nth:1", [&] {
+    Workload(dir_, 5);
+    Engine engine;
+    if (!engine.OpenDurability(dir_).ok()) _exit(4);
+    (void)engine.Checkpoint();
+    _exit(7);
+  }));
+  // A fully-written but unrenamed .tmp is invisible to recovery.
+  EXPECT_EQ(RecoverAndCheckPrefix(5), 5);
+}
+
+TEST_F(CrashRecoveryTest, KillDuringRecoveryReplayIsIdempotent) {
+  // First crash mid-workload, then crash again *during recovery* —
+  // recovery is read-only except the torn-tail truncation, so a third
+  // attempt still lands on the same prefix.
+  ASSERT_TRUE(RunCrashingChild("wal.append=nth:6",
+                               [&] { Workload(dir_, 8); }));
+  ASSERT_TRUE(RunCrashingChild("recovery.replay=nth:3", [&] {
+    Engine engine;
+    (void)engine.OpenDurability(dir_);
+    _exit(7);
+  }));
+  EXPECT_EQ(RecoverAndCheckPrefix(8), 4);
+}
+
+TEST_F(CrashRecoveryTest, TornTailIsTruncatedExactlyOnce) {
+  Workload(dir_, 3);
+  // Simulate a torn write the failpoints can't produce: garbage bytes
+  // appended to the WAL (a frame header promising more than exists).
+  {
+    std::ofstream wal(dir_ + "/wal.xqbw",
+                      std::ios::binary | std::ios::app);
+    wal.write("\xff\xff\x00\x00garbage", 11);
+  }
+  Engine first;
+  RecoveryStats stats;
+  ASSERT_TRUE(first.OpenDurability(dir_, SyncMode::kAlways, &stats).ok());
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_EQ(stats.torn_bytes_discarded, 11u);
+
+  Engine second;
+  RecoveryStats clean;
+  ASSERT_TRUE(
+      second.OpenDurability(dir_, SyncMode::kAlways, &clean).ok());
+  EXPECT_FALSE(clean.torn_tail) << "truncation did not persist";
+  EXPECT_EQ(RecoverAndCheckPrefix(3), 3);
+}
+
+TEST_F(CrashRecoveryTest, CorruptedSoleCheckpointIsDataLossNotSilence) {
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <hit n=\"1\"/> } into "
+                             "{ doc(\"site\")/site } }")
+                    .ok());
+  }
+  // Flip a byte in the middle of the only checkpoint. Its WAL records
+  // were truncated away at checkpoint time, so this is unrecoverable —
+  // the open must say so instead of serving a hole.
+  std::string path;
+  for (int seq = 0; seq < 64 && path.empty(); ++seq) {
+    std::string candidate =
+        dir_ + "/checkpoint-" + std::to_string(seq) + ".xqbc";
+    if (std::ifstream(candidate).good()) path = candidate;
+  }
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put('\x7f');
+  }
+  Engine engine;
+  Status opened = engine.OpenDurability(dir_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CrashRecoveryTest, CorruptedCheckpointWithEmptyWalIsStillDataLoss) {
+  // Harder variant: nothing ran after the checkpoint, so the WAL holds
+  // zero records and the seq-gap check has nothing to trip on. The
+  // rejected checkpoint's own sequence number is the only evidence the
+  // store ever held data — recovery must refuse to serve the empty
+  // store as if the directory were fresh.
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+    ASSERT_TRUE(engine.Checkpoint().ok());
+  }
+  std::string path;
+  for (int seq = 0; seq < 64 && path.empty(); ++seq) {
+    std::string candidate =
+        dir_ + "/checkpoint-" + std::to_string(seq) + ".xqbc";
+    if (std::ifstream(candidate).good()) path = candidate;
+  }
+  ASSERT_FALSE(path.empty());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(20);
+    f.put('\x7f');
+  }
+  Engine engine;
+  Status opened = engine.OpenDurability(dir_);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CrashRecoveryTest, ThreadedWorkloadCrashStillRecoversAligned) {
+  // Parallel snap evaluation applies Δs serially at the coordinator;
+  // a crash mid-run must still leave a snap-aligned durable prefix.
+  ASSERT_TRUE(RunCrashingChild("wal.append=nth:10", [&] {
+    Engine engine;
+    if (!engine.OpenDurability(dir_).ok()) _exit(4);
+    if (!engine.LoadDocumentFromString("site", "<site/>").ok()) _exit(5);
+    ExecOptions options;
+    options.threads = 8;
+    (void)engine.Execute(
+        "for $i in 1 to 30 return snap { insert { <hit/> } into "
+        "{ doc(\"site\")/site } }",
+        options);
+    _exit(0);
+  }));
+  Engine engine;
+  RecoveryStats stats;
+  ASSERT_TRUE(engine.OpenDurability(dir_, SyncMode::kAlways, &stats).ok());
+  EXPECT_TRUE(engine.store().CheckIntegrity().ok());
+  // Exactly the snaps whose records hit the WAL are present: replayed
+  // records = 1 doc + k snaps, store holds k hits.
+  auto count = engine.Execute("count(doc(\"site\")/site/hit)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(engine.Serialize(*count),
+            std::to_string(stats.wal_records_replayed - 1));
+}
+
+}  // namespace
+}  // namespace xqb

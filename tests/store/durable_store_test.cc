@@ -1,0 +1,331 @@
+// Engine-level durability: every applied Δ, document load and GC is
+// logged at the apply boundary; a second engine opened on the same
+// directory recovers bit-identical state (exact NodeIds, exact
+// serialization); checkpoints truncate the WAL without changing the
+// recovered state; logged ⟺ applied holds under injected WAL failures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "base/failpoint.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+
+namespace xqb {
+namespace {
+
+class DurableStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/xqb_durable_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    // Scrub leftovers of a previous run of the same test.
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+  void TearDown() override { FailpointRegistry::Global().Clear(); }
+
+  /// Serialized doc('site') via a fresh read-only query.
+  static std::string ReadSite(Engine* engine) {
+    auto result = engine->Execute("doc(\"site\")");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? engine->Serialize(*result) : std::string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableStoreTest, RecoversDocumentsAndAppliedDeltas) {
+  std::string before;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine
+                    .LoadDocumentFromString(
+                        "site", "<site><a>1</a><b x=\"y\">2</b></site>")
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <hit n=\"1\"/> } into "
+                             "{ doc(\"site\")/site } }")
+                    .ok());
+    ASSERT_TRUE(engine
+                    .Execute("snap { rename { doc(\"site\")/site/b } to "
+                             "{ \"renamed\" }, delete "
+                             "{ doc(\"site\")/site/a } }")
+                    .ok());
+    before = ReadSite(&engine);
+  }
+  Engine recovered;
+  RecoveryStats stats;
+  ASSERT_TRUE(
+      recovered.OpenDurability(dir_, SyncMode::kAlways, &stats).ok());
+  EXPECT_FALSE(stats.had_checkpoint);
+  EXPECT_GE(stats.wal_records_replayed, 3u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_TRUE(recovered.HasDocument("site"));
+  EXPECT_EQ(ReadSite(&recovered), before);
+  EXPECT_TRUE(recovered.store().CheckIntegrity().ok());
+}
+
+TEST_F(DurableStoreTest, NodeIdsSurviveRecoveryExactly) {
+  // Recovery restores only durable nodes (logged documents and Δ
+  // payloads), not the evaluation temporaries the original process
+  // also held — but every durable node keeps its exact id.
+  NodeId original_root;
+  NodeId inserted_b;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    auto doc = engine.LoadDocumentFromString("site", "<site><a/></site>");
+    ASSERT_TRUE(doc.ok());
+    original_root = *doc;
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <b/> } into "
+                             "{ doc(\"site\")/site } }")
+                    .ok());
+    NodeId site = engine.store().ChildrenOf(original_root)[0];
+    inserted_b = engine.store().ChildrenOf(site).back();
+    EXPECT_EQ(engine.store().NameOf(inserted_b), "b");
+  }
+  Engine recovered;
+  ASSERT_TRUE(recovered.OpenDurability(dir_).ok());
+  ASSERT_TRUE(recovered.store().IsValid(original_root));
+  EXPECT_EQ(recovered.store().KindOf(original_root), NodeKind::kDocument);
+  ASSERT_TRUE(recovered.store().IsValid(inserted_b));
+  EXPECT_EQ(recovered.store().NameOf(inserted_b), "b");
+  NodeId site = recovered.store().ChildrenOf(original_root)[0];
+  EXPECT_EQ(recovered.store().ChildrenOf(site).back(), inserted_b);
+}
+
+TEST_F(DurableStoreTest, CheckpointTruncatesWalAndPreservesState) {
+  std::string before;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(
+        engine.LoadDocumentFromString("site", "<site/>").ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(engine
+                      .Execute("snap { insert { <hit/> } into "
+                               "{ doc(\"site\")/site } }")
+                      .ok());
+    }
+    ASSERT_TRUE(engine.Checkpoint().ok());
+    // One post-checkpoint delta exercises checkpoint + WAL-tail replay.
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <tail/> } into "
+                             "{ doc(\"site\")/site } }")
+                    .ok());
+    before = ReadSite(&engine);
+  }
+  Engine recovered;
+  RecoveryStats stats;
+  ASSERT_TRUE(
+      recovered.OpenDurability(dir_, SyncMode::kAlways, &stats).ok());
+  EXPECT_TRUE(stats.had_checkpoint);
+  EXPECT_EQ(stats.wal_records_replayed, 1u);
+  EXPECT_EQ(ReadSite(&recovered), before);
+
+  // A third open sees the same state again (recovery is idempotent).
+  Engine again;
+  ASSERT_TRUE(again.OpenDurability(dir_).ok());
+  EXPECT_EQ(ReadSite(&again), before);
+}
+
+TEST_F(DurableStoreTest, ReadOnlyRunsAppendNothing) {
+  Engine engine;
+  ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+  ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+  uint64_t seq = engine.durability()->next_seq();
+  ASSERT_TRUE(engine.Execute("count(doc(\"site\")//*)").ok());
+  ASSERT_TRUE(engine.Execute("snap { doc(\"site\")/site }").ok());
+  EXPECT_EQ(engine.durability()->next_seq(), seq);
+}
+
+TEST_F(DurableStoreTest, GcIsLoggedAndReplayRecyclesSameSlots) {
+  std::string before;
+  size_t live;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine
+                    .LoadDocumentFromString(
+                        "site", "<site><junk><x/><y/></junk></site>")
+                    .ok());
+    ASSERT_TRUE(
+        engine.Execute("snap { delete { doc(\"site\")/site/junk } }")
+            .ok());
+    EXPECT_GT(engine.CollectGarbage(), 0u);
+    // Post-GC allocations recycle freed slots; replay must land them on
+    // the same ids or later records would reference wrong nodes.
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <fresh><f1/><f2/></fresh> } "
+                             "into { doc(\"site\")/site } }")
+                    .ok());
+    ASSERT_TRUE(engine.durability_error().ok());
+    before = ReadSite(&engine);
+    live = engine.store().live_node_count();
+  }
+  Engine recovered;
+  ASSERT_TRUE(recovered.OpenDurability(dir_).ok());
+  EXPECT_EQ(ReadSite(&recovered), before);
+  // Recovered stores hold only durable nodes — never more than the
+  // original (which also carried evaluation temporaries).
+  EXPECT_LE(recovered.store().live_node_count(), live);
+  EXPECT_TRUE(recovered.store().CheckIntegrity().ok());
+}
+
+TEST_F(DurableStoreTest, AtomicSnapLogsNothingWhenWalAppendFails) {
+  // logged ⟺ applied: an injected append failure fails the atomic snap,
+  // which rolls back; recovery then shows the pre-snap state.
+  if (!FailpointRegistry::kCompiledIn) GTEST_SKIP();
+  std::string before;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+    before = ReadSite(&engine);
+    ExecOptions options;
+    options.failpoints = "wal.append=nth:1";
+    auto result = engine.Execute(
+        "snap atomic { insert { <lost/> } into { doc(\"site\")/site } }",
+        options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFaultInjected);
+    FailpointRegistry::Global().Clear();
+    // The rollback left the in-memory store at the pre-snap state too.
+    EXPECT_EQ(ReadSite(&engine), before);
+  }
+  Engine recovered;
+  ASSERT_TRUE(recovered.OpenDurability(dir_).ok());
+  EXPECT_EQ(ReadSite(&recovered), before);
+}
+
+TEST_F(DurableStoreTest, FsyncFailureUnwritesTheRecord) {
+  // A record whose fsync failed must not replay after recovery even
+  // though its bytes had been written (the atomic apply rolled back).
+  if (!FailpointRegistry::kCompiledIn) GTEST_SKIP();
+  std::string before;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+    before = ReadSite(&engine);
+    ExecOptions options;
+    options.failpoints = "wal.fsync=nth:1";
+    auto result = engine.Execute(
+        "snap atomic { insert { <lost/> } into { doc(\"site\")/site } }",
+        options);
+    ASSERT_FALSE(result.ok());
+    FailpointRegistry::Global().Clear();
+    // The sequence number was not burned: the next snap still logs and
+    // recovery sees no gap.
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <kept/> } into "
+                             "{ doc(\"site\")/site } }")
+                    .ok());
+  }
+  Engine recovered;
+  ASSERT_TRUE(recovered.OpenDurability(dir_).ok());
+  std::string after = ReadSite(&recovered);
+  EXPECT_EQ(after.find("<lost/>"), std::string::npos);
+  EXPECT_NE(after.find("<kept/>"), std::string::npos);
+}
+
+TEST_F(DurableStoreTest, DurabilityErrorLatchStopsTheEngine) {
+  if (!FailpointRegistry::kCompiledIn) GTEST_SKIP();
+  Engine engine;
+  ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+  NodeId node = engine.store().NewElement("orphan");
+  ASSERT_TRUE(
+      FailpointRegistry::Global().Configure("wal.append=nth:1").ok());
+  engine.RegisterDocument("orphan", node);
+  FailpointRegistry::Global().Clear();
+  // The unlogged registration did not take effect, the latch is set,
+  // and every subsequent Run refuses.
+  EXPECT_FALSE(engine.HasDocument("orphan"));
+  ASSERT_FALSE(engine.durability_error().ok());
+  auto result = engine.Execute("1 + 1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), engine.durability_error().code());
+}
+
+TEST_F(DurableStoreTest, SyncModesBatchAndOffStillRecoverCleanShutdown) {
+  for (SyncMode mode : {SyncMode::kBatch, SyncMode::kOff}) {
+    std::string dir = dir_ + "_" + SyncModeToString(mode);
+    std::string before;
+    {
+      Engine engine;
+      ASSERT_TRUE(engine.OpenDurability(dir, mode).ok());
+      ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+      ASSERT_TRUE(engine
+                      .Execute("snap { insert { <hit/> } into "
+                               "{ doc(\"site\")/site } }")
+                      .ok());
+      before = ReadSite(&engine);
+    }
+    Engine recovered;
+    ASSERT_TRUE(recovered.OpenDurability(dir, mode).ok());
+    EXPECT_EQ(ReadSite(&recovered), before) << SyncModeToString(mode);
+  }
+}
+
+TEST_F(DurableStoreTest, ExecOptionsOpenDurabilityOnFirstRun) {
+  std::string before;
+  {
+    Engine engine;
+    ExecOptions options;
+    options.durability_dir = dir_;
+    // The first Run opens durability; the store is empty at that point.
+    ASSERT_TRUE(engine.Execute("1", options).ok());
+    ASSERT_TRUE(engine.durability_open());
+    ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+    ASSERT_TRUE(engine
+                    .Execute("snap { insert { <hit/> } into "
+                             "{ doc(\"site\")/site } }",
+                             options)
+                    .ok());
+    // A later Run naming a different directory is refused.
+    ExecOptions other;
+    other.durability_dir = dir_ + "_other";
+    EXPECT_FALSE(engine.Execute("1", other).ok());
+    before = ReadSite(&engine);
+  }
+  Engine recovered;
+  ASSERT_TRUE(recovered.OpenDurability(dir_).ok());
+  EXPECT_EQ(ReadSite(&recovered), before);
+}
+
+TEST_F(DurableStoreTest, OpenRequiresEmptyEngine) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+  EXPECT_FALSE(engine.OpenDurability(dir_).ok());
+}
+
+TEST_F(DurableStoreTest, ParallelSnapsLogAndRecover) {
+  // Effect-free snap scopes evaluate in parallel but apply serially on
+  // the coordinating thread; the log must capture every Δ exactly once.
+  std::string before;
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.OpenDurability(dir_).ok());
+    ASSERT_TRUE(engine.LoadDocumentFromString("site", "<site/>").ok());
+    ExecOptions options;
+    options.threads = 8;
+    ASSERT_TRUE(engine
+                    .Execute("for $i in 1 to 20 return snap { insert "
+                             "{ <hit/> } into { doc(\"site\")/site } }",
+                             options)
+                    .ok());
+    before = ReadSite(&engine);
+  }
+  Engine recovered;
+  ASSERT_TRUE(recovered.OpenDurability(dir_).ok());
+  EXPECT_EQ(ReadSite(&recovered), before);
+  EXPECT_TRUE(recovered.store().CheckIntegrity().ok());
+}
+
+}  // namespace
+}  // namespace xqb

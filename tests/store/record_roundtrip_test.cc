@@ -1,0 +1,401 @@
+// Round-trip and rejection properties of the durable record format
+// (src/store/record.h): every update kind survives capture → encode →
+// decode → replay bit-for-bit, and every malformed byte stream —
+// truncation, bit flips, bogus lengths — is rejected as kDataLoss
+// rather than replayed as garbage.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "store/record.h"
+#include "xdm/store.h"
+
+namespace xqb {
+namespace {
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(ByteReaderTest, PrimitivesRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0xAB);
+  PutU32(&buf, 0xDEADBEEFu);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutString(&buf, "hellö");
+  PutString(&buf, "");
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.TakeU8().value(), 0xAB);
+  EXPECT_EQ(reader.TakeU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.TakeU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.TakeString().value(), "hellö");
+  EXPECT_EQ(reader.TakeString().value(), "");
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(ByteReaderTest, UnderrunIsDataLoss) {
+  std::string buf;
+  PutU32(&buf, 7);  // String length 7 with no bytes behind it.
+  ByteReader reader(buf);
+  auto result = reader.TakeString();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(ByteReader("").TakeU8().ok());
+  EXPECT_FALSE(ByteReader("abc").TakeU32().ok());
+}
+
+/// Builds <root lang="en" empty=""><child>text</child><?pi data?>
+/// <!--note--></root> and returns the root.
+NodeId BuildSampleTree(Store* store) {
+  NodeId root = store->NewElement("ns:r\xC3\xA9root");
+  EXPECT_TRUE(store->AppendAttribute(
+                  root, store->NewAttribute("lang", "en")).ok());
+  EXPECT_TRUE(store->AppendAttribute(
+                  root, store->NewAttribute("empty", "")).ok());
+  NodeId child = store->NewElement("child");
+  EXPECT_TRUE(store->AppendChild(child, store->NewText("text")).ok());
+  EXPECT_TRUE(store->AppendChild(root, child).ok());
+  EXPECT_TRUE(store->AppendChild(
+                  root, store->NewProcessingInstruction("pi", "data")).ok());
+  EXPECT_TRUE(store->AppendChild(root, store->NewComment("note")).ok());
+  return root;
+}
+
+/// Structural equality of two live trees across stores, id-exact.
+void ExpectSameTree(const Store& a, const Store& b, NodeId node) {
+  ASSERT_TRUE(b.IsValid(node));
+  EXPECT_EQ(a.KindOf(node), b.KindOf(node));
+  EXPECT_EQ(a.NameOf(node), b.NameOf(node));
+  EXPECT_EQ(a.ContentOf(node), b.ContentOf(node));
+  ASSERT_EQ(a.AttributesOf(node).size(), b.AttributesOf(node).size());
+  ASSERT_EQ(a.ChildrenOf(node).size(), b.ChildrenOf(node).size());
+  for (size_t i = 0; i < a.AttributesOf(node).size(); ++i) {
+    EXPECT_EQ(a.AttributesOf(node)[i], b.AttributesOf(node)[i]);
+    ExpectSameTree(a, b, a.AttributesOf(node)[i]);
+  }
+  for (size_t i = 0; i < a.ChildrenOf(node).size(); ++i) {
+    EXPECT_EQ(a.ChildrenOf(node)[i], b.ChildrenOf(node)[i]);
+    ExpectSameTree(a, b, a.ChildrenOf(node)[i]);
+  }
+}
+
+TEST(TreeSnapshotTest, RoundTripsEveryNodeKindAtExactIds) {
+  Store original;
+  NodeId doc = original.NewDocument();
+  NodeId root = BuildSampleTree(&original);
+  ASSERT_TRUE(original.AppendChild(doc, root).ok());
+
+  TreeSnapshot snapshot = CaptureTree(original, doc);
+  EXPECT_EQ(snapshot.root(), doc);
+  std::string encoded;
+  EncodeTree(&encoded, snapshot);
+  ByteReader reader(encoded);
+  auto decoded = DecodeTree(&reader);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(reader.empty());
+
+  Store restored;
+  ASSERT_TRUE(RestoreTree(&restored, *decoded).ok());
+  ExpectSameTree(original, restored, doc);
+  EXPECT_TRUE(restored.CheckIntegrity().ok());
+}
+
+TEST(TreeSnapshotTest, AdjacentTextSiblingsSurviveVerbatim) {
+  // Update application can legitimately leave adjacent text siblings;
+  // restore must not re-merge them (that would change node count and
+  // later records' ids).
+  Store original;
+  NodeId root = original.NewElement("r");
+  NodeId t1 = original.NewText("a");
+  NodeId t2 = original.NewText("b");
+  ASSERT_TRUE(original.InsertChildrenLast({t1}, root).ok());
+  ASSERT_TRUE(original.InsertChildrenLast({t2}, root).ok());
+  ASSERT_EQ(original.ChildrenOf(root).size(), 2u);
+
+  Store restored;
+  ASSERT_TRUE(RestoreTree(&restored, CaptureTree(original, root)).ok());
+  ASSERT_EQ(restored.ChildrenOf(root).size(), 2u);
+  EXPECT_EQ(restored.ContentOf(restored.ChildrenOf(root)[0]), "a");
+  EXPECT_EQ(restored.ContentOf(restored.ChildrenOf(root)[1]), "b");
+}
+
+TEST(TreeSnapshotTest, RestoreSkipsAlreadyAliveRoot) {
+  Store original;
+  NodeId root = BuildSampleTree(&original);
+  TreeSnapshot snapshot = CaptureTree(original, root);
+
+  Store restored;
+  ASSERT_TRUE(RestoreTree(&restored, snapshot).ok());
+  size_t live = restored.live_node_count();
+  // Restoring the same snapshot again is the re-registration case.
+  ASSERT_TRUE(RestoreTree(&restored, snapshot).ok());
+  EXPECT_EQ(restored.live_node_count(), live);
+  // A kind clash on the alive root is corruption, not a skip.
+  Store clashing;
+  NodeId other = clashing.NewText("x");
+  ASSERT_EQ(other, snapshot.root());  // Both stores allocate id 0 first.
+  auto status = RestoreTree(&clashing, snapshot);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+/// Encodes one request inside a kDelta record and decodes it back.
+RecordedRequest RoundTrip(const RecordedRequest& request) {
+  WalRecord record;
+  record.seq = 42;
+  record.kind = WalRecordKind::kDelta;
+  record.requests.push_back(request);
+  auto decoded = DecodeRecordPayload(EncodeRecordPayload(record));
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->requests.size(), 1u);
+  return decoded->requests[0];
+}
+
+TEST(RequestRoundTripTest, InsertEveryAnchorKind) {
+  Store store;
+  NodeId payload = BuildSampleTree(&store);
+  for (InsertAnchor anchor :
+       {InsertAnchor::kFirst, InsertAnchor::kLast, InsertAnchor::kBefore,
+        InsertAnchor::kAfter}) {
+    UpdateRequest request;
+    request.op = UpdateRequest::Op::kInsert;
+    request.nodes = {payload};
+    request.anchor = anchor;
+    if (anchor == InsertAnchor::kFirst || anchor == InsertAnchor::kLast) {
+      request.parent = 77;
+    } else {
+      request.anchor_node = 99;
+    }
+    RecordedRequest out = RoundTrip(CaptureRequest(store, request));
+    EXPECT_EQ(out.op, UpdateRequest::Op::kInsert);
+    EXPECT_EQ(out.anchor, anchor);
+    EXPECT_EQ(out.parent, request.parent);
+    EXPECT_EQ(out.anchor_node, request.anchor_node);
+    ASSERT_EQ(out.payload.size(), 1u);
+    EXPECT_EQ(out.payload[0].root(), payload);
+    EXPECT_EQ(out.payload[0].nodes.size(),
+              CaptureTree(store, payload).nodes.size());
+  }
+}
+
+TEST(RequestRoundTripTest, InsertWithEmptyPayloadSequence) {
+  // `insert { () } into { ... }` produces a request with no nodes.
+  Store store;
+  UpdateRequest request;
+  request.op = UpdateRequest::Op::kInsert;
+  request.parent = 5;
+  RecordedRequest out = RoundTrip(CaptureRequest(store, request));
+  EXPECT_EQ(out.op, UpdateRequest::Op::kInsert);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(RequestRoundTripTest, DeleteAndRename) {
+  Store store;
+  NodeId target = store.NewElement("victim");
+  RecordedRequest del =
+      RoundTrip(CaptureRequest(store, UpdateRequest::Delete(target)));
+  EXPECT_EQ(del.op, UpdateRequest::Op::kDelete);
+  EXPECT_EQ(del.target, target);
+
+  // QName edge cases: prefixed, unicode, and whitespace-bearing names
+  // must survive lexically (ids are re-interned at replay).
+  for (const char* name :
+       {"plain", "ns:pfx", "\xC3\xA9l\xC3\xA9ment", "a b"}) {
+    QNameId qname = store.names().Intern(name);
+    RecordedRequest ren = RoundTrip(
+        CaptureRequest(store, UpdateRequest::Rename(target, qname)));
+    EXPECT_EQ(ren.op, UpdateRequest::Op::kRename);
+    EXPECT_EQ(ren.target, target);
+    EXPECT_EQ(ren.rename_name, name);
+  }
+}
+
+TEST(RequestRoundTripTest, ReplayedInsertMatchesOriginalApply) {
+  // Apply on one store, capture-then-replay on another: same shape.
+  Store original;
+  NodeId root = original.NewElement("r");
+  NodeId child = original.NewElement("c");
+  UpdateRequest request = UpdateRequest::InsertInto({child}, root, false);
+  RecordedRequest recorded = CaptureRequest(original, request);
+  ASSERT_TRUE(ApplyUpdateRequest(&original, request).ok());
+
+  Store replayed;
+  ASSERT_EQ(replayed.NewElement("r"), root);
+  ASSERT_TRUE(ReplayRequest(&replayed, recorded).ok());
+  ExpectSameTree(original, replayed, root);
+}
+
+TEST(RequestRoundTripTest, ReferencesToMissingNodesAreDataLossNotCrashes) {
+  // A decodable record can still reference nodes the recovered store
+  // does not hold (a corrupt log that kept its CRC and delta hash).
+  // Replay must answer kDataLoss before the update machinery — which
+  // on the live path only ever sees evaluator-vetted ids — touches the
+  // missing slot.
+  Store store;
+  NodeId root = store.NewElement("r");
+
+  RecordedRequest del;
+  del.op = UpdateRequest::Op::kDelete;
+  del.target = root + 1000;
+  EXPECT_EQ(ReplayRequest(&store, del).code(), StatusCode::kDataLoss);
+
+  RecordedRequest ren;
+  ren.op = UpdateRequest::Op::kRename;
+  ren.target = root + 1000;
+  ren.rename_name = "x";
+  EXPECT_EQ(ReplayRequest(&store, ren).code(), StatusCode::kDataLoss);
+
+  RecordedRequest into;
+  into.op = UpdateRequest::Op::kInsert;
+  into.anchor = InsertAnchor::kLast;
+  into.parent = root + 1000;
+  EXPECT_EQ(ReplayRequest(&store, into).code(), StatusCode::kDataLoss);
+
+  RecordedRequest before;
+  before.op = UpdateRequest::Op::kInsert;
+  before.anchor = InsertAnchor::kBefore;
+  before.anchor_node = root + 1000;
+  EXPECT_EQ(ReplayRequest(&store, before).code(), StatusCode::kDataLoss);
+
+  // The store is untouched: the valid root survives, nothing leaked.
+  EXPECT_TRUE(store.IsValid(root));
+  EXPECT_TRUE(store.CheckIntegrity().ok());
+}
+
+TEST(RecordRoundTripTest, DocumentRecord) {
+  Store store;
+  WalRecord record;
+  record.seq = 7;
+  record.kind = WalRecordKind::kDocument;
+  record.doc_name = "auction.xml";
+  record.tree = CaptureTree(store, BuildSampleTree(&store));
+  auto decoded = DecodeRecordPayload(EncodeRecordPayload(record));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 7u);
+  EXPECT_EQ(decoded->kind, WalRecordKind::kDocument);
+  EXPECT_EQ(decoded->doc_name, "auction.xml");
+  EXPECT_EQ(decoded->tree.nodes.size(), record.tree.nodes.size());
+  EXPECT_EQ(decoded->tree.links.size(), record.tree.links.size());
+}
+
+TEST(RecordRoundTripTest, GcFreeRecordPreservesOrder) {
+  WalRecord record;
+  record.seq = 9;
+  record.kind = WalRecordKind::kGcFree;
+  record.freed = {5, 3, 8, 3};  // Push order, duplicates NOT collapsed.
+  auto decoded = DecodeRecordPayload(EncodeRecordPayload(record));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->freed, record.freed);
+}
+
+TEST(RecordRoundTripTest, EveryStrictPrefixIsRejected) {
+  Store store;
+  WalRecord record;
+  record.seq = 3;
+  record.kind = WalRecordKind::kDelta;
+  NodeId payload = BuildSampleTree(&store);
+  record.requests.push_back(CaptureRequest(
+      store, UpdateRequest::InsertInto({payload}, 4, true)));
+  record.requests.push_back(
+      CaptureRequest(store, UpdateRequest::Delete(11)));
+  std::string encoded = EncodeRecordPayload(record);
+  ASSERT_TRUE(DecodeRecordPayload(encoded).ok());
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto truncated =
+        DecodeRecordPayload(std::string_view(encoded).substr(0, len));
+    ASSERT_FALSE(truncated.ok()) << "prefix of length " << len;
+    EXPECT_EQ(truncated.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(RecordRoundTripTest, DeltaHashCatchesPayloadTampering) {
+  // The FNV hash inside the payload is defense in depth below the frame
+  // CRC: flip one bit of the encoded request stream and decode the raw
+  // payload (as if the frame check had been fooled) — still rejected.
+  Store store;
+  WalRecord record;
+  record.seq = 1;
+  record.kind = WalRecordKind::kDelta;
+  record.requests.push_back(
+      CaptureRequest(store, UpdateRequest::Delete(42)));
+  std::string encoded = EncodeRecordPayload(record);
+  std::string tampered = encoded;
+  tampered.back() ^= 0x01;  // Inside the request body.
+  auto decoded = DecodeRecordPayload(tampered);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(RecordRoundTripTest, TrailingBytesAreRejected) {
+  WalRecord record;
+  record.seq = 2;
+  record.kind = WalRecordKind::kGcFree;
+  record.freed = {1};
+  std::string encoded = EncodeRecordPayload(record);
+  encoded.push_back('\0');
+  auto decoded = DecodeRecordPayload(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameTest, RoundTripAndTornDetection) {
+  std::string buffer;
+  AppendFrame(&buffer, "payload-one");
+  AppendFrame(&buffer, "");
+  auto first = DecodeFrame(buffer);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->payload, "payload-one");
+  auto second =
+      DecodeFrame(std::string_view(buffer).substr(first->frame_size));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->payload, "");
+  EXPECT_EQ(first->frame_size + second->frame_size, buffer.size());
+
+  // Every strict prefix of a frame is a torn tail.
+  std::string one;
+  AppendFrame(&one, "abc");
+  for (size_t len = 0; len < one.size(); ++len) {
+    auto torn = DecodeFrame(std::string_view(one).substr(0, len));
+    ASSERT_FALSE(torn.ok()) << "prefix of length " << len;
+    EXPECT_EQ(torn.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FrameTest, EverySingleByteFlipIsRejected) {
+  std::string frame;
+  AppendFrame(&frame, "sensitive payload bytes");
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::string flipped = frame;
+    flipped[i] ^= 0x40;
+    auto decoded = DecodeFrame(flipped);
+    // A flip in the length field may read as a longer (truncated) or
+    // shorter (CRC-mismatched) frame; a payload/CRC flip mismatches the
+    // checksum. Either way: kDataLoss, never a successful decode of
+    // different bytes.
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded->payload, "sensitive payload bytes")
+          << "flip at byte " << i << " decoded altered payload";
+      ADD_FAILURE() << "flip at byte " << i << " was not detected";
+    } else {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(FrameTest, InsaneLengthFieldIsRejectedWithoutAllocating) {
+  std::string bogus;
+  PutU32(&bogus, kMaxFramePayload + 1);
+  PutU32(&bogus, 0);
+  bogus.append(16, 'x');
+  auto decoded = DecodeFrame(bogus);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace xqb

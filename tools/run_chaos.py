@@ -9,26 +9,37 @@ thread count, runs
             --doc d=tests/chaos/corpus/data.xml <query.xq>
 
 and asserts the process exits through the documented exit-code contract
-(0-9; see docs/ROBUSTNESS.md) — never a signal, never an undocumented
+(0-10; see docs/ROBUSTNESS.md) — never a signal, never an undocumented
 code. Deterministic policies (nth:1) additionally assert run-to-run and
 cross-thread-count reproducibility of the full error identity (exit
 code + stderr); pool.* points are exempt from the cross-thread check
-because their edges only exist in parallel regions.
+because their edges only exist in parallel regions. Durability points
+(wal.*, checkpoint.*, recovery.*) run with a fresh --data-dir per case
+so their sites are actually on the execution path; a run that exceeds
+--timeout is killed and reported as a HANG. The sweep never stops at
+the first failure: every case runs, and a per-failpoint outcome table
+is printed at the end.
 
 Exit status: 0 when every combination behaved, 1 on any violation
 (each printed with a copy-pasteable repro command), 2 on usage errors.
 """
 
 import argparse
+import collections
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CORPUS_DIR = os.path.join(REPO_ROOT, "tests", "chaos", "corpus")
 
 # The documented xqb_run exit-code contract (examples/xqb_run.cpp).
-DOCUMENTED_EXIT_CODES = set(range(0, 10))
+DOCUMENTED_EXIT_CODES = set(range(0, 11))
+
+# Points whose sites only execute with the durable store open.
+DURABILITY_PREFIXES = ("wal.", "checkpoint.", "recovery.")
 
 
 def find_binary(build_dir):
@@ -65,7 +76,12 @@ def list_failpoints(binary):
     return points, compiled_out
 
 
-def run_one(binary, query, spec, threads, timeout):
+def run_one(binary, query, spec, threads, timeout, durable):
+    """One swept case. Durability points get a fresh --data-dir (their
+    sites are skipped entirely without one); the directory is scrubbed
+    afterwards and its path normalized out of stderr so run-to-run
+    identity comparisons see stable text."""
+    data_dir = None
     cmd = [
         binary,
         "--failpoints",
@@ -76,13 +92,22 @@ def run_one(binary, query, spec, threads, timeout):
         "d=" + os.path.join(CORPUS_DIR, "data.xml"),
         query,
     ]
+    if durable:
+        data_dir = tempfile.mkdtemp(prefix="xqb_chaos_")
+        cmd[1:1] = ["--data-dir", data_dir]
     try:
         proc = subprocess.run(
             cmd, capture_output=True, text=True, timeout=timeout
         )
+        stderr = proc.stderr
+        if data_dir:
+            stderr = stderr.replace(data_dir, "<DATA_DIR>")
+        return proc.returncode, stderr, cmd
     except subprocess.TimeoutExpired:
-        return None, "", cmd  # hang
-    return proc.returncode, proc.stderr, cmd
+        return None, "", cmd  # hung; subprocess.run killed it
+    finally:
+        if data_dir:
+            shutil.rmtree(data_dir, ignore_errors=True)
 
 
 def repro(cmd):
@@ -139,31 +164,42 @@ def main():
 
     failures = []
     runs = 0
+    # point -> outcome label -> count, for the final summary table.
+    outcome_table = collections.defaultdict(collections.Counter)
+    current_point = None
 
     def check(rc, stderr, cmd, what):
         nonlocal runs
         runs += 1
         if rc is None:
+            outcome_table[current_point]["HANG"] += 1
             failures.append(f"HANG (> {args.timeout}s): {repro(cmd)}")
         elif rc < 0:
+            outcome_table[current_point][f"SIG{-rc}"] += 1
             failures.append(
                 f"SIGNAL {-rc} ({what}): {repro(cmd)}\n  stderr: "
                 f"{stderr.strip()}"
             )
         elif rc not in DOCUMENTED_EXIT_CODES:
+            outcome_table[current_point][f"exit {rc}?"] += 1
             failures.append(
                 f"UNDOCUMENTED EXIT {rc} ({what}): {repro(cmd)}\n"
                 f"  stderr: {stderr.strip()}"
             )
+        else:
+            outcome_table[current_point][f"exit {rc}"] += 1
 
     for point in points:
+        current_point = point
+        durable = point.startswith(DURABILITY_PREFIXES)
         for query in queries:
             # Probability sweep: seeded, so every failure reproduces.
             for seed in range(args.seeds):
                 spec = f"{point}=prob:0.5:{seed}"
                 for threads in thread_counts:
                     rc, err, cmd = run_one(
-                        binary, query, spec, threads, args.timeout
+                        binary, query, spec, threads, args.timeout,
+                        durable
                     )
                     check(rc, err, cmd, "prob sweep")
 
@@ -173,11 +209,11 @@ def main():
             outcomes = {}
             for threads in thread_counts:
                 rc1, err1, cmd = run_one(
-                    binary, query, spec, threads, args.timeout
+                    binary, query, spec, threads, args.timeout, durable
                 )
                 check(rc1, err1, cmd, "nth run 1")
                 rc2, err2, _ = run_one(
-                    binary, query, spec, threads, args.timeout
+                    binary, query, spec, threads, args.timeout, durable
                 )
                 check(rc2, err2, cmd, "nth run 2")
                 if (rc1, err1) != (rc2, err2):
@@ -207,6 +243,15 @@ def main():
     print(f"chaos sweep: {runs} runs, {len(points)} fail points, "
           f"{len(queries)} queries, {args.seeds} seeds, "
           f"threads={thread_counts}")
+    print("\nper-failpoint outcomes:")
+    width = max(len(p) for p in points)
+    for point in points:
+        tally = outcome_table[point]
+        cells = ", ".join(
+            f"{label} x{count}"
+            for label, count in sorted(tally.items())
+        )
+        print(f"  {point:<{width}}  {cells or '(no runs)'}")
     if failures:
         print(f"\n{len(failures)} FAILURE(S):", file=sys.stderr)
         for failure in failures:

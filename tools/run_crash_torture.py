@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Crash-torture driver: SIGKILL the engine at every durability fail
+point, then recover and audit.
+
+For each WAL/checkpoint fail point, each kill occurrence (seed s arms
+`<point>=nth:s`, so the process dies at the s-th time execution crosses
+that site), and each thread count, the harness:
+
+  1. runs a multi-snap workload under `xqb_run --data-dir D
+     --crash-on-failpoints` — the armed point SIGKILLs the process at
+     the fired site, mid-write, with no destructors or flushes (a power
+     loss, not an error return);
+  2. recovers with `xqb_run --data-dir D --recover --check-integrity`
+     and requires exit 0 — the store passed the full integrity audit;
+  3. asserts the recovered document is a *snap-aligned prefix* of the
+     workload: hits n="1".."k" for some k <= total, no hole, no
+     reorder, no partial snap.
+
+checkpoint.* points torture the checkpoint path (workload, then a
+crashing `--checkpoint` run — the durable state must survive losing the
+checkpoint attempt); recovery.replay tortures recovery itself (crash
+during replay, then recover again — recovery must be idempotent).
+
+Seeds where the occurrence count exceeds the workload's crossings of
+the site simply run to completion; those count as `completed` and still
+go through recovery + audit. Exit status: 0 when every case recovered
+to an aligned prefix, 1 on any violation, 2 on usage errors.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+TORTURE_POINTS = (
+    "wal.append",
+    "wal.fsync",
+    "checkpoint.write",
+    "checkpoint.rename",
+    "recovery.replay",
+)
+
+WORKLOAD_XQ = (
+    'for $i in 1 to {snaps} return snap {{ insert {{ <hit n="{{$i}}"/> }} '
+    'into {{ doc("site")/site }} }}'
+)
+READ_XQ = 'doc("site")'
+HIT_RE = re.compile(r'<hit n="(\d+)"/>')
+
+
+def find_binary(build_dir):
+    for candidate in (
+        os.path.join(build_dir, "examples", "xqb_run"),
+        os.path.join(build_dir, "xqb_run"),
+    ):
+        if os.path.isfile(candidate) and os.access(candidate, os.X_OK):
+            return candidate
+    sys.exit(
+        f"error: xqb_run not found under {build_dir!r}; build it first "
+        "(cmake --build <build-dir> --target xqb_run)"
+    )
+
+
+def have_failpoints(binary):
+    proc = subprocess.run(
+        [binary, "--list-failpoints"], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        sys.exit(f"error: --list-failpoints failed: {proc.stderr.strip()}")
+    compiled_out = any(
+        line.startswith("(") for line in proc.stdout.splitlines()
+    )
+    catalog = {
+        line.split()[0]
+        for line in proc.stdout.splitlines()
+        if line and not line.startswith("(")
+    }
+    missing = [p for p in TORTURE_POINTS if p not in catalog]
+    if missing and not compiled_out:
+        sys.exit(f"error: fail points missing from catalog: {missing}")
+    return not compiled_out
+
+
+def run(cmd, timeout):
+    try:
+        return subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout
+        )
+    except subprocess.TimeoutExpired:
+        return None
+
+
+class Case:
+    """One (point, seed, threads) torture case on a fresh data dir."""
+
+    def __init__(self, binary, point, seed, threads, snaps, timeout):
+        self.binary = binary
+        self.point = point
+        self.seed = seed
+        self.threads = threads
+        self.snaps = snaps
+        self.timeout = timeout
+        self.dir = tempfile.mkdtemp(prefix="xqb_torture_")
+        self.log = []
+
+    def cleanup(self):
+        shutil.rmtree(self.dir, ignore_errors=True)
+        for suffix in (".q.xq", ".site.xml"):
+            try:
+                os.unlink(self.dir + suffix)
+            except OSError:
+                pass
+
+    def xqb(self, *args, crash_spec=None, query=None):
+        cmd = [self.binary, "--data-dir", self.dir, "--threads",
+               str(self.threads), *args]
+        if crash_spec:
+            cmd += ["--crash-on-failpoints", "--failpoints", crash_spec]
+        if query is not None:
+            path = os.path.join(self.dir + ".q.xq")
+            with open(path, "w") as f:
+                f.write(query)
+            cmd.append(path)
+        self.log.append(" ".join(cmd))
+        return run(cmd, self.timeout)
+
+    def workload(self, crash_spec=None):
+        site = os.path.join(self.dir + ".site.xml")
+        with open(site, "w") as f:
+            f.write("<site/>")
+        return self.xqb(
+            "--doc", "site=" + site,
+            crash_spec=crash_spec,
+            query=WORKLOAD_XQ.format(snaps=self.snaps),
+        )
+
+    def execute(self):
+        """Runs the case; returns (outcome, error) where error is None
+        on success and outcome is 'killed' or 'completed'."""
+        spec = f"{self.point}=nth:{self.seed}"
+        if self.point.startswith("checkpoint."):
+            setup = self.workload()
+            if setup is None or setup.returncode != 0:
+                return "setup", self._fail("workload setup", setup)
+            crash = self.xqb("--checkpoint", crash_spec=spec)
+        elif self.point == "recovery.replay":
+            setup = self.workload()
+            if setup is None or setup.returncode != 0:
+                return "setup", self._fail("workload setup", setup)
+            crash = self.xqb("--recover", crash_spec=spec)
+        else:
+            crash = self.workload(crash_spec=spec)
+
+        if crash is None:
+            return "hang", self._fail("crash run hung", crash)
+        if crash.returncode == -signal.SIGKILL or crash.returncode == 137:
+            outcome = "killed"
+        elif crash.returncode == 0:
+            outcome = "completed"  # Occurrence count beyond the run.
+        else:
+            return "error", self._fail(
+                f"crash run exited {crash.returncode}", crash
+            )
+        return outcome, self.verify()
+
+    def verify(self):
+        # Recovery + integrity audit must succeed unconditionally.
+        audit = self.xqb("--recover", "--check-integrity")
+        if audit is None:
+            return self._fail("recovery hung", audit)
+        if audit.returncode != 0:
+            return self._fail(
+                f"recovery exited {audit.returncode}", audit
+            )
+        if "documents: 0," in audit.stderr:
+            # The kill beat even the document-load record: the empty
+            # store is the (zero-length) snap-aligned prefix.
+            return None
+        recovered = self.xqb(query=READ_XQ)
+        if recovered is None:
+            return self._fail("read-back hung", recovered)
+        if recovered.returncode != 0:
+            return self._fail(
+                f"read-back exited {recovered.returncode}", recovered
+            )
+        hits = [int(n) for n in HIT_RE.findall(recovered.stdout)]
+        if hits != list(range(1, len(hits) + 1)):
+            return self._fail(
+                f"recovered hits are not a contiguous prefix: {hits}",
+                recovered,
+            )
+        if len(hits) > self.snaps:
+            return self._fail(f"more hits than snaps: {hits}", recovered)
+        return None
+
+    def _fail(self, what, proc):
+        detail = ""
+        if proc is not None:
+            detail = f"\n  stderr: {proc.stderr.strip()}"
+        return (
+            f"{self.point} seed={self.seed} threads={self.threads}: "
+            f"{what}{detail}\n  repro:\n    " + "\n    ".join(self.log)
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument(
+        "--seeds", type=int, default=20,
+        help="kill occurrences per point: nth:1..nth:N (default: 20)",
+    )
+    parser.add_argument(
+        "--threads", default="1,8",
+        help="comma-separated thread counts to sweep (default: 1,8)",
+    )
+    parser.add_argument(
+        "--snaps", type=int, default=8,
+        help="snaps per workload run (default: 8)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-run hang timeout in seconds",
+    )
+    parser.add_argument(
+        "--points", default=",".join(TORTURE_POINTS),
+        help="comma-separated fail points to torture",
+    )
+    args = parser.parse_args()
+
+    try:
+        thread_counts = [int(t) for t in args.threads.split(",") if t]
+    except ValueError:
+        sys.exit(f"error: bad --threads value {args.threads!r}")
+    points = [p for p in args.points.split(",") if p]
+    unknown = [p for p in points if p not in TORTURE_POINTS]
+    if unknown:
+        sys.exit(f"error: not durability fail points: {unknown}")
+    if args.seeds < 1:
+        sys.exit("error: --seeds must be >= 1")
+
+    binary = find_binary(args.build_dir)
+    if not have_failpoints(binary):
+        print(
+            "fail points are compiled out in this build "
+            "(-DXQB_FAILPOINTS=OFF); nothing to torture"
+        )
+        return 0
+
+    failures = []
+    table = {p: {"killed": 0, "completed": 0, "failed": 0} for p in points}
+    cases = 0
+    for point in points:
+        for seed in range(1, args.seeds + 1):
+            for threads in thread_counts:
+                case = Case(binary, point, seed, threads, args.snaps,
+                            args.timeout)
+                try:
+                    outcome, error = case.execute()
+                finally:
+                    case.cleanup()
+                cases += 1
+                if error is not None:
+                    table[point]["failed"] += 1
+                    failures.append(error)
+                else:
+                    table[point][outcome] += 1
+
+    print(f"crash torture: {cases} cases, {len(points)} fail points, "
+          f"seeds 1..{args.seeds}, threads={thread_counts}, "
+          f"{args.snaps} snaps per workload")
+    width = max(len(p) for p in points)
+    for point in points:
+        t = table[point]
+        print(f"  {point:<{width}}  killed x{t['killed']}, "
+              f"completed x{t['completed']}, failed x{t['failed']}")
+    if failures:
+        print(f"\n{len(failures)} FAILURE(S):", file=sys.stderr)
+        for failure in failures:
+            print("  " + failure.replace("\n", "\n  "), file=sys.stderr)
+        return 1
+    print("all clear: every kill recovered to an integrity-clean, "
+          "snap-aligned prefix")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
