@@ -1,0 +1,142 @@
+// Plan-cache benchmark (service layer): a cold Prepare pays the full
+// parse + normalize + static-check pipeline on every call; a warm
+// QueryCache::Lookup is a sharded hash probe plus an LRU splice. The
+// acceptance bar for the cache is warm < 5% of cold on the same query
+// (checked in CI's benchmark-smoke job from this binary's report).
+//
+// The contended variant runs the probe from 8 threads against one
+// shared cache to expose shard-lock convoying; the churn variant
+// cycles a key set larger than the byte budget so every insert evicts.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/query_cache.h"
+
+namespace {
+
+using xqb::Engine;
+using xqb::PreparedQuery;
+using xqb::QueryCache;
+using xqb::QueryCacheOptions;
+
+/// A mid-size query with real frontend cost: a user function, a FLWOR
+/// with where/order by, and enough path steps that the static checker
+/// has work to do. Representative of a service's prepared statements.
+constexpr const char* kQuery =
+    "declare function local:score($i) { "
+    "  count($i/bidder) * 10 + string-length(string($i/description)) "
+    "}; "
+    "for $i in doc('auction')/site/regions//item "
+    "let $s := local:score($i) "
+    "where $s > 25 "
+    "order by $s descending "
+    "return <scored id='{ $i/@id }'>{ $s }</scored>";
+
+void BM_PrepareCold(benchmark::State& state) {
+  Engine engine;
+  for (auto _ : state) {
+    auto prepared = engine.Prepare(kQuery);
+    if (!prepared.ok()) {
+      state.SkipWithError(prepared.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(prepared);
+  }
+}
+BENCHMARK(BM_PrepareCold)->Unit(benchmark::kMicrosecond);
+
+void BM_PrepareWarm(benchmark::State& state) {
+  Engine engine;
+  QueryCache cache;
+  const uint64_t fingerprint = engine.StaticContextFingerprint();
+  auto prepared = engine.Prepare(kQuery);
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
+    return;
+  }
+  cache.Insert(kQuery, fingerprint,
+               std::make_shared<const PreparedQuery>(
+                   std::move(prepared).value()));
+  for (auto _ : state) {
+    auto hit = cache.Lookup(kQuery, fingerprint, nullptr);
+    if (hit == nullptr) {
+      state.SkipWithError("unexpected cache miss");
+      return;
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["hits"] =
+      static_cast<double>(cache.counters().hits);
+}
+BENCHMARK(BM_PrepareWarm)->Unit(benchmark::kNanosecond);
+
+/// Shared cache probed from N threads: the sharded locks should keep
+/// the per-probe cost near the single-threaded number.
+void BM_CacheLookupContended(benchmark::State& state) {
+  static Engine* engine = [] {
+    auto* e = new Engine();
+    return e;
+  }();
+  static QueryCache* cache = [] {
+    auto* c = new QueryCache();
+    auto prepared = engine->Prepare(kQuery);
+    c->Insert(kQuery, engine->StaticContextFingerprint(),
+              std::make_shared<const PreparedQuery>(
+                  std::move(prepared).value()));
+    return c;
+  }();
+  const uint64_t fingerprint = engine->StaticContextFingerprint();
+  for (auto _ : state) {
+    auto hit = cache->Lookup(kQuery, fingerprint, nullptr);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_CacheLookupContended)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kNanosecond);
+
+/// Worst-case churn: the key set does not fit the byte budget, so
+/// every insert walks the LRU tail. Bounds the eviction overhead the
+/// service pays when the workload's working set outgrows the cache.
+void BM_CacheEvictionChurn(benchmark::State& state) {
+  Engine engine;
+  const int kKeys = 64;
+  std::vector<std::string> queries;
+  std::vector<std::shared_ptr<const PreparedQuery>> plans;
+  queries.reserve(kKeys);
+  plans.reserve(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    queries.push_back(std::to_string(i) + " + " + std::to_string(i));
+    auto prepared = engine.Prepare(queries.back());
+    if (!prepared.ok()) {
+      state.SkipWithError(prepared.status().ToString().c_str());
+      return;
+    }
+    plans.push_back(std::make_shared<const PreparedQuery>(
+        std::move(prepared).value()));
+  }
+  QueryCacheOptions options;
+  options.shards = 1;
+  // Half the key set fits, so steady state evicts on every insert.
+  options.max_bytes = (kKeys / 2) * QueryCache::EntryCost(queries[0]);
+  QueryCache cache(options);
+  size_t next = 0;
+  for (auto _ : state) {
+    if (cache.Lookup(queries[next], 0, nullptr) == nullptr) {
+      cache.Insert(queries[next], 0, plans[next]);
+    }
+    next = (next + 1) % kKeys;
+  }
+  state.counters["evictions"] =
+      static_cast<double>(cache.counters().evictions);
+}
+BENCHMARK(BM_CacheEvictionChurn)->Unit(benchmark::kNanosecond);
+
+}  // namespace

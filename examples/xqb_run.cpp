@@ -38,6 +38,16 @@
 //                         after the query; query optional
 //     --check-integrity   audit store integrity after everything else;
 //                         a violated invariant exits 10
+//     --serve-batch FILE  query-service mode (docs/SERVICE.md): replay
+//                         the workload FILE (one request per line,
+//                         optional @prio=P / @deadline=MS prefixes, #
+//                         comments) from --clients concurrent threads
+//                         through the shared plan cache and admission
+//                         scheduler; prints per-request latency
+//                         percentiles and the cache hit rate. The
+//                         positional query file is not used
+//     --clients N         client threads for --serve-batch (default 4)
+//     --repeat N          workload replays per client (default 1)
 //
 // Exit status (documented contract — scripts and the chaos harness key
 // off these; see docs/ROBUSTNESS.md):
@@ -53,16 +63,23 @@
 //   9  internal error / invalid API use — indicates an engine bug
 //  10  durable-store damage: recovery found unrecoverable corruption,
 //      or --check-integrity found a violated store invariant
+//  11  the query service shed every request (kOverloaded) — in
+//      --serve-batch, no request at all completed
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "base/failpoint.h"
 #include "core/engine.h"
+#include "service/service.h"
 #include "xmark/generator.h"
 
 namespace {
@@ -93,6 +110,8 @@ int ExitCodeFor(const xqb::Status& status) {
       return 9;
     case xqb::StatusCode::kDataLoss:
       return 10;
+    case xqb::StatusCode::kOverloaded:
+      return 11;
   }
   return 9;
 }
@@ -116,7 +135,9 @@ int Usage() {
       "               [--failpoints SPEC] [--list-failpoints]\n"
       "               [--crash-on-failpoints] [--data-dir DIR]\n"
       "               [--sync always|batch|off] [--recover]\n"
-      "               [--checkpoint] [--check-integrity] [query.xq]\n");
+      "               [--checkpoint] [--check-integrity]\n"
+      "               [--serve-batch FILE] [--clients N] [--repeat N]\n"
+      "               [query.xq]\n");
   return 1;
 }
 
@@ -128,6 +149,206 @@ struct LoadAction {
   std::string path;    // kDoc
   double factor = 0;   // kXMark
 };
+
+// ---- --serve-batch: the query-service workload driver ----
+
+/// One parsed workload line (docs/SERVICE.md §5): optional
+/// whitespace-separated `@prio=P` / `@deadline=MS` prefixes, then the
+/// query text. Lines that are empty or start with `#` are skipped.
+struct WorkloadRequest {
+  std::string query;
+  int priority = 0;
+  int64_t deadline_ms = 0;
+};
+
+bool ParseWorkloadLine(const std::string& line, WorkloadRequest* out,
+                       std::string* error) {
+  size_t pos = line.find_first_not_of(" \t");
+  if (pos == std::string::npos || line[pos] == '#') return false;
+  while (pos < line.size() && line[pos] == '@') {
+    size_t end = line.find_first_of(" \t", pos);
+    if (end == std::string::npos) end = line.size();
+    const std::string directive = line.substr(pos, end - pos);
+    if (directive.rfind("@prio=", 0) == 0) {
+      out->priority = static_cast<int>(
+          std::strtol(directive.c_str() + 6, nullptr, 10));
+    } else if (directive.rfind("@deadline=", 0) == 0) {
+      out->deadline_ms = std::strtoll(directive.c_str() + 10, nullptr, 10);
+    } else {
+      *error = "unknown workload directive " + directive;
+      return false;
+    }
+    pos = line.find_first_not_of(" \t", end);
+    if (pos == std::string::npos) {
+      *error = "workload line has directives but no query";
+      return false;
+    }
+  }
+  out->query = line.substr(pos);
+  return true;
+}
+
+int64_t PercentileNs(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// Replays the workload from `clients` threads through one
+/// QueryService. Returns the process exit code (contract above).
+int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
+               const std::string& workload_path, int clients, int repeat) {
+  std::ifstream in(workload_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open workload file %s\n",
+                 workload_path.c_str());
+    return 1;
+  }
+  std::vector<WorkloadRequest> workload;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    WorkloadRequest request;
+    std::string error;
+    if (ParseWorkloadLine(line, &request, &error)) {
+      workload.push_back(std::move(request));
+    } else if (!error.empty()) {
+      std::fprintf(stderr, "%s:%d: %s\n", workload_path.c_str(), lineno,
+                   error.c_str());
+      return 1;
+    }
+  }
+  if (workload.empty()) {
+    std::fprintf(stderr, "%s: no requests\n", workload_path.c_str());
+    return 1;
+  }
+
+  xqb::QueryServiceOptions service_options;
+  service_options.exec = exec;
+  service_options.scheduler.max_concurrent = std::max(1, clients);
+  service_options.scheduler.queue_capacity =
+      std::max(64, clients * static_cast<int>(workload.size()));
+  xqb::QueryService service(engine, service_options);
+
+  struct ClientResult {
+    std::vector<int64_t> latencies_ns;
+    int64_t queue_wait_ns = 0;
+    xqb::Status first_error;  // First non-ok, non-shed status seen.
+  };
+  std::vector<ClientResult> results(static_cast<size_t>(clients));
+
+  const int64_t t0 = xqb::MonotonicNowNs();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& mine = results[static_cast<size_t>(c)];
+      mine.latencies_ns.reserve(workload.size() *
+                                static_cast<size_t>(repeat));
+      for (int r = 0; r < repeat; ++r) {
+        for (const WorkloadRequest& w : workload) {
+          xqb::QueryService::Request request;
+          request.query = w.query;
+          request.priority = w.priority;
+          request.deadline_ms = w.deadline_ms;
+          const int64_t start = xqb::MonotonicNowNs();
+          xqb::QueryService::Response response = service.Submit(request);
+          mine.latencies_ns.push_back(xqb::MonotonicNowNs() - start);
+          mine.queue_wait_ns += response.stats.queue_wait_ns;
+          if (!response.status.ok() &&
+              response.status.code() != xqb::StatusCode::kOverloaded &&
+              mine.first_error.ok()) {
+            mine.first_error = response.status;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      static_cast<double>(xqb::MonotonicNowNs() - t0) / 1e9;
+
+  std::vector<int64_t> latencies;
+  int64_t queue_wait_ns = 0;
+  xqb::Status first_error;
+  for (const ClientResult& r : results) {
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+    queue_wait_ns += r.queue_wait_ns;
+    if (first_error.ok()) first_error = r.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  const xqb::QueryService::Counters counters = service.counters();
+  const int64_t expected = static_cast<int64_t>(workload.size()) *
+                           clients * repeat;
+  const int64_t lookups = counters.cache.hits + counters.cache.misses;
+  const double hit_rate =
+      lookups > 0 ? 100.0 * static_cast<double>(counters.cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  auto ms = [](int64_t ns) { return static_cast<double>(ns) / 1e6; };
+  std::printf(
+      "-- serve-batch --\n"
+      "workload: %zu requests x %d clients x %d repeats\n"
+      "requests: submitted=%lld completed=%lld failed=%lld shed=%lld "
+      "cancelled=%lld\n"
+      "throughput: %.1f req/s over %.3f s\n"
+      "latency (ms): p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+      "queue-wait (ms): mean=%.3f\n"
+      "cache: hits=%lld misses=%lld evictions=%lld hit-rate=%.1f%%\n"
+      "scheduler: exclusive-runs=%lld shed-queue-full=%lld "
+      "shed-deadline=%lld\n",
+      workload.size(), clients, repeat,
+      static_cast<long long>(counters.submitted),
+      static_cast<long long>(counters.completed),
+      static_cast<long long>(counters.failed),
+      static_cast<long long>(counters.shed),
+      static_cast<long long>(counters.cancelled), //
+      counters.submitted > 0 ? counters.submitted / wall_s : 0.0, wall_s,
+      ms(PercentileNs(latencies, 50)), ms(PercentileNs(latencies, 90)),
+      ms(PercentileNs(latencies, 99)),
+      ms(latencies.empty() ? 0 : latencies.back()),
+      counters.submitted > 0
+          ? ms(queue_wait_ns) / static_cast<double>(counters.submitted)
+          : 0.0,
+      static_cast<long long>(counters.cache.hits),
+      static_cast<long long>(counters.cache.misses),
+      static_cast<long long>(counters.cache.evictions), hit_rate,
+      static_cast<long long>(counters.scheduler.exclusive_runs),
+      static_cast<long long>(counters.scheduler.shed_queue_full),
+      static_cast<long long>(counters.scheduler.shed_deadline));
+
+  // Accounting cross-check: every submitted request must land in
+  // exactly one outcome bucket. A mismatch means the service lost or
+  // double-counted a request — an engine bug, exit 9.
+  if (counters.submitted != expected ||
+      counters.submitted != counters.completed + counters.failed +
+                                counters.shed + counters.cancelled) {
+    std::fprintf(stderr,
+                 "serve-batch: request accounting mismatch "
+                 "(submitted=%lld expected=%lld buckets=%lld)\n",
+                 static_cast<long long>(counters.submitted),
+                 static_cast<long long>(expected),
+                 static_cast<long long>(counters.completed +
+                                        counters.failed + counters.shed +
+                                        counters.cancelled));
+    return 9;
+  }
+  if (!first_error.ok()) {
+    std::fprintf(stderr, "serve-batch: %s\n",
+                 first_error.ToString().c_str());
+    return ExitCodeFor(first_error);
+  }
+  if (counters.completed == 0) {
+    // Everything was shed: the service never did any work.
+    std::fprintf(stderr, "serve-batch: all requests shed\n");
+    return 11;
+  }
+  return 0;
+}
 
 }  // namespace
 
@@ -144,6 +365,9 @@ int main(int argc, char** argv) {
   std::string data_dir;
   std::string sync_mode = "always";
   std::string query_path;
+  std::string serve_batch_path;
+  int clients = 4;
+  int repeat = 1;
   std::vector<LoadAction> loads;
   std::vector<std::pair<std::string, std::string>> vars;
   std::vector<std::pair<std::string, std::string>> saves;
@@ -241,6 +465,27 @@ int main(int argc, char** argv) {
       do_checkpoint = true;
     } else if (arg == "--check-integrity") {
       check_integrity = true;
+    } else if (arg == "--serve-batch") {
+      const char* value = next_value("--serve-batch");
+      if (!value) return Usage();
+      serve_batch_path = value;
+      if (serve_batch_path.empty()) return Usage();
+    } else if (arg == "--clients") {
+      const char* value = next_value("--clients");
+      if (!value) return Usage();
+      clients = static_cast<int>(std::strtol(value, nullptr, 10));
+      if (clients < 1) {
+        std::fprintf(stderr, "--clients must be >= 1\n");
+        return Usage();
+      }
+    } else if (arg == "--repeat") {
+      const char* value = next_value("--repeat");
+      if (!value) return Usage();
+      repeat = static_cast<int>(std::strtol(value, nullptr, 10));
+      if (repeat < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return Usage();
+      }
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--plan") {
@@ -274,9 +519,11 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  // Maintenance-only invocations need no query.
+  // Maintenance-only and serve-batch invocations need no query.
   const bool maintenance = recover || do_checkpoint || check_integrity;
-  if (query_path.empty() && !maintenance) return Usage();
+  if (query_path.empty() && serve_batch_path.empty() && !maintenance) {
+    return Usage();
+  }
   if ((recover || do_checkpoint) && data_dir.empty()) {
     std::fprintf(stderr, "--recover/--checkpoint require --data-dir\n");
     return Usage();
@@ -370,6 +617,10 @@ int main(int argc, char** argv) {
   }
   for (const auto& [name, str] : vars) {
     engine.BindVariable(name, xqb::Sequence{xqb::Item::String(str)});
+  }
+
+  if (!serve_batch_path.empty()) {
+    return ServeBatch(&engine, options, serve_batch_path, clients, repeat);
   }
 
   if (!query_path.empty()) {

@@ -35,6 +35,11 @@ std::string ExecStats::Summary() const {
   out << "rewrites: group-join=" << rw_group_joins << " hash-join="
       << rw_hash_joins << " select-pushdown=" << rw_selects_pushed
       << "  path=" << (used_algebra ? "algebra" : "interpreter") << "\n";
+  if (cache_hits != 0 || cache_misses != 0 || queue_wait_ns != 0) {
+    out << "service: cache-hits=" << cache_hits << " cache-misses="
+        << cache_misses << " cache-evictions=" << cache_evictions
+        << " queue-wait=" << Ms(queue_wait_ns) << "ms\n";
+  }
   return out.str();
 }
 
@@ -72,6 +77,10 @@ std::string ExecStats::ToJson() const {
   field("rw_group_joins", rw_group_joins);
   field("rw_hash_joins", rw_hash_joins);
   field("rw_selects_pushed", rw_selects_pushed);
+  field("cache_hits", cache_hits);
+  field("cache_misses", cache_misses);
+  field("cache_evictions", cache_evictions);
+  field("queue_wait_ns", queue_wait_ns);
   field("used_algebra", used_algebra ? 1 : 0);
   field("collected", collected ? 1 : 0);
   out << "}";

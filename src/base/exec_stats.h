@@ -71,6 +71,15 @@ struct ExecStats {
   int64_t pool_busy_ns = 0;    ///< Summed per-worker busy time in regions.
   int64_t pool_idle_ns = 0;    ///< workers x wall - busy (load imbalance).
 
+  // ---- Query-service counters (filled by src/service/, 0 elsewhere).
+  // Per-request they are 0/1 flags; the service and the serve-batch
+  // driver sum them across requests into aggregate hit/miss/evict
+  // totals (docs/SERVICE.md).
+  int64_t cache_hits = 0;       ///< Prepared plan served from QueryCache.
+  int64_t cache_misses = 0;     ///< Plan compiled (and cached) on demand.
+  int64_t cache_evictions = 0;  ///< Entries this request's insert evicted.
+  int64_t queue_wait_ns = 0;    ///< Admission-queue wait before the run.
+
   /// EXPLAIN ANALYZE: the optimized plan annotated with per-operator
   /// calls/rows/time (collect_stats + algebra path; empty otherwise).
   std::string plan;

@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "FaultInjected";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

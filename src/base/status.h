@@ -49,6 +49,11 @@ enum class StatusCode : int8_t {
   /// torn tail (expected after a crash, truncated away); anywhere else
   /// it is real corruption and the open fails.
   kDataLoss = 12,
+  /// The query service shed this request before it ran: the admission
+  /// queue was full, or the request's deadline expired while it was
+  /// still queued (src/service/scheduler.h, docs/SERVICE.md). The store
+  /// was not touched; the request is safe to retry after backoff.
+  kOverloaded = 13,
 };
 
 /// Returns a stable, human-readable name ("ParseError", ...).
@@ -104,6 +109,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -92,11 +92,42 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query,
   purity.AnalyzeProgram(&program);
   XQB_RETURN_IF_ERROR(purity.CheckUpdatingDeclarations(program));
   PreparedQuery prepared;
+  // Whole-program effect summary: the body plus every global
+  // initializer (globals are re-evaluated on every Run, so an updating
+  // initializer makes the whole program effectful).
+  if (program.body != nullptr) {
+    prepared.purity = purity.Analyze(*program.body);
+  }
+  for (const VarDecl& var : program.variables) {
+    if (var.init != nullptr) prepared.purity |= purity.Analyze(*var.init);
+  }
+  prepared.read_only = prepared.purity.pure();
+  prepared.context_fingerprint = StaticContextFingerprint();
   prepared.program = std::move(program);
   prepared.parse_ns = parse_done - t0;
   prepared.normalize_ns = normalize_done - parse_done;
   prepared.static_check_ns = MonotonicNowNs() - normalize_done;
   return prepared;
+}
+
+uint64_t Engine::StaticContextFingerprint() const {
+  // FNV-1a over the sorted bound-variable names. Documents and values
+  // are irrelevant: Prepare's static check only resolves names.
+  std::set<std::string> names;
+  for (const auto& [name, value] : variables_) {
+    (void)value;
+    names.insert(name);
+  }
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis.
+  for (const std::string& name : names) {
+    for (char c : name) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;  // FNV prime.
+    }
+    hash ^= 0xff;  // Name separator, so {"ab"} != {"a","b"}.
+    hash *= 1099511628211ull;
+  }
+  return hash;
 }
 
 Status Engine::OpenDurability(const std::string& dir, SyncMode mode,
@@ -162,6 +193,12 @@ Result<Sequence> Engine::Execute(std::string_view query,
 
 Result<Sequence> Engine::Run(const PreparedQuery& prepared,
                              const ExecOptions& options) {
+  return Run(prepared, options, &last_stats_, &last_plan_);
+}
+
+Result<Sequence> Engine::Run(const PreparedQuery& prepared,
+                             const ExecOptions& options, ExecStats* stats,
+                             std::string* plan_out) {
   // Every run statistic resets at entry, so a run that errors out early
   // reports its own (partial) numbers, never the previous run's
   // (pinned by stats_test.StaleStatsResetOnFailedRun).
@@ -173,12 +210,12 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   // the durability-error latch is set (log diverged from store).
   XQB_RETURN_IF_ERROR(EnsureDurability(options));
 
-  last_stats_.Reset();
-  last_plan_.clear();
-  last_stats_.collected = options.collect_stats;
-  last_stats_.parse_ns = prepared.parse_ns;
-  last_stats_.normalize_ns = prepared.normalize_ns;
-  last_stats_.static_check_ns = prepared.static_check_ns;
+  stats->Reset();
+  if (plan_out != nullptr) plan_out->clear();
+  stats->collected = options.collect_stats;
+  stats->parse_ns = prepared.parse_ns;
+  stats->normalize_ns = prepared.normalize_ns;
+  stats->static_check_ns = prepared.static_check_ns;
 
   std::unique_ptr<Tracer> tracer;
   if (!options.trace_path.empty()) tracer = std::make_unique<Tracer>();
@@ -189,7 +226,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
   eval_options.limits = options.limits;
   eval_options.cancellation = options.cancellation;
   eval_options.threads = options.threads;
-  eval_options.stats = options.collect_stats ? &last_stats_ : nullptr;
+  eval_options.stats = options.collect_stats ? stats : nullptr;
   eval_options.tracer = tracer.get();
   eval_options.delta_sink = durability_.get();
   Evaluator evaluator(store_.get(), &prepared.program, eval_options);
@@ -210,25 +247,29 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
       TraceSpan span(tracer.get(), "compile", "phase");
       const int64_t t0 = MonotonicNowNs();
       plan = CompileQueryToPlan(*prepared.program.body);
-      last_stats_.compile_ns = MonotonicNowNs() - t0;
+      stats->compile_ns = MonotonicNowNs() - t0;
     }
     if (plan != nullptr) {
       PurityAnalysis purity;
-      // Program already analyzed at Prepare time; rebuild the table
-      // (cheap) so the optimizer can query function flags.
-      purity.AnalyzeProgram(const_cast<Program*>(&prepared.program));
+      // Program already analyzed (and its AST flags filled) at Prepare
+      // time; rebuild just the table (cheap, const — `prepared` may be
+      // shared across concurrent runs) so the optimizer can query
+      // function flags.
+      purity.AnalyzeFunctions(prepared.program);
       {
         TraceSpan span(tracer.get(), "rewrite", "phase");
         const int64_t t0 = MonotonicNowNs();
         RewriteStats rewrites =
             OptimizePlan(&plan, purity, options.rewrites);
-        last_stats_.rewrite_ns = MonotonicNowNs() - t0;
-        last_stats_.rw_group_joins = rewrites.group_joins;
-        last_stats_.rw_hash_joins = rewrites.hash_joins;
-        last_stats_.rw_selects_pushed = rewrites.selects_pushed;
+        stats->rewrite_ns = MonotonicNowNs() - t0;
+        stats->rw_group_joins = rewrites.group_joins;
+        stats->rw_hash_joins = rewrites.hash_joins;
+        stats->rw_selects_pushed = rewrites.selects_pushed;
       }
-      last_plan_ = "Snap {\n" + plan->DebugString(1) + "}";
-      last_stats_.used_algebra = true;
+      if (plan_out != nullptr) {
+        *plan_out = "Snap {\n" + plan->DebugString(1) + "}";
+      }
+      stats->used_algebra = true;
       PlanProfile profile;
       PlanProfile* pp = options.collect_stats ? &profile : nullptr;
       // Mirror Evaluator::Run: resolve globals, execute, apply the
@@ -245,12 +286,12 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
         TraceSpan span(tracer.get(), "eval", "phase");
         const int64_t t0 = MonotonicNowNs();
         result = run_algebra();
-        last_stats_.eval_ns = MonotonicNowNs() - t0;
+        stats->eval_ns = MonotonicNowNs() - t0;
       }
       if (pp != nullptr) {
         // EXPLAIN ANALYZE: the same plan rendering, annotated with what
         // each operator actually did.
-        last_stats_.plan =
+        stats->plan =
             "Snap {\n" + AnnotatePlan(*plan, profile, 1) + "}";
       }
     }
@@ -259,16 +300,16 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
     TraceSpan span(tracer.get(), "eval", "phase");
     const int64_t t0 = MonotonicNowNs();
     result = evaluator.Run();
-    last_stats_.eval_ns = MonotonicNowNs() - t0;
+    stats->eval_ns = MonotonicNowNs() - t0;
   }
-  last_stats_.snaps_applied = evaluator.snaps_applied();
-  last_stats_.updates_applied = evaluator.updates_applied();
-  last_stats_.guard_steps = evaluator.guard().steps();
-  last_stats_.parallel_regions = evaluator.parallel_regions();
-  last_stats_.nodes_allocated =
+  stats->snaps_applied = evaluator.snaps_applied();
+  stats->updates_applied = evaluator.updates_applied();
+  stats->guard_steps = evaluator.guard().steps();
+  stats->parallel_regions = evaluator.parallel_regions();
+  stats->nodes_allocated =
       evaluator.guard().gauge()->allocated.load(std::memory_order_relaxed);
   if (result.ok()) {
-    last_stats_.result_cardinality =
+    stats->result_cardinality =
         static_cast<int64_t>(result->size());
   }
   if (tracer != nullptr) {

@@ -85,6 +85,19 @@ struct PreparedQuery {
   int64_t parse_ns = 0;
   int64_t normalize_ns = 0;
   int64_t static_check_ns = 0;  ///< Includes the purity analysis.
+  /// Side-effect summary of the whole program (body OR-ed with every
+  /// global initializer), from the Prepare-time purity analysis.
+  PurityInfo purity;
+  /// True when the program cannot touch the store or perform I/O
+  /// (!has_update && !has_snap && !has_io): the query service runs
+  /// read-only requests concurrently and serializes the rest
+  /// (src/service/scheduler.h, docs/SERVICE.md).
+  bool read_only = false;
+  /// Engine::StaticContextFingerprint() at Prepare time. QueryCache
+  /// rejects (and recompiles) cached plans whose fingerprint no longer
+  /// matches the engine — static checking depends on which variables
+  /// the host has bound.
+  uint64_t context_fingerprint = 0;
 };
 
 /// The public entry point of the XQB engine: owns the store, named
@@ -146,9 +159,28 @@ class Engine {
                            const ExecOptions& options = {});
 
   /// Runs a prepared query. Each run gets a fresh evaluator (globals are
-  /// re-evaluated), but shares the engine's store and documents.
+  /// re-evaluated), but shares the engine's store and documents. Stats
+  /// land in last_stats() — single-threaded callers only.
   Result<Sequence> Run(const PreparedQuery& prepared,
                        const ExecOptions& options = {});
+
+  /// Concurrency-safe Run: statistics and the optimized-plan rendering
+  /// go to caller-owned sinks instead of the engine's last_stats_ /
+  /// last_plan_ members, so multiple threads may Run read-only prepared
+  /// queries on one engine simultaneously (the store tolerates
+  /// concurrent reads and allocations; node *mutation* is not
+  /// synchronized — effectful runs must be serialized by the caller,
+  /// which src/service/scheduler.h does). `stats` must be non-null;
+  /// `plan_out` may be null.
+  Result<Sequence> Run(const PreparedQuery& prepared,
+                       const ExecOptions& options, ExecStats* stats,
+                       std::string* plan_out);
+
+  /// FNV-1a hash of the engine's static context as seen by Prepare: the
+  /// sorted names of bound variables (values do not matter — static
+  /// checking only resolves names). Used as the QueryCache invalidation
+  /// key (docs/SERVICE.md).
+  uint64_t StaticContextFingerprint() const;
 
   /// Serializes a result sequence (nodes as XML, atomics as strings).
   std::string Serialize(const Sequence& seq, bool indent = false) const;

@@ -60,9 +60,12 @@ Evaluator::Evaluator(Store* store, const Program* program,
   }
   snap_stack_.emplace_back();  // Base Δ (the implicit top-level snap's).
   threads_ = ResolveThreadCount(options_.threads);
-  // Store-growth accounting for this run. With nested evaluators on one
-  // store the innermost (most recently constructed) one wins.
-  store_->set_allocation_gauge(guard_->gauge());
+  // Store-growth accounting for this run, bound per-thread so that
+  // concurrent Engine::Run calls on one shared store each charge their
+  // own gauge. With nested evaluators on one thread the innermost (most
+  // recently constructed) one wins; the destructor restores the outer
+  // binding.
+  prev_thread_gauge_ = Store::ExchangeThreadGauge(guard_->gauge());
 }
 
 Evaluator::Evaluator(const Evaluator& root, std::unique_ptr<ExecGuard> guard)
@@ -83,13 +86,14 @@ Evaluator::Evaluator(const Evaluator& root, std::unique_ptr<ExecGuard> guard)
   // folded in after the region join. The tracer stays shared — it is
   // thread-safe and lanes per-thread spans itself.
   options_.stats = nullptr;
-  // No gauge attachment: the root's gauge is already on the store, and
-  // this clone's guard charges that same gauge.
+  // No gauge binding here: worker clones run inside ParallelFor, whose
+  // job lambda binds the root's gauge on the pool thread for exactly
+  // the span of each iteration.
 }
 
 Evaluator::~Evaluator() {
-  if (!is_worker_ && store_->allocation_gauge() == guard_->gauge()) {
-    store_->set_allocation_gauge(nullptr);
+  if (!is_worker_) {
+    Store::ExchangeThreadGauge(prev_thread_gauge_);
   }
 }
 
@@ -502,7 +506,12 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
   WorkerPool::Global().ParallelFor(n, workers, [&](int64_t i, int w) {
     const int64_t t0 = timed ? MonotonicNowNs() : 0;
     Evaluator& ev = *clones[static_cast<size_t>(w)];
+    // Charge pool-thread allocations to this run's gauge for the span
+    // of the iteration (pool threads are shared across concurrent runs).
+    Store::AllocationGauge* prev =
+        Store::ExchangeThreadGauge(ev.guard_->gauge());
     Result<Sequence> r = ev.Eval(expr, rows[static_cast<size_t>(i)]);
+    Store::ExchangeThreadGauge(prev);
     IterationResult& out = results[static_cast<size_t>(i)];
     out.delta = ev.TakeTopDelta();
     if (r.ok()) {

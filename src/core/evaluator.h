@@ -76,9 +76,10 @@ struct EvaluatorOptions {
 class Evaluator {
  public:
   /// `store` and `program` must outlive the evaluator. The program must
-  /// already be normalized (NormalizeProgram). The constructor attaches
-  /// the run's store-growth gauge to `store`; the destructor detaches
-  /// it, so the evaluator must not outlive the store.
+  /// already be normalized (NormalizeProgram). The constructor binds the
+  /// run's store-growth gauge as the calling thread's gauge; the
+  /// destructor restores the previous binding, so the evaluator must be
+  /// destroyed on the thread that created it.
   Evaluator(Store* store, const Program* program,
             EvaluatorOptions options = {});
   ~Evaluator();
@@ -250,6 +251,9 @@ class Evaluator {
 
   /// True on worker clones (no gauge ownership, no nested parallelism).
   bool is_worker_ = false;
+  /// The calling thread's previous gauge binding, restored on
+  /// destruction (root evaluators only; nested evaluators stack).
+  Store::AllocationGauge* prev_thread_gauge_ = nullptr;
   /// Resolved effective thread count (EvaluatorOptions::threads via
   /// ResolveThreadCount; forced to 1 on worker clones).
   int threads_ = 1;

@@ -1,0 +1,143 @@
+#include "service/query_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace xqb {
+
+namespace {
+
+/// FNV-1a over the query text, used only to pick a shard (the map inside
+/// the shard re-hashes with std::hash).
+size_t ShardHash(const std::string& query) {
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : query) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash);
+}
+
+}  // namespace
+
+QueryCache::QueryCache(QueryCacheOptions options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_budget_ =
+      options_.max_bytes == 0
+          ? 0
+          : std::max<size_t>(1, options_.max_bytes / options_.shards);
+}
+
+size_t QueryCache::EntryCost(const std::string& query) {
+  // The AST is roughly proportional to the text; 8x text plus a fixed
+  // per-entry overhead is a deliberate over-estimate so budgets bound
+  // real memory rather than undercounting it.
+  return 512 + query.size() * 8;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const std::string& query) {
+  return *shards_[ShardHash(query) % shards_.size()];
+}
+
+std::shared_ptr<const PreparedQuery> QueryCache::Lookup(
+    const std::string& query, uint64_t fingerprint, ExecStats* stats) {
+  Shard& shard = ShardFor(query);
+  std::shared_ptr<const PreparedQuery> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(query);
+    if (it != shard.index.end()) {
+      if (it->second->fingerprint == fingerprint) {
+        // Hit: move to MRU position.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        found = it->second->prepared;
+      } else {
+        // The static context changed since this plan was prepared; the
+        // cached static check (and purity fingerprint) may be stale.
+        shard.bytes -= it->second->cost;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (found != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->cache_hits;
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->cache_misses;
+  }
+  return found;
+}
+
+void QueryCache::Insert(const std::string& query, uint64_t fingerprint,
+                        std::shared_ptr<const PreparedQuery> prepared,
+                        ExecStats* stats) {
+  const size_t cost = EntryCost(query);
+  if (per_shard_budget_ != 0 && cost > per_shard_budget_) {
+    // Larger than a whole shard's budget: caching it would immediately
+    // evict everything else for an entry we then evict on the next
+    // insert. Skip it.
+    return;
+  }
+  Shard& shard = ShardFor(query);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(query);
+    if (it != shard.index.end()) {
+      // Replace in place (concurrent miss on the same key, or a
+      // re-prepare after invalidation): last insert wins.
+      shard.bytes -= it->second->cost;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+    }
+    while (per_shard_budget_ != 0 && !shard.lru.empty() &&
+           shard.bytes + cost > per_shard_budget_) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.cost;
+      shard.index.erase(victim.query);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+    shard.lru.push_front(
+        Entry{query, fingerprint, std::move(prepared), cost});
+    shard.index[query] = shard.lru.begin();
+    shard.bytes += cost;
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (stats != nullptr) stats->cache_evictions += evicted;
+  }
+}
+
+void QueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+QueryCache::Counters QueryCache::counters() const {
+  Counters out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.entries += static_cast<int64_t>(shard->lru.size());
+    out.bytes += static_cast<int64_t>(shard->bytes);
+  }
+  return out;
+}
+
+}  // namespace xqb

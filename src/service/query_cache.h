@@ -1,0 +1,120 @@
+#ifndef XQB_SERVICE_QUERY_CACHE_H_
+#define XQB_SERVICE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/exec_stats.h"
+#include "core/engine.h"
+
+namespace xqb {
+
+/// QueryCache configuration.
+struct QueryCacheOptions {
+  /// Independent LRU shards (lock striping). Clamped to >= 1.
+  size_t shards = 8;
+  /// Total byte budget across all shards; each shard gets an equal
+  /// slice. Inserting over budget evicts least-recently-used entries
+  /// from the same shard. 0 means unlimited.
+  size_t max_bytes = 64 * 1024 * 1024;
+};
+
+/// Thread-safe sharded LRU cache of immutable prepared-query plans,
+/// keyed by (query text, static-context fingerprint).
+///
+/// A PreparedQuery is the expensive front-end product (parse, normalize,
+/// static check, purity analysis); it depends only on the query text and
+/// on *which* variables the engine has bound — never on documents or
+/// values. Entries are held as shared_ptr<const PreparedQuery>, so a hit
+/// stays valid for the duration of a run even if the entry is evicted
+/// concurrently.
+///
+/// Concurrency model: the key space is split over `shards` independent
+/// LRU maps, each behind its own mutex, so lookups for different queries
+/// rarely contend. Two threads missing on the same key may both compile;
+/// the second Insert wins and the first's plan lives on through its
+/// shared_ptr — duplicated work, never a wrong answer.
+///
+/// Invalidation: each entry records the context fingerprint it was
+/// prepared under. A lookup whose fingerprint differs (the host bound or
+/// unbound a variable since) erases the stale entry and reports a miss
+/// (docs/SERVICE.md §2).
+class QueryCache {
+ public:
+  /// Monotonic counters, summed over all shards.
+  struct Counters {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;    ///< Budget evictions (not invalidations).
+    int64_t invalidations = 0;  ///< Fingerprint-mismatch erasures.
+    int64_t entries = 0;        ///< Current resident entries.
+    int64_t bytes = 0;          ///< Current estimated resident bytes.
+  };
+
+  explicit QueryCache(QueryCacheOptions options = QueryCacheOptions());
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns the cached plan for `query` prepared under `fingerprint`,
+  /// or nullptr on miss. A hit moves the entry to the front of its
+  /// shard's LRU list. When `stats` is non-null its cache_hits /
+  /// cache_misses field is bumped (the per-request 0/1 flag the service
+  /// aggregates).
+  std::shared_ptr<const PreparedQuery> Lookup(const std::string& query,
+                                              uint64_t fingerprint,
+                                              ExecStats* stats = nullptr);
+
+  /// Inserts (or replaces) the plan for `query`. Evicts LRU entries of
+  /// the same shard while the shard is over its byte slice; evictions
+  /// are counted into `stats->cache_evictions` when given.
+  void Insert(const std::string& query, uint64_t fingerprint,
+              std::shared_ptr<const PreparedQuery> prepared,
+              ExecStats* stats = nullptr);
+
+  /// Drops every entry (all shards). Counters survive.
+  void Clear();
+
+  Counters counters() const;
+
+  /// Estimated resident cost of one entry, in bytes: the key plus a
+  /// fixed charge approximating the AST. Exposed so tests can size
+  /// byte budgets deterministically.
+  static size_t EntryCost(const std::string& query);
+
+ private:
+  struct Entry {
+    std::string query;
+    uint64_t fingerprint = 0;
+    std::shared_ptr<const PreparedQuery> prepared;
+    size_t cost = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& query);
+
+  QueryCacheOptions options_;
+  size_t per_shard_budget_ = 0;  ///< 0 = unlimited.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace xqb
+
+#endif  // XQB_SERVICE_QUERY_CACHE_H_

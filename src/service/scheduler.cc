@@ -1,0 +1,129 @@
+#include "service/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "base/exec_stats.h"
+
+namespace xqb {
+
+RequestScheduler::RequestScheduler(RequestSchedulerOptions options)
+    : options_(options) {
+  options_.max_concurrent = std::max(1, options_.max_concurrent);
+  options_.queue_capacity = std::max(1, options_.queue_capacity);
+}
+
+bool RequestScheduler::HeadAndRunnable(const Waiter& w) const {
+  if (queue_.empty() || queue_.front().seq != w.seq) return false;
+  if (w.read_only) {
+    return !active_writer_ && active_readers_ < options_.max_concurrent;
+  }
+  return !active_writer_ && active_readers_ == 0;
+}
+
+Result<RequestScheduler::Ticket> RequestScheduler::EnterRequest(
+    bool read_only, int priority, int64_t deadline_ms,
+    const CancellationTokenPtr& cancellation) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point t0 = Clock::now();
+  const bool has_deadline = deadline_ms > 0;
+  const Clock::time_point deadline =
+      t0 + std::chrono::milliseconds(has_deadline ? deadline_ms : 0);
+
+  // An already-cancelled request is refused outright — without this,
+  // an immediately-admissible request would run to completion before
+  // the guard's first cancellation poll ever fires.
+  if (cancellation != nullptr && cancellation->cancelled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.cancelled_waiting;
+    return Status::Cancelled("request cancelled before admission");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+    ++counters_.shed_queue_full;
+    return Status::Overloaded(
+        "admission queue full (" +
+        std::to_string(options_.queue_capacity) + " waiting)");
+  }
+
+  Waiter self;
+  self.seq = next_seq_++;
+  self.priority = priority;
+  self.read_only = read_only;
+  // Insert before the first strictly-lower-priority waiter: priority
+  // descending, arrival order within a priority.
+  auto pos = queue_.begin();
+  while (pos != queue_.end() && pos->priority >= priority) ++pos;
+  auto it = queue_.insert(pos, self);
+  // A new head (or a same-priority arrival behind an admitted batch)
+  // may be immediately runnable; waiters re-check on every wakeup.
+  cv_.notify_all();
+
+  auto abandon = [&]() { queue_.erase(it); cv_.notify_all(); };
+  while (!HeadAndRunnable(self)) {
+    if (cancellation != nullptr && cancellation->cancelled()) {
+      abandon();
+      ++counters_.cancelled_waiting;
+      return Status::Cancelled("request cancelled while queued");
+    }
+    if (has_deadline && Clock::now() >= deadline) {
+      abandon();
+      ++counters_.shed_deadline;
+      return Status::Overloaded(
+          "deadline (" + std::to_string(deadline_ms) +
+          " ms) expired in admission queue");
+    }
+    // Bounded waits so a cancellation (which has no hook into our cv)
+    // is noticed within ~10 ms.
+    Clock::time_point until = Clock::now() + std::chrono::milliseconds(10);
+    if (has_deadline) until = std::min(until, deadline);
+    cv_.wait_until(lock, until);
+  }
+  queue_.erase(it);
+
+  Ticket ticket;
+  ticket.exclusive = !read_only;
+  ticket.queue_wait_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - t0)
+                             .count();
+  if (read_only) {
+    ++active_readers_;
+  } else {
+    active_writer_ = true;
+    ++counters_.exclusive_runs;
+  }
+  ++counters_.admitted;
+  // More readers behind us may be admissible right away.
+  cv_.notify_all();
+  return ticket;
+}
+
+void RequestScheduler::ExitRequest(const Ticket& ticket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ticket.exclusive) {
+      active_writer_ = false;
+    } else {
+      --active_readers_;
+    }
+  }
+  cv_.notify_all();
+}
+
+RequestScheduler::Counters RequestScheduler::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+int RequestScheduler::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_readers_ + (active_writer_ ? 1 : 0);
+}
+
+int RequestScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+}  // namespace xqb

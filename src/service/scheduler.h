@@ -1,0 +1,125 @@
+#ifndef XQB_SERVICE_SCHEDULER_H_
+#define XQB_SERVICE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+#include "base/limits.h"
+#include "base/result.h"
+#include "base/status.h"
+
+namespace xqb {
+
+/// RequestScheduler configuration.
+struct RequestSchedulerOptions {
+  /// Concurrent read-only requests admitted at once. Clamped >= 1.
+  /// Writers always run exclusively regardless of this value.
+  int max_concurrent = 8;
+  /// Waiting requests beyond which new arrivals are shed. Clamped
+  /// >= 1.
+  int queue_capacity = 64;
+};
+
+/// Admission control for a shared Engine (docs/SERVICE.md §3).
+///
+/// The store tolerates concurrent reads and allocations, but node
+/// mutation is not internally synchronized, so the scheduler enforces a
+/// reader–writer discipline over whole requests:
+///
+///   - read-only requests (PreparedQuery::read_only) run concurrently,
+///     up to `max_concurrent` at a time;
+///   - effectful requests (anything that may snap, update, or trace)
+///     run exclusively — no other request of either kind in flight.
+///
+/// Waiting requests form a single queue ordered by (priority desc,
+/// arrival seq asc) with *strict head-of-line* admission: only the head
+/// may enter, even if a lower-priority reader behind a waiting writer
+/// could technically run. That forfeits some throughput but makes the
+/// policy starvation-free — a writer's turn cannot be postponed
+/// indefinitely by a stream of readers.
+///
+/// Shedding (StatusCode::kOverloaded) happens in exactly two places,
+/// both before the request has touched the store:
+///   - on arrival, when the queue already holds `queue_capacity`
+///     waiters;
+///   - while queued, when the request's deadline expires.
+/// Cancellation while queued returns kCancelled. Once admitted, a
+/// request owns its slot until ExitRequest; deadlines from that point
+/// on are the run's own business (ExecLimits::deadline_ms).
+class RequestScheduler {
+ public:
+  /// What admission granted; returned by EnterRequest on success.
+  struct Ticket {
+    /// Time spent waiting in the admission queue (ExecStats::
+    /// queue_wait_ns).
+    int64_t queue_wait_ns = 0;
+    /// True when admitted as an exclusive (effectful) request — must be
+    /// passed back verbatim to ExitRequest.
+    bool exclusive = false;
+  };
+
+  /// Monotonic counters.
+  struct Counters {
+    int64_t admitted = 0;
+    int64_t shed_queue_full = 0;
+    int64_t shed_deadline = 0;
+    int64_t cancelled_waiting = 0;
+    int64_t exclusive_runs = 0;
+  };
+
+  explicit RequestScheduler(RequestSchedulerOptions options = RequestSchedulerOptions());
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Blocks until this request may run, then returns its Ticket.
+  ///
+  /// `read_only` selects shared vs. exclusive admission. Higher
+  /// `priority` queues ahead of lower; ties run in arrival order.
+  /// `deadline_ms` > 0 bounds the *total* time budget: if it elapses
+  /// while still queued the request is shed with kOverloaded (the run
+  /// itself never starts). `cancellation` may be null; if it fires
+  /// while queued the request returns kCancelled.
+  Result<Ticket> EnterRequest(bool read_only, int priority,
+                              int64_t deadline_ms,
+                              const CancellationTokenPtr& cancellation);
+
+  /// Releases the slot granted by EnterRequest. Must be called exactly
+  /// once per successful EnterRequest, with that call's Ticket.
+  void ExitRequest(const Ticket& ticket);
+
+  Counters counters() const;
+
+  /// Requests currently admitted (readers + writer), for tests.
+  int active() const;
+
+  /// Requests currently waiting in the admission queue, for tests.
+  int queued() const;
+
+ private:
+  struct Waiter {
+    uint64_t seq = 0;
+    int priority = 0;
+    bool read_only = false;
+  };
+
+  /// True when `w` is the queue head and its resource need is free.
+  /// Caller holds mu_.
+  bool HeadAndRunnable(const Waiter& w) const;
+
+  RequestSchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Sorted: highest priority first, FIFO within a priority.
+  std::list<Waiter> queue_;
+  uint64_t next_seq_ = 0;
+  int active_readers_ = 0;
+  bool active_writer_ = false;
+
+  Counters counters_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_SERVICE_SCHEDULER_H_

@@ -1,0 +1,121 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "xml/serializer.h"
+
+namespace xqb {
+
+QueryService::QueryService(Engine* engine, QueryServiceOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      cache_(options_.cache),
+      scheduler_(options_.scheduler) {}
+
+Result<std::shared_ptr<const PreparedQuery>> QueryService::GetPrepared(
+    const std::string& query, ExecStats* stats) {
+  const uint64_t fingerprint = engine_->StaticContextFingerprint();
+  if (auto hit = cache_.Lookup(query, fingerprint, stats)) return hit;
+  XQB_ASSIGN_OR_RETURN(PreparedQuery prepared,
+                       engine_->Prepare(query, options_.exec.limits));
+  auto shared =
+      std::make_shared<const PreparedQuery>(std::move(prepared));
+  cache_.Insert(query, fingerprint, shared, stats);
+  return shared;
+}
+
+QueryService::Response QueryService::Submit(const Request& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+
+  // 1. Prepare through the cache (no admission needed: Prepare only
+  //    reads engine configuration, never the store).
+  auto prepared_or = GetPrepared(request.query, &response.stats);
+  if (!prepared_or.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    response.status = prepared_or.status();
+    return response;
+  }
+  std::shared_ptr<const PreparedQuery> prepared =
+      std::move(prepared_or).value();
+  response.read_only = prepared->read_only;
+
+  // 2. Admission: concurrent for read-only, exclusive for effectful.
+  auto ticket_or = scheduler_.EnterRequest(
+      prepared->read_only, request.priority, request.deadline_ms,
+      request.cancellation);
+  if (!ticket_or.ok()) {
+    response.status = ticket_or.status();
+    if (response.status.code() == StatusCode::kOverloaded) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return response;
+  }
+  const RequestScheduler::Ticket ticket = ticket_or.value();
+
+  // 3. Run with per-request options overlaid on the service baseline.
+  ExecOptions exec = options_.exec;
+  exec.cancellation = request.cancellation;
+  if (prepared->read_only) exec.threads = 1;
+  if (request.deadline_ms > 0) {
+    // Whatever the queue consumed comes out of the run's budget; a
+    // request admitted with < 1 ms left gets the 1 ms floor rather
+    // than deadline_ms=0, which would mean "no deadline".
+    const int64_t waited_ms = ticket.queue_wait_ns / 1'000'000;
+    exec.limits.deadline_ms =
+        std::max<int64_t>(1, request.deadline_ms - waited_ms);
+  }
+
+  // The preserved cache/miss flags survive the Reset inside Run.
+  const int64_t cache_hits = response.stats.cache_hits;
+  const int64_t cache_misses = response.stats.cache_misses;
+  const int64_t cache_evictions = response.stats.cache_evictions;
+  Result<Sequence> result =
+      engine_->Run(*prepared, exec, &response.stats, nullptr);
+  response.stats.cache_hits = cache_hits;
+  response.stats.cache_misses = cache_misses;
+  response.stats.cache_evictions = cache_evictions;
+  response.stats.queue_wait_ns = ticket.queue_wait_ns;
+
+  // 4. Serialize while still holding the slot: an exclusive writer
+  //    releasing before serialization would let the next writer mutate
+  //    nodes the result still references.
+  if (result.ok() && options_.serialize_results) {
+    SerializeOptions ser;
+    auto xml = SerializeSequenceChecked(engine_->store(), result.value(),
+                                        ser);
+    if (xml.ok()) {
+      response.result_xml = std::move(xml).value();
+    } else {
+      result = xml.status();
+    }
+  }
+  scheduler_.ExitRequest(ticket);
+
+  response.status = result.ok() ? Status::OK() : result.status();
+  if (response.status.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status.code() == StatusCode::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+QueryService::Counters QueryService::counters() const {
+  Counters out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.cache = cache_.counters();
+  out.scheduler = scheduler_.counters();
+  return out;
+}
+
+}  // namespace xqb

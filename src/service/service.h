@@ -1,0 +1,115 @@
+#ifndef XQB_SERVICE_SERVICE_H_
+#define XQB_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/exec_stats.h"
+#include "base/limits.h"
+#include "base/status.h"
+#include "core/engine.h"
+#include "service/query_cache.h"
+#include "service/scheduler.h"
+
+namespace xqb {
+
+/// QueryService configuration.
+struct QueryServiceOptions {
+  QueryCacheOptions cache;
+  RequestSchedulerOptions scheduler;
+  /// Baseline ExecOptions for every request (snap mode, limits,
+  /// optimize, ...). Per-request deadline/cancellation/threads are
+  /// overlaid on top: read-only requests run with threads=1 — the
+  /// service gets its parallelism across requests, not within them —
+  /// while exclusive requests keep exec.threads.
+  ExecOptions exec;
+  /// Serialize each result to XML into Response::result_xml. Off for
+  /// benchmarks that only care about evaluation.
+  bool serialize_results = true;
+};
+
+/// A concurrent query service over one Engine (docs/SERVICE.md): a
+/// shared QueryCache of prepared plans plus a RequestScheduler that runs
+/// read-only requests in parallel and effectful ones exclusively.
+///
+/// Threading contract: Submit is safe from any number of threads. The
+/// engine's configuration surface is NOT — load documents and bind
+/// variables before the first Submit, or while no Submit is in flight.
+/// (Prepare and StaticContextFingerprint only read that state; the
+/// fingerprint in the cache key catches a variable-set change between
+/// quiescent phases and invalidates stale plans.)
+class QueryService {
+ public:
+  struct Request {
+    std::string query;
+    /// Higher runs first among queued requests (ties: arrival order).
+    int priority = 0;
+    /// Total budget in ms covering queue wait + run; <= 0 uses
+    /// QueryServiceOptions::exec.limits.deadline_ms for the run and
+    /// waits in the queue without bound. Expiring while queued sheds
+    /// the request with kOverloaded; expiring mid-run returns the
+    /// guard's kResourceExhausted as usual.
+    int64_t deadline_ms = 0;
+    /// Optional cooperative cancellation, honored both in the queue
+    /// (returns kCancelled) and during the run.
+    CancellationTokenPtr cancellation;
+  };
+
+  struct Response {
+    Status status;
+    std::string result_xml;  ///< Filled when ok and serialize_results.
+    /// Full run statistics, including the service fields (cache_hits /
+    /// cache_misses / cache_evictions / queue_wait_ns).
+    ExecStats stats;
+    /// The request ran (or would have run) without the exclusive lock.
+    bool read_only = false;
+  };
+
+  /// Aggregate counters across all requests (atomic snapshot).
+  struct Counters {
+    int64_t submitted = 0;
+    int64_t completed = 0;  ///< Ran to an ok status.
+    int64_t failed = 0;     ///< Ran (or prepared) to a non-ok status.
+    int64_t shed = 0;       ///< kOverloaded before running.
+    int64_t cancelled = 0;  ///< kCancelled (queued or mid-run).
+    QueryCache::Counters cache;
+    RequestScheduler::Counters scheduler;
+  };
+
+  /// The engine must outlive the service.
+  explicit QueryService(
+      Engine* engine, QueryServiceOptions options = QueryServiceOptions());
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Prepares (through the cache), schedules, runs, and serializes one
+  /// request. Never throws; every failure mode is a Status in
+  /// Response::status.
+  Response Submit(const Request& request);
+
+  Counters counters() const;
+  QueryCache& cache() { return cache_; }
+  RequestScheduler& scheduler() { return scheduler_; }
+
+ private:
+  /// Cache-through prepare: lookup, else Engine::Prepare + Insert.
+  Result<std::shared_ptr<const PreparedQuery>> GetPrepared(
+      const std::string& query, ExecStats* stats);
+
+  Engine* engine_;
+  QueryServiceOptions options_;
+  QueryCache cache_;
+  RequestScheduler scheduler_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> cancelled_{0};
+};
+
+}  // namespace xqb
+
+#endif  // XQB_SERVICE_SERVICE_H_

@@ -31,23 +31,40 @@ Store::~Store() {
   }
 }
 
+namespace {
+/// The calling thread's gauge binding. Thread-scoped rather than
+/// store-scoped so that concurrent governed runs against one shared
+/// store each charge their own budget: a run only ever allocates from
+/// its own engine's store, so routing by thread is routing by run.
+thread_local Store::AllocationGauge* tls_gauge = nullptr;
+}  // namespace
+
+Store::AllocationGauge* Store::ExchangeThreadGauge(AllocationGauge* gauge) {
+  AllocationGauge* previous = tls_gauge;
+  tls_gauge = gauge;
+  return previous;
+}
+
 NodeId Store::Allocate(NodeKind kind) {
+  // The thread binding (governed runs) takes precedence over the
+  // store-wide pointer (single-threaded hosts, tests).
+  AllocationGauge* gauge = tls_gauge != nullptr ? tls_gauge : gauge_;
   // Node constructors cannot fail by contract, so a simulated
   // allocation failure reports through the governor instead: firing
   // trips the run's allocation gauge, which surfaces as
   // kResourceExhausted at the next guard check with the usual
   // no-partial-Δ unwind. Without an attached gauge (no governed run in
   // progress) the fired point is a no-op.
-  if (XQB_FAILPOINT_FIRED("store.alloc") && gauge_ != nullptr) {
-    gauge_->injected.store(true, std::memory_order_relaxed);
-    gauge_->tripped.store(true, std::memory_order_relaxed);
+  if (XQB_FAILPOINT_FIRED("store.alloc") && gauge != nullptr) {
+    gauge->injected.store(true, std::memory_order_relaxed);
+    gauge->tripped.store(true, std::memory_order_relaxed);
   }
-  if (gauge_ != nullptr) {
+  if (gauge != nullptr) {
     int64_t allocated =
-        gauge_->allocated.fetch_add(1, std::memory_order_relaxed) + 1;
-    int64_t limit = gauge_->limit.load(std::memory_order_relaxed);
+        gauge->allocated.fetch_add(1, std::memory_order_relaxed) + 1;
+    int64_t limit = gauge->limit.load(std::memory_order_relaxed);
     if (limit >= 0 && allocated > limit) {
-      gauge_->tripped.store(true, std::memory_order_relaxed);
+      gauge->tripped.store(true, std::memory_order_relaxed);
     }
   }
   NodeId id;

@@ -86,11 +86,24 @@ class Store {
   Store& operator=(const Store&) = delete;
   ~Store();
 
-  /// Attaches (or with nullptr detaches) the allocation gauge. The
-  /// gauge must outlive its attachment. Attachment itself happens
-  /// outside parallel regions (at Engine::Run start/end).
+  /// Attaches (or with nullptr detaches) the store-wide allocation
+  /// gauge. The gauge must outlive its attachment. Single-threaded
+  /// hosts only (tests, benchmarks): concurrent attachers would race on
+  /// the pointer. Governed runs instead bind a *per-thread* gauge (see
+  /// ExchangeThreadGauge), which takes precedence and lets several
+  /// Engine::Run calls share one store concurrently, each charging its
+  /// own budget.
   void set_allocation_gauge(AllocationGauge* gauge) { gauge_ = gauge; }
   const AllocationGauge* allocation_gauge() const { return gauge_; }
+
+  /// Binds `gauge` as the calling thread's allocation gauge and returns
+  /// the previous binding (restore it when the scope ends). While a
+  /// thread gauge is bound, every allocation made *by this thread* — on
+  /// any store — charges it, which gives exact per-run attribution even
+  /// when concurrent runs share one store. The evaluator binds its
+  /// guard's gauge on the coordinating thread for the whole run and on
+  /// each pool worker for the span of its parallel-region iterations.
+  static AllocationGauge* ExchangeThreadGauge(AllocationGauge* gauge);
 
   // ---- Constructors (XDM constructor functions) ----
 

@@ -1,0 +1,176 @@
+// Concurrent Engine::Run on one shared PreparedQuery: results must be
+// byte-identical to a serial run and the deterministic ExecStats
+// counters thread-count-invariant. This pins the two mechanisms that
+// make the service's parallel read path sound: the caller-owned stats
+// sink (no shared last_stats_) and the thread-local allocation-gauge
+// binding (each run charges its own gauge on a shared store).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "xml/serializer.h"
+
+namespace xqb {
+namespace {
+
+/// Serializes through the thread-safe path (Engine::Serialize mutates
+/// the engine's mutable last_stats_ and is single-threaded).
+std::string Serialize(const Engine& engine, const Sequence& seq) {
+  auto out = SerializeSequenceChecked(engine.store(), seq);
+  EXPECT_TRUE(out.ok());
+  return out.ok() ? *out : std::string();
+}
+
+TEST(ConcurrentRunTest, SharedPreparedQueryManyThreads) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .LoadDocumentFromString(
+                      "d", "<r><c>1</c><c>2</c><c>3</c><c>4</c></r>")
+                  .ok());
+  // Element construction allocates store nodes, so this query also
+  // exercises concurrent Store::Allocate and per-run gauge accounting.
+  auto prepared = engine.Prepare(
+      "<sum>{ sum(for $c in doc('d')/r/c return $c + 0) }</sum>");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_TRUE(prepared->read_only);
+
+  // Serial reference run.
+  ExecOptions options;
+  options.collect_stats = true;
+  options.threads = 1;
+  ExecStats serial_stats;
+  auto serial = engine.Run(*prepared, options, &serial_stats, nullptr);
+  ASSERT_TRUE(serial.ok());
+  const std::string expected = Serialize(engine, *serial);
+  EXPECT_EQ(expected, "<sum>10</sum>");
+
+  constexpr int kThreads = 8;
+  constexpr int kRuns = 25;
+  struct PerThread {
+    std::vector<std::string> results;
+    std::vector<ExecStats> stats;
+  };
+  std::vector<PerThread> outputs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PerThread& mine = outputs[static_cast<size_t>(t)];
+      for (int i = 0; i < kRuns; ++i) {
+        ExecStats stats;
+        auto result = engine.Run(*prepared, options, &stats, nullptr);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        mine.results.push_back(Serialize(engine, *result));
+        mine.stats.push_back(stats);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const PerThread& out : outputs) {
+    ASSERT_EQ(out.results.size(), static_cast<size_t>(kRuns));
+    for (const std::string& r : out.results) EXPECT_EQ(r, expected);
+    for (const ExecStats& s : out.stats) {
+      // The determinism contract extends across concurrency: every
+      // deterministic counter matches the serial run exactly.
+      EXPECT_EQ(s.snaps_applied, serial_stats.snaps_applied);
+      EXPECT_EQ(s.updates_applied, serial_stats.updates_applied);
+      EXPECT_EQ(s.guard_steps, serial_stats.guard_steps);
+      EXPECT_EQ(s.result_cardinality, serial_stats.result_cardinality);
+      // Per-run store-growth accounting: the thread-local gauge keeps
+      // concurrent runs from charging each other's allocations.
+      EXPECT_EQ(s.nodes_allocated, serial_stats.nodes_allocated);
+    }
+  }
+}
+
+TEST(ConcurrentRunTest, ConcurrentRunsRespectStoreGrowthLimit) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r/>").ok());
+  // Each run allocates far past the budget and keeps evaluating after
+  // the trip (the guard surfaces gauge trips at Tick granularity), so
+  // every run must fail. Gauge misattribution across threads — one run
+  // charging another's gauge — would let some run slip through.
+  auto prepared =
+      engine.Prepare("<a>{ for $i in 1 to 1000 return <b/> }</a>");
+  ASSERT_TRUE(prepared.ok());
+  ExecOptions options;
+  options.limits.max_store_growth = 10;
+
+  constexpr int kThreads = 8;
+  std::vector<Status> statuses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ExecStats stats;
+      auto result = engine.Run(*prepared, options, &stats, nullptr);
+      statuses[static_cast<size_t>(t)] =
+          result.ok() ? Status::OK() : result.status();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& status : statuses) {
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+        << status.ToString();
+  }
+}
+
+TEST(ConcurrentRunTest, PreparedPurityClassification) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r/>").ok());
+  auto read = engine.Prepare("count(doc('d')/r)");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->read_only);
+  EXPECT_TRUE(read->purity.pure());
+
+  auto write = engine.Prepare("snap insert { <e/> } into { doc('d')/r }");
+  ASSERT_TRUE(write.ok());
+  EXPECT_FALSE(write->read_only);
+  EXPECT_TRUE(write->purity.has_snap);
+
+  // Pending updates without snap are still effect-free in the paper's
+  // sense, but not read-only for scheduling: applying the implicit
+  // top-level snap mutates the store.
+  auto pending = engine.Prepare("insert { <e/> } into { doc('d')/r }");
+  ASSERT_TRUE(pending.ok());
+  EXPECT_FALSE(pending->read_only);
+
+  // I/O (fn:trace) is classified effectful: its interleaving is
+  // observable, so the service serializes it.
+  auto io = engine.Prepare("trace(1, 'label')");
+  ASSERT_TRUE(io.ok());
+  EXPECT_FALSE(io->read_only);
+
+  // A global initializer's effects count against the whole program.
+  auto global = engine.Prepare(
+      "declare variable $g := snap insert { <e/> } into { doc('d')/r }; "
+      "1");
+  ASSERT_TRUE(global.ok());
+  EXPECT_FALSE(global->read_only);
+}
+
+TEST(ConcurrentRunTest, FingerprintTracksVariableSet) {
+  Engine engine;
+  const uint64_t f0 = engine.StaticContextFingerprint();
+  engine.BindVariable("x", Sequence{Item::Integer(1)});
+  const uint64_t f1 = engine.StaticContextFingerprint();
+  EXPECT_NE(f0, f1);
+  // Rebinding the same name (any value) keeps the fingerprint: only
+  // the name set matters to static checking.
+  engine.BindVariable("x", Sequence{Item::Integer(2)});
+  EXPECT_EQ(engine.StaticContextFingerprint(), f1);
+  engine.BindVariable("y", Sequence{Item::Integer(3)});
+  EXPECT_NE(engine.StaticContextFingerprint(), f1);
+  // Loading documents does not move it either.
+  const uint64_t f2 = engine.StaticContextFingerprint();
+  ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r/>").ok());
+  EXPECT_EQ(engine.StaticContextFingerprint(), f2);
+}
+
+}  // namespace
+}  // namespace xqb

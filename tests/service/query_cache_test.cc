@@ -1,0 +1,167 @@
+// Tests for the sharded LRU plan cache: hit/miss/LRU discipline, byte
+// budgets and eviction, fingerprint invalidation, counters.
+
+#include "service/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+std::shared_ptr<const PreparedQuery> Prepare(Engine* engine,
+                                             const std::string& query) {
+  auto prepared = engine->Prepare(query);
+  EXPECT_TRUE(prepared.ok()) << prepared.status().ToString();
+  return std::make_shared<const PreparedQuery>(std::move(prepared).value());
+}
+
+TEST(QueryCacheTest, MissThenHit) {
+  Engine engine;
+  QueryCache cache;
+  ExecStats stats;
+  EXPECT_EQ(cache.Lookup("1 + 1", 7, &stats), nullptr);
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_EQ(stats.cache_hits, 0);
+
+  cache.Insert("1 + 1", 7, Prepare(&engine, "1 + 1"));
+  auto hit = cache.Lookup("1 + 1", 7, &stats);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(stats.cache_hits, 1);
+
+  const QueryCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.entries, 1);
+}
+
+TEST(QueryCacheTest, FingerprintMismatchInvalidates) {
+  Engine engine;
+  QueryCache cache;
+  cache.Insert("1 + 1", 7, Prepare(&engine, "1 + 1"));
+  // Same query under a different static-context fingerprint: the
+  // cached plan is stale and must be dropped, not served.
+  EXPECT_EQ(cache.Lookup("1 + 1", 8, nullptr), nullptr);
+  EXPECT_EQ(cache.counters().invalidations, 1);
+  EXPECT_EQ(cache.counters().entries, 0);
+  // And the old fingerprint no longer matches anything either.
+  EXPECT_EQ(cache.Lookup("1 + 1", 7, nullptr), nullptr);
+}
+
+TEST(QueryCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  Engine engine;
+  QueryCacheOptions options;
+  options.shards = 1;  // One shard so the LRU order is global.
+  options.max_bytes = 3 * QueryCache::EntryCost("1 + 1");
+  QueryCache cache(options);
+
+  // Three same-cost entries fit; tight budgets like this one stay
+  // exact because every key has the same length.
+  cache.Insert("1 + 1", 0, Prepare(&engine, "1 + 1"));
+  cache.Insert("2 + 2", 0, Prepare(&engine, "2 + 2"));
+  cache.Insert("3 + 3", 0, Prepare(&engine, "3 + 3"));
+  EXPECT_EQ(cache.counters().entries, 3);
+  EXPECT_EQ(cache.counters().evictions, 0);
+
+  // Touch the oldest so "2 + 2" becomes LRU, then overflow.
+  EXPECT_NE(cache.Lookup("1 + 1", 0, nullptr), nullptr);
+  ExecStats stats;
+  cache.Insert("4 + 4", 0, Prepare(&engine, "4 + 4"), &stats);
+  EXPECT_EQ(stats.cache_evictions, 1);
+  EXPECT_EQ(cache.counters().entries, 3);
+  EXPECT_EQ(cache.Lookup("2 + 2", 0, nullptr), nullptr);  // Evicted.
+  EXPECT_NE(cache.Lookup("1 + 1", 0, nullptr), nullptr);  // Survived.
+}
+
+TEST(QueryCacheTest, OversizedEntryIsNotCached) {
+  Engine engine;
+  QueryCacheOptions options;
+  options.shards = 1;
+  // One byte below this entry's own cost: it can never fit.
+  options.max_bytes = QueryCache::EntryCost("1 + 1") - 1;
+  QueryCache cache(options);
+  cache.Insert("1 + 1", 0, Prepare(&engine, "1 + 1"));
+  EXPECT_EQ(cache.counters().entries, 0);
+}
+
+TEST(QueryCacheTest, ReplaceInPlaceKeepsOneEntry) {
+  Engine engine;
+  QueryCache cache;
+  cache.Insert("1 + 1", 0, Prepare(&engine, "1 + 1"));
+  cache.Insert("1 + 1", 0, Prepare(&engine, "1 + 1"));
+  EXPECT_EQ(cache.counters().entries, 1);
+  EXPECT_EQ(cache.counters().evictions, 0);
+}
+
+TEST(QueryCacheTest, ClearDropsEntriesKeepsCounters) {
+  Engine engine;
+  QueryCache cache;
+  cache.Insert("1 + 1", 0, Prepare(&engine, "1 + 1"));
+  EXPECT_NE(cache.Lookup("1 + 1", 0, nullptr), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.counters().entries, 0);
+  EXPECT_EQ(cache.counters().bytes, 0);
+  EXPECT_EQ(cache.counters().hits, 1);
+  EXPECT_EQ(cache.Lookup("1 + 1", 0, nullptr), nullptr);
+}
+
+TEST(QueryCacheTest, HitKeepsPlanAliveAcrossEviction) {
+  Engine engine;
+  QueryCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = QueryCache::EntryCost("1 + 1");
+  QueryCache cache(options);
+  cache.Insert("1 + 1", 0, Prepare(&engine, "1 + 1"));
+  auto held = cache.Lookup("1 + 1", 0, nullptr);
+  ASSERT_NE(held, nullptr);
+  // Inserting a same-cost entry evicts the held one from the cache...
+  cache.Insert("2 + 2", 0, Prepare(&engine, "2 + 2"));
+  EXPECT_EQ(cache.Lookup("1 + 1", 0, nullptr), nullptr);
+  // ...but the shared_ptr keeps the plan itself usable.
+  auto result = engine.Run(*held);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(engine.Serialize(*result), "2");
+}
+
+TEST(QueryCacheTest, ConcurrentMixedTrafficStaysConsistent) {
+  Engine engine;
+  QueryCacheOptions options;
+  options.shards = 4;
+  QueryCache cache(options);
+  const std::vector<std::string> queries = {"1 + 1", "2 + 2", "3 + 3",
+                                            "4 + 4", "5 + 5"};
+  std::vector<std::shared_ptr<const PreparedQuery>> plans;
+  plans.reserve(queries.size());
+  for (const std::string& q : queries) plans.push_back(Prepare(&engine, q));
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % queries.size();
+        if (auto hit = cache.Lookup(queries[q], 0, nullptr)) {
+          // The plan for query q must be the plan cached under q.
+          EXPECT_EQ(hit.get(), plans[q].get());
+        } else {
+          cache.Insert(queries[q], 0, plans[q]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const QueryCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.hits + counters.misses, kThreads * kIterations);
+  EXPECT_LE(counters.entries, static_cast<int64_t>(queries.size()));
+}
+
+}  // namespace
+}  // namespace xqb

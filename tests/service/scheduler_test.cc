@@ -1,0 +1,217 @@
+// Deterministic unit tests for the admission scheduler: reader
+// concurrency, writer exclusivity, priority order, queue-full and
+// queue-deadline shedding, cancellation while queued.
+
+#include "service/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xqb {
+namespace {
+
+using Ticket = RequestScheduler::Ticket;
+
+/// Spins until `predicate` holds (bounded; fails the test on timeout).
+template <typename Predicate>
+void WaitFor(Predicate predicate, const char* what) {
+  for (int i = 0; i < 2000; ++i) {
+    if (predicate()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "timed out waiting for " << what;
+}
+
+TEST(RequestSchedulerTest, ReadersShareUpToMaxConcurrent) {
+  RequestSchedulerOptions options;
+  options.max_concurrent = 2;
+  RequestScheduler scheduler(options);
+
+  auto t1 = scheduler.EnterRequest(true, 0, 0, nullptr);
+  auto t2 = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(scheduler.active(), 2);
+
+  // A third reader must wait for a slot.
+  std::thread third([&] {
+    auto t3 = scheduler.EnterRequest(true, 0, 0, nullptr);
+    ASSERT_TRUE(t3.ok());
+    scheduler.ExitRequest(*t3);
+  });
+  WaitFor([&] { return scheduler.queued() == 1; }, "third reader queued");
+  EXPECT_EQ(scheduler.active(), 2);
+  scheduler.ExitRequest(*t1);
+  third.join();
+  scheduler.ExitRequest(*t2);
+  EXPECT_EQ(scheduler.active(), 0);
+  EXPECT_EQ(scheduler.counters().admitted, 3);
+}
+
+TEST(RequestSchedulerTest, WriterExcludesEverything) {
+  RequestScheduler scheduler;
+  auto reader = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(reader.ok());
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::thread writer([&] {
+    auto t = scheduler.EnterRequest(false, 0, 0, nullptr);
+    ASSERT_TRUE(t.ok());
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(1);
+    }
+    // While the writer holds its slot nothing else may be active.
+    EXPECT_EQ(scheduler.active(), 1);
+    scheduler.ExitRequest(*t);
+  });
+  WaitFor([&] { return scheduler.queued() == 1; }, "writer queued");
+
+  // A reader arriving behind the queued writer must not overtake it
+  // (strict head-of-line admission).
+  std::thread late_reader([&] {
+    auto t = scheduler.EnterRequest(true, 0, 0, nullptr);
+    ASSERT_TRUE(t.ok());
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(2);
+    }
+    scheduler.ExitRequest(*t);
+  });
+  WaitFor([&] { return scheduler.queued() == 2; }, "late reader queued");
+
+  scheduler.ExitRequest(*reader);
+  writer.join();
+  late_reader.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(scheduler.counters().exclusive_runs, 1);
+}
+
+TEST(RequestSchedulerTest, HigherPriorityAdmitsFirst) {
+  RequestSchedulerOptions options;
+  options.max_concurrent = 1;
+  RequestScheduler scheduler(options);
+  // Hold the only slot while the queue builds up.
+  auto hold = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(hold.ok());
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::thread> threads;
+  for (int priority : {1, 3, 2}) {
+    threads.emplace_back([&, priority] {
+      auto t = scheduler.EnterRequest(true, priority, 0, nullptr);
+      ASSERT_TRUE(t.ok());
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(priority);
+      }
+      scheduler.ExitRequest(*t);
+    });
+    // Serialize arrivals so the (priority, seq) order is deterministic.
+    WaitFor([&, n = static_cast<int>(threads.size())] {
+      return scheduler.queued() == n;
+    }, "waiter queued");
+  }
+
+  scheduler.ExitRequest(*hold);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(RequestSchedulerTest, QueueFullSheds) {
+  RequestSchedulerOptions options;
+  options.max_concurrent = 1;
+  options.queue_capacity = 1;
+  RequestScheduler scheduler(options);
+  auto hold = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(hold.ok());
+
+  std::thread waiter([&] {
+    auto t = scheduler.EnterRequest(true, 0, 0, nullptr);
+    ASSERT_TRUE(t.ok());
+    scheduler.ExitRequest(*t);
+  });
+  WaitFor([&] { return scheduler.queued() == 1; }, "first waiter queued");
+
+  // The queue is at capacity: the next arrival is shed immediately.
+  auto shed = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(scheduler.counters().shed_queue_full, 1);
+
+  scheduler.ExitRequest(*hold);
+  waiter.join();
+}
+
+TEST(RequestSchedulerTest, DeadlineExpiresInQueue) {
+  RequestScheduler scheduler;
+  auto hold = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(hold.ok());
+
+  // A writer cannot run while the reader is active; its 50 ms budget
+  // burns down in the queue.
+  auto shed = scheduler.EnterRequest(false, 0, 50, nullptr);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(scheduler.counters().shed_deadline, 1);
+  EXPECT_EQ(scheduler.queued(), 0);  // The shed waiter left the queue.
+  scheduler.ExitRequest(*hold);
+}
+
+TEST(RequestSchedulerTest, CancelledWhileQueued) {
+  RequestScheduler scheduler;
+  auto hold = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(hold.ok());
+
+  auto token = std::make_shared<CancellationToken>();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token->Cancel();
+  });
+  auto cancelled = scheduler.EnterRequest(false, 0, 0, token);
+  canceller.join();
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(scheduler.counters().cancelled_waiting, 1);
+  EXPECT_EQ(scheduler.queued(), 0);
+  scheduler.ExitRequest(*hold);
+}
+
+TEST(RequestSchedulerTest, AlreadyCancelledTokenIsRefusedAtEntry) {
+  RequestScheduler scheduler;
+  auto token = std::make_shared<CancellationToken>();
+  token->Cancel();
+  // Even with every slot free, a dead request must not be admitted —
+  // it would run to completion before the guard's first poll.
+  auto refused = scheduler.EnterRequest(true, 0, 0, token);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(scheduler.active(), 0);
+  EXPECT_EQ(scheduler.counters().cancelled_waiting, 1);
+}
+
+TEST(RequestSchedulerTest, QueueWaitIsMeasured) {
+  RequestScheduler scheduler;
+  auto hold = scheduler.EnterRequest(true, 0, 0, nullptr);
+  ASSERT_TRUE(hold.ok());
+  EXPECT_GE(hold->queue_wait_ns, 0);
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    scheduler.ExitRequest(*hold);
+  });
+  auto waited = scheduler.EnterRequest(false, 0, 0, nullptr);
+  releaser.join();
+  ASSERT_TRUE(waited.ok());
+  EXPECT_GE(waited->queue_wait_ns, 20 * 1'000'000);
+  scheduler.ExitRequest(*waited);
+}
+
+}  // namespace
+}  // namespace xqb

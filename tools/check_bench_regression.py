@@ -41,6 +41,15 @@ fastest; the checker widens that benchmark's threshold by half its
 max/min spread (capped at +0.5) — a benchmark whose identical runs
 on the recording machine differed by 30% cannot honestly be gated at
 25%, while stable benchmarks keep the tight gate.
+
+Benchmarks present in the current report but missing from the
+baseline are WARNED about loudly (they run ungated — a new benchmark
+is a blind spot until its baseline lands). To absorb them, rerun
+with --update-baseline: the baseline file is rewritten in place with
+the current report's raw entries, keeping baseline-only entries (so
+a filtered run does not drop the rest of the suite) and the current
+report's machine context. Commit the refreshed bench/baseline.json
+in the same change that adds the benchmark.
 Only the standard library is used.
 """
 
@@ -184,6 +193,48 @@ def dominant_phase_delta(baseline_entry, current_entry):
             f"({base[key]:.3f} -> {cur[key]:.3f}ms, {ratio:.2f}x)")
 
 
+def update_baseline(baseline_path, current_path):
+    """Rewrites `baseline_path` from the raw current report.
+
+    Entries (keyed by run_name) present in the current report replace
+    their baseline counterparts; baseline-only entries survive, so a
+    --benchmark_filter'ed refresh does not silently drop the rest of
+    the suite. The context block is taken from the current report —
+    after a refresh the baseline describes one machine, not a mix.
+    """
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read current report {current_path!r} "
+                 f"for --update-baseline: {e}")
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        baseline = {"context": {}, "benchmarks": []}
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read baseline {baseline_path!r} "
+                 f"for --update-baseline: {e}")
+
+    def run_names(entries):
+        return {e.get("run_name", e.get("name")) for e in entries}
+
+    refreshed = run_names(current.get("benchmarks", []))
+    kept = [e for e in baseline.get("benchmarks", [])
+            if e.get("run_name", e.get("name")) not in refreshed]
+    merged = {"context": current.get("context",
+                                     baseline.get("context", {})),
+              "benchmarks": kept + current.get("benchmarks", [])}
+    with open(baseline_path, "w") as f:
+        json.dump(merged, f, indent=1)
+        f.write("\n")
+    print(f"[bench] baseline {baseline_path} updated: "
+          f"{len(refreshed)} run name(s) refreshed from "
+          f"{current_path}, {len(kept)} baseline-only entr(y/ies) "
+          "kept")
+
+
 def median_of(values):
     ordered = sorted(values)
     return ordered[len(ordered) // 2]
@@ -245,7 +296,17 @@ def main():
                              "disables retries")
     parser.add_argument("--min-time", default="0.05")
     parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline from the raw "
+                             "--current report (refreshing matched "
+                             "entries, adding new ones, keeping "
+                             "baseline-only entries) instead of "
+                             "checking; commit the result")
     args = parser.parse_args()
+
+    if args.update_baseline:
+        update_baseline(args.baseline, args.current)
+        return
 
     baseline = load(args.baseline)
     current = load(args.current)
@@ -255,10 +316,19 @@ def main():
     only_current = sorted(set(current) - set(baseline))
     if only_baseline:
         print(f"note: {len(only_baseline)} baseline-only benchmarks "
-              f"(removed?): {', '.join(only_baseline[:5])} ...")
+              f"(removed, or a filtered run?): "
+              f"{', '.join(only_baseline[:5])} ...")
     if only_current:
-        print(f"note: {len(only_current)} new benchmarks without a "
-              f"baseline: {', '.join(only_current[:5])} ...")
+        # Loud, itemized, and actionable: an unknown benchmark runs
+        # ungated, which silently defeats the point of the gate.
+        print(f"warning: {len(only_current)} benchmark(s) have no "
+              "baseline entry and are NOT gated:")
+        for name in only_current:
+            print(f"  {name}")
+        print("warning: refresh the baseline with "
+              f"`tools/check_bench_regression.py --baseline "
+              f"{args.baseline} --current {args.current} "
+              "--update-baseline` and commit it")
     if not matched:
         sys.exit("error: no benchmarks in common with the baseline")
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Checks the query-service acceptance bars from a merged benchmark
+report (tools/run_benchmarks.py output):
+
+  1. Plan cache: a warm QueryCache lookup (BM_PrepareWarm) costs less
+     than 5% of a cold Engine::Prepare (BM_PrepareCold). Checked on
+     every machine — it is a single-threaded ratio.
+  2. Read scaling: BM_ServiceReadThroughput at 8 client threads moves
+     at least 3x the items/second of 1 client. Only *gated* on
+     machines with >= 4 CPUs (the report's context.num_cpus, falling
+     back to os.cpu_count()); below that the ratio is physically
+     unreachable and is reported instead.
+
+Usage:
+  tools/check_service_bars.py --report BENCH_ci.json \
+      [--warm-fraction 0.05] [--scaling 3.0] [--min-cpus 4]
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def best(report, run_name, key):
+    """The best observation for `run_name`: min over repetitions for
+    real_time (noise is one-sided), max for items_per_second."""
+    values = []
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate" or \
+                entry.get("error_occurred"):
+            continue
+        if entry.get("run_name", entry.get("name")) != run_name:
+            continue
+        if key == "real_time_ns":
+            values.append(entry["real_time"] *
+                          UNIT_NS[entry.get("time_unit", "ns")])
+        elif key in entry:
+            values.append(entry[key])
+    if not values:
+        sys.exit(f"error: no '{run_name}' entries in the report; did "
+                 "bench_query_cache / bench_service_throughput run?")
+    return min(values) if key == "real_time_ns" else max(values)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--report", default="BENCH_ci.json")
+    parser.add_argument("--warm-fraction", type=float, default=0.05)
+    parser.add_argument("--scaling", type=float, default=3.0)
+    parser.add_argument("--min-cpus", type=int, default=4)
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read benchmark report "
+                 f"{args.report!r}: {e}")
+
+    failures = []
+
+    cold_ns = best(report, "BM_PrepareCold", "real_time_ns")
+    warm_ns = best(report, "BM_PrepareWarm", "real_time_ns")
+    fraction = warm_ns / cold_ns if cold_ns > 0 else float("inf")
+    print(f"[service] warm lookup {warm_ns:.0f}ns vs cold prepare "
+          f"{cold_ns:.0f}ns -> {100 * fraction:.2f}% "
+          f"(bar: < {100 * args.warm_fraction:.0f}%)")
+    if fraction >= args.warm_fraction:
+        failures.append(
+            f"warm plan-cache lookup is {100 * fraction:.1f}% of a "
+            f"cold prepare (bar: {100 * args.warm_fraction:.0f}%)")
+
+    one = best(report,
+               "BM_ServiceReadThroughput/real_time/threads:1",
+               "items_per_second")
+    eight = best(report,
+                 "BM_ServiceReadThroughput/real_time/threads:8",
+                 "items_per_second")
+    ratio = eight / one if one > 0 else float("inf")
+    cpus = report.get("context", {}).get("num_cpus") or \
+        os.cpu_count() or 1
+    print(f"[service] read throughput: {one:,.0f} items/s at 1 "
+          f"client, {eight:,.0f} at 8 -> {ratio:.2f}x "
+          f"(bar: >= {args.scaling:.1f}x on >= {args.min_cpus} CPUs; "
+          f"this machine: {cpus})")
+    if cpus >= args.min_cpus and ratio < args.scaling:
+        failures.append(
+            f"8-client read throughput is only {ratio:.2f}x the "
+            f"1-client rate on a {cpus}-CPU machine "
+            f"(bar: {args.scaling:.1f}x)")
+    elif cpus < args.min_cpus:
+        print(f"[service] scaling bar not gated below "
+              f"{args.min_cpus} CPUs (recorded, not enforced)")
+
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}")
+        sys.exit(1)
+    print("[service] acceptance bars hold")
+
+
+if __name__ == "__main__":
+    main()
