@@ -1,0 +1,98 @@
+// Telemetry overhead on the service hot path (docs/OBSERVABILITY.md
+// §6). The same 8-client read workload as bench_service_throughput is
+// run with the metric registry enabled (the default) and disabled
+// (SetMetricsEnabled(false)): the two must be within noise of each
+// other, proving that per-request recording — a handful of relaxed
+// adds into sharded cells plus one histogram bucket search — does not
+// tax the throughput path. CI gates both entries through
+// bench/baseline.json like any other benchmark.
+//
+// The flight recorder and slow-query log are NOT toggled by the
+// metrics switch (they are the black box, not the time series), so
+// their constant cost sits identically under both sides of the
+// comparison.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "service/service.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using xqb::Engine;
+using xqb::QueryService;
+using xqb::QueryServiceOptions;
+
+/// Identical to bench_service_throughput's read query: allocation-free
+/// and fully cached after the first miss, so every iteration is
+/// lookup -> admission -> read -> serialize — the path the instruments
+/// sit on.
+constexpr const char* kReadQuery =
+    "sum(for $c in doc('d')/r/c return $c * 2) + count(doc('d')/r/c)";
+
+struct ServiceFixture {
+  Engine engine;
+  std::unique_ptr<QueryService> service;
+
+  ServiceFixture() {
+    std::string doc = "<r><n>0</n>";
+    for (int i = 0; i < 2000; ++i) {
+      doc += "<c>" + std::to_string(i % 7) + "</c>";
+    }
+    doc += "</r>";
+    if (!engine.LoadDocumentFromString("d", doc).ok()) std::abort();
+    QueryServiceOptions options;
+    options.scheduler.max_concurrent = 16;
+    options.scheduler.queue_capacity = 1024;
+    service = std::make_unique<QueryService>(&engine, options);
+  }
+};
+
+ServiceFixture& Fixture() {
+  static ServiceFixture fixture;
+  return fixture;
+}
+
+void RunReadWorkload(benchmark::State& state, bool metrics_enabled) {
+  // Every thread stores the same value before the timed loop starts;
+  // concurrent identical stores are benign and avoid ordering games
+  // with the thread barrier.
+  xqb::SetMetricsEnabled(metrics_enabled);
+  QueryService& service = *Fixture().service;
+  for (auto _ : state) {
+    auto response = service.Submit({.query = kReadQuery});
+    if (!response.status.ok()) {
+      state.SkipWithError(response.status.ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(response.result_xml);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    // Leave the process-wide switch in its default position for
+    // whatever runs after this benchmark in the binary.
+    xqb::SetMetricsEnabled(true);
+  }
+}
+
+void BM_ServiceRead_MetricsOn(benchmark::State& state) {
+  RunReadWorkload(state, /*metrics_enabled=*/true);
+}
+BENCHMARK(BM_ServiceRead_MetricsOn)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ServiceRead_MetricsOff(benchmark::State& state) {
+  RunReadWorkload(state, /*metrics_enabled=*/false);
+}
+BENCHMARK(BM_ServiceRead_MetricsOff)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

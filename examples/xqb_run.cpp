@@ -44,10 +44,30 @@
 //                         comments) from --clients concurrent threads
 //                         through the shared plan cache and admission
 //                         scheduler; prints per-request latency
-//                         percentiles and the cache hit rate. The
+//                         percentiles (from the telemetry histogram,
+//                         so the report and the exported metrics agree
+//                         by construction) and the cache hit rate. The
 //                         positional query file is not used
 //     --clients N         client threads for --serve-batch (default 4)
 //     --repeat N          workload replays per client (default 1)
+//     --metrics-out FILE  write the Prometheus text exposition of the
+//                         metric registry to FILE at end of run
+//                         (docs/OBSERVABILITY.md §6)
+//     --metrics-json FILE write the JSON metrics snapshot to FILE
+//     --metrics-port N    serve /metrics (and /metrics.json) on
+//                         127.0.0.1:N for the duration of
+//                         --serve-batch (0 picks a free port, printed
+//                         to stderr)
+//     --slow-log FILE     append a JSON line per request slower than
+//                         --slow-threshold-ms to FILE
+//     --slow-threshold-ms N
+//                         slow-query threshold (default 100)
+//     --slow-sample N     of the over-threshold requests, log every
+//                         Nth (default 1 = all)
+//     --flight-dump PATH  arm the flight recorder: on kOverloaded
+//                         shedding, durability fail-stop, or an
+//                         integrity-check failure, dump the last-256
+//                         request summaries to PATH as JSON lines
 //
 // Exit status (documented contract — scripts and the chaos harness key
 // off these; see docs/ROBUSTNESS.md):
@@ -80,6 +100,11 @@
 #include "base/failpoint.h"
 #include "core/engine.h"
 #include "service/service.h"
+#include "telemetry/exposition.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/http_exporter.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slow_query_log.h"
 #include "xmark/generator.h"
 
 namespace {
@@ -137,6 +162,10 @@ int Usage() {
       "               [--sync always|batch|off] [--recover]\n"
       "               [--checkpoint] [--check-integrity]\n"
       "               [--serve-batch FILE] [--clients N] [--repeat N]\n"
+      "               [--metrics-out FILE] [--metrics-json FILE]\n"
+      "               [--metrics-port N] [--slow-log FILE]\n"
+      "               [--slow-threshold-ms N] [--slow-sample N]\n"
+      "               [--flight-dump PATH]\n"
       "               [query.xq]\n");
   return 1;
 }
@@ -188,17 +217,41 @@ bool ParseWorkloadLine(const std::string& line, WorkloadRequest* out,
   return true;
 }
 
-int64_t PercentileNs(const std::vector<int64_t>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const size_t idx = static_cast<size_t>(
-      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
+/// Telemetry export destinations (--metrics-out / --metrics-json /
+/// --metrics-port).
+struct MetricsFlags {
+  std::string text_path;
+  std::string json_path;
+  int port = -1;  ///< < 0: no scrape endpoint.
+};
+
+/// Writes the requested exposition files; failures go to stderr but do
+/// not change the exit code (the run's own result outranks a metrics
+/// write).
+void WriteMetricsFiles(const MetricsFlags& metrics) {
+  if (!metrics.text_path.empty()) {
+    xqb::Status written = xqb::WriteMetricsFile(
+        metrics.text_path,
+        xqb::RenderPrometheusText(xqb::MetricRegistry::Default()));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    }
+  }
+  if (!metrics.json_path.empty()) {
+    xqb::Status written = xqb::WriteMetricsFile(
+        metrics.json_path,
+        xqb::RenderMetricsJson(xqb::MetricRegistry::Default()));
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    }
+  }
 }
 
 /// Replays the workload from `clients` threads through one
 /// QueryService. Returns the process exit code (contract above).
 int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
-               const std::string& workload_path, int clients, int repeat) {
+               const std::string& workload_path, int clients, int repeat,
+               const MetricsFlags& metrics) {
   std::ifstream in(workload_path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "cannot open workload file %s\n",
@@ -232,8 +285,34 @@ int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
       std::max(64, clients * static_cast<int>(workload.size()));
   xqb::QueryService service(engine, service_options);
 
+  // Scrape endpoint for the duration of the batch (--metrics-port).
+  xqb::MetricsHttpServer metrics_server;
+  if (metrics.port >= 0) {
+    xqb::Status started =
+        metrics_server.Start(metrics.port, &xqb::MetricRegistry::Default());
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics: serving on 127.0.0.1:%d\n",
+                 metrics_server.port());
+  }
+
+  // Failure exits dump the flight recorder (a no-op unless
+  // --flight-dump armed it) and every exit writes the requested
+  // metrics files. The dump path is not printed: the chaos/torture
+  // harnesses key on byte-identical stderr across runs and already
+  // know the path they armed.
+  auto finish = [&](int code, const char* flight_reason) {
+    if (code != 0 && flight_reason != nullptr) {
+      xqb::FlightRecorder::Default().Dump(flight_reason);
+    }
+    metrics_server.Stop();
+    WriteMetricsFiles(metrics);
+    return code;
+  };
+
   struct ClientResult {
-    std::vector<int64_t> latencies_ns;
     int64_t queue_wait_ns = 0;
     xqb::Status first_error;  // First non-ok, non-shed status seen.
   };
@@ -245,17 +324,13 @@ int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientResult& mine = results[static_cast<size_t>(c)];
-      mine.latencies_ns.reserve(workload.size() *
-                                static_cast<size_t>(repeat));
       for (int r = 0; r < repeat; ++r) {
         for (const WorkloadRequest& w : workload) {
           xqb::QueryService::Request request;
           request.query = w.query;
           request.priority = w.priority;
           request.deadline_ms = w.deadline_ms;
-          const int64_t start = xqb::MonotonicNowNs();
           xqb::QueryService::Response response = service.Submit(request);
-          mine.latencies_ns.push_back(xqb::MonotonicNowNs() - start);
           mine.queue_wait_ns += response.stats.queue_wait_ns;
           if (!response.status.ok() &&
               response.status.code() != xqb::StatusCode::kOverloaded &&
@@ -270,16 +345,27 @@ int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
   const double wall_s =
       static_cast<double>(xqb::MonotonicNowNs() - t0) / 1e9;
 
-  std::vector<int64_t> latencies;
   int64_t queue_wait_ns = 0;
   xqb::Status first_error;
   for (const ClientResult& r : results) {
-    latencies.insert(latencies.end(), r.latencies_ns.begin(),
-                     r.latencies_ns.end());
     queue_wait_ns += r.queue_wait_ns;
     if (first_error.ok()) first_error = r.first_error;
   }
-  std::sort(latencies.begin(), latencies.end());
+
+  // Latency percentiles come from the same telemetry histogram the
+  // exporters render (read + write series merged), so this report and
+  // a scrape can never disagree about the latency distribution.
+  xqb::MetricRegistry& registry = xqb::MetricRegistry::Default();
+  xqb::HistogramSnapshot latency =
+      registry
+          .GetHistogram("xqb_request_duration_seconds", "",
+                        {{"kind", "read"}}, xqb::TimeHistogramOptions())
+          ->Snapshot();
+  latency.MergeFrom(
+      registry
+          .GetHistogram("xqb_request_duration_seconds", "",
+                        {{"kind", "write"}}, xqb::TimeHistogramOptions())
+          ->Snapshot());
 
   const xqb::QueryService::Counters counters = service.counters();
   const int64_t expected = static_cast<int64_t>(workload.size()) *
@@ -308,9 +394,9 @@ int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
       static_cast<long long>(counters.shed),
       static_cast<long long>(counters.cancelled), //
       counters.submitted > 0 ? counters.submitted / wall_s : 0.0, wall_s,
-      ms(PercentileNs(latencies, 50)), ms(PercentileNs(latencies, 90)),
-      ms(PercentileNs(latencies, 99)),
-      ms(latencies.empty() ? 0 : latencies.back()),
+      latency.PercentileRaw(50) / 1e6, latency.PercentileRaw(90) / 1e6,
+      latency.PercentileRaw(99) / 1e6,
+      static_cast<double>(latency.max) / 1e6,
       counters.submitted > 0
           ? ms(queue_wait_ns) / static_cast<double>(counters.submitted)
           : 0.0,
@@ -335,19 +421,19 @@ int ServeBatch(xqb::Engine* engine, const xqb::ExecOptions& exec,
                  static_cast<long long>(counters.completed +
                                         counters.failed + counters.shed +
                                         counters.cancelled));
-    return 9;
+    return finish(9, "accounting_mismatch");
   }
   if (!first_error.ok()) {
     std::fprintf(stderr, "serve-batch: %s\n",
                  first_error.ToString().c_str());
-    return ExitCodeFor(first_error);
+    return finish(ExitCodeFor(first_error), "request_error");
   }
   if (counters.completed == 0) {
     // Everything was shed: the service never did any work.
     std::fprintf(stderr, "serve-batch: all requests shed\n");
-    return 11;
+    return finish(11, "all_requests_shed");
   }
-  return 0;
+  return finish(0, nullptr);
 }
 
 }  // namespace
@@ -368,6 +454,11 @@ int main(int argc, char** argv) {
   std::string serve_batch_path;
   int clients = 4;
   int repeat = 1;
+  MetricsFlags metrics;
+  std::string slow_log_path;
+  int64_t slow_threshold_ms = 100;
+  int64_t slow_sample = 1;
+  std::string flight_dump_path;
   std::vector<LoadAction> loads;
   std::vector<std::pair<std::string, std::string>> vars;
   std::vector<std::pair<std::string, std::string>> saves;
@@ -470,6 +561,40 @@ int main(int argc, char** argv) {
       if (!value) return Usage();
       serve_batch_path = value;
       if (serve_batch_path.empty()) return Usage();
+    } else if (arg == "--metrics-out") {
+      const char* value = next_value("--metrics-out");
+      if (!value || *value == '\0') return Usage();
+      metrics.text_path = value;
+    } else if (arg == "--metrics-json") {
+      const char* value = next_value("--metrics-json");
+      if (!value || *value == '\0') return Usage();
+      metrics.json_path = value;
+    } else if (arg == "--metrics-port") {
+      const char* value = next_value("--metrics-port");
+      if (!value) return Usage();
+      metrics.port = static_cast<int>(std::strtol(value, nullptr, 10));
+      if (metrics.port < 0 || metrics.port > 65535) {
+        std::fprintf(stderr, "--metrics-port must be 0..65535\n");
+        return Usage();
+      }
+    } else if (arg == "--slow-log") {
+      const char* value = next_value("--slow-log");
+      if (!value || *value == '\0') return Usage();
+      slow_log_path = value;
+    } else if (arg == "--slow-threshold-ms") {
+      const char* value = next_value("--slow-threshold-ms");
+      if (!value) return Usage();
+      slow_threshold_ms = std::strtoll(value, nullptr, 10);
+      if (slow_threshold_ms < 0) return Usage();
+    } else if (arg == "--slow-sample") {
+      const char* value = next_value("--slow-sample");
+      if (!value) return Usage();
+      slow_sample = std::strtoll(value, nullptr, 10);
+      if (slow_sample < 1) return Usage();
+    } else if (arg == "--flight-dump") {
+      const char* value = next_value("--flight-dump");
+      if (!value || *value == '\0') return Usage();
+      flight_dump_path = value;
     } else if (arg == "--clients") {
       const char* value = next_value("--clients");
       if (!value) return Usage();
@@ -529,6 +654,23 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  // Telemetry sinks are configured before durability opens so that the
+  // flight recorder is armed for recovery-time fail-stops too.
+  if (!flight_dump_path.empty()) {
+    xqb::FlightRecorder::Default().SetDumpPath(flight_dump_path);
+  }
+  if (!slow_log_path.empty()) {
+    xqb::SlowQueryLog::Options slow;
+    slow.path = slow_log_path;
+    slow.threshold_ns = slow_threshold_ms * 1'000'000;
+    slow.sample_every = slow_sample;
+    xqb::Status configured = xqb::SlowQueryLog::Default().Configure(slow);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "%s\n", configured.ToString().c_str());
+      return 1;
+    }
+  }
+
   if (crash_on_failpoints) {
     xqb::FailpointRegistry::Global().set_crash_on_fire(true);
   }
@@ -564,6 +706,7 @@ int main(int argc, char** argv) {
     if (!opened.ok()) {
       std::fprintf(stderr, "opening durable store %s: %s\n",
                    data_dir.c_str(), opened.ToString().c_str());
+      xqb::FlightRecorder::Default().Dump("durability_error");
       return ExitCodeFor(opened);
     }
     if (recover) {
@@ -613,6 +756,7 @@ int main(int argc, char** argv) {
   if (!engine.durability_error().ok()) {
     std::fprintf(stderr, "durability: %s\n",
                  engine.durability_error().ToString().c_str());
+    xqb::FlightRecorder::Default().Dump("durability_error");
     return ExitCodeFor(engine.durability_error());
   }
   for (const auto& [name, str] : vars) {
@@ -620,7 +764,8 @@ int main(int argc, char** argv) {
   }
 
   if (!serve_batch_path.empty()) {
-    return ServeBatch(&engine, options, serve_batch_path, clients, repeat);
+    return ServeBatch(&engine, options, serve_batch_path, clients, repeat,
+                      metrics);
   }
 
   if (!query_path.empty()) {
@@ -633,9 +778,49 @@ int main(int argc, char** argv) {
     std::ostringstream buffer;
     buffer << in.rdbuf();
 
+    const int64_t q0 = xqb::MonotonicNowNs();
     auto result = engine.Execute(buffer.str(), options);
+    {
+      // Single-query runs bypass QueryService, so feed the black box
+      // here; serve-batch entries come from Submit itself.
+      const uint64_t query_hash = xqb::HashQueryText(buffer.str());
+      const char* status_name =
+          xqb::StatusCodeToString(result.status().code());
+      const int64_t total_ns = xqb::MonotonicNowNs() - q0;
+      // No purity verdict outside the service; the applied-update
+      // counter is an after-the-fact stand-in (snaps_applied counts
+      // the implicit top-level snap even for pure queries).
+      const bool read_only = engine.last_stats().updates_applied == 0;
+      xqb::SlowQueryLog& slow_log = xqb::SlowQueryLog::Default();
+      if (slow_log.enabled() && total_ns >= slow_log.threshold_ns()) {
+        xqb::SlowQueryLog::Entry entry;
+        entry.query_hash = query_hash;
+        entry.query_bytes = buffer.str().size();
+        entry.read_only = read_only;
+        entry.status = status_name;
+        entry.total_ns = total_ns;
+        entry.stats = &engine.last_stats();
+        slow_log.MaybeLog(entry);
+      }
+      xqb::FlightEntry entry;
+      entry.query_hash = query_hash;
+      entry.query_bytes = static_cast<uint32_t>(buffer.str().size());
+      entry.read_only = read_only;
+      entry.status = status_name;
+      entry.total_ns = total_ns;
+      entry.result_cardinality = engine.last_stats().result_cardinality;
+      xqb::FlightRecorder::Default().Record(std::move(entry));
+    }
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      // kDataLoss is the fail-stop surfacing directly; an injected WAL
+      // fault surfaces as FaultInjected while latching the engine's
+      // durability error behind it. Either way the store is fail-stopped
+      // and the black box should hit the disk.
+      if (result.status().code() == xqb::StatusCode::kDataLoss ||
+          !engine.durability_error().ok()) {
+        xqb::FlightRecorder::Default().Dump("durability_error");
+      }
       return ExitCodeFor(result.status());
     }
     auto serialized = engine.SerializeChecked(*result, indent);
@@ -684,10 +869,12 @@ int main(int argc, char** argv) {
     xqb::Status audit = engine.store().CheckIntegrity();
     if (!audit.ok()) {
       std::fprintf(stderr, "integrity: %s\n", audit.ToString().c_str());
+      xqb::FlightRecorder::Default().Dump("integrity_failure");
       return 10;
     }
     std::fprintf(stderr, "integrity: ok (%zu live nodes)\n",
                  engine.store().live_node_count());
   }
+  WriteMetricsFiles(metrics);
   return 0;
 }

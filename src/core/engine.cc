@@ -13,10 +13,96 @@
 #include "core/purity.h"
 #include "core/static_check.h"
 #include "frontend/parser.h"
+#include "telemetry/metrics.h"
 #include "xml/serializer.h"
 #include "xml/xml_parser.h"
 
 namespace xqb {
+
+namespace {
+
+/// Registry surface for one finished Run: outcome, phase-time
+/// histograms (a phase that did not happen records nothing), and the
+/// store-population gauges read at end of run (the store hot path
+/// itself carries no instruments).
+void RecordRunTelemetry(const ExecStats& stats, bool ok,
+                        const Store& store) {
+  if (!MetricsEnabled()) return;
+  MetricRegistry& registry = MetricRegistry::Default();
+  static Counter* runs_ok = registry.GetCounter(
+      "xqb_engine_runs_total", "Engine runs by final status.",
+      {{"status", "ok"}});
+  static Counter* runs_error = registry.GetCounter(
+      "xqb_engine_runs_total", "Engine runs by final status.",
+      {{"status", "error"}});
+  (ok ? runs_ok : runs_error)->Increment();
+
+  static const char* kHelp = "Engine phase time per run.";
+  static Histogram* parse = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "parse"}},
+      TimeHistogramOptions());
+  static Histogram* normalize = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "normalize"}},
+      TimeHistogramOptions());
+  static Histogram* static_check = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "static_check"}},
+      TimeHistogramOptions());
+  static Histogram* compile = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "compile"}},
+      TimeHistogramOptions());
+  static Histogram* rewrite = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "rewrite"}},
+      TimeHistogramOptions());
+  static Histogram* eval = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "eval"}},
+      TimeHistogramOptions());
+  static Histogram* snap_apply = registry.GetHistogram(
+      "xqb_engine_phase_seconds", kHelp, {{"phase", "snap_apply"}},
+      TimeHistogramOptions());
+  // Front-end times are carried on the PreparedQuery, so a cached plan
+  // re-reports its original prepare cost on every run — the histogram
+  // weights front-end cost by how often each plan actually runs.
+  if (stats.parse_ns > 0) parse->RecordNs(stats.parse_ns);
+  if (stats.normalize_ns > 0) normalize->RecordNs(stats.normalize_ns);
+  if (stats.static_check_ns > 0) {
+    static_check->RecordNs(stats.static_check_ns);
+  }
+  if (stats.compile_ns > 0) compile->RecordNs(stats.compile_ns);
+  if (stats.rewrite_ns > 0) rewrite->RecordNs(stats.rewrite_ns);
+  eval->RecordNs(stats.eval_ns);
+  if (stats.snap_apply_ns > 0) snap_apply->RecordNs(stats.snap_apply_ns);
+
+  static Gauge* live_nodes = registry.GetGauge(
+      "xqb_store_live_nodes", "Live node records in the store.");
+  static Gauge* slots = registry.GetGauge(
+      "xqb_store_slots",
+      "Record slots ever allocated (capacity proxy, includes freed).");
+  static Gauge* alloc_peak = registry.GetGauge(
+      "xqb_store_run_alloc_peak_nodes",
+      "Largest per-run allocation-gauge reading seen so far.");
+  live_nodes->Set(static_cast<int64_t>(store.live_node_count()));
+  slots->Set(static_cast<int64_t>(store.slot_count()));
+  alloc_peak->SetMax(stats.nodes_allocated);
+
+  if (stats.collected) {
+    static Counter* pool_busy = registry.GetCounter(
+        "xqb_pool_busy_nanoseconds_total",
+        "Summed per-worker busy time inside parallel regions "
+        "(collect_stats runs only).");
+    static Counter* pool_idle = registry.GetCounter(
+        "xqb_pool_idle_nanoseconds_total",
+        "Summed per-worker idle time inside parallel regions "
+        "(collect_stats runs only).");
+    if (stats.pool_busy_ns > 0) {
+      pool_busy->Increment(static_cast<uint64_t>(stats.pool_busy_ns));
+    }
+    if (stats.pool_idle_ns > 0) {
+      pool_idle->Increment(static_cast<uint64_t>(stats.pool_idle_ns));
+    }
+  }
+}
+
+}  // namespace
 
 Engine::Engine() : store_(std::make_unique<Store>()) {}
 
@@ -312,6 +398,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
     stats->result_cardinality =
         static_cast<int64_t>(result->size());
   }
+  RecordRunTelemetry(*stats, result.ok(), *store_);
   if (tracer != nullptr) {
     Status written = tracer->WriteChromeTrace(options.trace_path);
     // An unwritable trace path fails an otherwise-successful run: the

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "base/exec_stats.h"
+#include "telemetry/metrics.h"
+
 namespace xqb {
 
 namespace {
@@ -108,6 +111,18 @@ void WorkerPool::ParallelFor(int64_t n, int max_workers,
     for (int64_t i = 0; i < n; ++i) fn(i, 0);
     return;
   }
+  // Pooled fan-out only; the sequential fast path above stays free of
+  // telemetry (it runs for every trivial loop).
+  static Counter* regions = MetricRegistry::Default().GetCounter(
+      "xqb_pool_regions_total", "Parallel regions fanned out over the pool.");
+  static Counter* jobs = MetricRegistry::Default().GetCounter(
+      "xqb_pool_jobs_total", "Iterations fanned out over the pool.");
+  static Histogram* region_time = MetricRegistry::Default().GetHistogram(
+      "xqb_pool_region_seconds", "Wall time of one pooled parallel region.",
+      {}, TimeHistogramOptions());
+  regions->Increment();
+  jobs->Increment(static_cast<uint64_t>(n));
+  const int64_t t0 = MonotonicNowNs();
   Job job;
   job.n = n;
   job.max_workers = max_workers;
@@ -128,6 +143,8 @@ void WorkerPool::ParallelFor(int64_t n, int max_workers,
   if (it != jobs_.end()) jobs_.erase(it);
   done_cv_.wait(lock,
                 [&job] { return job.completed == job.n && job.active == 0; });
+  lock.unlock();
+  region_time->RecordNs(MonotonicNowNs() - t0);
 }
 
 }  // namespace xqb

@@ -24,8 +24,24 @@ QueryCache::QueryCache(QueryCacheOptions options)
     : options_(options) {
   if (options_.shards == 0) options_.shards = 1;
   shards_.reserve(options_.shards);
+  MetricRegistry& registry = MetricRegistry::Default();
   for (size_t i = 0; i < options_.shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    const LabelSet labels = {{"shard", std::to_string(i)}};
+    shard->metric_hits = registry.GetCounter(
+        "xqb_cache_hits_total", "Plan-cache hits per shard.", labels);
+    shard->metric_misses = registry.GetCounter(
+        "xqb_cache_misses_total", "Plan-cache misses per shard.", labels);
+    shard->metric_evictions = registry.GetCounter(
+        "xqb_cache_evictions_total",
+        "Plan-cache byte-budget evictions per shard.", labels);
+    shard->metric_invalidations = registry.GetCounter(
+        "xqb_cache_invalidations_total",
+        "Plan-cache fingerprint invalidations per shard.", labels);
+    shard->metric_bytes = registry.GetGauge(
+        "xqb_cache_bytes", "Estimated resident plan-cache bytes per shard.",
+        labels);
+    shards_.push_back(std::move(shard));
   }
   per_shard_budget_ =
       options_.max_bytes == 0
@@ -63,14 +79,18 @@ std::shared_ptr<const PreparedQuery> QueryCache::Lookup(
         shard.lru.erase(it->second);
         shard.index.erase(it);
         invalidations_.fetch_add(1, std::memory_order_relaxed);
+        shard.metric_invalidations->Increment();
+        shard.metric_bytes->Set(static_cast<int64_t>(shard.bytes));
       }
     }
   }
   if (found != nullptr) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.metric_hits->Increment();
     if (stats != nullptr) ++stats->cache_hits;
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.metric_misses->Increment();
     if (stats != nullptr) ++stats->cache_misses;
   }
   return found;
@@ -110,9 +130,11 @@ void QueryCache::Insert(const std::string& query, uint64_t fingerprint,
         Entry{query, fingerprint, std::move(prepared), cost});
     shard.index[query] = shard.lru.begin();
     shard.bytes += cost;
+    shard.metric_bytes->Set(static_cast<int64_t>(shard.bytes));
   }
   if (evicted > 0) {
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    shard.metric_evictions->Increment(static_cast<uint64_t>(evicted));
     if (stats != nullptr) stats->cache_evictions += evicted;
   }
 }
@@ -123,6 +145,7 @@ void QueryCache::Clear() {
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
+    shard->metric_bytes->Set(0);
   }
 }
 

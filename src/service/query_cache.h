@@ -12,6 +12,7 @@
 
 #include "base/exec_stats.h"
 #include "core/engine.h"
+#include "telemetry/metrics.h"
 
 namespace xqb {
 
@@ -101,6 +102,15 @@ class QueryCache {
     std::list<Entry> lru;
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
     size_t bytes = 0;
+    /// Per-shard registry instruments (label shard="<index>"), shared
+    /// by every QueryCache with the same shard index — the registry
+    /// aggregates across service instances. Resident bytes are
+    /// re-published to the gauge after every mutation under mu.
+    Counter* metric_hits = nullptr;
+    Counter* metric_misses = nullptr;
+    Counter* metric_evictions = nullptr;
+    Counter* metric_invalidations = nullptr;
+    Gauge* metric_bytes = nullptr;
   };
 
   Shard& ShardFor(const std::string& query);

@@ -4,8 +4,58 @@
 #include <chrono>
 
 #include "base/exec_stats.h"
+#include "telemetry/metrics.h"
 
 namespace xqb {
+
+namespace {
+
+/// Admission-control instruments (docs/OBSERVABILITY.md §6). Shared
+/// across RequestScheduler instances: the registry is a process-level
+/// surface, so the gauges read as "the service's queue", not one
+/// scheduler object's.
+struct SchedulerMetrics {
+  Counter* admitted;
+  Counter* shed_queue_full;
+  Counter* shed_deadline;
+  Counter* cancelled;
+  Gauge* queue_depth;
+  Gauge* active_requests;
+  Histogram* queue_wait;
+
+  static SchedulerMetrics& Get() {
+    static SchedulerMetrics* metrics = [] {
+      MetricRegistry& registry = MetricRegistry::Default();
+      auto* m = new SchedulerMetrics();
+      const char* kOutcomes = "Admission outcomes by kind.";
+      m->admitted = registry.GetCounter("xqb_scheduler_outcomes_total",
+                                        kOutcomes,
+                                        {{"outcome", "admitted"}});
+      m->shed_queue_full = registry.GetCounter(
+          "xqb_scheduler_outcomes_total", kOutcomes,
+          {{"outcome", "shed_queue_full"}});
+      m->shed_deadline = registry.GetCounter(
+          "xqb_scheduler_outcomes_total", kOutcomes,
+          {{"outcome", "shed_deadline"}});
+      m->cancelled = registry.GetCounter("xqb_scheduler_outcomes_total",
+                                         kOutcomes,
+                                         {{"outcome", "cancelled"}});
+      m->queue_depth = registry.GetGauge(
+          "xqb_queue_depth", "Requests waiting in the admission queue.");
+      m->active_requests = registry.GetGauge(
+          "xqb_active_requests",
+          "Requests currently admitted (readers + writer).");
+      m->queue_wait = registry.GetHistogram(
+          "xqb_queue_wait_seconds",
+          "Admission-queue wait of admitted requests.", {},
+          TimeHistogramOptions());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 RequestScheduler::RequestScheduler(RequestSchedulerOptions options)
     : options_(options) {
@@ -33,15 +83,18 @@ Result<RequestScheduler::Ticket> RequestScheduler::EnterRequest(
   // An already-cancelled request is refused outright — without this,
   // an immediately-admissible request would run to completion before
   // the guard's first cancellation poll ever fires.
+  SchedulerMetrics& metrics = SchedulerMetrics::Get();
   if (cancellation != nullptr && cancellation->cancelled()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.cancelled_waiting;
+    metrics.cancelled->Increment();
     return Status::Cancelled("request cancelled before admission");
   }
 
   std::unique_lock<std::mutex> lock(mu_);
   if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
     ++counters_.shed_queue_full;
+    metrics.shed_queue_full->Increment();
     return Status::Overloaded(
         "admission queue full (" +
         std::to_string(options_.queue_capacity) + " waiting)");
@@ -56,20 +109,27 @@ Result<RequestScheduler::Ticket> RequestScheduler::EnterRequest(
   auto pos = queue_.begin();
   while (pos != queue_.end() && pos->priority >= priority) ++pos;
   auto it = queue_.insert(pos, self);
+  metrics.queue_depth->Set(static_cast<int64_t>(queue_.size()));
   // A new head (or a same-priority arrival behind an admitted batch)
   // may be immediately runnable; waiters re-check on every wakeup.
   cv_.notify_all();
 
-  auto abandon = [&]() { queue_.erase(it); cv_.notify_all(); };
+  auto abandon = [&]() {
+    queue_.erase(it);
+    metrics.queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    cv_.notify_all();
+  };
   while (!HeadAndRunnable(self)) {
     if (cancellation != nullptr && cancellation->cancelled()) {
       abandon();
       ++counters_.cancelled_waiting;
+      metrics.cancelled->Increment();
       return Status::Cancelled("request cancelled while queued");
     }
     if (has_deadline && Clock::now() >= deadline) {
       abandon();
       ++counters_.shed_deadline;
+      metrics.shed_deadline->Increment();
       return Status::Overloaded(
           "deadline (" + std::to_string(deadline_ms) +
           " ms) expired in admission queue");
@@ -81,6 +141,7 @@ Result<RequestScheduler::Ticket> RequestScheduler::EnterRequest(
     cv_.wait_until(lock, until);
   }
   queue_.erase(it);
+  metrics.queue_depth->Set(static_cast<int64_t>(queue_.size()));
 
   Ticket ticket;
   ticket.exclusive = !read_only;
@@ -94,6 +155,9 @@ Result<RequestScheduler::Ticket> RequestScheduler::EnterRequest(
     ++counters_.exclusive_runs;
   }
   ++counters_.admitted;
+  metrics.admitted->Increment();
+  metrics.queue_wait->RecordNs(ticket.queue_wait_ns);
+  metrics.active_requests->Set(active_readers_ + (active_writer_ ? 1 : 0));
   // More readers behind us may be admissible right away.
   cv_.notify_all();
   return ticket;
@@ -107,6 +171,8 @@ void RequestScheduler::ExitRequest(const Ticket& ticket) {
     } else {
       --active_readers_;
     }
+    SchedulerMetrics::Get().active_requests->Set(
+        active_readers_ + (active_writer_ ? 1 : 0));
   }
   cv_.notify_all();
 }

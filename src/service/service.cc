@@ -3,9 +3,59 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/flight_recorder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slow_query_log.h"
 #include "xml/serializer.h"
 
 namespace xqb {
+
+namespace {
+
+/// Request-outcome counters, bumped at exactly the sites that bump the
+/// service's private atomics so the registry obeys the same
+/// submitted = completed + failed + shed + cancelled invariant
+/// (cross-checked by tests/service/service_test.cc).
+struct ServiceMetrics {
+  Counter* submitted;
+  Counter* completed;
+  Counter* failed;
+  Counter* shed;
+  Counter* cancelled;
+  Histogram* duration_read;
+  Histogram* duration_write;
+
+  static ServiceMetrics& Get() {
+    static ServiceMetrics* metrics = [] {
+      MetricRegistry& registry = MetricRegistry::Default();
+      auto* m = new ServiceMetrics();
+      const char* kHelp = "Requests by final outcome bucket.";
+      m->submitted = registry.GetCounter("xqb_requests_total", kHelp,
+                                         {{"status", "submitted"}});
+      m->completed = registry.GetCounter("xqb_requests_total", kHelp,
+                                         {{"status", "completed"}});
+      m->failed = registry.GetCounter("xqb_requests_total", kHelp,
+                                      {{"status", "failed"}});
+      m->shed = registry.GetCounter("xqb_requests_total", kHelp,
+                                    {{"status", "shed"}});
+      m->cancelled = registry.GetCounter("xqb_requests_total", kHelp,
+                                         {{"status", "cancelled"}});
+      const char* kDuration =
+          "End-to-end Submit latency (queue wait + run + serialize). "
+          "Prepare failures land under kind=\"write\".";
+      m->duration_read = registry.GetHistogram(
+          "xqb_request_duration_seconds", kDuration, {{"kind", "read"}},
+          TimeHistogramOptions());
+      m->duration_write = registry.GetHistogram(
+          "xqb_request_duration_seconds", kDuration, {{"kind", "write"}},
+          TimeHistogramOptions());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 QueryService::QueryService(Engine* engine, QueryServiceOptions options)
     : engine_(engine),
@@ -26,7 +76,54 @@ Result<std::shared_ptr<const PreparedQuery>> QueryService::GetPrepared(
 }
 
 QueryService::Response QueryService::Submit(const Request& request) {
+  const int64_t t0 = MonotonicNowNs();
+  Response response = DoSubmit(request);
+  const int64_t total_ns = MonotonicNowNs() - t0;
+
+  if (MetricsEnabled()) {
+    ServiceMetrics& metrics = ServiceMetrics::Get();
+    (response.read_only ? metrics.duration_read : metrics.duration_write)
+        ->RecordNs(total_ns);
+  }
+
+  // The flight recorder and slow log run regardless of the metrics
+  // switch: they are the black box, not the time series.
+  const uint64_t query_hash = HashQueryText(request.query);
+  const char* status_name = StatusCodeToString(response.status.code());
+  SlowQueryLog& slow_log = SlowQueryLog::Default();
+  if (slow_log.enabled() && total_ns >= slow_log.threshold_ns()) {
+    SlowQueryLog::Entry entry;
+    entry.query_hash = query_hash;
+    entry.query_bytes = request.query.size();
+    entry.read_only = response.read_only;
+    entry.status = status_name;
+    entry.total_ns = total_ns;
+    entry.stats = &response.stats;
+    slow_log.MaybeLog(entry);
+  }
+  FlightRecorder& recorder = FlightRecorder::Default();
+  FlightEntry entry;
+  entry.query_hash = query_hash;
+  entry.query_bytes = static_cast<uint32_t>(request.query.size());
+  entry.read_only = response.read_only;
+  entry.status = status_name;
+  entry.total_ns = total_ns;
+  entry.queue_wait_ns = response.stats.queue_wait_ns;
+  entry.result_cardinality = response.stats.result_cardinality;
+  recorder.Record(std::move(entry));
+  if (response.status.code() == StatusCode::kOverloaded) {
+    // First shed wins the (at-most-once) dump: load shedding means the
+    // service is past its admission limits, and the trail of requests
+    // leading up to it is exactly what an operator wants on disk.
+    recorder.Dump("overloaded");
+  }
+  return response;
+}
+
+QueryService::Response QueryService::DoSubmit(const Request& request) {
+  ServiceMetrics& metrics = ServiceMetrics::Get();
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.submitted->Increment();
   Response response;
 
   // 1. Prepare through the cache (no admission needed: Prepare only
@@ -34,6 +131,7 @@ QueryService::Response QueryService::Submit(const Request& request) {
   auto prepared_or = GetPrepared(request.query, &response.stats);
   if (!prepared_or.ok()) {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.failed->Increment();
     response.status = prepared_or.status();
     return response;
   }
@@ -49,8 +147,10 @@ QueryService::Response QueryService::Submit(const Request& request) {
     response.status = ticket_or.status();
     if (response.status.code() == StatusCode::kOverloaded) {
       shed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.shed->Increment();
     } else {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      metrics.cancelled->Increment();
     }
     return response;
   }
@@ -98,10 +198,13 @@ QueryService::Response QueryService::Submit(const Request& request) {
   response.status = result.ok() ? Status::OK() : result.status();
   if (response.status.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.completed->Increment();
   } else if (response.status.code() == StatusCode::kCancelled) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
+    metrics.cancelled->Increment();
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.failed->Increment();
   }
   return response;
 }

@@ -98,6 +98,10 @@ class QueryService {
   Result<std::shared_ptr<const PreparedQuery>> GetPrepared(
       const std::string& query, ExecStats* stats);
 
+  /// The request lifecycle proper; Submit wraps it with the telemetry
+  /// surface (latency histograms, slow-query log, flight recorder).
+  Response DoSubmit(const Request& request);
+
   Engine* engine_;
   QueryServiceOptions options_;
   QueryCache cache_;

@@ -10,9 +10,29 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/exec_stats.h"
 #include "base/failpoint.h"
+#include "telemetry/metrics.h"
 
 namespace xqb {
+
+namespace {
+
+Counter* WalAppendsCounter() {
+  static Counter* counter = MetricRegistry::Default().GetCounter(
+      "xqb_wal_appends_total",
+      "WAL records appended and acknowledged (logged <=> applied).");
+  return counter;
+}
+
+Histogram* WalFsyncHistogram() {
+  static Histogram* histogram = MetricRegistry::Default().GetHistogram(
+      "xqb_wal_fsync_seconds", "WAL fsync latency.", {},
+      TimeHistogramOptions());
+  return histogram;
+}
+
+}  // namespace
 
 const char* SyncModeToString(SyncMode mode) {
   switch (mode) {
@@ -49,7 +69,10 @@ Status WriteFully(int fd, const char* data, size_t size,
 }
 
 Status SyncFd(int fd, const std::string& path) {
-  if (::fsync(fd) != 0) {
+  const int64_t t0 = MonotonicNowNs();
+  const int rc = ::fsync(fd);
+  WalFsyncHistogram()->RecordNs(MonotonicNowNs() - t0);
+  if (rc != 0) {
     return Status::Internal("fsync " + path + ": " +
                             std::string(strerror(errno)));
   }
@@ -186,6 +209,7 @@ Status Wal::Append(const WalRecord& record) {
     ++unsynced_;
   }
   ++appended_;
+  WalAppendsCounter()->Increment();
   return Status::OK();
 }
 

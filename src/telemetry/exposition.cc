@@ -1,0 +1,226 @@
+#include "telemetry/exposition.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace xqb {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+/// HELP text escaping: backslash and newline (the only escapes the
+/// format defines for help lines).
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders {a="x",b="y"}; `extra` appends one more pre-rendered pair
+/// (the histogram le label). Empty labels + empty extra renders "".
+std::string RenderLabels(const LabelSet& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += name;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+void RenderHistogramSeries(const std::string& name, const LabelSet& labels,
+                           const HistogramSnapshot& snap, std::string* out) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.bounds.size(); ++i) {
+    cumulative += snap.buckets[i];
+    const double le =
+        static_cast<double>(snap.bounds[i]) * snap.output_scale;
+    *out += name + "_bucket" +
+            RenderLabels(labels, "le=\"" + FormatDouble(le) + "\"") + " " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += name + "_bucket" + RenderLabels(labels, "le=\"+Inf\"") + " " +
+          std::to_string(snap.count) + "\n";
+  *out += name + "_sum" + RenderLabels(labels, "") + " " +
+          FormatDouble(static_cast<double>(snap.sum) * snap.output_scale) +
+          "\n";
+  *out += name + "_count" + RenderLabels(labels, "") + " " +
+          std::to_string(snap.count) + "\n";
+}
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricRegistry& registry) {
+  std::string out;
+  for (const MetricRegistry::Family& family : registry.Collect()) {
+    out += "# HELP " + family.name + " " + EscapeHelp(family.help) + "\n";
+    out += "# TYPE " + family.name + " " + TypeName(family.type) + "\n";
+    for (const MetricRegistry::Series& series : family.series) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += family.name + RenderLabels(series.labels, "") + " " +
+                 std::to_string(series.counter_value) + "\n";
+          break;
+        case MetricType::kGauge:
+          out += family.name + RenderLabels(series.labels, "") + " " +
+                 std::to_string(series.gauge_value) + "\n";
+          break;
+        case MetricType::kHistogram:
+          RenderHistogramSeries(family.name, series.labels,
+                                series.histogram, &out);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricRegistry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const MetricRegistry::Family& family : registry.Collect()) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + EscapeJson(family.name) + "\",\"type\":\"" +
+           TypeName(family.type) + "\",\"help\":\"" +
+           EscapeJson(family.help) + "\",\"series\":[";
+    bool first_series = true;
+    for (const MetricRegistry::Series& series : family.series) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [name, value] : series.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += "\"" + EscapeJson(name) + "\":\"" + EscapeJson(value) + "\"";
+      }
+      out += "}";
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += ",\"value\":" + std::to_string(series.counter_value);
+          break;
+        case MetricType::kGauge:
+          out += ",\"value\":" + std::to_string(series.gauge_value);
+          break;
+        case MetricType::kHistogram: {
+          const HistogramSnapshot& snap = series.histogram;
+          out += ",\"count\":" + std::to_string(snap.count);
+          out += ",\"sum\":" +
+                 FormatDouble(static_cast<double>(snap.sum) *
+                              snap.output_scale);
+          out += ",\"max\":" +
+                 FormatDouble(static_cast<double>(snap.max) *
+                              snap.output_scale);
+          out += ",\"buckets\":[";
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < snap.bounds.size(); ++i) {
+            // Sparse rendering: only buckets whose cumulative count
+            // moves, so 100-bucket time histograms stay readable.
+            if (snap.buckets[i] == 0) continue;
+            cumulative += snap.buckets[i];
+            if (cumulative > snap.buckets[i]) out += ',';
+            out += "{\"le\":" +
+                   FormatDouble(static_cast<double>(snap.bounds[i]) *
+                                snap.output_scale) +
+                   ",\"count\":" + std::to_string(cumulative) + "}";
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteMetricsFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot write metrics file: " + path);
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    return Status::Internal("short write to metrics file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xqb

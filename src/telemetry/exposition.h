@@ -1,0 +1,35 @@
+#ifndef XQB_TELEMETRY_EXPOSITION_H_
+#define XQB_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "telemetry/metrics.h"
+
+namespace xqb {
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): # HELP / # TYPE per family, one sample line per
+/// series, histograms as cumulative _bucket{le=...} / _sum / _count.
+/// Families are sorted by name and series by label set, so the output
+/// is deterministic for a given registry state
+/// (tools/check_metrics_exposition.py lints it in CI).
+std::string RenderPrometheusText(const MetricRegistry& registry);
+
+/// Renders the registry as one JSON object: {"metrics": [{name, type,
+/// help, series: [{labels, value | {buckets...}}]}]}. The machine
+/// surface for harnesses that want numbers, not scrape syntax.
+std::string RenderMetricsJson(const MetricRegistry& registry);
+
+/// Prometheus label-value escaping: backslash, double quote and
+/// newline become \\, \" and \n. Exposed for the golden tests.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Writes `text` to `path` atomically enough for a scrape file
+/// (truncate + write + close).
+Status WriteMetricsFile(const std::string& path, const std::string& text);
+
+}  // namespace xqb
+
+#endif  // XQB_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,100 @@
+#include "telemetry/flight_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace xqb {
+
+FlightRecorder& FlightRecorder::Default() {
+  // Leaked like MetricRegistry::Default: recorded into until exit.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::SetDumpPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = path;
+}
+
+void FlightRecorder::Record(FlightEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = seq_++;
+  if (entry.wall_ms == 0) {
+    entry.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  }
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+  }
+  next_ = (next_ + 1) % kCapacity;
+}
+
+std::string FlightRecorder::Dump(const std::string& reason, bool force) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Disarmed dumps must not consume the at-most-once latch: the
+    // trigger that fires after SetDumpPath still deserves its dump.
+    if (dump_path_.empty()) return "";
+    path = dump_path_;
+  }
+  if (!force && dumped_.exchange(true)) return "";
+  std::vector<FlightEntry> entries = Entries();
+
+  std::FILE* file = std::fopen(path.c_str(), "we");
+  if (file == nullptr) return "";
+  const int64_t now_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::fprintf(file,
+               "{\"flight_recorder\":\"dump\",\"reason\":\"%s\","
+               "\"dumped_at_ms\":%lld,\"entries\":%zu}\n",
+               reason.c_str(), static_cast<long long>(now_ms),
+               entries.size());
+  for (const FlightEntry& e : entries) {
+    std::fprintf(
+        file,
+        "{\"seq\":%llu,\"ts_ms\":%lld,\"query_fnv1a\":\"%016llx\","
+        "\"query_bytes\":%u,\"read_only\":%s,\"status\":\"%s\","
+        "\"total_ms\":%.3f,\"queue_wait_ms\":%.3f,\"cardinality\":%lld}\n",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<long long>(e.wall_ms),
+        static_cast<unsigned long long>(e.query_hash), e.query_bytes,
+        e.read_only ? "true" : "false",
+        e.status.empty() ? "OK" : e.status.c_str(),
+        static_cast<double>(e.total_ns) / 1e6,
+        static_cast<double>(e.queue_wait_ns) / 1e6,
+        static_cast<long long>(e.result_cardinality));
+  }
+  std::fclose(file);
+  return path;
+}
+
+std::vector<FlightEntry> FlightRecorder::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEntry> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < kCapacity) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < kCapacity; ++i) {
+      out.push_back(ring_[(next_ + i) % kCapacity]);
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  seq_ = 0;
+  dumped_.store(false);
+}
+
+}  // namespace xqb

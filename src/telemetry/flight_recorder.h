@@ -1,0 +1,76 @@
+#ifndef XQB_TELEMETRY_FLIGHT_RECORDER_H_
+#define XQB_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xqb {
+
+/// One request's footprint in the flight recorder ring: small, fixed
+/// shape, no query text (the FNV-1a hash correlates with the workload;
+/// see HashQueryText).
+struct FlightEntry {
+  uint64_t seq = 0;        ///< Monotonic record index (process-wide).
+  int64_t wall_ms = 0;     ///< Wall-clock completion time, Unix ms.
+  uint64_t query_hash = 0;
+  uint32_t query_bytes = 0;
+  bool read_only = false;
+  std::string status;      ///< Status code name ("OK", "OVERLOADED", ...).
+  int64_t total_ns = 0;
+  int64_t queue_wait_ns = 0;
+  int64_t result_cardinality = 0;
+};
+
+/// A fixed-size ring of the most recent request summaries, dumped to
+/// disk when the service hits a fail-stop class event (kOverloaded
+/// shedding, durability_error, integrity-check failure) so chaos and
+/// crash-torture failures come with a readable last-N-requests trail
+/// (docs/OBSERVABILITY.md §6).
+///
+/// Recording is mutex-protected — an entry copy is tens of bytes
+/// against a request that costs at least microseconds — and the dump
+/// is at-most-once per process (first trigger wins) so a shed storm
+/// does not rewrite the trail a crash investigator needs.
+class FlightRecorder {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder the query service records into.
+  static FlightRecorder& Default();
+
+  /// Arms dumping: a later Dump writes to `path`. Empty disarms.
+  void SetDumpPath(const std::string& path);
+
+  void Record(FlightEntry entry);
+
+  /// Dumps the ring (oldest first) as JSON lines to the configured
+  /// path, prefixed with one header line carrying `reason`. Returns
+  /// the path written, or "" when disarmed, already dumped (unless
+  /// `force`), or the write failed.
+  std::string Dump(const std::string& reason, bool force = false);
+
+  /// Entries currently in the ring, oldest first (tests).
+  std::vector<FlightEntry> Entries() const;
+
+  /// Clears the ring and the dumped-once latch (tests).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::string dump_path_;              ///< Guarded by mu_.
+  std::vector<FlightEntry> ring_;      ///< Guarded by mu_; <= kCapacity.
+  size_t next_ = 0;                    ///< Ring write position.
+  uint64_t seq_ = 0;                   ///< Entries ever recorded.
+  std::atomic<bool> dumped_{false};
+};
+
+}  // namespace xqb
+
+#endif  // XQB_TELEMETRY_FLIGHT_RECORDER_H_

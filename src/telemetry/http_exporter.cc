@@ -1,0 +1,119 @@
+#include "telemetry/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "telemetry/exposition.h"
+
+namespace xqb {
+
+namespace {
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Peer went away; a scrape retry is the remedy.
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start(int port, const MetricRegistry* registry) {
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("metrics server already started");
+  }
+  registry_ = registry;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("metrics socket: " +
+                            std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    return Status::InvalidArgument("metrics bind 127.0.0.1:" +
+                                   std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    return Status::Internal("metrics listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed by Stop.
+    }
+    // One read is enough for the request line; we only look at the
+    // path suffix to pick the format.
+    char buf[1024];
+    ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    bool want_json = false;
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string_view request(buf, static_cast<size_t>(n));
+      const size_t eol = request.find('\r');
+      std::string_view line =
+          eol == std::string_view::npos ? request : request.substr(0, eol);
+      want_json = line.find(".json") != std::string_view::npos;
+    }
+    const std::string body = want_json
+                                 ? RenderMetricsJson(*registry_)
+                                 : RenderPrometheusText(*registry_);
+    const char* content_type =
+        want_json ? "application/json"
+                  : "text/plain; version=0.0.4; charset=utf-8";
+    std::string response = "HTTP/1.1 200 OK\r\nContent-Type: ";
+    response += content_type;
+    response += "\r\nContent-Length: " + std::to_string(body.size());
+    response += "\r\nConnection: close\r\n\r\n";
+    response += body;
+    WriteAll(client, response);
+    ::close(client);
+  }
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown unblocks the accept; close alone does not on all kernels.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+}
+
+}  // namespace xqb

@@ -1,0 +1,48 @@
+#ifndef XQB_TELEMETRY_HTTP_EXPORTER_H_
+#define XQB_TELEMETRY_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "base/status.h"
+#include "telemetry/metrics.h"
+
+namespace xqb {
+
+/// A minimal scrape endpoint: one listener thread on 127.0.0.1 that
+/// answers every GET with the current Prometheus text exposition
+/// (paths ending in ".json" get the JSON snapshot instead). Serves
+/// xqb_run --metrics-port during --serve-batch; it is not a general
+/// HTTP server — one request per connection, no keep-alive, no TLS.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned, see port()) and
+  /// starts the listener thread. The registry must outlive Stop().
+  Status Start(int port, const MetricRegistry* registry);
+
+  /// The bound port (after a successful Start).
+  int port() const { return port_; }
+
+  /// Closes the listening socket and joins the thread. Idempotent;
+  /// also runs from the destructor.
+  void Stop();
+
+ private:
+  void Serve();
+
+  const MetricRegistry* registry_ = nullptr;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_TELEMETRY_HTTP_EXPORTER_H_

@@ -1,0 +1,259 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace xqb {
+
+void SetMetricsEnabled(bool enabled) {
+  MetricsEnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace telemetry_internal {
+
+size_t CellIndex() {
+  // One hash per thread lifetime; the cell assignment is stable so a
+  // thread's increments never migrate between cells mid-fold.
+  static thread_local const size_t index =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) % kCells;
+  return index;
+}
+
+}  // namespace telemetry_internal
+
+// ---- Histogram ----
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  options_.min_log2 = std::max(0, std::min(62, options_.min_log2));
+  options_.max_log2 =
+      std::max(options_.min_log2 + 1, std::min(63, options_.max_log2));
+  options_.sub_buckets = std::max(1, options_.sub_buckets);
+  for (int k = options_.min_log2; k < options_.max_log2; ++k) {
+    const uint64_t base = uint64_t{1} << k;
+    const uint64_t step = base / static_cast<uint64_t>(options_.sub_buckets);
+    for (int j = 1; j <= options_.sub_buckets; ++j) {
+      const uint64_t bound =
+          j == options_.sub_buckets ? base * 2 : base + step * j;
+      // Octaves too narrow for sub-bucketing (step == 0) collapse to
+      // pure powers of two; dedupe keeps the bounds strictly ascending.
+      if (bounds_.empty() || bound > bounds_.back()) {
+        bounds_.push_back(bound);
+      }
+    }
+  }
+  slots_ = bounds_.size() + 1;  // +Inf overflow.
+  cells_ = std::vector<Cell>(telemetry_internal::kCells);
+  for (Cell& cell : cells_) {
+    // slots_ bucket counts, then sum, then max — value-initialized
+    // atomics (zero).
+    cell.data = std::vector<std::atomic<uint64_t>>(slots_ + 2);
+  }
+}
+
+size_t Histogram::BucketIndex(uint64_t value) const {
+  // Bucket i holds values <= bounds_[i]; anything above the last
+  // finite bound lands in the overflow slot.
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<size_t>(it - bounds_.begin());
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!MetricsEnabled()) return;
+  Cell& cell = cells_[telemetry_internal::CellIndex()];
+  cell.data[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  cell.data[slots_].fetch_add(value, std::memory_order_relaxed);
+  std::atomic<uint64_t>& max = cell.data[slots_ + 1];
+  uint64_t cur = max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(slots_, 0);
+  snap.output_scale = options_.output_scale;
+  for (const Cell& cell : cells_) {
+    for (size_t i = 0; i < slots_; ++i) {
+      const uint64_t n = cell.data[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    snap.sum += cell.data[slots_].load(std::memory_order_relaxed);
+    snap.max = std::max(
+        snap.max, cell.data[slots_ + 1].load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (bounds.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.bounds != bounds || other.buckets.size() != buckets.size()) {
+    // Merging bucket-incompatible histograms silently would produce
+    // numbers that look right and are wrong; fail loudly.
+    std::fprintf(stderr,
+                 "HistogramSnapshot::MergeFrom: incompatible bounds\n");
+    std::abort();
+  }
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+double HistogramSnapshot::PercentileRaw(double p) const {
+  if (count == 0) return 0;
+  p = std::max(0.0, std::min(100.0, p));
+  // Rank of the target observation, 1-based, ceil so p=100 -> count.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += buckets[i];
+    if (cumulative < rank) continue;
+    const double lower =
+        i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    // The overflow bucket has no finite upper bound; the observed max
+    // is the tightest honest cap (it also tightens the last finite
+    // bucket, where the real values may top out well below the bound).
+    double upper = i < bounds.size() ? static_cast<double>(bounds[i])
+                                     : static_cast<double>(max);
+    if (max > 0) upper = std::min(upper, static_cast<double>(max));
+    if (upper < lower) upper = lower;
+    const double fraction = static_cast<double>(rank - before) /
+                            static_cast<double>(buckets[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return static_cast<double>(max);
+}
+
+// ---- MetricRegistry ----
+
+namespace {
+
+std::string RenderLabelKey(const LabelSet& labels) {
+  std::string key;
+  for (const auto& [name, value] : labels) {
+    key += name;
+    key += '=';
+    key += value;
+    key += '\x1f';  // Unit separator: never appears in valid labels.
+  }
+  return key;
+}
+
+[[noreturn]] void RegistryAbort(const std::string& name, const char* what) {
+  std::fprintf(stderr, "MetricRegistry: %s for metric \"%s\"\n", what,
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked intentionally: instruments are recorded into from arbitrary
+  // threads up to process exit (static destruction order is unknowable).
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help,
+                                    const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.type = MetricType::kCounter;
+  } else if (it->second.type != MetricType::kCounter) {
+    RegistryAbort(name, "type conflict (counter vs existing)");
+  }
+  Instrument& instrument = it->second.instruments[RenderLabelKey(labels)];
+  if (instrument.counter == nullptr) {
+    instrument.labels = labels;
+    instrument.counter = std::make_unique<Counter>();
+  }
+  return instrument.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help,
+                                const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.type = MetricType::kGauge;
+  } else if (it->second.type != MetricType::kGauge) {
+    RegistryAbort(name, "type conflict (gauge vs existing)");
+  }
+  Instrument& instrument = it->second.instruments[RenderLabelKey(labels)];
+  if (instrument.gauge == nullptr) {
+    instrument.labels = labels;
+    instrument.gauge = std::make_unique<Gauge>();
+  }
+  return instrument.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        const std::string& help,
+                                        const LabelSet& labels,
+                                        HistogramOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.type = MetricType::kHistogram;
+  } else if (it->second.type != MetricType::kHistogram) {
+    RegistryAbort(name, "type conflict (histogram vs existing)");
+  }
+  Instrument& instrument = it->second.instruments[RenderLabelKey(labels)];
+  if (instrument.histogram == nullptr) {
+    instrument.labels = labels;
+    instrument.histogram = std::make_unique<Histogram>(options);
+  }
+  return instrument.histogram.get();
+}
+
+std::vector<MetricRegistry::Family> MetricRegistry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Family> out;
+  out.reserve(families_.size());
+  for (const auto& [name, state] : families_) {
+    Family family;
+    family.name = name;
+    family.help = state.help;
+    family.type = state.type;
+    family.series.reserve(state.instruments.size());
+    for (const auto& [key, instrument] : state.instruments) {
+      (void)key;
+      Series series;
+      series.labels = instrument.labels;
+      switch (state.type) {
+        case MetricType::kCounter:
+          series.counter_value = instrument.counter->Value();
+          break;
+        case MetricType::kGauge:
+          series.gauge_value = instrument.gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          series.histogram = instrument.histogram->Snapshot();
+          break;
+      }
+      family.series.push_back(std::move(series));
+    }
+    out.push_back(std::move(family));
+  }
+  return out;
+}
+
+}  // namespace xqb

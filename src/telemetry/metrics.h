@@ -1,0 +1,266 @@
+#ifndef XQB_TELEMETRY_METRICS_H_
+#define XQB_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xqb {
+
+/// Process-wide telemetry switch (docs/OBSERVABILITY.md §6). Recording
+/// on a disabled registry is one relaxed atomic load — the same
+/// disarmed-cost discipline as the fail-point registry, proven by
+/// bench_metrics_overhead. Enabled by default: recording itself is a
+/// relaxed add into a sharded cell and stays in the noise on the
+/// service throughput path.
+void SetMetricsEnabled(bool enabled);
+
+inline std::atomic<bool>& MetricsEnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+inline bool MetricsEnabled() {
+  return MetricsEnabledFlag().load(std::memory_order_relaxed);
+}
+
+namespace telemetry_internal {
+
+/// Sharded-cell fan-out: writers spread over kCells cache-line-padded
+/// slots picked by a hash of the thread id, so concurrent recorders
+/// rarely share a line; readers fold all cells. Same single-writer/
+/// fold-at-read discipline as ExecStats, but for instruments that are
+/// recorded from many threads at once.
+constexpr size_t kCells = 16;
+
+size_t CellIndex();
+
+}  // namespace telemetry_internal
+
+/// A monotonically increasing counter. Increment is a relaxed
+/// fetch_add into this thread's cell; Value folds the cells.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    cells_[telemetry_internal::CellIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  Cell cells_[telemetry_internal::kCells];
+};
+
+/// A last-write-wins instantaneous value (queue depth, resident bytes,
+/// live nodes). Set/Add are single relaxed atomic operations.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) {
+    if (!MetricsEnabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Ratchets the gauge up to `value` if it exceeds the current one
+  /// (allocation peaks).
+  void SetMax(int64_t value) {
+    if (!MetricsEnabled()) return;
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !value_.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Bucket layout of a Histogram: log-linear upper bounds
+/// (`sub_buckets` evenly spaced bounds per power-of-two octave between
+/// 2^min_log2 and 2^max_log2) plus an implicit +Inf overflow bucket.
+/// The bounds depend only on these three integers, so histograms built
+/// from the same options are bucket-compatible and merge exactly —
+/// deterministic boundaries are what make merges associative and
+/// thread-count-invariant (tests/telemetry/metrics_test.cc).
+struct HistogramOptions {
+  int min_log2 = 10;    ///< First octave: values <= 2^min_log2 share bucket 0.
+  int max_log2 = 40;    ///< Last finite bound is 2^max_log2.
+  int sub_buckets = 4;  ///< Bounds per octave (1 = pure powers of two).
+  /// Multiplier applied to raw recorded values at export time. Time
+  /// histograms record nanoseconds and export seconds (1e-9).
+  double output_scale = 1.0;
+};
+
+/// Bucket layout for latency histograms: 1 µs — 18 min in quarter-octave
+/// buckets (<= ~19% relative error per bucket), nanoseconds in, seconds
+/// out.
+inline HistogramOptions TimeHistogramOptions() {
+  HistogramOptions options;
+  options.min_log2 = 10;
+  options.max_log2 = 40;
+  options.sub_buckets = 4;
+  options.output_scale = 1e-9;
+  return options;
+}
+
+/// A read-time fold of one Histogram: per-bucket counts plus the scalar
+/// aggregates. Snapshots of bucket-compatible histograms merge by
+/// element-wise addition (MergeFrom), which is associative and
+/// commutative.
+struct HistogramSnapshot {
+  /// Ascending finite upper bounds, raw units. buckets.size() ==
+  /// bounds.size() + 1; the last bucket is the +Inf overflow.
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum = 0;      ///< Sum of raw recorded values.
+  uint64_t max = 0;      ///< Largest raw value recorded (0 when empty).
+  double output_scale = 1.0;
+
+  /// Element-wise accumulation of `other` (same bounds required).
+  void MergeFrom(const HistogramSnapshot& other);
+
+  /// Estimated p-th percentile (0 < p <= 100) in raw units: linear
+  /// interpolation inside the bucket holding the rank, clamped to the
+  /// observed max. Returns 0 when empty.
+  double PercentileRaw(double p) const;
+};
+
+/// A mergeable log-bucketed histogram. Record is a bucket search over
+/// a precomputed bounds array plus three relaxed atomic updates into
+/// this thread's cell; Snapshot folds the cells.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = HistogramOptions());
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  /// Records `ns` when non-negative (phase timers hand in int64).
+  void RecordNs(int64_t ns) {
+    if (ns >= 0) Record(static_cast<uint64_t>(ns));
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  const HistogramOptions& options() const { return options_; }
+
+ private:
+  struct alignas(64) Cell {
+    /// [0, slots): per-bucket counts; then sum, then max.
+    std::vector<std::atomic<uint64_t>> data;
+  };
+
+  size_t BucketIndex(uint64_t value) const;
+
+  HistogramOptions options_;
+  std::vector<uint64_t> bounds_;
+  size_t slots_ = 0;  ///< bounds_.size() + 1 (overflow).
+  std::vector<Cell> cells_;
+};
+
+/// One labelled time series inside a metric family, e.g.
+/// {status="completed"}. Label order is preserved as given at
+/// registration; the registry treats differently-ordered label sets as
+/// distinct series, so register each series with one canonical order.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// A registry of named metric families, each a set of labelled
+/// instruments. Get* registers on first use and returns the same
+/// stable pointer on every later call with the same (name, labels) —
+/// callers cache the pointer (typically in a function-local static) and
+/// record lock-free thereafter. Registering an existing name with a
+/// different type or a help string is a programming error and aborts.
+///
+/// Collect() folds every instrument into plain values under the
+/// registry lock; the exporters (telemetry/exposition.h) render that
+/// fold, never the live instruments.
+class MetricRegistry {
+ public:
+  struct Series {
+    LabelSet labels;
+    uint64_t counter_value = 0;  ///< kCounter
+    int64_t gauge_value = 0;     ///< kGauge
+    HistogramSnapshot histogram;  ///< kHistogram
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Series> series;  ///< Sorted by rendered label set.
+  };
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every wired subsystem records into.
+  static MetricRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const LabelSet& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const LabelSet& labels = {},
+                          HistogramOptions options = HistogramOptions());
+
+  /// Folded snapshot of every family, sorted by name (series sorted by
+  /// label set), so renderings are deterministic.
+  std::vector<Family> Collect() const;
+
+ private:
+  struct Instrument {
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct FamilyState {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    /// Keyed by the rendered label set (stable, deterministic order).
+    std::map<std::string, Instrument> instruments;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, FamilyState> families_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_TELEMETRY_METRICS_H_

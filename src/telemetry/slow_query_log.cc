@@ -1,0 +1,163 @@
+#include "telemetry/slow_query_log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace xqb {
+
+uint64_t HashQueryText(std::string_view query) {
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis.
+  for (char c : query) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime.
+  }
+  return hash;
+}
+
+std::vector<DominantOp> DominantPlanOps(const std::string& annotated_plan,
+                                        size_t top_n) {
+  // One annotated operator per line:
+  //   OpName(args)  [calls=N rows=M time=X.XXXms self=Y.YYYms]
+  std::vector<DominantOp> ops;
+  size_t pos = 0;
+  while (pos < annotated_plan.size()) {
+    size_t eol = annotated_plan.find('\n', pos);
+    if (eol == std::string::npos) eol = annotated_plan.size();
+    std::string_view line(annotated_plan.data() + pos, eol - pos);
+    pos = eol + 1;
+    const size_t self = line.find("self=");
+    if (self == std::string_view::npos) continue;
+    // Operator name: the identifier the trimmed line starts with.
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string_view::npos) continue;
+    size_t end = start;
+    while (end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[end])) ||
+            line[end] == '_')) {
+      ++end;
+    }
+    if (end == start) continue;
+    DominantOp op;
+    op.op = std::string(line.substr(start, end - start));
+    op.self_ms = std::strtod(line.data() + self + 5, nullptr);
+    const size_t calls = line.find("calls=");
+    if (calls != std::string_view::npos) {
+      op.calls = std::strtoll(line.data() + calls + 6, nullptr, 10);
+    }
+    ops.push_back(std::move(op));
+  }
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const DominantOp& a, const DominantOp& b) {
+                     return a.self_ms > b.self_ms;
+                   });
+  if (ops.size() > top_n) ops.resize(top_n);
+  return ops;
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+SlowQueryLog& SlowQueryLog::Default() {
+  // Leaked like MetricRegistry::Default: requests may log until exit.
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+Status SlowQueryLog::Configure(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+  if (options.path.empty()) return Status::OK();
+  std::FILE* file = std::fopen(options.path.c_str(), "ae");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open slow-query log: " +
+                                   options.path);
+  }
+  file_ = file;
+  threshold_ns_.store(std::max<int64_t>(0, options.threshold_ns),
+                      std::memory_order_relaxed);
+  sample_every_.store(std::max<int64_t>(1, options.sample_every),
+                      std::memory_order_relaxed);
+  over_threshold_.store(0, std::memory_order_relaxed);
+  logged_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool SlowQueryLog::MaybeLog(const Entry& entry) {
+  if (!enabled()) return false;
+  if (entry.total_ns < threshold_ns_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const int64_t nth =
+      over_threshold_.fetch_add(1, std::memory_order_relaxed);
+  if (nth % sample_every_.load(std::memory_order_relaxed) != 0) {
+    return false;
+  }
+
+  const int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  char head[512];
+  std::snprintf(
+      head, sizeof(head),
+      "{\"ts_ms\":%lld,\"query_fnv1a\":\"%016llx\",\"query_bytes\":%zu,"
+      "\"read_only\":%s,\"status\":\"%s\",\"total_ms\":%.3f",
+      static_cast<long long>(ts_ms),
+      static_cast<unsigned long long>(entry.query_hash), entry.query_bytes,
+      entry.read_only ? "true" : "false",
+      entry.status.empty() ? "OK" : entry.status.c_str(),
+      static_cast<double>(entry.total_ns) / 1e6);
+  std::string line = head;
+  if (entry.stats != nullptr) {
+    const ExecStats& s = *entry.stats;
+    char detail[512];
+    std::snprintf(
+        detail, sizeof(detail),
+        ",\"queue_wait_ms\":%.3f,\"parse_ms\":%.3f,\"eval_ms\":%.3f,"
+        "\"snap_apply_ms\":%.3f,\"serialize_ms\":%.3f,\"snaps\":%lld,"
+        "\"updates\":%lld,\"cardinality\":%lld,\"cache_hit\":%s",
+        static_cast<double>(s.queue_wait_ns) / 1e6,
+        static_cast<double>(s.parse_ns) / 1e6,
+        static_cast<double>(s.eval_ns) / 1e6,
+        static_cast<double>(s.snap_apply_ns) / 1e6,
+        static_cast<double>(s.serialize_ns) / 1e6,
+        static_cast<long long>(s.snaps_applied),
+        static_cast<long long>(s.updates_applied),
+        static_cast<long long>(s.result_cardinality),
+        s.cache_hits > 0 ? "true" : "false");
+    line += detail;
+    if (!s.plan.empty()) {
+      line += ",\"dominant_ops\":[";
+      bool first = true;
+      for (const DominantOp& op : DominantPlanOps(s.plan)) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"op\":\"%s\",\"calls\":%lld,\"self_ms\":%.3f}",
+                      first ? "" : ",", op.op.c_str(),
+                      static_cast<long long>(op.calls), op.self_ms);
+        line += buf;
+        first = false;
+      }
+      line += "]";
+    }
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  logged_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace xqb

@@ -1,0 +1,100 @@
+#ifndef XQB_TELEMETRY_SLOW_QUERY_LOG_H_
+#define XQB_TELEMETRY_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/exec_stats.h"
+#include "base/status.h"
+
+namespace xqb {
+
+/// FNV-1a over the query text. The log (and the flight recorder) carry
+/// this hash instead of the text so operators can correlate entries
+/// with their workload without the log growing with query size — and
+/// without raw query text (which may embed data) landing in shared CI
+/// artifacts.
+uint64_t HashQueryText(std::string_view query);
+
+/// Top plan operators by self time, parsed out of the EXPLAIN ANALYZE
+/// rendering in ExecStats::plan (empty when the run did not collect
+/// stats or took the interpreter path). Exposed for tests.
+struct DominantOp {
+  std::string op;
+  int64_t calls = 0;
+  double self_ms = 0;
+};
+std::vector<DominantOp> DominantPlanOps(const std::string& annotated_plan,
+                                        size_t top_n = 3);
+
+/// A JSON-lines log of requests slower than a threshold
+/// (docs/OBSERVABILITY.md §6). Disabled until Configure; the per-request
+/// fast path is then one relaxed load plus a comparison. Thread-safe:
+/// entries are rendered outside the lock and appended under it, one
+/// line per entry, flushed per line so a crash loses at most the entry
+/// being written.
+class SlowQueryLog {
+ public:
+  struct Options {
+    std::string path;
+    /// Requests at or above this total latency are logged.
+    int64_t threshold_ns = 100'000'000;  // 100 ms
+    /// Of the requests over threshold, log every Nth (1 = all). Keeps
+    /// a pathological workload from turning the log into the workload.
+    int64_t sample_every = 1;
+  };
+
+  struct Entry {
+    uint64_t query_hash = 0;
+    size_t query_bytes = 0;
+    bool read_only = false;
+    std::string status;  ///< Status code name ("OK", "OVERLOADED", ...).
+    int64_t total_ns = 0;
+    const ExecStats* stats = nullptr;  ///< Optional detail; may be null.
+  };
+
+  SlowQueryLog() = default;
+  ~SlowQueryLog();
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// The process-wide log the query service writes to.
+  static SlowQueryLog& Default();
+
+  /// Opens `options.path` for append. A second Configure replaces the
+  /// previous sink. An empty path disables the log.
+  Status Configure(const Options& options);
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  int64_t threshold_ns() const {
+    return threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one JSON line if the log is enabled, the entry is over
+  /// threshold, and sampling selects it. Returns true when written.
+  bool MaybeLog(const Entry& entry);
+
+  /// Entries written since Configure (sampling survivors), for tests.
+  int64_t logged() const { return logged_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> threshold_ns_{0};
+  std::atomic<int64_t> sample_every_{1};
+  std::atomic<int64_t> over_threshold_{0};
+  std::atomic<int64_t> logged_{0};
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;  ///< Guarded by mu_.
+};
+
+}  // namespace xqb
+
+#endif  // XQB_TELEMETRY_SLOW_QUERY_LOG_H_

@@ -12,9 +12,37 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "telemetry/metrics.h"
 
 namespace xqb {
 namespace {
+
+/// Snapshot of the registry's xqb_requests_total series. The registry
+/// is process-global (shared across QueryService instances and tests in
+/// this binary), so assertions work on deltas, never absolute values.
+struct RequestCounterSnapshot {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+
+  static RequestCounterSnapshot Take() {
+    MetricRegistry& registry = MetricRegistry::Default();
+    auto value = [&](const char* status) {
+      return registry
+          .GetCounter("xqb_requests_total", "", {{"status", status}})
+          ->Value();
+    };
+    RequestCounterSnapshot snap;
+    snap.submitted = value("submitted");
+    snap.completed = value("completed");
+    snap.failed = value("failed");
+    snap.shed = value("shed");
+    snap.cancelled = value("cancelled");
+    return snap;
+  }
+};
 
 TEST(QueryServiceTest, SubmitRunsAndSerializes) {
   Engine engine;
@@ -123,6 +151,7 @@ TEST(QueryServiceTest, MixedWorkloadAccountingAddsUp) {
   Engine engine;
   ASSERT_TRUE(engine.LoadDocumentFromString("d", "<r><c>0</c></r>").ok());
   QueryService service(&engine);
+  const RequestCounterSnapshot before = RequestCounterSnapshot::Take();
   const std::vector<std::string> workload = {
       "count(doc('d')/r/c)",
       "snap rename { doc('d')/r/c[1] } to { \"c\" }",
@@ -157,6 +186,24 @@ TEST(QueryServiceTest, MixedWorkloadAccountingAddsUp) {
   // Every run of the rename line (and nothing else) was exclusive.
   EXPECT_EQ(counters.scheduler.exclusive_runs,
             static_cast<int64_t>(kThreads) * kRounds);
+
+  // The registry counters are bumped at the same sites as the service's
+  // private atomics, so their deltas must obey the same invariant and
+  // match the Counters snapshot exactly.
+  const RequestCounterSnapshot after = RequestCounterSnapshot::Take();
+  EXPECT_EQ(after.submitted - before.submitted,
+            static_cast<uint64_t>(counters.submitted));
+  EXPECT_EQ(after.completed - before.completed,
+            static_cast<uint64_t>(counters.completed));
+  EXPECT_EQ(after.failed - before.failed,
+            static_cast<uint64_t>(counters.failed));
+  EXPECT_EQ(after.shed - before.shed, static_cast<uint64_t>(counters.shed));
+  EXPECT_EQ(after.cancelled - before.cancelled,
+            static_cast<uint64_t>(counters.cancelled));
+  EXPECT_EQ(after.submitted - before.submitted,
+            (after.completed - before.completed) +
+                (after.failed - before.failed) + (after.shed - before.shed) +
+                (after.cancelled - before.cancelled));
 }
 
 TEST(QueryServiceTest, DeadlineCoversQueueAndRun) {
@@ -178,6 +225,8 @@ TEST(QueryServiceTest, ShedRequestsReportOverloaded) {
   options.scheduler.queue_capacity = 1;
   QueryService service(&engine, options);
 
+  const RequestCounterSnapshot before = RequestCounterSnapshot::Take();
+
   // Occupy the only slot with a slow effectful request (a spin via
   // recursion would be flaky; instead hold the scheduler directly).
   auto ticket = service.scheduler().EnterRequest(true, 0, 0, nullptr);
@@ -198,6 +247,11 @@ TEST(QueryServiceTest, ShedRequestsReportOverloaded) {
 
   service.scheduler().ExitRequest(*ticket);
   waiter.join();
+
+  // The shed outcome reached the registry too.
+  const RequestCounterSnapshot after = RequestCounterSnapshot::Take();
+  EXPECT_EQ(after.shed - before.shed, 1u);
+  EXPECT_EQ(after.submitted - before.submitted, 2u);
 }
 
 }  // namespace

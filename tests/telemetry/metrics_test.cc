@@ -1,0 +1,403 @@
+// Telemetry correctness: deterministic histogram bucket boundaries,
+// merge associativity, thread-count invariance, Prometheus exposition
+// golden output (incl. label escaping), slow-query-log plan parsing and
+// sampling, and the flight-recorder ring.
+
+#include "telemetry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exposition.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/slow_query_log.h"
+
+namespace xqb {
+namespace {
+
+/// Small, hand-checkable layout: two octaves [2^3, 2^5), two bounds per
+/// octave.
+HistogramOptions SmallOptions() {
+  HistogramOptions options;
+  options.min_log2 = 3;
+  options.max_log2 = 5;
+  options.sub_buckets = 2;
+  return options;
+}
+
+TEST(HistogramTest, BucketBoundariesAreDeterministic) {
+  Histogram h(SmallOptions());
+  // Octave k=3 (base 8, step 4): 12, 16; octave k=4 (base 16, step 8):
+  // 24, 32. Strictly ascending, plus an implicit +Inf overflow bucket.
+  const std::vector<uint64_t> expected = {12, 16, 24, 32};
+  EXPECT_EQ(h.bounds(), expected);
+
+  // A second histogram from the same options is bucket-identical; this
+  // is what makes snapshots mergeable.
+  Histogram h2(SmallOptions());
+  EXPECT_EQ(h2.bounds(), h.bounds());
+
+  // Bucket i holds values <= bounds[i].
+  h.Record(1);    // bucket 0
+  h.Record(12);   // bucket 0 (inclusive upper bound)
+  h.Record(13);   // bucket 1
+  h.Record(32);   // bucket 3
+  h.Record(33);   // overflow
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), 5u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.buckets[4], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1u + 12 + 13 + 32 + 33);
+  EXPECT_EQ(snap.max, 33u);
+}
+
+TEST(HistogramTest, TimeOptionsProduceAscendingBounds) {
+  Histogram h(TimeHistogramOptions());
+  const std::vector<uint64_t>& bounds = h.bounds();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at " << i;
+  }
+  EXPECT_EQ(bounds.back(), uint64_t{1} << 40);
+}
+
+TEST(HistogramTest, MergeIsAssociativeAndCommutative) {
+  Histogram ha(SmallOptions()), hb(SmallOptions()), hc(SmallOptions());
+  for (uint64_t v : {1u, 9u, 13u}) ha.Record(v);
+  for (uint64_t v : {20u, 40u}) hb.Record(v);
+  for (uint64_t v : {5u, 14u, 31u, 100u}) hc.Record(v);
+  const HistogramSnapshot a = ha.Snapshot();
+  const HistogramSnapshot b = hb.Snapshot();
+  const HistogramSnapshot c = hc.Snapshot();
+
+  HistogramSnapshot left = a;  // (a + b) + c
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  HistogramSnapshot bc = b;  // a + (b + c)
+  bc.MergeFrom(c);
+  HistogramSnapshot right = a;
+  right.MergeFrom(bc);
+  HistogramSnapshot swapped = c;  // c + b + a (commuted)
+  swapped.MergeFrom(b);
+  swapped.MergeFrom(a);
+
+  for (const HistogramSnapshot* snap : {&right, &swapped}) {
+    EXPECT_EQ(left.buckets, snap->buckets);
+    EXPECT_EQ(left.count, snap->count);
+    EXPECT_EQ(left.sum, snap->sum);
+    EXPECT_EQ(left.max, snap->max);
+  }
+  EXPECT_EQ(left.count, 9u);
+
+  // Merging into an empty snapshot adopts the other wholesale.
+  HistogramSnapshot empty;
+  empty.MergeFrom(a);
+  EXPECT_EQ(empty.buckets, a.buckets);
+  EXPECT_EQ(empty.count, a.count);
+}
+
+TEST(HistogramTest, SnapshotIsThreadCountInvariant) {
+  // The same multiset of values recorded from 1 thread and from 8
+  // threads must fold to identical snapshots: cell assignment spreads
+  // writers but never changes totals.
+  std::vector<uint64_t> values;
+  values.reserve(8000);
+  for (uint64_t i = 0; i < 8000; ++i) values.push_back((i * 37) % 5000);
+
+  Histogram single(SmallOptions());
+  for (uint64_t v : values) single.Record(v);
+
+  Histogram sharded(SmallOptions());
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < values.size(); i += kThreads) {
+        sharded.Record(values[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramSnapshot a = single.Snapshot();
+  const HistogramSnapshot b = sharded.Snapshot();
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.max, b.max);
+}
+
+TEST(HistogramTest, PercentilesInterpolateAndClampToMax) {
+  Histogram h(SmallOptions());
+  for (int i = 0; i < 99; ++i) h.Record(10);  // bucket 0 (bound 12)
+  h.Record(30);                               // bucket 2 (24, 32]
+  const HistogramSnapshot snap = h.Snapshot();
+  // p50 lands inside bucket 0: somewhere in (0, 12].
+  EXPECT_GT(snap.PercentileRaw(50), 0.0);
+  EXPECT_LE(snap.PercentileRaw(50), 12.0);
+  // p100 is capped by the observed max, not the bucket bound.
+  EXPECT_DOUBLE_EQ(snap.PercentileRaw(100), 30.0);
+  // Empty snapshots answer 0.
+  EXPECT_DOUBLE_EQ(HistogramSnapshot().PercentileRaw(99), 0.0);
+}
+
+TEST(CounterTest, FoldsAcrossThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetMaxRatchetsUpward) {
+  Gauge gauge;
+  gauge.SetMax(10);
+  gauge.SetMax(5);
+  EXPECT_EQ(gauge.Value(), 10);
+  gauge.SetMax(20);
+  EXPECT_EQ(gauge.Value(), 20);
+  gauge.Set(3);  // Plain Set still overwrites.
+  EXPECT_EQ(gauge.Value(), 3);
+}
+
+TEST(RegistryTest, ReturnsStablePointersPerSeries) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("t_total", "h", {{"k", "1"}});
+  Counter* same = registry.GetCounter("t_total", "h", {{"k", "1"}});
+  Counter* other = registry.GetCounter("t_total", "h", {{"k", "2"}});
+  EXPECT_EQ(a, same);
+  EXPECT_NE(a, other);
+  a->Increment(2);
+  other->Increment(5);
+  const auto families = registry.Collect();
+  ASSERT_EQ(families.size(), 1u);
+  ASSERT_EQ(families[0].series.size(), 2u);
+  EXPECT_EQ(families[0].series[0].counter_value, 2u);
+  EXPECT_EQ(families[0].series[1].counter_value, 5u);
+}
+
+TEST(ExpositionTest, GoldenPrometheusText) {
+  MetricRegistry registry;
+  registry.GetCounter("test_requests_total", "Requests.", {{"status", "ok"}})
+      ->Increment(3);
+  registry.GetGauge("test_depth", "Queue depth.")->Set(7);
+  Histogram* h =
+      registry.GetHistogram("test_latency", "Latency.", {}, SmallOptions());
+  h->Record(1);
+  h->Record(13);
+  h->Record(100);
+
+  const std::string expected =
+      "# HELP test_depth Queue depth.\n"
+      "# TYPE test_depth gauge\n"
+      "test_depth 7\n"
+      "# HELP test_latency Latency.\n"
+      "# TYPE test_latency histogram\n"
+      "test_latency_bucket{le=\"12\"} 1\n"
+      "test_latency_bucket{le=\"16\"} 2\n"
+      "test_latency_bucket{le=\"24\"} 2\n"
+      "test_latency_bucket{le=\"32\"} 2\n"
+      "test_latency_bucket{le=\"+Inf\"} 3\n"
+      "test_latency_sum 114\n"
+      "test_latency_count 3\n"
+      "# HELP test_requests_total Requests.\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total{status=\"ok\"} 3\n";
+  EXPECT_EQ(RenderPrometheusText(registry), expected);
+}
+
+TEST(ExpositionTest, HistogramOutputScaleAppliesToBoundsAndSum) {
+  MetricRegistry registry;
+  HistogramOptions options = SmallOptions();
+  options.output_scale = 1e-3;  // Record milli-units, export units.
+  Histogram* h =
+      registry.GetHistogram("test_seconds", "Scaled.", {}, options);
+  h->Record(10);
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"0.012\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_seconds_sum 0.01\n"), std::string::npos)
+      << text;
+}
+
+TEST(ExpositionTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+
+  MetricRegistry registry;
+  registry
+      .GetCounter("esc_total", "Escapes.", {{"q", "say \"hi\"\nback\\"}})
+      ->Increment();
+  const std::string text = RenderPrometheusText(registry);
+  EXPECT_NE(
+      text.find("esc_total{q=\"say \\\"hi\\\"\\nback\\\\\"} 1\n"),
+      std::string::npos)
+      << text;
+  // The escaped rendering stays one sample per line: exactly the HELP,
+  // TYPE and sample lines, no stray newline from the label value.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(ExpositionTest, JsonSnapshotCarriesValues) {
+  MetricRegistry registry;
+  registry.GetCounter("j_total", "J.", {{"k", "v"}})->Increment(4);
+  Histogram* h = registry.GetHistogram("j_hist", "H.", {}, SmallOptions());
+  h->Record(13);
+  const std::string json = RenderMetricsJson(registry);
+  EXPECT_NE(json.find("\"name\":\"j_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"le\":16,\"count\":1}"), std::string::npos)
+      << json;
+}
+
+TEST(SlowQueryLogTest, DominantPlanOpsRanksBySelfTime) {
+  const std::string plan =
+      "Project(a)  [calls=1 rows=10 time=5.000ms self=1.000ms]\n"
+      "  Scan(d)  [calls=2 rows=100 time=4.000ms self=4.000ms]\n"
+      "  not an operator line\n"
+      "  Filter(p)  [calls=3 rows=50 time=2.000ms self=0.500ms]\n";
+  const std::vector<DominantOp> ops = DominantPlanOps(plan, 2);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op, "Scan");
+  EXPECT_EQ(ops[0].calls, 2);
+  EXPECT_DOUBLE_EQ(ops[0].self_ms, 4.0);
+  EXPECT_EQ(ops[1].op, "Project");
+  EXPECT_TRUE(DominantPlanOps("").empty());
+}
+
+TEST(SlowQueryLogTest, ThresholdAndSamplingSelectEntries) {
+  const std::string path =
+      testing::TempDir() + "/slow_query_log_test.jsonl";
+  std::remove(path.c_str());
+
+  SlowQueryLog log;
+  SlowQueryLog::Options options;
+  options.path = path;
+  options.threshold_ns = 1'000'000;  // 1 ms
+  options.sample_every = 2;
+  ASSERT_TRUE(log.Configure(options).ok());
+
+  SlowQueryLog::Entry entry;
+  entry.query_hash = HashQueryText("for $x in 1 return $x");
+  entry.query_bytes = 22;
+  entry.status = "OK";
+  entry.total_ns = 500'000;  // Under threshold: skipped.
+  EXPECT_FALSE(log.MaybeLog(entry));
+
+  entry.total_ns = 2'000'000;
+  EXPECT_TRUE(log.MaybeLog(entry));    // 1st over threshold: logged.
+  EXPECT_FALSE(log.MaybeLog(entry));   // 2nd: sampled out.
+  EXPECT_TRUE(log.MaybeLog(entry));    // 3rd: logged.
+  EXPECT_EQ(log.logged(), 2);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"query_fnv1a\":"), std::string::npos);
+    EXPECT_NE(line.find("\"total_ms\":2.000"), std::string::npos);
+    EXPECT_NE(line.find("\"status\":\"OK\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, RingKeepsMostRecentEntriesInOrder) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  recorder.Reset();
+  const size_t total = FlightRecorder::kCapacity + 10;
+  for (size_t i = 0; i < total; ++i) {
+    FlightEntry entry;
+    entry.query_hash = i;
+    entry.status = "OK";
+    entry.wall_ms = 1;  // Suppress the wall-clock autofill for determinism.
+    recorder.Record(std::move(entry));
+  }
+  const std::vector<FlightEntry> entries = recorder.Entries();
+  ASSERT_EQ(entries.size(), FlightRecorder::kCapacity);
+  // Oldest surviving entry is #10; seq numbering never resets.
+  EXPECT_EQ(entries.front().query_hash, 10u);
+  EXPECT_EQ(entries.back().query_hash, total - 1);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, entries[i - 1].seq + 1);
+  }
+  recorder.Reset();
+}
+
+TEST(FlightRecorderTest, DumpIsArmedAndAtMostOnce) {
+  FlightRecorder& recorder = FlightRecorder::Default();
+  recorder.Reset();
+
+  // Disarmed: no path, no dump.
+  recorder.SetDumpPath("");
+  EXPECT_EQ(recorder.Dump("overloaded"), "");
+
+  const std::string path = testing::TempDir() + "/flight_dump_test.jsonl";
+  std::remove(path.c_str());
+  recorder.SetDumpPath(path);
+  FlightEntry entry;
+  entry.query_hash = 42;
+  entry.status = "OVERLOADED";
+  recorder.Record(std::move(entry));
+
+  EXPECT_EQ(recorder.Dump("overloaded"), path);
+  // Second trigger is swallowed: the first trail survives.
+  EXPECT_EQ(recorder.Dump("integrity_failure"), "");
+  // ...unless forced (operator tooling).
+  EXPECT_EQ(recorder.Dump("forced", true), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("\"flight_recorder\":\"dump\""), std::string::npos)
+      << header;
+  EXPECT_NE(header.find("\"reason\":\"forced\""), std::string::npos)
+      << header;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"status\":\"OVERLOADED\""), std::string::npos)
+      << line;
+  std::remove(path.c_str());
+  recorder.Reset();
+}
+
+TEST(MetricsEnabledTest, DisabledRecordingIsInvisible) {
+  Counter counter;
+  Histogram histogram(SmallOptions());
+  SetMetricsEnabled(false);
+  counter.Increment();
+  histogram.Record(5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+  counter.Increment();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text exposition (promtool-style, stdlib only).
+
+Usage:
+  tools/check_metrics_exposition.py METRICS_FILE [--previous OLDER_FILE]
+
+Checks, against the text exposition format (version 0.0.4):
+  - metric and label name syntax;
+  - every sample is preceded by a # TYPE line for its family, and the
+    sample name agrees with the declared type (counter samples on a
+    counter family, _bucket/_sum/_count on a histogram family);
+  - counter family names end in _total;
+  - sample values parse as numbers; no duplicate series;
+  - histogram series are internally consistent per label set: bucket
+    counts are cumulative (non-decreasing in le order), an le="+Inf"
+    bucket exists and equals _count.
+
+With --previous (an earlier scrape of the same process), counters and
+histogram _count/_bucket samples must be monotonically non-decreasing
+— the property Prometheus rate() relies on. CI runs this against the
+snapshot scraped in the service-stress job (see .github/workflows).
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name{labels} value [timestamp]. Labels optional.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(\s+\S+)?$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Linter:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}")
+
+
+def parse_labels(raw, lineno, lint):
+    """Parses '{a="x",b="y"}' honoring \\, \" and \\n escapes. Returns a
+    tuple of (name, value) pairs, or None on a syntax error."""
+    if raw is None:
+        return ()
+    body = raw[1:-1]
+    labels = []
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0:
+            lint.error(lineno, f"malformed labels {raw!r}")
+            return None
+        name = body[i:eq]
+        if not LABEL_NAME_RE.match(name):
+            lint.error(lineno, f"invalid label name {name!r}")
+            return None
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            lint.error(lineno, f"label {name!r} value is not quoted")
+            return None
+        j = eq + 2
+        value = []
+        while j < len(body) and body[j] != '"':
+            if body[j] == "\\":
+                if j + 1 >= len(body):
+                    lint.error(lineno, f"dangling escape in {raw!r}")
+                    return None
+                esc = body[j + 1]
+                value.append({"\\": "\\", '"': '"', "n": "\n"}.get(esc))
+                if value[-1] is None:
+                    lint.error(lineno, f"unknown escape \\{esc} in {raw!r}")
+                    return None
+                j += 2
+            else:
+                value.append(body[j])
+                j += 1
+        if j >= len(body):
+            lint.error(lineno, f"unterminated label value in {raw!r}")
+            return None
+        labels.append((name, "".join(value)))
+        i = j + 1
+        if i < len(body):
+            if body[i] != ",":
+                lint.error(lineno, f"expected ',' between labels in {raw!r}")
+                return None
+            i += 1
+    return tuple(labels)
+
+
+def base_family(name, types):
+    """Maps a sample name to its declared family: histogram samples use
+    the _bucket/_sum/_count suffixes of the base name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def parse_exposition(path, lint):
+    """Returns (types, samples): declared # TYPE per family, and every
+    sample as {(name, labels): value}."""
+    types = {}
+    helps = set()
+    samples = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                lint.error(lineno, "malformed # HELP line")
+                continue
+            name = parts[2]
+            if not METRIC_NAME_RE.match(name):
+                lint.error(lineno, f"invalid metric name {name!r} in HELP")
+            if name in helps:
+                lint.error(lineno, f"duplicate # HELP for {name}")
+            helps.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                lint.error(lineno, "malformed # TYPE line")
+                continue
+            name, typ = parts[2], parts[3]
+            if not METRIC_NAME_RE.match(name):
+                lint.error(lineno, f"invalid metric name {name!r} in TYPE")
+            if typ not in VALID_TYPES:
+                lint.error(lineno, f"unknown type {typ!r} for {name}")
+            if name in types:
+                lint.error(lineno, f"duplicate # TYPE for {name}")
+            types[name] = typ
+            continue
+        if line.startswith("#"):
+            continue  # Free-form comment.
+
+        match = SAMPLE_RE.match(line)
+        if not match:
+            lint.error(lineno, f"unparseable sample line {line!r}")
+            continue
+        name, raw_labels, raw_value = match.group(1), match.group(2), \
+            match.group(3)
+        labels = parse_labels(raw_labels, lineno, lint)
+        if labels is None:
+            continue
+        try:
+            value = float(raw_value)
+        except ValueError:
+            lint.error(lineno, f"non-numeric value {raw_value!r} for {name}")
+            continue
+        family = base_family(name, types)
+        if family not in types:
+            lint.error(lineno, f"sample {name!r} has no preceding # TYPE")
+        elif types[family] == "counter":
+            if not family.endswith("_total"):
+                lint.error(lineno,
+                           f"counter {family!r} does not end in _total")
+        elif types[family] == "histogram":
+            if name == family:
+                lint.error(
+                    lineno,
+                    f"histogram {family!r} exposes a bare sample; expected "
+                    "_bucket/_sum/_count")
+        key = (name, labels)
+        if key in samples:
+            lint.error(lineno, f"duplicate series {name}{dict(labels)}")
+        samples[key] = value
+    return types, samples
+
+
+def check_histograms(types, samples, lint):
+    """Per histogram family and label set (minus le): buckets cumulative,
+    +Inf present and equal to _count."""
+    series = {}  # (family, labels-without-le) -> {le: value}
+    counts = {}
+    for (name, labels), value in samples.items():
+        family = base_family(name, types)
+        if types.get(family) != "histogram":
+            continue
+        rest = tuple((k, v) for k, v in labels if k != "le")
+        if name == family + "_bucket":
+            le = dict(labels).get("le")
+            if le is None:
+                lint.error(0, f"{name}{dict(labels)}: _bucket without le")
+                continue
+            series.setdefault((family, rest), {})[le] = value
+        elif name == family + "_count":
+            counts[(family, rest)] = value
+
+    for (family, rest), buckets in sorted(series.items()):
+        def le_key(le):
+            return math.inf if le == "+Inf" else float(le)
+        ordered = sorted(buckets, key=le_key)
+        previous = -1.0
+        for le in ordered:
+            if buckets[le] < previous:
+                lint.error(
+                    0, f"{family}{dict(rest)}: bucket le={le} count "
+                    f"{buckets[le]} < previous {previous} (not cumulative)")
+            previous = buckets[le]
+        if "+Inf" not in buckets:
+            lint.error(0, f"{family}{dict(rest)}: missing le=\"+Inf\" bucket")
+        elif (family, rest) in counts and \
+                buckets["+Inf"] != counts[(family, rest)]:
+            lint.error(
+                0, f"{family}{dict(rest)}: le=\"+Inf\" "
+                f"({buckets['+Inf']}) != _count ({counts[(family, rest)]})")
+        if (family, rest) not in counts:
+            lint.error(0, f"{family}{dict(rest)}: missing _count sample")
+
+
+def check_monotonic(types, old_samples, new_samples, lint):
+    """Counters (and histogram _count/_bucket) never go backwards
+    between two scrapes of one process."""
+    for key, old_value in sorted(old_samples.items()):
+        name, labels = key
+        family = base_family(name, types)
+        monotonic = (
+            types.get(family) == "counter" or
+            (types.get(family) == "histogram" and name != family + "_sum"))
+        if not monotonic or key not in new_samples:
+            continue
+        if new_samples[key] < old_value:
+            lint.error(
+                0, f"{name}{dict(labels)}: went backwards between scrapes "
+                f"({old_value} -> {new_samples[key]})")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("metrics_file")
+    parser.add_argument("--previous",
+                        help="earlier scrape of the same process; counters "
+                             "must be monotonically non-decreasing")
+    args = parser.parse_args()
+
+    lint = Linter()
+    types, samples = parse_exposition(args.metrics_file, lint)
+    if not samples and not lint.errors:
+        lint.error(0, "exposition contains no samples")
+    check_histograms(types, samples, lint)
+    if args.previous:
+        old_lint = Linter()
+        old_types, old_samples = parse_exposition(args.previous, old_lint)
+        for message in old_lint.errors:
+            lint.errors.append(f"(previous) {message}")
+        check_monotonic(types, old_samples, samples, lint)
+
+    if lint.errors:
+        for message in lint.errors:
+            print(f"check_metrics_exposition: {message}", file=sys.stderr)
+        print(f"check_metrics_exposition: {len(lint.errors)} finding(s) "
+              f"in {args.metrics_file}", file=sys.stderr)
+        return 1
+    families = len(types)
+    print(f"check_metrics_exposition: OK ({families} families, "
+          f"{len(samples)} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

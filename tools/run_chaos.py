@@ -80,10 +80,19 @@ def run_one(binary, query, spec, threads, timeout, durable):
     """One swept case. Durability points get a fresh --data-dir (their
     sites are skipped entirely without one); the directory is scrubbed
     afterwards and its path normalized out of stderr so run-to-run
-    identity comparisons see stable text."""
+    identity comparisons see stable text. Every run arms the flight
+    recorder (--flight-dump): xqb_run writes the dump silently, so
+    stderr identity is unaffected, and the caller decides whether to
+    keep the file (failing case) or discard it (clean case)."""
     data_dir = None
+    flight_fd, flight = tempfile.mkstemp(
+        prefix="xqb_chaos_flight_", suffix=".jsonl"
+    )
+    os.close(flight_fd)
     cmd = [
         binary,
+        "--flight-dump",
+        flight,
         "--failpoints",
         spec,
         "--threads",
@@ -102,12 +111,19 @@ def run_one(binary, query, spec, threads, timeout, durable):
         stderr = proc.stderr
         if data_dir:
             stderr = stderr.replace(data_dir, "<DATA_DIR>")
-        return proc.returncode, stderr, cmd
+        return proc.returncode, stderr, cmd, flight
     except subprocess.TimeoutExpired:
-        return None, "", cmd  # hung; subprocess.run killed it
+        return None, "", cmd, flight  # hung; subprocess.run killed it
     finally:
         if data_dir:
             shutil.rmtree(data_dir, ignore_errors=True)
+
+
+def discard_flight(flight):
+    try:
+        os.unlink(flight)
+    except OSError:
+        pass
 
 
 def repro(cmd):
@@ -168,9 +184,10 @@ def main():
     outcome_table = collections.defaultdict(collections.Counter)
     current_point = None
 
-    def check(rc, stderr, cmd, what):
+    def check(rc, stderr, cmd, what, flight=None):
         nonlocal runs
         runs += 1
+        before = len(failures)
         if rc is None:
             outcome_table[current_point]["HANG"] += 1
             failures.append(f"HANG (> {args.timeout}s): {repro(cmd)}")
@@ -188,6 +205,15 @@ def main():
             )
         else:
             outcome_table[current_point][f"exit {rc}"] += 1
+        # A failing case keeps its flight-recorder dump (the engine's
+        # last kCapacity requests) for post-mortem; clean cases — and
+        # failures where no dump trigger fired — discard the file.
+        if flight is not None:
+            dumped = os.path.exists(flight) and os.path.getsize(flight) > 0
+            if len(failures) > before and dumped:
+                failures[-1] += f"\n  flight recorder dump: {flight}"
+            else:
+                discard_flight(flight)
 
     for point in points:
         current_point = point
@@ -197,25 +223,25 @@ def main():
             for seed in range(args.seeds):
                 spec = f"{point}=prob:0.5:{seed}"
                 for threads in thread_counts:
-                    rc, err, cmd = run_one(
+                    rc, err, cmd, flight = run_one(
                         binary, query, spec, threads, args.timeout,
                         durable
                     )
-                    check(rc, err, cmd, "prob sweep")
+                    check(rc, err, cmd, "prob sweep", flight)
 
             # Deterministic first-hit: identical identity across repeat
             # runs and (for non-pool points) across thread counts.
             spec = f"{point}=nth:1"
             outcomes = {}
             for threads in thread_counts:
-                rc1, err1, cmd = run_one(
+                rc1, err1, cmd, flight1 = run_one(
                     binary, query, spec, threads, args.timeout, durable
                 )
-                check(rc1, err1, cmd, "nth run 1")
-                rc2, err2, _ = run_one(
+                check(rc1, err1, cmd, "nth run 1", flight1)
+                rc2, err2, _, flight2 = run_one(
                     binary, query, spec, threads, args.timeout, durable
                 )
-                check(rc2, err2, cmd, "nth run 2")
+                check(rc2, err2, cmd, "nth run 2", flight2)
                 if (rc1, err1) != (rc2, err2):
                     failures.append(
                         f"NONDETERMINISTIC across repeat runs: "

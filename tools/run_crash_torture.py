@@ -105,19 +105,29 @@ class Case:
         self.snaps = snaps
         self.timeout = timeout
         self.dir = tempfile.mkdtemp(prefix="xqb_torture_")
+        # Sibling of the data dir so it survives the rmtree on failure.
+        self.flight = self.dir + ".flight.jsonl"
+        self.keep_flight = False
         self.log = []
 
     def cleanup(self):
         shutil.rmtree(self.dir, ignore_errors=True)
-        for suffix in (".q.xq", ".site.xml"):
+        suffixes = [".q.xq", ".site.xml"]
+        if not self.keep_flight:
+            suffixes.append(".flight.jsonl")
+        for suffix in suffixes:
             try:
                 os.unlink(self.dir + suffix)
             except OSError:
                 pass
 
     def xqb(self, *args, crash_spec=None, query=None):
+        # Every run arms the flight recorder; a later run in the same
+        # case overwrites an earlier dump, so a kept file holds the
+        # last run that hit a dump trigger. xqb_run writes it silently,
+        # leaving the stderr the harness asserts on untouched.
         cmd = [self.binary, "--data-dir", self.dir, "--threads",
-               str(self.threads), *args]
+               str(self.threads), "--flight-dump", self.flight, *args]
         if crash_spec:
             cmd += ["--crash-on-failpoints", "--failpoints", crash_spec]
         if query is not None:
@@ -201,6 +211,11 @@ class Case:
         detail = ""
         if proc is not None:
             detail = f"\n  stderr: {proc.stderr.strip()}"
+        if os.path.exists(self.flight) and os.path.getsize(self.flight) > 0:
+            # Keep the dump past cleanup() so the post-mortem can read
+            # the last requests the engine saw before the failure.
+            self.keep_flight = True
+            detail += f"\n  flight recorder dump: {self.flight}"
         return (
             f"{self.point} seed={self.seed} threads={self.threads}: "
             f"{what}{detail}\n  repro:\n    " + "\n    ".join(self.log)
