@@ -1,0 +1,126 @@
+// The disjointness-widened RW1 gate (docs/ANALYSIS.md section 5): a
+// cross-document join whose inner return snap-inserts into a third,
+// provably disjoint document. The legacy boolean gate sees has_snap
+// and keeps the O(|people| * |entries|) nested loop; the widened gate
+// proves the audit writes cannot touch the frozen build side or the
+// probe keys and unnests to the O(|people| + |entries|) group join.
+// Same observable behavior (rewrite_gate_test pins it), different
+// asymptotics — the gap widens with the scale argument.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+
+namespace {
+
+bool BenchStatsEnabled() {
+  static const bool enabled = std::getenv("XQB_BENCH_STATS") != nullptr;
+  return enabled;
+}
+
+void ReportPhaseCounters(benchmark::State& state,
+                         const xqb::ExecStats& stats) {
+  state.counters["phase_rewrite_ms"] =
+      static_cast<double>(stats.rewrite_ns) / 1e6;
+  state.counters["phase_eval_ms"] =
+      static_cast<double>(stats.eval_ns) / 1e6;
+  state.counters["phase_snap_apply_ms"] =
+      static_cast<double>(stats.snap_apply_ns) / 1e6;
+}
+
+// Every log entry references a person; each applied audit insert is
+// observable immediately (the snap), so the rewrite may only fire
+// because doc('audit') is disjoint from doc('people') and doc('log').
+constexpr const char* kAuditedJoin =
+    "for $p in doc('people')/people/person "
+    "let $a := for $l in doc('log')/log/entry "
+    "          where $l/@who = $p/@id "
+    "          return (snap { insert { <audit who=\"{$l/@who}\"/> } "
+    "                         into { doc('audit')/trail } }, $l) "
+    "return <row id=\"{$p/@id}\">{ count($a) }</row>";
+
+constexpr int kEntriesPerPerson = 4;
+
+std::string PeopleXml(int persons) {
+  std::string xml = "<people>";
+  for (int i = 0; i < persons; ++i) {
+    xml += "<person id=\"p" + std::to_string(i) + "\"/>";
+  }
+  xml += "</people>";
+  return xml;
+}
+
+std::string LogXml(int persons) {
+  std::string xml = "<log>";
+  for (int i = 0; i < persons * kEntriesPerPerson; ++i) {
+    xml += "<entry who=\"p" + std::to_string(i % persons) + "\" n=\"" +
+           std::to_string(i) + "\"/>";
+  }
+  xml += "</log>";
+  return xml;
+}
+
+void RunAuditedJoin(benchmark::State& state, bool disjoint_gates) {
+  const int persons = static_cast<int>(state.range(0));
+  const std::string people_xml = PeopleXml(persons);
+  const std::string log_xml = LogXml(persons);
+  for (auto _ : state) {
+    state.PauseTiming();
+    xqb::Engine engine;
+    if (!engine.LoadDocumentFromString("people", people_xml).ok() ||
+        !engine.LoadDocumentFromString("log", log_xml).ok() ||
+        !engine.LoadDocumentFromString("audit", "<trail/>").ok()) {
+      state.SkipWithError("failed to load documents");
+      return;
+    }
+    xqb::ExecOptions options;
+    options.optimize = true;
+    options.rewrites.disjoint_gates = disjoint_gates;
+    options.collect_stats = BenchStatsEnabled();
+    state.ResumeTiming();
+
+    auto result = engine.Execute(kAuditedJoin, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+
+    state.PauseTiming();
+    state.counters["persons"] = persons;
+    state.counters["entries"] = persons * kEntriesPerPerson;
+    state.counters["audits"] =
+        static_cast<double>(engine.last_updates_applied());
+    if (BenchStatsEnabled()) {
+      ReportPhaseCounters(state, engine.last_stats());
+    }
+    state.ResumeTiming();
+  }
+}
+
+// Legacy boolean gate: has_snap anywhere in the unnested block vetoes
+// the rewrite, so this is the nested-loop plan.
+void BM_AuditedJoin_BooleanGate(benchmark::State& state) {
+  RunAuditedJoin(state, /*disjoint_gates=*/false);
+}
+
+// Widened gate: path-level disjointness lets the group join fire.
+void BM_AuditedJoin_DisjointGate(benchmark::State& state) {
+  RunAuditedJoin(state, /*disjoint_gates=*/true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AuditedJoin_BooleanGate)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AuditedJoin_DisjointGate)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,11 @@
+(: Run: xqb_run --lint examples/lint_demo.xq
+   Each effect-analysis lint rule (docs/ANALYSIS.md section 4) fires once. :)
+declare variable $unused := 1;
+(
+  snap { count(doc("inventory")/items/item) },
+  insert { <sold id="i1"/> } into { doc("inventory")/items },
+  snap { (rename { doc("audit")/trail } to { "log" },
+          delete { doc("audit")/trail }) },
+  (snap { delete { doc("log")/entries/old } },
+   count(doc("log")/entries/*))
+)

@@ -4,6 +4,16 @@
 //     --doc NAME=FILE     register FILE as doc('NAME') (repeatable;
 //                         skipped if recovery already restored NAME)
 //     --var NAME=VALUE    bind $NAME to a string value (repeatable)
+//     --lint[=json]       do not execute: run the static checks and the
+//                         effect-analysis lint rules (XQL001..XQL005,
+//                         docs/ANALYSIS.md) over the query and print
+//                         the diagnostics, one per line (or as a stable
+//                         JSON object with =json). Exits 0 when no
+//                         error-severity diagnostic was found (warnings
+//                         are advisory), 2 otherwise
+//     --lint-disable CODES
+//                         comma-separated rule codes to suppress in
+//                         --lint mode (e.g. XQL003,XQL005)
 //     --optimize          run through the algebraic optimizer
 //     --plan              print the optimized plan (implies --optimize)
 //     --mode MODE         default snap mode: ordered (default),
@@ -71,9 +81,10 @@
 //
 // Exit status (documented contract — scripts and the chaos harness key
 // off these; see docs/ROBUSTNESS.md):
-//   0  success
+//   0  success (in --lint mode: no error-severity diagnostic)
 //   1  usage error, unreadable query/document file, unwritable output
-//   2  parse or static error in the query or an XML document
+//   2  parse or static error in the query or an XML document (in
+//      --lint mode: at least one error-severity diagnostic)
 //   3  dynamic or type error raised during evaluation
 //   4  update error (Section 3.2 precondition failure)
 //   5  conflict-detection mode rejected the update list
@@ -154,6 +165,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: xqb_run [--doc NAME=FILE]... [--var NAME=VALUE]...\n"
+      "               [--lint[=json]] [--lint-disable CODES]\n"
       "               [--xmark NAME=FACTOR]... [--optimize] [--plan]\n"
       "               [--mode MODE] [--seed N] [--threads N] [--indent]\n"
       "               [--profile] [--trace FILE] [--save NAME=FILE]...\n"
@@ -442,6 +454,9 @@ int main(int argc, char** argv) {
   xqb::Engine engine;
   xqb::ExecOptions options;
   bool indent = false;
+  bool lint = false;
+  bool lint_json = false;
+  xqb::LintOptions lint_options;
   bool print_plan = false;
   bool profile = false;
   bool recover = false;
@@ -611,6 +626,27 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--repeat must be >= 1\n");
         return Usage();
       }
+    } else if (arg == "--lint" || arg == "--lint=text") {
+      lint = true;
+    } else if (arg == "--lint=json") {
+      lint = true;
+      lint_json = true;
+    } else if (arg == "--lint-disable" ||
+               arg.rfind("--lint-disable=", 0) == 0) {
+      std::string codes;
+      if (arg == "--lint-disable") {
+        const char* value = next_value("--lint-disable");
+        if (!value || *value == '\0') return Usage();
+        codes = value;
+      } else {
+        codes = arg.substr(std::strlen("--lint-disable="));
+        if (codes.empty()) return Usage();
+      }
+      std::istringstream list(codes);
+      std::string code;
+      while (std::getline(list, code, ',')) {
+        if (!code.empty()) lint_options.disabled.insert(code);
+      }
     } else if (arg == "--optimize") {
       options.optimize = true;
     } else if (arg == "--plan") {
@@ -761,6 +797,34 @@ int main(int argc, char** argv) {
   }
   for (const auto& [name, str] : vars) {
     engine.BindVariable(name, xqb::Sequence{xqb::Item::String(str)});
+  }
+
+  if (lint) {
+    if (query_path.empty()) {
+      std::fprintf(stderr, "--lint requires a query file\n");
+      return Usage();
+    }
+    std::ifstream in(query_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open query file %s\n",
+                   query_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<xqb::Diagnostic> diags =
+        engine.LintQuery(buffer.str(), options.limits, lint_options);
+    if (lint_json) {
+      std::fputs(xqb::RenderDiagnosticsJson(diags).c_str(), stdout);
+    } else {
+      for (const xqb::Diagnostic& d : diags) {
+        std::printf("%s\n", xqb::RenderDiagnosticText(d).c_str());
+      }
+    }
+    for (const xqb::Diagnostic& d : diags) {
+      if (d.severity == xqb::Severity::kError) return 2;
+    }
+    return 0;
   }
 
   if (!serve_batch_path.empty()) {

@@ -8,6 +8,33 @@ namespace xqb {
 
 namespace {
 
+/// Walks a plan subtree input-first, accumulating (a) the tuple-field →
+/// value-paths environment and (b) the union of effect summaries of
+/// every embedded expression. The env makes effects through tuple
+/// variables resolve to store paths instead of opaque variable roots
+/// (writes into $t where $t ranges over doc("log")//entry summarize as
+/// doc(log) paths, so disjointness against other documents is provable).
+void AnalyzePlanChain(const Plan* plan, const EffectAnalysis& effects,
+                      PathEnv* env, EffectSummary* sum) {
+  if (plan == nullptr) return;
+  AnalyzePlanChain(plan->input.get(), effects, env, sum);
+  AnalyzePlanChain(plan->right.get(), effects, env, sum);
+  for (const Expr* key : {plan->left_key, plan->right_key}) {
+    if (key != nullptr) *sum |= effects.Summarize(*key, *env);
+  }
+  if (plan->expr != nullptr) {
+    ExprEffects ee = effects.AnalyzeExpr(*plan->expr, *env);
+    *sum |= ee.summary;
+    if (!plan->field.empty()) (*env)[plan->field] = std::move(ee.value);
+  } else if (plan->inner_ret != nullptr) {
+    ExprEffects ee = effects.AnalyzeExpr(*plan->inner_ret, *env);
+    *sum |= ee.summary;
+    if (!plan->field.empty()) (*env)[plan->field] = std::move(ee.value);
+  }
+  // Positional fields hold freshly built integers: no store paths.
+  if (!plan->pos_field.empty()) (*env)[plan->pos_field] = PathSet();
+}
+
 /// True if no free variable of `expr` is among `fields`.
 bool IndependentOf(const Expr& expr,
                    const std::vector<std::string>& fields) {
@@ -46,7 +73,8 @@ bool SplitEqualityPredicate(const Expr& pred, const std::string& inner_var,
 
 /// RW1: rewrites Let[a]{ for $t in E2 (where P)? return R } into a
 /// HashGroupJoin when the guards hold. `plan` is the Let node.
-bool TryGroupJoin(PlanPtr* plan, const PurityAnalysis& purity) {
+bool TryGroupJoin(PlanPtr* plan, const PurityAnalysis& purity,
+                  const RewriteOptions& options, RewriteStats* stats) {
   Plan& let = **plan;
   if (let.kind != PlanKind::kLet) return false;
   const Expr& sub = *let.expr;
@@ -64,11 +92,14 @@ bool TryGroupJoin(PlanPtr* plan, const PurityAnalysis& purity) {
   const Expr& inner_src = *for_clause.expr;
   // Independence guard: the build side must not depend on outer fields.
   if (!IndependentOf(inner_src, outer_fields)) return false;
-  // Purity guards. No snap anywhere in the nested FLWOR (independence of
-  // effects); the build side and keys must also be update-free
-  // (cardinality: they run once instead of once per outer row).
+  // Purity guards. The build side and keys must be pure (cardinality:
+  // they run once instead of once per outer row — emitted Δ would
+  // change count; and key results are cached in the hash table). A snap
+  // in the nested FLWOR — necessarily in the return expression R, given
+  // the guards on E2 and the keys — rejects unless the effect analysis
+  // proves disjointness below.
   PurityInfo whole = purity.Analyze(sub);
-  if (whole.has_snap) return false;
+  if (whole.has_snap && !options.disjoint_gates) return false;
   if (!purity.Analyze(inner_src).pure()) return false;
   const Expr* outer_key = nullptr;
   const Expr* inner_key = nullptr;
@@ -80,6 +111,45 @@ bool TryGroupJoin(PlanPtr* plan, const PurityAnalysis& purity) {
       !purity.Analyze(*inner_key).pure()) {
     return false;
   }
+  bool widened = false;
+  if (options.disjoint_gates) {
+    const EffectAnalysis& effects = purity.effects();
+    PathEnv env;
+    EffectSummary upstream;
+    AnalyzePlanChain(let.input.get(), effects, &env, &upstream);
+    if (whole.has_snap || upstream.has_snap) {
+      // The join evaluates the build (E2 and K_t) before the outer
+      // input's expressions and before every R, where the nested plan
+      // evaluates them per outer row, after earlier rows' R snaps and
+      // after all of the input chain; it also moves K_p from
+      // per-(row, match) to once per row, ahead of that row's R.
+      // Equivalence therefore needs every store region those hoisted
+      // evaluations read (or return — the values feed the hash table)
+      // to be un-written by any snap in the input chain or in R.
+      PathSet frozen;
+      ExprEffects build = effects.AnalyzeExpr(inner_src, env);
+      frozen.UnionWith(build.summary.reads);
+      frozen.UnionWith(build.value);
+      PathEnv build_env = env;
+      build_env[for_clause.var] = build.value;
+      ExprEffects ikey = effects.AnalyzeExpr(*inner_key, build_env);
+      frozen.UnionWith(ikey.summary.reads);
+      frozen.UnionWith(ikey.value);
+      ExprEffects okey = effects.AnalyzeExpr(*outer_key, env);
+      frozen.UnionWith(okey.summary.reads);
+      frozen.UnionWith(okey.value);
+      if (upstream.has_snap && upstream.writes.MayOverlap(frozen)) {
+        return false;
+      }
+      if (whole.has_snap) {
+        if (effects.Summarize(sub, env).writes.MayOverlap(frozen)) {
+          return false;
+        }
+        widened = true;
+      }
+    }
+  }
+  if (widened) ++stats->disjoint_widened;
 
   PlanPtr scan = std::make_unique<Plan>(PlanKind::kMapConcat);
   scan->expr = &inner_src;
@@ -101,7 +171,19 @@ bool TryGroupJoin(PlanPtr* plan, const PurityAnalysis& purity) {
 
 /// RW2: rewrites Select{K1=K2}(MapConcat[t]{E2}(outer)) into a HashJoin
 /// when the guards hold. `plan` is the Select node.
-bool TryHashJoin(PlanPtr* plan, const PurityAnalysis& purity) {
+///
+/// No disjointness widening exists for RW2: unlike RW1 there is no
+/// per-match return expression — every expression the rule touches (E2
+/// and both keys) changes its evaluation count under the rewrite, so
+/// each must be fully pure regardless of what it writes (an emitted Δ
+/// evaluated once instead of once per outer row changes the update
+/// count the enclosing snap applies, which no write-set disjointness
+/// argument can repair). The effect analysis still participates with
+/// its blocking direction: hoisting the build above a snap-bearing
+/// outer input is only allowed when the input's writes miss the build's
+/// reads.
+bool TryHashJoin(PlanPtr* plan, const PurityAnalysis& purity,
+                 const RewriteOptions& options) {
   Plan& select = **plan;
   if (select.kind != PlanKind::kSelect) return false;
   if (!select.input || select.input->kind != PlanKind::kMapConcat) {
@@ -125,6 +207,24 @@ bool TryHashJoin(PlanPtr* plan, const PurityAnalysis& purity) {
       !purity.Analyze(*inner_key).pure()) {
     return false;
   }
+  if (options.disjoint_gates) {
+    const EffectAnalysis& effects = purity.effects();
+    PathEnv env;
+    EffectSummary upstream;
+    AnalyzePlanChain(inner_map.input.get(), effects, &env, &upstream);
+    if (upstream.has_snap) {
+      PathSet frozen;
+      ExprEffects build = effects.AnalyzeExpr(inner_src, env);
+      frozen.UnionWith(build.summary.reads);
+      frozen.UnionWith(build.value);
+      PathEnv build_env = env;
+      build_env[inner_map.field] = build.value;
+      ExprEffects ikey = effects.AnalyzeExpr(*inner_key, build_env);
+      frozen.UnionWith(ikey.summary.reads);
+      frozen.UnionWith(ikey.value);
+      if (upstream.writes.MayOverlap(frozen)) return false;
+    }
+  }
 
   PlanPtr scan = std::make_unique<Plan>(PlanKind::kMapConcat);
   scan->expr = &inner_src;
@@ -145,6 +245,16 @@ bool TryHashJoin(PlanPtr* plan, const PurityAnalysis& purity) {
 
 /// RW3: sinks Select below a MapConcat whose variable the predicate
 /// does not use. `plan` is the Select node.
+///
+/// No disjointness widening exists for RW3 either: both expressions the
+/// rule touches change evaluation count (P runs once per input row
+/// instead of once per expansion, E runs only for surviving rows), so
+/// update emission in either changes the Δ the enclosing snap applies.
+/// And no blocking check is needed: the rotation keeps the relative
+/// order input-then-P-then-E — with P and E pure, only snaps in the
+/// input chain can move the store, and those run to completion before
+/// either expression in both shapes (operators materialize their input
+/// fully).
 bool TrySelectPushdown(PlanPtr* plan, const PurityAnalysis& purity) {
   Plan& select = **plan;
   if (select.kind != PlanKind::kSelect) return false;
@@ -169,10 +279,10 @@ bool TrySelectPushdown(PlanPtr* plan, const PurityAnalysis& purity) {
 void OptimizeRec(PlanPtr* plan, const PurityAnalysis& purity,
                  const RewriteOptions& options, RewriteStats* stats) {
   if (!*plan) return;
-  if (options.group_join && TryGroupJoin(plan, purity)) {
+  if (options.group_join && TryGroupJoin(plan, purity, options, stats)) {
     ++stats->group_joins;
   }
-  if (options.hash_join && TryHashJoin(plan, purity)) {
+  if (options.hash_join && TryHashJoin(plan, purity, options)) {
     ++stats->hash_joins;
   }
   if (options.select_pushdown) {

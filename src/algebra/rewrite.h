@@ -11,6 +11,10 @@ struct RewriteStats {
   int group_joins = 0;
   int hash_joins = 0;
   int selects_pushed = 0;
+  /// Group joins that fired only because the path-level effect analysis
+  /// proved the snap's write set disjoint from the hoisted build-side
+  /// reads — the boolean has_snap gate alone would have rejected them.
+  int disjoint_widened = 0;
 };
 
 /// Per-rule enable switches (ablation studies disable rules one at a
@@ -19,6 +23,12 @@ struct RewriteOptions {
   bool group_join = true;
   bool hash_join = true;
   bool select_pushdown = true;
+  /// Use the access-path effect analysis to (a) widen the RW1 snap gate
+  /// to snap-bearing return expressions with provably disjoint writes
+  /// and (b) block RW1/RW2 build hoisting over an outer input whose own
+  /// snaps write what the build reads. With the flag off, the legacy
+  /// boolean gates run unchanged (ablation / differential testing).
+  bool disjoint_gates = true;
 };
 
 /// Rule-based logical optimization (Section 4.3). Every rule is guarded
@@ -41,9 +51,17 @@ struct RewriteOptions {
 ///        MapConcat[p]{E1} .. Let[a]{ for $t in E2 where K_p = K_t
 ///                                    return R }
 ///      => HashGroupJoin[a](outer, Scan[t]{E2}) on K_p = K_t ret R
-///      Guards: E2, K_p, K_t pure; no snap anywhere in the let
-///      expression; E2 independent of all outer fields. R may contain
-///      update operators — it still runs exactly once per join match.
+///      Guards: E2, K_p, K_t pure; E2 independent of all outer fields.
+///      R may contain update operators — it still runs exactly once per
+///      join match. R may even contain a snap when the effect analysis
+///      (docs/ANALYSIS.md) proves its write set disjoint from every
+///      read the join hoists: E2, K_t (moved above all R runs and above
+///      the outer input) and K_p (moved above the same row's R runs).
+///      Without that proof — or with disjoint_gates off — any snap in
+///      the nested FLWOR rejects the rewrite, and with the gates on a
+///      snap in the *outer input* whose writes overlap those hoisted
+///      reads also rejects it (the build side evaluates first in the
+///      join plan but last in the nested plan).
 ///  RW2 join detection:
 ///        Select{K1 = K2}(MapConcat[t]{E2}(MapConcat[p]{E1}(X)))
 ///      => HashJoin(MapConcat[p]{E1}(X), MapConcat[t]{E2}(Singleton))

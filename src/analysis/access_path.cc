@@ -1,0 +1,225 @@
+#include "analysis/access_path.h"
+
+#include <algorithm>
+
+namespace xqb {
+
+std::string PathStep::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kChild: out = "/"; break;
+    case Kind::kDescendant: out = "//"; break;
+    case Kind::kAttribute: out = "/@"; break;
+  }
+  out += name.empty() ? "*" : name;
+  return out;
+}
+
+AccessPath AccessPath::Document(std::string name) {
+  AccessPath p;
+  p.root = RootKind::kDocument;
+  p.root_name = std::move(name);
+  return p;
+}
+
+AccessPath AccessPath::Variable(std::string name) {
+  AccessPath p;
+  p.root = RootKind::kVariable;
+  p.root_name = std::move(name);
+  return p;
+}
+
+AccessPath AccessPath::Param(std::string name) {
+  AccessPath p;
+  p.root = RootKind::kParam;
+  p.root_name = std::move(name);
+  return p;
+}
+
+AccessPath AccessPath::Local() {
+  AccessPath p;
+  p.root = RootKind::kLocal;
+  return p;
+}
+
+AccessPath AccessPath::Context() {
+  AccessPath p;
+  p.root = RootKind::kContext;
+  return p;
+}
+
+AccessPath AccessPath::Any() { return AccessPath(); }
+
+AccessPath AccessPath::Child(PathStep step) const {
+  AccessPath out = *this;
+  // Appending below a descendant tail adds no information: the
+  // descendant step already covers the whole subtree.
+  if (!out.steps.empty() &&
+      out.steps.back().kind == PathStep::Kind::kDescendant &&
+      out.steps.back().name.empty()) {
+    return out;
+  }
+  if (out.steps.size() >= kMaxSteps) {
+    // Widen: truncate the tail into one descendant-wildcard.
+    PathStep widened;
+    widened.kind = PathStep::Kind::kDescendant;
+    out.steps.push_back(std::move(widened));
+    return out;
+  }
+  out.steps.push_back(std::move(step));
+  return out;
+}
+
+AccessPath AccessPath::Parent() const {
+  AccessPath out = *this;
+  if (!out.steps.empty()) out.steps.pop_back();
+  return out;
+}
+
+AccessPath AccessPath::Root() const {
+  AccessPath out = *this;
+  out.steps.clear();
+  return out;
+}
+
+std::string AccessPath::ToString() const {
+  std::string out;
+  switch (root) {
+    case RootKind::kDocument: out = "doc(" + root_name + ")"; break;
+    case RootKind::kVariable: out = "$" + root_name; break;
+    case RootKind::kParam: out = "param($" + root_name + ")"; break;
+    case RootKind::kLocal: out = "local()"; break;
+    case RootKind::kContext: out = "context()"; break;
+    case RootKind::kAny: out = "any()"; break;
+  }
+  for (const PathStep& step : steps) out += step.ToString();
+  return out;
+}
+
+namespace {
+
+/// Step-prefix compatibility under subtree semantics: walk the common
+/// prefix; a provable per-position mismatch means the node sets (and
+/// their subtrees) are disjoint; surviving to the end of either path
+/// means one is an ancestor-or-self of the other → overlap.
+bool StepsMayOverlap(const std::vector<PathStep>& a,
+                     const std::vector<PathStep>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const PathStep& sa = a[i];
+    const PathStep& sb = b[i];
+    // A descendant step reaches arbitrary depth: everything below the
+    // shared prefix may coincide with the other path's remainder.
+    if (sa.kind == PathStep::Kind::kDescendant ||
+        sb.kind == PathStep::Kind::kDescendant) {
+      return true;
+    }
+    // child vs attribute at the same depth select disjoint node kinds,
+    // and attributes have no subtrees to rejoin through.
+    if (sa.kind != sb.kind) return false;
+    if (!sa.name.empty() && !sb.name.empty() && sa.name != sb.name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MayAlias(const AccessPath& a, const AccessPath& b) {
+  using RootKind = AccessPath::RootKind;
+  if (a.root == RootKind::kAny || b.root == RootKind::kAny) return true;
+
+  // kLocal ∥ kDocument is the one cross-kind disjointness we can prove:
+  // normalization copies every insert/replace source, so nodes built by
+  // the analyzed expression are never attached into a named tree.
+  if ((a.root == RootKind::kLocal && b.root == RootKind::kDocument) ||
+      (a.root == RootKind::kDocument && b.root == RootKind::kLocal)) {
+    return false;
+  }
+
+  if (a.root == RootKind::kDocument && b.root == RootKind::kDocument) {
+    if (a.root_name != b.root_name) return false;
+    return StepsMayOverlap(a.steps, b.steps);
+  }
+
+  // Same-named variables/params denote the same unknown binding; with
+  // different names they may still be bound to overlapping nodes, and
+  // either may point into any document or at the context item. The
+  // only refinement we attempt is the step-prefix check when the two
+  // roots are literally the same region.
+  if (a.root == b.root && a.root_name == b.root_name) {
+    return StepsMayOverlap(a.steps, b.steps);
+  }
+  return true;
+}
+
+PathSet PathSet::Top() {
+  PathSet s;
+  s.top_ = true;
+  return s;
+}
+
+void PathSet::Add(AccessPath path) {
+  if (top_) return;
+  if (path.root == AccessPath::RootKind::kAny) {
+    top_ = true;
+    paths_.clear();
+    return;
+  }
+  if (std::find(paths_.begin(), paths_.end(), path) != paths_.end()) {
+    return;
+  }
+  if (paths_.size() >= kMaxPaths) {
+    top_ = true;
+    paths_.clear();
+    return;
+  }
+  paths_.push_back(std::move(path));
+}
+
+void PathSet::UnionWith(const PathSet& other) {
+  if (top_) return;
+  if (other.top_) {
+    top_ = true;
+    paths_.clear();
+    return;
+  }
+  for (const AccessPath& p : other.paths_) Add(p);
+}
+
+bool PathSet::MayOverlap(const PathSet& other) const {
+  if (empty() || other.empty()) return false;
+  if (top_ || other.top_) return true;
+  for (const AccessPath& a : paths_) {
+    for (const AccessPath& b : other.paths_) {
+      if (MayAlias(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+bool PathSet::AllLocal() const {
+  if (top_) return false;
+  for (const AccessPath& p : paths_) {
+    if (p.root != AccessPath::RootKind::kLocal) return false;
+  }
+  return true;
+}
+
+std::string PathSet::ToString() const {
+  if (top_) return "T";
+  std::vector<std::string> parts;
+  parts.reserve(paths_.size());
+  for (const AccessPath& p : paths_) parts.push_back(p.ToString());
+  std::sort(parts.begin(), parts.end());
+  std::string out = "{";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i];
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace xqb

@@ -1,0 +1,135 @@
+#ifndef XQB_ANALYSIS_ACCESS_PATH_H_
+#define XQB_ANALYSIS_ACCESS_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xqb {
+
+/// One abstract navigation step of an access path. `name` empty means
+/// wildcard (any name); kDescendant covers the whole subtree below the
+/// prefix (it is the widening step, so a descendant step also matches
+/// zero steps of further navigation).
+struct PathStep {
+  enum class Kind : uint8_t { kChild, kDescendant, kAttribute };
+  Kind kind = Kind::kChild;
+  std::string name;  // empty = wildcard
+
+  bool operator==(const PathStep& other) const {
+    return kind == other.kind && name == other.name;
+  }
+  std::string ToString() const;
+};
+
+/// An abstract access path: a root region of the store plus a step
+/// prefix. A path denotes the set of nodes reachable by the prefix
+/// *and their entire subtrees* — so overlap is symmetric-prefix
+/// overlap: an ancestor path always overlaps its descendants.
+///
+/// Root kinds partition the store abstractly:
+///  - kDocument(name): the tree registered under `name` (doc("name")).
+///    Distinct names are assumed to denote distinct trees; the engine
+///    upholds this for Engine::LoadDocument*, and RegisterDocument
+///    aliases are the caller's responsibility (docs/ANALYSIS.md §2).
+///  - kVariable(name): whatever nodes the free variable $name is bound
+///    to. The binding is unknown — it may point into any document or
+///    at another variable's tree — so a variable path aliases
+///    everything except what its own step prefix rules out (MayAlias
+///    refines only same-named roots by steps).
+///  - kParam(name): a function parameter placeholder, substituted with
+///    the argument's paths at call sites; an unsubstituted kParam is
+///    treated like kVariable.
+///  - kLocal: a node freshly constructed by the analyzed expression
+///    itself (element constructors, copy{}). Disjoint from every
+///    kDocument path: normalization wraps all insert/replace sources
+///    in copy{}, so a constructed node is never attached into a
+///    durable tree — updates target copies, never the original local.
+///  - kContext: the dynamic context item when no binding is known.
+///  - kAny: top — aliases everything.
+struct AccessPath {
+  enum class RootKind : uint8_t {
+    kDocument,
+    kVariable,
+    kParam,
+    kLocal,
+    kContext,
+    kAny,
+  };
+
+  RootKind root = RootKind::kAny;
+  std::string root_name;  // kDocument/kVariable/kParam
+  std::vector<PathStep> steps;
+
+  /// Longest step prefix kept before widening the tail into one
+  /// descendant-wildcard step (bounds the lattice height).
+  static constexpr size_t kMaxSteps = 6;
+
+  static AccessPath Document(std::string name);
+  static AccessPath Variable(std::string name);
+  static AccessPath Param(std::string name);
+  static AccessPath Local();
+  static AccessPath Context();
+  static AccessPath Any();
+
+  /// Returns a copy with `step` appended (widened past kMaxSteps).
+  AccessPath Child(PathStep step) const;
+  /// Returns a copy with the last step removed (the parent region);
+  /// at the root, returns the root itself.
+  AccessPath Parent() const;
+  /// Returns a copy with all steps cleared (the containing tree).
+  AccessPath Root() const;
+
+  bool operator==(const AccessPath& other) const {
+    return root == other.root && root_name == other.root_name &&
+           steps == other.steps;
+  }
+  std::string ToString() const;
+};
+
+/// True when the two abstract paths may denote overlapping node sets
+/// (including ancestor/descendant overlap in either direction). Sound
+/// over-approximation; the only "false" answers are the provable
+/// disjointness cases documented on AccessPath.
+bool MayAlias(const AccessPath& a, const AccessPath& b);
+
+/// A finite set of access paths with a top element. Adding beyond
+/// kMaxPaths widens to top; top absorbs everything.
+class PathSet {
+ public:
+  static constexpr size_t kMaxPaths = 24;
+
+  static PathSet Top();
+
+  bool top() const { return top_; }
+  bool empty() const { return !top_ && paths_.empty(); }
+  const std::vector<AccessPath>& paths() const { return paths_; }
+
+  void Add(AccessPath path);
+  void UnionWith(const PathSet& other);
+
+  /// May any path here alias any path in `other`? Top overlaps
+  /// anything non-empty; two empty sets never overlap.
+  bool MayOverlap(const PathSet& other) const;
+
+  /// True when the set is non-top and every root is kLocal — i.e. all
+  /// denoted nodes were constructed by the analyzed expression itself.
+  /// (An empty set is vacuously all-local.)
+  bool AllLocal() const;
+
+  bool operator==(const PathSet& other) const {
+    return top_ == other.top_ && paths_ == other.paths_;
+  }
+
+  /// Deterministic rendering, e.g. "{doc(auction)/site//*, $x}" or
+  /// "T" for top — for tests and ANALYSIS.md examples.
+  std::string ToString() const;
+
+ private:
+  bool top_ = false;
+  std::vector<AccessPath> paths_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_ANALYSIS_ACCESS_PATH_H_

@@ -1,0 +1,83 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace xqb {
+
+const char* SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "unknown";
+}
+
+bool DiagnosticBefore(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.line, a.col, a.code, a.message) <
+         std::tie(b.line, b.col, b.code, b.message);
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::stable_sort(diagnostics->begin(), diagnostics->end(),
+                   DiagnosticBefore);
+}
+
+std::string RenderDiagnosticText(const Diagnostic& d) {
+  std::string out = "line " + std::to_string(d.line) + ":" +
+                    std::to_string(d.col) + ": " +
+                    SeverityToString(d.severity) + " " + d.code + ": " +
+                    d.message;
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(hex[(c >> 4) & 0xf]);
+          out->push_back(hex[c & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderDiagnosticsJson(std::vector<Diagnostic> diagnostics) {
+  SortDiagnostics(&diagnostics);
+  std::string out = "{\n  \"diagnostics\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out += (i == 0) ? "\n" : ",\n";
+    out += "    {\"severity\": ";
+    AppendJsonString(SeverityToString(d.severity), &out);
+    out += ", \"code\": ";
+    AppendJsonString(d.code, &out);
+    out += ", \"line\": " + std::to_string(d.line);
+    out += ", \"col\": " + std::to_string(d.col);
+    out += ", \"message\": ";
+    AppendJsonString(d.message, &out);
+    out += "}";
+  }
+  if (!diagnostics.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace xqb

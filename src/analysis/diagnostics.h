@@ -1,0 +1,52 @@
+#ifndef XQB_ANALYSIS_DIAGNOSTICS_H_
+#define XQB_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace xqb {
+
+/// Severity of one static diagnostic. kError maps to the legacy
+/// first-error Status projection (compilation fails); warnings and
+/// notes are advisory and only surface through the lint API.
+enum class Severity : int {
+  kError = 0,
+  kWarning = 1,
+  kNote = 2,
+};
+
+const char* SeverityToString(Severity severity);
+
+/// One machine-readable static diagnostic. `code` is a stable
+/// identifier: W3C-style err:* codes for conformance errors
+/// (XPST0003/XPST0008/XPST0017/XUST0001) and XQL0xx for this engine's
+/// effect-analysis lint rules. Locations are 1-based; 0 means the
+/// position is unknown (synthesized node).
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+/// Orders by (line, col, code, message) so renderings are stable
+/// regardless of rule evaluation order.
+bool DiagnosticBefore(const Diagnostic& a, const Diagnostic& b);
+
+/// Sorts in place by DiagnosticBefore.
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics);
+
+/// Human-readable one-liner: "line L:C: severity CODE: message".
+std::string RenderDiagnosticText(const Diagnostic& d);
+
+/// Stable JSON rendering for CI: an object with a "diagnostics" array,
+/// each entry {"severity","code","line","col","message"} in
+/// DiagnosticBefore order, 2-space indented, trailing newline. Keys
+/// and entries are emitted deterministically — byte-identical across
+/// runs for identical input.
+std::string RenderDiagnosticsJson(std::vector<Diagnostic> diagnostics);
+
+}  // namespace xqb
+
+#endif  // XQB_ANALYSIS_DIAGNOSTICS_H_

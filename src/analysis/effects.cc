@@ -1,0 +1,614 @@
+#include "analysis/effects.h"
+
+#include <algorithm>
+
+namespace xqb {
+
+EffectSummary& EffectSummary::operator|=(const EffectSummary& other) {
+  reads.UnionWith(other.reads);
+  writes.UnionWith(other.writes);
+  has_update = has_update || other.has_update;
+  has_snap = has_snap || other.has_snap;
+  has_io = has_io || other.has_io;
+  has_nondet_snap = has_nondet_snap || other.has_nondet_snap;
+  has_default_snap = has_default_snap || other.has_default_snap;
+  return *this;
+}
+
+bool EffectSummary::operator==(const EffectSummary& other) const {
+  return reads == other.reads && writes == other.writes &&
+         has_update == other.has_update && has_snap == other.has_snap &&
+         has_io == other.has_io &&
+         has_nondet_snap == other.has_nondet_snap &&
+         has_default_snap == other.has_default_snap;
+}
+
+std::string EffectSummary::ToString() const {
+  std::string out = "reads=" + reads.ToString() +
+                    " writes=" + writes.ToString() + " flags=";
+  out += has_update ? "U" : "-";
+  out += has_snap ? "S" : "-";
+  out += has_io ? "I" : "-";
+  out += has_nondet_snap ? "N" : "-";
+  out += has_default_snap ? "D" : "-";
+  return out;
+}
+
+namespace {
+
+/// The name constraint a node test contributes to an abstract step
+/// (empty = wildcard: the test matches more than one name or a
+/// non-element kind we do not track by name).
+std::string TestName(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+    case NodeTest::Kind::kElement:
+    case NodeTest::Kind::kAttribute:
+      return test.name;
+    default:
+      return std::string();
+  }
+}
+
+/// Abstract transfer function of one path step over a value set.
+PathSet StepValue(const PathSet& input, Axis axis, const NodeTest& test) {
+  if (input.top()) return PathSet::Top();
+  PathSet out;
+  const std::string name = TestName(test);
+  for (const AccessPath& p : input.paths()) {
+    switch (axis) {
+      case Axis::kChild: {
+        PathStep s;
+        s.kind = PathStep::Kind::kChild;
+        s.name = name;
+        out.Add(p.Child(std::move(s)));
+        break;
+      }
+      case Axis::kAttribute: {
+        PathStep s;
+        s.kind = PathStep::Kind::kAttribute;
+        s.name = name;
+        out.Add(p.Child(std::move(s)));
+        break;
+      }
+      case Axis::kDescendantOrSelf:
+        out.Add(p);
+        [[fallthrough]];
+      case Axis::kDescendant: {
+        PathStep s;
+        s.kind = PathStep::Kind::kDescendant;
+        s.name = name;
+        out.Add(p.Child(std::move(s)));
+        break;
+      }
+      case Axis::kSelf:
+        out.Add(p);
+        break;
+      case Axis::kParent:
+        out.Add(p.Parent());
+        break;
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling: {
+        PathStep s;
+        s.kind = PathStep::Kind::kChild;
+        s.name = name;
+        out.Add(p.Parent().Child(std::move(s)));
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        // Reaches an unbounded prefix (or document-order span) of the
+        // containing tree; the bare root region covers all of it under
+        // subtree semantics.
+        out.Add(p.Root());
+        break;
+    }
+  }
+  return out;
+}
+
+/// Adds the parent regions of `targets` to `writes` — the truncation
+/// used for update operations whose applied effect is observable from
+/// the target's parent (delete/replace/rename change what the parent's
+/// children look like; before/after insert next to the target).
+void AddParentWrites(const PathSet& targets, PathSet* writes) {
+  if (targets.top()) {
+    writes->UnionWith(PathSet::Top());
+    return;
+  }
+  for (const AccessPath& p : targets.paths()) writes->Add(p.Parent());
+}
+
+std::string StripFnPrefix(const std::string& name) {
+  if (name.rfind("fn:", 0) == 0) return name.substr(3);
+  return name;
+}
+
+bool StartsWithLocal(const std::string& name) {
+  return name.rfind("local:", 0) == 0;
+}
+
+}  // namespace
+
+const EffectAnalysis::FnEntry* EffectAnalysis::LookupFunction(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) it = functions_.find("local:" + name);
+  if (it == functions_.end() && StartsWithLocal(name)) {
+    it = functions_.find(name.substr(6));
+  }
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+const EffectSummary* EffectAnalysis::FunctionSummary(
+    const std::string& name) const {
+  const FnEntry* entry = LookupFunction(name);
+  return entry == nullptr ? nullptr : &entry->summary;
+}
+
+namespace {
+
+/// Rebases kParam-rooted paths onto the call-site argument values;
+/// everything else passes through unchanged.
+PathSet SubstituteParams(const PathSet& in,
+                         const std::vector<std::string>& params,
+                         const std::vector<ExprEffects>& args) {
+  if (in.top()) return PathSet::Top();
+  PathSet out;
+  for (const AccessPath& p : in.paths()) {
+    if (p.root == AccessPath::RootKind::kParam) {
+      auto it = std::find(params.begin(), params.end(), p.root_name);
+      if (it != params.end()) {
+        size_t idx = static_cast<size_t>(it - params.begin());
+        if (idx < args.size()) {
+          const PathSet& base = args[idx].value;
+          if (base.top()) {
+            out.Add(AccessPath::Any());
+          } else {
+            for (const AccessPath& b : base.paths()) {
+              AccessPath rebased = b;
+              for (const PathStep& step : p.steps) {
+                rebased = rebased.Child(step);
+              }
+              out.Add(std::move(rebased));
+            }
+          }
+          continue;
+        }
+      }
+    }
+    out.Add(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+ExprEffects EffectAnalysis::AnalyzeBuiltin(
+    const Expr& expr, const PathEnv& env,
+    std::vector<ExprEffects> args) const {
+  ExprEffects out;
+  for (const ExprEffects& a : args) {
+    out.summary |= a.summary;
+    // Builtins consume their arguments (atomization or node
+    // inspection) and may return nodes drawn from them.
+    out.summary.reads.UnionWith(a.value);
+    out.value.UnionWith(a.value);
+  }
+  const std::string name = StripFnPrefix(expr.name);
+  if (name == "doc") {
+    if (expr.children.size() == 1 &&
+        expr.children[0]->kind == ExprKind::kStringLit) {
+      out.value = PathSet();
+      out.value.Add(AccessPath::Document(expr.children[0]->value_str));
+    } else {
+      // A computed document name can denote any registered tree.
+      out.value = PathSet::Top();
+    }
+  } else if (name == "root") {
+    PathSet roots;
+    if (args.empty()) {
+      auto it = env.find(".");
+      const PathSet ctx =
+          it != env.end() ? it->second : [] {
+            PathSet s;
+            s.Add(AccessPath::Context());
+            return s;
+          }();
+      if (ctx.top()) {
+        roots = PathSet::Top();
+      } else {
+        for (const AccessPath& p : ctx.paths()) roots.Add(p.Root());
+      }
+    } else if (out.value.top()) {
+      roots = PathSet::Top();
+    } else {
+      for (const AccessPath& p : out.value.paths()) roots.Add(p.Root());
+    }
+    out.value = std::move(roots);
+  } else if (name == "id") {
+    // fn:id jumps to arbitrary elements of the context document.
+    out.value = PathSet::Top();
+  } else if (name == "trace") {
+    out.summary.has_io = true;
+  }
+  return out;
+}
+
+ExprEffects EffectAnalysis::AnalyzeCall(const Expr& expr,
+                                        const PathEnv& env) const {
+  std::vector<ExprEffects> args;
+  args.reserve(expr.children.size());
+  for (const ExprPtr& child : expr.children) {
+    args.push_back(AnalyzeExpr(*child, env));
+  }
+  const FnEntry* fn = LookupFunction(expr.name);
+  if (fn == nullptr) return AnalyzeBuiltin(expr, env, std::move(args));
+  ExprEffects out;
+  for (const ExprEffects& a : args) out.summary |= a.summary;
+  out.summary.reads.UnionWith(
+      SubstituteParams(fn->summary.reads, fn->params, args));
+  out.summary.writes.UnionWith(
+      SubstituteParams(fn->summary.writes, fn->params, args));
+  out.summary.has_update |= fn->summary.has_update;
+  out.summary.has_snap |= fn->summary.has_snap;
+  out.summary.has_io |= fn->summary.has_io;
+  out.summary.has_nondet_snap |= fn->summary.has_nondet_snap;
+  out.summary.has_default_snap |= fn->summary.has_default_snap;
+  out.value = SubstituteParams(fn->value, fn->params, args);
+  return out;
+}
+
+ExprEffects EffectAnalysis::AnalyzeExpr(const Expr& expr,
+                                        const PathEnv& env) const {
+  ExprEffects out;
+  switch (expr.kind) {
+    case ExprKind::kIntegerLit:
+    case ExprKind::kDecimalLit:
+    case ExprKind::kStringLit:
+    case ExprKind::kEmptySeq:
+      break;
+
+    case ExprKind::kSequence:
+      for (const ExprPtr& child : expr.children) {
+        ExprEffects c = AnalyzeExpr(*child, env);
+        out.summary |= c.summary;
+        out.value.UnionWith(c.value);
+      }
+      break;
+
+    case ExprKind::kVarRef: {
+      auto it = env.find(expr.name);
+      if (it != env.end()) {
+        out.value = it->second;
+      } else {
+        out.value.Add(AccessPath::Variable(expr.name));
+      }
+      break;
+    }
+
+    case ExprKind::kContextItem: {
+      auto it = env.find(".");
+      if (it != env.end()) {
+        out.value = it->second;
+      } else {
+        out.value.Add(AccessPath::Context());
+      }
+      break;
+    }
+
+    case ExprKind::kPathRoot: {
+      auto it = env.find(".");
+      if (it != env.end() && !it->second.top()) {
+        for (const AccessPath& p : it->second.paths()) {
+          out.value.Add(p.Root());
+        }
+      } else if (it != env.end()) {
+        out.value = PathSet::Top();
+      } else {
+        out.value.Add(AccessPath::Context());
+      }
+      break;
+    }
+
+    case ExprKind::kFlwor: {
+      PathEnv scope = env;
+      for (const FlworClause& clause : expr.clauses) {
+        switch (clause.kind) {
+          case FlworClause::Kind::kFor: {
+            ExprEffects b = AnalyzeExpr(*clause.expr, scope);
+            out.summary |= b.summary;
+            // Iteration observes the binding sequence's cardinality
+            // and order.
+            out.summary.reads.UnionWith(b.value);
+            scope[clause.var] = b.value;
+            if (!clause.pos_var.empty()) scope[clause.pos_var] = PathSet();
+            break;
+          }
+          case FlworClause::Kind::kLet: {
+            ExprEffects b = AnalyzeExpr(*clause.expr, scope);
+            out.summary |= b.summary;
+            scope[clause.var] = b.value;
+            break;
+          }
+          case FlworClause::Kind::kWhere: {
+            ExprEffects b = AnalyzeExpr(*clause.expr, scope);
+            out.summary |= b.summary;
+            out.summary.reads.UnionWith(b.value);
+            break;
+          }
+          case FlworClause::Kind::kOrderBy: {
+            for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+              ExprEffects k = AnalyzeExpr(*spec.key, scope);
+              out.summary |= k.summary;
+              out.summary.reads.UnionWith(k.value);
+            }
+            break;
+          }
+        }
+      }
+      ExprEffects ret = AnalyzeExpr(*expr.children[0], scope);
+      out.summary |= ret.summary;
+      out.value = std::move(ret.value);
+      break;
+    }
+
+    case ExprKind::kQuantified: {
+      PathEnv scope = env;
+      for (const QuantBinding& binding : expr.quant_bindings) {
+        ExprEffects b = AnalyzeExpr(*binding.expr, scope);
+        out.summary |= b.summary;
+        out.summary.reads.UnionWith(b.value);
+        scope[binding.var] = b.value;
+      }
+      ExprEffects s = AnalyzeExpr(*expr.children[0], scope);
+      out.summary |= s.summary;
+      out.summary.reads.UnionWith(s.value);
+      break;
+    }
+
+    case ExprKind::kIf: {
+      ExprEffects cond = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= cond.summary;
+      out.summary.reads.UnionWith(cond.value);
+      ExprEffects then_e = AnalyzeExpr(*expr.children[1], env);
+      ExprEffects else_e = AnalyzeExpr(*expr.children[2], env);
+      out.summary |= then_e.summary;
+      out.summary |= else_e.summary;
+      out.value.UnionWith(then_e.value);
+      out.value.UnionWith(else_e.value);
+      break;
+    }
+
+    case ExprKind::kBinaryOp: {
+      ExprEffects lhs = AnalyzeExpr(*expr.children[0], env);
+      ExprEffects rhs = AnalyzeExpr(*expr.children[1], env);
+      out.summary |= lhs.summary;
+      out.summary |= rhs.summary;
+      const std::string& op = expr.op;
+      if (op == "|" || op == "union" || op == "intersect" ||
+          op == "except") {
+        // Node-set algebra: results are drawn from the operands by
+        // identity; no content is consumed.
+        out.value.UnionWith(lhs.value);
+        out.value.UnionWith(rhs.value);
+      } else {
+        out.summary.reads.UnionWith(lhs.value);
+        out.summary.reads.UnionWith(rhs.value);
+      }
+      break;
+    }
+
+    case ExprKind::kUnaryMinus:
+    case ExprKind::kUnaryPlus: {
+      ExprEffects c = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= c.summary;
+      out.summary.reads.UnionWith(c.value);
+      break;
+    }
+
+    case ExprKind::kStep:
+    case ExprKind::kFilter: {
+      ExprEffects input = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= input.summary;
+      out.value = expr.kind == ExprKind::kStep
+                      ? StepValue(input.value, expr.axis, expr.test)
+                      : input.value;
+      if (expr.children.size() > 1) {
+        PathEnv scope = env;
+        scope["."] = out.value;
+        for (size_t i = 1; i < expr.children.size(); ++i) {
+          ExprEffects pred = AnalyzeExpr(*expr.children[i], scope);
+          out.summary |= pred.summary;
+          // Effective boolean value of the predicate is consumed.
+          out.summary.reads.UnionWith(pred.value);
+        }
+      }
+      break;
+    }
+
+    case ExprKind::kFunctionCall:
+      out = AnalyzeCall(expr, env);
+      break;
+
+    case ExprKind::kElementCtor:
+    case ExprKind::kAttributeCtor:
+    case ExprKind::kTextCtor:
+    case ExprKind::kCommentCtor:
+    case ExprKind::kDocumentCtor:
+      for (const ExprPtr& child : expr.children) {
+        ExprEffects c = AnalyzeExpr(*child, env);
+        out.summary |= c.summary;
+        // Content is deep-copied into the new node.
+        out.summary.reads.UnionWith(c.value);
+      }
+      out.value.Add(AccessPath::Local());
+      break;
+
+    case ExprKind::kInstanceOf:
+    case ExprKind::kCastableAs:
+    case ExprKind::kCastAs: {
+      ExprEffects c = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= c.summary;
+      out.summary.reads.UnionWith(c.value);
+      break;
+    }
+
+    case ExprKind::kTreatAs: {
+      ExprEffects c = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= c.summary;
+      out.value = std::move(c.value);
+      break;
+    }
+
+    case ExprKind::kTypeswitch: {
+      ExprEffects input = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= input.summary;
+      out.summary.reads.UnionWith(input.value);
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        PathEnv scope = env;
+        const TypeswitchCase& ts_case = expr.ts_cases[i - 1];
+        if (!ts_case.var.empty()) scope[ts_case.var] = input.value;
+        ExprEffects body = AnalyzeExpr(*expr.children[i], scope);
+        out.summary |= body.summary;
+        out.value.UnionWith(body.value);
+      }
+      break;
+    }
+
+    case ExprKind::kInsert: {
+      ExprEffects source = AnalyzeExpr(*expr.children[0], env);
+      ExprEffects target = AnalyzeExpr(*expr.children[1], env);
+      out.summary |= source.summary;
+      out.summary |= target.summary;
+      out.summary.reads.UnionWith(source.value);
+      out.summary.reads.UnionWith(target.value);
+      out.summary.has_update = true;
+      if (expr.insert_pos == InsertPos::kBefore ||
+          expr.insert_pos == InsertPos::kAfter) {
+        AddParentWrites(target.value, &out.summary.writes);
+      } else {
+        // into / as first into / as last into: new children appear
+        // under the target itself.
+        out.summary.writes.UnionWith(target.value);
+      }
+      break;
+    }
+
+    case ExprKind::kDelete: {
+      ExprEffects target = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= target.summary;
+      out.summary.reads.UnionWith(target.value);
+      out.summary.has_update = true;
+      AddParentWrites(target.value, &out.summary.writes);
+      break;
+    }
+
+    case ExprKind::kReplace:
+    case ExprKind::kRename: {
+      ExprEffects target = AnalyzeExpr(*expr.children[0], env);
+      ExprEffects other = AnalyzeExpr(*expr.children[1], env);
+      out.summary |= target.summary;
+      out.summary |= other.summary;
+      out.summary.reads.UnionWith(target.value);
+      out.summary.reads.UnionWith(other.value);
+      out.summary.has_update = true;
+      // Replace may substitute differently-named nodes and rename
+      // changes what name tests on the parent's children select, so
+      // both write the parent region.
+      AddParentWrites(target.value, &out.summary.writes);
+      break;
+    }
+
+    case ExprKind::kCopy: {
+      ExprEffects c = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= c.summary;
+      out.summary.reads.UnionWith(c.value);
+      out.value.Add(AccessPath::Local());
+      break;
+    }
+
+    case ExprKind::kSnap: {
+      ExprEffects body = AnalyzeExpr(*expr.children[0], env);
+      out.summary |= body.summary;
+      // The snap applies its scope's pending updates: the expression
+      // itself emits no Δ (the flag is absorbed) but the write regions
+      // become real store mutations, so they stay in the summary.
+      out.summary.has_update = false;
+      out.summary.has_snap = true;
+      if (expr.snap_mode == SnapMode::kNondeterministic) {
+        out.summary.has_nondet_snap = true;
+      } else if (expr.snap_mode == SnapMode::kDefault) {
+        out.summary.has_default_snap = true;
+      }
+      out.value = std::move(body.value);
+      break;
+    }
+  }
+  return out;
+}
+
+EffectSummary EffectAnalysis::Summarize(const Expr& expr) const {
+  return Summarize(expr, PathEnv());
+}
+
+EffectSummary EffectAnalysis::Summarize(const Expr& expr,
+                                        const PathEnv& env) const {
+  return AnalyzeExpr(expr, env).summary;
+}
+
+PathSet EffectAnalysis::ValuePaths(const Expr& expr,
+                                   const PathEnv& env) const {
+  return AnalyzeExpr(expr, env).value;
+}
+
+void EffectAnalysis::AnalyzeProgram(const Program& program) {
+  functions_.clear();
+  for (const FunctionDecl& f : program.functions) {
+    FnEntry entry;
+    entry.params = f.params;
+    entry.body = f.body.get();
+    functions_[f.name] = std::move(entry);
+  }
+  // Chaotic iteration to a fixpoint. The lattice is finite (path
+  // length and set size are capped), so this terminates; the iteration
+  // cap is a safety net that widens to ⊤ rather than looping.
+  const size_t max_iters = 32 + 16 * program.functions.size();
+  bool changed = true;
+  size_t iters = 0;
+  while (changed && iters++ < max_iters) {
+    changed = false;
+    for (const FunctionDecl& f : program.functions) {
+      FnEntry& entry = functions_[f.name];
+      if (entry.body == nullptr) continue;
+      PathEnv env;
+      for (const std::string& param : entry.params) {
+        PathSet p;
+        p.Add(AccessPath::Param(param));
+        env[param] = std::move(p);
+      }
+      ExprEffects result = AnalyzeExpr(*entry.body, env);
+      if (!(result.summary == entry.summary) ||
+          !(result.value == entry.value)) {
+        entry.summary = std::move(result.summary);
+        entry.value = std::move(result.value);
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    // Did not converge within the cap (should be unreachable): widen
+    // every path component to ⊤. The boolean flags converge within
+    // the cap on any call graph (they only ever flip false→true).
+    for (auto& [name, entry] : functions_) {
+      (void)name;
+      entry.summary.reads = PathSet::Top();
+      entry.summary.writes = PathSet::Top();
+      entry.value = PathSet::Top();
+    }
+  }
+}
+
+}  // namespace xqb

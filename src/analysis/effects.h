@@ -1,0 +1,108 @@
+#ifndef XQB_ANALYSIS_EFFECTS_H_
+#define XQB_ANALYSIS_EFFECTS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/access_path.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Path-level effect summary of one expression: which store regions it
+/// may read, which it may write, plus the boolean effect judgment of
+/// the paper's Section 4.2 (the PurityInfo flags are exactly the
+/// boolean projection of this summary — purity_test pins the
+/// equivalence).
+///
+/// `writes` contains the regions whose *applied* state the expression
+/// may change: targets of emitted update requests, whether or not a
+/// snap inside the expression applies them. `reads` contains regions
+/// whose content the expression consumes (atomization, comparison,
+/// constructor content, cardinality of iterated sequences). The
+/// expression's own result-value regions are NOT folded into `reads` —
+/// callers that hand the value to an unknown consumer must union in
+/// ValuePaths (the "boundary read").
+struct EffectSummary {
+  PathSet reads;
+  PathSet writes;
+  /// May emit update requests that are still pending at expression end
+  /// (a snap absorbs the flag but keeps the write paths).
+  bool has_update = false;
+  /// May evaluate a snap and thus mutate the store mid-evaluation.
+  bool has_snap = false;
+  /// May perform observable I/O (fn:trace).
+  bool has_io = false;
+  /// Contains a snap applied in explicit nondeterministic mode (its
+  /// apply order depends on the evaluator's seed state).
+  bool has_nondet_snap = false;
+  /// Contains a snap in default mode (the engine option decides the
+  /// order, so it is nondeterministic iff the option says so).
+  bool has_default_snap = false;
+
+  EffectSummary& operator|=(const EffectSummary& other);
+  bool operator==(const EffectSummary& other) const;
+
+  /// Deterministic rendering for tests: "reads=… writes=… flags=…".
+  std::string ToString() const;
+};
+
+/// Known value paths for in-scope variables ("." is the context item).
+/// Free variables absent from the env summarize as kVariable roots.
+using PathEnv = std::map<std::string, PathSet>;
+
+/// Effect summary plus the expression's own result-value paths.
+struct ExprEffects {
+  EffectSummary summary;
+  PathSet value;
+};
+
+/// Interprocedural access-path effect analysis: per-function summaries
+/// computed to a fixpoint over the call graph (finite lattice — path
+/// length and set size are capped with ⊤ widening — so the iteration
+/// terminates; a safety cap widens everything to ⊤ if it somehow does
+/// not converge). Function parameters are analyzed as kParam
+/// placeholder roots and substituted with the argument paths at each
+/// call site, so `declare function f($x) { delete nodes $x/a }` called
+/// as `f(doc("d")/b)` writes doc(d)/b — not ⊤.
+class EffectAnalysis {
+ public:
+  /// Computes function summaries for `program`. Must be called before
+  /// summarizing expressions that contain calls to declared functions.
+  void AnalyzeProgram(const Program& program);
+
+  /// Full summary + value paths of `expr` under `env`.
+  ExprEffects AnalyzeExpr(const Expr& expr, const PathEnv& env) const;
+
+  EffectSummary Summarize(const Expr& expr) const;
+  EffectSummary Summarize(const Expr& expr, const PathEnv& env) const;
+
+  /// The store regions the expression's result may denote.
+  PathSet ValuePaths(const Expr& expr, const PathEnv& env) const;
+
+  /// Declared-function summary with kParam placeholders unsubstituted;
+  /// accepts the same "f" / "local:f" aliasing the evaluator resolves.
+  /// Returns nullptr for unknown (builtin) names.
+  const EffectSummary* FunctionSummary(const std::string& name) const;
+
+ private:
+  struct FnEntry {
+    std::vector<std::string> params;
+    EffectSummary summary;
+    PathSet value;
+    const Expr* body = nullptr;
+  };
+
+  const FnEntry* LookupFunction(const std::string& name) const;
+  ExprEffects AnalyzeCall(const Expr& expr, const PathEnv& env) const;
+  ExprEffects AnalyzeBuiltin(const Expr& expr, const PathEnv& env,
+                             std::vector<ExprEffects> args) const;
+
+  std::unordered_map<std::string, FnEntry> functions_;
+};
+
+}  // namespace xqb
+
+#endif  // XQB_ANALYSIS_EFFECTS_H_

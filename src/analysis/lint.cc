@@ -1,0 +1,505 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xqb {
+
+namespace {
+
+bool IsUpdateKind(ExprKind kind) {
+  return kind == ExprKind::kInsert || kind == ExprKind::kDelete ||
+         kind == ExprKind::kReplace || kind == ExprKind::kRename;
+}
+
+const char* UpdateKindName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kInsert: return "insert";
+    case ExprKind::kDelete: return "delete";
+    case ExprKind::kReplace: return "replace";
+    case ExprKind::kRename: return "rename";
+    default: return "update";
+  }
+}
+
+/// Applies `fn` to every direct subexpression (children, clause exprs,
+/// order keys, quantifier bindings).
+template <typename Fn>
+void ForEachChild(const Expr& e, Fn fn) {
+  for (const ExprPtr& child : e.children) fn(*child);
+  for (const FlworClause& clause : e.clauses) {
+    if (clause.expr) fn(*clause.expr);
+    for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+      fn(*spec.key);
+    }
+  }
+  for (const QuantBinding& binding : e.quant_bindings) fn(*binding.expr);
+}
+
+/// Best-effort source location: the node's own, else the first located
+/// descendant (normalization synthesizes nodes with line 0).
+void LocOf(const Expr& e, int* line, int* col) {
+  if (e.line > 0) {
+    *line = e.line;
+    *col = e.col;
+    return;
+  }
+  *line = 0;
+  *col = 0;
+  int found_line = 0;
+  int found_col = 0;
+  ForEachChild(e, [&](const Expr& child) {
+    if (found_line == 0) {
+      int l = 0;
+      int c = 0;
+      LocOf(child, &l, &c);
+      if (l > 0) {
+        found_line = l;
+        found_col = c;
+      }
+    }
+  });
+  *line = found_line;
+  *col = found_col;
+}
+
+std::string LocalName(const std::string& name) {
+  if (name.rfind("local:", 0) == 0) return name.substr(6);
+  return name;
+}
+
+bool Suppressed(const std::string& name) {
+  const std::string local = LocalName(name);
+  return !local.empty() && local[0] == '_';
+}
+
+/// True when every path in `set` is a concrete document-rooted path:
+/// kDocument root and only child/attribute steps with explicit names.
+/// Such a target denotes one statically known region, so two
+/// conflicting operations on the same rendering certainly collide.
+bool IsCertainTarget(const PathSet& set) {
+  if (set.top() || set.paths().size() != 1) return false;
+  const AccessPath& p = set.paths()[0];
+  if (p.root != AccessPath::RootKind::kDocument) return false;
+  for (const PathStep& step : p.steps) {
+    if (step.kind == PathStep::Kind::kDescendant || step.name.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Linter {
+ public:
+  Linter(const Program& program, const EffectAnalysis& effects,
+         const LintOptions& options)
+      : program_(program), effects_(effects), options_(options) {}
+
+  std::vector<Diagnostic> Run() {
+    RuleOutsideSnap();
+    RuleDeadSnapAndConflicts();
+    RuleSiblingOrder();
+    RuleUnused();
+    SortDiagnostics(&diags_);
+    diags_.erase(std::unique(diags_.begin(), diags_.end(),
+                             [](const Diagnostic& a, const Diagnostic& b) {
+                               return a.code == b.code && a.line == b.line &&
+                                      a.col == b.col &&
+                                      a.message == b.message;
+                             }),
+                 diags_.end());
+    return std::move(diags_);
+  }
+
+ private:
+  void Emit(const std::string& code, const Expr& at, std::string message) {
+    if (options_.disabled.count(code)) return;
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.code = code;
+    LocOf(at, &d.line, &d.col);
+    d.message = std::move(message);
+    diags_.push_back(std::move(d));
+  }
+
+  const FunctionDecl* ResolveFunction(const std::string& name) const {
+    for (const FunctionDecl& f : program_.functions) {
+      if (f.name == name || f.name == "local:" + name ||
+          "local:" + f.name == name) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
+  // ---- XQL001: update emitted outside any snap ----
+
+  void RuleOutsideSnap() {
+    std::unordered_set<const FunctionDecl*> outside;
+    std::deque<const FunctionDecl*> worklist;
+    auto scan_root = [&](const Expr& e) {
+      ScanOutsideSnap(e, &outside, &worklist);
+    };
+    for (const VarDecl& var : program_.variables) {
+      if (var.init) scan_root(*var.init);
+    }
+    if (program_.body) scan_root(*program_.body);
+    while (!worklist.empty()) {
+      const FunctionDecl* f = worklist.front();
+      worklist.pop_front();
+      if (f->body) ScanOutsideSnap(*f->body, &outside, &worklist);
+    }
+  }
+
+  void ScanOutsideSnap(const Expr& e,
+                       std::unordered_set<const FunctionDecl*>* outside,
+                       std::deque<const FunctionDecl*>* worklist) {
+    if (e.kind == ExprKind::kSnap) return;  // everything below is applied
+    if (IsUpdateKind(e.kind) && reported001_.insert(&e).second) {
+      Emit("XQL001", e,
+           std::string(UpdateKindName(e.kind)) +
+               " is not inside any snap scope; its application is "
+               "deferred to the implicit top-level snap (under strict "
+               "XQuery! semantics it would never be applied)");
+    }
+    if (e.kind == ExprKind::kFunctionCall) {
+      const FunctionDecl* f = ResolveFunction(e.name);
+      if (f != nullptr && outside->insert(f).second) {
+        worklist->push_back(f);
+      }
+    }
+    ForEachChild(e, [&](const Expr& child) {
+      ScanOutsideSnap(child, outside, worklist);
+    });
+  }
+
+  // ---- XQL002 + XQL004: per-snap rules ----
+
+  void RuleDeadSnapAndConflicts() {
+    auto scan = [&](const Expr& e) { ScanSnaps(e); };
+    for (const VarDecl& var : program_.variables) {
+      if (var.init) scan(*var.init);
+    }
+    for (const FunctionDecl& f : program_.functions) {
+      if (f.body) scan(*f.body);
+    }
+    if (program_.body) scan(*program_.body);
+  }
+
+  void ScanSnaps(const Expr& e) {
+    if (e.kind == ExprKind::kSnap) {
+      const Expr& body = *e.children[0];
+      EffectSummary summary = effects_.Summarize(body);
+      if (!summary.has_update) {
+        Emit("XQL002", e,
+             "dead snap: its body cannot emit update requests, so the "
+             "snap applies nothing");
+      }
+      CheckSnapConflicts(body);
+    }
+    ForEachChild(e, [&](const Expr& child) { ScanSnaps(child); });
+  }
+
+  struct SnapOp {
+    const Expr* expr;
+    std::string target;  // certain-path rendering
+  };
+
+  void CheckSnapConflicts(const Expr& body) {
+    std::vector<SnapOp> ops;
+    CollectSnapOps(body, &ops);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      for (size_t j = i + 1; j < ops.size(); ++j) {
+        if (ops[i].target != ops[j].target) continue;
+        if (!ConflictingPair(ops[i].expr->kind, ops[j].expr->kind)) {
+          continue;
+        }
+        int line = 0;
+        int col = 0;
+        LocOf(*ops[i].expr, &line, &col);
+        Emit("XQL004", *ops[j].expr,
+             std::string("apply-time conflict: ") +
+                 UpdateKindName(ops[j].expr->kind) + " and " +
+                 UpdateKindName(ops[i].expr->kind) + " (line " +
+                 std::to_string(line) + ":" + std::to_string(col) +
+                 ") both target " + ops[i].target +
+                 "; a snap in conflict-detection mode fails on this");
+      }
+    }
+  }
+
+  static bool ConflictingPair(ExprKind a, ExprKind b) {
+    auto is_pair = [](ExprKind x, ExprKind y, ExprKind a2, ExprKind b2) {
+      return (x == a2 && y == b2) || (x == b2 && y == a2);
+    };
+    if (a == ExprKind::kRename && b == ExprKind::kRename) return true;
+    if (a == ExprKind::kReplace && b == ExprKind::kReplace) return true;
+    if (is_pair(a, b, ExprKind::kDelete, ExprKind::kDelete)) return true;
+    if (is_pair(a, b, ExprKind::kDelete, ExprKind::kRename)) return true;
+    if (is_pair(a, b, ExprKind::kDelete, ExprKind::kReplace)) return true;
+    return false;
+  }
+
+  void CollectSnapOps(const Expr& e, std::vector<SnapOp>* ops) {
+    if (e.kind == ExprKind::kSnap) return;  // nested scope, own check
+    if (IsUpdateKind(e.kind)) {
+      const Expr& target = e.kind == ExprKind::kInsert ? *e.children[1]
+                                                       : *e.children[0];
+      PathSet paths = effects_.ValuePaths(target, PathEnv());
+      if (IsCertainTarget(paths)) {
+        ops->push_back(SnapOp{&e, paths.paths()[0].ToString()});
+      }
+    }
+    ForEachChild(e, [&](const Expr& child) { CollectSnapOps(child, ops); });
+  }
+
+  // ---- XQL003: order-dependent sibling effects ----
+
+  void RuleSiblingOrder() {
+    auto scan = [&](const Expr& e) { ScanSiblings(e); };
+    for (const VarDecl& var : program_.variables) {
+      if (var.init) scan(*var.init);
+    }
+    for (const FunctionDecl& f : program_.functions) {
+      if (f.body) scan(*f.body);
+    }
+    if (program_.body) scan(*program_.body);
+  }
+
+  void ScanSiblings(const Expr& e) {
+    if (e.kind == ExprKind::kSequence && e.children.size() > 1) {
+      std::vector<const Expr*> sibs;
+      sibs.reserve(e.children.size());
+      for (const ExprPtr& child : e.children) sibs.push_back(child.get());
+      CheckSiblingPairs(sibs);
+    } else if (e.kind == ExprKind::kFlwor) {
+      std::vector<const Expr*> sibs;
+      for (const FlworClause& clause : e.clauses) {
+        if (clause.expr) sibs.push_back(clause.expr.get());
+        for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+          sibs.push_back(spec.key.get());
+        }
+      }
+      sibs.push_back(e.children[0].get());
+      if (sibs.size() > 1) CheckSiblingPairs(sibs);
+    }
+    ForEachChild(e, [&](const Expr& child) { ScanSiblings(child); });
+  }
+
+  void CheckSiblingPairs(const std::vector<const Expr*>& sibs) {
+    std::vector<ExprEffects> fx;
+    fx.reserve(sibs.size());
+    bool any_snap = false;
+    for (const Expr* s : sibs) {
+      fx.push_back(effects_.AnalyzeExpr(*s, PathEnv()));
+      any_snap = any_snap || fx.back().summary.has_snap;
+    }
+    if (!any_snap) return;  // pending-only effects apply in Δ order
+    for (size_t i = 0; i < sibs.size(); ++i) {
+      for (size_t j = i + 1; j < sibs.size(); ++j) {
+        const EffectSummary& a = fx[i].summary;
+        const EffectSummary& b = fx[j].summary;
+        PathSet a_touch = a.reads;
+        a_touch.UnionWith(fx[i].value);
+        PathSet b_touch = b.reads;
+        b_touch.UnionWith(fx[j].value);
+        const bool conflict =
+            (a.has_snap && a.writes.MayOverlap(b_touch)) ||
+            (b.has_snap && b.writes.MayOverlap(a_touch)) ||
+            ((a.has_snap || b.has_snap) && a.writes.MayOverlap(b.writes));
+        if (!conflict) continue;
+        int line = 0;
+        int col = 0;
+        LocOf(*sibs[i], &line, &col);
+        Emit("XQL003", *sibs[j],
+             "order-dependent sibling effects: this expression and its "
+             "sibling (line " +
+                 std::to_string(line) + ":" + std::to_string(col) +
+                 ") touch overlapping store regions across a snap, so "
+                 "their evaluation order is observable");
+      }
+    }
+  }
+
+  // ---- XQL005: unused variables and functions ----
+
+  void RuleUnused() {
+    // Prolog variables: any reference anywhere counts as a use.
+    std::unordered_set<std::string> var_refs;
+    std::function<void(const Expr&)> collect = [&](const Expr& e) {
+      if (e.kind == ExprKind::kVarRef) var_refs.insert(e.name);
+      ForEachChild(e, collect);
+    };
+    for (const VarDecl& var : program_.variables) {
+      if (var.init) collect(*var.init);
+    }
+    for (const FunctionDecl& f : program_.functions) {
+      if (f.body) collect(*f.body);
+    }
+    if (program_.body) collect(*program_.body);
+    for (const VarDecl& var : program_.variables) {
+      if (var.external || Suppressed(var.name)) continue;
+      if (var_refs.count(var.name)) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.code = "XQL005";
+      d.line = var.line;
+      d.col = var.col;
+      d.message = "variable $" + var.name + " is declared but never used";
+      if (!options_.disabled.count("XQL005")) diags_.push_back(d);
+    }
+
+    // Functions: reachability from the body and variable initializers.
+    std::unordered_set<const FunctionDecl*> reachable;
+    std::deque<const FunctionDecl*> worklist;
+    std::function<void(const Expr&)> collect_calls = [&](const Expr& e) {
+      if (e.kind == ExprKind::kFunctionCall) {
+        const FunctionDecl* f = ResolveFunction(e.name);
+        if (f != nullptr && reachable.insert(f).second) {
+          worklist.push_back(f);
+        }
+      }
+      ForEachChild(e, collect_calls);
+    };
+    for (const VarDecl& var : program_.variables) {
+      if (var.init) collect_calls(*var.init);
+    }
+    if (program_.body) collect_calls(*program_.body);
+    while (!worklist.empty()) {
+      const FunctionDecl* f = worklist.front();
+      worklist.pop_front();
+      if (f->body) collect_calls(*f->body);
+    }
+    for (const FunctionDecl& f : program_.functions) {
+      if (Suppressed(f.name) || reachable.count(&f)) continue;
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.code = "XQL005";
+      d.line = f.line;
+      d.col = f.col;
+      d.message = "function " + f.name + " is declared but never called";
+      if (!options_.disabled.count("XQL005")) diags_.push_back(d);
+    }
+
+    // Local bindings, with proper scoping and shadowing.
+    for (const VarDecl& var : program_.variables) {
+      if (var.init) WalkScoped(*var.init);
+    }
+    for (const FunctionDecl& f : program_.functions) {
+      if (f.body) WalkScoped(*f.body);
+    }
+    if (program_.body) WalkScoped(*program_.body);
+  }
+
+  struct Binder {
+    std::string name;
+    int line = 0;
+    int col = 0;
+    int uses = 0;
+  };
+
+  void UseVar(const std::string& name) {
+    for (auto it = binders_.rbegin(); it != binders_.rend(); ++it) {
+      if (it->name == name) {
+        ++it->uses;
+        return;
+      }
+    }
+  }
+
+  void PopBinder() {
+    const Binder& b = binders_.back();
+    if (b.uses == 0 && !b.name.empty() && b.name[0] != '_' &&
+        !options_.disabled.count("XQL005")) {
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.code = "XQL005";
+      d.line = b.line;
+      d.col = b.col;
+      d.message = "variable $" + b.name + " is never used";
+      diags_.push_back(std::move(d));
+    }
+    binders_.pop_back();
+  }
+
+  void WalkScoped(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kFlwor: {
+        size_t pushed = 0;
+        for (const FlworClause& clause : e.clauses) {
+          if (clause.expr) WalkScoped(*clause.expr);
+          for (const FlworClause::OrderSpec& spec : clause.order_specs) {
+            WalkScoped(*spec.key);
+          }
+          if (clause.kind == FlworClause::Kind::kFor ||
+              clause.kind == FlworClause::Kind::kLet) {
+            binders_.push_back(
+                Binder{clause.var, clause.line, clause.col, 0});
+            ++pushed;
+            if (!clause.pos_var.empty()) {
+              binders_.push_back(
+                  Binder{clause.pos_var, clause.line, clause.col, 0});
+              ++pushed;
+            }
+          }
+        }
+        WalkScoped(*e.children[0]);
+        while (pushed-- > 0) PopBinder();
+        return;
+      }
+      case ExprKind::kQuantified: {
+        size_t pushed = 0;
+        for (const QuantBinding& binding : e.quant_bindings) {
+          WalkScoped(*binding.expr);
+          binders_.push_back(
+              Binder{binding.var, binding.line, binding.col, 0});
+          ++pushed;
+        }
+        WalkScoped(*e.children[0]);
+        while (pushed-- > 0) PopBinder();
+        return;
+      }
+      case ExprKind::kTypeswitch: {
+        WalkScoped(*e.children[0]);
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          const TypeswitchCase& ts_case = e.ts_cases[i - 1];
+          if (!ts_case.var.empty()) {
+            binders_.push_back(
+                Binder{ts_case.var, ts_case.line, ts_case.col, 0});
+            WalkScoped(*e.children[i]);
+            PopBinder();
+          } else {
+            WalkScoped(*e.children[i]);
+          }
+        }
+        return;
+      }
+      case ExprKind::kVarRef:
+        UseVar(e.name);
+        return;
+      default:
+        ForEachChild(e, [&](const Expr& child) { WalkScoped(child); });
+        return;
+    }
+  }
+
+  const Program& program_;
+  const EffectAnalysis& effects_;
+  const LintOptions& options_;
+  std::vector<Diagnostic> diags_;
+  std::vector<Binder> binders_;
+  std::unordered_set<const Expr*> reported001_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const EffectAnalysis& effects,
+                                    const LintOptions& options) {
+  return Linter(program, effects, options).Run();
+}
+
+}  // namespace xqb

@@ -1,0 +1,44 @@
+#ifndef XQB_ANALYSIS_LINT_H_
+#define XQB_ANALYSIS_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/effects.h"
+#include "frontend/ast.h"
+
+namespace xqb {
+
+/// Lint configuration. `disabled` holds rule codes (e.g. "XQL003") to
+/// suppress. Identifier-level suppression is by convention: variables
+/// and functions whose (local) name starts with '_' are never flagged
+/// by XQL005.
+struct LintOptions {
+  std::set<std::string> disabled;
+};
+
+/// Runs the effect-analysis lint rules over a *normalized* program:
+///
+///   XQL001  update emitted outside any snap scope (its application is
+///           deferred to the engine's implicit top-level snap — under
+///           the paper's strict semantics it would never be applied)
+///   XQL002  dead snap: the snap body cannot emit update requests
+///   XQL003  order-dependent sibling effects: a comma/FLWOR sibling
+///           containing a snap writes regions another sibling reads or
+///           writes
+///   XQL004  statically-certain apply-time conflict inside one snap
+///           (conflict-detection mode would reject it)
+///   XQL005  unused prolog variable/function or unused for/let/
+///           quantifier/typeswitch binding
+///
+/// `effects` must have AnalyzeProgram(program) already run. All
+/// diagnostics are warnings; the result is sorted by location.
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const EffectAnalysis& effects,
+                                    const LintOptions& options = {});
+
+}  // namespace xqb
+
+#endif  // XQB_ANALYSIS_LINT_H_

@@ -34,6 +34,7 @@ std::string ExecStats::Summary() const {
       << Ms(pool_idle_ns) << "ms\n";
   out << "rewrites: group-join=" << rw_group_joins << " hash-join="
       << rw_hash_joins << " select-pushdown=" << rw_selects_pushed
+      << " disjoint-wins=" << rw_disjoint_wins
       << "  path=" << (used_algebra ? "algebra" : "interpreter") << "\n";
   if (cache_hits != 0 || cache_misses != 0 || queue_wait_ns != 0) {
     out << "service: cache-hits=" << cache_hits << " cache-misses="
@@ -77,6 +78,7 @@ std::string ExecStats::ToJson() const {
   field("rw_group_joins", rw_group_joins);
   field("rw_hash_joins", rw_hash_joins);
   field("rw_selects_pushed", rw_selects_pushed);
+  field("rw_disjoint_wins", rw_disjoint_wins);
   field("cache_hits", cache_hits);
   field("cache_misses", cache_misses);
   field("cache_evictions", cache_evictions);

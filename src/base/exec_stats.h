@@ -57,6 +57,9 @@ struct ExecStats {
   int64_t rw_group_joins = 0;
   int64_t rw_hash_joins = 0;
   int64_t rw_selects_pushed = 0;
+  /// Group joins admitted only by write/read disjointness (snap-bearing
+  /// return expressions the boolean gate would reject).
+  int64_t rw_disjoint_wins = 0;
   bool used_algebra = false;
 
   // ---- Counters (collect_stats) ----

@@ -196,6 +196,69 @@ Result<PreparedQuery> Engine::Prepare(std::string_view query,
   return prepared;
 }
 
+std::vector<Diagnostic> Engine::Lint(const PreparedQuery& prepared,
+                                     const LintOptions& options) const {
+  // A PreparedQuery is already past static checking, so only the lint
+  // rules can fire. The effect analysis is recomputed here rather than
+  // carried on the PreparedQuery: linting is a development-time path,
+  // not a per-run one.
+  EffectAnalysis effects;
+  effects.AnalyzeProgram(prepared.program);
+  return LintProgram(prepared.program, effects, options);
+}
+
+std::vector<Diagnostic> Engine::LintQuery(std::string_view query,
+                                          const ExecLimits& limits,
+                                          const LintOptions& options) const {
+  std::vector<Diagnostic> diags;
+  Result<Program> parsed = ParseProgram(query, limits);
+  if (!parsed.ok()) {
+    // Parse errors are formatted "line L:C: <what>" by the front end;
+    // recover the location so the diagnostic stays machine-readable.
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.code = "XPST0003";
+    d.line = 0;
+    d.col = 0;
+    d.message = parsed.status().message();
+    int line = 0;
+    int col = 0;
+    char c = '\0';
+    std::istringstream in(d.message);
+    std::string word;
+    if (in >> word && word == "line" && in >> line >> c >> col &&
+        c == ':') {
+      d.line = line;
+      d.col = col;
+      // Drop the "line L:C: " prefix (the first ": " follows the col;
+      // "1:5" itself never matches because it lacks the space).
+      std::string::size_type at = d.message.find(": ");
+      if (at != std::string::npos) d.message = d.message.substr(at + 2);
+    }
+    diags.push_back(std::move(d));
+    return diags;
+  }
+  Program program = std::move(parsed).value();
+  NormalizeProgram(&program);
+  std::set<std::string> engine_variables;
+  for (const auto& [name, value] : variables_) {
+    (void)value;
+    engine_variables.insert(name);
+  }
+  diags = StaticCheckDiagnostics(program, engine_variables);
+  PurityAnalysis purity;
+  purity.AnalyzeProgram(&program);
+  for (Diagnostic& d : purity.UpdatingDeclarationDiagnostics(program)) {
+    diags.push_back(std::move(d));
+  }
+  for (Diagnostic& d :
+       LintProgram(program, purity.effects(), options)) {
+    diags.push_back(std::move(d));
+  }
+  SortDiagnostics(&diags);
+  return diags;
+}
+
 uint64_t Engine::StaticContextFingerprint() const {
   // FNV-1a over the sorted bound-variable names. Documents and values
   // are irrelevant: Prepare's static check only resolves names.
@@ -351,6 +414,7 @@ Result<Sequence> Engine::Run(const PreparedQuery& prepared,
         stats->rw_group_joins = rewrites.group_joins;
         stats->rw_hash_joins = rewrites.hash_joins;
         stats->rw_selects_pushed = rewrites.selects_pushed;
+        stats->rw_disjoint_wins = rewrites.disjoint_widened;
       }
       if (plan_out != nullptr) {
         *plan_out = "Snap {\n" + plan->DebugString(1) + "}";

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "algebra/rewrite.h"
+#include "analysis/lint.h"
 #include "base/exec_stats.h"
 #include "base/limits.h"
 #include "base/result.h"
@@ -40,8 +41,10 @@ struct ExecOptions {
   /// side and Cancel() from any thread to make the run return
   /// StatusCode::kCancelled.
   CancellationTokenPtr cancellation;
-  /// Worker threads for parallel evaluation of effect-free snap scopes
-  /// (results and Δ-order stay bit-identical to serial). 0 = auto: the
+  /// Worker threads for parallel evaluation of effect-free iteration
+  /// bodies — including snap scopes whose writes provably stay on
+  /// locally constructed nodes (results and Δ-order stay bit-identical
+  /// to serial). 0 = auto: the
   /// XQB_THREADS environment variable if set, else hardware_concurrency.
   /// 1 forces serial evaluation; N > 1 caps each region's concurrency.
   int threads = 0;
@@ -153,6 +156,22 @@ class Engine {
   /// expression nesting-depth cap (ExecLimits::max_expr_nesting).
   Result<PreparedQuery> Prepare(std::string_view query,
                                 const ExecLimits& limits = {}) const;
+
+  /// Runs the effect-analysis lint rules (XQL001–XQL005, see
+  /// src/analysis/lint.h and docs/ANALYSIS.md) over an already
+  /// prepared query. Prepared queries are past static checking, so the
+  /// result contains only lint findings.
+  std::vector<Diagnostic> Lint(const PreparedQuery& prepared,
+                               const LintOptions& options = {}) const;
+
+  /// Lints raw query text without requiring it to prepare cleanly:
+  /// parse failures surface as one XPST0003 diagnostic, then all
+  /// static-check errors (XPST0008/XPST0017), updating-declaration
+  /// errors (XUST0001) and the XQL rules are collected together.
+  /// Sorted by location; never fails.
+  std::vector<Diagnostic> LintQuery(std::string_view query,
+                                    const ExecLimits& limits = {},
+                                    const LintOptions& options = {}) const;
 
   /// One-shot execute: Prepare + Run.
   Result<Sequence> Execute(std::string_view query,

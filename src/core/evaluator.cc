@@ -456,6 +456,25 @@ bool Evaluator::CanEvalParallel(const Expr& expr) {
   // requests is fine — they are captured per iteration and spliced back
   // in iteration order.
   bool ok = purity_->Analyze(expr).parallel_safe();
+  if (!ok) {
+    // Widened gate (path-level effects): a snap whose write set is
+    // entirely kLocal mutates only nodes the iteration itself
+    // constructed — thread-confined fresh trees, which the Store's
+    // thread-safety contract explicitly permits workers to mutate.
+    // Remaining exclusions: observable I/O (interleaving), any
+    // nondeterministic apply order (worker-local snap counters would
+    // make seeds schedule-dependent), a durable delta sink (commits
+    // must stay coordinator-ordered), and a ⊤ read set (a builtin
+    // whose read footprint we cannot bound, e.g. fn:id's lazily
+    // rebuilt index).
+    const EffectSummary sum = purity_->effects().Summarize(expr);
+    const bool nondet =
+        sum.has_nondet_snap ||
+        (sum.has_default_snap &&
+         options_.default_snap_mode == ApplyMode::kNondeterministic);
+    ok = !sum.has_io && !nondet && sum.writes.AllLocal() &&
+         !sum.reads.top() && options_.delta_sink == nullptr;
+  }
   parallel_ok_.emplace(&expr, ok);
   return ok;
 }
@@ -486,6 +505,10 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
     Status status;  // Per-iteration error, if any.
     Sequence value;
     UpdateList delta;
+    // Snaps the iteration applied itself (the widened local-write gate
+    // lets snap scopes run on workers), for in-order counter folding.
+    int64_t snaps_applied = 0;
+    int64_t updates_applied = 0;
   };
   std::vector<IterationResult> results(static_cast<size_t>(n));
 
@@ -510,10 +533,14 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
     // of the iteration (pool threads are shared across concurrent runs).
     Store::AllocationGauge* prev =
         Store::ExchangeThreadGauge(ev.guard_->gauge());
+    const int64_t snaps_before = ev.snaps_applied_;
+    const int64_t updates_before = ev.updates_applied_;
     Result<Sequence> r = ev.Eval(expr, rows[static_cast<size_t>(i)]);
     Store::ExchangeThreadGauge(prev);
     IterationResult& out = results[static_cast<size_t>(i)];
     out.delta = ev.TakeTopDelta();
+    out.snaps_applied = ev.snaps_applied_ - snaps_before;
+    out.updates_applied = ev.updates_applied_ - updates_before;
     if (r.ok()) {
       out.value = std::move(r).value();
     } else {
@@ -560,6 +587,11 @@ Result<Sequence> Evaluator::EvalMapParallel(const Expr& expr,
     if (stats != nullptr) {
       stats->updates_emitted += static_cast<int64_t>(result.delta.size());
     }
+    // Worker-applied snaps (widened gate) fold in iteration order up to
+    // the first failure, so snaps_applied()/updates_applied() match the
+    // serial loop, which stops there, at every thread count.
+    snaps_applied_ += result.snaps_applied;
+    updates_applied_ += result.updates_applied;
     snap_stack_.back() = UpdateList::Concat(std::move(snap_stack_.back()),
                                             std::move(result.delta));
     if (!result.status.ok()) return result.status;

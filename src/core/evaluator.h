@@ -58,8 +58,10 @@ struct EvaluatorOptions {
   /// (snap closes and the implicit top-level snap). Null disables
   /// durability. Must be thread-safe if parallel evaluation is on
   /// (DurabilityManager is). Worker clones inherit it, but applies
-  /// only happen on the coordinating thread — effect-free scopes defer
-  /// their updates past the join.
+  /// only happen on the coordinating thread: effect-free scopes defer
+  /// their updates past the join, and the widened local-write snap
+  /// gate (CanEvalParallel) is disabled whenever a sink is attached so
+  /// the durable log keeps the coordinator's ordering.
   DeltaSink* delta_sink = nullptr;
 };
 
@@ -149,8 +151,12 @@ class Evaluator {
   /// True when evaluations of `expr` may be fanned out over the worker
   /// pool: this evaluator runs with threads > 1 and the purity analysis
   /// proves the expression free of snap and I/O (emitting updates is
-  /// fine — deltas are captured per iteration). Verdicts are memoized
-  /// per expression node.
+  /// fine — deltas are captured per iteration). The path-level effect
+  /// analysis widens the snap exclusion: a snap whose write set is
+  /// entirely local (only nodes the iteration itself constructs, the
+  /// copy-transform pattern) is admitted too, provided the apply order
+  /// is deterministic, no delta sink is attached, and the read set is
+  /// bounded. Verdicts are memoized per expression node.
   bool CanEvalParallel(const Expr& expr);
 
   /// Evaluates `expr` once per row concurrently, concatenating results

@@ -5,11 +5,18 @@
 namespace xqb {
 
 PurityInfo PurityAnalysis::FunctionInfo(const std::string& name) const {
+  // Accept the same "f" / "local:f" aliasing the evaluator resolves, so
+  // an aliased call to an updating function is not misread as a pure
+  // builtin.
   auto it = functions_.find(name);
+  if (it == functions_.end()) it = functions_.find("local:" + name);
+  if (it == functions_.end() && name.rfind("local:", 0) == 0) {
+    it = functions_.find(name.substr(6));
+  }
   if (it != functions_.end()) return it->second;
   PurityInfo info;
   // Builtins are pure with one exception: fn:trace logs to stderr.
-  if (name == "trace") info.has_io = true;
+  if (name == "trace" || name == "fn:trace") info.has_io = true;
   return info;
 }
 
@@ -74,10 +81,12 @@ void PurityAnalysis::ComputeFixpoint(const Program& program) {
 
 void PurityAnalysis::AnalyzeFunctions(const Program& program) {
   ComputeFixpoint(program);
+  effects_.AnalyzeProgram(program);
 }
 
 void PurityAnalysis::AnalyzeProgram(Program* program) {
   ComputeFixpoint(*program);
+  effects_.AnalyzeProgram(*program);
   for (FunctionDecl& f : program->functions) {
     const PurityInfo& info = functions_[f.name];
     f.may_update = info.has_update;
@@ -85,29 +94,47 @@ void PurityAnalysis::AnalyzeProgram(Program* program) {
   }
 }
 
-Status PurityAnalysis::CheckUpdatingDeclarations(
+std::vector<Diagnostic> PurityAnalysis::UpdatingDeclarationDiagnostics(
     const Program& program) const {
+  std::vector<Diagnostic> diags;
   bool opted_in = false;
   for (const FunctionDecl& f : program.functions) {
     opted_in = opted_in || f.declared_updating;
   }
-  if (!opted_in) return Status::OK();
+  if (!opted_in) return diags;
   for (const FunctionDecl& f : program.functions) {
     const bool effectful = f.may_update || f.may_snap;
+    std::string message;
     if (effectful && !f.declared_updating) {
-      return Status::StaticError(
-          "function " + f.name +
-          " has side effects but is not declared updating (declare "
-          "updating function " +
-          f.name + ")");
+      message = "function " + f.name +
+                " has side effects but is not declared updating (declare "
+                "updating function " +
+                f.name + ")";
+    } else if (!effectful && f.declared_updating) {
+      message = "function " + f.name +
+                " is declared updating but its body has no side effects";
+    } else {
+      continue;
     }
-    if (!effectful && f.declared_updating) {
-      return Status::StaticError("function " + f.name +
-                                 " is declared updating but its body has "
-                                 "no side effects");
-    }
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.code = "XUST0001";
+    d.line = f.line;
+    d.col = f.col;
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
   }
-  return Status::OK();
+  return diags;
+}
+
+Status PurityAnalysis::CheckUpdatingDeclarations(
+    const Program& program) const {
+  std::vector<Diagnostic> diags = UpdatingDeclarationDiagnostics(program);
+  if (diags.empty()) return Status::OK();
+  const Diagnostic& first = diags.front();
+  return Status::StaticError(first.message + " (line " +
+                             std::to_string(first.line) + ":" +
+                             std::to_string(first.col) + ")");
 }
 
 }  // namespace xqb

@@ -4,6 +4,10 @@
 #include <string>
 #include <unordered_map>
 
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/effects.h"
 #include "base/status.h"
 #include "frontend/ast.h"
 
@@ -85,10 +89,22 @@ class PurityAnalysis {
   /// AnalyzeProgram.
   Status CheckUpdatingDeclarations(const Program& program) const;
 
+  /// All XUST0001 violations (the Status above is the first of these).
+  std::vector<Diagnostic> UpdatingDeclarationDiagnostics(
+      const Program& program) const;
+
+  /// The path-level effect analysis computed alongside the boolean
+  /// fixpoint. PurityInfo is exactly the boolean projection of its
+  /// EffectSummary (has_update/has_snap/has_io); the path components
+  /// additionally let callers prove write/read disjointness (the
+  /// widened optimizer gates in algebra/rewrite.cc).
+  const EffectAnalysis& effects() const { return effects_; }
+
  private:
   void ComputeFixpoint(const Program& program);
 
   std::unordered_map<std::string, PurityInfo> functions_;
+  EffectAnalysis effects_;
 };
 
 }  // namespace xqb

@@ -19,31 +19,41 @@ class Checker {
     }
   }
 
-  Status CheckProgram(const Program& program) {
+  std::vector<Diagnostic> CheckProgram(const Program& program) {
     // Globals come into scope in declaration order for later
     // initializers; function bodies see every global.
     std::set<std::string> globals;
     for (const VarDecl& v : program.variables) {
-      if (v.init) {
-        XQB_RETURN_IF_ERROR(CheckExpr(*v.init, globals));
-      }
+      if (v.init) CheckExpr(*v.init, globals);
       globals.insert(v.name);
     }
     for (const FunctionDecl& f : program.functions) {
       std::set<std::string> scope = globals;
       for (const std::string& param : f.params) scope.insert(param);
-      XQB_RETURN_IF_ERROR(CheckExpr(*f.body, scope));
+      CheckExpr(*f.body, scope);
     }
-    return CheckExpr(*program.body, globals);
+    CheckExpr(*program.body, globals);
+    return std::move(diags_);
   }
 
  private:
+  void Report(const std::string& code, const Expr& at,
+              std::string message) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.code = code;
+    d.line = at.line;
+    d.col = at.col;
+    d.message = std::move(message);
+    diags_.push_back(std::move(d));
+  }
+
   bool IsBound(const std::string& name,
                const std::set<std::string>& scope) const {
     return scope.count(name) > 0 || engine_variables_.count(name) > 0;
   }
 
-  Status CheckCall(const Expr& e) const {
+  void CheckCall(const Expr& e) {
     auto it = arities_.find(e.name);
     if (it == arities_.end()) it = arities_.find("local:" + e.name);
     if (it == arities_.end() && StartsWith(e.name, "local:")) {
@@ -51,45 +61,37 @@ class Checker {
     }
     if (it != arities_.end()) {
       if (it->second != e.children.size()) {
-        return Status::StaticError(
-            "err:XPST0017: function " + e.name + " expects " +
-            std::to_string(it->second) + " argument(s), called with " +
-            std::to_string(e.children.size()) + " (line " +
-            std::to_string(e.line) + ")");
+        Report("XPST0017", e,
+               "function " + e.name + " expects " +
+                   std::to_string(it->second) + " argument(s), called with " +
+                   std::to_string(e.children.size()));
       }
-      return Status::OK();
+      return;
     }
     std::string builtin = e.name;
     if (StartsWith(builtin, "fn:")) builtin = builtin.substr(3);
-    if (IsBuiltinFunction(builtin)) return Status::OK();
-    return Status::StaticError("err:XPST0017: unknown function " + e.name +
-                               " (line " + std::to_string(e.line) + ")");
+    if (IsBuiltinFunction(builtin)) return;
+    Report("XPST0017", e, "unknown function " + e.name);
   }
 
-  Status CheckExpr(const Expr& e, const std::set<std::string>& scope) {
+  void CheckExpr(const Expr& e, const std::set<std::string>& scope) {
     switch (e.kind) {
       case ExprKind::kVarRef:
         if (!IsBound(e.name, scope)) {
-          return Status::StaticError("err:XPST0008: unbound variable $" +
-                                     e.name + " (line " +
-                                     std::to_string(e.line) + ")");
+          Report("XPST0008", e, "unbound variable $" + e.name);
         }
-        return Status::OK();
+        return;
       case ExprKind::kFunctionCall: {
-        XQB_RETURN_IF_ERROR(CheckCall(e));
-        for (const ExprPtr& arg : e.children) {
-          XQB_RETURN_IF_ERROR(CheckExpr(*arg, scope));
-        }
-        return Status::OK();
+        CheckCall(e);
+        for (const ExprPtr& arg : e.children) CheckExpr(*arg, scope);
+        return;
       }
       case ExprKind::kFlwor: {
         std::set<std::string> local = scope;
         for (const FlworClause& clause : e.clauses) {
-          if (clause.expr) {
-            XQB_RETURN_IF_ERROR(CheckExpr(*clause.expr, local));
-          }
+          if (clause.expr) CheckExpr(*clause.expr, local);
           for (const FlworClause::OrderSpec& spec : clause.order_specs) {
-            XQB_RETURN_IF_ERROR(CheckExpr(*spec.key, local));
+            CheckExpr(*spec.key, local);
           }
           if (clause.kind == FlworClause::Kind::kFor ||
               clause.kind == FlworClause::Kind::kLet) {
@@ -97,45 +99,57 @@ class Checker {
             if (!clause.pos_var.empty()) local.insert(clause.pos_var);
           }
         }
-        return CheckExpr(*e.children[0], local);
+        CheckExpr(*e.children[0], local);
+        return;
       }
       case ExprKind::kQuantified: {
         std::set<std::string> local = scope;
         for (const QuantBinding& binding : e.quant_bindings) {
-          XQB_RETURN_IF_ERROR(CheckExpr(*binding.expr, local));
+          CheckExpr(*binding.expr, local);
           local.insert(binding.var);
         }
-        return CheckExpr(*e.children[0], local);
+        CheckExpr(*e.children[0], local);
+        return;
       }
       case ExprKind::kTypeswitch: {
-        XQB_RETURN_IF_ERROR(CheckExpr(*e.children[0], scope));
+        CheckExpr(*e.children[0], scope);
         for (size_t i = 0; i < e.ts_cases.size(); ++i) {
           std::set<std::string> local = scope;
           if (!e.ts_cases[i].var.empty()) {
             local.insert(e.ts_cases[i].var);
           }
-          XQB_RETURN_IF_ERROR(CheckExpr(*e.children[i + 1], local));
+          CheckExpr(*e.children[i + 1], local);
         }
-        return Status::OK();
+        return;
       }
       default:
-        for (const ExprPtr& child : e.children) {
-          XQB_RETURN_IF_ERROR(CheckExpr(*child, scope));
-        }
-        return Status::OK();
+        for (const ExprPtr& child : e.children) CheckExpr(*child, scope);
+        return;
     }
   }
 
   const std::set<std::string>& engine_variables_;
   std::unordered_map<std::string, size_t> arities_;
+  std::vector<Diagnostic> diags_;
 };
 
 }  // namespace
 
-Status StaticCheckProgram(const Program& program,
-                          const std::set<std::string>& engine_variables) {
+std::vector<Diagnostic> StaticCheckDiagnostics(
+    const Program& program, const std::set<std::string>& engine_variables) {
   Checker checker(program, engine_variables);
   return checker.CheckProgram(program);
+}
+
+Status StaticCheckProgram(const Program& program,
+                          const std::set<std::string>& engine_variables) {
+  std::vector<Diagnostic> diags =
+      StaticCheckDiagnostics(program, engine_variables);
+  if (diags.empty()) return Status::OK();
+  const Diagnostic& first = diags.front();
+  return Status::StaticError("err:" + first.code + ": " + first.message +
+                             " (line " + std::to_string(first.line) + ":" +
+                             std::to_string(first.col) + ")");
 }
 
 }  // namespace xqb

@@ -3,7 +3,9 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "base/status.h"
 #include "frontend/ast.h"
 
@@ -15,6 +17,17 @@ namespace xqb {
 /// declaration, or a host binding listed in `engine_variables`; every
 /// function call must name a declared function (with matching arity) or
 /// a builtin. Runs on the normalized program.
+///
+/// Collects ALL violations in one pass (codes XPST0008/XPST0017,
+/// severity kError, line:col locations), in traversal order: global
+/// initializers in declaration order, then function bodies, then the
+/// query body.
+std::vector<Diagnostic> StaticCheckDiagnostics(
+    const Program& program, const std::set<std::string>& engine_variables);
+
+/// Legacy first-error projection of StaticCheckDiagnostics: OK when the
+/// program is clean, otherwise a StaticError for the first diagnostic,
+/// formatted "err:<code>: <message> (line L:C)".
 Status StaticCheckProgram(const Program& program,
                           const std::set<std::string>& engine_variables);
 

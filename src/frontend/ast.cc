@@ -128,6 +128,7 @@ const char* ExprKindToString(ExprKind kind) {
 ExprPtr Expr::Clone() const {
   ExprPtr copy = MakeExpr(kind);
   copy->line = line;
+  copy->col = col;
   copy->value_int = value_int;
   copy->value_double = value_double;
   copy->value_str = value_str;
@@ -147,6 +148,8 @@ ExprPtr Expr::Clone() const {
     c.kind = clause.kind;
     c.var = clause.var;
     c.pos_var = clause.pos_var;
+    c.line = clause.line;
+    c.col = clause.col;
     if (clause.expr) c.expr = clause.expr->Clone();
     for (const FlworClause::OrderSpec& spec : clause.order_specs) {
       FlworClause::OrderSpec s;
@@ -161,6 +164,8 @@ ExprPtr Expr::Clone() const {
     QuantBinding nb;
     nb.var = b.var;
     nb.expr = b.expr->Clone();
+    nb.line = b.line;
+    nb.col = b.col;
     copy->quant_bindings.push_back(std::move(nb));
   }
   return copy;

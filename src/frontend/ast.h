@@ -84,12 +84,16 @@ struct FlworClause {
   std::string pos_var;  // optional "at $i" positional variable (kFor)
   ExprPtr expr;         // binding expr (kFor/kLet) or condition (kWhere)
   std::vector<OrderSpec> order_specs;  // kOrderBy
+  int line = 0;  // source location of the bound variable (kFor/kLet)
+  int col = 0;
 };
 
 /// Quantified-expression binding (`some $x in e` / `every $x in e`).
 struct QuantBinding {
   std::string var;
   ExprPtr expr;
+  int line = 0;  // source location of the bound variable
+  int col = 0;
 };
 
 /// A SequenceType as used by instance of / treat as / typeswitch, and
@@ -118,6 +122,8 @@ struct TypeswitchCase {
   std::string var;  // optional "case $v as T" binding
   SequenceTypeSpec type;
   bool is_default = false;  // default clause (type ignored)
+  int line = 0;  // source location of the case clause
+  int col = 0;
 };
 
 /// Expression node kinds. The same AST type serves surface and core
@@ -168,6 +174,7 @@ const char* ExprKindToString(ExprKind kind);
 struct Expr {
   ExprKind kind;
   int line = 0;
+  int col = 0;  // 1-based source column; 0 when synthesized
 
   std::vector<ExprPtr> children;
 
@@ -233,6 +240,8 @@ struct FunctionDecl {
   bool may_snap = false;
   /// The function may emit update requests.
   bool may_update = false;
+  int line = 0;  // source location of the declared name
+  int col = 0;
 };
 
 /// A global variable declared in the prolog.
@@ -241,6 +250,8 @@ struct VarDecl {
   ExprPtr init;
   /// External variables are bound by the host via Engine::BindVariable.
   bool external = false;
+  int line = 0;  // source location of the declared name
+  int col = 0;
 };
 
 /// A parsed XQuery! main module: prolog declarations plus the body.

@@ -45,7 +45,8 @@ const char* TokenKindToString(TokenKind kind) {
 }
 
 Status Lexer::MakeError(const std::string& what) const {
-  return Status::ParseError("line " + std::to_string(line_) + ": " + what);
+  return Status::ParseError("line " + std::to_string(line_) + ":" +
+                            std::to_string(col()) + ": " + what);
 }
 
 void Lexer::ResetTo(size_t offset) {
@@ -54,12 +55,19 @@ void Lexer::ResetTo(size_t offset) {
   // direct constructor), so a rescan is fine.
   if (offset < pos_) {
     line_ = 1;
+    line_start_ = 0;
     for (size_t i = 0; i < offset; ++i) {
-      if (input_[i] == '\n') ++line_;
+      if (input_[i] == '\n') {
+        ++line_;
+        line_start_ = i + 1;
+      }
     }
   } else {
     for (size_t i = pos_; i < offset && i < input_.size(); ++i) {
-      if (input_[i] == '\n') ++line_;
+      if (input_[i] == '\n') {
+        ++line_;
+        line_start_ = i + 1;
+      }
     }
   }
   pos_ = offset;
@@ -130,6 +138,7 @@ Result<Token> Lexer::Next() {
   Token tok;
   tok.begin = pos_;
   tok.line = line_;
+  tok.col = col();
   if (RawAtEnd()) {
     tok.kind = TokenKind::kEof;
     tok.end = pos_;

@@ -29,6 +29,8 @@ class Lexer {
   /// Current raw byte offset.
   size_t offset() const { return pos_; }
   int line() const { return line_; }
+  /// 1-based column of the current raw cursor position.
+  int col() const { return static_cast<int>(pos_ - line_start_) + 1; }
   std::string_view input() const { return input_; }
 
   // ---- Raw cursor API for direct-constructor scanning ----
@@ -39,7 +41,10 @@ class Lexer {
   }
   void RawAdvance(size_t n = 1) {
     for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
-      if (input_[pos_] == '\n') ++line_;
+      if (input_[pos_] == '\n') {
+        ++line_;
+        line_start_ = pos_ + 1;
+      }
       ++pos_;
     }
   }
@@ -57,6 +62,7 @@ class Lexer {
   std::string_view input_;
   size_t pos_ = 0;
   int line_ = 1;
+  size_t line_start_ = 0;  // byte offset where line_ begins
 };
 
 }  // namespace xqb

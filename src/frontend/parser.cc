@@ -83,8 +83,8 @@ class Parser {
   }
 
   Status ErrorHere(const std::string& what) const {
-    return Status::ParseError("line " + std::to_string(cur_.line) + ": " +
-                              what);
+    return Status::ParseError("line " + std::to_string(cur_.line) + ":" +
+                              std::to_string(cur_.col) + ": " + what);
   }
 
   /// Peeks at the token after the current one without consuming input.
@@ -107,6 +107,7 @@ class Parser {
   ExprPtr Make(ExprKind kind) {
     ExprPtr e = MakeExpr(kind);
     e->line = cur_.line;
+    e->col = cur_.col;
     return e;
   }
 
@@ -143,6 +144,8 @@ class Parser {
         }
         VarDecl decl;
         decl.name = cur_.text;
+        decl.line = cur_.line;
+        decl.col = cur_.col;
         XQB_RETURN_IF_ERROR(Advance());
         XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
         if (AtName("external")) {
@@ -165,6 +168,8 @@ class Parser {
           return ErrorHere("expected a function name");
         }
         decl.name = cur_.text;
+        decl.line = cur_.line;
+        decl.col = cur_.col;
         XQB_RETURN_IF_ERROR(Advance());
         XQB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
         if (!At(TokenKind::kRParen)) {
@@ -310,6 +315,8 @@ class Parser {
           FlworClause clause;
           clause.kind = FlworClause::Kind::kFor;
           clause.var = cur_.text;
+          clause.line = cur_.line;
+          clause.col = cur_.col;
           XQB_RETURN_IF_ERROR(Advance());
           XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
           if (AtName("at")) {
@@ -338,6 +345,8 @@ class Parser {
           FlworClause clause;
           clause.kind = FlworClause::Kind::kLet;
           clause.var = cur_.text;
+          clause.line = cur_.line;
+          clause.col = cur_.col;
           XQB_RETURN_IF_ERROR(Advance());
           XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
           XQB_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "':='"));
@@ -408,6 +417,8 @@ class Parser {
       }
       QuantBinding binding;
       binding.var = cur_.text;
+      binding.line = cur_.line;
+      binding.col = cur_.col;
       XQB_RETURN_IF_ERROR(Advance());
       XQB_RETURN_IF_ERROR(SkipOptionalTypeAnnotation());
       XQB_RETURN_IF_ERROR(ExpectName("in"));
@@ -857,6 +868,8 @@ class Parser {
       saw_case = true;
       XQB_RETURN_IF_ERROR(Advance());
       TypeswitchCase ts_case;
+      ts_case.line = cur_.line;
+      ts_case.col = cur_.col;
       if (At(TokenKind::kVar)) {
         ts_case.var = cur_.text;
         XQB_RETURN_IF_ERROR(Advance());
@@ -874,6 +887,8 @@ class Parser {
     XQB_RETURN_IF_ERROR(ExpectName("default"));
     TypeswitchCase default_case;
     default_case.is_default = true;
+    default_case.line = cur_.line;
+    default_case.col = cur_.col;
     if (At(TokenKind::kVar)) {
       default_case.var = cur_.text;
       XQB_RETURN_IF_ERROR(Advance());

@@ -55,6 +55,7 @@ struct Token {
   size_t begin = 0;  // byte offset of the first character
   size_t end = 0;    // byte offset one past the last character
   int line = 1;
+  int col = 1;  // 1-based column of the first character
 };
 
 }  // namespace xqb

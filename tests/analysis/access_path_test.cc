@@ -1,0 +1,166 @@
+// Unit tests for the access-path lattice: step construction and
+// widening, MayAlias root/step reasoning, and PathSet cap behavior.
+
+#include <gtest/gtest.h>
+
+#include "analysis/access_path.h"
+
+namespace xqb {
+namespace {
+
+PathStep Child(const char* name) {
+  PathStep s;
+  s.kind = PathStep::Kind::kChild;
+  s.name = name;
+  return s;
+}
+
+PathStep Descendant(const char* name) {
+  PathStep s;
+  s.kind = PathStep::Kind::kDescendant;
+  s.name = name;
+  return s;
+}
+
+PathStep Attribute(const char* name) {
+  PathStep s;
+  s.kind = PathStep::Kind::kAttribute;
+  s.name = name;
+  return s;
+}
+
+TEST(AccessPathTest, ToStringRendersRootsAndSteps) {
+  AccessPath p = AccessPath::Document("d").Child(Child("r"));
+  p = p.Child(Descendant("item")).Child(Attribute("id"));
+  EXPECT_EQ(p.ToString(), "doc(d)/r//item/@id");
+  EXPECT_EQ(AccessPath::Variable("x").ToString(), "$x");
+  EXPECT_EQ(AccessPath::Local().ToString(), "local()");
+  EXPECT_EQ(AccessPath::Any().ToString(), "any()");
+}
+
+TEST(AccessPathTest, ChildWidensAtMaxSteps) {
+  AccessPath p = AccessPath::Document("d");
+  for (size_t i = 0; i < AccessPath::kMaxSteps; ++i) {
+    p = p.Child(Child("a"));
+  }
+  ASSERT_EQ(p.steps.size(), AccessPath::kMaxSteps);
+  // One more child step collapses the tail into descendant-wildcard
+  // instead of growing the vector.
+  AccessPath widened = p.Child(Child("b"));
+  ASSERT_EQ(widened.steps.size(), AccessPath::kMaxSteps + 1);
+  EXPECT_EQ(widened.steps.back().kind, PathStep::Kind::kDescendant);
+  EXPECT_TRUE(widened.steps.back().name.empty());
+  // And further steps below the descendant wildcard are absorbed.
+  AccessPath again = widened.Child(Child("c"));
+  EXPECT_EQ(again, widened);
+}
+
+TEST(AccessPathTest, ParentTruncatesLastStep) {
+  AccessPath p =
+      AccessPath::Document("d").Child(Child("r")).Child(Child("x"));
+  EXPECT_EQ(p.Parent().ToString(), "doc(d)/r");
+  EXPECT_EQ(p.Root().ToString(), "doc(d)");
+  EXPECT_EQ(AccessPath::Document("d").Parent().ToString(), "doc(d)");
+}
+
+TEST(MayAliasTest, AnyAliasesEverything) {
+  EXPECT_TRUE(MayAlias(AccessPath::Any(), AccessPath::Local()));
+  EXPECT_TRUE(MayAlias(AccessPath::Document("d"), AccessPath::Any()));
+}
+
+TEST(MayAliasTest, LocalIsDisjointFromDocuments) {
+  // Normalization copies insert/replace sources, so freshly built
+  // nodes never end up attached inside a named tree.
+  EXPECT_FALSE(MayAlias(AccessPath::Local(), AccessPath::Document("d")));
+  EXPECT_FALSE(MayAlias(AccessPath::Document("d"), AccessPath::Local()));
+  // But local vs variable stays conservative: a variable may be bound
+  // to a locally constructed tree.
+  EXPECT_TRUE(MayAlias(AccessPath::Local(), AccessPath::Variable("v")));
+}
+
+TEST(MayAliasTest, DistinctDocumentNamesAreDisjoint) {
+  AccessPath a = AccessPath::Document("people").Child(Descendant("x"));
+  AccessPath b = AccessPath::Document("audit").Child(Descendant("x"));
+  EXPECT_FALSE(MayAlias(a, b));
+  EXPECT_TRUE(MayAlias(a, AccessPath::Document("people")));
+}
+
+TEST(MayAliasTest, SameDocumentUsesStepOverlap) {
+  AccessPath r = AccessPath::Document("d").Child(Child("r"));
+  AccessPath ra = r.Child(Child("a"));
+  AccessPath rb = r.Child(Child("b"));
+  EXPECT_FALSE(MayAlias(ra, rb));          // sibling names differ
+  EXPECT_TRUE(MayAlias(r, ra));            // ancestor covers subtree
+  EXPECT_TRUE(MayAlias(ra, ra));           // self
+  // Descendant steps reach arbitrary depth → overlap.
+  EXPECT_TRUE(MayAlias(r.Child(Descendant("a")), rb));
+  // child vs attribute at the same depth select disjoint node kinds.
+  EXPECT_FALSE(MayAlias(r.Child(Attribute("a")), r.Child(Child("a"))));
+  // A wildcard name matches anything.
+  EXPECT_TRUE(MayAlias(r.Child(Child("")), rb));
+}
+
+TEST(MayAliasTest, DifferentVariablesStayConservative) {
+  // Two distinct variables may be bound to overlapping trees by the
+  // host, so the analysis must not prove them apart.
+  EXPECT_TRUE(
+      MayAlias(AccessPath::Variable("a"), AccessPath::Variable("b")));
+  EXPECT_TRUE(
+      MayAlias(AccessPath::Variable("a"), AccessPath::Document("d")));
+  // The same variable refines by steps.
+  AccessPath va = AccessPath::Variable("v").Child(Child("a"));
+  AccessPath vb = AccessPath::Variable("v").Child(Child("b"));
+  EXPECT_FALSE(MayAlias(va, vb));
+}
+
+TEST(PathSetTest, AddDeduplicatesAndOverflowsToTop) {
+  PathSet s;
+  EXPECT_TRUE(s.empty());
+  s.Add(AccessPath::Document("d"));
+  s.Add(AccessPath::Document("d"));
+  EXPECT_FALSE(s.top());
+  EXPECT_EQ(s.ToString(), "{doc(d)}");
+  for (size_t i = 0; i < PathSet::kMaxPaths; ++i) {
+    s.Add(AccessPath::Document("d" + std::to_string(i)));
+  }
+  EXPECT_TRUE(s.top());
+  EXPECT_EQ(s.ToString(), "T");
+}
+
+TEST(PathSetTest, AddingAnyWidensToTop) {
+  PathSet s;
+  s.Add(AccessPath::Any());
+  EXPECT_TRUE(s.top());
+}
+
+TEST(PathSetTest, UnionAndOverlap) {
+  PathSet people;
+  people.Add(AccessPath::Document("people").Child(Descendant("p")));
+  PathSet audit;
+  audit.Add(AccessPath::Document("audit").Child(Child("log")));
+  EXPECT_FALSE(people.MayOverlap(audit));
+
+  PathSet both = people;
+  both.UnionWith(audit);
+  EXPECT_TRUE(both.MayOverlap(audit));
+  EXPECT_TRUE(both.MayOverlap(people));
+
+  // Empty sets overlap nothing, even ⊤.
+  PathSet empty;
+  EXPECT_FALSE(empty.MayOverlap(PathSet::Top()));
+  EXPECT_FALSE(PathSet::Top().MayOverlap(empty));
+  EXPECT_TRUE(PathSet::Top().MayOverlap(people));
+}
+
+TEST(PathSetTest, AllLocal) {
+  PathSet s;
+  EXPECT_TRUE(s.AllLocal());  // vacuously
+  s.Add(AccessPath::Local().Child(Child("a")));
+  EXPECT_TRUE(s.AllLocal());
+  s.Add(AccessPath::Document("d"));
+  EXPECT_FALSE(s.AllLocal());
+  EXPECT_FALSE(PathSet::Top().AllLocal());
+}
+
+}  // namespace
+}  // namespace xqb

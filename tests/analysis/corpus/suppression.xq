@@ -1,0 +1,4 @@
+declare variable $_scratch := 1;
+declare function local:_hidden() { 1 };
+let $_tmp := 2
+return 1

@@ -1,0 +1,2 @@
+(snap { delete { doc(concat("a", "udit"))/log/e } },
+ count(doc("people")/site/person))

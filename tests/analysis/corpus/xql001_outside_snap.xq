@@ -1,0 +1,1 @@
+insert { <logentry time="now"/> } into { doc("audit")/log }

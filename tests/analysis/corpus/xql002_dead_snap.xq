@@ -1,0 +1,1 @@
+snap { count(doc("d")/r/*) }

@@ -1,0 +1,2 @@
+(snap { delete { doc("d")/r/old } },
+ count(doc("d")/r/*))

@@ -1,0 +1,4 @@
+snap {
+  (rename { doc("d")/r/item } to { "a" },
+   rename { doc("d")/r/item } to { "b" })
+}

@@ -1,0 +1,4 @@
+declare variable $unused := 1;
+declare function local:helper($x) { $x + 1 };
+let $dead := 2
+return 42

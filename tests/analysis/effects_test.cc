@@ -1,0 +1,207 @@
+// Unit tests for the interprocedural effect analysis: read/write path
+// summaries, kParam substitution at call sites, fixpoint convergence on
+// (mutually) recursive functions, snap absorption, ⊤ widening, and the
+// pinned boolean projection onto PurityAnalysis.
+
+#include <gtest/gtest.h>
+
+#include "analysis/effects.h"
+#include "core/normalize.h"
+#include "core/purity.h"
+#include "frontend/parser.h"
+
+namespace xqb {
+namespace {
+
+class EffectsTest : public ::testing::Test {
+ protected:
+  /// Parses + normalizes `query`, runs the function fixpoint, and
+  /// returns the body summary. Keeps the program alive for follow-up
+  /// queries against `effects_`.
+  EffectSummary Summarize(const char* query) {
+    auto program = ParseProgram(query);
+    EXPECT_TRUE(program.ok()) << program.status();
+    program_ = std::move(*program);
+    NormalizeProgram(&program_);
+    effects_ = EffectAnalysis();
+    effects_.AnalyzeProgram(program_);
+    return effects_.Summarize(*program_.body);
+  }
+
+  Program program_;
+  EffectAnalysis effects_;
+};
+
+TEST_F(EffectsTest, PureNavigationReadsTheDocument) {
+  EffectSummary s = Summarize("count(doc('d')/r/item)");
+  EXPECT_FALSE(s.has_update);
+  EXPECT_FALSE(s.has_snap);
+  EXPECT_TRUE(s.writes.empty());
+  EXPECT_EQ(s.reads.ToString(), "{doc(d)/r/item}");
+}
+
+TEST_F(EffectsTest, DeleteWritesTheParentRegion) {
+  // delete removes children of the target's parent, so the write is
+  // parent-truncated (docs/ANALYSIS.md §3).
+  EffectSummary s = Summarize("delete { doc('d')/r/item }");
+  EXPECT_TRUE(s.has_update);
+  EXPECT_EQ(s.writes.ToString(), "{doc(d)/r}");
+}
+
+TEST_F(EffectsTest, InsertIntoWritesTheTargetSubtree) {
+  EffectSummary s =
+      Summarize("insert { <a/> } into { doc('d')/r }");
+  EXPECT_TRUE(s.has_update);
+  EXPECT_EQ(s.writes.ToString(), "{doc(d)/r}");
+  // Distinct documents stay provably disjoint.
+  PathSet other;
+  other.Add(AccessPath::Document("e"));
+  EXPECT_FALSE(s.writes.MayOverlap(other));
+}
+
+TEST_F(EffectsTest, SnapAbsorbsUpdateButKeepsWrites) {
+  EffectSummary s =
+      Summarize("snap { insert { <a/> } into { doc('d')/r } }");
+  EXPECT_FALSE(s.has_update);
+  EXPECT_TRUE(s.has_snap);
+  EXPECT_EQ(s.writes.ToString(), "{doc(d)/r}");
+}
+
+TEST_F(EffectsTest, DynamicDocNameWidensToTop) {
+  EffectSummary s =
+      Summarize("delete { doc(concat('a', 'b'))/r }");
+  EXPECT_TRUE(s.writes.top());
+}
+
+TEST_F(EffectsTest, ParamSubstitutionAtCallSites) {
+  // The function summary keeps a kParam placeholder; the call site
+  // substitutes the argument's paths, so the body's delete lands on
+  // doc(d)/r — not ⊤ and not a free variable.
+  EffectSummary s = Summarize(
+      "declare function local:purge($x) { delete { $x/old } };"
+      "local:purge(doc('d')/r)");
+  EXPECT_TRUE(s.has_update);
+  EXPECT_EQ(s.writes.ToString(), "{doc(d)/r}");
+
+  const EffectSummary* fn = effects_.FunctionSummary("local:purge");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->writes.ToString(), "{param($x)}");
+  EXPECT_EQ(effects_.FunctionSummary("purge"), fn);  // alias lookup
+  EXPECT_EQ(effects_.FunctionSummary("fn:not"), nullptr);
+}
+
+TEST_F(EffectsTest, RecursiveFunctionReachesFixpoint) {
+  EffectSummary s = Summarize(
+      "declare function local:walk($n) {"
+      "  if (empty($n/*)) then insert { <leaf/> } into { doc('out')/r }"
+      "  else for $c in $n/* return local:walk($c)"
+      "};"
+      "local:walk(doc('in')/tree)");
+  EXPECT_TRUE(s.has_update);
+  // Whatever the fixpoint converges to, it must keep the two document
+  // roots apart.
+  PathSet out;
+  out.Add(AccessPath::Document("out"));
+  PathSet in;
+  in.Add(AccessPath::Document("in"));
+  EXPECT_TRUE(s.writes.MayOverlap(out));
+  EXPECT_FALSE(s.writes.MayOverlap(in));
+}
+
+TEST_F(EffectsTest, MutualRecursionTerminatesAndUnions) {
+  EffectSummary s = Summarize(
+      "declare function local:even($n) {"
+      "  if ($n = 0) then delete { doc('a')/r } else local:odd($n - 1)"
+      "};"
+      "declare function local:odd($n) {"
+      "  if ($n = 1) then delete { doc('b')/r } else local:even($n - 1)"
+      "};"
+      "local:even(10)");
+  EXPECT_TRUE(s.has_update);
+  PathSet a;
+  a.Add(AccessPath::Document("a"));
+  PathSet b;
+  b.Add(AccessPath::Document("b"));
+  EXPECT_TRUE(s.writes.MayOverlap(a));
+  EXPECT_TRUE(s.writes.MayOverlap(b));
+}
+
+TEST_F(EffectsTest, ConstructedNodesAreLocal) {
+  EffectSummary s = Summarize("insert { <a/> } into { <r/> }");
+  EXPECT_TRUE(s.has_update);
+  EXPECT_TRUE(s.writes.AllLocal());
+}
+
+TEST_F(EffectsTest, ValuePathsAreNotReads) {
+  // Returning a navigation result does not by itself read it — the
+  // boundary read is the caller's responsibility via ValuePaths.
+  auto program = ParseProgram("doc('d')/r");
+  ASSERT_TRUE(program.ok());
+  NormalizeProgram(&*program);
+  EffectAnalysis effects;
+  effects.AnalyzeProgram(*program);
+  ExprEffects ee = effects.AnalyzeExpr(*program->body, PathEnv{});
+  EXPECT_EQ(ee.value.ToString(), "{doc(d)/r}");
+  EXPECT_FALSE(ee.summary.reads.MayOverlap(ee.value));
+}
+
+TEST_F(EffectsTest, EnvThreadsLetBindings) {
+  auto program = ParseProgram("delete { $x/old }");
+  ASSERT_TRUE(program.ok());
+  NormalizeProgram(&*program);
+  EffectAnalysis effects;
+  effects.AnalyzeProgram(*program);
+  PathEnv env;
+  PathSet x;
+  x.Add(AccessPath::Document("d").Child(
+      PathStep{PathStep::Kind::kChild, "r"}));
+  env["x"] = x;
+  EffectSummary s = effects.Summarize(*program->body, env);
+  EXPECT_EQ(s.writes.ToString(), "{doc(d)/r}");
+}
+
+TEST_F(EffectsTest, NondetAndDefaultSnapFlags) {
+  EXPECT_TRUE(Summarize("snap nondeterministic { delete { $x } }")
+                  .has_nondet_snap);
+  EffectSummary dflt = Summarize("snap { delete { $x } }");
+  EXPECT_TRUE(dflt.has_default_snap);
+  EXPECT_FALSE(dflt.has_nondet_snap);
+  EXPECT_FALSE(Summarize("snap ordered { delete { $x } }")
+                   .has_default_snap);
+}
+
+// The PurityInfo flags are exactly the boolean projection of the
+// path-level summary: pin the equivalence over a mixed corpus so the
+// two analyses cannot drift apart.
+TEST_F(EffectsTest, BooleanProjectionMatchesPurityAnalysis) {
+  const char* corpus[] = {
+      "1 + 1",
+      "for $x in 1 to 10 return $x * 2",
+      "insert { <a/> } into { doc('d')/r }",
+      "delete { doc('d')/r/a }",
+      "snap { insert { <a/> } into { doc('d')/r } }",
+      "snap nondeterministic { delete { $x } }",
+      "fn:trace(1, 'msg')",
+      "declare function local:f() { delete { doc('d')/r } };"
+      "local:f()",
+      "declare function local:f($n) {"
+      "  if ($n = 0) then 0 else local:f($n - 1) };"
+      "local:f(3)",
+      "(snap { delete { $x } }, insert { <b/> } into { $y })",
+  };
+  for (const char* query : corpus) {
+    auto program = ParseProgram(query);
+    ASSERT_TRUE(program.ok()) << query;
+    NormalizeProgram(&*program);
+    PurityAnalysis purity;
+    purity.AnalyzeProgram(&*program);
+    PurityInfo info = purity.Analyze(*program->body);
+    EffectSummary s = purity.effects().Summarize(*program->body);
+    EXPECT_EQ(info.has_update, s.has_update) << query;
+    EXPECT_EQ(info.has_snap, s.has_snap) << query;
+    EXPECT_EQ(info.has_io, s.has_io) << query;
+  }
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,142 @@
+// Golden-diagnostic corpus for Engine::LintQuery plus unit tests for
+// rule suppression and the error-collection paths. Each corpus query
+// tests/analysis/corpus/<name>.xq has a checked-in
+// <name>.expected.json holding the exact RenderDiagnosticsJson output;
+// the comparison is byte-for-byte, pinning codes, locations, messages,
+// ordering, and the JSON shape CI consumes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "core/engine.h"
+
+namespace xqb {
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(LintGolden, CorpusMatchesExpectedJson) {
+  const std::filesystem::path dir = XQB_ANALYSIS_CORPUS_DIR;
+  std::vector<std::filesystem::path> queries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".xq") queries.push_back(entry.path());
+  }
+  std::sort(queries.begin(), queries.end());
+  ASSERT_FALSE(queries.empty()) << "no corpus queries in " << dir;
+
+  Engine engine;
+  for (const std::filesystem::path& query_path : queries) {
+    std::filesystem::path expected_path = query_path;
+    expected_path.replace_extension(".expected.json");
+    const std::string query = ReadFile(query_path);
+    const std::string expected = ReadFile(expected_path);
+    const std::string actual =
+        RenderDiagnosticsJson(engine.LintQuery(query));
+    EXPECT_EQ(actual, expected) << "for " << query_path.filename();
+  }
+}
+
+TEST(Lint, CleanQueryHasNoDiagnostics) {
+  Engine engine;
+  auto diags = engine.LintQuery(
+      "snap { insert { <a/> } into { doc('d')/r } }");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, DisabledCodesAreSuppressed) {
+  Engine engine;
+  const char* query = "insert { <a/> } into { doc('d')/r }";
+  auto diags = engine.LintQuery(query);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "XQL001");
+  EXPECT_EQ(diags[0].severity, Severity::kWarning);
+
+  LintOptions options;
+  options.disabled.insert("XQL001");
+  EXPECT_TRUE(engine.LintQuery(query, ExecLimits{}, options).empty());
+}
+
+TEST(Lint, ParseErrorBecomesLocatedDiagnostic) {
+  Engine engine;
+  auto diags = engine.LintQuery("1 +");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "XPST0003");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_GT(diags[0].line, 0);
+  EXPECT_GT(diags[0].col, 0);
+}
+
+TEST(Lint, CollectsAllStaticErrorsNotJustTheFirst) {
+  // The legacy Prepare path stops at the first static error; the lint
+  // path reports every unbound variable and unknown function at once.
+  Engine engine;
+  auto diags = engine.LintQuery("($nope, fn:no-such(1), $also)");
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) codes.push_back(d.code);
+  }
+  ASSERT_EQ(codes.size(), 3u);
+  EXPECT_EQ(codes[0], "XPST0008");
+  EXPECT_EQ(codes[1], "XPST0017");
+  EXPECT_EQ(codes[2], "XPST0008");
+}
+
+TEST(Lint, EngineVariablesAreNotUnbound) {
+  Engine engine;
+  engine.BindVariable("known", Sequence{Item::Integer(1)});
+  auto diags = engine.LintQuery("$known + 1");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, UpdatingDeclarationMismatchIsReported) {
+  // XUST0001 only fires once some function opts into the updating
+  // annotation; then every mismatched declaration is flagged.
+  Engine engine;
+  auto diags = engine.LintQuery(
+      "declare updating function local:ok() {"
+      "  insert { <a/> } into { doc('d')/r } };"
+      "declare function local:bad() { delete { doc('d')/r/a } };"
+      "snap { (local:ok(), local:bad()) }");
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : diags) codes.push_back(d.code);
+  ASSERT_EQ(codes.size(), 1u) << RenderDiagnosticsJson(diags);
+  EXPECT_EQ(codes[0], "XUST0001");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  EXPECT_NE(diags[0].message.find("local:bad"), std::string::npos);
+}
+
+TEST(Lint, DiagnosticsAreSortedByLocation) {
+  Engine engine;
+  auto diags = engine.LintQuery(
+      "declare variable $unused := 1;\n"
+      "insert { <a/> } into { doc('d')/r }");
+  ASSERT_GE(diags.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(diags.begin(), diags.end(),
+                             DiagnosticBefore));
+}
+
+TEST(Lint, RenderTextFormat) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = "XQL001";
+  d.line = 3;
+  d.col = 7;
+  d.message = "msg";
+  EXPECT_EQ(RenderDiagnosticText(d), "line 3:7: warning XQL001: msg");
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,226 @@
+// The disjointness-widened optimizer gates. Plan-level: the group-join
+// rewrite (RW1) now fires on update-emitting inner returns whose snap
+// writes are provably disjoint from everything the rewrite freezes, and
+// still refuses when the write set may overlap. Execution-level: the
+// widened plan is differentially tested against the legacy
+// boolean-gated plan — byte-identical results AND byte-identical store
+// state (Δ application order) — and the widened parallel-snap gate is
+// checked for thread-count invariance.
+
+#include <gtest/gtest.h>
+
+#include "algebra/compile.h"
+#include "algebra/rewrite.h"
+#include "core/engine.h"
+#include "core/normalize.h"
+#include "core/purity.h"
+#include "frontend/parser.h"
+
+namespace xqb {
+namespace {
+
+// Cross-document join whose inner return snap-inserts into a THIRD
+// document: the audit writes cannot alias the build side (doc(log)),
+// the probe keys, or the outer input (doc(people)), so hoisting the
+// build ahead of the outer loop cannot change what any frozen
+// expression sees.
+constexpr const char* kDisjointAuditJoin = R"XQ(
+for $p in doc('people')/people/person
+let $a :=
+  for $l in doc('log')/log/entry
+  where $l/@who = $p/@id
+  return (snap { insert { <audit who="{$l/@who}"/> }
+                 into { doc('audit')/trail } }, $l)
+return <row id="{$p/@id}">{ count($a) }</row>
+)XQ";
+
+// Same shape, but the snap writes into doc('log')/log — the very
+// region the hoisted build side reads — so the widening must refuse.
+constexpr const char* kOverlappingJoin = R"XQ(
+for $p in doc('people')/people/person
+let $a :=
+  for $l in doc('log')/log/entry
+  where $l/@who = $p/@id
+  return (snap { insert { <audit who="{$l/@who}"/> }
+                 into { doc('log')/log } }, $l)
+return <row id="{$p/@id}">{ count($a) }</row>
+)XQ";
+
+class RewriteGateTest : public ::testing::Test {
+ protected:
+  RewriteStats OptimizeQuery(const char* query,
+                             const RewriteOptions& options = {}) {
+    auto program = ParseProgram(query);
+    EXPECT_TRUE(program.ok()) << program.status();
+    program_ = std::move(*program);
+    NormalizeProgram(&program_);
+    purity_.AnalyzeProgram(&program_);
+    plan_ = CompileQueryToPlan(*program_.body);
+    EXPECT_NE(plan_, nullptr);
+    return OptimizePlan(&plan_, purity_, options);
+  }
+
+  Program program_;
+  PurityAnalysis purity_;
+  PlanPtr plan_;
+};
+
+TEST_F(RewriteGateTest, DisjointSnapWritesNoLongerBlockTheGroupJoin) {
+  RewriteStats stats = OptimizeQuery(kDisjointAuditJoin);
+  EXPECT_EQ(stats.group_joins, 1);
+  EXPECT_EQ(stats.disjoint_widened, 1);
+}
+
+TEST_F(RewriteGateTest, LegacyBooleanGateStillRejectsUnderAblation) {
+  RewriteOptions legacy;
+  legacy.disjoint_gates = false;
+  RewriteStats stats = OptimizeQuery(kDisjointAuditJoin, legacy);
+  EXPECT_EQ(stats.group_joins, 0);
+  EXPECT_EQ(stats.disjoint_widened, 0);
+}
+
+TEST_F(RewriteGateTest, OverlappingSnapWritesStillBlockTheGroupJoin) {
+  RewriteStats stats = OptimizeQuery(kOverlappingJoin);
+  EXPECT_EQ(stats.group_joins, 0);
+  EXPECT_EQ(stats.disjoint_widened, 0);
+}
+
+TEST_F(RewriteGateTest, WriteIntoTheOuterInputStillBlocks) {
+  // The snap writes doc('people'), which the frozen outer probe key
+  // ($p/@id) reads: applying writes during the probe could change
+  // later keys relative to the nested-loop order. Must refuse.
+  RewriteStats stats = OptimizeQuery(R"XQ(
+for $p in doc('people')/people/person
+let $a :=
+  for $l in doc('log')/log/entry
+  where $l/@who = $p/@id
+  return (snap { insert { <seen/> } into { doc('people')/people } },
+          $l)
+return <row id="{$p/@id}">{ count($a) }</row>
+)XQ");
+  EXPECT_EQ(stats.group_joins, 0);
+}
+
+TEST_F(RewriteGateTest, PendingOnlyUpdatesStillJoinWithoutWidening) {
+  // The pre-existing behavior: a bare (snapless) insert emits pending
+  // Δ only, needs no disjointness argument, and must not count as a
+  // widening win.
+  RewriteStats stats = OptimizeQuery(R"XQ(
+for $p in doc('people')/people/person
+let $a :=
+  for $l in doc('log')/log/entry
+  where $l/@who = $p/@id
+  return (insert { <audit/> } into { doc('audit')/trail }, $l)
+return <row id="{$p/@id}">{ count($a) }</row>
+)XQ");
+  EXPECT_EQ(stats.group_joins, 1);
+  EXPECT_EQ(stats.disjoint_widened, 0);
+}
+
+// ---- Differential execution: widened vs legacy-gated plans ----
+
+constexpr const char* kPeopleXml =
+    "<people>"
+    "<person id=\"p1\"/><person id=\"p2\"/><person id=\"p3\"/>"
+    "<person id=\"p4\"/>"
+    "</people>";
+constexpr const char* kLogXml =
+    "<log>"
+    "<entry who=\"p2\" n=\"1\"/><entry who=\"p1\" n=\"2\"/>"
+    "<entry who=\"p2\" n=\"3\"/><entry who=\"p4\" n=\"4\"/>"
+    "<entry who=\"p1\" n=\"5\"/>"
+    "</log>";
+
+struct RunOutcome {
+  std::string result;
+  std::string audit;
+  ExecStats stats;
+};
+
+RunOutcome RunAuditJoin(bool disjoint_gates) {
+  Engine engine;
+  EXPECT_TRUE(engine.LoadDocumentFromString("people", kPeopleXml).ok());
+  EXPECT_TRUE(engine.LoadDocumentFromString("log", kLogXml).ok());
+  EXPECT_TRUE(engine.LoadDocumentFromString("audit", "<trail/>").ok());
+  ExecOptions options;
+  options.optimize = true;
+  options.collect_stats = true;
+  options.rewrites.disjoint_gates = disjoint_gates;
+  auto result = engine.Execute(kDisjointAuditJoin, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  RunOutcome out;
+  out.result = engine.Serialize(*result);
+  out.stats = engine.last_stats();  // before the audit read clobbers it
+  auto audit = engine.Execute("doc('audit')");
+  EXPECT_TRUE(audit.ok());
+  out.audit = engine.Serialize(*audit);
+  return out;
+}
+
+TEST(RewriteGateDifferential, WidenedPlanIsObservationallyIdentical) {
+  RunOutcome widened = RunAuditJoin(/*disjoint_gates=*/true);
+  RunOutcome legacy = RunAuditJoin(/*disjoint_gates=*/false);
+
+  // The two runs took different plans...
+  EXPECT_EQ(widened.stats.rw_group_joins, 1);
+  EXPECT_EQ(widened.stats.rw_disjoint_wins, 1);
+  EXPECT_EQ(legacy.stats.rw_group_joins, 0);
+  EXPECT_EQ(legacy.stats.rw_disjoint_wins, 0);
+
+  // ...but every observable is byte-identical: the query result, the
+  // audit trail (one <audit> per match, in (person, entry) iteration
+  // order — Δ application order), and the applied-update count.
+  EXPECT_EQ(widened.result, legacy.result);
+  EXPECT_EQ(widened.audit, legacy.audit);
+  EXPECT_EQ(widened.stats.updates_applied, legacy.stats.updates_applied);
+  EXPECT_EQ(widened.stats.snaps_applied, legacy.stats.snaps_applied);
+
+  // And the workload is real: every log entry matched some person.
+  EXPECT_EQ(widened.stats.updates_applied, 5);
+  EXPECT_NE(widened.audit.find("who=\"p2\""), std::string::npos);
+}
+
+// ---- Widened parallel-snap gate: thread-count invariance ----
+
+TEST(ParallelSnapWidening, LocalWriteSnapBodiesRunParallelUnchanged) {
+  // The snap inside the loop body writes only the freshly copied tree
+  // ($c is a copy made by the body itself), so workers mutate
+  // thread-confined nodes — the widened gate admits it where the
+  // boolean pure() gate refused. The copy must happen inside the
+  // parallelized body: a binding made outside it is a free variable to
+  // the analysis and stays conservatively non-local.
+  const char* query = R"XQ(
+for $p in doc('people')/people/person
+return snap { let $c := copy { $p }
+              return (rename { $c } to { "audited" }, $c) }
+)XQ";
+  auto run = [&](int threads) {
+    Engine engine;
+    EXPECT_TRUE(
+        engine.LoadDocumentFromString("people", kPeopleXml).ok());
+    ExecOptions options;
+    options.threads = threads;
+    options.collect_stats = true;
+    auto result = engine.Execute(query, options);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::make_pair(engine.Serialize(*result),
+                          engine.last_stats());
+  };
+  auto [serial, serial_stats] = run(1);
+  auto [parallel, parallel_stats] = run(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("<audited"), std::string::npos);
+  // The counters fold deterministically across workers.
+  EXPECT_EQ(serial_stats.snaps_applied, parallel_stats.snaps_applied);
+  EXPECT_EQ(serial_stats.updates_applied,
+            parallel_stats.updates_applied);
+  // One snap per person plus the implicit top-level snap.
+  EXPECT_EQ(serial_stats.snaps_applied, 5);
+  // And the parallel run actually exercised the widened gate: the old
+  // effect-free-only gate would have kept this region serial.
+  EXPECT_GT(parallel_stats.parallel_regions, 0);
+  EXPECT_EQ(serial_stats.parallel_regions, 0);
+}
+
+}  // namespace
+}  // namespace xqb

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gates the linter's machine-readable output in CI.
+
+Usage:
+  tools/check_lint_output.py --runner build/examples/xqb_run \
+      [--corpus tests/analysis/corpus] [--demo examples/lint_demo.xq]
+
+For every <name>.xq in the corpus directory, runs
+
+  xqb_run --lint=json <name>.xq
+
+and byte-compares stdout against the checked-in <name>.expected.json.
+Any drift — codes, locations, messages, ordering, or the JSON shape
+itself — fails the check; the goldens are the compatibility contract
+for tooling that consumes the diagnostics. The exit code is also
+checked against the contract: 2 iff the report contains an
+error-severity diagnostic, else 0.
+
+The demo query (examples/lint_demo.xq) is additionally required to
+fire each of the five XQL rules exactly once, so the README's claim
+stays true and a rule silently dying in refactor shows up here.
+
+Only the standard library is used.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def run_lint(runner, query_path):
+    proc = subprocess.run(
+        [runner, "--lint=json", str(query_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    return proc.returncode, proc.stdout.decode("utf-8", "replace")
+
+
+def check_exit_code(name, code, output, errors):
+    try:
+        report = json.loads(output)
+    except json.JSONDecodeError as e:
+        errors.append(f"{name}: output is not valid JSON ({e})")
+        return
+    has_error = any(d.get("severity") == "error"
+                    for d in report.get("diagnostics", []))
+    expected = 2 if has_error else 0
+    if code != expected:
+        errors.append(f"{name}: exit code {code}, expected {expected} "
+                      f"(has_error={has_error})")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--runner", default="build/examples/xqb_run")
+    parser.add_argument("--corpus", default="tests/analysis/corpus")
+    parser.add_argument("--demo", default="examples/lint_demo.xq")
+    args = parser.parse_args()
+
+    corpus = pathlib.Path(args.corpus)
+    queries = sorted(corpus.glob("*.xq"))
+    if not queries:
+        sys.exit(f"error: no .xq files in {corpus}")
+
+    errors = []
+    for query in queries:
+        expected_path = query.with_suffix(".expected.json")
+        if not expected_path.exists():
+            errors.append(f"{query.name}: missing {expected_path.name}")
+            continue
+        expected = expected_path.read_text()
+        code, actual = run_lint(args.runner, query)
+        if actual != expected:
+            errors.append(
+                f"{query.name}: lint output drifted from "
+                f"{expected_path.name}\n--- expected\n{expected}"
+                f"--- actual\n{actual}")
+        check_exit_code(query.name, code, actual, errors)
+
+    demo = pathlib.Path(args.demo)
+    if demo.exists():
+        code, output = run_lint(args.runner, demo)
+        check_exit_code(demo.name, code, output, errors)
+        try:
+            diags = json.loads(output).get("diagnostics", [])
+            counts = {}
+            for d in diags:
+                counts[d.get("code")] = counts.get(d.get("code"), 0) + 1
+            for rule in ("XQL001", "XQL002", "XQL003", "XQL004", "XQL005"):
+                if counts.get(rule, 0) != 1:
+                    errors.append(f"{demo.name}: expected exactly one "
+                                  f"{rule}, got {counts.get(rule, 0)}")
+        except json.JSONDecodeError:
+            pass  # already reported by check_exit_code
+    else:
+        errors.append(f"demo query {demo} not found")
+
+    if errors:
+        print(f"FAIL: {len(errors)} lint-output problem(s)")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    print(f"OK: {len(queries)} corpus queries + demo match the goldens")
+
+
+if __name__ == "__main__":
+    main()
